@@ -1,0 +1,1018 @@
+(* Experiment driver: regenerates every quantitative claim of the
+   paper (E1..E20 in DESIGN.md).  `experiments all` prints the full
+   report; individual experiments accept --trials/--seed. *)
+
+open Ftqc
+
+let hr () = print_endline (String.make 72 '-')
+
+let header title =
+  hr ();
+  Printf.printf "%s\n" title;
+  hr ()
+
+(* ---------------------------------------------------------------- E1 *)
+
+let e1 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 1 |] in
+  header
+    "E1  Encoded memory fidelity (Eq. 14): unencoded 1-eps vs Steane 1-O(eps^2)";
+  let decoder = Codes.Steane.css_decoder () in
+  Printf.printf "%10s %14s %14s %14s %14s\n" "eps" "unencoded"
+    "steane (MC)" "steane (exact)" "21*eps^2";
+  List.iter
+    (fun eps ->
+      let u = Ft.Memory.unencoded ~eps ~trials rng in
+      let e =
+        Ft.Memory.encoded_ideal_ec Codes.Steane.code ~eps ~rounds:1 ~trials rng
+      in
+      let exact =
+        Codes.Exact.failure_probability ~metric:`Basis_avg Codes.Steane.code
+          decoder ~eps
+      in
+      Printf.printf "%10.4g %14.5g %14.5g %14.5g %14.5g\n" eps u.rate e.rate
+        exact
+        (21.0 *. eps *. eps))
+    [ 1e-3; 3e-3; 1e-2; 3e-2; 0.1 ];
+  (* the MC and exact columns use basis-averaged readout; the Eq. 14
+     any-error fidelity metric is what the Eq. 33 model estimates *)
+  (match Codes.Exact.pseudothreshold ~metric:`Any Codes.Steane.code decoder with
+  | Some t ->
+    Printf.printf
+      "\nexact code-capacity pseudo-threshold, Eq. 14 metric (full 4^7\n\
+       enumeration): eps* = %.4f — the paper's Eq. 33 model says 1/21 = %.4f\n"
+      t (1.0 /. 21.0)
+  | None -> print_endline "no pseudothreshold (unexpected)");
+  Printf.printf
+    "same metric, other codes:  five-qubit %s   shor9 %s\n"
+    (match
+       Codes.Exact.pseudothreshold ~metric:`Any Codes.Five_qubit.code
+         (Codes.Stabilizer_code.default_decoder Codes.Five_qubit.code)
+     with
+    | Some t -> Printf.sprintf "%.4f" t
+    | None -> "-")
+    (match
+       Codes.Exact.pseudothreshold ~metric:`Any Codes.Shor9.code
+         (Codes.Stabilizer_code.default_decoder Codes.Shor9.code)
+     with
+    | Some t -> Printf.sprintf "%.4f" t
+    | None -> "-")
+
+(* ---------------------------------------------------------------- E2 *)
+
+let slope pts =
+  (* log-log least-squares slope *)
+  let pts = List.filter (fun (_, p) -> p > 0.0) pts in
+  match pts with
+  | [] | [ _ ] -> nan
+  | _ ->
+    let n = float_of_int (List.length pts) in
+    let lx = List.map (fun (e, _) -> log e) pts in
+    let ly = List.map (fun (_, p) -> log p) pts in
+    let sx = List.fold_left ( +. ) 0.0 lx and sy = List.fold_left ( +. ) 0.0 ly in
+    let sxx = List.fold_left (fun a x -> a +. (x *. x)) 0.0 lx in
+    let sxy = List.fold_left2 (fun a x y -> a +. (x *. y)) 0.0 lx ly in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let e2 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 2 |] in
+  header
+    "E2  Fault-tolerant vs non-FT syndrome extraction (Figs. 2/6): O(eps) vs O(eps^2)";
+  Printf.printf "%10s %14s %14s %14s\n" "eps" "nonFT(Fig.2)" "Shor-FT"
+    "Steane-FT";
+  let eps_list = [ 1e-3; 2e-3; 4e-3; 8e-3; 1.6e-2 ] in
+  let bad_pts = ref [] and shor_pts = ref [] and steane_pts = ref [] in
+  List.iter
+    (fun eps ->
+      let noise = Ft.Noise.gates_only eps in
+      let bad =
+        Ft.Memory.shor_ec_failure ~noise
+          ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:false ~trials rng
+      in
+      let shor =
+        Ft.Memory.shor_ec_failure ~noise
+          ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:true ~trials rng
+      in
+      let steane =
+        Ft.Memory.steane_ec_failure ~noise
+          ~policy:Ft.Steane_ec.Repeat_if_nontrivial ~verify:Ft.Steane_ec.Reject
+          ~trials rng
+      in
+      bad_pts := (eps, bad.rate) :: !bad_pts;
+      shor_pts := (eps, shor.rate) :: !shor_pts;
+      steane_pts := (eps, steane.rate) :: !steane_pts;
+      Printf.printf "%10.4g %14.5g %14.5g %14.5g\n" eps bad.rate shor.rate
+        steane.rate)
+    eps_list;
+  Printf.printf
+    "\nlog-log slopes: nonFT %.2f (expect ~1), Shor-FT %.2f (expect ~2), \
+     Steane-FT %.2f (expect ~2)\n"
+    (slope !bad_pts) (slope !shor_pts) (slope !steane_pts)
+
+(* ---------------------------------------------------------------- E3 *)
+
+let e3 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 3 |] in
+  header "E3  Cat-state verification (Fig. 8): feedback damage with/without";
+  (* measure one weight-4 generator of a perfect block; judge the
+     block afterwards *)
+  let code = Codes.Steane.code in
+  let probe ~verified eps =
+    let noise = Ft.Noise.gates_only eps in
+    let failures = ref 0 in
+    for t = 1 to trials do
+      let plus_basis = t mod 2 = 0 in
+      let sim = Ft.Sim.create ~n:12 ~noise rng in
+      let tab = Ft.Sim.tableau sim in
+      Array.iter
+        (fun g ->
+          ignore
+            (Tableau.postselect_pauli tab
+               (Codes.Stabilizer_code.embed code ~offset:0 ~total:12 g)
+               ~outcome:false))
+        code.generators;
+      let l = if plus_basis then code.logical_x.(0) else code.logical_z.(0) in
+      ignore
+        (Tableau.postselect_pauli tab
+           (Codes.Stabilizer_code.embed code ~offset:0 ~total:12 l)
+           ~outcome:false);
+      (* measure the X-type generator M4 (it feeds back phase errors) *)
+      ignore
+        (Ft.Shor_ec.measure_generator sim ~generator:code.generators.(3)
+           ~offset:0 ~cat_base:7 ~check:11 ~verified);
+      let fail =
+        if plus_basis then Ft.Sim.ideal_measure_logical_x sim code ~offset:0
+        else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
+      in
+      if fail then incr failures
+    done;
+    float_of_int !failures /. float_of_int trials
+  in
+  Printf.printf "%10s %18s %18s\n" "eps" "unverified cat" "verified cat";
+  List.iter
+    (fun eps ->
+      Printf.printf "%10.4g %18.5g %18.5g\n" eps (probe ~verified:false eps)
+        (probe ~verified:true eps))
+    [ 2e-3; 5e-3; 1e-2; 2e-2 ];
+  print_endline
+    "\n(single generator measurement on a perfect block; the verified cat\n\
+     keeps block damage at O(eps^2), the shared/unverified ancilla at O(eps))"
+
+(* ---------------------------------------------------------------- E4 *)
+
+let e4 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 4 |] in
+  header
+    "E4  Syndrome repetition and ancilla verification policies (Sec. 3.3-3.4)";
+  Printf.printf "%10s %14s %14s %14s %14s\n" "eps" "accept-first"
+    "repeat-rule" "paper-flip" "no-verify";
+  List.iter
+    (fun eps ->
+      let noise = Ft.Noise.gates_only eps in
+      let run policy verify =
+        (Ft.Memory.steane_ec_failure ~noise ~policy ~verify ~trials rng).rate
+      in
+      Printf.printf "%10.4g %14.5g %14.5g %14.5g %14.5g\n" eps
+        (run Ft.Steane_ec.Accept_first Ft.Steane_ec.Reject)
+        (run Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Reject)
+        (run Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Paper_flip)
+        (run Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.No_verification))
+    [ 2e-3; 5e-3; 1e-2; 2e-2 ];
+  print_endline
+    "\ncolumns 2-4 vary the Sec. 3.4 acceptance rule and the Sec. 3.3 ancilla\n\
+     verification (reject-on-anomaly vs the paper's flip-on-confirmed-1 vs\n\
+     none).  Unverified ancillas and unconfirmed syndromes both reopen an\n\
+     O(eps) failure channel."
+
+(* ---------------------------------------------------------------- E5 *)
+
+let e5 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 5 |] in
+  header
+    "E5  Level-1 pseudo-threshold (Eq. 33): p1 = A*eps^2, threshold = 1/A";
+  let eps_list = [ 1e-3; 2e-3; 4e-3 ] in
+  let pts =
+    List.map
+      (fun eps ->
+        let noise = Ft.Noise.gates_only eps in
+        let r = Ft.Memory.logical_cnot_exrec_failure ~noise ~trials rng in
+        Printf.printf "  eps=%8.4g  p1=%.5g (+-%.2g)\n%!" eps r.rate r.stderr;
+        (eps, r.rate))
+      eps_list
+  in
+  let f = Threshold.Pseudothreshold.fit pts in
+  Printf.printf "\nfitted A = %.1f  =>  pseudo-threshold eps* = 1/A = %.2e\n"
+    f.a f.threshold;
+  Printf.printf
+    "paper's combinatorial model: A = 21, threshold 1/21 = %.2e per *block\n\
+     error*; with all gadget locations counted the paper estimates\n\
+     eps_gate,0 ~ 6e-4 (Eq. 34).  Our gadget's A reflects its ~%d fault\n\
+     locations; shape (quadratic flow, threshold = 1/A) is the claim.\n"
+    Threshold.Flow.paper_threshold 300;
+  let projections = Threshold.Pseudothreshold.project f ~eps:1e-4 ~levels:4 in
+  Printf.printf "projected p_L at eps=1e-4:";
+  List.iteri (fun l p -> Printf.printf "  L%d=%.2e" l p) projections;
+  print_newline ()
+
+(* ---------------------------------------------------------------- E6 *)
+
+let e6 () =
+  header "E6  Concatenation flow (Eqs. 36-37)";
+  let a = Threshold.Flow.paper_coefficient in
+  Printf.printf "eps(L) = eps0*(eps/eps0)^(2^L), eps0 = 1/21:\n";
+  Printf.printf "%10s %12s %12s %12s %12s %12s\n" "eps" "L=0" "L=1" "L=2"
+    "L=3" "L=4";
+  List.iter
+    (fun eps ->
+      Printf.printf "%10.1e" eps;
+      for l = 0 to 4 do
+        Printf.printf " %12.3e" (Threshold.Flow.level_error ~a ~eps ~level:l)
+      done;
+      print_newline ())
+    [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6 ];
+  Printf.printf "\nblock size for a T-gate computation (Eq. 37):\n";
+  Printf.printf "%12s %10s %8s %12s %14s\n" "T" "eps" "levels" "block 7^L"
+    "Eq.37 estimate";
+  List.iter
+    (fun (gates, eps) ->
+      match Threshold.Flow.block_size_for ~a ~eps ~gates with
+      | Some (l, b, est) ->
+        Printf.printf "%12.2e %10.1e %8d %12.0f %14.1f\n" gates eps l b est
+      | None -> Printf.printf "%12.2e %10.1e  above threshold\n" gates eps)
+    [ (1e6, 1e-4); (1e9, 1e-4); (3e9, 1e-6); (1e12, 1e-6) ]
+
+(* --------------------------------------------------------------- E6b *)
+
+let e6b ~trials ~seed () =
+  let rng = Random.State.make [| seed; 66 |] in
+  header
+    "E6b Concatenated Steane, direct Monte Carlo (Pauli frame, ideal EC)";
+  Printf.printf
+    "%8s %12s %12s %12s   (failure per recovery, levels L = 1..3)\n" "eps"
+    "L=1 (7q)" "L=2 (49q)" "L=3 (343q)";
+  List.iter
+    (fun eps ->
+      let run level t =
+        (Codes.Pauli_frame.memory_failure ~level ~eps ~rounds:1 ~trials:t rng)
+          .rate
+      in
+      Printf.printf "%8.3f %12.5f %12.5f %12.5f\n%!" eps (run 1 trials)
+        (run 2 trials)
+        (run 3 (max 2000 (trials / 3))))
+    [ 0.01; 0.03; 0.05; 0.07; 0.10; 0.12 ];
+  print_endline
+    "\nbelow the code-capacity threshold (~0.08-0.10 here) each level\n\
+     multiplies the suppression (Eq. 36's double exponential); above it\n\
+     concatenation makes things worse — 'if the error rates are too high\n\
+     to begin with, coding will make things worse instead of better.'"
+
+(* --------------------------------------------------------------- E15 *)
+
+let e15 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 15 |] in
+  header
+    "E15 Biased noise ablation (Sec. 6: tailoring the scheme to the model)";
+  Printf.printf
+    "total eps fixed at 0.02; eta = P(Z)/P(X); self-dual CSS decoding\n\n";
+  Printf.printf "%8s %12s %12s\n" "eta" "L=1" "L=2";
+  List.iter
+    (fun eta ->
+      let run level =
+        (Codes.Pauli_frame.memory_failure_biased ~level ~eps:0.02 ~eta
+           ~rounds:1 ~trials rng)
+          .rate
+      in
+      Printf.printf "%8.1f %12.5f %12.5f\n%!" eta (run 1) (run 2))
+    [ 1.0; 3.0; 10.0; 100.0 ];
+  print_endline
+    "\nat fixed total error rate, bias concentrates errors in one Hamming\n\
+     sector and the untailored self-dual decoder does worse — the\n\
+     quantitative face of Sec. 6's remark that a scheme tailored to the\n\
+     real error model would tolerate higher rates."
+
+(* ---------------------------------------------------------------- E7 *)
+
+let e7 () =
+  header "E7  Big-code scaling without concatenation (Eqs. 30-32), b = 4";
+  let b = Threshold.Bigcode.shor_b in
+  Printf.printf "%10s %10s %10s %16s %16s\n" "eps" "t*(real)" "t*(int)"
+    "min block error" "exp(-b/e eps^-1/4)";
+  List.iter
+    (fun eps ->
+      let t_real = Threshold.Bigcode.optimal_t ~b ~eps in
+      let t_int, p = Threshold.Bigcode.best_integer_t ~b ~eps ~t_max:1000 in
+      Printf.printf "%10.1e %10.2f %10d %16.3e %16.3e\n" eps t_real t_int p
+        (Threshold.Bigcode.min_block_error ~b ~eps))
+    [ 1e-4; 1e-5; 1e-6; 1e-7 ];
+  Printf.printf "\nrequired accuracy eps ~ (log T)^-b (Eq. 32):\n";
+  List.iter
+    (fun cycles ->
+      Printf.printf "  T = %8.1e  =>  eps = %.3e\n" cycles
+        (Threshold.Bigcode.required_accuracy ~b ~cycles))
+    [ 1e6; 1e9; 1e12 ]
+
+(* ---------------------------------------------------------------- E8 *)
+
+let e8 () =
+  header "E8  Factoring resource estimates (Sec. 6)";
+  let e = Threshold.Resources.paper_432 () in
+  Format.printf "%a@." Threshold.Resources.pp e;
+  let logical, physical = Threshold.Resources.steane_block55 ~bits:432 in
+  Printf.printf
+    "Steane (ref. 48) alternative: block-55 code, gate error 1e-5:\n\
+    \  logical qubits = %d, physical qubits ~ %.2g\n\n"
+    logical physical;
+  Printf.printf "scaling with problem size (eps = 1e-6):\n";
+  Printf.printf "%8s %12s %14s %10s %14s\n" "bits" "logical" "Toffolis"
+    "levels" "total qubits";
+  List.iter
+    (fun bits ->
+      let r = Threshold.Resources.estimate ~bits ~physical_eps:1e-6 () in
+      match (r.levels, r.total_qubits) with
+      | Some l, Some t ->
+        Printf.printf "%8d %12d %14.3g %10d %14.3g\n" bits r.logical_qubits
+          r.toffoli_gates l t
+      | _ -> Printf.printf "%8d: above threshold\n" bits)
+    [ 128; 256; 432; 512; 1024 ]
+
+(* ---------------------------------------------------------------- E9 *)
+
+let e9 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 9 |] in
+  header "E9  Random vs systematic phase errors (Sec. 6, bullet 1)";
+  let theta = 0.01 in
+  Printf.printf "theta = %g per step\n" theta;
+  Printf.printf "%8s %14s %14s %14s %14s\n" "N" "p(random)" "p(systematic)"
+    "N(th/2)^2" "(N th/2)^2";
+  List.iter
+    (fun (n, pr, ps, lin, quad) ->
+      Printf.printf "%8d %14.5g %14.5g %14.5g %14.5g\n" n pr ps lin quad)
+    (Ft.Systematic.crossover_table ~theta ~steps_list:[ 1; 10; 100; 300 ]
+       ~trials rng);
+  print_endline
+    "\nrandom signs follow the linear law, conspiring signs the quadratic\n\
+     law: systematic errors need a quadratically better gate accuracy."
+
+(* --------------------------------------------------------------- E10 *)
+
+let e10 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 10 |] in
+  header "E10  Toric-code memory (Sec. 7): threshold of the Kitaev model";
+  let ls = [ 4; 6; 8; 12 ] in
+  let ps = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15 ] in
+  Printf.printf "%8s" "p \\ L";
+  List.iter (fun l -> Printf.printf " %9d" l) ls;
+  print_newline ();
+  List.iter
+    (fun p ->
+      Printf.printf "%8.3f" p;
+      List.iter
+        (fun l ->
+          let r = Toric.Memory.run ~l ~p ~trials rng in
+          Printf.printf " %9.4f" r.rate)
+        ls;
+      print_newline ())
+    ps;
+  print_endline
+    "\nbelow ~0.10 the failure rate falls with L (protected phase); above\n\
+     it rises: the intrinsic fault tolerance of the topological medium."
+
+(* --------------------------------------------------------------- E11 *)
+
+let e11 ~seed () =
+  let rng = Random.State.make [| seed; 11 |] in
+  header "E11  Nonabelian flux-pair logic over A5 (Sec. 7.4)";
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  Printf.printf "computational fluxes (Eq. 45): u0 = %s, u1 = %s, v = %s\n"
+    (Group.Perm.to_string u0) (Group.Perm.to_string u1)
+    (Group.Perm.to_string v);
+  let reg = Anyon.Register.create ~degree:5 [ u0; v ] in
+  Anyon.Register.not_gate reg ~data:0 ~not_pair:1;
+  Printf.printf "pull-through NOT: u0 -> %s  (expected u1: %s)\n"
+    (Group.Perm.to_string (Anyon.Register.flux reg 0))
+    (string_of_bool (Group.Perm.equal (Anyon.Register.flux reg 0) u1));
+  let a5 = Group.Finite_group.alternating 5 in
+  let pair = Anyon.Pair_sim.create a5 ~class_rep:u0 in
+  let minus = Anyon.Pair_sim.measure_charge pair rng ~projectile:v in
+  Printf.printf
+    "charge interferometer on |u0>: outcome %s, state = (|u0> %s |u1>)/sqrt2\n"
+    (if minus then "-1" else "+1")
+    (if minus then "-" else "+");
+  Printf.printf "\ncommutator-closure depth (AND-tree survival):\n";
+  List.iter
+    (fun (name, g) ->
+      match Anyon.Logic.commutator_closure_depth g ~max_depth:12 with
+      | None ->
+        Printf.printf
+          "  %-4s order %3d: never dies (nonsolvable -> universal)\n" name
+          (Group.Finite_group.order g)
+      | Some d ->
+        Printf.printf "  %-4s order %3d: dies at depth %d (solvable)\n" name
+          (Group.Finite_group.order g) d)
+    [ ("A5", a5);
+      ("S4", Group.Finite_group.symmetric 4);
+      ("A4", Group.Finite_group.alternating 4);
+      ("D5", Group.Finite_group.dihedral 5);
+      ("Z5", Group.Finite_group.cyclic 5) ];
+  Printf.printf "A5 smallest nonsolvable (checked against library groups): %b\n"
+    (Anyon.Logic.smallest_nonsolvable_check ());
+  (* exhaustive gate synthesis over the pull-through repertoire *)
+  (match Anyon.Synthesis.not_via_pull_through () with
+  | Some prog ->
+    Printf.printf "synthesis: NOT rediscovered in %d pull-through move(s)\n"
+      (List.length prog)
+  | None -> print_endline "synthesis: NOT not found (unexpected)");
+  Printf.printf
+    "synthesis: no 2-register CNOT exists within 6 moves (exhaustive): %b\n"
+    (Anyon.Synthesis.no_cnot_without_ancilla ~max_depth:6);
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  let cnot_with_v =
+    Anyon.Synthesis.search
+      ~encodings:[ (u0, u1); (u0, u1) ]
+      ~ancillas:[ v ]
+      ~targets:(function [ a; b ] -> [ a; a <> b ] | _ -> assert false)
+      ~max_depth:4
+  in
+  Printf.printf
+    "synthesis: no CNOT even with one v-ancilla within 4 moves: %b\n"
+    (cnot_with_v = None);
+  print_endline
+    "(multi-qubit gates genuinely need the deep ancilla-assisted\n\
+     constructions of Ogburn-Preskill: 16 moves / 6 ancillas for Toffoli)"
+
+(* --------------------------------------------------------------- E12 *)
+
+let e12 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 12 |] in
+  header "E12  Leakage detection (Fig. 15)";
+  (* single-qubit demo *)
+  let t =
+    Ft.Leakage.create ~n:2 ~noise:Ft.Noise.none ~leak_rate:0.0 rng
+  in
+  let d0 = Ft.Leakage.detect t ~data:0 ~ancilla:1 in
+  Ft.Leakage.leak t 0;
+  let d1 = Ft.Leakage.detect t ~data:0 ~ancilla:1 in
+  Printf.printf "healthy qubit flagged: %b; leaked qubit flagged: %b\n" d0 d1;
+  (* Block-level: one data qubit leaks, then several rounds of
+     otherwise-perfect Steane-style EC run *through the leaky gates*
+     (a leaked operand makes its XOR trivial) while healthy qubits
+     depolarize at rate eps.  Without leak scrubbing the dead qubit
+     keeps injecting phantom syndrome bits, so a single ordinary error
+     elsewhere gets miscorrected onto a third qubit — failure at
+     O(eps).  Scrubbing first (detect + replace with |0>) turns the
+     leak into an ordinary correctable error and restores O(eps²). *)
+  let code = Codes.Steane.code in
+  (* data 0..6, ancilla block 7..13, detector ancilla 14 *)
+  let total = 15 in
+  let prepare_block tab =
+    Array.iter
+      (fun g ->
+        ignore
+          (Tableau.postselect_pauli tab
+             (Codes.Stabilizer_code.embed code ~offset:0 ~total g)
+             ~outcome:false))
+      code.generators;
+    ignore
+      (Tableau.postselect_pauli tab
+         (Codes.Stabilizer_code.embed code ~offset:0 ~total code.logical_z.(0))
+         ~outcome:false)
+  in
+  let fresh_plus_ancilla tab =
+    (* perfect |+bar> on qubits 7..13 by projection *)
+    for i = 7 to 13 do
+      Tableau.reset tab rng i
+    done;
+    Array.iter
+      (fun g ->
+        ignore
+          (Tableau.postselect_pauli tab
+             (Codes.Stabilizer_code.embed code ~offset:7 ~total g)
+             ~outcome:false))
+      code.generators;
+    ignore
+      (Tableau.postselect_pauli tab
+         (Codes.Stabilizer_code.embed code ~offset:7 ~total code.logical_x.(0))
+         ~outcome:false)
+  in
+  let run ~scrub ~eps =
+    let failures = ref 0 in
+    for _ = 1 to trials do
+      let t =
+        Ft.Leakage.create ~n:total ~noise:Ft.Noise.none ~leak_rate:0.0 rng
+      in
+      let sim = Ft.Leakage.sim t in
+      let tab = Ft.Sim.tableau sim in
+      prepare_block tab;
+      Ft.Leakage.leak t (Random.State.int rng 7);
+      for _round = 1 to 3 do
+        if scrub then
+          ignore
+            (Ft.Leakage.scrub t ~qubits:(List.init 7 Fun.id) ~ancilla:14);
+        (* storage noise on healthy data qubits *)
+        for q = 0 to 6 do
+          if (not (Ft.Leakage.leaked t q)) && Random.State.float rng 1.0 < eps
+          then
+            Tableau.apply_pauli tab
+              (Pauli.single total q
+                 [| Pauli.X; Pauli.Y; Pauli.Z |].(Random.State.int rng 3))
+        done;
+        (* bit-flip syndrome through leaky transversal XORs *)
+        fresh_plus_ancilla tab;
+        for i = 0 to 6 do
+          Ft.Leakage.cnot t i (7 + i)
+        done;
+        let w = Gf2.Bitvec.create 7 in
+        for i = 0 to 6 do
+          if Ft.Leakage.measure t (7 + i) then Gf2.Bitvec.set w i true
+        done;
+        let s = Codes.Hamming.syndrome w in
+        let v =
+          (if Gf2.Bitvec.get s 0 then 4 else 0)
+          + (if Gf2.Bitvec.get s 1 then 2 else 0)
+          + if Gf2.Bitvec.get s 2 then 1 else 0
+        in
+        if v > 0 then Ft.Leakage.x t (v - 1)
+      done;
+      (* end of life: scrub in both arms (otherwise the leaked qubit
+         cannot even be read out), then judge ideally *)
+      ignore (Ft.Leakage.scrub t ~qubits:(List.init 7 Fun.id) ~ancilla:14);
+      if Ft.Sim.ideal_measure_logical_z sim code ~offset:0 then incr failures
+    done;
+    float_of_int !failures /. float_of_int trials
+  in
+  Printf.printf "%10s %20s %20s\n" "eps" "scrub every round" "no scrubbing";
+  List.iter
+    (fun eps ->
+      Printf.printf "%10.4g %20.5g %20.5g\n" eps (run ~scrub:true ~eps)
+        (run ~scrub:false ~eps))
+    [ 0.0; 5e-3; 1e-2; 2e-2 ];
+  print_endline
+    "(scrubbing converts the leak into a located, correctable error;\n\
+     an unscrubbed leak corrupts every syndrome and amplifies ordinary\n\
+     noise into logical failure)"
+
+(* --------------------------------------------------------------- E13 *)
+
+let e13 () =
+  header "E13  Code comparison (Sec. 4.2): 5-qubit vs Steane vs Shor-9";
+  Printf.printf "%12s %4s %4s %4s %10s %22s\n" "code" "n" "k" "d" "type"
+    "bitwise H stays in code?";
+  let check_h (code : Codes.Stabilizer_code.t) =
+    (* apply bitwise H to |0bar> and test all stabilizers still ±1 *)
+    let tab = Codes.Stabilizer_code.prepare_logical_zero code in
+    for q = 0 to code.n - 1 do
+      Tableau.h tab q
+    done;
+    Array.for_all
+      (fun g -> Tableau.expectation tab g <> None)
+      code.generators
+  in
+  List.iter
+    (fun ((code : Codes.Stabilizer_code.t), kind) ->
+      Printf.printf "%12s %4d %4d %4d %10s %22b\n" code.name code.n code.k
+        (Codes.Stabilizer_code.distance code)
+        kind (check_h code))
+    [ (Codes.Steane.code, "CSS"); (Codes.Five_qubit.code, "non-CSS");
+      (Codes.Shor9.code, "CSS") ];
+  print_endline
+    "\nSteane: bitwise H/P/CNOT are logical gates; the denser 5-qubit code\n\
+     lacks them (its gate constructions are 'quite complex', Sec. 4.2)."
+
+(* --------------------------------------------------------------- E14 *)
+
+let e14 ~seed () =
+  let rng = Random.State.make [| seed; 14 |] in
+  header "E14  Shor's fault-tolerant Toffoli (Figs. 12-13)";
+  (* all 8 basis inputs *)
+  let ok = ref true in
+  for input = 0 to 7 do
+    let sv = Statevec.create 7 in
+    if input land 1 = 1 then Statevec.x sv 0;
+    if input land 2 = 2 then Statevec.x sv 1;
+    if input land 4 = 4 then Statevec.x sv 2;
+    Ft.Toffoli.apply sv rng ~data:(0, 1, 2) ~scratch:(3, 4, 5) ~control:6;
+    let expected = Statevec.create 7 in
+    if input land 1 = 1 then Statevec.x expected 0;
+    if input land 2 = 2 then Statevec.x expected 1;
+    if input land 4 = 4 then Statevec.x expected 2;
+    Statevec.toffoli expected 0 1 2;
+    (* scratch/control qubits of sv hold measurement leftovers: reset
+       them in both states before comparing *)
+    List.iter
+      (fun q ->
+        Statevec.reset sv rng q;
+        Statevec.reset expected rng q)
+      [ 3; 4; 5; 6 ];
+    if Statevec.fidelity sv expected < 1.0 -. 1e-9 then ok := false
+  done;
+  Printf.printf "teleported Toffoli exact on all 8 basis inputs: %b\n" !ok;
+  (* superposition input *)
+  let sv = Statevec.create 7 in
+  Statevec.h sv 0;
+  Statevec.h sv 1;
+  Ft.Toffoli.apply sv rng ~data:(0, 1, 2) ~scratch:(3, 4, 5) ~control:6;
+  let expected = Statevec.create 7 in
+  Statevec.h expected 0;
+  Statevec.h expected 1;
+  Statevec.toffoli expected 0 1 2;
+  List.iter
+    (fun q ->
+      Statevec.reset sv rng q;
+      Statevec.reset expected rng q)
+    [ 3; 4; 5; 6 ];
+  Printf.printf "teleported Toffoli on (|00>+|01>+|10>+|11>)|0>: fidelity %.6f\n"
+    (Statevec.fidelity sv expected);
+  Printf.printf "transversal ingredients (encoded CNOT/CZ/H/measure): %b\n"
+    (Ft.Toffoli.transversal_ingredients_check rng)
+
+(* --------------------------------------------------------------- E16 *)
+
+let e16 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 16 |] in
+  header
+    "E16 Generalized Steane-method EC across CSS codes (Sec. 3.6, Fig. 10)";
+  Printf.printf
+    "one noisy EC cycle on a perfect block, judged ideally (eps = gate error)\n\n";
+  Printf.printf "%18s %6s %10s %10s %10s\n" "code" "n" "eps=1e-3" "eps=4e-3"
+    "eps=1e-2";
+  List.iter
+    (fun (gadget, label) ->
+      let code = Ft.Css_ec.code gadget in
+      let n = code.Codes.Stabilizer_code.n in
+      let total = 3 * n in
+      let run eps =
+        let noise = Ft.Noise.gates_only eps in
+        let failures = ref 0 in
+        for t = 1 to trials do
+          let plus_basis = t mod 2 = 0 in
+          let sim = Ft.Sim.create ~n:total ~noise rng in
+          let tab = Ft.Sim.tableau sim in
+          Array.iter
+            (fun g ->
+              ignore
+                (Tableau.postselect_pauli tab
+                   (Codes.Stabilizer_code.embed code ~offset:0 ~total g)
+                   ~outcome:false))
+            code.generators;
+          let l =
+            if plus_basis then code.logical_x.(0) else code.logical_z.(0)
+          in
+          ignore
+            (Tableau.postselect_pauli tab
+               (Codes.Stabilizer_code.embed code ~offset:0 ~total l)
+               ~outcome:false);
+          ignore
+            (Ft.Css_ec.recover sim gadget
+               ~policy:Ft.Css_ec.Repeat_if_nontrivial ~data:0 ~ancilla:n
+               ~checker:(2 * n) ~max_attempts:50);
+          let fail =
+            if plus_basis then
+              Ft.Sim.ideal_measure_logical_x sim code ~offset:0
+            else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
+          in
+          if fail then incr failures
+        done;
+        float_of_int !failures /. float_of_int trials
+      in
+      Printf.printf "%18s %6d %10.5f %10.5f %10.5f\n%!" label n (run 1e-3)
+        (run 4e-3) (run 1e-2))
+    [ (Ft.Css_ec.for_steane (), "steane [[7,1,3]]");
+      (Ft.Css_ec.for_shor9 (), "shor [[9,1,3]]");
+      (Ft.Css_ec.for_reed_muller (), "RM [[15,1,3]]") ];
+  print_endline
+    "\nall distance-3, so all quadratic in eps; bigger blocks pay more fault\n\
+     locations per cycle (the Eq. 30 trade-off in miniature)."
+
+(* --------------------------------------------------------------- E17 *)
+
+let e17 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 17 |] in
+  header
+    "E17 Circuit-level concatenation: level-2 vs level-1 EC gadgets (Sec. 5)";
+  Printf.printf
+    "full fault-tolerant machinery at both levels (inner EC per sub-block,\n\
+     outer syndromes through verified |0bar>_2 ancillas); %d / %d trials\n\n"
+    (trials * 10) trials;
+  Printf.printf "%10s %14s %14s\n" "eps" "p1 (level 1)" "p2 (level 2)";
+  List.iter
+    (fun eps ->
+      let noise = Ft.Noise.gates_only eps in
+      let f1, n1 =
+        Ft.Concat_ec.logical_failure_rate ~noise ~level:1 ~trials:(trials * 10)
+          rng
+      in
+      let f2, n2 =
+        Ft.Concat_ec.logical_failure_rate ~noise ~level:2 ~trials rng
+      in
+      Printf.printf "%10.4g %14.5g %14.5g%s\n%!" eps
+        (float_of_int f1 /. float_of_int n1)
+        (float_of_int f2 /. float_of_int n2)
+        (if f2 = 0 then
+           Printf.sprintf "   (0/%d: <= %.1e at 95%%)" n2
+             (3.0 /. float_of_int n2)
+         else ""))
+    [ 1e-3; 2e-3; 4e-3 ];
+  print_endline
+    "\nbelow the level-1 pseudo-threshold the level-2 block wins (the flow\n\
+     p2 = A p1^2 in the flesh); near/above it the extra machinery of the\n\
+     big block costs more than it buys.";
+  ignore rng
+
+(* --------------------------------------------------------------- E18 *)
+
+let e18 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 18 |] in
+  header
+    "E18 One big code vs concatenation (Sec. 5): Golay [[23,1,7]] vs Steane";
+  Printf.printf
+    "ideal-recovery memory failure per round (Pauli-frame Monte Carlo)\n\n";
+  Printf.printf "%8s %14s %16s %14s\n" "eps" "steane (7q)" "steane^2 (49q)"
+    "golay (23q)";
+  let golay_decoder = Codes.Golay.css_decoder () in
+  List.iter
+    (fun eps ->
+      let s1 =
+        Codes.Pauli_frame.memory_failure ~level:1 ~eps ~rounds:1 ~trials rng
+      in
+      let s2 =
+        Codes.Pauli_frame.memory_failure ~level:2 ~eps ~rounds:1 ~trials rng
+      in
+      let g =
+        Codes.Pauli_frame.code_memory_failure Codes.Golay.code golay_decoder
+          ~eps ~rounds:1 ~trials rng
+      in
+      Printf.printf "%8.3f %14.5f %16.5f %14.5f\n%!" eps s1.rate s2.rate g.rate)
+    [ 0.002; 0.01; 0.03; 0.06; 0.10 ];
+  print_endline
+    "\nGolay corrects 3 errors in 23 qubits (failure ~ eps^4): it matches\n\
+     the 49-qubit level-2 concatenated Steane code with under half the\n\
+     qubits and beats it as eps grows — the paper's remark that 'a code\n\
+     chosen from the family originally described by Shor may turn out to\n\
+     be more efficient than the concatenated 7-bit code.'  Concatenation's\n\
+     virtue is asymptotic (arbitrarily long computation), not\n\
+     constant-factor efficiency."
+
+(* --------------------------------------------------------------- E19 *)
+
+let e19 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 19 |] in
+  header
+    "E19 Toric memory with noisy syndrome measurement (Sec. 7, finite T)";
+  Printf.printf
+    "L rounds of measurement, qubit error p and measurement error q = p per\n\
+     round; space-time (union-find) decoding of detection events\n\n";
+  let ls = [ 4; 6; 8 ] in
+  let ps = [ 0.005; 0.01; 0.02; 0.03; 0.04 ] in
+  Printf.printf "%8s" "p \\ L";
+  List.iter (fun l -> Printf.printf " %9d" l) ls;
+  print_newline ();
+  List.iter
+    (fun p ->
+      Printf.printf "%8.3f" p;
+      List.iter
+        (fun l ->
+          let r = Toric.Noisy_memory.run ~l ~rounds:l ~p ~q:p ~trials rng in
+          Printf.printf " %9.4f" r.rate)
+        ls;
+      print_newline ())
+    ps;
+  print_endline
+    "\nthe threshold drops from ~0.10 (perfect measurement, E10) to ~0.025:\n\
+     when even looking at the medium is noisy, the syndrome history must\n\
+     be decoded in space-time — Sec. 7's finite-temperature operation."
+
+(* --------------------------------------------------------------- E20 *)
+
+let e20 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 20 |] in
+  header
+    "E20 Maximal parallelism vs storage errors (Sec. 6, third bullet)";
+  let circuit = Ft.Steane_ec.syndrome_extraction_circuit () in
+  let d_par = Circuit.depth circuit in
+  let d_seq = Circuit.length circuit in
+  Printf.printf
+    "one Steane double-syndrome extraction: depth %d when maximally\n\
+     parallel, %d operations when strictly serial (%.1fx longer exposure\n\
+     for every resting qubit)\n\n"
+    d_par d_seq
+    (float_of_int d_seq /. float_of_int d_par);
+  Printf.printf "%12s %18s %18s\n" "eps_store" "parallel schedule"
+    "serial schedule";
+  List.iter
+    (fun eps_store ->
+      let run exposure =
+        (Codes.Pauli_frame.memory_failure ~level:1
+           ~eps:(Float.min 0.75 (eps_store *. float_of_int exposure))
+           ~rounds:1 ~trials rng)
+          .rate
+      in
+      Printf.printf "%12.1e %18.5f %18.5f\n%!" eps_store (run d_par)
+        (run d_seq))
+    [ 1e-5; 3e-5; 1e-4; 3e-4; 1e-3 ];
+  print_endline
+    "\n(each resting qubit is exposed for one gadget-execution per EC cycle;\n\
+     serial hardware multiplies the effective storage error by the\n\
+     depth ratio, shrinking the storage-error budget accordingly —\n\
+     'parallel operation ... is critical for controlling storage errors.')"
+
+(* --------------------------------------------------------------- E22 *)
+
+let e22 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 22 |] in
+  header
+    "E22 Gate vs storage error thresholds (Eqs. 34-35)";
+  Printf.printf
+    "Steane-EC failure with only gate errors vs only storage errors\n\
+     (ancilla factories pipelined per Sec. 6: data idles one step per round)\n\n";
+  Printf.printf "%10s %16s %16s\n" "eps" "gates only" "storage only";
+  let gate_pts = ref [] and store_pts = ref [] in
+  List.iter
+    (fun eps ->
+      let run noise =
+        (Ft.Memory.steane_ec_failure ~noise
+           ~policy:Ft.Steane_ec.Repeat_if_nontrivial
+           ~verify:Ft.Steane_ec.Reject ~trials rng)
+          .rate
+      in
+      let g = run (Ft.Noise.gates_only eps) in
+      let st = run (Ft.Noise.storage_only eps) in
+      gate_pts := (eps, g) :: !gate_pts;
+      store_pts := (eps, st) :: !store_pts;
+      Printf.printf "%10.4g %16.5g %16.5g\n%!" eps g st)
+    [ 2e-3; 4e-3; 8e-3 ];
+  let fit pts =
+    Threshold.Pseudothreshold.fit (List.filter (fun (_, p) -> p > 0.0) pts)
+  in
+  (try
+     let fg = fit !gate_pts and fs = fit !store_pts in
+     Printf.printf
+       "\nfitted pseudo-thresholds: gates %.2e, storage %.2e (ratio %.1f)\n"
+       fg.threshold fs.threshold (fs.threshold /. fg.threshold)
+   with _ -> ());
+  print_endline
+    "the paper: 'the thresholds for gate and storage errors are\n\
+     essentially the same because the Steane method is well optimized for\n\
+     dealing with storage errors' (Eqs. 34-35: both ~6e-4) — here both\n\
+     land within a small factor of each other."
+
+(* --------------------------------------------------------------- E23 *)
+
+let e23 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 23 |] in
+  header
+    "E23 The same logical program on stronger hardware codes (Sec. 4.2/5)";
+  Printf.printf
+    "logical GHZ (H + 2 CNOTs, EC after every gate) on three blocks;\n\
+     identical program, different self-dual CSS code underneath\n\n";
+  Printf.printf "%10s %16s %16s\n" "eps" "steane [[7,1,3]]" "golay [[23,1,7]]";
+  let run gadget eps =
+    let failures = ref 0 in
+    for _ = 1 to trials do
+      let t =
+        Ft.Css_logical.create ~gadget ~blocks:3
+          ~noise:(Ft.Noise.gates_only eps) rng
+      in
+      Ft.Css_logical.h t 0;
+      Ft.Css_logical.cnot t ~control:0 ~target:1;
+      Ft.Css_logical.cnot t ~control:1 ~target:2;
+      let a = Ft.Css_logical.ideal_z t 0 in
+      let b = Ft.Css_logical.ideal_z t 1 in
+      let c = Ft.Css_logical.ideal_z t 2 in
+      if not (a = b && b = c) then incr failures
+    done;
+    float_of_int !failures /. float_of_int trials
+  in
+  let steane = Ft.Css_ec.for_steane () in
+  let golay = Ft.Css_ec.for_golay () in
+  List.iter
+    (fun eps ->
+      Printf.printf "%10.4g %16.5g %16.5g\n%!" eps (run steane eps)
+        (run golay eps))
+    [ 1e-3; 3e-3; 6e-3 ];
+  print_endline
+    "\nthe identical logical program runs unchanged on either code (the\n\
+     generalized transversal repertoire + Fig. 10 EC).  Near the gadget\n\
+     threshold the Golay block's ~4x fault locations overwhelm its\n\
+     distance-7 correction power and it LOSES — exactly the paper's 'if\n\
+     the reliability of our hardware is close to the accuracy threshold,\n\
+     then efficient codes will not work effectively; but as the hardware\n\
+     improves, we can use better codes' (compare E18, where at code\n\
+     capacity the Golay block wins at every rate)."
+
+(* --------------------------------------------------------------- E24 *)
+
+let e24 ~trials ~seed () =
+  let rng = Random.State.make [| seed; 24 |] in
+  header
+    "E24 Circuit-level toric memory: Kitaev's bare-ancilla scheme (Sec. 3.6)";
+  Printf.printf
+    "every plaquette measured through ONE unverified ancilla (|+>, four\n\
+     CZs, X readout) under the full gate/prep/meas noise model; L rounds;\n\
+     space-time union-find decoding\n\n";
+  let ls = [ 3; 5 ] in
+  Printf.printf "%10s" "eps \\ L";
+  List.iter (fun l -> Printf.printf " %9d" l) ls;
+  print_newline ();
+  List.iter
+    (fun eps ->
+      Printf.printf "%10.4f" eps;
+      List.iter
+        (fun l ->
+          let r =
+            Toric.Circuit_memory.run ~l ~rounds:l
+              ~noise:(Ft.Noise.uniform eps) ~trials rng
+          in
+          Printf.printf " %9.4f" r.rate)
+        ls;
+      print_newline ())
+    [ 0.001; 0.003; 0.006; 0.010 ];
+  print_endline
+    "\nthe protected phase survives bare ancillas — Kitaev's point in Sec. 3.6\n\
+     ('only a limited number of errors can feed back from the ancilla into\n\
+     the data') — at a threshold ~0.5-1%, an order below the\n\
+     phenomenological model's ~2.5% (E19) because every check now costs\n\
+     ~6 noisy operations."
+
+(* ------------------------------------------------------------- CLI *)
+
+open Cmdliner
+
+let trials_arg default =
+  Arg.(value & opt int default & info [ "trials" ] ~doc:"Monte-Carlo trials")
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"random seed")
+
+let simple name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let with_trials name doc default f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun trials seed -> f ~trials ~seed ())
+      $ trials_arg default $ seed_arg)
+
+let with_seed name doc f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun seed -> f ~seed ()) $ seed_arg)
+
+let all_cmd =
+  let run trials seed =
+    e1 ~trials ~seed ();
+    e2 ~trials ~seed ();
+    e3 ~trials ~seed ();
+    e4 ~trials ~seed ();
+    e5 ~trials:(trials * 2) ~seed ();
+    e6 ();
+    e6b ~trials:(max 5000 trials) ~seed ();
+    e7 ();
+    e8 ();
+    e9 ~trials:200 ~seed ();
+    e10 ~trials:(max 500 (trials / 4)) ~seed ();
+    e11 ~seed ();
+    e12 ~trials:(max 500 (trials / 4)) ~seed ();
+    e13 ();
+    e14 ~seed ();
+    e15 ~trials:(max 5000 trials) ~seed ();
+    e16 ~trials:(min 3000 trials) ~seed ();
+    e17 ~trials:800 ~seed ();
+    e18 ~trials:(max 20000 trials) ~seed ();
+    e19 ~trials:(max 1000 (trials / 6)) ~seed ();
+    e20 ~trials:(max 20000 trials) ~seed ();
+    e22 ~trials ~seed ();
+    e23 ~trials:(max 500 (trials / 8)) ~seed ();
+    e24 ~trials:400 ~seed ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"run every experiment")
+    Term.(const run $ trials_arg 4000 $ seed_arg)
+
+let () =
+  let cmds =
+    [ with_trials "e1" "memory fidelity (Eq. 14)" 20000 e1;
+      with_trials "e2" "FT vs non-FT extraction" 20000 e2;
+      with_trials "e3" "cat verification" 20000 e3;
+      with_trials "e4" "syndrome repetition" 20000 e4;
+      with_trials "e5" "pseudo-threshold" 20000 e5;
+      simple "e6" "concatenation flow (Eqs. 36-37)" e6;
+      with_trials "e6b" "concatenated Steane Monte Carlo" 30000 e6b;
+      simple "e7" "big-code scaling (Eqs. 30-32)" e7;
+      simple "e8" "factoring resources (Sec. 6)" e8;
+      with_trials "e9" "random vs systematic errors" 500 e9;
+      with_trials "e10" "toric-code threshold" 2000 e10;
+      with_seed "e11" "A5 flux-pair logic" e11;
+      with_trials "e12" "leakage detection" 2000 e12;
+      simple "e13" "code comparison" e13;
+      with_seed "e14" "fault-tolerant Toffoli" e14;
+      with_trials "e15" "biased-noise ablation" 30000 e15;
+      with_trials "e16" "generalized CSS EC" 5000 e16;
+      with_trials "e17" "level-2 vs level-1 EC gadget" 3000 e17;
+      with_trials "e18" "Golay vs concatenation" 50000 e18;
+      with_trials "e19" "toric with noisy measurement" 2000 e19;
+      with_trials "e20" "parallelism vs storage errors" 50000 e20;
+      with_trials "e22" "gate vs storage thresholds" 20000 e22;
+      with_trials "e23" "same program, stronger code" 2000 e23;
+      with_trials "e24" "circuit-level toric memory" 500 e24;
+      all_cmd ]
+  in
+  let info = Cmd.info "experiments" ~doc:"Preskill FTQC reproduction experiments" in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,115 @@
+(* "Digitalizing" decoherence (§2, Eq. 4): a data qubit of an encoded
+   block becomes entangled with an environment qubit — a genuinely
+   continuous error.  Measuring the error syndrome projects the
+   continuum onto "no error" or "definite bit flip", and after the
+   (discrete!) correction, the block returns exactly to the codespace
+   and the environment is completely disentangled.
+
+   Everything here is exact state-vector simulation: 7 data qubits +
+   1 environment + 1 syndrome ancilla.
+
+   Run with: dune exec examples/decoherence.exe *)
+
+open Ftqc
+module Sv = Statevec
+
+let data = 0 (* block occupies qubits 0..6 *)
+let env = 7
+let anc = 8
+
+(* measure one Z-type generator with the ancilla, returning the bit *)
+let measure_generator sv rng gen =
+  Sv.reset sv rng anc;
+  Sv.h sv anc;
+  for q = 0 to 6 do
+    match Pauli.letter gen q with
+    | Pauli.Z -> Sv.cz sv anc (data + q)
+    | Pauli.X -> Sv.cnot sv anc (data + q)
+    | Pauli.I -> ()
+    | Pauli.Y -> assert false
+  done;
+  Sv.h sv anc;
+  Sv.measure sv rng anc
+
+let codespace_check sv =
+  Array.for_all
+    (fun g ->
+      let g9 = Codes.Stabilizer_code.embed Codes.Steane.code ~offset:0 ~total:9 g in
+      Float.abs (Sv.expectation sv g9 -. 1.0) < 1e-9)
+    Codes.Steane.code.generators
+
+let () =
+  let rng = Random.State.make [| 20260704 |] in
+  let theta = 0.6 in
+  Printf.printf
+    "encoded |0bar>; environment couples to data qubit 4 with angle %.2f\n"
+    theta;
+  Printf.printf "(error amplitude sin θ = %.3f, error probability %.3f)\n\n"
+    (sin theta)
+    (sin theta *. sin theta);
+
+  let runs = 2000 in
+  let no_error = ref 0 and flagged = ref 0 and failures = ref 0 in
+  for _ = 1 to runs do
+    let sv = Sv.create 9 in
+    ignore (Sv.run ~rng sv
+        (Circuit.map_qubits ~num_qubits:9 ~f:Fun.id
+           (Codes.Steane.encoding_circuit ())));
+    (* the continuous entangling interaction of Eq. (4):
+       |d⟩|0⟩_env → cos θ |d⟩|0⟩ + sin θ (X₄|d⟩)|1⟩ *)
+    Sv.apply_1q sv
+      (Qmath.Cmat.of_lists
+         [ [ Qmath.Cx.re (cos theta); Qmath.Cx.re (-.sin theta) ];
+           [ Qmath.Cx.re (sin theta); Qmath.Cx.re (cos theta) ] ])
+      env;
+    Sv.cnot sv env (data + 4);
+    (* block now entangled with the environment: not in the codespace,
+       and the environment's reduced state is mixed *)
+    assert (not (codespace_check sv));
+    assert (Sv.purity sv ~keep:[ env ] < 1.0 -. 1e-6);
+    (* measure the three bit-flip syndrome bits *)
+    let s = Gf2.Bitvec.create 3 in
+    List.iteri
+      (fun i g -> if measure_generator sv rng g then Gf2.Bitvec.set s i true)
+      [ Pauli.of_string "IIIZZZZ"; Pauli.of_string "IZZIIZZ";
+        Pauli.of_string "ZIZIZIZ" ];
+    (* decode: the syndrome points at the flipped qubit, or at none *)
+    let v =
+      (if Gf2.Bitvec.get s 0 then 4 else 0)
+      + (if Gf2.Bitvec.get s 1 then 2 else 0)
+      + if Gf2.Bitvec.get s 2 then 1 else 0
+    in
+    (if v = 0 then incr no_error
+     else begin
+       incr flagged;
+       Sv.x sv (data + v - 1)
+     end);
+    (* after correction: back in the codespace exactly, logical intact,
+       environment disentangled (the codespace projector has
+       expectation 1, so the state factorizes) *)
+    if
+      not
+        (codespace_check sv
+        && Float.abs
+             (Sv.expectation sv
+                (Codes.Stabilizer_code.embed Codes.Steane.code ~offset:0
+                   ~total:9 Codes.Steane.code.logical_z.(0))
+             -. 1.0)
+           < 1e-9)
+    then incr failures;
+    (* the environment is exactly pure again: provably disentangled *)
+    if Float.abs (Sv.purity sv ~keep:[ env ] -. 1.0) > 1e-9 then
+      incr failures
+  done;
+  Printf.printf "%d runs: syndrome said 'no error' %d times (expect ~%.0f),\n"
+    runs !no_error
+    (float_of_int runs *. (cos theta *. cos theta));
+  Printf.printf "'qubit 4 flipped' %d times (expect ~%.0f)\n" !flagged
+    (float_of_int runs *. (sin theta *. sin theta));
+  Printf.printf
+    "recovery failures: %d — after every single run the block is exactly\n"
+    !failures;
+  print_endline
+    "back in the codespace with the logical qubit intact and the\n\
+     environment disentangled: the continuous error was digitalized by\n\
+     the syndrome measurement, exactly as §2 promises."

@@ -1,0 +1,44 @@
+(* A complete fault-tolerant logical computation (§4–§5 in action):
+   three logical qubits on Steane blocks, a GHZ-preparation circuit
+   built from transversal gates with an error-correction cycle after
+   every logical gate, run at several physical error rates, and judged
+   by its logical correlations.
+
+   Run with: dune exec examples/ft_computation.exe -- [trials] *)
+
+open Ftqc
+
+let () =
+  let trials =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+  in
+  let rng = Random.State.make [| 808 |] in
+  Printf.printf
+    "logical GHZ on 3 Steane blocks (H, CNOT, CNOT + EC after each gate)\n";
+  Printf.printf "%d trials per point; judged by ideal readout\n\n" trials;
+  Printf.printf "%10s %14s %16s\n" "eps" "GHZ intact" "physical gates";
+  List.iter
+    (fun eps ->
+      let ok = ref 0 and gates = ref 0 in
+      for _ = 1 to trials do
+        let t =
+          Ft.Logical.create ~blocks:3 ~noise:(Ft.Noise.gates_only eps) rng
+        in
+        Ft.Logical.h t 0;
+        Ft.Logical.cnot t ~control:0 ~target:1;
+        Ft.Logical.cnot t ~control:1 ~target:2;
+        gates := !gates + Ft.Sim.gate_count (Ft.Logical.sim t);
+        let a = Ft.Logical.ideal_z t 0 in
+        let b = Ft.Logical.ideal_z t 1 in
+        let c = Ft.Logical.ideal_z t 2 in
+        if a = b && b = c then incr ok
+      done;
+      Printf.printf "%10.1e %14.3f %16d\n%!" eps
+        (float_of_int !ok /. float_of_int trials)
+        (!gates / trials))
+    [ 0.0; 1e-4; 3e-4; 1e-3; 3e-3 ];
+  print_endline
+    "\neach trial runs ~1000 noisy physical operations; the logical GHZ\n\
+     correlations survive while eps stays below the gadget's threshold\n\
+     scale, exactly the paper's promise of arbitrarily long reliable\n\
+     computation from imperfect parts."

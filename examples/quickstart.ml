@@ -1,0 +1,62 @@
+(* Quickstart: encode a qubit with Steane's 7-qubit code, hit it with
+   an error, extract the syndrome fault-tolerantly, recover, and read
+   the logical qubit back out.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ftqc
+
+let () =
+  let rng = Random.State.make [| 42 |] in
+
+  (* 1. Encode |1bar> exactly on the state-vector simulator using the
+        Fig. 3 encoding circuit. *)
+  let sv = Statevec.create 7 in
+  Statevec.x sv Codes.Steane.input_qubit;
+  ignore (Statevec.run ~rng sv (Codes.Steane.encoding_circuit ()));
+  let one = Statevec.of_amplitudes (Codes.Steane.logical_one_amplitudes ()) in
+  Printf.printf "encoded |1bar> fidelity with Eq. (7): %.6f\n"
+    (Statevec.fidelity sv one);
+
+  (* 2. Same state on the stabilizer simulator, then corrupt it. *)
+  let code = Codes.Steane.code in
+  let tab = Codes.Stabilizer_code.prepare_logical_zero code in
+  let error = Pauli.of_string "IIYIIII" in
+  Tableau.apply_pauli tab error;
+  Printf.printf "injected error: %s\n" (Pauli.to_string error);
+
+  (* 3. Diagnose: the 6-bit syndrome of Eq. (18). *)
+  let syndrome = Codes.Stabilizer_code.ideal_recover code tab rng in
+  Printf.printf "measured syndrome: %s (bit flips | phase flips)\n"
+    (Gf2.Bitvec.to_string syndrome);
+
+  (* 4. Read out the logical qubit: still |0bar>. *)
+  let outcome = Codes.Stabilizer_code.logical_measure_z code tab rng 0 in
+  Printf.printf "logical readout after recovery: |%dbar>  (expected |0bar>)\n"
+    (if outcome then 1 else 0);
+
+  (* 5. The same recovery as a noisy fault-tolerant gadget: Steane-style
+        EC with verified ancilla blocks at gate error 1e-3. *)
+  let noise = Ft.Noise.gates_only 1e-3 in
+  let sim = Ft.Sim.create ~n:21 ~noise rng in
+  let tab = Ft.Sim.tableau sim in
+  Array.iter
+    (fun g ->
+      ignore
+        (Tableau.postselect_pauli tab
+           (Codes.Stabilizer_code.embed code ~offset:0 ~total:21 g)
+           ~outcome:false))
+    code.generators;
+  ignore
+    (Tableau.postselect_pauli tab
+       (Codes.Stabilizer_code.embed code ~offset:0 ~total:21 code.logical_z.(0))
+       ~outcome:false);
+  let rounds =
+    Ft.Steane_ec.recover sim ~policy:Ft.Steane_ec.Repeat_if_nontrivial
+      ~verify:Ft.Steane_ec.Reject ~data:0 ~ancilla:7 ~checker:14
+  in
+  Printf.printf
+    "noisy FT recovery used %d syndrome rounds, %d gates, %d faults injected\n"
+    rounds (Ft.Sim.gate_count sim) (Ft.Sim.fault_count sim);
+  Printf.printf "block still reads |0bar>: %b\n"
+    (not (Ft.Sim.ideal_measure_logical_z sim code ~offset:0))

@@ -1,0 +1,78 @@
+module Perm = Group.Perm
+module Fg = Group.Finite_group
+
+let derived_series group =
+  let rec loop g acc =
+    let d = Fg.derived_subgroup g in
+    if Fg.order d = Fg.order g then List.rev (Fg.order g :: acc)
+    else loop d (Fg.order g :: acc)
+  in
+  loop group []
+
+let is_perfect group =
+  Fg.order group > 1
+  && Fg.order (Fg.derived_subgroup group) = Fg.order group
+
+let commutator_closure_depth group ~max_depth =
+  let elems = Array.of_list (Fg.elements group) in
+  let module PS = Set.Make (struct
+    type t = Perm.t
+
+    let compare = Perm.compare
+  end) in
+  let all_nontrivial =
+    Array.fold_left
+      (fun acc p -> if Perm.is_identity p then acc else PS.add p acc)
+      PS.empty elems
+  in
+  let step s =
+    PS.fold
+      (fun a acc ->
+        PS.fold
+          (fun b acc ->
+            let c = Perm.commutator a b in
+            if Perm.is_identity c then acc else PS.add c acc)
+          s acc)
+      s PS.empty
+  in
+  let rec loop s d =
+    if PS.is_empty s then Some d
+    else if d >= max_depth then None
+    else begin
+      let s' = step s in
+      if PS.equal s s' then None else loop s' (d + 1)
+    end
+  in
+  loop all_nontrivial 0
+
+let and_gadget_value ~x ~y a b =
+  let n = Perm.degree a in
+  let xa = if x then a else Perm.identity n in
+  let yb = if y then b else Perm.identity n in
+  Perm.commutator xa yb
+
+let find_noncommuting group =
+  let elems = Fg.elements group in
+  let rec outer = function
+    | [] -> None
+    | a :: rest -> (
+      let found =
+        List.find_opt
+          (fun b -> not (Perm.is_identity (Perm.commutator a b)))
+          elems
+      in
+      match found with Some b -> Some (a, b) | None -> outer rest)
+  in
+  outer elems
+
+let smallest_nonsolvable_check () =
+  let a5 = Fg.alternating 5 in
+  (not (Fg.is_solvable a5))
+  && is_perfect a5
+  && List.for_all Fg.is_solvable
+       ([ Fg.symmetric 4;
+          Fg.alternating 4;
+          Fg.dihedral 4;
+          Fg.dihedral 5;
+          Fg.dihedral 6 ]
+       @ List.init 58 (fun i -> Fg.cyclic (i + 2)))

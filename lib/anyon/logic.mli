@@ -1,0 +1,44 @@
+(** Computational power of conjugation dynamics (§7.4, E11).
+
+    Pull-throughs compose into conjugations by *words* in register
+    values; iterated gadgets bottom out in iterated commutators.  In a
+    group with a nontrivial perfect subgroup (A₅ is the smallest),
+    iterated commutators never die out, which is what lets
+    conjugation-generated classical logic compute unbounded AND/Toffoli
+    trees (Ogburn–Preskill found a 16-pull-through Toffoli over A₅; no
+    Toffoli exists over any smaller group).  In a solvable group the
+    derived series reaches the trivial group, so every commutator
+    gadget trivializes at bounded depth — the quantitative content of
+    the paper's conjecture that nonsolvability is necessary
+    (cf. Barrington, ref. 66). *)
+
+(** [derived_series group] — orders along G ⊇ [G,G] ⊇ … until
+    stable. *)
+val derived_series : Group.Finite_group.t -> int list
+
+(** [is_perfect group] — [G,G] = G with |G| > 1. *)
+val is_perfect : Group.Finite_group.t -> bool
+
+(** [commutator_closure_depth group ~max_depth] — iterate
+    S₀ = G∖\{e\}, S_{d+1} = \{ [a,b] ≠ e : a, b ∈ S_d \}; the depth at
+    which S becomes empty ([Some d]), or [None] when it stabilizes
+    nonempty (unbounded AND trees survive — the nonsolvable case). *)
+val commutator_closure_depth :
+  Group.Finite_group.t -> max_depth:int -> int option
+
+(** [and_gadget_value ~x ~y a b] — the Barrington AND gadget: with
+    bit false ↦ identity and bit true ↦ the given element, the gadget
+    value [x·a, y·b] is ≠ e exactly when both bits are set (provided
+    [a, b] ≠ e).  Returns the commutator of the encoded values. *)
+val and_gadget_value :
+  x:bool -> y:bool -> Group.Perm.t -> Group.Perm.t -> Group.Perm.t
+
+(** [find_noncommuting group] — some pair (a, b) with [a,b] ≠ e, or
+    [None] for abelian groups. *)
+val find_noncommuting :
+  Group.Finite_group.t -> (Group.Perm.t * Group.Perm.t) option
+
+(** [smallest_nonsolvable_check ()] — verifies that A₅ is nonsolvable
+    while the standard groups of smaller order in this library (S₄,
+    A₄, D₄…D₆, all cyclic up to 59) are solvable. *)
+val smallest_nonsolvable_check : unit -> bool

@@ -1,0 +1,102 @@
+module Perm = Group.Perm
+module Fg = Group.Finite_group
+module Cx = Qmath.Cx
+
+type t = {
+  class_elems : Perm.t array;
+  index : (Perm.t, int) Hashtbl.t;
+  amps : Cx.t array;
+}
+
+let build group ~class_rep =
+  let cls = Array.of_list (Fg.conjugacy_class group class_rep) in
+  let index = Hashtbl.create (Array.length cls) in
+  Array.iteri (fun i u -> Hashtbl.add index u i) cls;
+  (cls, index)
+
+let create group ~class_rep =
+  let class_elems, index = build group ~class_rep in
+  let amps = Array.make (Array.length class_elems) Cx.zero in
+  amps.(Hashtbl.find index class_rep) <- Cx.one;
+  { class_elems; index; amps }
+
+let dimension t = Array.length t.class_elems
+
+let charge_zero group ~class_rep =
+  let class_elems, index = build group ~class_rep in
+  let d = Array.length class_elems in
+  let a = Cx.re (1.0 /. sqrt (float_of_int d)) in
+  { class_elems; index; amps = Array.make d a }
+
+let amplitude t u =
+  match Hashtbl.find_opt t.index u with
+  | Some i -> t.amps.(i)
+  | None -> Cx.zero
+
+let conjugate_by t v =
+  let d = dimension t in
+  let fresh = Array.make d Cx.zero in
+  for i = 0 to d - 1 do
+    let target = Perm.conj t.class_elems.(i) v in
+    match Hashtbl.find_opt t.index target with
+    | Some j -> fresh.(j) <- Cx.add fresh.(j) t.amps.(i)
+    | None ->
+      invalid_arg "Pair_sim.conjugate_by: conjugation left the class"
+  done;
+  Array.blit fresh 0 t.amps 0 d
+
+let prob_flux t u = Cx.norm2 (amplitude t u)
+
+let measure_flux t rng =
+  let r = ref (Random.State.float rng 1.0) in
+  let chosen = ref (dimension t - 1) in
+  (try
+     for i = 0 to dimension t - 1 do
+       r := !r -. Cx.norm2 t.amps.(i);
+       if !r <= 0.0 then begin
+         chosen := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let u = t.class_elems.(!chosen) in
+  Array.fill t.amps 0 (dimension t) Cx.zero;
+  t.amps.(!chosen) <- Cx.one;
+  u
+
+let measure_charge t rng ~projectile =
+  if not (Perm.is_identity (Perm.compose projectile projectile)) then
+    invalid_arg "Pair_sim.measure_charge: projectile must be an involution";
+  let d = dimension t in
+  (* the monodromy permutation π: i ↦ index of v⁻¹ u_i v *)
+  let pi =
+    Array.init d (fun i ->
+        match
+          Hashtbl.find_opt t.index (Perm.conj t.class_elems.(i) projectile)
+        with
+        | Some j -> j
+        | None ->
+          invalid_arg "Pair_sim.measure_charge: conjugation left the class")
+  in
+  (* ± components: ψ± = (ψ ± πψ)/2 *)
+  let plus = Array.make d Cx.zero and minus = Array.make d Cx.zero in
+  for i = 0 to d - 1 do
+    let swapped = t.amps.(pi.(i)) in
+    plus.(i) <- Cx.scale 0.5 (Cx.add t.amps.(i) swapped);
+    minus.(i) <- Cx.scale 0.5 (Cx.sub t.amps.(i) swapped)
+  done;
+  let norm2 a = Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 a in
+  let p_plus = norm2 plus in
+  let p_minus = norm2 minus in
+  let outcome_minus =
+    p_minus > 1e-12
+    && (p_plus <= 1e-12 || Random.State.float rng 1.0 < p_minus /. (p_plus +. p_minus))
+  in
+  let chosen = if outcome_minus then minus else plus in
+  let n = sqrt (norm2 chosen) in
+  if n <= 1e-12 then
+    invalid_arg "Pair_sim.measure_charge: zero-probability branch";
+  for i = 0 to d - 1 do
+    t.amps.(i) <- Cx.scale (1.0 /. n) chosen.(i)
+  done;
+  outcome_minus

@@ -1,0 +1,49 @@
+(** Quantum simulation of one flux pair over a conjugacy class
+    (§7.3–7.4, Eqs. 39, 42–44 and Figs. 18/22).
+
+    The Hilbert space is spanned by flux eigenstates |u, u⁻¹⟩ for u
+    ranging over one conjugacy class C of G (local physics cannot
+    distinguish conjugate fluxes, so superpositions within a class are
+    protected — Eq. 39).  Supported operations:
+    - conjugation by a calibrated flux v (the pull-through, a
+      permutation of C);
+    - flux measurement (Fig. 18): projective measurement in the
+      flux basis, implemented as repeated interferometry;
+    - charge measurement with a v-projectile (Fig. 22): projective
+      measurement of the conjugation-by-v operator onto its ±1
+      eigenspaces, the tool that creates the |±⟩ states of Eq. (43);
+    - preparation of the charge-zero pair of Eq. (44), the uniform
+      superposition over the class. *)
+
+type t
+
+(** [create group ~class_rep] — the pair Hilbert space over the
+    conjugacy class of [class_rep], initialized to |class_rep⟩. *)
+val create : Group.Finite_group.t -> class_rep:Group.Perm.t -> t
+
+(** [dimension t] — the class size. *)
+val dimension : t -> int
+
+(** [charge_zero group ~class_rep] — Eq. (44): the uniform
+    superposition Σ_u |u, u⁻¹⟩ over the class. *)
+val charge_zero : Group.Finite_group.t -> class_rep:Group.Perm.t -> t
+
+(** [amplitude t u] — ⟨u|ψ⟩. *)
+val amplitude : t -> Group.Perm.t -> Qmath.Cx.t
+
+(** [conjugate_by t v] — pull the pair through a calibrated |v,v⁻¹⟩
+    pair: |u⟩ ↦ |v⁻¹uv⟩.  [v] need not lie in the class. *)
+val conjugate_by : t -> Group.Perm.t -> unit
+
+(** [measure_flux t rng] — Fig. 18: project onto a flux eigenstate,
+    returning the measured flux. *)
+val measure_flux : t -> Random.State.t -> Group.Perm.t
+
+(** [measure_charge t rng ~projectile] — Fig. 22: project onto the ±1
+    eigenspaces of conjugation-by-[projectile] ([projectile] must be
+    an involution so the monodromy squares to 1); returns [false] for
+    the +1 (symmetric, e.g. |+⟩) outcome. *)
+val measure_charge : t -> Random.State.t -> projectile:Group.Perm.t -> bool
+
+(** [prob_flux t u] — Born probability of flux [u]. *)
+val prob_flux : t -> Group.Perm.t -> float

@@ -1,0 +1,33 @@
+module Perm = Group.Perm
+
+type t = { degree : int; fluxes : Perm.t array }
+
+let create ~degree fluxes =
+  List.iter
+    (fun p ->
+      if Perm.degree p <> degree then
+        invalid_arg "Register.create: degree mismatch")
+    fluxes;
+  { degree; fluxes = Array.of_list fluxes }
+
+let num_pairs t = Array.length t.fluxes
+let flux t i = t.fluxes.(i)
+
+let pull_through t ~outer ~inner =
+  if outer = inner then invalid_arg "Register.pull_through: same pair";
+  t.fluxes.(inner) <- Perm.conj t.fluxes.(inner) t.fluxes.(outer)
+
+let pull_through_inverse t ~outer ~inner =
+  if outer = inner then invalid_arg "Register.pull_through_inverse: same pair";
+  t.fluxes.(inner) <-
+    Perm.conj t.fluxes.(inner) (Perm.inverse t.fluxes.(outer))
+
+let encode_bit ~zero ~one b = if b then one else zero
+
+let paper_a5_encoding () =
+  let u0 = Perm.of_cycles 5 [ [ 1; 2; 5 ] ] in
+  let u1 = Perm.of_cycles 5 [ [ 2; 3; 4 ] ] in
+  let v = Perm.of_cycles 5 [ [ 1; 4 ]; [ 3; 5 ] ] in
+  (u0, u1, v)
+
+let not_gate t ~data ~not_pair = pull_through t ~outer:not_pair ~inner:data

@@ -1,0 +1,44 @@
+(** Classical flux-pair registers (§7.3, Figs. 19–21).
+
+    A register holds fluxon–antifluxon pairs |u, u⁻¹⟩, represented by
+    the flux u of the first member.  The only interaction is the
+    *pull-through* of Eq. (41): passing pair [inner] through pair
+    [outer] conjugates the inner flux by the outer flux and leaves the
+    outer pair unchanged.  Calibrated constant pairs from the "Flux
+    Bureau of Standards" (Fig. 19) are modelled as ordinary registers
+    initialized to known values.
+
+    On flux eigenstates these dynamics are classical reversible
+    computation; the quantum layer (superpositions and charge
+    measurement) lives in {!Pair_sim}. *)
+
+type t
+
+(** [create ~degree fluxes] — registers initialized to the given
+    fluxes (permutations of the same degree). *)
+val create : degree:int -> Group.Perm.t list -> t
+
+val num_pairs : t -> int
+
+(** [flux t i] — the current flux of pair [i]. *)
+val flux : t -> int -> Group.Perm.t
+
+(** [pull_through t ~outer ~inner] — Eq. (41):
+    u_inner ← u_outer⁻¹ · u_inner · u_outer. *)
+val pull_through : t -> outer:int -> inner:int -> unit
+
+(** [pull_through_inverse t ~outer ~inner] — the reverse move
+    (conjugation by u_outer⁻¹), i.e. pulling the pair back. *)
+val pull_through_inverse : t -> outer:int -> inner:int -> unit
+
+(** [encode_bit ~zero ~one b] — the flux encoding a classical bit. *)
+val encode_bit : zero:Group.Perm.t -> one:Group.Perm.t -> bool -> Group.Perm.t
+
+(** [paper_a5_encoding ()] — Eq. (45): u₀ = (125), u₁ = (234) in A₅,
+    with the NOT-pair flux v = (14)(35); returns (u0, u1, v). *)
+val paper_a5_encoding : unit -> Group.Perm.t * Group.Perm.t * Group.Perm.t
+
+(** [not_gate t ~data ~not_pair] — Fig. 21: pull the data pair through
+    the NOT pair.  With the Eq. (45) encoding this swaps u₀ ↔ u₁
+    because v is an involution conjugating u₀ to u₁. *)
+val not_gate : t -> data:int -> not_pair:int -> unit

@@ -1,0 +1,125 @@
+module Perm = Group.Perm
+
+type move = { outer : int; inner : int; dir : [ `Fwd | `Bwd ] }
+type program = move list
+
+let apply_move fluxes { outer; inner; dir } =
+  let fresh = Array.copy fluxes in
+  let by =
+    match dir with
+    | `Fwd -> fluxes.(outer)
+    | `Bwd -> Perm.inverse fluxes.(outer)
+  in
+  fresh.(inner) <- Perm.conj fluxes.(inner) by;
+  fresh
+
+let apply_program ~fluxes prog = List.fold_left apply_move fluxes prog
+
+(* One BFS state tracks the registers simultaneously for every input
+   assignment (the program is input-independent, so its action on each
+   assignment evolves in parallel). *)
+let state_key states =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun fluxes ->
+      Array.iter
+        (fun p ->
+          Array.iter
+            (fun i -> Buffer.add_char buf (Char.chr i))
+            (Perm.to_array p))
+        fluxes)
+    states;
+  Buffer.contents buf
+
+let all_inputs k =
+  List.init (1 lsl k) (fun mask ->
+      List.init k (fun j -> (mask lsr j) land 1 = 1))
+
+let search ~encodings ~ancillas ~targets ~max_depth =
+  let k = List.length encodings in
+  let encodings = Array.of_list encodings in
+  let ancillas = Array.of_list ancillas in
+  let r = k + Array.length ancillas in
+  if r < 2 then invalid_arg "Synthesis.search: need at least two pairs";
+  let inputs = all_inputs k in
+  let initial =
+    Array.of_list
+      (List.map
+         (fun bits ->
+           Array.init r (fun j ->
+               if j < k then begin
+                 let zero, one = encodings.(j) in
+                 if List.nth bits j then one else zero
+               end
+               else ancillas.(j - k)))
+         inputs)
+  in
+  let goal states =
+    List.for_all2
+      (fun bits fluxes ->
+        let out = targets bits in
+        List.for_all2
+          (fun j want ->
+            let zero, one = encodings.(j) in
+            Perm.equal fluxes.(j) (if want then one else zero))
+          (List.init k Fun.id) out)
+      inputs (Array.to_list states)
+  in
+  let moves =
+    List.concat_map
+      (fun outer ->
+        List.concat_map
+          (fun inner ->
+            if outer = inner then []
+            else
+              [ { outer; inner; dir = `Fwd }; { outer; inner; dir = `Bwd } ])
+          (List.init r Fun.id))
+      (List.init r Fun.id)
+  in
+  let visited = Hashtbl.create 4096 in
+  Hashtbl.add visited (state_key initial) ();
+  let queue = Queue.create () in
+  Queue.add (initial, [], 0) queue;
+  let result = ref None in
+  (try
+     if goal initial then raise Exit;
+     while not (Queue.is_empty queue) do
+       let states, prog_rev, depth = Queue.take queue in
+       if depth < max_depth then
+         List.iter
+           (fun m ->
+             let states' = Array.map (fun f -> apply_move f m) states in
+             let key = state_key states' in
+             if not (Hashtbl.mem visited key) then begin
+               Hashtbl.add visited key ();
+               let prog_rev' = m :: prog_rev in
+               if goal states' then begin
+                 result := Some (List.rev prog_rev');
+                 raise Exit
+               end;
+               Queue.add (states', prog_rev', depth + 1) queue
+             end)
+           moves
+     done
+   with Exit -> ());
+  (match !result with
+  | None -> if goal initial then result := Some []
+  | Some _ -> ());
+  !result
+
+let not_via_pull_through () =
+  let u0, u1, v = Register.paper_a5_encoding () in
+  search ~encodings:[ (u0, u1) ] ~ancillas:[ v ]
+    ~targets:(function [ b ] -> [ not b ] | _ -> assert false)
+    ~max_depth:2
+
+let no_cnot_without_ancilla ~max_depth =
+  let u0, u1, _ = Register.paper_a5_encoding () in
+  search
+    ~encodings:[ (u0, u1); (u0, u1) ]
+    ~ancillas:[]
+    ~targets:(function
+      | [ a; b ] -> [ a; a <> b ]
+      | _ -> assert false)
+    ~max_depth
+  = None

@@ -1,0 +1,50 @@
+(** Exhaustive synthesis of flux-pair logic (§7.4).
+
+    The primitive repertoire is the pull-through of Eq. (41) — either
+    direction, between any two pairs, including calibrated constant
+    pairs from the Flux Bureau of Standards.  A program is a sequence
+    of such moves; its action on computational registers is a
+    classical reversible function of the encoded bits.  [search]
+    breadth-first enumerates programs up to a depth bound and returns
+    the shortest one realizing a requested truth table, or [None]
+    after exhausting the space — which, for small depths, *proves*
+    no such gadget exists (the quantitative face of the Ogburn–
+    Preskill observation that the A₅ Toffoli needs as many as 16
+    moves and 6 ancilla pairs, and that no group smaller than A₅
+    admits one at all). *)
+
+(** A single move: pull pair [inner] through pair [outer] ([`Fwd]:
+    conjugate by the outer flux; [`Bwd]: by its inverse). *)
+type move = { outer : int; inner : int; dir : [ `Fwd | `Bwd ] }
+
+type program = move list
+
+(** [apply_program ~fluxes prog] — run a program on initial fluxes,
+    returning the final flux array. *)
+val apply_program : fluxes:Group.Perm.t array -> program -> Group.Perm.t array
+
+(** [search ~encodings ~ancillas ~targets ~max_depth] looks for a
+    program over [List.length encodings] data pairs plus
+    [List.length ancillas] constant pairs such that, for *every*
+    assignment of data bits, running the program sends the data
+    registers to the [targets] encoding of the required output bits
+    (ancilla finals unconstrained).
+
+    [encodings] gives each data register's (zero, one) fluxes;
+    [targets] maps the input bit tuple to the required output bit
+    tuple.  Returns the shortest program found. *)
+val search :
+  encodings:(Group.Perm.t * Group.Perm.t) list ->
+  ancillas:Group.Perm.t list ->
+  targets:(bool list -> bool list) ->
+  max_depth:int ->
+  program option
+
+(** [not_via_pull_through ()] — the Fig. 21 NOT rediscovered by
+    {!search} (depth 1). *)
+val not_via_pull_through : unit -> program option
+
+(** [no_cnot_without_ancilla ~max_depth] — [true] when exhaustive
+    search proves that no program on the two data pairs alone (paper
+    encoding, no ancillas) realizes a CNOT within [max_depth] moves. *)
+val no_cnot_without_ancilla : max_depth:int -> bool

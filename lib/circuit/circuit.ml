@@ -1,0 +1,247 @@
+type gate =
+  | H of int
+  | X of int
+  | Y of int
+  | Z of int
+  | S of int
+  | Sdg of int
+  | Cnot of int * int
+  | Cz of int * int
+  | Swap of int * int
+  | Toffoli of int * int * int
+
+type instr =
+  | Gate of gate
+  | Measure of { qubit : int; cbit : int }
+  | Measure_x of { qubit : int; cbit : int }
+  | Reset of int
+  | Cond of { cbit : int; gate : gate }
+  | Cond_parity of { cbits : int list; gate : gate }
+  | Tick
+
+type t = { nq : int; nc : int; rev_instrs : instr list; len : int }
+
+let create ?(num_cbits = 0) ~num_qubits () =
+  if num_qubits < 0 || num_cbits < 0 then invalid_arg "Circuit.create";
+  { nq = num_qubits; nc = num_cbits; rev_instrs = []; len = 0 }
+
+let num_qubits c = c.nq
+let num_cbits c = c.nc
+let instrs c = List.rev c.rev_instrs
+let length c = c.len
+
+let gate_qubits = function
+  | H q | X q | Y q | Z q | S q | Sdg q -> [ q ]
+  | Cnot (a, b) | Cz (a, b) | Swap (a, b) -> [ a; b ]
+  | Toffoli (a, b, t) -> [ a; b; t ]
+
+let instr_qubits = function
+  | Gate g | Cond { gate = g; _ } | Cond_parity { gate = g; _ } ->
+    gate_qubits g
+  | Measure { qubit; _ } | Measure_x { qubit; _ } -> [ qubit ]
+  | Reset q -> [ q ]
+  | Tick -> []
+
+let instr_cbits = function
+  | Measure { cbit; _ } | Measure_x { cbit; _ } | Cond { cbit; _ } -> [ cbit ]
+  | Cond_parity { cbits; _ } -> cbits
+  | Gate _ | Reset _ | Tick -> []
+
+let validate c i =
+  let distinct qs =
+    let sorted = List.sort Int.compare qs in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> a = b || dup rest
+      | _ -> false
+    in
+    not (dup sorted)
+  in
+  let qs = instr_qubits i in
+  List.iter
+    (fun q ->
+      if q < 0 || q >= c.nq then
+        invalid_arg (Printf.sprintf "Circuit.add: qubit %d out of range" q))
+    qs;
+  if not (distinct qs) then invalid_arg "Circuit.add: repeated qubit operand";
+  List.iter
+    (fun b ->
+      if b < 0 || b >= c.nc then
+        invalid_arg (Printf.sprintf "Circuit.add: cbit %d out of range" b))
+    (instr_cbits i)
+
+let add c i =
+  validate c i;
+  { c with rev_instrs = i :: c.rev_instrs; len = c.len + 1 }
+
+let add_gate c g = add c (Gate g)
+let add_all c is = List.fold_left add c is
+
+let append a b =
+  if a.nq <> b.nq || a.nc <> b.nc then
+    invalid_arg "Circuit.append: register mismatch";
+  { a with rev_instrs = b.rev_instrs @ a.rev_instrs; len = a.len + b.len }
+
+let gate_count c =
+  List.length
+    (List.filter
+       (function Gate _ | Cond _ | Cond_parity _ -> true | _ -> false)
+       (instrs c))
+
+let measure_count c =
+  List.length
+    (List.filter
+       (function Measure _ | Measure_x _ -> true | _ -> false)
+       (instrs c))
+
+let tick_count c =
+  List.length (List.filter (function Tick -> true | _ -> false) (instrs c))
+
+let two_qubit_gate_count c =
+  List.length
+    (List.filter
+       (function
+         | Gate (Cnot _ | Cz _ | Swap _ | Toffoli _)
+         | Cond { gate = Cnot _ | Cz _ | Swap _ | Toffoli _; _ }
+         | Cond_parity { gate = Cnot _ | Cz _ | Swap _ | Toffoli _; _ } ->
+           true
+         | _ -> false)
+       (instrs c))
+
+let depth c =
+  let nq = max 1 c.nq and nc = max 1 c.nc in
+  let qubit_free = Array.make nq 0 in
+  let cbit_ready = Array.make nc 0 in
+  let overall = ref 0 in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Tick ->
+        (* a global time-step boundary *)
+        let m = Array.fold_left max 0 qubit_free in
+        Array.fill qubit_free 0 nq m
+      | _ ->
+        let qs = instr_qubits instr in
+        let cb_dependencies =
+          match instr with
+          | Cond { cbit; _ } -> [ cbit ]
+          | Cond_parity { cbits; _ } -> cbits
+          | _ -> []
+        in
+        let start =
+          List.fold_left
+            (fun acc b -> max acc cbit_ready.(b))
+            (List.fold_left (fun acc q -> max acc qubit_free.(q)) 0 qs)
+            cb_dependencies
+        in
+        let finish = start + 1 in
+        List.iter (fun q -> qubit_free.(q) <- finish) qs;
+        (match instr with
+        | Measure { cbit; _ } | Measure_x { cbit; _ } ->
+          cbit_ready.(cbit) <- finish
+        | _ -> ());
+        if finish > !overall then overall := finish)
+    (instrs c);
+  max !overall (Array.fold_left max 0 qubit_free)
+
+let is_clifford_gate = function Toffoli _ -> false | _ -> true
+
+let is_clifford c =
+  List.for_all
+    (function
+      | Gate g | Cond { gate = g; _ } | Cond_parity { gate = g; _ } ->
+        is_clifford_gate g
+      | _ -> true)
+    (instrs c)
+
+let inverse_gate = function
+  | S q -> Sdg q
+  | Sdg q -> S q
+  | (H _ | X _ | Y _ | Z _ | Cnot _ | Cz _ | Swap _ | Toffoli _) as g -> g
+
+let inverse c =
+  let rev =
+    List.map
+      (function
+        | Gate g -> Gate (inverse_gate g)
+        | Tick -> Tick
+        | Measure _ | Measure_x _ | Reset _ | Cond _ | Cond_parity _ ->
+          invalid_arg "Circuit.inverse: non-unitary instruction")
+      c.rev_instrs
+  in
+  { c with rev_instrs = List.rev rev }
+
+let map_gate f = function
+  | H q -> H (f q)
+  | X q -> X (f q)
+  | Y q -> Y (f q)
+  | Z q -> Z (f q)
+  | S q -> S (f q)
+  | Sdg q -> Sdg (f q)
+  | Cnot (a, b) -> Cnot (f a, f b)
+  | Cz (a, b) -> Cz (f a, f b)
+  | Swap (a, b) -> Swap (f a, f b)
+  | Toffoli (a, b, t) -> Toffoli (f a, f b, f t)
+
+let map_gate_qubits f g = map_gate f g
+
+let map_qubits ?num_qubits ?num_cbits ?(fc = Fun.id) ~f c =
+  let mapped =
+    List.map
+      (function
+        | Gate g -> Gate (map_gate f g)
+        | Measure { qubit; cbit } -> Measure { qubit = f qubit; cbit = fc cbit }
+        | Measure_x { qubit; cbit } ->
+          Measure_x { qubit = f qubit; cbit = fc cbit }
+        | Reset q -> Reset (f q)
+        | Cond { cbit; gate } -> Cond { cbit = fc cbit; gate = map_gate f gate }
+        | Cond_parity { cbits; gate } ->
+          Cond_parity { cbits = List.map fc cbits; gate = map_gate f gate }
+        | Tick -> Tick)
+      (instrs c)
+  in
+  let max_over extract init =
+    List.fold_left
+      (fun acc i -> List.fold_left max acc (extract i))
+      init mapped
+  in
+  let nq =
+    match num_qubits with
+    | Some n -> n
+    | None -> 1 + max_over instr_qubits (-1)
+  in
+  let nc =
+    match num_cbits with
+    | Some n -> n
+    | None -> 1 + max_over instr_cbits (-1)
+  in
+  List.fold_left add (create ~num_cbits:nc ~num_qubits:nq ()) mapped
+
+let pp_gate fmt = function
+  | H q -> Format.fprintf fmt "H %d" q
+  | X q -> Format.fprintf fmt "X %d" q
+  | Y q -> Format.fprintf fmt "Y %d" q
+  | Z q -> Format.fprintf fmt "Z %d" q
+  | S q -> Format.fprintf fmt "S %d" q
+  | Sdg q -> Format.fprintf fmt "S† %d" q
+  | Cnot (a, b) -> Format.fprintf fmt "CNOT %d %d" a b
+  | Cz (a, b) -> Format.fprintf fmt "CZ %d %d" a b
+  | Swap (a, b) -> Format.fprintf fmt "SWAP %d %d" a b
+  | Toffoli (a, b, t) -> Format.fprintf fmt "TOFFOLI %d %d %d" a b t
+
+let pp fmt c =
+  List.iteri
+    (fun i instr ->
+      if i > 0 then Format.pp_print_newline fmt ();
+      match instr with
+      | Gate g -> pp_gate fmt g
+      | Measure { qubit; cbit } -> Format.fprintf fmt "M %d -> c%d" qubit cbit
+      | Measure_x { qubit; cbit } ->
+        Format.fprintf fmt "MX %d -> c%d" qubit cbit
+      | Reset q -> Format.fprintf fmt "RESET %d" q
+      | Cond { cbit; gate } -> Format.fprintf fmt "IF c%d: %a" cbit pp_gate gate
+      | Cond_parity { cbits; gate } ->
+        Format.fprintf fmt "IF parity(%s): %a"
+          (String.concat "," (List.map string_of_int cbits))
+          pp_gate gate
+      | Tick -> Format.fprintf fmt "TICK")
+    (instrs c)

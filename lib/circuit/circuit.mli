@@ -1,0 +1,119 @@
+(** Quantum circuit intermediate representation.
+
+    A circuit is a sequence of instructions over [num_qubits] qubits
+    and [num_cbits] classical bits.  Unitary gates are the paper's
+    repertoire (Fig. 1, Eqs. 5/9/22): Pauli gates, the Hadamard
+    rotation R, the phase gate P, XOR (CNOT), CZ, SWAP and Toffoli.
+    Measurements are destructive Z-basis measurements recorded into
+    classical bits; classically controlled gates express the
+    recovery/repair steps ("large circles" of Fig. 9, arrows of
+    Fig. 13).  [Tick] marks a time step boundary, which noise models
+    use to inject storage errors on idle qubits. *)
+
+type gate =
+  | H of int  (** Hadamard rotation R, Eq. (9) *)
+  | X of int  (** NOT, Eq. (5) *)
+  | Y of int  (** Pauli Y *)
+  | Z of int  (** phase flip, Eq. (5) *)
+  | S of int  (** phase gate P = diag(1, i), Eq. (22) *)
+  | Sdg of int  (** P⁻¹ *)
+  | Cnot of int * int  (** XOR gate: [Cnot (control, target)] *)
+  | Cz of int * int
+  | Swap of int * int
+  | Toffoli of int * int * int
+      (** controlled-controlled-NOT [Toffoli (c1, c2, target)] *)
+
+type instr =
+  | Gate of gate
+  | Measure of { qubit : int; cbit : int }
+      (** destructive Z-basis measurement of [qubit] into [cbit] *)
+  | Measure_x of { qubit : int; cbit : int }
+      (** X-basis measurement (used when measuring cat-state parity) *)
+  | Reset of int  (** reset qubit to |0⟩ *)
+  | Cond of { cbit : int; gate : gate }
+      (** apply [gate] iff classical bit [cbit] = 1 *)
+  | Cond_parity of { cbits : int list; gate : gate }
+      (** apply [gate] iff the parity of the listed bits is odd *)
+  | Tick  (** time-step boundary for storage noise *)
+
+type t
+
+(** [create ~num_qubits ~num_cbits ()] is an empty circuit. *)
+val create : ?num_cbits:int -> num_qubits:int -> unit -> t
+
+val num_qubits : t -> int
+val num_cbits : t -> int
+
+(** [instrs c] is the instruction sequence in order. *)
+val instrs : t -> instr list
+
+(** [length c] is the number of instructions. *)
+val length : t -> int
+
+(** [add c i] appends an instruction (validating qubit/cbit ranges);
+    returns [c] for chaining. *)
+val add : t -> instr -> t
+
+(** [add_gate c g] = [add c (Gate g)]. *)
+val add_gate : t -> gate -> t
+
+(** [add_all c is] appends all. *)
+val add_all : t -> instr list -> t
+
+(** [append a b] concatenates two circuits over the same registers. *)
+val append : t -> t -> t
+
+(** [gate_qubits g] lists the qubits a gate touches (control first). *)
+val gate_qubits : gate -> int list
+
+(** [map_gate_qubits f g] relabels a single gate's qubits. *)
+val map_gate_qubits : (int -> int) -> gate -> gate
+
+(** [instr_qubits i] lists the qubits an instruction touches. *)
+val instr_qubits : instr -> int list
+
+(** [gate_count c] counts [Gate]/[Cond]/[Cond_parity] instructions;
+    [measure_count c] counts measurements; [tick_count c] counts
+    ticks; [two_qubit_gate_count c] counts entangling gates. *)
+val gate_count : t -> int
+
+val measure_count : t -> int
+val tick_count : t -> int
+val two_qubit_gate_count : t -> int
+
+(** [depth c] — circuit depth under maximal parallelism (§6's
+    assumption): greedy ASAP scheduling where an instruction starts as
+    soon as all its qubits (and, for classically controlled gates, all
+    earlier measurements of its cbits) are free.  [Tick]s force a new
+    layer boundary for every qubit. *)
+val depth : t -> int
+
+(** [is_clifford_gate g] is [false] only for [Toffoli]. *)
+val is_clifford_gate : gate -> bool
+
+(** [is_clifford c] is [true] when the circuit contains no Toffoli. *)
+val is_clifford : t -> bool
+
+(** [inverse_gate g] is the inverse of a unitary gate. *)
+val inverse_gate : gate -> gate
+
+(** [inverse c] reverses a measurement-free circuit, inverting each
+    gate; raises [Invalid_argument] if the circuit measures, resets or
+    classically controls. *)
+val inverse : t -> t
+
+(** [map_qubits ~f c] relabels qubits through [f] (e.g. to embed a
+    gadget into a larger register).  Classical bits are relabelled by
+    [fc] if given.  The new register sizes default to one past the
+    largest mapped index and may be widened explicitly with
+    [num_qubits]/[num_cbits]. *)
+val map_qubits :
+  ?num_qubits:int ->
+  ?num_cbits:int ->
+  ?fc:(int -> int) ->
+  f:(int -> int) ->
+  t ->
+  t
+
+(** [pp] prints one instruction per line in a human-readable form. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let sphere_volume ~n ~t =
+  let acc = ref 0 in
+  let pow3 = ref 1 in
+  for j = 0 to t do
+    if j > 0 then pow3 := !pow3 * 3;
+    acc := !acc + (binomial n j * !pow3)
+  done;
+  !acc
+
+let quantum_hamming_ok ~n ~k ~t = sphere_volume ~n ~t <= 1 lsl (n - k)
+let saturates_quantum_hamming ~n ~k ~t = sphere_volume ~n ~t = 1 lsl (n - k)
+let quantum_singleton_ok ~n ~k ~d = n - k >= 2 * (d - 1)
+
+let check_with ~d (code : Stabilizer_code.t) =
+  let t = (d - 1) / 2 in
+  ( quantum_hamming_ok ~n:code.n ~k:code.k ~t,
+    saturates_quantum_hamming ~n:code.n ~k:code.k ~t,
+    quantum_singleton_ok ~n:code.n ~k:code.k ~d )
+
+let check (code : Stabilizer_code.t) =
+  check_with ~d:(Stabilizer_code.distance code) code

@@ -1,0 +1,29 @@
+(** Quantum coding bounds (§2's "better codes can be constructed";
+    ref. 29 — the quantum Hamming bound the 5-qubit code saturates).
+
+    All arithmetic is exact (arbitrary-size integers are unnecessary at
+    these sizes; [float] would not be). *)
+
+(** [quantum_hamming_ok ~n ~k ~t] — the quantum Hamming bound for
+    nondegenerate codes: Σ_{j=0}^{t} C(n,j)·3^j ≤ 2^{n−k}. *)
+val quantum_hamming_ok : n:int -> k:int -> t:int -> bool
+
+(** [saturates_quantum_hamming ~n ~k ~t] — equality: a *perfect*
+    quantum code (the [[5,1,3]] code: 1 + 15 = 2⁴). *)
+val saturates_quantum_hamming : n:int -> k:int -> t:int -> bool
+
+(** [quantum_singleton_ok ~n ~k ~d] — the quantum Singleton (Knill–
+    Laflamme) bound: n − k ≥ 2(d − 1). *)
+val quantum_singleton_ok : n:int -> k:int -> d:int -> bool
+
+(** [check code] — evaluate both bounds for a code using its computed
+    distance; returns (hamming_ok, saturates_hamming, singleton_ok).
+    The Hamming bound only applies to nondegenerate codes, so
+    [hamming_ok = false] for a degenerate code (e.g. Shor's 9-qubit
+    code) is not a contradiction — the caller interprets it. *)
+val check : Stabilizer_code.t -> bool * bool * bool
+
+(** [check_with ~d code] — same, with the distance supplied by the
+    caller (for codes whose brute-force distance search is
+    infeasible, e.g. Golay). *)
+val check_with : d:int -> Stabilizer_code.t -> bool * bool * bool

@@ -1,0 +1,50 @@
+(* Substitute inner logicals for the letters of an outer operator:
+   X ↦ X̄, Z ↦ Z̄, Y ↦ i·X̄·Z̄ on the corresponding subblock. *)
+let lift_operator ~(inner : Stabilizer_code.t) ~total outer_op =
+  let n_in = inner.Stabilizer_code.n in
+  let acc = ref (Pauli.identity total) in
+  for i = 0 to Pauli.num_qubits outer_op - 1 do
+    let offset = i * n_in in
+    let embed p = Stabilizer_code.embed inner ~offset ~total p in
+    match Pauli.letter outer_op i with
+    | Pauli.I -> ()
+    | Pauli.X -> acc := Pauli.mul !acc (embed inner.logical_x.(0))
+    | Pauli.Z -> acc := Pauli.mul !acc (embed inner.logical_z.(0))
+    | Pauli.Y ->
+      let y_bar =
+        Pauli.mul_phase
+          (Pauli.mul (embed inner.logical_x.(0)) (embed inner.logical_z.(0)))
+          1
+      in
+      acc := Pauli.mul !acc y_bar
+  done;
+  if Pauli.phase outer_op = 2 then Pauli.neg !acc else !acc
+
+let concatenate (outer : Stabilizer_code.t) (inner : Stabilizer_code.t) =
+  if outer.k <> 1 || inner.k <> 1 then
+    invalid_arg "Concat.concatenate: only k = 1 codes supported";
+  let total = outer.n * inner.n in
+  let inner_gens =
+    List.concat_map
+      (fun block ->
+        Array.to_list
+          (Array.map
+             (Stabilizer_code.embed inner ~offset:(block * inner.n) ~total)
+             inner.generators))
+      (List.init outer.n Fun.id)
+  in
+  let outer_gens =
+    Array.to_list (Array.map (lift_operator ~inner ~total) outer.generators)
+  in
+  Stabilizer_code.make
+    ~name:(Printf.sprintf "%s∘%s" outer.name inner.name)
+    ~generators:(inner_gens @ outer_gens)
+    ~logical_x:[ lift_operator ~inner ~total outer.logical_x.(0) ]
+    ~logical_z:[ lift_operator ~inner ~total outer.logical_z.(0) ]
+
+let steane_level l =
+  if l < 1 then invalid_arg "Concat.steane_level: need l >= 1";
+  let rec build l =
+    if l = 1 then Steane.code else concatenate (build (l - 1)) Steane.code
+  in
+  build l

@@ -1,0 +1,15 @@
+(** Code concatenation (§5, Fig. 14): each qubit of the outer block
+    is itself a block of the inner code.  [concatenate outer inner]
+    with outer [[n₁,1]] and inner [[n₂,1]] yields [[n₁·n₂,1]]: the
+    generators are every inner generator on every subblock, plus the
+    outer generators with each letter replaced by the corresponding
+    inner logical operator.
+
+    [steane_level l] is the L-level concatenated Steane code of block
+    size 7^L (Fig. 14); [steane_level 1] = {!Steane.code}.  Only small
+    [l] is practical as an explicit code (7² = 49 qubits is cheap,
+    7³ = 343 still fine for the tableau). *)
+
+val concatenate : Stabilizer_code.t -> Stabilizer_code.t -> Stabilizer_code.t
+
+val steane_level : int -> Stabilizer_code.t

@@ -1,0 +1,85 @@
+(* Per-gate images of the single-qubit generators X_q and Z_q under
+   conjugation.  A general Pauli is conjugated by expanding it in the
+   canonical order i^phi . prod_q X^{x_q} Z^{z_q} and multiplying the
+   images in the same order -- conjugation preserves all commutation
+   relations, so the canonical-order product of images reassembles
+   exactly U.P.Udagger, sign included. *)
+
+let single = Pauli.single
+
+let img ~n (g : Circuit.gate) ~q ~letter =
+  (* letter is X or Z; qubits untouched by the gate map to
+     themselves *)
+  let self () = single n q letter in
+  let x_ = Pauli.X and z_ = Pauli.Z and y_ = Pauli.Y in
+  match (g, letter) with
+  | (H p, Pauli.X) when p = q -> single n q z_
+  | (H p, Pauli.Z) when p = q -> single n q x_
+  | (S p, Pauli.X) when p = q -> single n q y_
+  | (Sdg p, Pauli.X) when p = q -> Pauli.neg (single n q y_)
+  | ((S p | Sdg p), Pauli.Z) when p = q -> self ()
+  | (X p, Pauli.Z) when p = q -> Pauli.neg (self ())
+  | (X _, _) -> self ()
+  | (Z p, Pauli.X) when p = q -> Pauli.neg (self ())
+  | (Z _, _) -> self ()
+  | (Y p, _) when p = q -> Pauli.neg (self ())
+  | (Y _, _) -> self ()
+  | (Cnot (c, t), Pauli.X) when q = c ->
+    Pauli.mul (single n c x_) (single n t x_)
+  | (Cnot (c, t), Pauli.Z) when q = t ->
+    Pauli.mul (single n c z_) (single n t z_)
+  | (Cnot _, _) -> self ()
+  | (Cz (a, b), Pauli.X) when q = a ->
+    Pauli.mul (single n a x_) (single n b z_)
+  | (Cz (a, b), Pauli.X) when q = b ->
+    Pauli.mul (single n a z_) (single n b x_)
+  | (Cz _, _) -> self ()
+  | (Swap (a, b), _) when q = a -> single n b letter
+  | (Swap (a, b), _) when q = b -> single n a letter
+  | (Swap _, _) -> self ()
+  | ((H _ | S _ | Sdg _), _) -> self ()
+  | (Toffoli _, _) -> invalid_arg "Conjugate.gate: Toffoli is not Clifford"
+
+let gate (g : Circuit.gate) p =
+  let n = Pauli.num_qubits p in
+  (* phase of the canonical X^x Z^z form: letter phase plus i per Y *)
+  let y_count = ref 0 in
+  for q = 0 to n - 1 do
+    if Pauli.letter p q = Pauli.Y then incr y_count
+  done;
+  let acc = ref (Pauli.identity n) in
+  for q = 0 to n - 1 do
+    let l = Pauli.letter p q in
+    if l = Pauli.X || l = Pauli.Y then
+      acc := Pauli.mul !acc (img ~n g ~q ~letter:Pauli.X);
+    if l = Pauli.Z || l = Pauli.Y then
+      acc := Pauli.mul !acc (img ~n g ~q ~letter:Pauli.Z)
+  done;
+  Pauli.mul_phase !acc ((Pauli.phase p + !y_count) mod 4)
+
+let circuit c p =
+  List.fold_left
+    (fun acc instr ->
+      match instr with
+      | Circuit.Gate g -> gate g acc
+      | Circuit.Tick -> acc
+      | Circuit.Measure _ | Circuit.Measure_x _ | Circuit.Reset _
+      | Circuit.Cond _ | Circuit.Cond_parity _ ->
+        invalid_arg "Conjugate.circuit: unitary circuits only")
+    p (Circuit.instrs c)
+
+let random_clifford_circuit rng ~n ~gates =
+  let c = ref (Circuit.create ~num_qubits:n ()) in
+  for _ = 1 to gates do
+    let g : Circuit.gate =
+      match Random.State.int rng 3 with
+      | 0 -> H (Random.State.int rng n)
+      | 1 -> S (Random.State.int rng n)
+      | _ ->
+        let a = Random.State.int rng n in
+        let b = (a + 1 + Random.State.int rng (n - 1)) mod n in
+        Cnot (a, b)
+    in
+    c := Circuit.add_gate !c g
+  done;
+  !c

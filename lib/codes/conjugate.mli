@@ -1,0 +1,22 @@
+(** Heisenberg-picture conjugation: push a Pauli operator through a
+    Clifford circuit, P ↦ U·P·U†, tracking the exact sign.
+
+    This is the algebra behind every fault-propagation argument in
+    §3.1 (X spreads forward through an XOR, Z backward), and the
+    engine for generating random stabilizer codes (conjugate the
+    trivial code's generators by a random Clifford —
+    see {!Random_code}). *)
+
+(** [gate g p] — conjugate [p] by one Clifford gate.
+    Raises [Invalid_argument] on [Toffoli] (not Clifford). *)
+val gate : Circuit.gate -> Pauli.t -> Pauli.t
+
+(** [circuit c p] — conjugate by the whole circuit, first instruction
+    applied first (i.e. the evolution of an error that occurred
+    *before* the circuit ran).  Only unitary gates allowed. *)
+val circuit : Circuit.t -> Pauli.t -> Pauli.t
+
+(** [random_clifford_circuit rng ~n ~gates] — a random Clifford
+    circuit (random H/S/CNOT sequence; long sequences mix towards the
+    uniform Clifford measure). *)
+val random_clifford_circuit : Random.State.t -> n:int -> gates:int -> Circuit.t

@@ -1,0 +1,146 @@
+module Bitvec = Gf2.Bitvec
+module Mat = Gf2.Mat
+
+let x_string support =
+  Pauli.of_bits ~x:support ~z:(Bitvec.create (Bitvec.length support)) ()
+
+let z_string support =
+  Pauli.of_bits ~x:(Bitvec.create (Bitvec.length support)) ~z:support ()
+
+(* Coset representatives of ker(checks) modulo rowspace(gens):
+   independent kernel vectors not in the row space, greedily chosen so
+   that together with the row space they stay independent. *)
+let coset_representatives ~kernel_of ~modulo =
+  let reps = ref [] in
+  let current () =
+    match !reps with
+    | [] -> modulo
+    | rs -> Mat.stack modulo (Mat.of_rows rs)
+  in
+  List.iter
+    (fun v ->
+      let m = current () in
+      if Mat.rank (Mat.stack m (Mat.of_rows [ v ])) > Mat.rank m then
+        reps := v :: !reps)
+    kernel_of;
+  List.rev !reps
+
+let make ~name ~hx ~hz =
+  if Mat.cols hx <> Mat.cols hz then invalid_arg "Css.make: width mismatch";
+  let n = Mat.cols hx in
+  (* orthogonality: every X row commutes with every Z row *)
+  for i = 0 to Mat.rows hx - 1 do
+    for j = 0 to Mat.rows hz - 1 do
+      if Bitvec.dot (Mat.row hx i) (Mat.row hz j) then
+        invalid_arg "Css.make: H_X and H_Z rows not orthogonal"
+    done
+  done;
+  let rx = Mat.rank hx and rz = Mat.rank hz in
+  if rx <> Mat.rows hx || rz <> Mat.rows hz then
+    invalid_arg "Css.make: dependent parity-check rows";
+  let k = n - rx - rz in
+  if k < 0 then invalid_arg "Css.make: negative k";
+  let z_reps = coset_representatives ~kernel_of:(Mat.kernel hx) ~modulo:hz in
+  let x_reps = coset_representatives ~kernel_of:(Mat.kernel hz) ~modulo:hx in
+  if List.length z_reps <> k || List.length x_reps <> k then
+    invalid_arg "Css.make: logical count mismatch";
+  (* Pair the representatives: Gram matrix G_ij = x_i · z_j must be
+     invertible; replace x_i by the G⁻¹ recombination so that
+     x_i · z_j = δ_ij (Eq. 29). *)
+  let x_arr = Array.of_list x_reps and z_arr = Array.of_list z_reps in
+  let logical_x, logical_z =
+    if k = 0 then ([], [])
+    else begin
+      let gram =
+        Mat.of_int_lists
+          (List.init k (fun i ->
+               List.init k (fun j ->
+                   if Bitvec.dot x_arr.(i) z_arr.(j) then 1 else 0)))
+      in
+      match Mat.inverse gram with
+      | None -> invalid_arg "Css.make: degenerate logical pairing"
+      | Some ginv ->
+        let new_x =
+          List.init k (fun i ->
+              let acc = ref (Bitvec.create n) in
+              for j = 0 to k - 1 do
+                if Mat.get ginv i j then Bitvec.xor_into ~src:x_arr.(j) !acc
+              done;
+              !acc)
+        in
+        (List.map x_string new_x, List.map z_string (Array.to_list z_arr))
+    end
+  in
+  let generators =
+    List.init (Mat.rows hz) (fun i -> z_string (Mat.row hz i))
+    @ List.init (Mat.rows hx) (fun i -> x_string (Mat.row hx i))
+  in
+  Stabilizer_code.make ~name ~generators ~logical_x ~logical_z
+
+(* All supports of weight ≤ w on n bits, paired with their syndrome
+   under [checks]; first (lowest-weight) entry per syndrome wins. *)
+let classical_side_table checks n w =
+  let table = Hashtbl.create 64 in
+  let add support =
+    let key = Bitvec.to_string (Mat.mul_vec checks support) in
+    if not (Hashtbl.mem table key) then Hashtbl.add table key support
+  in
+  add (Bitvec.create n);
+  (* enumerate strictly by increasing weight so tabulated corrections
+     are globally minimum weight *)
+  let rec enum_weight support need start =
+    if need = 0 then add support
+    else
+      for i = start to n - 1 do
+        let s = Bitvec.copy support in
+        Bitvec.set s i true;
+        enum_weight s (need - 1) (i + 1)
+      done
+  in
+  for weight = 1 to w do
+    enum_weight (Bitvec.create n) weight 0
+  done;
+  table
+
+let classical_decoder ~checks ~n ~max_weight =
+  let table = classical_side_table checks n max_weight in
+  fun syndrome -> Hashtbl.find_opt table (Bitvec.to_string syndrome)
+
+let superposition_circuit basis =
+  let n = Mat.cols basis in
+  let rref, pivots = Mat.rref basis in
+  if List.length pivots <> Mat.rows basis then
+    invalid_arg "Css.superposition_circuit: dependent basis rows";
+  let c = ref (Circuit.create ~num_qubits:n ()) in
+  List.iteri
+    (fun i pivot ->
+      c := Circuit.add_gate !c (Circuit.H pivot);
+      Bitvec.iteri
+        (fun q bit ->
+          if bit && q <> pivot then
+            c := Circuit.add_gate !c (Circuit.Cnot (pivot, q)))
+        (Mat.row rref i))
+    pivots;
+  !c
+
+let css_decoder ?(max_weight_per_side = 1) ~hx ~hz ~n () =
+  let bit_table = classical_side_table hz n max_weight_per_side in
+  let phase_table = classical_side_table hx n max_weight_per_side in
+  let nz = Mat.rows hz in
+  let nx = Mat.rows hx in
+  Stabilizer_code.decoder_of_fn ~n (fun s ->
+      if Bitvec.length s <> nz + nx then None
+      else begin
+        let key_bit = Bitvec.to_string (Bitvec.sub s ~pos:0 ~len:nz) in
+        let key_phase = Bitvec.to_string (Bitvec.sub s ~pos:nz ~len:nx) in
+        match
+          ( Hashtbl.find_opt bit_table key_bit,
+            Hashtbl.find_opt phase_table key_phase )
+        with
+        | Some e_bit, Some e_phase ->
+          Some (Pauli.mul (x_string e_bit) (z_string e_phase))
+        | _ -> None
+      end)
+
+let steane_from_hamming () =
+  make ~name:"steane_css" ~hx:Hamming.parity_check ~hz:Hamming.parity_check

@@ -1,0 +1,59 @@
+(** Generic CSS (Calderbank–Shor–Steane) construction (§3.6): from two
+    classical parity-check matrices H_X and H_Z with
+    H_X · H_Zᵀ = 0, build the stabilizer code whose X-type generators
+    are the rows of H_X and whose Z-type generators are the rows of
+    H_Z.  Logical operators are computed as coset representatives of
+    ker H_Z / rowspace H_X (X-type) and ker H_X / rowspace H_Z
+    (Z-type), paired to satisfy Eq. (29). *)
+
+(** [make ~name ~hx ~hz] builds the code.  Raises [Invalid_argument]
+    if the matrices have different widths, are not orthogonal, have
+    dependent rows, or the pairing of logicals is degenerate. *)
+val make : name:string -> hx:Gf2.Mat.t -> hz:Gf2.Mat.t -> Stabilizer_code.t
+
+(** [steane_from_hamming ()] is [[7,1,3]] built from H_X = H_Z = the
+    Hamming parity check — identical (as a stabilizer group) to
+    {!Steane.code}; used as a consistency check. *)
+val steane_from_hamming : unit -> Stabilizer_code.t
+
+(** [x_string support] / [z_string support] build pure X/Z Pauli
+    operators from a support bit vector. *)
+val x_string : Gf2.Bitvec.t -> Pauli.t
+
+val z_string : Gf2.Bitvec.t -> Pauli.t
+
+(** [classical_decoder ~checks ~n ~max_weight] tabulates minimum-weight
+    classical error supports by syndrome under the parity-check matrix
+    [checks]; returns a lookup function ([None] = syndrome beyond the
+    weight budget). *)
+val classical_decoder :
+  checks:Gf2.Mat.t ->
+  n:int ->
+  max_weight:int ->
+  Gf2.Bitvec.t ->
+  Gf2.Bitvec.t option
+
+(** [superposition_circuit basis] builds a circuit preparing, from
+    |0…0⟩, the uniform superposition over the row space of [basis]
+    (Hadamards on the RREF pivot qubits, then XOR fan-outs) — the
+    generalized "Steane state" preparation of §3.6/Fig. 10: e.g. the
+    basis = Hamming parity check gives |0̄⟩'s superposition of the
+    even subcode. *)
+val superposition_circuit : Gf2.Mat.t -> Circuit.t
+
+(** [css_decoder ~hx ~hz ~n ()] is the CSS decoder: the bit-flip
+    syndrome (from the Z-type generators, i.e. the rows of [hz]) and
+    the phase-flip syndrome (rows of [hx]) are decoded independently
+    as classical errors of weight ≤ [max_weight_per_side] (default 1).
+    This matches the paper's recovery procedure exactly — in
+    particular an X on one qubit plus a Z on another is corrected,
+    where a plain minimum-weight decoder can land in the wrong
+    degeneracy coset.  The syndrome layout must be Z-generators first
+    then X-generators (the {!make} convention, also Eq. 18's). *)
+val css_decoder :
+  ?max_weight_per_side:int ->
+  hx:Gf2.Mat.t ->
+  hz:Gf2.Mat.t ->
+  n:int ->
+  unit ->
+  Stabilizer_code.decoder

@@ -1,0 +1,75 @@
+let letters = [| Pauli.I; Pauli.X; Pauli.Y; Pauli.Z |]
+
+let failure_polynomial (code : Stabilizer_code.t) decoder =
+  if code.k <> 1 then invalid_arg "Exact: k = 1 codes only";
+  if code.n > 12 then invalid_arg "Exact: n <= 12 (4^n enumeration)";
+  let n = code.n in
+  let cx = Array.make (n + 1) 0.0 in
+  let cy = Array.make (n + 1) 0.0 in
+  let cz = Array.make (n + 1) 0.0 in
+  let digits = Array.make n 0 in
+  let patterns = 1 lsl (2 * n) in
+  for v = 0 to patterns - 1 do
+    let weight = ref 0 in
+    for q = 0 to n - 1 do
+      let d = (v lsr (2 * q)) land 3 in
+      digits.(q) <- d;
+      if d <> 0 then incr weight
+    done;
+    let e = Pauli.of_letters (List.init n (fun q -> letters.(digits.(q)))) in
+    match Pauli_frame.residual_class code decoder e with
+    | Some Pauli_frame.L_i -> ()
+    | Some Pauli_frame.L_x -> cx.(!weight) <- cx.(!weight) +. 1.0
+    | Some Pauli_frame.L_z -> cz.(!weight) <- cz.(!weight) +. 1.0
+    | Some Pauli_frame.L_y | None -> cy.(!weight) <- cy.(!weight) +. 1.0
+  done;
+  (cx, cy, cz)
+
+let probability_from_polynomial poly ~n ~eps =
+  let p = eps /. 3.0 and q = 1.0 -. eps in
+  let acc = ref 0.0 in
+  for w = 0 to n do
+    if poly.(w) > 0.0 then
+      acc :=
+        !acc
+        +. (poly.(w) *. (p ** float_of_int w) *. (q ** float_of_int (n - w)))
+  done;
+  !acc
+
+let poly_cache : (string, float array * float array * float array) Hashtbl.t =
+  Hashtbl.create 4
+
+let cached_polynomial code decoder =
+  match Hashtbl.find_opt poly_cache code.Stabilizer_code.name with
+  | Some p -> p
+  | None ->
+    let p = failure_polynomial code decoder in
+    Hashtbl.add poly_cache code.Stabilizer_code.name p;
+    p
+
+let failure_probability ?(metric = `Any) code decoder ~eps =
+  let cx, cy, cz = cached_polynomial code decoder in
+  let n = code.Stabilizer_code.n in
+  let px = probability_from_polynomial cx ~n ~eps in
+  let py = probability_from_polynomial cy ~n ~eps in
+  let pz = probability_from_polynomial cz ~n ~eps in
+  match metric with
+  | `Any -> px +. py +. pz
+  | `Basis_avg ->
+    (* Z basis detects X̄/Ȳ; X basis detects Z̄/Ȳ; average *)
+    (0.5 *. (px +. pz)) +. py
+
+let pseudothreshold ?(metric = `Any) code decoder =
+  let bare eps = match metric with `Any -> eps | `Basis_avg -> 2.0 *. eps /. 3.0 in
+  let f eps = failure_probability ~metric code decoder ~eps -. bare eps in
+  let lo = 1e-6 and hi = 0.5 in
+  if f lo >= 0.0 then None (* encoding never wins *)
+  else if f hi <= 0.0 then None (* never crosses back *)
+  else begin
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid < 0.0 then lo := mid else hi := mid
+    done;
+    Some (0.5 *. (!lo +. !hi))
+  end

@@ -1,0 +1,6 @@
+let p = Pauli.of_string
+
+let code =
+  Stabilizer_code.make ~name:"five_qubit"
+    ~generators:[ p "XZZXI"; p "IXZZX"; p "XIXZZ"; p "ZXIXZ" ]
+    ~logical_x:[ p "XXXXX" ] ~logical_z:[ p "ZZZZZ" ]

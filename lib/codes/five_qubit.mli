@@ -1,0 +1,6 @@
+(** The [[5,1,3]] "perfect" code (§4.2, refs. 36–37): the smallest
+    code correcting an arbitrary single-qubit error.  Non-CSS — its
+    gate implementations are far less convenient than Steane's
+    (E13). *)
+
+val code : Stabilizer_code.t

@@ -1,0 +1,46 @@
+(** The binary Golay code and its quantum child (§5's "better codes
+    can be constructed … protect from up to t errors", and the
+    concrete alternative to concatenation the paper mentions: "a code
+    chosen from the family originally described by Shor may turn out
+    to be more efficient than the concatenated 7-bit code").
+
+    The classical [23,12,7] Golay code is *perfect*: the 2047 = 2¹¹ − 1
+    nonzero syndromes are exactly the weight ≤ 3 error patterns, so it
+    corrects any 3 bit flips.  Its dual (the [23,11,8] even subcode)
+    is self-orthogonal, so the CSS construction with H_X = H_Z = the
+    dual's generator matrix yields the [[23,1,7]] quantum Golay code,
+    correcting any 3 arbitrary qubit errors: block error O(ε⁴) versus
+    Steane's O(ε²). *)
+
+(** Generator matrix of the [23,12,7] code (12×23, from the generator
+    polynomial x¹¹+x⁹+x⁷+x⁶+x⁵+x+1). *)
+val generator : Gf2.Mat.t
+
+(** Parity-check matrix (11×23). *)
+val parity_check : Gf2.Mat.t
+
+(** [is_codeword w] — membership in the classical code. *)
+val is_codeword : Gf2.Bitvec.t -> bool
+
+(** [weight_distribution ()] — the number of codewords of each weight
+    0..23 (computed by enumerating all 4096 codewords; the classic
+    values are A₀=1, A₇=253, A₈=506, A₁₁=A₁₂=1288, …). *)
+val weight_distribution : unit -> int array
+
+(** [decode w] — correct up to 3 bit flips by syndrome lookup
+    (perfect: every syndrome decodes). *)
+val decode : Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** The [[23,1,7]] quantum Golay code. *)
+val code : Stabilizer_code.t
+
+(** [quantum_distance ()] — the exact distance, computed from the
+    classical weight enumerators rather than the (infeasible)
+    brute-force Pauli search: for a CSS code with H_X = H_Z the
+    distance is the least weight appearing in C = ker H but not in
+    C⊥ = rowspace H; the Golay code gives min(7 vs dual's 8) = 7. *)
+val quantum_distance : unit -> int
+
+(** Decoder correcting up to 3 X and 3 Z errors independently
+    (registered as the code's default decoder on first use). *)
+val css_decoder : unit -> Stabilizer_code.decoder

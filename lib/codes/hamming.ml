@@ -1,0 +1,60 @@
+module Bitvec = Gf2.Bitvec
+module Mat = Gf2.Mat
+
+let parity_check =
+  Mat.of_int_lists
+    [ [ 0; 0; 0; 1; 1; 1; 1 ]; [ 0; 1; 1; 0; 0; 1; 1 ]; [ 1; 0; 1; 0; 1; 0; 1 ] ]
+
+let parity_check_systematic =
+  Mat.of_int_lists
+    [ [ 1; 0; 0; 1; 0; 1; 1 ]; [ 0; 1; 0; 1; 1; 0; 1 ]; [ 0; 0; 1; 1; 1; 1; 0 ] ]
+
+let syndrome word =
+  if Bitvec.length word <> 7 then invalid_arg "Hamming.syndrome: length";
+  Mat.mul_vec parity_check word
+
+let is_codeword w = Bitvec.is_zero (syndrome w)
+
+let decode word =
+  let s = syndrome word in
+  (* columns of H read the position in binary: column k (0-based) is
+     the binary digits of k+1, most significant row first. *)
+  let value =
+    (if Bitvec.get s 0 then 4 else 0)
+    + (if Bitvec.get s 1 then 2 else 0)
+    + if Bitvec.get s 2 then 1 else 0
+  in
+  if value = 0 then (Bitvec.copy word, None)
+  else begin
+    let corrected = Bitvec.copy word in
+    Bitvec.flip corrected (value - 1);
+    (corrected, Some (value - 1))
+  end
+
+let codewords =
+  let all = ref [] in
+  for x = 0 to 127 do
+    let w = Bitvec.of_int ~width:7 x in
+    if is_codeword w then all := w :: !all
+  done;
+  List.rev !all
+
+let even_codewords = List.filter (fun w -> Bitvec.weight w mod 2 = 0) codewords
+let odd_codewords = List.filter (fun w -> Bitvec.weight w mod 2 = 1) codewords
+
+let generator =
+  (* basis of ker H = the row space of the generator matrix *)
+  match Mat.kernel parity_check with
+  | [ a; b; c; d ] -> Mat.of_rows [ a; b; c; d ]
+  | basis -> Mat.of_rows basis
+
+let encode data =
+  if Bitvec.length data <> 4 then invalid_arg "Hamming.encode: need 4 bits";
+  Mat.vec_mul data generator
+
+let minimum_distance =
+  List.fold_left
+    (fun acc w ->
+      let wt = Bitvec.weight w in
+      if wt > 0 && wt < acc then wt else acc)
+    7 codewords

@@ -1,0 +1,42 @@
+(** The classical [7,4,3] Hamming code (§2, Eqs. 1–3 and 15).
+
+    Sixteen 7-bit codewords annihilated by the parity-check matrix H;
+    corrects any single bit flip by syndrome lookup: the syndrome of
+    e_i is the i-th column of H. *)
+
+(** The parity-check matrix of Eq. (1): row j, column k is
+    [H.(j).(k)]; columns read 1..7 in binary. *)
+val parity_check : Gf2.Mat.t
+
+(** The permuted form of Eq. (15), whose first three bits carry the
+    data and last four the parity checks (used by the Fig. 3
+    encoder). *)
+val parity_check_systematic : Gf2.Mat.t
+
+(** [syndrome word] is H·word (length-3). *)
+val syndrome : Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [decode word] corrects at most one bit flip: returns the corrected
+    codeword and the flipped position (if any).  A two-bit error is
+    silently miscorrected — exactly the failure mode of Eq. (12). *)
+val decode : Gf2.Bitvec.t -> Gf2.Bitvec.t * int option
+
+(** [is_codeword w]. *)
+val is_codeword : Gf2.Bitvec.t -> bool
+
+(** [codewords] — all 16, sorted as integers (bit 0 = leftmost
+    character in the paper's ket notation). *)
+val codewords : Gf2.Bitvec.t list
+
+(** [even_codewords] / [odd_codewords] — the even-weight subcode
+    (superposed in |0̄⟩, Eq. 6) and its odd coset (|1̄⟩, Eq. 7). *)
+val even_codewords : Gf2.Bitvec.t list
+
+val odd_codewords : Gf2.Bitvec.t list
+
+(** [encode data] embeds 4 data bits into a codeword using the
+    generator dual to {!parity_check}. *)
+val encode : Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [minimum_distance] computed by exhaustion (= 3). *)
+val minimum_distance : int

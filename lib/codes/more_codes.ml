@@ -1,0 +1,43 @@
+module Bitvec = Gf2.Bitvec
+module Mat = Gf2.Mat
+
+let p = Pauli.of_string
+
+let rep3_bit =
+  Stabilizer_code.make ~name:"rep3_bit" ~generators:[ p "ZZI"; p "IZZ" ]
+    ~logical_x:[ p "XXX" ] ~logical_z:[ p "ZII" ]
+
+let four_two_two =
+  Stabilizer_code.make ~name:"four_two_two"
+    ~generators:[ p "XXXX"; p "ZZZZ" ]
+    ~logical_x:[ p "XXII"; p "XIXI" ]
+    ~logical_z:[ p "ZIZI"; p "ZZII" ]
+
+let reed_muller_hx =
+  (* column j (1-based) is the binary representation of j, most
+     significant row first *)
+  Mat.of_int_lists
+    (List.init 4 (fun row ->
+         List.init 15 (fun col ->
+             let j = col + 1 in
+             (j lsr (3 - row)) land 1)))
+
+let reed_muller_hz =
+  let rows_hx =
+    List.init 4 (fun i -> Mat.row reed_muller_hx i)
+  in
+  let products =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j ->
+            if j > i then
+              Some (Bitvec.and_ (List.nth rows_hx i) (List.nth rows_hx j))
+            else None)
+          (List.init 4 Fun.id))
+      (List.init 4 Fun.id)
+  in
+  Mat.of_rows (rows_hx @ products)
+
+let reed_muller15 =
+  Css.make ~name:"reed_muller15" ~hx:reed_muller_hx ~hz:reed_muller_hz

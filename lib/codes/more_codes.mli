@@ -1,0 +1,24 @@
+(** Further codes from the paper's surrounding literature, exercising
+    the generic CSS and stabilizer machinery (§3.6's "more complex
+    codes that can correct many errors" direction).
+
+    - {!rep3_bit}: the 3-qubit repetition code — corrects one bit flip
+      and no phase flips (distance 1 as a quantum code); the paper's
+      pedagogical contrast for why genuinely quantum codes are needed.
+    - {!four_two_two}: the [[4,2,2]] error-*detecting* code, the
+      smallest CSS code (distance 2: detects any single error).
+    - {!reed_muller15}: the [[15,1,3]] quantum Reed–Muller code, the
+      standard route to a transversal non-Clifford gate — the "other
+      way of completing the universal gate set" alluded to in
+      footnote g (Knill–Laflamme–Zurek). *)
+
+val rep3_bit : Stabilizer_code.t
+val four_two_two : Stabilizer_code.t
+val reed_muller15 : Stabilizer_code.t
+
+(** The H_X (4×15) and H_Z (10×15) parity checks of the Reed–Muller
+    code: H_X's column j is the binary representation of j (1..15);
+    H_Z adds the pairwise products of H_X's rows. *)
+val reed_muller_hx : Gf2.Mat.t
+
+val reed_muller_hz : Gf2.Mat.t

@@ -1,0 +1,133 @@
+module Bitvec = Gf2.Bitvec
+module Code = Stabilizer_code
+
+type logical_class = L_i | L_x | L_y | L_z
+
+let class_to_string = function
+  | L_i -> "I"
+  | L_x -> "X"
+  | L_y -> "Y"
+  | L_z -> "Z"
+
+let class_bits = function
+  | L_i -> (false, false)
+  | L_x -> (true, false)
+  | L_z -> (false, true)
+  | L_y -> (true, true)
+
+let class_of_bits = function
+  | false, false -> L_i
+  | true, false -> L_x
+  | false, true -> L_z
+  | true, true -> L_y
+
+let compose a b =
+  let ax, az = class_bits a and bx, bz = class_bits b in
+  class_of_bits (ax <> bx, az <> bz)
+
+let letter_of_class = function
+  | L_i -> Pauli.I
+  | L_x -> Pauli.X
+  | L_y -> Pauli.Y
+  | L_z -> Pauli.Z
+
+let classify_residual (code : Code.t) r =
+  (* assumes r commutes with every generator *)
+  let has_x = not (Pauli.commutes r code.Code.logical_z.(0)) in
+  let has_z = not (Pauli.commutes r code.Code.logical_x.(0)) in
+  class_of_bits (has_x, has_z)
+
+let residual_class (code : Code.t) decoder e =
+  if code.Code.k <> 1 then invalid_arg "Pauli_frame: k = 1 codes only";
+  match Code.decode decoder (Code.syndrome code e) with
+  | None -> None
+  | Some c -> Some (classify_residual code (Pauli.mul c e))
+
+let steane_decoder = lazy (Steane.css_decoder ())
+
+let steane_class e =
+  match residual_class Steane.code (Lazy.force steane_decoder) e with
+  | Some cls -> cls
+  | None -> assert false (* the CSS table covers all 64 syndromes *)
+
+let sub_pauli e ~pos ~len =
+  let x = Pauli.x_bits e and z = Pauli.z_bits e in
+  Pauli.of_bits ~x:(Bitvec.sub x ~pos ~len) ~z:(Bitvec.sub z ~pos ~len) ()
+
+let rec concatenated_steane_class ~level e =
+  if level < 1 then invalid_arg "Pauli_frame: level >= 1";
+  if level = 1 then steane_class e
+  else begin
+    let n_in = Pauli.num_qubits e / 7 in
+    let letters =
+      List.init 7 (fun b ->
+          letter_of_class
+            (concatenated_steane_class ~level:(level - 1)
+               (sub_pauli e ~pos:(b * n_in) ~len:n_in)))
+    in
+    steane_class (Pauli.of_letters letters)
+  end
+
+let sample_pauli rng ~px ~py ~pz ~n =
+  let x = Bitvec.create n and z = Bitvec.create n in
+  for q = 0 to n - 1 do
+    let r = Random.State.float rng 1.0 in
+    if r < px then Bitvec.set x q true
+    else if r < px +. py then begin
+      Bitvec.set x q true;
+      Bitvec.set z q true
+    end
+    else if r < px +. py +. pz then Bitvec.set z q true
+  done;
+  Pauli.of_bits ~x ~z ()
+
+let depolarize rng ~eps ~n =
+  let p = eps /. 3.0 in
+  sample_pauli rng ~px:p ~py:p ~pz:p ~n
+
+let biased_depolarize rng ~eps ~eta ~n =
+  if eta <= 0.0 then invalid_arg "Pauli_frame.biased_depolarize: eta > 0";
+  let unit = eps /. (eta +. 2.0) in
+  sample_pauli rng ~px:unit ~py:unit ~pz:(eta *. unit) ~n
+
+type estimate = { failures : int; trials : int; rate : float; stderr : float }
+
+let estimate ~failures ~trials =
+  let rate = float_of_int failures /. float_of_int trials in
+  let stderr =
+    sqrt (Float.max (rate *. (1.0 -. rate)) 1e-12 /. float_of_int trials)
+  in
+  { failures; trials; rate; stderr }
+
+let run_memory ~noise_sample ~decode ~rounds ~trials =
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    let cls = ref L_i in
+    for _ = 1 to rounds do
+      match decode (noise_sample ()) with
+      | Some c -> cls := compose !cls c
+      | None -> cls := compose !cls L_y (* undecodable: count as failed *)
+    done;
+    if !cls <> L_i then incr failures
+  done;
+  estimate ~failures:!failures ~trials
+
+let memory_failure ~level ~eps ~rounds ~trials rng =
+  let n = int_of_float (7.0 ** float_of_int level) in
+  run_memory
+    ~noise_sample:(fun () -> depolarize rng ~eps ~n)
+    ~decode:(fun e -> Some (concatenated_steane_class ~level e))
+    ~rounds ~trials
+
+let code_memory_failure code decoder ~eps ~rounds ~trials rng =
+  run_memory
+    ~noise_sample:(fun () -> depolarize rng ~eps ~n:code.Code.n)
+    ~decode:(fun e -> residual_class code decoder e)
+    ~rounds ~trials
+
+let memory_failure_biased ~level ~eps ~eta ~rounds ~trials rng =
+  let n = int_of_float (7.0 ** float_of_int level) in
+  run_memory
+    ~noise_sample:(fun () -> biased_depolarize rng ~eps ~eta ~n)
+    ~decode:(fun e -> Some (concatenated_steane_class ~level e))
+    ~rounds ~trials

@@ -1,0 +1,85 @@
+(** Pauli-frame (purely classical) simulation of ideal error
+    correction under stochastic Pauli noise.
+
+    For Pauli noise followed by flawless recovery, the quantum state
+    never needs to be represented: the error operator itself is the
+    whole story.  Each round composes fresh noise into the frame,
+    decodes its syndrome, and classifies the residual's logical
+    action.  This is exact — and fast enough to Monte-Carlo the
+    *concatenated* Steane code at levels 2 and 3 (49 and 343 qubits),
+    exhibiting the double-exponential suppression of Eq. (36) directly
+    rather than through the flow-equation model. *)
+
+(** The logical action of a residual error on a k=1 block. *)
+type logical_class = L_i | L_x | L_y | L_z
+
+val class_to_string : logical_class -> string
+
+(** [compose a b] — group composition of logical classes (phases
+    dropped). *)
+val compose : logical_class -> logical_class -> logical_class
+
+(** [residual_class code decoder e] — decode the syndrome of [e],
+    apply the tabulated correction and classify the residual.
+    [None] when the decoder has no entry for the syndrome (counted as
+    failure by the drivers).  The code must have k = 1. *)
+val residual_class :
+  Stabilizer_code.t -> Stabilizer_code.decoder -> Pauli.t -> logical_class option
+
+(** [steane_class e] — {!residual_class} for the Steane code with its
+    CSS decoder (total: every 6-bit syndrome is tabulated, so it never
+    returns [None]); exposed separately because the hierarchical
+    decoder calls it in bulk. *)
+val steane_class : Pauli.t -> logical_class
+
+(** [concatenated_steane_class ~level e] — hierarchical (level-by-level)
+    decoding of an error on 7^level qubits (Fig. 14): decode each
+    inner block to its logical class, assemble the induced outer-level
+    Pauli, recurse. *)
+val concatenated_steane_class : level:int -> Pauli.t -> logical_class
+
+(** [depolarize rng ~eps ~n] — IID single-qubit depolarizing noise as
+    a Pauli operator (X/Y/Z each with probability eps/3 per qubit). *)
+val depolarize : Random.State.t -> eps:float -> n:int -> Pauli.t
+
+type estimate = {
+  failures : int;
+  trials : int;
+  rate : float;
+  stderr : float;
+}
+
+(** [memory_failure ~level ~eps ~rounds ~trials rng] — the
+    concatenated-Steane memory experiment: per round, depolarize every
+    physical qubit and recover ideally; failure = nontrivial
+    accumulated logical class after [rounds]. *)
+val memory_failure :
+  level:int -> eps:float -> rounds:int -> trials:int -> Random.State.t -> estimate
+
+(** [code_memory_failure code decoder ~eps ~rounds ~trials rng] — same
+    driver for an arbitrary k = 1 code; undecodable syndromes count as
+    failures. *)
+val code_memory_failure :
+  Stabilizer_code.t ->
+  Stabilizer_code.decoder ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  Random.State.t ->
+  estimate
+
+(** [biased_depolarize rng ~eps ~eta ~n] — §6's "more realistic error
+    model" hook: total error probability [eps] per qubit with Z
+    errors [eta] times likelier than X (Y as likely as X);
+    [eta] = 1 recovers depolarizing. *)
+val biased_depolarize : Random.State.t -> eps:float -> eta:float -> n:int -> Pauli.t
+
+(** [memory_failure_biased ~level ~eps ~eta ~rounds ~trials rng]. *)
+val memory_failure_biased :
+  level:int ->
+  eps:float ->
+  eta:float ->
+  rounds:int ->
+  trials:int ->
+  Random.State.t ->
+  estimate

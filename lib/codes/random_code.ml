@@ -1,0 +1,30 @@
+let counter = ref 0
+
+let generate_with_circuit rng ~n ~k ~gates =
+  if k < 0 || k >= n then invalid_arg "Random_code.generate";
+  let c = Conjugate.random_clifford_circuit rng ~n ~gates in
+  (* normalize signs to the library's +1 convention (flipping a
+     generator's sign yields an equally valid code with the same
+     parameters) *)
+  let conj p =
+    let q = Conjugate.circuit c p in
+    if Pauli.phase q = 2 then Pauli.neg q else q
+  in
+  let generators =
+    List.init (n - k) (fun i -> conj (Pauli.single n i Pauli.Z))
+  in
+  let logical_z =
+    List.init k (fun j -> conj (Pauli.single n (n - k + j) Pauli.Z))
+  in
+  let logical_x =
+    List.init k (fun j -> conj (Pauli.single n (n - k + j) Pauli.X))
+  in
+  incr counter;
+  let code =
+    Stabilizer_code.make
+      ~name:(Printf.sprintf "random_%d_%d_#%d" n k !counter)
+      ~generators ~logical_x ~logical_z
+  in
+  (code, c)
+
+let generate rng ~n ~k ~gates = fst (generate_with_circuit rng ~n ~k ~gates)

@@ -1,0 +1,16 @@
+(** Random stabilizer codes, by conjugating the trivial code through a
+    random Clifford circuit — the generator behind the library's
+    strongest property tests: anything that must hold for *every*
+    stabilizer code gets checked on a stream of arbitrary ones. *)
+
+(** [generate rng ~n ~k ~gates] — a valid [[n,k]] code: generators
+    Z₁…Z_{n−k} and logicals Z/X on the last k qubits, all conjugated
+    by a [gates]-long random Clifford circuit.  Passes
+    {!Stabilizer_code.make} validation by construction. *)
+val generate : Random.State.t -> n:int -> k:int -> gates:int -> Stabilizer_code.t
+
+(** [generate_with_circuit rng ~n ~k ~gates] — also return the
+    conjugating circuit (its inverse is a decoding circuit for the
+    code). *)
+val generate_with_circuit :
+  Random.State.t -> n:int -> k:int -> gates:int -> Stabilizer_code.t * Circuit.t

@@ -1,0 +1,47 @@
+let p = Pauli.of_string
+
+let code =
+  Stabilizer_code.make ~name:"shor9"
+    ~generators:
+      [ p "ZZIIIIIII";
+        p "IZZIIIIII";
+        p "IIIZZIIII";
+        p "IIIIZZIII";
+        p "IIIIIIZZI";
+        p "IIIIIIIZZ";
+        p "XXXXXXIII";
+        p "IIIXXXXXX" ]
+    ~logical_x:[ p "ZZZZZZZZZ" ] ~logical_z:[ p "XXXXXXXXX" ]
+
+let input_qubit = 0
+
+let hz =
+  Gf2.Mat.of_int_lists
+    [ [ 1; 1; 0; 0; 0; 0; 0; 0; 0 ];
+      [ 0; 1; 1; 0; 0; 0; 0; 0; 0 ];
+      [ 0; 0; 0; 1; 1; 0; 0; 0; 0 ];
+      [ 0; 0; 0; 0; 1; 1; 0; 0; 0 ];
+      [ 0; 0; 0; 0; 0; 0; 1; 1; 0 ];
+      [ 0; 0; 0; 0; 0; 0; 0; 1; 1 ] ]
+
+let hx =
+  Gf2.Mat.of_int_lists
+    [ [ 1; 1; 1; 1; 1; 1; 0; 0; 0 ]; [ 0; 0; 0; 1; 1; 1; 1; 1; 1 ] ]
+
+let encoding_circuit () =
+  let open Circuit in
+  let c = create ~num_qubits:9 () in
+  (* phase-flip repetition across the three triples... *)
+  let c = add_gate c (Cnot (0, 3)) in
+  let c = add_gate c (Cnot (0, 6)) in
+  let c = add_gate c (H 0) in
+  let c = add_gate c (H 3) in
+  let c = add_gate c (H 6) in
+  (* ...then bit-flip repetition within each triple *)
+  let c = add_gate c (Cnot (0, 1)) in
+  let c = add_gate c (Cnot (0, 2)) in
+  let c = add_gate c (Cnot (3, 4)) in
+  let c = add_gate c (Cnot (3, 5)) in
+  let c = add_gate c (Cnot (6, 7)) in
+  let c = add_gate c (Cnot (6, 8)) in
+  c

@@ -1,0 +1,17 @@
+(** Shor's 9-qubit code — the first quantum error-correcting code
+    (ref. 10), a CSS code concatenating the 3-bit repetition codes for
+    bit flips and phase flips.  Distance 3. *)
+
+val code : Stabilizer_code.t
+
+(** [encoding_circuit ()] encodes the unknown state on
+    {!input_qubit} into the 9-qubit block. *)
+val encoding_circuit : unit -> Circuit.t
+
+val input_qubit : int
+
+(** The CSS parity checks: H_Z's six rows are the Z-pair checks, H_X's
+    two rows the block X checks. *)
+val hx : Gf2.Mat.t
+
+val hz : Gf2.Mat.t

@@ -1,0 +1,125 @@
+(** Stabilizer codes (§3.6, §4.2): an [[n, k]] code is the joint +1
+    eigenspace of n−k commuting Pauli generators, together with chosen
+    logical X̄ᵢ/Z̄ᵢ operators obeying Eq. (29). *)
+
+type t = {
+  name : string;
+  n : int;  (** physical qubits per block *)
+  k : int;  (** encoded logical qubits *)
+  generators : Pauli.t array;  (** n−k stabilizer generators *)
+  logical_x : Pauli.t array;  (** k logical X̄ᵢ *)
+  logical_z : Pauli.t array;  (** k logical Z̄ᵢ *)
+}
+
+(** [make ~name ~generators ~logical_x ~logical_z] builds and
+    validates a code; raises [Invalid_argument] with a description of
+    the first violated property:
+    generator count = n−k with independent, mutually commuting,
+    Hermitian generators; logicals commute with every generator;
+    Eq. (29) holds: \[Z̄ᵢ, Z̄ⱼ\] = \[X̄ᵢ, X̄ⱼ\] = 0,
+    \[Z̄ᵢ, X̄ⱼ\] = 0 for i ≠ j, and Z̄ᵢX̄ᵢ = −X̄ᵢZ̄ᵢ. *)
+val make :
+  name:string ->
+  generators:Pauli.t list ->
+  logical_x:Pauli.t list ->
+  logical_z:Pauli.t list ->
+  t
+
+(** [syndrome code e] is the length-(n−k) bit vector whose i-th bit
+    records whether error [e] anticommutes with generator i. *)
+val syndrome : t -> Pauli.t -> Gf2.Bitvec.t
+
+(** [is_logical code p] classifies an error that commutes with the
+    whole stabilizer: [`Stabilizer] if p ∈ ±⟨generators⟩ (harmless),
+    [`Logical] if it acts on the codespace nontrivially,
+    [`Detectable] if it anticommutes with some generator. *)
+val classify : t -> Pauli.t -> [ `Stabilizer | `Logical | `Detectable ]
+
+(** [distance code] is the minimum weight of a [`Logical] operator,
+    found by exhaustive search in increasing weight (exponential; fine
+    for n ≤ 9 and d ≤ 4). *)
+val distance : t -> int
+
+(** A syndrome-indexed minimum-weight lookup decoder. *)
+type decoder
+
+(** [lookup_decoder ?max_weight code] tabulates, for every reachable
+    syndrome, a minimum-weight correction, enumerating errors of
+    weight ≤ [max_weight] (default 2 — ample for the distance-3 codes
+    here; pass ⌈(d−1)/2⌉ for stronger codes, mindful that the table
+    grows as (3n)^max_weight). *)
+val lookup_decoder : ?max_weight:int -> t -> decoder
+
+(** [decoder_of_fn ~n f] wraps an arbitrary syndrome→correction
+    function as a decoder (used for codes whose decode tables would be
+    too large to cross-tabulate, e.g. the Golay code's CSS decoder). *)
+val decoder_of_fn : n:int -> (Gf2.Bitvec.t -> Pauli.t option) -> decoder
+
+(** [decoder_of_alist entries] builds a decoder from explicit
+    (syndrome-string, correction) pairs — used by the CSS decoder,
+    which decodes bit- and phase-flip syndromes independently and so
+    picks the right degeneracy coset where plain minimum weight can
+    fail (see {!Css}). *)
+val decoder_of_alist : (string * Pauli.t) list -> decoder
+
+(** [register_default_decoder code d] makes [d] the decoder
+    {!ideal_recover} uses for [code] when none is passed. *)
+val register_default_decoder : t -> decoder -> unit
+
+(** [default_decoder code] is the registered decoder, or a cached
+    {!lookup_decoder} built on first use. *)
+val default_decoder : t -> decoder
+
+(** [decode decoder s] is the tabulated correction for syndrome [s],
+    or [None] for an unseen syndrome (beyond the decoder's weight
+    budget). *)
+val decode : decoder -> Gf2.Bitvec.t -> Pauli.t option
+
+(** [correct decoder code e] composes [e] with its correction and
+    classifies the residual: [`Ok] if the residual is a stabilizer
+    element (recovery succeeded), [`Logical_error] if recovery
+    produced a logical operator (the Eq. 12/13 failure mode),
+    [`Unhandled] if the syndrome was missing from the table. *)
+val correct : decoder -> t -> Pauli.t -> [ `Ok | `Logical_error | `Unhandled ]
+
+(** [prepare_logical_zero code] is a fresh tableau in the encoded
+    |0̄…0̄⟩ state, built by projecting |0…0⟩ onto the +1 eigenspaces of
+    every generator and every Z̄ᵢ.  Raises if a projection is
+    impossible (never for the codes in this library). *)
+val prepare_logical_zero : t -> Tableau.t
+
+(** [prepare_logical_plus code] similarly prepares |+̄…+̄⟩ (projecting
+    onto X̄ᵢ = +1). *)
+val prepare_logical_plus : t -> Tableau.t
+
+(** [encoding_circuit_via_measurement code] — a concrete circuit
+    preparing |0̄…0̄⟩ from |0…0⟩ on [n+1] qubits (qubit [n] is a
+    reusable measurement ancilla): each generator and each Z̄ᵢ is
+    measured through the ancilla (H — controlled-operator — H —
+    measure — reset), and a classically controlled Pauli fix-up flips
+    any −1 outcomes.  The fix-up operators are solved over GF(2) to
+    anticommute with exactly one measured operator each, so they
+    commute with everything already fixed.  Works for *any* stabilizer
+    code (the 5-qubit code and the toric code get real encoding
+    circuits this way, not just tableau projections); runnable on both
+    simulators. *)
+val encoding_circuit_via_measurement : t -> Circuit.t
+
+(** [ideal_recover ?decoder code tab rng] performs noise-free error
+    correction directly on a tableau: measures every generator with
+    {!Tableau.measure_pauli}, looks the syndrome up, applies the
+    correction.  Returns the syndrome. *)
+val ideal_recover :
+  ?decoder:decoder -> t -> Tableau.t -> Random.State.t -> Gf2.Bitvec.t
+
+(** [logical_measure_z code tab rng i] measures Z̄ᵢ ideally and
+    returns the outcome (false = |0̄⟩). *)
+val logical_measure_z : t -> Tableau.t -> Random.State.t -> int -> bool
+
+(** [embed code ~offset p] pads a block Pauli to a larger register,
+    placing the block at qubits [offset..offset+n−1] of a register of
+    [total] qubits. *)
+val embed : t -> offset:int -> total:int -> Pauli.t -> Pauli.t
+
+(** [pp] prints name, parameters and generators. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+module Bitvec = Gf2.Bitvec
+
+let p = Pauli.of_string
+
+let generators =
+  [ p "IIIZZZZ"; p "IZZIIZZ"; p "ZIZIZIZ"; p "IIIXXXX"; p "IXXIIXX"; p "XIXIXIX" ]
+
+let code =
+  Stabilizer_code.make ~name:"steane" ~generators
+    ~logical_x:[ p "XXXXXXX" ] ~logical_z:[ p "ZZZZZZZ" ]
+
+(* 0010110 is a weight-3 odd Hamming codeword; X on its support flips
+   the encoded bit, Z on its support flips the encoded phase. *)
+let logical_x_weight3 = p "IIXIXXI"
+let logical_z_weight3 = p "IIZIZZI"
+
+let input_qubit = 2
+
+let encoding_circuit () =
+  let c = Circuit.create ~num_qubits:7 () in
+  let open Circuit in
+  let c = add_gate c (Cnot (2, 4)) in
+  let c = add_gate c (Cnot (2, 5)) in
+  (* superpose the even subcode: H on the three subcode controls, then
+     switch on the parity bits dictated by the dual-basis rows
+     0001111, 0110011, 1010101 of Eq. (1). *)
+  let c = add_gate c (H 3) in
+  let c = add_gate c (H 1) in
+  let c = add_gate c (H 0) in
+  let c = add_gate c (Cnot (3, 4)) in
+  let c = add_gate c (Cnot (3, 5)) in
+  let c = add_gate c (Cnot (3, 6)) in
+  let c = add_gate c (Cnot (1, 2)) in
+  let c = add_gate c (Cnot (1, 5)) in
+  let c = add_gate c (Cnot (1, 6)) in
+  let c = add_gate c (Cnot (0, 2)) in
+  let c = add_gate c (Cnot (0, 4)) in
+  let c = add_gate c (Cnot (0, 6)) in
+  c
+
+let amplitudes_of_words words =
+  let amps = Array.make 128 Qmath.Cx.zero in
+  let a = Qmath.Cx.re (1.0 /. sqrt 8.0) in
+  List.iter (fun w -> amps.(Bitvec.to_int w) <- a) words;
+  amps
+
+let logical_zero_amplitudes () = amplitudes_of_words Hamming.even_codewords
+let logical_one_amplitudes () = amplitudes_of_words Hamming.odd_codewords
+
+(* Decode bit-flip and phase-flip syndromes independently (the
+   paper's recovery): registered as the default decoder so that e.g.
+   X on one qubit and Z on another is always corrected. *)
+let css_decoder () =
+  Css.css_decoder ~hx:Hamming.parity_check ~hz:Hamming.parity_check ~n:7 ()
+
+let () = Stabilizer_code.register_default_decoder code (css_decoder ())
+
+let bit_flip_syndrome_bits e =
+  Bitvec.sub (Stabilizer_code.syndrome code e) ~pos:0 ~len:3
+
+let phase_flip_syndrome_bits e =
+  Bitvec.sub (Stabilizer_code.syndrome code e) ~pos:3 ~len:3

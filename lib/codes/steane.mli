@@ -1,0 +1,45 @@
+(** Steane's 7-qubit code (§2): the CSS code whose codewords satisfy
+    the Hamming parity check in both the computational and the
+    Hadamard-rotated bases (Eq. 18). *)
+
+(** The [[7,1,3]] code with the six generators of Eq. (18),
+    X̄ = X⊗⁷ and Z̄ = Z⊗⁷. *)
+val code : Stabilizer_code.t
+
+(** Low-weight representatives of the logical operators (footnote f:
+    NOT can be applied with just 3 X's). *)
+val logical_x_weight3 : Pauli.t
+
+val logical_z_weight3 : Pauli.t
+
+(** [encoding_circuit ()] is the Fig. 3 encoder: the unknown input
+    state sits on qubit {!input_qubit}, all other qubits start |0⟩,
+    and the output is a|0̄⟩ + b|1̄⟩ in the Eq. (18) convention.  Uses
+    2 + 9 XORs and 3 Hadamards. *)
+val encoding_circuit : unit -> Circuit.t
+
+(** The qubit carrying the unknown input state in
+    {!encoding_circuit}. *)
+val input_qubit : int
+
+(** [logical_zero_amplitudes ()] / [logical_one_amplitudes ()] are the
+    exact 128-dimensional amplitude vectors of Eqs. (6) and (7)
+    (little-endian indexing: bit q of the index = qubit q, which reads
+    kets left-to-right as in the paper). *)
+val logical_zero_amplitudes : unit -> Qmath.Cx.t array
+
+val logical_one_amplitudes : unit -> Qmath.Cx.t array
+
+(** [css_decoder ()] decodes the two Hamming syndromes independently
+    (registered as the code's default decoder): any single X plus any
+    single Z error — on the same or different qubits — is corrected,
+    per §2. *)
+val css_decoder : unit -> Stabilizer_code.decoder
+
+(** [bit_flip_syndrome_bits e] / [phase_flip_syndrome_bits e] split
+    the 6-bit syndrome of an error into the Hamming checks on Z-type
+    generators (detecting bit flips) and X-type generators (detecting
+    phase flips). *)
+val bit_flip_syndrome_bits : Pauli.t -> Gf2.Bitvec.t
+
+val phase_flip_syndrome_bits : Pauli.t -> Gf2.Bitvec.t

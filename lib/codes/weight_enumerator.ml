@@ -1,0 +1,61 @@
+module Bitvec = Gf2.Bitvec
+module Mat = Gf2.Mat
+
+let distribution basis =
+  let k = Mat.rows basis and n = Mat.cols basis in
+  if k > 20 then invalid_arg "Weight_enumerator: too many basis rows";
+  if Mat.rank basis <> k then
+    invalid_arg "Weight_enumerator: dependent basis rows";
+  let dist = Array.make (n + 1) 0 in
+  for mask = 0 to (1 lsl k) - 1 do
+    let w = Mat.vec_mul (Bitvec.of_int ~width:k mask) basis in
+    dist.(Bitvec.weight w) <- dist.(Bitvec.weight w) + 1
+  done;
+  dist
+
+let dual_distribution basis =
+  match Mat.kernel basis with
+  | [] ->
+    (* the dual of the full space: only the zero word *)
+    let d = Array.make (Mat.cols basis + 1) 0 in
+    d.(0) <- 1;
+    d
+  | rows -> distribution (Mat.of_rows rows)
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let krawtchouk ~n ~j i =
+  let acc = ref 0 in
+  for l = 0 to j do
+    let term = binomial i l * binomial (n - i) (j - l) in
+    acc := !acc + if l land 1 = 1 then -term else term
+  done;
+  !acc
+
+let macwilliams_transform ~n dist =
+  let size = Array.fold_left ( + ) 0 dist in
+  Array.init (n + 1) (fun j ->
+      let acc = ref 0 in
+      Array.iteri
+        (fun i a -> if a <> 0 then acc := !acc + (a * krawtchouk ~n ~j i))
+        dist;
+      if !acc mod size <> 0 then
+        invalid_arg "Weight_enumerator: non-integral transform (bad input)";
+      !acc / size)
+
+let minimum_distance basis =
+  let dist = distribution basis in
+  let rec find w =
+    if w > Mat.cols basis then invalid_arg "Weight_enumerator: trivial code"
+    else if dist.(w) > 0 then w
+    else find (w + 1)
+  in
+  find 1

@@ -1,0 +1,31 @@
+(** Classical weight enumerators and the MacWilliams identity
+    (MacWilliams–Sloane, the paper's ref. 26 — the classical theory
+    Steane's construction imports).
+
+    The weight enumerator A of a linear code determines its dual's
+    enumerator B through the MacWilliams transform
+    B_j = |C|⁻¹ Σ_i A_i·K_j(i) with Krawtchouk polynomials
+    K_j(i) = Σ_l (−1)^l C(i,l)·C(n−i, j−l).  For CSS codes the
+    enumerators of C and C⊥ are exactly what fixes the quantum
+    distance (cf. {!Golay.quantum_distance}). *)
+
+(** [distribution basis] — the weight distribution of the row space of
+    [basis] (enumerates 2^rows codewords; rows ≤ 20 enforced).
+    Entry w counts codewords of Hamming weight w. *)
+val distribution : Gf2.Mat.t -> int array
+
+(** [dual_distribution basis] — the weight distribution of the dual
+    code, computed *directly* from a kernel basis. *)
+val dual_distribution : Gf2.Mat.t -> int array
+
+(** [macwilliams_transform ~n dist] — the dual's distribution computed
+    from [dist] by the MacWilliams identity (exact integer
+    arithmetic; [n] is the code length). *)
+val macwilliams_transform : n:int -> int array -> int array
+
+(** [krawtchouk ~n ~j i] — K_j(i) over GF(2). *)
+val krawtchouk : n:int -> j:int -> int -> int
+
+(** [minimum_distance basis] — least nonzero weight in the row
+    space. *)
+val minimum_distance : Gf2.Mat.t -> int

@@ -1,0 +1,35 @@
+(** Umbrella module: the full fault-tolerant quantum computation stack
+    reproducing Preskill's "Fault-Tolerant Quantum Computation".
+
+    Layering, bottom to top:
+    - {!Gf2}: GF(2) linear algebra (bit vectors, matrices).
+    - {!Qmath}: complex scalars, dense matrices, standard gates.
+    - {!Group}: finite permutation groups (A₅ and friends, §7.4).
+    - {!Pauli}: n-qubit Pauli operators (symplectic form).
+    - {!Circuit}: the gate/measurement IR.
+    - {!Statevec}: exact state-vector simulation (≤ ~20 qubits).
+    - {!Tableau}: stabilizer (Aaronson–Gottesman) simulation.
+    - {!Codes}: Hamming, Steane, Shor-9, 5-qubit, CSS, concatenation.
+    - {!Ft}: fault-tolerant gadgets — noisy executor, verified cats,
+      Shor/Steane EC, transversal gates, FT Toffoli, leakage,
+      Monte-Carlo memory experiments.
+    - {!Threshold}: concatenation flow equations, big-code scaling,
+      factoring resource estimates.
+    - {!Toric}: Kitaev's toric code + union-find decoder (§7).
+    - {!Anyon}: nonabelian flux-pair computation over A₅ (§7.3–7.4). *)
+
+module Gf2 = Gf2
+module Qmath = Qmath
+module Group = Group
+module Pauli = Pauli
+module Circuit = Circuit
+module Statevec = Statevec
+module Tableau = Tableau
+module Codes = Codes
+module Ft = Ft
+module Threshold = Threshold
+module Toric = Toric
+module Anyon = Anyon
+
+(** Library version. *)
+let version = "1.0.0"

@@ -1,0 +1,35 @@
+let build sim qubits =
+  match qubits with
+  | [] -> invalid_arg "Cat.build: no qubits"
+  | head :: rest ->
+    Sim.prepare_zero sim head;
+    List.iter (Sim.prepare_zero sim) rest;
+    Sim.h sim head;
+    let rec chain prev = function
+      | [] -> ()
+      | q :: tl ->
+        Sim.cnot sim prev q;
+        chain q tl
+    in
+    chain head rest
+
+let prepare_unverified sim ~qubits = build sim qubits
+
+let prepare sim ~qubits ~check ~max_attempts =
+  let head = List.hd qubits in
+  let last = List.nth qubits (List.length qubits - 1) in
+  let rec attempt k =
+    if k > max_attempts then
+      failwith "Cat.prepare: verification kept failing"
+    else begin
+      build sim qubits;
+      if head = last then k (* single-qubit "cat": nothing to verify *)
+      else begin
+        Sim.prepare_zero sim check;
+        Sim.cnot sim head check;
+        Sim.cnot sim last check;
+        if Sim.measure sim check then attempt (k + 1) else k
+      end
+    end
+  in
+  attempt 1

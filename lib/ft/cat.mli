@@ -1,0 +1,21 @@
+(** Verified cat-state preparation (§3.3, Fig. 8).
+
+    A w-qubit cat state (|0…0⟩ + |1…1⟩)/√2 is built with a Hadamard
+    and a CNOT chain.  A single fault inside the chain can leave two
+    bit-flip errors — which become two *phase* errors after the
+    Hadamards that turn the cat into a Shor state, and would feed back
+    into the data (§3.1).  But every such fault makes the first and
+    last cat bits disagree, so XOR-ing both ends into a check ancilla
+    and measuring it catches the bad preparations; on failure the cat
+    is discarded and rebuilt. *)
+
+(** [prepare sim ~qubits ~check ~max_attempts] prepares a verified cat
+    on [qubits] (in order: chain head first), using [check] as the
+    verification ancilla.  Returns the number of attempts used.
+    Raises [Failure] after [max_attempts] consecutive rejections
+    (probability O(ε^max_attempts)). *)
+val prepare : Sim.t -> qubits:int list -> check:int -> max_attempts:int -> int
+
+(** [prepare_unverified sim ~qubits] builds the cat with no check —
+    the non-fault-tolerant baseline. *)
+val prepare_unverified : Sim.t -> qubits:int list -> unit

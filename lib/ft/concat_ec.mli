@@ -1,0 +1,64 @@
+(** Circuit-level error correction for the level-2 concatenated Steane
+    code (§5, Fig. 14): 49 physical qubits per logical block, with the
+    full fault-tolerant machinery at both levels.
+
+    A level-2 recovery runs the level-1 gadget ({!Steane_ec}) on each
+    of the seven inner blocks, then extracts the *outer* syndrome
+    through level-2 encoded ancillas: a verified |0̄⟩₂/|+̄⟩₂ block is
+    built by preparing seven verified inner |0̄⟩ blocks, playing the
+    Fig. 3 encoder transversally at the logical level (every outer
+    gate is 7 physical gates, the §5 "quantum data processing carried
+    out at all levels simultaneously"), and comparing destructively
+    against a second copy with a *hierarchical* classical decode —
+    inner Hamming correction per 7-bit word, then Hamming correction
+    across the seven decoded logical bits.
+
+    This is the machinery behind the flow equation p₂ = A·p₁²: below
+    the level-1 pseudo-threshold a level-2 block out-performs a
+    level-1 block, above it concatenation hurts (E17). *)
+
+(** Physical-qubit layout requirement: [data] is a 49-qubit block;
+    [scratch] points at 112 further qubits (level-2 ancilla block,
+    level-2 checker block, and a 14-qubit level-1 scratch area). *)
+val scratch_qubits : int
+
+(** [prepare_zero_l2 sim ~block ~scratch ~max_attempts] — verified
+    encoded |0̄⟩₂ on the 49 qubits at [block]. *)
+val prepare_zero_l2 :
+  Sim.t -> block:int -> scratch:int -> max_attempts:int -> unit
+
+(** [inner_ec sim ~data ~scratch] — one level-1 EC cycle on each of
+    the seven inner blocks. *)
+val inner_ec : Sim.t -> data:int -> scratch:int -> unit
+
+(** [recover_l2 sim ~data ~scratch ~max_attempts] — one full level-2
+    EC cycle: inner EC on all sub-blocks, then outer bit- and
+    phase-syndrome rounds (§3.4 repeat rule at the outer level), with
+    outer corrections applied as transversal inner logical
+    operators. *)
+val recover_l2 : Sim.t -> data:int -> scratch:int -> max_attempts:int -> unit
+
+(** [measure_logical_z_destructive_l2 sim ~block] — measure all 49
+    qubits and decode hierarchically; robust to any single inner-block
+    failure. *)
+val measure_logical_z_destructive_l2 : Sim.t -> block:int -> bool
+
+(** [logical_failure_rate ~noise ~level ~trials rng] — the E17 driver:
+    prepare a perfect level-[level] (1 or 2) encoded eigenstate
+    (both bases alternately), run one noisy EC cycle at that level,
+    judge ideally.  Returns (failures, trials). *)
+val logical_failure_rate :
+  noise:Noise.t -> level:int -> trials:int -> Random.State.t -> int * int
+
+(** [logical_failure_rate_par ?domains ~noise ~level ~trials ~seed ()]
+    — same experiment fanned out across OCaml 5 domains via {!Parmc}
+    (each level-2 trial simulates 161 qubits, so the wall-clock win is
+    nearly linear in cores). *)
+val logical_failure_rate_par :
+  ?domains:int ->
+  noise:Noise.t ->
+  level:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  int * int

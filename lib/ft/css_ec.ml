@@ -1,0 +1,181 @@
+module Bitvec = Gf2.Bitvec
+module Mat = Gf2.Mat
+module Code = Codes.Stabilizer_code
+
+type policy = Accept_first | Repeat_if_nontrivial
+
+type t = {
+  code : Code.t;
+  hx : Mat.t;
+  hz : Mat.t;
+  circuit_z : Circuit.t; (* prepares |rowspace H_Z⟩ *)
+  circuit_x : Circuit.t; (* prepares |rowspace H_X⟩ *)
+  kz : Mat.t; (* membership check for rowspace H_Z *)
+  kx : Mat.t; (* membership check for rowspace H_X *)
+  decode_z : Bitvec.t -> Bitvec.t option; (* bit-flip side *)
+  decode_x : Bitvec.t -> Bitvec.t option; (* phase-flip side *)
+}
+
+let make ?(max_weight = 1) ~code ~hx ~hz () =
+  let n = code.Code.n in
+  if Mat.cols hx <> n || Mat.cols hz <> n then
+    invalid_arg "Css_ec.make: check width mismatch";
+  { code;
+    hx;
+    hz;
+    circuit_z = Codes.Css.superposition_circuit hz;
+    circuit_x = Codes.Css.superposition_circuit hx;
+    kz = Mat.of_rows (Mat.kernel hz);
+    kx = Mat.of_rows (Mat.kernel hx);
+    decode_z = Codes.Css.classical_decoder ~checks:hz ~n ~max_weight;
+    decode_x = Codes.Css.classical_decoder ~checks:hx ~n ~max_weight }
+
+let for_steane () =
+  make ~code:Codes.Steane.code ~hx:Codes.Hamming.parity_check
+    ~hz:Codes.Hamming.parity_check ()
+
+let for_shor9 () =
+  make ~code:Codes.Shor9.code ~hx:Codes.Shor9.hx ~hz:Codes.Shor9.hz ()
+
+let for_reed_muller () =
+  make ~code:Codes.More_codes.reed_muller15 ~hx:Codes.More_codes.reed_muller_hx
+    ~hz:Codes.More_codes.reed_muller_hz ()
+
+let for_golay () =
+  make ~max_weight:3 ~code:Codes.Golay.code ~hx:Codes.Golay.parity_check
+    ~hz:Codes.Golay.parity_check ()
+
+let code t = t.code
+let scratch_qubits t = 2 * t.code.Code.n
+let self_dual t = Mat.equal t.hx t.hz
+
+let measure_block sim ~block ~n =
+  let w = Bitvec.create n in
+  for i = 0 to n - 1 do
+    if Sim.measure sim (block + i) then Bitvec.set w i true
+  done;
+  w
+
+(* Prepare the code state of [circuit] on [block] and verify it by
+   XOR-comparison against a second fresh copy at [checker]: the
+   measured word must lie in the circuit's code (membership·word = 0),
+   otherwise both copies are discarded. *)
+let verified_code_state sim t ~circuit ~membership ~block ~checker
+    ~max_attempts =
+  let n = t.code.Code.n in
+  let rec attempt k =
+    if k > max_attempts then
+      failwith "Css_ec: ancilla verification kept failing";
+    for q = 0 to n - 1 do
+      Sim.prepare_zero sim (block + q)
+    done;
+    Sim.run_circuit sim circuit ~offset:block;
+    for q = 0 to n - 1 do
+      Sim.prepare_zero sim (checker + q)
+    done;
+    Sim.run_circuit sim circuit ~offset:checker;
+    for i = 0 to n - 1 do
+      Sim.cnot sim (block + i) (checker + i)
+    done;
+    let w = measure_block sim ~block:checker ~n in
+    if not (Bitvec.is_zero (Mat.mul_vec membership w)) then attempt (k + 1)
+  in
+  attempt 1
+
+let apply_support sim ~data ~gate support =
+  Bitvec.iteri (fun q set -> if set then gate sim (data + q)) support
+
+let prepare_zero_verified sim t ~block ~checker ~max_attempts =
+  verified_code_state sim t ~circuit:t.circuit_x ~membership:t.kx ~block
+    ~checker ~max_attempts
+
+let classical_correct_bit_word t w =
+  match t.decode_z (Mat.mul_vec t.hz w) with
+  | Some support -> Some (Bitvec.xor w support)
+  | None -> None
+
+(* one bit-flip syndrome measurement: fresh verified ancilla, XOR
+   data→ancilla, Z readout, H_Z syndrome *)
+let bit_syndrome sim t ~data ~ancilla ~checker ~max_attempts =
+  let n = t.code.Code.n in
+  verified_code_state sim t ~circuit:t.circuit_z ~membership:t.kz
+    ~block:ancilla ~checker ~max_attempts;
+  (* rotate |rowspace H_Z⟩ into |ker H_Z⟩ *)
+  for q = 0 to n - 1 do
+    Sim.h sim (ancilla + q)
+  done;
+  for i = 0 to n - 1 do
+    Sim.cnot sim (data + i) (ancilla + i)
+  done;
+  Mat.mul_vec t.hz (measure_block sim ~block:ancilla ~n)
+
+let phase_syndrome sim t ~data ~ancilla ~checker ~max_attempts =
+  let n = t.code.Code.n in
+  verified_code_state sim t ~circuit:t.circuit_x ~membership:t.kx
+    ~block:ancilla ~checker ~max_attempts;
+  for i = 0 to n - 1 do
+    Sim.cnot sim (ancilla + i) (data + i)
+  done;
+  let w = Bitvec.create n in
+  for i = 0 to n - 1 do
+    if Sim.measure_x sim (ancilla + i) then Bitvec.set w i true
+  done;
+  Mat.mul_vec t.hx w
+
+let run_side ~policy ~measure ~decode ~apply =
+  let empty_like s = Bitvec.create (Bitvec.length s) in
+  let act s =
+    match decode s with
+    | Some support when Bitvec.weight support > 0 ->
+      apply support;
+      support
+    | Some support -> support
+    | None -> empty_like s
+  in
+  match policy with
+  | Accept_first ->
+    let s = measure () in
+    (act s, 1)
+  | Repeat_if_nontrivial ->
+    let s1 = measure () in
+    if Bitvec.is_zero s1 then (Bitvec.create (Bitvec.length s1), 1)
+    else begin
+      let s2 = measure () in
+      if Bitvec.equal s1 s2 then (act s2, 2)
+      else (Bitvec.create (Bitvec.length s1), 2)
+    end
+
+let bit_round sim t ~policy ~data ~ancilla ~checker ~max_attempts =
+  let support, _ =
+    run_side ~policy
+      ~measure:(fun () -> bit_syndrome sim t ~data ~ancilla ~checker ~max_attempts)
+      ~decode:t.decode_z
+      ~apply:(apply_support sim ~data ~gate:Sim.x)
+  in
+  support
+
+let phase_round sim t ~policy ~data ~ancilla ~checker ~max_attempts =
+  let support, _ =
+    run_side ~policy
+      ~measure:(fun () ->
+        phase_syndrome sim t ~data ~ancilla ~checker ~max_attempts)
+      ~decode:t.decode_x
+      ~apply:(apply_support sim ~data ~gate:Sim.z)
+  in
+  support
+
+let recover sim t ~policy ~data ~ancilla ~checker ~max_attempts =
+  let _, r1 =
+    run_side ~policy
+      ~measure:(fun () -> bit_syndrome sim t ~data ~ancilla ~checker ~max_attempts)
+      ~decode:t.decode_z
+      ~apply:(apply_support sim ~data ~gate:Sim.x)
+  in
+  let _, r2 =
+    run_side ~policy
+      ~measure:(fun () ->
+        phase_syndrome sim t ~data ~ancilla ~checker ~max_attempts)
+      ~decode:t.decode_x
+      ~apply:(apply_support sim ~data ~gate:Sim.z)
+  in
+  r1 + r2

@@ -1,0 +1,105 @@
+(** Generalized Steane-method error correction for an arbitrary CSS
+    code (§3.6, Fig. 10).
+
+    For a CSS code with checks (H_X | H_Z) on n qubits, one full
+    syndrome needs only two n-qubit ancilla blocks and 2n XORs — "each
+    qubit in the code block is acted on by only two quantum gates …
+    the minimum necessary to detect both bit-flip and phase errors".
+
+    Bit-flip round: the ancilla is the uniform superposition over
+    ker H_Z (prepared as H^⊗n of the |rowspace H_Z⟩ code state, so
+    that the dangerous correlated Z errors on the ancilla appear as X
+    errors during verification); transversal XOR data→ancilla; Z-basis
+    readout; H_Z·word is the data's X-error syndrome, and the word
+    itself is a uniformly random codeword carrying no logical
+    information.  Phase-flip round: dual — ancilla |rowspace H_X⟩ as
+    XOR source, X-basis readout, H_X·word the Z-error syndrome.
+
+    Ancilla verification compares against a second copy (XOR +
+    destructive measurement) and rejects on any code-membership
+    violation of the measured word. *)
+
+type t
+
+(** [make ?max_weight ~code ~hx ~hz ()] — precompute ancilla bases,
+    preparation circuits and classical side decoders.  [max_weight]
+    bounds the classical decoding tables (default 1: single-error
+    correction, right for distance-3 codes). *)
+val make :
+  ?max_weight:int ->
+  code:Codes.Stabilizer_code.t ->
+  hx:Gf2.Mat.t ->
+  hz:Gf2.Mat.t ->
+  unit ->
+  t
+
+(** Prebuilt gadgets. *)
+val for_steane : unit -> t
+
+val for_shor9 : unit -> t
+val for_reed_muller : unit -> t
+
+(** The [[23,1,7]] Golay gadget (classical decoding up to 3 errors per
+    side). *)
+val for_golay : unit -> t
+
+val code : t -> Codes.Stabilizer_code.t
+
+(** [self_dual t] — H_X = H_Z (bitwise Hadamard is then a logical
+    Hadamard on every block). *)
+val self_dual : t -> bool
+
+(** [prepare_zero_verified sim t ~block ~checker ~max_attempts] — a
+    verified encoded |0̄⟩ (the |rowspace H_X⟩ code state) on the
+    n qubits at [block]. *)
+val prepare_zero_verified :
+  Sim.t -> t -> block:int -> checker:int -> max_attempts:int -> unit
+
+(** [classical_correct_bit_word t w] — classically correct a measured
+    Z-basis word: the H_Z syndrome of [w] is decoded and the error
+    support XORed away ([None] if the syndrome exceeds the decoder's
+    weight budget). *)
+val classical_correct_bit_word : t -> Gf2.Bitvec.t -> Gf2.Bitvec.t option
+
+(** Scratch requirement: two blocks of n qubits (ancilla at [ancilla],
+    verification copy at [checker]). *)
+val scratch_qubits : t -> int
+
+type policy = Accept_first | Repeat_if_nontrivial
+
+(** [recover sim t ~policy ~data ~ancilla ~checker ~max_attempts] —
+    one full EC cycle (bit round then phase round, each governed by
+    the §3.4 policy).  Returns syndrome rounds used. *)
+val recover :
+  Sim.t ->
+  t ->
+  policy:policy ->
+  data:int ->
+  ancilla:int ->
+  checker:int ->
+  max_attempts:int ->
+  int
+
+(** Individual rounds, for tests and custom schedules: each prepares
+    its own verified ancilla and returns the raw correction support it
+    applied (empty when the syndrome was trivial or the policy
+    declined). *)
+val bit_round :
+  Sim.t ->
+  t ->
+  policy:policy ->
+  data:int ->
+  ancilla:int ->
+  checker:int ->
+  max_attempts:int ->
+  Gf2.Bitvec.t
+
+val phase_round :
+  Sim.t ->
+  t ->
+  policy:policy ->
+  data:int ->
+  ancilla:int ->
+  checker:int ->
+  max_attempts:int ->
+  Gf2.Bitvec.t

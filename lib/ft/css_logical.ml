@@ -1,0 +1,142 @@
+module Code = Codes.Stabilizer_code
+module Bitvec = Gf2.Bitvec
+
+type t = {
+  s : Sim.t;
+  gadget : Css_ec.t;
+  blocks : int;
+  n : int;
+  ancilla : int;
+  checker : int;
+  policy : Css_ec.policy;
+  s_supported : bool;
+  z_support : Bitvec.t; (* support of Z̄, for destructive readout *)
+}
+
+let block_offset t i = t.n * i
+
+(* Check, on a noise-free tableau, that bitwise P⁻¹ implements the
+   logical phase gate: S̄|+̄⟩ must be stabilized by Ȳ = i·X̄·Z̄. *)
+let check_transversal_s (code : Code.t) =
+  let tab = Code.prepare_logical_plus code in
+  for q = 0 to code.Code.n - 1 do
+    Tableau.sdg tab q
+  done;
+  let y_bar =
+    Pauli.mul_phase (Pauli.mul code.Code.logical_x.(0) code.Code.logical_z.(0)) 1
+  in
+  Tableau.expectation tab y_bar = Some true
+
+let create ?(policy = Css_ec.Repeat_if_nontrivial) ~gadget ~blocks ~noise rng =
+  if blocks < 1 then invalid_arg "Css_logical.create: need a block";
+  if not (Css_ec.self_dual gadget) then
+    invalid_arg "Css_logical.create: gadget's code is not self-dual";
+  let code = Css_ec.code gadget in
+  let n = code.Code.n in
+  let ancilla = n * blocks in
+  let checker = ancilla + n in
+  let s = Sim.create ~n:(checker + n) ~noise rng in
+  let t =
+    { s;
+      gadget;
+      blocks;
+      n;
+      ancilla;
+      checker;
+      policy;
+      s_supported = check_transversal_s code;
+      z_support = Pauli.z_bits code.Code.logical_z.(0) }
+  in
+  for i = 0 to blocks - 1 do
+    Css_ec.prepare_zero_verified s gadget ~block:(block_offset t i)
+      ~checker:t.checker ~max_attempts:50
+  done;
+  t
+
+let num_blocks t = t.blocks
+let code t = Css_ec.code t.gadget
+let sim t = t.s
+
+let check_block t i =
+  if i < 0 || i >= t.blocks then invalid_arg "Css_logical: block out of range"
+
+let ec t i =
+  check_block t i;
+  ignore
+    (Css_ec.recover t.s t.gadget ~policy:t.policy ~data:(block_offset t i)
+       ~ancilla:t.ancilla ~checker:t.checker ~max_attempts:50)
+
+let apply_logical t i op =
+  let base = block_offset t i in
+  for q = 0 to t.n - 1 do
+    match Pauli.letter op q with
+    | Pauli.I -> ()
+    | Pauli.X -> Sim.x t.s (base + q)
+    | Pauli.Y -> Sim.y t.s (base + q)
+    | Pauli.Z -> Sim.z t.s (base + q)
+  done
+
+let x t i =
+  check_block t i;
+  apply_logical t i (code t).Code.logical_x.(0);
+  ec t i
+
+let z t i =
+  check_block t i;
+  apply_logical t i (code t).Code.logical_z.(0);
+  ec t i
+
+let h t i =
+  check_block t i;
+  let base = block_offset t i in
+  for q = 0 to t.n - 1 do
+    Sim.h t.s (base + q)
+  done;
+  ec t i
+
+let s t i =
+  check_block t i;
+  if not t.s_supported then
+    invalid_arg "Css_logical.s: bitwise P⁻¹ is not a logical P for this code";
+  let base = block_offset t i in
+  for q = 0 to t.n - 1 do
+    Sim.sdg t.s (base + q)
+  done;
+  ec t i
+
+let cnot t ~control ~target =
+  check_block t control;
+  check_block t target;
+  if control = target then invalid_arg "Css_logical.cnot: same block";
+  let cb = block_offset t control and tb = block_offset t target in
+  for q = 0 to t.n - 1 do
+    Sim.cnot t.s (cb + q) (tb + q)
+  done;
+  ec t control;
+  ec t target
+
+let measure_z t i =
+  check_block t i;
+  let base = block_offset t i in
+  let w = Bitvec.create t.n in
+  for q = 0 to t.n - 1 do
+    if Sim.measure t.s (base + q) then Bitvec.set w q true
+  done;
+  match Css_ec.classical_correct_bit_word t.gadget w with
+  | Some corrected -> Bitvec.dot corrected t.z_support
+  | None ->
+    (* syndrome beyond the classical decoder: read the raw pairing *)
+    Bitvec.dot w t.z_support
+
+let prepare_zero t i =
+  check_block t i;
+  Css_ec.prepare_zero_verified t.s t.gadget ~block:(block_offset t i)
+    ~checker:t.checker ~max_attempts:50
+
+let ideal_z t i =
+  check_block t i;
+  Sim.ideal_measure_logical_z t.s (code t) ~offset:(block_offset t i)
+
+let ideal_x t i =
+  check_block t i;
+  Sim.ideal_measure_logical_x t.s (code t) ~offset:(block_offset t i)

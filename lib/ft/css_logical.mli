@@ -1,0 +1,58 @@
+(** A fault-tolerant logical processor over *any* self-dual CSS code —
+    the generalization of {!Logical} (which is Steane-specialized) to
+    e.g. the [[23,1,7]] Golay code.  §4.2's point in executable form:
+    the same transversal repertoire (NOT, H, P, XOR) plus the
+    generalized Steane-method EC of Fig. 10 runs unchanged on any code
+    in the family; stronger codes buy lower logical error rates with
+    the same program.
+
+    Requirements, checked at {!create} time on a noise-free tableau:
+    H_X = H_Z (bitwise H is the logical H) and, if the [s] gate is to
+    be used, bitwise P⁻¹ must implement P̄ (true when the odd
+    codewords all have weight ≡ 3 mod 4 — Steane and Golay both
+    qualify). *)
+
+type t
+
+(** [create ?policy ~gadget ~blocks ~noise rng] — [blocks] data blocks
+    of the gadget's code, plus shared EC scratch; every block starts
+    as verified |0̄⟩.  Raises [Invalid_argument] if the gadget is not
+    self-dual. *)
+val create :
+  ?policy:Css_ec.policy ->
+  gadget:Css_ec.t ->
+  blocks:int ->
+  noise:Noise.t ->
+  Random.State.t ->
+  t
+
+val num_blocks : t -> int
+val code : t -> Codes.Stabilizer_code.t
+val sim : t -> Sim.t
+
+(** [ec t i] — one EC cycle on block [i]. *)
+val ec : t -> int -> unit
+
+(** Logical gates, each followed by EC on the touched blocks. *)
+val x : t -> int -> unit
+
+val z : t -> int -> unit
+val h : t -> int -> unit
+
+(** [s t i] — bitwise P⁻¹; raises if the creation-time check found the
+    code does not support it. *)
+val s : t -> int -> unit
+
+val cnot : t -> control:int -> target:int -> unit
+
+(** [measure_z t i] — destructive logical readout with classical
+    correction (robust to up to t errors of the code). *)
+val measure_z : t -> int -> bool
+
+(** [prepare_zero t i] — re-initialize block [i]. *)
+val prepare_zero : t -> int -> unit
+
+(** Noise-free judgments. *)
+val ideal_z : t -> int -> bool
+
+val ideal_x : t -> int -> bool

@@ -1,0 +1,58 @@
+type t = {
+  s : Sim.t;
+  leak_rate : float;
+  rng : Random.State.t;
+  flags : bool array;
+}
+
+let create ~n ~noise ~leak_rate rng =
+  { s = Sim.create ~n ~noise rng; leak_rate; rng; flags = Array.make n false }
+
+let sim t = t.s
+let leaked t q = t.flags.(q)
+let leak t q = t.flags.(q) <- true
+
+let maybe_leak t q =
+  if t.leak_rate > 0.0 && Random.State.float t.rng 1.0 < t.leak_rate then
+    t.flags.(q) <- true
+
+let gate1 f t q =
+  if not t.flags.(q) then f t.s q;
+  maybe_leak t q
+
+let h = gate1 Sim.h
+let x = gate1 Sim.x
+let z = gate1 Sim.z
+
+let cnot t a b =
+  if not (t.flags.(a) || t.flags.(b)) then Sim.cnot t.s a b;
+  maybe_leak t a;
+  maybe_leak t b
+
+let measure t q = if t.flags.(q) then false else Sim.measure t.s q
+
+let detect t ~data ~ancilla =
+  (* ancilla |0⟩; XOR data→ancilla; NOT data; XOR; NOT back.  For an
+     unleaked data qubit the ancilla accumulates b ⊕ (1⊕b) = 1; a
+     leaked qubit leaves it at 0. *)
+  t.flags.(ancilla) <- false;
+  Sim.prepare_zero t.s ancilla;
+  cnot t data ancilla;
+  x t data;
+  cnot t data ancilla;
+  x t data;
+  not (measure t ancilla)
+
+let replace t q =
+  t.flags.(q) <- false;
+  Sim.prepare_zero t.s q
+
+let scrub t ~qubits ~ancilla =
+  List.fold_left
+    (fun repaired q ->
+      if detect t ~data:q ~ancilla then begin
+        replace t q;
+        repaired + 1
+      end
+      else repaired)
+    0 qubits

@@ -1,0 +1,49 @@
+(** Leakage errors and the detection circuit of Fig. 15 (§6).
+
+    A qubit may "leak" out of its two-dimensional space; the model
+    here follows the paper's operational assumption: gates act
+    trivially on a leaked qubit.  The detection circuit — ancilla
+    |0⟩, XOR from the data, NOT on the data, XOR again, NOT back —
+    leaves the ancilla in |1⟩ for any qubit state and in |0⟩ when the
+    data has leaked, because the two XORs then both act trivially.
+    A detected leak is repaired by replacing the qubit with a fresh
+    |0⟩, converting the leak into a *located* erasure that ordinary
+    syndrome measurement then corrects. *)
+
+type t
+
+(** [create ~n ~noise ~leak_rate rng] — a stabilizer register where
+    every gate additionally leaks each operand with probability
+    [leak_rate]. *)
+val create :
+  n:int -> noise:Noise.t -> leak_rate:float -> Random.State.t -> t
+
+val sim : t -> Sim.t
+
+(** [leaked t q] — whether qubit [q] is currently leaked. *)
+val leaked : t -> int -> bool
+
+(** [leak t q] — force a leak (for tests). *)
+val leak : t -> int -> unit
+
+(** Gates with leakage semantics: a leaked operand makes the gate act
+    trivially (on all operands, per the Fig. 15 assumption). *)
+val h : t -> int -> unit
+
+val x : t -> int -> unit
+val z : t -> int -> unit
+val cnot : t -> int -> int -> unit
+
+(** [measure t q] — a leaked qubit reads 0. *)
+val measure : t -> int -> bool
+
+(** [detect t ~data ~ancilla] — the Fig. 15 circuit; [true] when a
+    leak was detected on [data].  Uses real (noisy) gates. *)
+val detect : t -> data:int -> ancilla:int -> bool
+
+(** [replace t q] — swap in a fresh |0⟩ for a leaked qubit. *)
+val replace : t -> int -> unit
+
+(** [scrub t ~qubits ~ancilla] — detect-and-replace over a block;
+    returns how many leaks were repaired. *)
+val scrub : t -> qubits:int list -> ancilla:int -> int

@@ -1,0 +1,78 @@
+type t = {
+  s : Sim.t;
+  blocks : int;
+  ancilla : int;
+  checker : int;
+  meas_anc : int;
+  policy : Steane_ec.policy;
+  verify : Steane_ec.verify_policy;
+}
+
+let block_offset i = 7 * i
+
+let create ?(policy = Steane_ec.Repeat_if_nontrivial)
+    ?(verify = Steane_ec.Reject) ~blocks ~noise rng =
+  if blocks < 1 then invalid_arg "Logical.create: need at least one block";
+  let ancilla = 7 * blocks in
+  let checker = ancilla + 7 in
+  let meas_anc = checker + 7 in
+  let s = Sim.create ~n:(meas_anc + 1) ~noise rng in
+  let t = { s; blocks; ancilla; checker; meas_anc; policy; verify } in
+  for i = 0 to blocks - 1 do
+    Steane_ec.prepare_zero_verified s ~block:(block_offset i) ~checker:t.checker
+      ~verify ~max_attempts:50
+  done;
+  t
+
+let num_blocks t = t.blocks
+let sim t = t.s
+
+let check_block t i =
+  if i < 0 || i >= t.blocks then invalid_arg "Logical: block out of range"
+
+let ec t i =
+  check_block t i;
+  ignore
+    (Steane_ec.recover t.s ~policy:t.policy ~verify:t.verify
+       ~data:(block_offset i) ~ancilla:t.ancilla ~checker:t.checker)
+
+let gate1 g t i =
+  check_block t i;
+  g t.s ~block:(block_offset i);
+  ec t i
+
+let x = gate1 Transversal.logical_x
+let z = gate1 Transversal.logical_z
+let h = gate1 Transversal.logical_h
+let s = gate1 Transversal.logical_s
+
+let cnot t ~control ~target =
+  check_block t control;
+  check_block t target;
+  if control = target then invalid_arg "Logical.cnot: same block";
+  Transversal.logical_cnot t.s ~control:(block_offset control)
+    ~target:(block_offset target);
+  ec t control;
+  ec t target
+
+let measure_z t i =
+  check_block t i;
+  Transversal.logical_measure_z_destructive t.s ~block:(block_offset i)
+
+let measure_z_nondestructive t i =
+  check_block t i;
+  Transversal.logical_measure_z_nondestructive t.s ~block:(block_offset i)
+    ~ancilla:t.meas_anc ~repetitions:3
+
+let prepare_zero t i =
+  check_block t i;
+  Steane_ec.prepare_zero_verified t.s ~block:(block_offset i)
+    ~checker:t.checker ~verify:t.verify ~max_attempts:50
+
+let ideal_z t i =
+  check_block t i;
+  Sim.ideal_measure_logical_z t.s Codes.Steane.code ~offset:(block_offset i)
+
+let ideal_x t i =
+  check_block t i;
+  Sim.ideal_measure_logical_x t.s Codes.Steane.code ~offset:(block_offset i)

@@ -1,0 +1,56 @@
+(** A fault-tolerant logical processor: [k] Steane blocks plus shared
+    ancilla/checker scratch, exposing §4.1's gate set at the logical
+    level with an error-correction cycle after every logical gate
+    (the paper's "perform error correction every time we execute a
+    gate", §5).
+
+    This is the library's top-level user API: build a machine, apply
+    logical gates, read logical qubits out.  Everything underneath —
+    verified ancilla preparation, Steane syndrome extraction, the
+    §3.4 repetition rule — is the fault-tolerant machinery of §3. *)
+
+type t
+
+(** [create ?policy ?verify ~blocks ~noise rng] — allocate
+    [7·blocks + 15] physical qubits ([blocks] data blocks, one ancilla
+    block, one checker block, one measurement ancilla); every block
+    starts as verified encoded |0̄⟩. *)
+val create :
+  ?policy:Steane_ec.policy ->
+  ?verify:Steane_ec.verify_policy ->
+  blocks:int ->
+  noise:Noise.t ->
+  Random.State.t ->
+  t
+
+val num_blocks : t -> int
+val sim : t -> Sim.t
+
+(** [ec t i] — run one error-correction cycle on block [i]. *)
+val ec : t -> int -> unit
+
+(** Logical gates (each transversal gate is followed by an EC cycle on
+    the touched blocks). *)
+val x : t -> int -> unit
+
+val z : t -> int -> unit
+val h : t -> int -> unit
+val s : t -> int -> unit
+val cnot : t -> control:int -> target:int -> unit
+
+(** [measure_z t i] — destructive logical measurement of block [i]
+    (Hamming-corrected parity readout).  The block is left collapsed;
+    re-prepare before reuse. *)
+val measure_z : t -> int -> bool
+
+(** [measure_z_nondestructive t i] — Fig. 4's ancilla-parity
+    measurement, majority-voted over 3 repetitions. *)
+val measure_z_nondestructive : t -> int -> bool
+
+(** [prepare_zero t i] — re-initialize block [i] to verified |0̄⟩. *)
+val prepare_zero : t -> int -> unit
+
+(** Noise-free readouts for judging experiments. *)
+val ideal_z : t -> int -> bool
+
+val ideal_x : t -> int -> bool

@@ -1,0 +1,149 @@
+module Code = Codes.Stabilizer_code
+
+type estimate = { failures : int; trials : int; rate : float; stderr : float }
+
+let estimate ~failures ~trials =
+  let rate = float_of_int failures /. float_of_int trials in
+  let stderr =
+    sqrt (Float.max (rate *. (1.0 -. rate)) 1e-12 /. float_of_int trials)
+  in
+  { failures; trials; rate; stderr }
+
+let letters = [| Pauli.X; Pauli.Y; Pauli.Z |]
+
+let depolarize_block tab rng ~n ~offset ~block_size ~eps =
+  for q = 0 to block_size - 1 do
+    if Random.State.float rng 1.0 < eps then
+      Tableau.apply_pauli tab
+        (Pauli.single n (offset + q) letters.(Random.State.int rng 3))
+  done
+
+let unencoded ~eps ~trials rng =
+  let failures = ref 0 in
+  for t = 1 to trials do
+    let plus_basis = t mod 2 = 0 in
+    let tab = Tableau.create 1 in
+    if plus_basis then Tableau.h tab 0;
+    depolarize_block tab rng ~n:1 ~offset:0 ~block_size:1 ~eps;
+    let outcome =
+      if plus_basis then Tableau.measure_x tab rng 0
+      else Tableau.measure tab rng 0
+    in
+    if outcome then incr failures
+  done;
+  estimate ~failures:!failures ~trials
+
+(* Judge a block noiselessly: ideal recovery then logical readout. *)
+let judge tab rng (code : Code.t) ~plus_basis =
+  ignore (Code.ideal_recover code tab rng);
+  let op =
+    if plus_basis then code.Code.logical_x.(0) else code.Code.logical_z.(0)
+  in
+  Tableau.measure_pauli tab rng op
+
+let encoded_ideal_ec (code : Code.t) ~eps ~rounds ~trials rng =
+  let failures = ref 0 in
+  for t = 1 to trials do
+    let plus_basis = t mod 2 = 0 in
+    let tab =
+      if plus_basis then Code.prepare_logical_plus code
+      else Code.prepare_logical_zero code
+    in
+    for _ = 1 to rounds do
+      depolarize_block tab rng ~n:code.Code.n ~offset:0
+        ~block_size:code.Code.n ~eps;
+      ignore (Code.ideal_recover code tab rng)
+    done;
+    if judge tab rng code ~plus_basis then incr failures
+  done;
+  estimate ~failures:!failures ~trials
+
+(* Copy a prepared 7-qubit logical state into a larger noisy register:
+   we instead prepare directly in the register by projecting. *)
+let prepare_steane_in sim ~offset ~plus_basis =
+  let code = Codes.Steane.code in
+  let n = Sim.num_qubits sim in
+  let tab = Sim.tableau sim in
+  Array.iter
+    (fun g ->
+      let g' = Code.embed code ~offset ~total:n g in
+      if not (Tableau.postselect_pauli tab g' ~outcome:false) then
+        failwith "prepare_steane_in: projection failed")
+    code.Code.generators;
+  let logical =
+    if plus_basis then code.Code.logical_x.(0) else code.Code.logical_z.(0)
+  in
+  let l' = Code.embed code ~offset ~total:n logical in
+  if not (Tableau.postselect_pauli tab l' ~outcome:false) then
+    failwith "prepare_steane_in: logical projection failed"
+
+let judge_steane_in sim ~offset ~plus_basis =
+  if plus_basis then
+    Sim.ideal_measure_logical_x sim Codes.Steane.code ~offset
+  else Sim.ideal_measure_logical_z sim Codes.Steane.code ~offset
+
+let shor_ec_failure ~noise ~policy ~verified ~trials rng =
+  let code = Codes.Steane.code in
+  (* data 0..6, cat 7..10 (weight-4 generators), check 11 *)
+  let n = 12 in
+  let failures = ref 0 in
+  for t = 1 to trials do
+    let plus_basis = t mod 2 = 0 in
+    let sim = Sim.create ~n ~noise rng in
+    prepare_steane_in sim ~offset:0 ~plus_basis;
+    ignore
+      (Shor_ec.recover sim code ~policy ~offset:0 ~cat_base:7 ~check:11
+         ~verified);
+    if judge_steane_in sim ~offset:0 ~plus_basis then incr failures
+  done;
+  estimate ~failures:!failures ~trials
+
+let steane_ec_failure ~noise ~policy ~verify ~trials rng =
+  let n = 21 in
+  (* data 0..6, ancilla 7..13, checker 14..20 *)
+  let failures = ref 0 in
+  for t = 1 to trials do
+    let plus_basis = t mod 2 = 0 in
+    let sim = Sim.create ~n ~noise rng in
+    prepare_steane_in sim ~offset:0 ~plus_basis;
+    ignore (Steane_ec.recover sim ~policy ~verify ~data:0 ~ancilla:7 ~checker:14);
+    if judge_steane_in sim ~offset:0 ~plus_basis then incr failures
+  done;
+  estimate ~failures:!failures ~trials
+
+let logical_cnot_exrec_failure ~noise ~trials rng =
+  (* blocks at 0 and 7; shared scratch at 14 (ancilla) and 21
+     (checker) *)
+  let n = 28 in
+  let failures = ref 0 in
+  for t = 1 to trials do
+    let plus_basis = t mod 2 = 0 in
+    let sim = Sim.create ~n ~noise rng in
+    prepare_steane_in sim ~offset:0 ~plus_basis;
+    prepare_steane_in sim ~offset:7 ~plus_basis;
+    Transversal.logical_cnot sim ~control:0 ~target:7;
+    ignore
+      (Steane_ec.recover sim ~policy:Steane_ec.Repeat_if_nontrivial
+         ~verify:Steane_ec.Reject ~data:0 ~ancilla:14 ~checker:21);
+    ignore
+      (Steane_ec.recover sim ~policy:Steane_ec.Repeat_if_nontrivial
+         ~verify:Steane_ec.Reject ~data:7 ~ancilla:14 ~checker:21);
+    (* judge both blocks: logical CNOT on |00̄⟩ / |+̄+̄⟩ leaves
+       eigenstates of Z̄⊗Z̄-ish checks; simplest exact judgment:
+       undo the logical CNOT ideally, then check each block *)
+    let tab = Sim.tableau sim in
+    for i = 0 to 6 do
+      Tableau.cnot tab i (7 + i)
+    done;
+    let fail0 = judge_steane_in sim ~offset:0 ~plus_basis in
+    let fail1 = judge_steane_in sim ~offset:7 ~plus_basis in
+    if fail0 || fail1 then incr failures
+  done;
+  estimate ~failures:!failures ~trials
+
+let fit_quadratic points =
+  match points with
+  | [] -> invalid_arg "fit_quadratic: no points"
+  | _ ->
+    let ratios = List.map (fun (eps, p) -> p /. (eps *. eps)) points in
+    List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)

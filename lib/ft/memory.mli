@@ -1,0 +1,68 @@
+(** Monte-Carlo logical-memory experiments (E1, E2, E4, E5).
+
+    The methodology exploits that the whole §6 noise model is Pauli
+    noise on Clifford circuits: a trial prepares a *perfect* encoded
+    state, runs the noisy gadget under test, then judges the block
+    noiselessly (ideal recovery + logical readout).  A trial fails
+    when the readout disagrees with the prepared eigenvalue.  Both
+    |0̄⟩ (sensitive to X̄ failures) and |+̄⟩ (Z̄ failures) are run;
+    reported failure rates average the two bases. *)
+
+type estimate = {
+  failures : int;
+  trials : int;
+  rate : float;
+  stderr : float;  (** binomial standard error *)
+}
+
+val estimate : failures:int -> trials:int -> estimate
+
+(** [unencoded ~eps ~trials rng] — E1 baseline: one bare qubit, one
+    depolarizing step of strength [eps] (X/Y/Z each eps/3), judged in
+    both bases; failure rate ≈ 2ε/3 per basis. *)
+val unencoded : eps:float -> trials:int -> Random.State.t -> estimate
+
+(** [encoded_ideal_ec code ~eps ~rounds ~trials rng] — E1: every qubit
+    of the block suffers a depolarizing step of strength [eps], then a
+    *flawless* recovery is performed, [rounds] times; failure is a
+    logical flip at the end.  Reproduces F = 1 − O(ε²) (§2). *)
+val encoded_ideal_ec :
+  Codes.Stabilizer_code.t ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  Random.State.t ->
+  estimate
+
+(** [shor_ec_failure ~noise ~policy ~verified ~trials rng] — E2: one
+    noisy Shor-style EC cycle on a perfect Steane block; judged
+    ideally afterwards. *)
+val shor_ec_failure :
+  noise:Noise.t ->
+  policy:Shor_ec.policy ->
+  verified:bool ->
+  trials:int ->
+  Random.State.t ->
+  estimate
+
+(** [steane_ec_failure ~noise ~policy ~verify ~trials rng] — E2/E4
+    with the Steane gadget. *)
+val steane_ec_failure :
+  noise:Noise.t ->
+  policy:Steane_ec.policy ->
+  verify:Steane_ec.verify_policy ->
+  trials:int ->
+  Random.State.t ->
+  estimate
+
+(** [logical_cnot_exrec_failure ~noise ~trials rng] — E5: the extended
+    rectangle of one transversal logical CNOT between two Steane
+    blocks, each followed by a Steane EC cycle; failure if either
+    block is logically corrupted.  The level-1 failure rate p₁(ε)
+    fitted to A·ε² yields the pseudo-threshold ε* = 1/A. *)
+val logical_cnot_exrec_failure :
+  noise:Noise.t -> trials:int -> Random.State.t -> estimate
+
+(** [fit_quadratic points] — least squares A from p ≈ A·ε² over
+    (ε, p) points (through the origin, weights 1/ε²: fits p/ε²). *)
+val fit_quadratic : (float * float) list -> float

@@ -1,0 +1,17 @@
+type t = {
+  gate1 : float;
+  gate2 : float;
+  prep : float;
+  meas : float;
+  store : float;
+}
+
+let none = { gate1 = 0.; gate2 = 0.; prep = 0.; meas = 0.; store = 0. }
+let uniform e = { gate1 = e; gate2 = e; prep = e; meas = e; store = e }
+let gates_only e = { none with gate1 = e; gate2 = e; prep = e; meas = e }
+let storage_only e = { none with store = e }
+
+let pp fmt n =
+  Format.fprintf fmt
+    "{gate1=%.2e; gate2=%.2e; prep=%.2e; meas=%.2e; store=%.2e}" n.gate1
+    n.gate2 n.prep n.meas n.store

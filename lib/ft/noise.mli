@@ -1,0 +1,39 @@
+(** The §6 stochastic error model: random, uncorrelated Pauli errors.
+
+    - after every one-qubit gate, the qubit suffers X, Y or Z each
+      with probability [gate1]/3;
+    - after every two-qubit gate, the *pair* suffers one of the 15
+      nontrivial two-qubit Paulis with probability [gate2]/15 each —
+      the paper's pessimistic assumption that a faulty XOR damages
+      both its source and its target;
+    - a fresh |0⟩ or |+⟩ preparation is orthogonal with probability
+      [prep];
+    - a measurement outcome is reported flipped with probability
+      [meas];
+    - per time step ([tick]), every idle qubit suffers X, Y or Z each
+      with probability [store]/3. *)
+
+type t = {
+  gate1 : float;
+  gate2 : float;
+  prep : float;
+  meas : float;
+  store : float;
+}
+
+(** No noise at all. *)
+val none : t
+
+(** [uniform e] sets every parameter to [e] (the single-ε model used
+    for the threshold estimates of Eqs. 34–35). *)
+val uniform : float -> t
+
+(** [gates_only e] sets gate, preparation and measurement errors to
+    [e] and storage to 0 (the regime of Eq. 34). *)
+val gates_only : float -> t
+
+(** [storage_only e] sets storage to [e], everything else 0 (Eq. 35's
+    regime). *)
+val storage_only : float -> t
+
+val pp : Format.formatter -> t -> unit

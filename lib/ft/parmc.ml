@@ -1,0 +1,44 @@
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let chunk_bounds ~trials ~domains =
+  (* trial index ranges [lo, hi) per worker, remainder spread across
+     the first workers *)
+  let base = trials / domains and extra = trials mod domains in
+  List.init domains (fun w ->
+      let lo = (w * base) + min w extra in
+      let hi = lo + base + if w < extra then 1 else 0 in
+      (lo, hi))
+
+let run_chunk ~seed trial (lo, hi) =
+  (* one RNG per worker, seeded by the worker's first trial index so
+     the stream does not depend on how other workers progress *)
+  let rng = Random.State.make [| seed; lo; 0x9e3779b9 |] in
+  let failures = ref 0 in
+  for i = lo to hi - 1 do
+    if trial rng i then incr failures
+  done;
+  !failures
+
+let failures ?domains ~trials ~seed trial =
+  if trials < 0 then invalid_arg "Parmc.failures";
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Parmc.failures: domains >= 1"
+    | None -> default_domains ()
+  in
+  let domains = max 1 (min domains trials) in
+  if domains = 1 then run_chunk ~seed trial (0, trials)
+  else begin
+    let chunks = chunk_bounds ~trials ~domains in
+    let workers =
+      List.map
+        (fun bounds -> Domain.spawn (fun () -> run_chunk ~seed trial bounds))
+        chunks
+    in
+    List.fold_left (fun acc d -> acc + Domain.join d) 0 workers
+  end
+
+let estimate ?domains ~trials ~seed trial =
+  let f = failures ?domains ~trials ~seed trial in
+  (f, trials, float_of_int f /. float_of_int trials)

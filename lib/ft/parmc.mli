@@ -1,0 +1,27 @@
+(** Multicore Monte-Carlo harness (OCaml 5 domains).
+
+    Trials are split evenly across [domains] worker domains, each with
+    its own independently seeded RNG (derived deterministically from
+    the caller's seed, so a run is reproducible for a fixed domain
+    count).  The per-trial function must be self-contained — build
+    your own simulator inside it; domains share nothing. *)
+
+(** [failures ~domains ~trials ~seed trial] — run [trial rng i] for
+    i = 0..trials−1 and count [true] results.  [domains] defaults to
+    [Domain.recommended_domain_count ()] capped at 8; [domains = 1]
+    runs inline (no spawning). *)
+val failures :
+  ?domains:int ->
+  trials:int ->
+  seed:int ->
+  (Random.State.t -> int -> bool) ->
+  int
+
+(** [estimate ~domains ~trials ~seed trial] — same, as
+    (failures, trials, rate). *)
+val estimate :
+  ?domains:int ->
+  trials:int ->
+  seed:int ->
+  (Random.State.t -> int -> bool) ->
+  int * int * float

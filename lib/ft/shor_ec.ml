@@ -1,0 +1,101 @@
+module Code = Codes.Stabilizer_code
+module Bitvec = Gf2.Bitvec
+
+type policy = Accept_first | Repeat_if_nontrivial | Until_agree of int
+
+let max_cat_attempts = 25
+
+let measure_generator sim ~generator ~offset ~cat_base ~check ~verified =
+  let support =
+    List.filter_map
+      (fun q ->
+        match Pauli.letter generator q with
+        | Pauli.I -> None
+        | l -> Some (q + offset, l))
+      (List.init (Pauli.num_qubits generator) Fun.id)
+  in
+  let w = List.length support in
+  if w = 0 then false
+  else begin
+    let cat_qubits =
+      if verified then List.init w (fun i -> cat_base + i)
+      else [ cat_base ]
+    in
+    if verified then
+      ignore (Cat.prepare sim ~qubits:cat_qubits ~check ~max_attempts:max_cat_attempts)
+    else Sim.prepare_plus sim cat_base;
+    (* controlled-letter gates: distinct cat qubit per data qubit when
+       verified; the same shared ancilla otherwise (Fig. 2's sin) *)
+    List.iteri
+      (fun i (q, l) ->
+        let control = if verified then cat_base + i else cat_base in
+        match l with
+        | Pauli.X -> Sim.cnot sim control q
+        | Pauli.Z -> Sim.cz sim control q
+        | Pauli.Y -> Sim.cy sim control q
+        | Pauli.I -> assert false)
+      support;
+    (* X-basis parity readout of the ancilla *)
+    List.fold_left
+      (fun acc cq -> acc <> Sim.measure_x sim cq)
+      false cat_qubits
+  end
+
+let syndrome sim (code : Code.t) ~offset ~cat_base ~check ~verified =
+  let s = Bitvec.create (Array.length code.Code.generators) in
+  Array.iteri
+    (fun i g ->
+      if measure_generator sim ~generator:g ~offset ~cat_base ~check ~verified
+      then Bitvec.set s i true;
+      (* one storage time step on the data block per generator *)
+      Sim.tick sim (List.init code.Code.n (fun q -> q + offset)))
+    code.Code.generators;
+  s
+
+let apply_correction sim (code : Code.t) ~offset s =
+  let d = Code.default_decoder code in
+  match Code.decode d s with
+  | Some c when Pauli.weight c > 0 ->
+    (* the correction itself is noisy: one-qubit gates on the data *)
+    List.iter
+      (fun q ->
+        match Pauli.letter c q with
+        | Pauli.I -> ()
+        | Pauli.X -> Sim.x sim (q + offset)
+        | Pauli.Y -> Sim.y sim (q + offset)
+        | Pauli.Z -> Sim.z sim (q + offset))
+      (List.init code.Code.n Fun.id)
+  | Some _ | None -> ()
+
+let recover sim code ~policy ~offset ~cat_base ~check ~verified =
+  let measure () = syndrome sim code ~offset ~cat_base ~check ~verified in
+  match policy with
+  | Accept_first ->
+    let s = measure () in
+    apply_correction sim code ~offset s;
+    1
+  | Repeat_if_nontrivial ->
+    let s1 = measure () in
+    if Bitvec.is_zero s1 then 1
+    else begin
+      let s2 = measure () in
+      if Bitvec.equal s1 s2 then apply_correction sim code ~offset s2;
+      2
+    end
+  | Until_agree max_rounds ->
+    let s1 = measure () in
+    if Bitvec.is_zero s1 then 1
+    else begin
+      let rec loop prev rounds =
+        if rounds >= max_rounds then rounds
+        else begin
+          let s = measure () in
+          if Bitvec.equal s prev then begin
+            apply_correction sim code ~offset s;
+            rounds + 1
+          end
+          else loop s (rounds + 1)
+        end
+      in
+      loop s1 1
+    end

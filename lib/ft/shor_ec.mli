@@ -1,0 +1,63 @@
+(** Shor-style fault-tolerant error correction (§3.2–§3.4, Fig. 7).
+
+    Each stabilizer generator is measured through a *verified* cat
+    state whose width equals the generator's weight: controlled-X /
+    controlled-Z gates from distinct cat qubits onto the generator's
+    support, then an X-basis parity readout of the cat.  Each ancilla
+    qubit touches the data exactly once, so one ancilla fault cannot
+    deposit two errors in the block.  For Steane's code this is the
+    24-ancilla-bit, 24-XOR procedure of §3.2.
+
+    The syndrome-acceptance policies of §3.4 are explicit:
+    - [Accept_first]: act on the first syndrome (not fault tolerant —
+      a single fault can produce a wrong nontrivial syndrome whose
+      "correction" injects a second error);
+    - [Repeat_if_nontrivial]: the paper's rule — a trivial syndrome is
+      accepted silently; a nontrivial one is measured again and acted
+      on only if confirmed;
+    - [Until_agree n]: keep measuring (≤ n times) until two
+      consecutive syndromes agree, then act. *)
+
+type policy = Accept_first | Repeat_if_nontrivial | Until_agree of int
+
+(** [measure_generator sim ~generator ~offset ~cat_base ~check
+     ~verified] measures one (embedded) generator — X, Z or Y letters,
+    so non-CSS codes like the 5-qubit code work too — and returns the
+    syndrome bit.  [cat_base] points at [weight generator] scratch
+    qubits; [check] is the cat-verification ancilla.  [verified=false]
+    gives the Fig. 2 baseline: every controlled gate shares a single
+    unverified ancilla qubit, so ancilla phase errors feed back into
+    the data. *)
+val measure_generator :
+  Sim.t ->
+  generator:Pauli.t ->
+  offset:int ->
+  cat_base:int ->
+  check:int ->
+  verified:bool ->
+  bool
+
+(** [syndrome sim code ~offset ~cat_base ~check ~verified] measures
+    every generator once. *)
+val syndrome :
+  Sim.t ->
+  Codes.Stabilizer_code.t ->
+  offset:int ->
+  cat_base:int ->
+  check:int ->
+  verified:bool ->
+  Gf2.Bitvec.t
+
+(** [recover sim code ~policy ~offset ~cat_base ~check ~verified]
+    runs one full error-correction cycle: syndrome measurement(s)
+    under [policy], then the code's default-decoder correction.
+    Returns the number of syndrome measurement rounds used. *)
+val recover :
+  Sim.t ->
+  Codes.Stabilizer_code.t ->
+  policy:policy ->
+  offset:int ->
+  cat_base:int ->
+  check:int ->
+  verified:bool ->
+  int

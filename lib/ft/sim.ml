@@ -1,0 +1,162 @@
+module Code = Codes.Stabilizer_code
+
+type t = {
+  tab : Tableau.t;
+  noise : Noise.t;
+  rng : Random.State.t;
+  mutable gates : int;
+  mutable faults : int;
+}
+
+let create ~n ~noise rng =
+  { tab = Tableau.create n; noise; rng; gates = 0; faults = 0 }
+
+let num_qubits sim = Tableau.num_qubits sim.tab
+let noise sim = sim.noise
+let rng sim = sim.rng
+let tableau sim = sim.tab
+let gate_count sim = sim.gates
+let fault_count sim = sim.faults
+
+let letters = [| Pauli.X; Pauli.Y; Pauli.Z |]
+
+let fault1 sim q p =
+  if p > 0.0 && Random.State.float sim.rng 1.0 < p then begin
+    sim.faults <- sim.faults + 1;
+    let l = letters.(Random.State.int sim.rng 3) in
+    Tableau.apply_pauli sim.tab (Pauli.single (num_qubits sim) q l)
+  end
+
+let fault2 sim a b p =
+  if p > 0.0 && Random.State.float sim.rng 1.0 < p then begin
+    sim.faults <- sim.faults + 1;
+    (* one of the 15 nontrivial two-qubit Paulis, uniformly *)
+    let k = 1 + Random.State.int sim.rng 15 in
+    let la = k / 4 and lb = k mod 4 in
+    let n = num_qubits sim in
+    let p1 =
+      if la = 0 then Pauli.identity n else Pauli.single n a letters.(la - 1)
+    in
+    let p2 =
+      if lb = 0 then Pauli.identity n else Pauli.single n b letters.(lb - 1)
+    in
+    Tableau.apply_pauli sim.tab (Pauli.mul p1 p2)
+  end
+
+let gate1 f sim q =
+  sim.gates <- sim.gates + 1;
+  f sim.tab q;
+  fault1 sim q sim.noise.Noise.gate1
+
+let h = gate1 Tableau.h
+let x = gate1 Tableau.x
+let y = gate1 Tableau.y
+let z = gate1 Tableau.z
+let s_gate = gate1 Tableau.s_gate
+let sdg = gate1 Tableau.sdg
+
+let gate2 f sim a b =
+  sim.gates <- sim.gates + 1;
+  f sim.tab a b;
+  fault2 sim a b sim.noise.Noise.gate2
+
+let cnot = gate2 Tableau.cnot
+let cz = gate2 Tableau.cz
+let cy = gate2 Tableau.cy
+
+let apply_gate sim = function
+  | Circuit.H q -> h sim q
+  | Circuit.X q -> x sim q
+  | Circuit.Y q -> y sim q
+  | Circuit.Z q -> z sim q
+  | Circuit.S q -> s_gate sim q
+  | Circuit.Sdg q -> sdg sim q
+  | Circuit.Cnot (c, t) -> cnot sim c t
+  | Circuit.Cz (a, b) -> cz sim a b
+  | Circuit.Swap (a, b) ->
+    cnot sim a b;
+    cnot sim b a;
+    cnot sim a b
+  | Circuit.Toffoli _ -> invalid_arg "Sim.apply_gate: Toffoli"
+
+let run_circuit sim c ~offset =
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Gate g ->
+        apply_gate sim (Circuit.map_gate_qubits (fun q -> q + offset) g)
+      | Circuit.Tick -> ()
+      | Circuit.Measure _ | Circuit.Measure_x _ | Circuit.Reset _
+      | Circuit.Cond _ | Circuit.Cond_parity _ ->
+        invalid_arg "Sim.run_circuit: only unitary gates supported")
+    (Circuit.instrs c)
+
+let flip_with sim p outcome =
+  if p > 0.0 && Random.State.float sim.rng 1.0 < p then begin
+    sim.faults <- sim.faults + 1;
+    not outcome
+  end
+  else outcome
+
+let measure sim q =
+  sim.gates <- sim.gates + 1;
+  let true_outcome = Tableau.measure sim.tab sim.rng q in
+  flip_with sim sim.noise.Noise.meas true_outcome
+
+let measure_x sim q =
+  sim.gates <- sim.gates + 1;
+  let true_outcome = Tableau.measure_x sim.tab sim.rng q in
+  flip_with sim sim.noise.Noise.meas true_outcome
+
+let prepare_zero sim q =
+  sim.gates <- sim.gates + 1;
+  Tableau.reset sim.tab sim.rng q;
+  if
+    sim.noise.Noise.prep > 0.0
+    && Random.State.float sim.rng 1.0 < sim.noise.Noise.prep
+  then begin
+    sim.faults <- sim.faults + 1;
+    Tableau.x sim.tab q
+  end
+
+let prepare_plus sim q =
+  sim.gates <- sim.gates + 1;
+  Tableau.reset sim.tab sim.rng q;
+  Tableau.h sim.tab q;
+  if
+    sim.noise.Noise.prep > 0.0
+    && Random.State.float sim.rng 1.0 < sim.noise.Noise.prep
+  then begin
+    sim.faults <- sim.faults + 1;
+    Tableau.z sim.tab q
+  end
+
+let tick sim qs = List.iter (fun q -> fault1 sim q sim.noise.Noise.store) qs
+
+let inject sim p =
+  sim.faults <- sim.faults + 1;
+  Tableau.apply_pauli sim.tab p
+
+let ideal_logical measure_op sim (code : Code.t) ~offset =
+  let n = num_qubits sim in
+  (* recover ideally: measure every (embedded) generator, decode, fix *)
+  let syndrome = Gf2.Bitvec.create (Array.length code.Code.generators) in
+  Array.iteri
+    (fun i g ->
+      let g' = Code.embed code ~offset ~total:n g in
+      if Tableau.measure_pauli sim.tab sim.rng g' then
+        Gf2.Bitvec.set syndrome i true)
+    code.Code.generators;
+  let decoder = Code.default_decoder code in
+  (match Code.decode decoder syndrome with
+  | Some c when Pauli.weight c > 0 ->
+    Tableau.apply_pauli sim.tab (Code.embed code ~offset ~total:n c)
+  | Some _ | None -> ());
+  let op = Code.embed code ~offset ~total:n measure_op in
+  Tableau.measure_pauli sim.tab sim.rng op
+
+let ideal_measure_logical_z sim code ~offset =
+  ideal_logical code.Code.logical_z.(0) sim code ~offset
+
+let ideal_measure_logical_x sim code ~offset =
+  ideal_logical code.Code.logical_x.(0) sim code ~offset

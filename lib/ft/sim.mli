@@ -1,0 +1,87 @@
+(** Noisy stabilizer executor: wraps a {!Tableau.t} with the §6 fault
+    model so that gadgets are written as ordinary OCaml control flow
+    (loops, retries, adaptive syndrome decisions) over noisy
+    primitives.  Faults are exact Pauli injections — stabilizer
+    simulation makes the §6 model exact, not approximate. *)
+
+type t
+
+(** [create ~n ~noise rng] allocates [n] qubits in |0…0⟩. *)
+val create : n:int -> noise:Noise.t -> Random.State.t -> t
+
+val num_qubits : t -> int
+val noise : t -> Noise.t
+val rng : t -> Random.State.t
+
+(** [tableau sim] exposes the underlying state for *noise-free*
+    verification steps (ideal decoding, logical readout).  Mutating it
+    directly bypasses the fault model. *)
+val tableau : t -> Tableau.t
+
+(** [gate_count sim] / [fault_count sim] — executed gate operations and
+    injected faults so far. *)
+val gate_count : t -> int
+
+val fault_count : t -> int
+
+(** Noisy one-qubit gates. *)
+val h : t -> int -> unit
+
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val s_gate : t -> int -> unit
+val sdg : t -> int -> unit
+
+(** Noisy two-qubit gates. *)
+val cnot : t -> int -> int -> unit
+
+val cz : t -> int -> int -> unit
+
+(** [cy sim c t] — controlled-Y (one two-qubit fault location, used
+    when measuring generators of non-CSS codes such as the 5-qubit
+    code). *)
+val cy : t -> int -> int -> unit
+
+(** [apply_gate sim g] dispatches a circuit gate through the noisy
+    primitives (Toffoli unsupported — not Clifford). *)
+val apply_gate : t -> Circuit.gate -> unit
+
+(** [run_circuit sim c ~offset] plays a circuit's unitary gates
+    noisily with qubit [i] mapped to [offset + i]; measurements and
+    classical control are not supported here (gadgets do their own
+    adaptive measurement). *)
+val run_circuit : t -> Circuit.t -> offset:int -> unit
+
+(** [measure sim q] — noisy destructive Z measurement: the true
+    outcome is computed, then reported flipped with probability
+    [meas].  The collapse uses the true outcome. *)
+val measure : t -> int -> bool
+
+(** [measure_x sim q] — noisy X-basis measurement. *)
+val measure_x : t -> int -> bool
+
+(** [prepare_zero sim q] / [prepare_plus sim q] — noisy fresh-state
+    preparation (reset, then orthogonal with probability [prep]). *)
+val prepare_zero : t -> int -> unit
+
+val prepare_plus : t -> int -> unit
+
+(** [tick sim qs] — one storage time step on the listed qubits. *)
+val tick : t -> int list -> unit
+
+(** [inject sim p] — force a specific Pauli fault (for failure
+    injection tests). *)
+val inject : t -> Pauli.t -> unit
+
+(** [ideal_measure_logical_z sim code ~offset] /
+    [ideal_measure_logical_x sim code ~offset] — noise-free logical
+    readout of a code block living at [offset]: runs an ideal recovery
+    (syndrome + correction via the code's default decoder) and then
+    measures the logical operator, all without injecting faults.
+    Used as the experiment's final judgment. *)
+val ideal_measure_logical_z :
+  t -> Codes.Stabilizer_code.t -> offset:int -> bool
+
+val ideal_measure_logical_x :
+  t -> Codes.Stabilizer_code.t -> offset:int -> bool

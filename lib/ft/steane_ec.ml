@@ -1,0 +1,187 @@
+module Bitvec = Gf2.Bitvec
+module Hamming = Codes.Hamming
+
+type verify_policy = Reject | Paper_flip | No_verification
+type policy = Accept_first | Repeat_if_nontrivial
+
+let scratch_qubits = 14
+
+let encode_zero sim ~block =
+  for q = 0 to 6 do
+    Sim.prepare_zero sim (block + q)
+  done;
+  Sim.run_circuit sim (Codes.Steane.encoding_circuit ()) ~offset:block
+
+(* Destructively compare: XOR the block under test into a fresh
+   encoded |0̄⟩ at [checker] and measure the checker.  Returns the raw
+   7-bit word. *)
+let comparison_word sim ~block ~checker =
+  encode_zero sim ~block:checker;
+  for i = 0 to 6 do
+    Sim.cnot sim (block + i) (checker + i)
+  done;
+  let w = Bitvec.create 7 in
+  for i = 0 to 6 do
+    if Sim.measure sim (checker + i) then Bitvec.set w i true
+  done;
+  w
+
+let logical_value_of_word w =
+  let corrected, _ = Hamming.decode w in
+  Bitvec.weight corrected mod 2 = 1
+
+let prepare_zero_verified sim ~block ~checker ~verify ~max_attempts =
+  match verify with
+  | No_verification -> encode_zero sim ~block
+  | Reject ->
+    let rec attempt k =
+      if k > max_attempts then
+        failwith "Steane_ec.prepare_zero_verified: verification kept failing";
+      encode_zero sim ~block;
+      let w = comparison_word sim ~block ~checker in
+      (* any anomaly — nonzero Hamming syndrome or odd parity — means
+         some bit flip somewhere in test or checker block: discard *)
+      if Bitvec.is_zero (Hamming.syndrome w) && Bitvec.weight w mod 2 = 0
+      then ()
+      else attempt (k + 1)
+    in
+    attempt 1
+  | Paper_flip ->
+    encode_zero sim ~block;
+    let v1 = logical_value_of_word (comparison_word sim ~block ~checker) in
+    let v2 = logical_value_of_word (comparison_word sim ~block ~checker) in
+    if v1 && v2 then begin
+      (* confirmed |1̄⟩: flip with the weight-3 logical NOT
+         (footnote f) *)
+      let lx = Codes.Steane.logical_x_weight3 in
+      for q = 0 to 6 do
+        if Pauli.letter lx q <> Pauli.I then Sim.x sim (block + q)
+      done
+    end
+
+let prepare_plus_verified sim ~block ~checker ~verify ~max_attempts =
+  prepare_zero_verified sim ~block ~checker ~verify ~max_attempts;
+  for q = 0 to 6 do
+    Sim.h sim (block + q)
+  done
+
+let max_attempts_default = 25
+
+let syndrome_extraction_circuit () =
+  let open Circuit in
+  let c = ref (create ~num_cbits:14 ~num_qubits:14 ()) in
+  let add g = c := add_gate !c g in
+  let add_i i = c := Circuit.add !c i in
+  let encoder_on_ancilla () =
+    List.iter
+      (fun instr ->
+        match instr with
+        | Gate g -> add (Circuit.map_gate_qubits (fun q -> q + 7) g)
+        | _ -> ())
+      (instrs (Codes.Steane.encoding_circuit ()))
+  in
+  (* bit round: ancilla |+bar> = encoded |0bar> then bitwise H *)
+  for q = 7 to 13 do
+    add_i (Reset q)
+  done;
+  encoder_on_ancilla ();
+  for q = 7 to 13 do
+    add (H q)
+  done;
+  for i = 0 to 6 do
+    add (Cnot (i, 7 + i))
+  done;
+  for i = 0 to 6 do
+    add_i (Measure { qubit = 7 + i; cbit = i })
+  done;
+  (* phase round: fresh ancilla |0bar> as XOR source, X readout *)
+  for q = 7 to 13 do
+    add_i (Reset q)
+  done;
+  encoder_on_ancilla ();
+  for i = 0 to 6 do
+    add (Cnot (7 + i, i))
+  done;
+  for i = 0 to 6 do
+    add_i (Measure_x { qubit = 7 + i; cbit = 7 + i })
+  done;
+  !c
+
+(* Storage accounting per §6's maximal-parallelism assumption: ancilla
+   blocks are prepared and verified *offline, in parallel* with the
+   data's previous activity (the paper: "the qubits are rarely idle; a
+   gate acts on each one in almost every step"), so the data block
+   idles only while the ancilla is read out — one storage step per
+   syndrome round. *)
+let idle_data_one_step sim ~data =
+  Sim.tick sim (List.init 7 (fun i -> data + i))
+
+let bit_syndrome_once sim ~data ~ancilla ~checker ~verify =
+  prepare_plus_verified sim ~block:ancilla ~checker ~verify
+    ~max_attempts:max_attempts_default;
+  for i = 0 to 6 do
+    Sim.cnot sim (data + i) (ancilla + i)
+  done;
+  idle_data_one_step sim ~data;
+  let w = Bitvec.create 7 in
+  for i = 0 to 6 do
+    if Sim.measure sim (ancilla + i) then Bitvec.set w i true
+  done;
+  Hamming.syndrome w
+
+let phase_syndrome_once sim ~data ~ancilla ~checker ~verify =
+  prepare_zero_verified sim ~block:ancilla ~checker ~verify
+    ~max_attempts:max_attempts_default;
+  for i = 0 to 6 do
+    Sim.cnot sim (ancilla + i) (data + i)
+  done;
+  idle_data_one_step sim ~data;
+  let w = Bitvec.create 7 in
+  for i = 0 to 6 do
+    if Sim.measure_x sim (ancilla + i) then Bitvec.set w i true
+  done;
+  Hamming.syndrome w
+
+(* A 3-bit Hamming syndrome points at a qubit: the columns of Eq. (1)
+   read the 1-based position in binary, row 0 most significant. *)
+let position_of_syndrome s =
+  let v =
+    (if Bitvec.get s 0 then 4 else 0)
+    + (if Bitvec.get s 1 then 2 else 0)
+    + if Bitvec.get s 2 then 1 else 0
+  in
+  if v = 0 then None else Some (v - 1)
+
+let correct_side ~policy ~data ~measure_syndrome ~apply_at =
+  let s1 = measure_syndrome () in
+  match policy with
+  | Accept_first ->
+    (match position_of_syndrome s1 with
+    | Some q -> apply_at (data + q)
+    | None -> ());
+    1
+  | Repeat_if_nontrivial ->
+    if Bitvec.is_zero s1 then 1
+    else begin
+      let s2 = measure_syndrome () in
+      (if Bitvec.equal s1 s2 then
+         match position_of_syndrome s2 with
+         | Some q -> apply_at (data + q)
+         | None -> ());
+      2
+    end
+
+let recover sim ~policy ~verify ~data ~ancilla ~checker =
+  let bit_rounds =
+    correct_side ~policy ~data
+      ~measure_syndrome:(fun () ->
+        bit_syndrome_once sim ~data ~ancilla ~checker ~verify)
+      ~apply_at:(fun q -> Sim.x sim q)
+  in
+  let phase_rounds =
+    correct_side ~policy ~data
+      ~measure_syndrome:(fun () ->
+        phase_syndrome_once sim ~data ~ancilla ~checker ~verify)
+      ~apply_at:(fun q -> Sim.z sim q)
+  in
+  bit_rounds + phase_rounds

@@ -1,0 +1,79 @@
+(** Steane-style fault-tolerant error correction (§3.2–§3.4, Figs. 9
+    and 10) for the 7-qubit code.
+
+    The bit-flip syndrome is read by XOR-ing the data block
+    transversally into an ancilla block prepared in the *Steane state*
+    (Eq. 17, the uniform superposition of all Hamming codewords =
+    |+̄⟩) and measuring the ancilla destructively: the Hamming
+    syndrome of the measured word is the data's X-error syndrome,
+    while the word itself is a uniformly random codeword revealing
+    nothing about the encoded data.  The phase-flip syndrome is read
+    in the rotated frame: an ancilla in |0̄⟩ is used as the *source*
+    of transversal XORs into the data (Fig. 5 identity) and measured
+    in the X basis.  Only 14 ancilla qubits and 14 XORs per double
+    syndrome — versus 24 for the Shor method (§3.2).
+
+    Ancilla blocks are verified against correlated bit-flip errors
+    before use (§3.3): a second encoded |0̄⟩ is XOR-ed from the block
+    under test and destructively measured; any Hamming-check anomaly
+    rejects the block ([Reject] policy), or the paper's
+    flip-on-confirmed-|1̄⟩ variant can be chosen ([Paper_flip]). *)
+
+type verify_policy =
+  | Reject  (** discard and re-prepare on any verification anomaly *)
+  | Paper_flip
+      (** §3.3: classify the measured block as |0̄⟩/|1̄⟩ after
+          classical correction; flip the block under test when two
+          verification rounds agree on |1̄⟩; on disagreement do
+          nothing *)
+  | No_verification  (** non-fault-tolerant baseline *)
+
+(** [prepare_zero_verified sim ~block ~checker ~verify ~max_attempts]
+    leaves a (verified) encoded |0̄⟩ on the 7 qubits at offset
+    [block], using the 7 qubits at [checker] as the measured block. *)
+val prepare_zero_verified :
+  Sim.t -> block:int -> checker:int -> verify:verify_policy -> max_attempts:int -> unit
+
+(** [prepare_plus_verified] — same, then transversal H (the Steane
+    state / |+̄⟩). *)
+val prepare_plus_verified :
+  Sim.t -> block:int -> checker:int -> verify:verify_policy -> max_attempts:int -> unit
+
+(** [bit_syndrome_once sim ~data ~ancilla ~checker ~verify] prepares a
+    verified |+̄⟩ on [ancilla], XORs the data in, measures, and
+    returns the 3-bit Hamming syndrome of the data's X errors. *)
+val bit_syndrome_once :
+  Sim.t -> data:int -> ancilla:int -> checker:int -> verify:verify_policy -> Gf2.Bitvec.t
+
+(** [phase_syndrome_once] — dual round (Z errors), ancilla |0̄⟩ as XOR
+    source, X-basis readout. *)
+val phase_syndrome_once :
+  Sim.t -> data:int -> ancilla:int -> checker:int -> verify:verify_policy -> Gf2.Bitvec.t
+
+type policy = Accept_first | Repeat_if_nontrivial
+
+(** [recover sim ~policy ~verify ~data ~ancilla ~checker] is one full
+    EC cycle per Fig. 9: bit-flip syndrome (repeated per [policy]),
+    correction, then phase-flip syndrome and correction.  Returns the
+    number of syndrome rounds executed. *)
+val recover :
+  Sim.t ->
+  policy:policy ->
+  verify:verify_policy ->
+  data:int ->
+  ancilla:int ->
+  checker:int ->
+  int
+
+(** Total scratch qubits this gadget needs beyond the data block
+    (ancilla block + checker block). *)
+val scratch_qubits : int
+
+(** [syndrome_extraction_circuit ()] — one full (bit + phase)
+    syndrome extraction as a fixed circuit over data qubits 0–6 and an
+    ancilla block 7–13 (ancilla encoding included, verification and
+    adaptivity omitted), for schedule/depth accounting: under the §6
+    maximal-parallelism assumption its {!Circuit.depth} is what a
+    resting qubit waits per EC cycle, versus {!Circuit.gate_count} for
+    strictly serial hardware. *)
+val syndrome_extraction_circuit : unit -> Circuit.t

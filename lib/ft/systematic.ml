@@ -1,0 +1,35 @@
+let one_run ~theta ~steps ~signs sv =
+  Statevec.h sv 0;
+  for k = 0 to steps - 1 do
+    let angle = if signs k then theta else -.theta in
+    Statevec.apply_1q sv (Qmath.Gates.rz angle) 0
+  done;
+  (* probability of reading |−⟩ in the X basis *)
+  Statevec.h sv 0;
+  Statevec.prob_one sv 0
+
+let error_probability ~theta ~steps ~mode ~trials rng =
+  match mode with
+  | `Systematic ->
+    let sv = Statevec.create 1 in
+    one_run ~theta ~steps ~signs:(fun _ -> true) sv
+  | `Random ->
+    let acc = ref 0.0 in
+    for _ = 1 to trials do
+      let sv = Statevec.create 1 in
+      acc := !acc +. one_run ~theta ~steps ~signs:(fun _ -> Random.State.bool rng) sv
+    done;
+    !acc /. float_of_int trials
+
+let crossover_table ~theta ~steps_list ~trials rng =
+  List.map
+    (fun steps ->
+      let p_rand = error_probability ~theta ~steps ~mode:`Random ~trials rng in
+      let p_sys =
+        error_probability ~theta ~steps ~mode:`Systematic ~trials rng
+      in
+      let per_step = (theta /. 2.0) ** 2.0 in
+      let linear = float_of_int steps *. per_step in
+      let quadratic = (float_of_int steps *. theta /. 2.0) ** 2.0 in
+      (steps, p_rand, p_sys, linear, quadratic))
+    steps_list

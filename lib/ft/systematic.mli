@@ -1,0 +1,32 @@
+(** Random vs systematic phase errors (§6, first bullet; E9).
+
+    A qubit in |+⟩ suffers N small over-rotations e^{iθZ/2}.  When the
+    rotation signs are random the error *probability* grows linearly
+    in N (a random walk of amplitudes); when they conspire with the
+    same sign the error *amplitude* grows linearly, so the probability
+    grows like N².  Hence the systematic-error accuracy requirement is
+    quadratically more stringent: a threshold ε₀ against random errors
+    becomes ~ε₀² against maximally conspiratorial ones. *)
+
+(** [error_probability ~theta ~steps ~mode ~trials rng] — probability
+    that an X-basis measurement of the rotated |+⟩ yields |−⟩.
+    [mode] is [`Systematic] (all rotations +θ) or [`Random] (each ±θ
+    with equal probability; averaged over [trials] sign sequences;
+    [trials] is ignored for [`Systematic]). *)
+val error_probability :
+  theta:float ->
+  steps:int ->
+  mode:[ `Systematic | `Random ] ->
+  trials:int ->
+  Random.State.t ->
+  float
+
+(** [crossover_table ~theta ~steps_list ~trials rng] — (N, p_random,
+    p_systematic, N·(θ/2)², (N·θ/2)²) rows: the measured values track
+    the two analytic scalings until saturation. *)
+val crossover_table :
+  theta:float ->
+  steps_list:int list ->
+  trials:int ->
+  Random.State.t ->
+  (int * float * float * float * float) list

@@ -1,0 +1,18 @@
+let logical_bell_pair sim ~block_a ~block_b ~checker ~verify =
+  Steane_ec.prepare_zero_verified sim ~block:block_a ~checker ~verify
+    ~max_attempts:50;
+  Steane_ec.prepare_zero_verified sim ~block:block_b ~checker ~verify
+    ~max_attempts:50;
+  Transversal.logical_h sim ~block:block_a;
+  Transversal.logical_cnot sim ~control:block_a ~target:block_b
+
+let teleport sim ~source ~bell_a ~bell_b ~checker ~verify =
+  logical_bell_pair sim ~block_a:bell_a ~block_b:bell_b ~checker ~verify;
+  (* logical Bell measurement of (source, bell_a) *)
+  Transversal.logical_cnot sim ~control:source ~target:bell_a;
+  Transversal.logical_h sim ~block:source;
+  let m1 = Transversal.logical_measure_z_destructive sim ~block:source in
+  let m2 = Transversal.logical_measure_z_destructive sim ~block:bell_a in
+  if m2 then Transversal.logical_x_w3 sim ~block:bell_b;
+  if m1 then Transversal.logical_z sim ~block:bell_b;
+  (m1, m2)

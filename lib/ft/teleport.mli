@@ -1,0 +1,35 @@
+(** Fault-tolerant teleportation of a logical qubit between Steane
+    blocks — the measurement-plus-Pauli machinery of §4.2 (Gottesman's
+    observation that FT measurement and the easy gates carry most of
+    the weight of universality), built entirely from verified ancilla
+    preparation, transversal gates and robust destructive logical
+    measurement.
+
+    The logical Bell pair is two verified |0̄⟩ blocks through H̄ and
+    transversal XOR; the Bell measurement is transversal XOR + H̄ +
+    two Hamming-corrected destructive readouts; the outcome-dependent
+    X̄/Z̄ repairs are transversal.  Every step is fault tolerant, so a
+    single fault anywhere leaves at most one error per block. *)
+
+(** [logical_bell_pair sim ~block_a ~block_b ~checker ~verify] —
+    entangle two blocks into (|0̄0̄⟩ + |1̄1̄⟩)/√2. *)
+val logical_bell_pair :
+  Sim.t ->
+  block_a:int ->
+  block_b:int ->
+  checker:int ->
+  verify:Steane_ec.verify_policy ->
+  unit
+
+(** [teleport sim ~source ~bell_a ~bell_b ~checker ~verify] — consume
+    the logical state on [source]: afterwards it lives on [bell_b]
+    ([source] and [bell_a] are left destructively measured).  Returns
+    the two Bell-measurement outcome bits. *)
+val teleport :
+  Sim.t ->
+  source:int ->
+  bell_a:int ->
+  bell_b:int ->
+  checker:int ->
+  verify:Steane_ec.verify_policy ->
+  bool * bool

@@ -1,0 +1,138 @@
+module Sv = Statevec
+
+(* controlled-controlled-Z via Toffoli conjugated by H on one target *)
+let ccz sv x a b =
+  Sv.h sv b;
+  Sv.toffoli sv x a b;
+  Sv.h sv b
+
+(* One Z_AB = (−1)^{ab+c} measurement (Fig. 12): control in |+⟩,
+   controlled-(−1)^{ab} (CCZ) and controlled-(−1)^{c} (CZ), then an
+   X-basis readout of the control. *)
+let measure_zab sv rng ~a ~b ~c ~control =
+  Sv.reset sv rng control;
+  Sv.h sv control;
+  ccz sv control a b;
+  Sv.cz sv control c;
+  Sv.h sv control;
+  Sv.measure sv rng control
+
+let prepare_ancilla_a sv rng ~a ~b ~c ~control =
+  Sv.h sv a;
+  Sv.h sv b;
+  Sv.h sv c;
+  (* repeat the measurement until two consecutive outcomes agree *)
+  let rec settle prev rounds =
+    if rounds > 25 then failwith "Toffoli.prepare_ancilla_a: no agreement";
+    let m = measure_zab sv rng ~a ~b ~c ~control in
+    if m = prev then (m, rounds) else settle m (rounds + 1)
+  in
+  let first = measure_zab sv rng ~a ~b ~c ~control in
+  let outcome, rounds = settle first 2 in
+  (* outcome=true means the |B⟩ = NOT₃|A⟩ branch: fix with X on c *)
+  if outcome then Sv.x sv c;
+  rounds
+
+let teleport sv rng ~ancilla:(a, b, c) ~data:(x, y, z) =
+  Sv.cnot sv a x;
+  Sv.cnot sv b y;
+  Sv.cnot sv z c;
+  Sv.h sv z;
+  let mx = Sv.measure sv rng x in
+  let my = Sv.measure sv rng y in
+  let mw = Sv.measure sv rng z in
+  (* Fig. 13 fixups, derived from Eq. (27); the phase repairs use the
+     pre-flip register values, so they come first. *)
+  if mw then begin
+    Sv.z sv c;
+    Sv.cz sv a b
+  end;
+  if my then Sv.cnot sv a c;
+  if mx then Sv.cnot sv b c;
+  if mx && my then Sv.x sv c;
+  if mx then Sv.x sv a;
+  if my then Sv.x sv b;
+  (mx, my, mw)
+
+let apply sv rng ~data:(x, y, z) ~scratch:(a, b, c) ~control =
+  Sv.reset sv rng a;
+  Sv.reset sv rng b;
+  Sv.reset sv rng c;
+  ignore (prepare_ancilla_a sv rng ~a ~b ~c ~control);
+  ignore (teleport sv rng ~ancilla:(a, b, c) ~data:(x, y, z));
+  Sv.swap sv a x;
+  Sv.swap sv b y;
+  Sv.swap sv c z
+
+(* --- transversal ingredient checks -------------------------------- *)
+
+let encode_block sv ~block ~one =
+  (* play the Fig. 3 encoder on |0⟩ or |1⟩ input, mapped into the
+     block *)
+  if one then Sv.x sv (block + Codes.Steane.input_qubit);
+  let c =
+    Circuit.map_qubits ~num_qubits:(Sv.num_qubits sv)
+      ~f:(fun q -> q + block)
+      (Codes.Steane.encoding_circuit ())
+  in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Gate g -> Sv.apply_gate sv g
+      | _ -> ())
+    (Circuit.instrs c)
+
+let logical_measure sv rng ~block =
+  let w = Gf2.Bitvec.create 7 in
+  for i = 0 to 6 do
+    if Sv.measure sv rng (block + i) then Gf2.Bitvec.set w i true
+  done;
+  let corrected, _ = Codes.Hamming.decode w in
+  Gf2.Bitvec.weight corrected mod 2 = 1
+
+let transversal_ingredients_check rng =
+  let ok = ref true in
+  (* bitwise CNOT = logical XOR, bitwise CZ = logical CZ: check on all
+     four computational basis pairs and on a superposed control *)
+  List.iter
+    (fun (xin, yin) ->
+      let sv = Sv.create 14 in
+      encode_block sv ~block:0 ~one:xin;
+      encode_block sv ~block:7 ~one:yin;
+      for i = 0 to 6 do
+        Sv.cnot sv i (7 + i)
+      done;
+      let mx = logical_measure sv rng ~block:0 in
+      let my = logical_measure sv rng ~block:7 in
+      if mx <> xin || my <> (xin <> yin) then ok := false)
+    [ (false, false); (false, true); (true, false); (true, true) ];
+  (* bitwise CZ acts as logical CZ: check the phase on |1̄1̄⟩ via an
+     interference experiment — apply H̄ to block 0 of |+̄⟩|1̄⟩, CZ̄,
+     H̄ again; logical CZ flips the block-0 X̄ eigenvalue iff block 1
+     is |1̄⟩. *)
+  List.iter
+    (fun yin ->
+      let sv = Sv.create 14 in
+      encode_block sv ~block:0 ~one:false;
+      for i = 0 to 6 do
+        Sv.h sv i
+      done;
+      (* block0 now |+̄⟩ *)
+      encode_block sv ~block:7 ~one:yin;
+      for i = 0 to 6 do
+        Sv.cz sv i (7 + i)
+      done;
+      for i = 0 to 6 do
+        Sv.h sv i
+      done;
+      (* if yin: CZ̄ turned |+̄⟩ into |−̄⟩, so H̄ gives |1̄⟩ *)
+      let m = logical_measure sv rng ~block:0 in
+      if m <> yin then ok := false)
+    [ false; true ];
+  (* destructive logical measurement survives one bit flip or one
+     readout error: flip a physical qubit first *)
+  let sv = Sv.create 14 in
+  encode_block sv ~block:0 ~one:true;
+  Sv.x sv 3;
+  if not (logical_measure sv rng ~block:0) then ok := false;
+  !ok

@@ -1,0 +1,55 @@
+module Bitvec = Gf2.Bitvec
+
+let each7 f =
+  for i = 0 to 6 do
+    f i
+  done
+
+let logical_x sim ~block = each7 (fun i -> Sim.x sim (block + i))
+
+let logical_x_w3 sim ~block =
+  let lx = Codes.Steane.logical_x_weight3 in
+  each7 (fun i -> if Pauli.letter lx i <> Pauli.I then Sim.x sim (block + i))
+
+let logical_z sim ~block = each7 (fun i -> Sim.z sim (block + i))
+let logical_h sim ~block = each7 (fun i -> Sim.h sim (block + i))
+
+(* odd codewords have weight ≡ 3 (mod 4): bitwise P⁻¹ gives the phase
+   i^{-3} = i on |1̄⟩, i.e. the logical P. *)
+let logical_s sim ~block = each7 (fun i -> Sim.sdg sim (block + i))
+
+let logical_cnot sim ~control ~target =
+  each7 (fun i -> Sim.cnot sim (control + i) (target + i))
+
+let logical_measure_z_destructive sim ~block =
+  let w = Bitvec.create 7 in
+  each7 (fun i -> if Sim.measure sim (block + i) then Bitvec.set w i true);
+  let corrected, _ = Codes.Hamming.decode w in
+  Bitvec.weight corrected mod 2 = 1
+
+let weight3_support logical =
+  List.filter
+    (fun i -> Pauli.letter logical i <> Pauli.I)
+    (List.init 7 Fun.id)
+
+let majority outcomes =
+  let ones = List.length (List.filter Fun.id outcomes) in
+  2 * ones > List.length outcomes
+
+let logical_measure_z_nondestructive sim ~block ~ancilla ~repetitions =
+  let support = weight3_support Codes.Steane.logical_z_weight3 in
+  let round () =
+    Sim.prepare_zero sim ancilla;
+    List.iter (fun q -> Sim.cnot sim (block + q) ancilla) support;
+    Sim.measure sim ancilla
+  in
+  majority (List.init repetitions (fun _ -> round ()))
+
+let logical_measure_x_nondestructive sim ~block ~ancilla ~repetitions =
+  let support = weight3_support Codes.Steane.logical_x_weight3 in
+  let round () =
+    Sim.prepare_plus sim ancilla;
+    List.iter (fun q -> Sim.cnot sim ancilla (block + q)) support;
+    Sim.measure_x sim ancilla
+  in
+  majority (List.init repetitions (fun _ -> round ()))

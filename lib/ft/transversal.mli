@@ -1,0 +1,48 @@
+(** Transversal logical gates on Steane blocks (§4.1).
+
+    For the 7-qubit code, NOT, the Hadamard rotation R, the phase gate
+    P and XOR are all implemented bitwise (Eq. 11, Fig. 11); P̄
+    requires bitwise P⁻¹ because the odd codewords have weight
+    ≡ 3 (mod 4).  Each physical qubit participates in at most one
+    gate, so a single fault produces at most one error per block. *)
+
+(** [logical_x sim ~block] — transversal NOT (X on all 7 qubits). *)
+val logical_x : Sim.t -> block:int -> unit
+
+(** [logical_x_w3 sim ~block] — NOT with just 3 X's (footnote f). *)
+val logical_x_w3 : Sim.t -> block:int -> unit
+
+(** [logical_z sim ~block] — transversal phase flip. *)
+val logical_z : Sim.t -> block:int -> unit
+
+(** [logical_h sim ~block] — bitwise Hadamard implements H̄
+    (Eq. 11). *)
+val logical_h : Sim.t -> block:int -> unit
+
+(** [logical_s sim ~block] — bitwise P⁻¹ implements the logical phase
+    gate P̄ (§4.1). *)
+val logical_s : Sim.t -> block:int -> unit
+
+(** [logical_cnot sim ~control ~target] — transversal XOR between two
+    blocks (Fig. 11). *)
+val logical_cnot : Sim.t -> control:int -> target:int -> unit
+
+(** [logical_measure_z_destructive sim ~block] — measure all 7 qubits,
+    classically Hamming-correct, return the parity (§2, Fig. 4 left):
+    robust to one bit-flip or measurement error. *)
+val logical_measure_z_destructive : Sim.t -> block:int -> bool
+
+(** [logical_measure_z_nondestructive sim ~block ~ancilla ~repetitions]
+    — Fig. 4 right: copy the parity of Z̄'s weight-3 support onto an
+    ancilla with three XORs and measure it, preserving the code
+    subspace.  A single bit-flip (in block or ancilla) can fool one
+    round, so the measurement is repeated and majority-voted (§3.5).
+    [repetitions] should be odd. *)
+val logical_measure_z_nondestructive :
+  Sim.t -> block:int -> ancilla:int -> repetitions:int -> bool
+
+(** [logical_measure_x_nondestructive] — the Hadamard-dual: an
+    ancilla in |+⟩ controls XORs into X̄'s support and is read in the
+    X basis. *)
+val logical_measure_x_nondestructive :
+  Sim.t -> block:int -> ancilla:int -> repetitions:int -> bool

@@ -1,0 +1,212 @@
+type t = { nrows : int; ncols : int; data : Bitvec.t array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create";
+  { nrows = rows; ncols = cols; data = Array.init rows (fun _ -> Bitvec.create cols) }
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    Bitvec.set m.data.(i) i true
+  done;
+  m
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let get m i j = Bitvec.get m.data.(i) j
+let set m i j b = Bitvec.set m.data.(i) j b
+let row m i = m.data.(i)
+
+let copy m =
+  { m with data = Array.map Bitvec.copy m.data }
+
+let of_int_lists xss =
+  match xss with
+  | [] -> invalid_arg "Mat.of_int_lists: empty"
+  | first :: _ ->
+    let ncols = List.length first in
+    let data =
+      List.map
+        (fun xs ->
+          if List.length xs <> ncols then
+            invalid_arg "Mat.of_int_lists: ragged rows";
+          Bitvec.of_int_list xs)
+        xss
+    in
+    { nrows = List.length xss; ncols; data = Array.of_list data }
+
+let to_int_lists m = Array.to_list (Array.map Bitvec.to_int_list m.data)
+
+let of_rows vs =
+  match vs with
+  | [] -> invalid_arg "Mat.of_rows: empty"
+  | first :: _ ->
+    let ncols = Bitvec.length first in
+    List.iter
+      (fun v ->
+        if Bitvec.length v <> ncols then invalid_arg "Mat.of_rows: ragged")
+      vs;
+    { nrows = List.length vs; ncols; data = Array.of_list (List.map Bitvec.copy vs) }
+
+let transpose m =
+  let r = create ~rows:m.ncols ~cols:m.nrows in
+  for i = 0 to m.nrows - 1 do
+    Bitvec.iteri (fun j b -> if b then set r j i true) m.data.(i)
+  done;
+  r
+
+let mul_vec m v =
+  if Bitvec.length v <> m.ncols then invalid_arg "Mat.mul_vec";
+  let r = Bitvec.create m.nrows in
+  for i = 0 to m.nrows - 1 do
+    if Bitvec.dot m.data.(i) v then Bitvec.set r i true
+  done;
+  r
+
+let vec_mul v m =
+  if Bitvec.length v <> m.nrows then invalid_arg "Mat.vec_mul";
+  let r = Bitvec.create m.ncols in
+  Bitvec.iteri (fun i b -> if b then Bitvec.xor_into ~src:m.data.(i) r) v;
+  r
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Mat.mul: dimension mismatch";
+  let r = create ~rows:a.nrows ~cols:b.ncols in
+  for i = 0 to a.nrows - 1 do
+    Bitvec.iteri
+      (fun k bit -> if bit then Bitvec.xor_into ~src:b.data.(k) r.data.(i))
+      a.data.(i)
+  done;
+  r
+
+let add a b =
+  if a.nrows <> b.nrows || a.ncols <> b.ncols then invalid_arg "Mat.add";
+  { a with data = Array.map2 Bitvec.xor a.data b.data }
+
+let equal a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Array.for_all2 Bitvec.equal a.data b.data
+
+(* In-place Gaussian elimination to reduced row-echelon form; returns
+   pivot columns in row order.  The workhorse for rank/kernel/solve. *)
+let rref_in_place m =
+  let pivots = ref [] in
+  let r = ref 0 in
+  for c = 0 to m.ncols - 1 do
+    if !r < m.nrows then begin
+      (* find a pivot row at or below !r with a 1 in column c *)
+      let piv = ref (-1) in
+      (try
+         for i = !r to m.nrows - 1 do
+           if Bitvec.get m.data.(i) c then begin
+             piv := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !piv >= 0 then begin
+        let tmp = m.data.(!r) in
+        m.data.(!r) <- m.data.(!piv);
+        m.data.(!piv) <- tmp;
+        for i = 0 to m.nrows - 1 do
+          if i <> !r && Bitvec.get m.data.(i) c then
+            Bitvec.xor_into ~src:m.data.(!r) m.data.(i)
+        done;
+        pivots := c :: !pivots;
+        incr r
+      end
+    end
+  done;
+  List.rev !pivots
+
+let rref m =
+  let m' = copy m in
+  let pivots = rref_in_place m' in
+  (m', pivots)
+
+let rank m =
+  let m' = copy m in
+  List.length (rref_in_place m')
+
+let kernel m =
+  let m', pivots = rref m in
+  let piv_arr = Array.of_list pivots in
+  let is_pivot = Array.make m.ncols false in
+  List.iter (fun c -> is_pivot.(c) <- true) pivots;
+  let free_cols =
+    List.filter (fun c -> not is_pivot.(c)) (List.init m.ncols Fun.id)
+  in
+  List.map
+    (fun fc ->
+      let v = Bitvec.create m.ncols in
+      Bitvec.set v fc true;
+      Array.iteri
+        (fun i pc -> if Bitvec.get m'.data.(i) fc then Bitvec.set v pc true)
+        piv_arr;
+      v)
+    free_cols
+
+let row_space m =
+  let m', pivots = rref m in
+  List.mapi (fun i _ -> Bitvec.copy m'.data.(i)) pivots
+
+let augment a b =
+  if a.nrows <> b.nrows then invalid_arg "Mat.augment";
+  { nrows = a.nrows;
+    ncols = a.ncols + b.ncols;
+    data = Array.map2 Bitvec.append a.data b.data }
+
+let stack a b =
+  if a.ncols <> b.ncols then invalid_arg "Mat.stack";
+  { nrows = a.nrows + b.nrows;
+    ncols = a.ncols;
+    data = Array.append (Array.map Bitvec.copy a.data) (Array.map Bitvec.copy b.data) }
+
+let solve m b =
+  if Bitvec.length b <> m.nrows then invalid_arg "Mat.solve";
+  let bm =
+    { nrows = m.nrows;
+      ncols = 1;
+      data = Array.init m.nrows (fun i ->
+        let v = Bitvec.create 1 in
+        if Bitvec.get b i then Bitvec.set v 0 true;
+        v) }
+  in
+  let aug = augment m bm in
+  let aug', pivots = rref aug in
+  (* inconsistent iff some pivot lands in the appended column *)
+  if List.exists (fun c -> c = m.ncols) pivots then None
+  else begin
+    let x = Bitvec.create m.ncols in
+    List.iteri
+      (fun i c -> if Bitvec.get aug'.data.(i) m.ncols then Bitvec.set x c true)
+      pivots;
+    Some x
+  end
+
+let inverse m =
+  if m.nrows <> m.ncols then invalid_arg "Mat.inverse: not square";
+  let aug = augment m (identity m.nrows) in
+  let aug', pivots = rref aug in
+  if List.length pivots <> m.nrows
+     || List.exists (fun c -> c >= m.ncols) pivots
+  then None
+  else
+    Some
+      { nrows = m.nrows;
+        ncols = m.ncols;
+        data =
+          Array.init m.nrows (fun i ->
+            Bitvec.sub aug'.data.(i) ~pos:m.ncols ~len:m.ncols) }
+
+let in_row_space m v =
+  if Bitvec.length v <> m.ncols then invalid_arg "Mat.in_row_space";
+  let stacked = stack m { nrows = 1; ncols = m.ncols; data = [| Bitvec.copy v |] } in
+  rank stacked = rank m
+
+let pp fmt m =
+  for i = 0 to m.nrows - 1 do
+    if i > 0 then Format.pp_print_newline fmt ();
+    Bitvec.pp fmt m.data.(i)
+  done

@@ -1,0 +1,92 @@
+(** Dense matrices over GF(2), stored as an array of bit-packed rows.
+
+    Rows are {!Bitvec.t} values of equal length; the matrix owns its
+    rows (mutating a row returned by {!row} mutates the matrix). *)
+
+type t
+
+(** [create ~rows ~cols] is the zero matrix. *)
+val create : rows:int -> cols:int -> t
+
+(** [identity n] is the n-by-n identity. *)
+val identity : int -> t
+
+(** [rows m] / [cols m] are the dimensions. *)
+val rows : t -> int
+
+val cols : t -> int
+
+(** [get m i j] / [set m i j b] access entry (i, j). *)
+val get : t -> int -> int -> bool
+
+val set : t -> int -> int -> bool -> unit
+
+(** [row m i] is row [i] (shared, not copied). *)
+val row : t -> int -> Bitvec.t
+
+(** [copy m] is a deep copy. *)
+val copy : t -> t
+
+(** [of_int_lists xss] builds a matrix from rows of 0/1 integers; all
+    rows must have the same length and there must be at least one. *)
+val of_int_lists : int list list -> t
+
+(** [to_int_lists m] is the inverse of {!of_int_lists}. *)
+val to_int_lists : t -> int list list
+
+(** [of_rows vs] builds a matrix whose rows are copies of [vs]. *)
+val of_rows : Bitvec.t list -> t
+
+(** [transpose m] is the transpose as a fresh matrix. *)
+val transpose : t -> t
+
+(** [mul a b] is the matrix product over GF(2). *)
+val mul : t -> t -> t
+
+(** [mul_vec m v] is [m · v] (length of [v] = [cols m]). *)
+val mul_vec : t -> Bitvec.t -> Bitvec.t
+
+(** [vec_mul v m] is [vᵀ · m] (length of [v] = [rows m]). *)
+val vec_mul : Bitvec.t -> t -> Bitvec.t
+
+(** [add a b] is the entrywise sum (XOR). *)
+val add : t -> t -> t
+
+(** [equal a b] is structural equality. *)
+val equal : t -> t -> bool
+
+(** [rank m] is the GF(2) rank. *)
+val rank : t -> int
+
+(** [rref m] is the reduced row-echelon form together with the list of
+    pivot column indices (in row order). *)
+val rref : t -> t * int list
+
+(** [kernel m] is a basis of the right null space \{x : m·x = 0\},
+    one basis vector per list element. *)
+val kernel : t -> Bitvec.t list
+
+(** [row_space m] is a basis of the row space (the nonzero rows of the
+    RREF). *)
+val row_space : t -> Bitvec.t list
+
+(** [solve m b] is [Some x] with [m·x = b] if the system is
+    consistent, [None] otherwise. *)
+val solve : t -> Bitvec.t -> Bitvec.t option
+
+(** [inverse m] is the inverse of a square invertible matrix, or
+    [None] if singular. *)
+val inverse : t -> t option
+
+(** [augment a b] is the block matrix [[a | b]] ([a] and [b] must have
+    equal row counts). *)
+val augment : t -> t -> t
+
+(** [stack a b] stacks [a] on top of [b] (equal column counts). *)
+val stack : t -> t -> t
+
+(** [in_row_space m v] tests membership of [v] in the row space. *)
+val in_row_space : t -> Bitvec.t -> bool
+
+(** [pp] renders one row of 0/1 characters per line. *)
+val pp : Format.formatter -> t -> unit

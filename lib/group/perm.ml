@@ -1,0 +1,111 @@
+type t = int array
+
+let identity n = Array.init n Fun.id
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n then invalid_arg "Perm.of_array: out of range";
+      if seen.(x) then invalid_arg "Perm.of_array: not a bijection";
+      seen.(x) <- true)
+    a;
+  Array.copy a
+
+let to_array p = Array.copy p
+let degree p = Array.length p
+let apply p i = p.(i)
+
+let compose p q =
+  if Array.length p <> Array.length q then invalid_arg "Perm.compose: degree";
+  Array.init (Array.length p) (fun i -> q.(p.(i)))
+
+let inverse p =
+  let r = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> r.(x) <- i) p;
+  r
+
+let conj u v = compose (compose (inverse v) u) v
+let commutator a b = compose (compose (inverse a) (inverse b)) (compose a b)
+
+let of_cycles n cycles =
+  let a = Array.init n Fun.id in
+  let touched = Array.make n false in
+  List.iter
+    (fun cycle ->
+      let cycle0 =
+        List.map
+          (fun x ->
+            if x < 1 || x > n then invalid_arg "Perm.of_cycles: point range";
+            x - 1)
+          cycle
+      in
+      List.iter
+        (fun x ->
+          if touched.(x) then invalid_arg "Perm.of_cycles: overlapping cycles";
+          touched.(x) <- true)
+        cycle0;
+      match cycle0 with
+      | [] -> ()
+      | first :: _ ->
+        let rec link = function
+          | [ last ] -> a.(last) <- first
+          | x :: (y :: _ as rest) ->
+            a.(x) <- y;
+            link rest
+          | [] -> ()
+        in
+        link cycle0)
+    cycles;
+  a
+
+let to_cycles p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let cycles = ref [] in
+  for i = 0 to n - 1 do
+    if (not seen.(i)) && p.(i) <> i then begin
+      let cycle = ref [] in
+      let j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        cycle := !j :: !cycle;
+        j := p.(!j)
+      done;
+      cycles := List.rev_map (fun x -> x + 1) !cycle :: !cycles
+    end
+  done;
+  List.rev !cycles
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i <> x then ok := false) p;
+  !ok
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let hash (p : t) = Hashtbl.hash p
+
+let order p =
+  let rec loop q k = if is_identity q then k else loop (compose q p) (k + 1) in
+  loop p 1
+
+let sign p =
+  let s = ref 1 in
+  List.iter
+    (fun cycle -> if List.length cycle mod 2 = 0 then s := - !s)
+    (to_cycles p);
+  !s
+
+let to_string p =
+  match to_cycles p with
+  | [] -> "e"
+  | cycles ->
+    String.concat ""
+      (List.map
+         (fun cycle ->
+           "(" ^ String.concat " " (List.map string_of_int cycle) ^ ")")
+         cycles)
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,68 @@
+(** Permutations of \{0, …, n−1\}, the concrete elements of the finite
+    groups used in §7.4 (A₅, S₅, …).
+
+    A permutation is stored as the image array: [p.(i)] is the image of
+    point [i].  Composition is written left-to-right: [compose p q]
+    first applies [p], then [q], i.e. [(compose p q).(i) = q.(p.(i))].
+    This matches the "flux metamorphosis" convention in which
+    conjugation [u ↦ v⁻¹ u v] composes naturally. *)
+
+type t
+
+(** [identity n] is the identity on [n] points. *)
+val identity : int -> t
+
+(** [of_array a] validates [a] as a bijection and wraps it. *)
+val of_array : int array -> t
+
+(** [to_array p] is a copy of the image array. *)
+val to_array : t -> int array
+
+(** [degree p] is the number of points moved on (the [n]). *)
+val degree : t -> int
+
+(** [apply p i] is the image of point [i]. *)
+val apply : t -> int -> int
+
+(** [compose p q] applies [p] then [q]. *)
+val compose : t -> t -> t
+
+(** [inverse p] is the inverse permutation. *)
+val inverse : t -> t
+
+(** [conj u v] is v⁻¹·u·v, the conjugate of [u] by [v] — the flux
+    metamorphosis rule of Eq. (40). *)
+val conj : t -> t -> t
+
+(** [commutator a b] is a⁻¹·b⁻¹·a·b. *)
+val commutator : t -> t -> t
+
+(** [of_cycles n cycles] builds a permutation on [n] points from
+    disjoint cycles given 1-based (matching the paper's notation
+    (125), (234), (14)(35)).  Raises [Invalid_argument] if cycles
+    overlap or mention points outside 1..n. *)
+val of_cycles : int -> int list list -> t
+
+(** [to_cycles p] decomposes into nontrivial cycles, 1-based, each
+    cycle starting from its least element, cycles sorted by least
+    element. *)
+val to_cycles : t -> int list list
+
+(** [is_identity p] / [equal p q] / [compare p q] / [hash p]. *)
+val is_identity : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [order p] is the multiplicative order. *)
+val order : t -> int
+
+(** [sign p] is +1 for even permutations, −1 for odd ones. *)
+val sign : t -> int
+
+(** [pp] prints cycle notation, e.g. "(1 2 5)(3 4)"; identity prints
+    as "e". *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

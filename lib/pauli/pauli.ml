@@ -1,0 +1,171 @@
+module Bitvec = Gf2.Bitvec
+
+type letter = I | X | Y | Z
+
+(* Internal form: i^r · ∏_q X^{x_q} Z^{z_q}.  The textbook letter Y is
+   iXZ, so a Y at a qubit is (x=1, z=1) with one factor of i folded
+   into [r].  The [phase] accessor converts back to the letter-based
+   convention. *)
+type t = { n : int; x : Bitvec.t; z : Bitvec.t; r : int }
+
+let identity n = { n; x = Bitvec.create n; z = Bitvec.create n; r = 0 }
+let num_qubits p = p.n
+
+let count_y p = Bitvec.weight (Bitvec.and_ p.x p.z)
+let phase p = ((p.r - count_y p) mod 4 + 4) mod 4
+
+let letter p q =
+  match (Bitvec.get p.x q, Bitvec.get p.z q) with
+  | false, false -> I
+  | true, false -> X
+  | false, true -> Z
+  | true, true -> Y
+
+let letter_bits = function
+  | I -> (false, false)
+  | X -> (true, false)
+  | Z -> (false, true)
+  | Y -> (true, true)
+
+let single n q l =
+  let p = identity n in
+  let bx, bz = letter_bits l in
+  Bitvec.set p.x q bx;
+  Bitvec.set p.z q bz;
+  let r = if l = Y then 1 else 0 in
+  { p with r }
+
+let of_letters letters =
+  let n = List.length letters in
+  let p = identity n in
+  let r = ref 0 in
+  List.iteri
+    (fun q l ->
+      let bx, bz = letter_bits l in
+      Bitvec.set p.x q bx;
+      Bitvec.set p.z q bz;
+      if l = Y then incr r)
+    letters;
+  { p with r = !r mod 4 }
+
+let of_string s =
+  let prefix_phase, rest =
+    if String.length s >= 2 && String.sub s 0 2 = "-i" then (3, String.sub s 2 (String.length s - 2))
+    else if String.length s >= 1 && s.[0] = '-' then (2, String.sub s 1 (String.length s - 1))
+    else if String.length s >= 1 && s.[0] = 'i' then (1, String.sub s 1 (String.length s - 1))
+    else if String.length s >= 1 && s.[0] = '+' then (0, String.sub s 1 (String.length s - 1))
+    else (0, s)
+  in
+  let letters =
+    List.init (String.length rest) (fun i ->
+        match rest.[i] with
+        | 'I' -> I
+        | 'X' -> X
+        | 'Y' -> Y
+        | 'Z' -> Z
+        | c -> invalid_arg (Printf.sprintf "Pauli.of_string: bad letter %c" c))
+  in
+  let p = of_letters letters in
+  { p with r = (p.r + prefix_phase) mod 4 }
+
+let to_string p =
+  let prefix =
+    match phase p with
+    | 0 -> ""
+    | 1 -> "i"
+    | 2 -> "-"
+    | _ -> "-i"
+  in
+  prefix
+  ^ String.init p.n (fun q ->
+        match letter p q with I -> 'I' | X -> 'X' | Y -> 'Y' | Z -> 'Z')
+
+let set_letter p q l =
+  let x = Bitvec.copy p.x and z = Bitvec.copy p.z in
+  let old_y = Bitvec.get x q && Bitvec.get z q in
+  let bx, bz = letter_bits l in
+  Bitvec.set x q bx;
+  Bitvec.set z q bz;
+  let dy = (if l = Y then 1 else 0) - if old_y then 1 else 0 in
+  { p with x; z; r = ((p.r + dy) mod 4 + 4) mod 4 }
+
+let x_bits p = Bitvec.copy p.x
+let z_bits p = Bitvec.copy p.z
+
+let of_bits ?(phase = 0) ~x ~z () =
+  if Bitvec.length x <> Bitvec.length z then invalid_arg "Pauli.of_bits";
+  let p = { n = Bitvec.length x; x = Bitvec.copy x; z = Bitvec.copy z; r = 0 } in
+  (* [phase] is relative to the letter convention; convert to r. *)
+  { p with r = ((phase + count_y p) mod 4 + 4) mod 4 }
+
+let mul a b =
+  if a.n <> b.n then invalid_arg "Pauli.mul: qubit count mismatch";
+  (* Z^{z_a} X^{x_b} = (−1)^{z_a·x_b} X^{x_b} Z^{z_a} *)
+  let anticomm = if Bitvec.dot a.z b.x then 2 else 0 in
+  { n = a.n;
+    x = Bitvec.xor a.x b.x;
+    z = Bitvec.xor a.z b.z;
+    r = (a.r + b.r + anticomm) mod 4 }
+
+let commutes a b =
+  if a.n <> b.n then invalid_arg "Pauli.commutes";
+  Bool.equal (Bitvec.dot a.x b.z) (Bitvec.dot a.z b.x)
+
+(* weight = #{q : x_q ∨ z_q} = |x| + |z| − |x ∧ z| *)
+let weight p =
+  Bitvec.weight p.x + Bitvec.weight p.z - Bitvec.weight (Bitvec.and_ p.x p.z)
+
+let equal a b =
+  a.n = b.n && Bitvec.equal a.x b.x && Bitvec.equal a.z b.z
+  && (a.r mod 4 + 4) mod 4 = (b.r mod 4 + 4) mod 4
+
+let equal_up_to_phase a b =
+  a.n = b.n && Bitvec.equal a.x b.x && Bitvec.equal a.z b.z
+
+let compare a b =
+  let c = Int.compare a.n b.n in
+  if c <> 0 then c
+  else
+    let c = Bitvec.compare a.x b.x in
+    if c <> 0 then c
+    else
+      let c = Bitvec.compare a.z b.z in
+      if c <> 0 then c
+      else Int.compare ((a.r mod 4 + 4) mod 4) ((b.r mod 4 + 4) mod 4)
+
+let neg p = { p with r = (p.r + 2) mod 4 }
+let mul_phase p k = { p with r = ((p.r + k) mod 4 + 4) mod 4 }
+
+let to_matrix p =
+  let letter_mat q =
+    match letter p q with
+    | I -> Qmath.Gates.id2
+    | X -> Qmath.Gates.x
+    | Y -> Qmath.Gates.y
+    | Z -> Qmath.Gates.z
+  in
+  let base =
+    if p.n = 0 then Qmath.Cmat.identity 1
+    else Qmath.Cmat.kron_list (List.init p.n letter_mat)
+  in
+  let ph =
+    match phase p with
+    | 0 -> Qmath.Cx.one
+    | 1 -> Qmath.Cx.i
+    | 2 -> Qmath.Cx.minus_one
+    | _ -> Qmath.Cx.neg Qmath.Cx.i
+  in
+  Qmath.Cmat.smul ph base
+
+let random rng n =
+  let letters =
+    List.init n (fun _ ->
+        match Random.State.int rng 4 with
+        | 0 -> I
+        | 1 -> X
+        | 2 -> Y
+        | _ -> Z)
+  in
+  of_letters letters
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,83 @@
+(** n-qubit Pauli operators in the symplectic representation.
+
+    An operator is i^phase · ∏_q X_q^{x_q} Z_q^{z_q}, stored as two bit
+    vectors [x], [z] and a phase exponent mod 4.  The single-qubit
+    letter at qubit q is I (00), X (10), Z (01) or Y (11, meaning iXZ —
+    the textbook Y).  This is the representation in which stabilizer
+    generators (Eq. 18) and Gottesman's error operators Z̄X̄ (§4.2) are
+    manipulated. *)
+
+type t
+
+(** Single-qubit letters. *)
+type letter = I | X | Y | Z
+
+(** [identity n] is the identity on [n] qubits. *)
+val identity : int -> t
+
+(** [num_qubits p]. *)
+val num_qubits : t -> int
+
+(** [phase p] is the exponent k in the global factor i^k, 0 ≤ k < 4. *)
+val phase : t -> int
+
+(** [single n q letter] is the weight-≤1 operator with [letter] at
+    qubit [q]. *)
+val single : int -> int -> letter -> t
+
+(** [of_letters letters] builds from a list of per-qubit letters. *)
+val of_letters : letter list -> t
+
+(** [of_string s] parses e.g. "IIIZZZZ", optionally prefixed by
+    "+", "-", "i", or "-i".  Raises [Invalid_argument] on malformed
+    input. *)
+val of_string : string -> t
+
+(** [to_string p] renders the phase prefix and the letters. *)
+val to_string : t -> string
+
+(** [letter p q] is the letter at qubit [q]. *)
+val letter : t -> int -> letter
+
+(** [set_letter p q letter] returns a copy of [p] with the letter at
+    qubit [q] replaced (phase untouched). *)
+val set_letter : t -> int -> letter -> t
+
+(** [x_bits p] / [z_bits p] expose copies of the symplectic halves. *)
+val x_bits : t -> Gf2.Bitvec.t
+
+val z_bits : t -> Gf2.Bitvec.t
+
+(** [of_bits ?phase ~x ~z ()] builds from symplectic halves. *)
+val of_bits : ?phase:int -> x:Gf2.Bitvec.t -> z:Gf2.Bitvec.t -> unit -> t
+
+(** [mul a b] is the operator product a·b with exact phase. *)
+val mul : t -> t -> t
+
+(** [commutes a b] is [true] iff a·b = b·a (symplectic inner product
+    vanishes). *)
+val commutes : t -> t -> bool
+
+(** [weight p] counts qubits with non-identity letters. *)
+val weight : t -> int
+
+(** [equal a b] / [equal_up_to_phase a b] / [compare a b]. *)
+val equal : t -> t -> bool
+
+val equal_up_to_phase : t -> t -> bool
+val compare : t -> t -> int
+
+(** [neg p] is −p; [mul_phase p k] multiplies by i^k. *)
+val neg : t -> t
+
+val mul_phase : t -> int -> t
+
+(** [to_matrix p] is the 2ⁿ×2ⁿ dense matrix (use only for small n). *)
+val to_matrix : t -> Qmath.Cmat.t
+
+(** [random rng n] is a uniformly random n-qubit Pauli with +1
+    phase (identity included). *)
+val random : Random.State.t -> int -> t
+
+(** [pp]. *)
+val pp : Format.formatter -> t -> unit

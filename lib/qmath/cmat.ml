@@ -1,0 +1,117 @@
+type t = Cx.t array array
+
+let make ~rows ~cols f = Array.init rows (fun i -> Array.init cols (f i))
+let zero ~rows ~cols = make ~rows ~cols (fun _ _ -> Cx.zero)
+let identity n = make ~rows:n ~cols:n (fun i j -> if i = j then Cx.one else Cx.zero)
+
+let of_lists xss =
+  match xss with
+  | [] -> invalid_arg "Cmat.of_lists: empty"
+  | first :: _ ->
+    let cols = List.length first in
+    Array.of_list
+      (List.map
+         (fun xs ->
+           if List.length xs <> cols then invalid_arg "Cmat.of_lists: ragged";
+           Array.of_list xs)
+         xss)
+
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+let get m i j = m.(i).(j)
+let set m i j z = m.(i).(j) <- z
+
+let check_same a b =
+  if rows a <> rows b || cols a <> cols b then invalid_arg "Cmat: shape mismatch"
+
+let add a b =
+  check_same a b;
+  make ~rows:(rows a) ~cols:(cols a) (fun i j -> Cx.add a.(i).(j) b.(i).(j))
+
+let sub a b =
+  check_same a b;
+  make ~rows:(rows a) ~cols:(cols a) (fun i j -> Cx.sub a.(i).(j) b.(i).(j))
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Cmat.mul: dimension mismatch";
+  let n = cols a in
+  make ~rows:(rows a) ~cols:(cols b) (fun i j ->
+      let acc = ref Cx.zero in
+      for k = 0 to n - 1 do
+        acc := Cx.add !acc (Cx.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let smul z m = make ~rows:(rows m) ~cols:(cols m) (fun i j -> Cx.mul z m.(i).(j))
+
+let dagger m = make ~rows:(cols m) ~cols:(rows m) (fun i j -> Cx.conj m.(j).(i))
+
+let kron a b =
+  let ra = rows a and ca = cols a and rb = rows b and cb = cols b in
+  make ~rows:(ra * rb) ~cols:(ca * cb) (fun i j ->
+      Cx.mul a.(i / rb).(j / cb) b.(i mod rb).(j mod cb))
+
+let kron_list = function
+  | [] -> invalid_arg "Cmat.kron_list: empty"
+  | m :: ms -> List.fold_left kron m ms
+
+let apply m v =
+  if cols m <> Array.length v then invalid_arg "Cmat.apply";
+  Array.init (rows m) (fun i ->
+      let acc = ref Cx.zero in
+      for j = 0 to Array.length v - 1 do
+        acc := Cx.add !acc (Cx.mul m.(i).(j) v.(j))
+      done;
+      !acc)
+
+let trace m =
+  if rows m <> cols m then invalid_arg "Cmat.trace: not square";
+  let acc = ref Cx.zero in
+  for i = 0 to rows m - 1 do
+    acc := Cx.add !acc m.(i).(i)
+  done;
+  !acc
+
+let equal ?(tol = 1e-9) a b =
+  rows a = rows b && cols a = cols b
+  &&
+  let ok = ref true in
+  for i = 0 to rows a - 1 do
+    for j = 0 to cols a - 1 do
+      if not (Cx.approx ~tol a.(i).(j) b.(i).(j)) then ok := false
+    done
+  done;
+  !ok
+
+let is_unitary ?(tol = 1e-9) m =
+  rows m = cols m && equal ~tol (mul m (dagger m)) (identity (rows m))
+
+let proportional ?(tol = 1e-9) a b =
+  rows a = rows b && cols a = cols b
+  &&
+  (* find the largest entry of b to fix the scalar *)
+  let best = ref Cx.zero and besta = ref Cx.zero and bestn = ref 0.0 in
+  for i = 0 to rows b - 1 do
+    for j = 0 to cols b - 1 do
+      let n = Cx.norm2 b.(i).(j) in
+      if n > !bestn then begin
+        bestn := n;
+        best := b.(i).(j);
+        besta := a.(i).(j)
+      end
+    done
+  done;
+  if !bestn < tol *. tol then equal ~tol a b
+  else
+    let z = Cx.div !besta !best in
+    Float.abs (Cx.norm z -. 1.0) <= 1e-6 && equal ~tol a (smul z b)
+
+let pp fmt m =
+  for i = 0 to rows m - 1 do
+    if i > 0 then Format.pp_print_newline fmt ();
+    Array.iteri
+      (fun j z ->
+        if j > 0 then Format.pp_print_string fmt "  ";
+        Cx.pp fmt z)
+      m.(i)
+  done

@@ -1,0 +1,59 @@
+(** Dense complex matrices and vectors for small-dimension quantum
+    linear algebra (gate matrices, small-system checks).
+
+    Vectors are plain [Cx.t array]s; matrices are row-major 2-D arrays.
+    These are used for verification and gate definitions, not for bulk
+    state evolution (see the [statevec] library for that). *)
+
+type t
+
+(** [make ~rows ~cols f] builds the matrix with entries [f i j]. *)
+val make : rows:int -> cols:int -> (int -> int -> Cx.t) -> t
+
+(** [zero ~rows ~cols] / [identity n] are the obvious matrices. *)
+val zero : rows:int -> cols:int -> t
+
+val identity : int -> t
+
+(** [of_lists xss] builds a matrix from row lists (non-ragged,
+    nonempty). *)
+val of_lists : Cx.t list list -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [smul z m] scales every entry by [z]. *)
+val smul : Cx.t -> t -> t
+
+(** [dagger m] is the conjugate transpose. *)
+val dagger : t -> t
+
+(** [kron a b] is the Kronecker (tensor) product. *)
+val kron : t -> t -> t
+
+(** [kron_list ms] folds {!kron} over a nonempty list, left to right. *)
+val kron_list : t list -> t
+
+(** [apply m v] is the matrix–vector product. *)
+val apply : t -> Cx.t array -> Cx.t array
+
+(** [trace m] is the trace of a square matrix. *)
+val trace : t -> Cx.t
+
+(** [equal ?tol a b] is entrywise approximate equality. *)
+val equal : ?tol:float -> t -> t -> bool
+
+(** [is_unitary ?tol m] checks m·m† ≈ I. *)
+val is_unitary : ?tol:float -> t -> bool
+
+(** [proportional ?tol a b] is [true] when [a = z·b] for some unit-free
+    complex scalar [z] (global-phase-insensitive comparison). *)
+val proportional : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

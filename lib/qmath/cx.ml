@@ -1,0 +1,30 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let minus_one = { re = -1.0; im = 0.0 }
+let make re im = { re; im }
+let re x = { re = x; im = 0.0 }
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let scale a z = { re = a *. z.re; im = a *. z.im }
+let norm2 = Complex.norm2
+let norm = Complex.norm
+let exp_i theta = { re = cos theta; im = sin theta }
+
+let approx ?(tol = 1e-9) a b = norm (sub a b) <= tol
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+
+let pp fmt z =
+  if Float.abs z.im < 1e-12 then Format.fprintf fmt "%g" z.re
+  else if Float.abs z.re < 1e-12 then Format.fprintf fmt "%gi" z.im
+  else Format.fprintf fmt "(%g%+gi)" z.re z.im

@@ -1,0 +1,47 @@
+(** Complex scalars: a thin veneer over [Stdlib.Complex] with the
+    arithmetic operators and approximate comparison used throughout
+    the simulators. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+val minus_one : t
+
+(** [make re im] builds a complex number. *)
+val make : float -> float -> t
+
+(** [re x] embeds a real number. *)
+val re : float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+(** [conj z] is the complex conjugate. *)
+val conj : t -> t
+
+(** [scale a z] multiplies by the real scalar [a]. *)
+val scale : float -> t -> t
+
+(** [norm2 z] is |z|². *)
+val norm2 : t -> float
+
+(** [norm z] is |z|. *)
+val norm : t -> float
+
+(** [exp_i theta] is e^{iθ}. *)
+val exp_i : float -> t
+
+(** [approx ?tol a b] is [true] when |a − b| ≤ tol (default 1e-9). *)
+val approx : ?tol:float -> t -> t -> bool
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+let c = Cx.re
+let ci = Cx.make
+
+let x = Cmat.of_lists [ [ c 0.; c 1. ]; [ c 1.; c 0. ] ]
+let z = Cmat.of_lists [ [ c 1.; c 0. ]; [ c 0.; c (-1.) ] ]
+let y_paper = Cmat.mul x z
+let y = Cmat.of_lists [ [ c 0.; ci 0. (-1.) ]; [ ci 0. 1.; c 0. ] ]
+
+let h =
+  let s = 1.0 /. sqrt 2.0 in
+  Cmat.of_lists [ [ c s; c s ]; [ c s; c (-.s) ] ]
+
+let r' =
+  let s = 1.0 /. sqrt 2.0 in
+  Cmat.of_lists [ [ c s; ci 0. s ]; [ ci 0. s; c s ] ]
+
+let s = Cmat.of_lists [ [ c 1.; c 0. ]; [ c 0.; ci 0. 1. ] ]
+let sdg = Cmat.of_lists [ [ c 1.; c 0. ]; [ c 0.; ci 0. (-1.) ] ]
+let id2 = Cmat.identity 2
+
+let cnot =
+  Cmat.of_lists
+    [ [ c 1.; c 0.; c 0.; c 0. ];
+      [ c 0.; c 1.; c 0.; c 0. ];
+      [ c 0.; c 0.; c 0.; c 1. ];
+      [ c 0.; c 0.; c 1.; c 0. ] ]
+
+let cz =
+  Cmat.of_lists
+    [ [ c 1.; c 0.; c 0.; c 0. ];
+      [ c 0.; c 1.; c 0.; c 0. ];
+      [ c 0.; c 0.; c 1.; c 0. ];
+      [ c 0.; c 0.; c 0.; c (-1.) ] ]
+
+let swap =
+  Cmat.of_lists
+    [ [ c 1.; c 0.; c 0.; c 0. ];
+      [ c 0.; c 0.; c 1.; c 0. ];
+      [ c 0.; c 1.; c 0.; c 0. ];
+      [ c 0.; c 0.; c 0.; c 1. ] ]
+
+let toffoli =
+  (* permutation matrix: flip the target bit when both controls are set *)
+  Cmat.make ~rows:8 ~cols:8 (fun i j ->
+      let flip k = if k land 0b110 = 0b110 then k lxor 1 else k in
+      if i = flip j then Cx.one else Cx.zero)
+
+let rz theta =
+  Cmat.of_lists [ [ c 1.; c 0. ]; [ c 0.; Cx.exp_i theta ] ]
+
+let pauli_of_char = function
+  | 'I' -> id2
+  | 'X' -> x
+  | 'Y' -> y
+  | 'Z' -> z
+  | ch -> invalid_arg (Printf.sprintf "Gates.pauli_of_char: %c" ch)

@@ -1,0 +1,51 @@
+(** Standard gate matrices used throughout the paper (Eqs. 5, 9, 19,
+    20, 22 and Fig. 1), as 2×2 / 4×4 / 8×8 unitaries. *)
+
+(** Pauli X (Eq. 5 case 2). *)
+val x : Cmat.t
+
+(** Pauli Z (Eq. 5 case 3). *)
+val z : Cmat.t
+
+(** Pauli Y defined as X·Z per the paper's Eq. 5 case 4 (differs from
+    the textbook iXZ by a global phase). *)
+val y_paper : Cmat.t
+
+(** Textbook Pauli Y = iXZ. *)
+val y : Cmat.t
+
+(** Hadamard rotation R (Eq. 9). *)
+val h : Cmat.t
+
+(** The R' basis change used to turn Y into Z (Eq. 20). *)
+val r' : Cmat.t
+
+(** Phase gate P = diag(1, i) (Eq. 22). *)
+val s : Cmat.t
+
+(** Adjoint phase gate P⁻¹. *)
+val sdg : Cmat.t
+
+(** 2×2 identity. *)
+val id2 : Cmat.t
+
+(** XOR / controlled-NOT on (control, target) in the computational
+    basis ordering |c t⟩ with the control as the more significant bit
+    (Fig. 1 middle). *)
+val cnot : Cmat.t
+
+(** Controlled-Z. *)
+val cz : Cmat.t
+
+(** Two-qubit SWAP. *)
+val swap : Cmat.t
+
+(** Toffoli / controlled-controlled-NOT on |c₁ c₂ t⟩ (Fig. 1 right). *)
+val toffoli : Cmat.t
+
+(** [rz theta] = diag(1, e^{iθ}). *)
+val rz : float -> Cmat.t
+
+(** [pauli_of_char c] maps 'I'/'X'/'Y'/'Z' to the 2×2 matrix
+    (textbook Y). Raises [Invalid_argument] otherwise. *)
+val pauli_of_char : char -> Cmat.t

@@ -1,0 +1,386 @@
+module Cx = Qmath.Cx
+module Cmat = Qmath.Cmat
+
+(* Amplitudes are stored as parallel unboxed float arrays (re, im):
+   this keeps the hot gate loops allocation-free. *)
+type t = { n : int; re : float array; im : float array }
+
+let max_qubits = 24
+
+let create n =
+  if n < 0 || n > max_qubits then invalid_arg "Statevec.create: qubit count";
+  let dim = 1 lsl n in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let num_qubits s = s.n
+let copy s = { s with re = Array.copy s.re; im = Array.copy s.im }
+let amplitude s i = Cx.make s.re.(i) s.im.(i)
+
+let norm2 s =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length s.re - 1 do
+    acc := !acc +. (s.re.(i) *. s.re.(i)) +. (s.im.(i) *. s.im.(i))
+  done;
+  !acc
+
+let norm s = sqrt (norm2 s)
+
+let normalize s =
+  let n = norm s in
+  if n = 0.0 then invalid_arg "Statevec.normalize: zero vector";
+  let inv = 1.0 /. n in
+  for i = 0 to Array.length s.re - 1 do
+    s.re.(i) <- s.re.(i) *. inv;
+    s.im.(i) <- s.im.(i) *. inv
+  done
+
+let of_amplitudes amps =
+  let dim = Array.length amps in
+  let n =
+    let rec log2 d acc =
+      if d = 1 then acc
+      else if d land 1 = 1 || d <= 0 then
+        invalid_arg "Statevec.of_amplitudes: length not a power of two"
+      else log2 (d lsr 1) (acc + 1)
+    in
+    log2 dim 0
+  in
+  if n > max_qubits then invalid_arg "Statevec.of_amplitudes: too many qubits";
+  let s =
+    { n;
+      re = Array.map (fun (z : Cx.t) -> z.re) amps;
+      im = Array.map (fun (z : Cx.t) -> z.im) amps }
+  in
+  normalize s;
+  s
+
+let basis ~n ~index =
+  let s = create n in
+  if index < 0 || index >= 1 lsl n then invalid_arg "Statevec.basis";
+  s.re.(0) <- 0.0;
+  s.re.(index) <- 1.0;
+  s
+
+let check_qubit s q =
+  if q < 0 || q >= s.n then invalid_arg "Statevec: qubit out of range"
+
+(* Iterate over pairs (i0, i1) differing only at bit q, with i0 the
+   index where bit q = 0. *)
+let iter_pairs s q f =
+  let mask = 1 lsl q in
+  let dim = Array.length s.re in
+  let i = ref 0 in
+  while !i < dim do
+    if !i land mask = 0 then f !i (!i lor mask);
+    incr i
+  done
+
+let h s q =
+  check_qubit s q;
+  let c = 1.0 /. sqrt 2.0 in
+  iter_pairs s q (fun i0 i1 ->
+      let ar = s.re.(i0) and ai = s.im.(i0) in
+      let br = s.re.(i1) and bi = s.im.(i1) in
+      s.re.(i0) <- c *. (ar +. br);
+      s.im.(i0) <- c *. (ai +. bi);
+      s.re.(i1) <- c *. (ar -. br);
+      s.im.(i1) <- c *. (ai -. bi))
+
+let x s q =
+  check_qubit s q;
+  iter_pairs s q (fun i0 i1 ->
+      let ar = s.re.(i0) and ai = s.im.(i0) in
+      s.re.(i0) <- s.re.(i1);
+      s.im.(i0) <- s.im.(i1);
+      s.re.(i1) <- ar;
+      s.im.(i1) <- ai)
+
+let y s q =
+  check_qubit s q;
+  (* Y = [[0, -i], [i, 0]] *)
+  iter_pairs s q (fun i0 i1 ->
+      let ar = s.re.(i0) and ai = s.im.(i0) in
+      let br = s.re.(i1) and bi = s.im.(i1) in
+      (* new a = -i * b ; new b = i * a *)
+      s.re.(i0) <- bi;
+      s.im.(i0) <- -.br;
+      s.re.(i1) <- -.ai;
+      s.im.(i1) <- ar)
+
+let z s q =
+  check_qubit s q;
+  iter_pairs s q (fun _ i1 ->
+      s.re.(i1) <- -.s.re.(i1);
+      s.im.(i1) <- -.s.im.(i1))
+
+let s_gate s q =
+  check_qubit s q;
+  iter_pairs s q (fun _ i1 ->
+      let br = s.re.(i1) and bi = s.im.(i1) in
+      s.re.(i1) <- -.bi;
+      s.im.(i1) <- br)
+
+let sdg s q =
+  check_qubit s q;
+  iter_pairs s q (fun _ i1 ->
+      let br = s.re.(i1) and bi = s.im.(i1) in
+      s.re.(i1) <- bi;
+      s.im.(i1) <- -.br)
+
+let cnot s c t =
+  check_qubit s c;
+  check_qubit s t;
+  if c = t then invalid_arg "Statevec.cnot: equal operands";
+  let cm = 1 lsl c and tm = 1 lsl t in
+  let dim = Array.length s.re in
+  for i = 0 to dim - 1 do
+    if i land cm <> 0 && i land tm = 0 then begin
+      let j = i lor tm in
+      let ar = s.re.(i) and ai = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- ar;
+      s.im.(j) <- ai
+    end
+  done
+
+let cz s a b =
+  check_qubit s a;
+  check_qubit s b;
+  if a = b then invalid_arg "Statevec.cz: equal operands";
+  let am = 1 lsl a and bm = 1 lsl b in
+  for i = 0 to Array.length s.re - 1 do
+    if i land am <> 0 && i land bm <> 0 then begin
+      s.re.(i) <- -.s.re.(i);
+      s.im.(i) <- -.s.im.(i)
+    end
+  done
+
+let swap s a b =
+  check_qubit s a;
+  check_qubit s b;
+  if a = b then invalid_arg "Statevec.swap: equal operands";
+  let am = 1 lsl a and bm = 1 lsl b in
+  for i = 0 to Array.length s.re - 1 do
+    (* swap amplitudes of ...a=1,b=0... with ...a=0,b=1..., once *)
+    if i land am <> 0 && i land bm = 0 then begin
+      let j = (i lxor am) lor bm in
+      let ar = s.re.(i) and ai = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- ar;
+      s.im.(j) <- ai
+    end
+  done
+
+let toffoli s c1 c2 t =
+  check_qubit s c1;
+  check_qubit s c2;
+  check_qubit s t;
+  if c1 = c2 || c1 = t || c2 = t then
+    invalid_arg "Statevec.toffoli: repeated operands";
+  let m1 = 1 lsl c1 and m2 = 1 lsl c2 and tm = 1 lsl t in
+  for i = 0 to Array.length s.re - 1 do
+    if i land m1 <> 0 && i land m2 <> 0 && i land tm = 0 then begin
+      let j = i lor tm in
+      let ar = s.re.(i) and ai = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- ar;
+      s.im.(j) <- ai
+    end
+  done
+
+let apply_1q s m q =
+  check_qubit s q;
+  if Cmat.rows m <> 2 || Cmat.cols m <> 2 then
+    invalid_arg "Statevec.apply_1q: not 2x2";
+  let m00 = Cmat.get m 0 0
+  and m01 = Cmat.get m 0 1
+  and m10 = Cmat.get m 1 0
+  and m11 = Cmat.get m 1 1 in
+  iter_pairs s q (fun i0 i1 ->
+      let a = Cx.make s.re.(i0) s.im.(i0) in
+      let b = Cx.make s.re.(i1) s.im.(i1) in
+      let a' = Cx.add (Cx.mul m00 a) (Cx.mul m01 b) in
+      let b' = Cx.add (Cx.mul m10 a) (Cx.mul m11 b) in
+      s.re.(i0) <- a'.re;
+      s.im.(i0) <- a'.im;
+      s.re.(i1) <- b'.re;
+      s.im.(i1) <- b'.im)
+
+let apply_gate s = function
+  | Circuit.H q -> h s q
+  | Circuit.X q -> x s q
+  | Circuit.Y q -> y s q
+  | Circuit.Z q -> z s q
+  | Circuit.S q -> s_gate s q
+  | Circuit.Sdg q -> sdg s q
+  | Circuit.Cnot (c, t) -> cnot s c t
+  | Circuit.Cz (a, b) -> cz s a b
+  | Circuit.Swap (a, b) -> swap s a b
+  | Circuit.Toffoli (a, b, t) -> toffoli s a b t
+
+let apply_pauli s p =
+  if Pauli.num_qubits p <> s.n then invalid_arg "Statevec.apply_pauli";
+  for q = 0 to s.n - 1 do
+    match Pauli.letter p q with
+    | Pauli.I -> ()
+    | Pauli.X -> x s q
+    | Pauli.Y -> y s q
+    | Pauli.Z -> z s q
+  done;
+  (match Pauli.phase p with
+  | 0 -> ()
+  | k ->
+    let ph = match k with 1 -> Cx.i | 2 -> Cx.minus_one | _ -> Cx.neg Cx.i in
+    for i = 0 to Array.length s.re - 1 do
+      let a = Cx.mul ph (Cx.make s.re.(i) s.im.(i)) in
+      s.re.(i) <- a.re;
+      s.im.(i) <- a.im
+    done)
+
+let prob_one s q =
+  check_qubit s q;
+  let mask = 1 lsl q in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length s.re - 1 do
+    if i land mask <> 0 then
+      acc := !acc +. (s.re.(i) *. s.re.(i)) +. (s.im.(i) *. s.im.(i))
+  done;
+  !acc
+
+let project s q outcome =
+  let mask = 1 lsl q in
+  for i = 0 to Array.length s.re - 1 do
+    let bit_one = i land mask <> 0 in
+    if bit_one <> outcome then begin
+      s.re.(i) <- 0.0;
+      s.im.(i) <- 0.0
+    end
+  done
+
+let postselect s q outcome =
+  check_qubit s q;
+  let p1 = prob_one s q in
+  let p = if outcome then p1 else 1.0 -. p1 in
+  if p > 0.0 then begin
+    project s q outcome;
+    normalize s
+  end;
+  p
+
+let measure s rng q =
+  let p1 = prob_one s q in
+  let outcome = Random.State.float rng 1.0 < p1 in
+  project s q outcome;
+  normalize s;
+  outcome
+
+let measure_x s rng q =
+  h s q;
+  let outcome = measure s rng q in
+  h s q;
+  outcome
+
+let reset s rng q =
+  let outcome = measure s rng q in
+  if outcome then x s q
+
+let reduced_density_matrix s ~keep =
+  let k = List.length keep in
+  if k > 6 then invalid_arg "Statevec.reduced_density_matrix: keep <= 6";
+  List.iter (check_qubit s) keep;
+  let keep = Array.of_list keep in
+  let dim = 1 lsl k in
+  let rho = Cmat.zero ~rows:dim ~cols:dim in
+  let sub_index i =
+    let acc = ref 0 in
+    Array.iteri (fun j q -> if (i lsr q) land 1 = 1 then acc := !acc lor (1 lsl j)) keep;
+    !acc
+  in
+  let kept_mask = Array.fold_left (fun m q -> m lor (1 lsl q)) 0 keep in
+  let n_total = Array.length s.re in
+  (* ρ_{ab} = Σ_env ⟨a,env|ψ⟩⟨ψ|b,env⟩: group amplitudes by their
+     environment part *)
+  for i = 0 to n_total - 1 do
+    let a = sub_index i in
+    let env_i = i land lnot kept_mask in
+    for b = 0 to dim - 1 do
+      (* rebuild the full index with subsystem value b, same env *)
+      let j = ref env_i in
+      Array.iteri
+        (fun jj q -> if (b lsr jj) land 1 = 1 then j := !j lor (1 lsl q))
+        keep;
+      let j = !j in
+      let zi = Cx.make s.re.(i) s.im.(i) in
+      let zj = Cx.make s.re.(j) s.im.(j) in
+      Cmat.set rho a b (Cx.add (Cmat.get rho a b) (Cx.mul zi (Cx.conj zj)))
+    done
+  done;
+  rho
+
+let purity s ~keep =
+  let rho = reduced_density_matrix s ~keep in
+  (Qmath.Cmat.trace (Qmath.Cmat.mul rho rho)).Cx.re
+
+let inner a b =
+  if a.n <> b.n then invalid_arg "Statevec.inner";
+  let accr = ref 0.0 and acci = ref 0.0 in
+  for i = 0 to Array.length a.re - 1 do
+    (* conj(a_i) * b_i *)
+    accr := !accr +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    acci := !acci +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  Cx.make !accr !acci
+
+let fidelity a b = Cx.norm2 (inner a b)
+
+let expectation s p =
+  let s' = copy s in
+  apply_pauli s' p;
+  (inner s s').re
+
+let default_rng = lazy (Random.State.make [| 0x5eed |])
+
+let run ?rng s c =
+  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  if Circuit.num_qubits c <> s.n then
+    invalid_arg "Statevec.run: register size mismatch";
+  let cbits = Array.make (Circuit.num_cbits c) false in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Gate g -> apply_gate s g
+      | Circuit.Measure { qubit; cbit } -> cbits.(cbit) <- measure s rng qubit
+      | Circuit.Measure_x { qubit; cbit } ->
+        cbits.(cbit) <- measure_x s rng qubit
+      | Circuit.Reset q -> reset s rng q
+      | Circuit.Cond { cbit; gate } -> if cbits.(cbit) then apply_gate s gate
+      | Circuit.Cond_parity { cbits = bs; gate } ->
+        let parity =
+          List.fold_left (fun acc b -> acc <> cbits.(b)) false bs
+        in
+        if parity then apply_gate s gate
+      | Circuit.Tick -> ())
+    (Circuit.instrs c);
+  cbits
+
+let equal_up_to_phase ?(tol = 1e-9) a b =
+  a.n = b.n && Float.abs (fidelity a b -. 1.0) <= tol
+
+let pp fmt s =
+  let dim = Array.length s.re in
+  let first = ref true in
+  for i = 0 to dim - 1 do
+    let z = Cx.make s.re.(i) s.im.(i) in
+    if Cx.norm z > 1e-9 then begin
+      if not !first then Format.pp_print_newline fmt ();
+      first := false;
+      let bits = String.init s.n (fun q -> if (i lsr q) land 1 = 1 then '1' else '0') in
+      Format.fprintf fmt "%a · |%s⟩" Cx.pp z bits
+    end
+  done;
+  if !first then Format.pp_print_string fmt "0"

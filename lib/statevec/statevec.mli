@@ -1,0 +1,111 @@
+(** Full complex state-vector simulator.
+
+    Exact simulation of up to ~20 qubits, used to validate codeword
+    constructions (Eqs. 6–7, 11), encoding circuits (Fig. 3),
+    transversal-gate identities (§4.1), the Toffoli ancilla state
+    (Eq. 23) and anything non-Clifford.  Amplitude indexing is
+    little-endian: bit [q] of a basis index is the computational state
+    of qubit [q]. *)
+
+type t
+
+(** [create n] is |0…0⟩ on [n] qubits ([n] ≤ 24 enforced). *)
+val create : int -> t
+
+(** [of_amplitudes amps] wraps a length-2ⁿ amplitude array (copied,
+    then normalized).  Raises [Invalid_argument] if the length is not
+    a power of two or the vector is numerically zero. *)
+val of_amplitudes : Qmath.Cx.t array -> t
+
+(** [basis ~n ~index] is the computational basis state |index⟩. *)
+val basis : n:int -> index:int -> t
+
+(** [num_qubits s]. *)
+val num_qubits : t -> int
+
+(** [copy s]. *)
+val copy : t -> t
+
+(** [amplitude s i] is ⟨i|s⟩. *)
+val amplitude : t -> int -> Qmath.Cx.t
+
+(** [norm s] is the 2-norm (should stay ≈ 1). *)
+val norm : t -> float
+
+(** [normalize s] rescales to unit norm, in place. *)
+val normalize : t -> unit
+
+(** In-place standard gates. *)
+val h : t -> int -> unit
+
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val s_gate : t -> int -> unit
+val sdg : t -> int -> unit
+val cnot : t -> int -> int -> unit
+val cz : t -> int -> int -> unit
+val swap : t -> int -> int -> unit
+val toffoli : t -> int -> int -> int -> unit
+
+(** [apply_1q s m q] applies an arbitrary 2×2 unitary to qubit [q]. *)
+val apply_1q : t -> Qmath.Cmat.t -> int -> unit
+
+(** [apply_gate s g] dispatches a circuit gate. *)
+val apply_gate : t -> Circuit.gate -> unit
+
+(** [apply_pauli s p] applies an n-qubit Pauli operator (including its
+    phase) — used to inject faults. *)
+val apply_pauli : t -> Pauli.t -> unit
+
+(** [prob_one s q] is the probability that measuring qubit [q] in the
+    Z basis yields 1. *)
+val prob_one : t -> int -> float
+
+(** [measure s rng q] projectively measures qubit [q] in the Z basis,
+    collapsing the state; returns the outcome. *)
+val measure : t -> Random.State.t -> int -> bool
+
+(** [measure_x s rng q] measures in the X basis (outcome [true] = the
+    −1 eigenstate |−⟩). *)
+val measure_x : t -> Random.State.t -> int -> bool
+
+(** [postselect s q outcome] projects qubit [q] onto [outcome] and
+    renormalizes; returns the pre-projection probability of that
+    outcome.  The state is invalid if the returned probability is 0. *)
+val postselect : t -> int -> bool -> float
+
+(** [reset s rng q] measures qubit [q] and flips it to |0⟩ if needed. *)
+val reset : t -> Random.State.t -> int -> unit
+
+(** [reduced_density_matrix s ~keep] — the density matrix of the
+    listed qubits (in the given order) after tracing out the rest;
+    dimension 2^|keep| ≤ 2⁶ enforced.  Used to check entanglement
+    directly (purity tr ρ² = 1 iff the subsystem is unentangled). *)
+val reduced_density_matrix : t -> keep:int list -> Qmath.Cmat.t
+
+(** [purity s ~keep] — tr ρ² of the reduced state. *)
+val purity : t -> keep:int list -> float
+
+(** [inner a b] is ⟨a|b⟩. *)
+val inner : t -> t -> Qmath.Cx.t
+
+(** [fidelity a b] is |⟨a|b⟩|². *)
+val fidelity : t -> t -> float
+
+(** [expectation s p] is ⟨s|P|s⟩ for a Pauli [p] (real up to numeric
+    noise; the real part is returned). *)
+val expectation : t -> Pauli.t -> float
+
+(** [run ?rng s c] executes a circuit on [s] in place, returning the
+    classical bit array.  The circuit's qubit count must match.
+    [rng] defaults to a fixed-seed generator. *)
+val run : ?rng:Random.State.t -> t -> Circuit.t -> bool array
+
+(** [equal_up_to_phase ?tol a b] is [true] when a = e^{iφ}·b. *)
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+
+(** [pp] prints nonzero amplitudes as "amp · |bits⟩" lines, smallest
+    index first, with bit 0 leftmost (matching codeword strings like
+    |0001111⟩ in Eq. 6). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,388 @@
+module Bitvec = Gf2.Bitvec
+
+(* Rows 0..n−1 are destabilizers, rows n..2n−1 stabilizers.  Row k is
+   the Pauli (−1)^{r.(k)} · ∏_q X^{x.(k)_q} Z^{z.(k)_q} (with Y = XZ up
+   to the phase bookkeeping of the g function below, per
+   Aaronson–Gottesman 2004). *)
+type t = {
+  n : int;
+  x : Bitvec.t array;
+  z : Bitvec.t array;
+  r : Bytes.t; (* sign bits, one per row *)
+}
+
+let get_r t k = Bytes.get t.r k <> '\000'
+let set_r t k b = Bytes.set t.r k (if b then '\001' else '\000')
+let flip_r t k = set_r t k (not (get_r t k))
+
+let create n =
+  if n <= 0 then invalid_arg "Tableau.create: need at least one qubit";
+  let x = Array.init (2 * n) (fun _ -> Bitvec.create n) in
+  let z = Array.init (2 * n) (fun _ -> Bitvec.create n) in
+  for i = 0 to n - 1 do
+    Bitvec.set x.(i) i true;
+    (* destabilizer i = X_i *)
+    Bitvec.set z.(n + i) i true (* stabilizer i = Z_i *)
+  done;
+  { n; x; z; r = Bytes.make (2 * n) '\000' }
+
+let num_qubits t = t.n
+
+let copy t =
+  { n = t.n;
+    x = Array.map Bitvec.copy t.x;
+    z = Array.map Bitvec.copy t.z;
+    r = Bytes.copy t.r }
+
+let check_qubit t q =
+  if q < 0 || q >= t.n then invalid_arg "Tableau: qubit out of range"
+
+let h t q =
+  check_qubit t q;
+  for k = 0 to (2 * t.n) - 1 do
+    let xb = Bitvec.get t.x.(k) q and zb = Bitvec.get t.z.(k) q in
+    if xb && zb then flip_r t k;
+    Bitvec.set t.x.(k) q zb;
+    Bitvec.set t.z.(k) q xb
+  done
+
+let s_gate t q =
+  check_qubit t q;
+  for k = 0 to (2 * t.n) - 1 do
+    let xb = Bitvec.get t.x.(k) q and zb = Bitvec.get t.z.(k) q in
+    if xb && zb then flip_r t k;
+    Bitvec.set t.z.(k) q (xb <> zb)
+  done
+
+let z t q =
+  check_qubit t q;
+  for k = 0 to (2 * t.n) - 1 do
+    if Bitvec.get t.x.(k) q then flip_r t k
+  done
+
+let x t q =
+  check_qubit t q;
+  for k = 0 to (2 * t.n) - 1 do
+    if Bitvec.get t.z.(k) q then flip_r t k
+  done
+
+let y t q =
+  check_qubit t q;
+  for k = 0 to (2 * t.n) - 1 do
+    if Bitvec.get t.x.(k) q <> Bitvec.get t.z.(k) q then flip_r t k
+  done
+
+let sdg t q =
+  s_gate t q;
+  z t q
+
+let cnot t c tgt =
+  check_qubit t c;
+  check_qubit t tgt;
+  if c = tgt then invalid_arg "Tableau.cnot: equal operands";
+  for k = 0 to (2 * t.n) - 1 do
+    let xc = Bitvec.get t.x.(k) c
+    and zc = Bitvec.get t.z.(k) c
+    and xt = Bitvec.get t.x.(k) tgt
+    and zt = Bitvec.get t.z.(k) tgt in
+    if xc && zt && xt = zc then flip_r t k;
+    Bitvec.set t.x.(k) tgt (xt <> xc);
+    Bitvec.set t.z.(k) c (zc <> zt)
+  done
+
+let cz t a b =
+  h t b;
+  cnot t a b;
+  h t b
+
+let cy t control target =
+  (* S X S† = Y, so conjugating the target by S turns CNOT into CY *)
+  sdg t target;
+  cnot t control target;
+  s_gate t target
+
+let swap t a b =
+  cnot t a b;
+  cnot t b a;
+  cnot t a b
+
+let apply_gate t = function
+  | Circuit.H q -> h t q
+  | Circuit.X q -> x t q
+  | Circuit.Y q -> y t q
+  | Circuit.Z q -> z t q
+  | Circuit.S q -> s_gate t q
+  | Circuit.Sdg q -> sdg t q
+  | Circuit.Cnot (c, tgt) -> cnot t c tgt
+  | Circuit.Cz (a, b) -> cz t a b
+  | Circuit.Swap (a, b) -> swap t a b
+  | Circuit.Toffoli _ ->
+    invalid_arg "Tableau.apply_gate: Toffoli is not Clifford"
+
+let popcount64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+(* Word-parallel phase accumulation for multiplying a source row
+   (xi, zi) into a target row (xh, zh): Σ_q g(xi,zi,xh,zh) where g is
+   Aaronson–Gottesman's per-qubit power of i.  Encoded as two disjoint
+   masks: g = +1 on
+     X·(XZ)  : xi ∧ ¬zi ∧ xh ∧ zh
+     Z·X     : ¬xi ∧ zi ∧ xh ∧ ¬zh
+     Y·Z     : xi ∧ zi ∧ zh ∧ ¬xh
+   and g = −1 on the mirror cases. *)
+let phase_acc xi zi xh zh =
+  let acc = ref 0 in
+  let open Int64 in
+  for j = 0 to Bitvec.num_words xi - 1 do
+    let a = Bitvec.get_word xi j
+    and b = Bitvec.get_word zi j
+    and c = Bitvec.get_word xh j
+    and d = Bitvec.get_word zh j in
+    let na = lognot a and nb = lognot b and nc = lognot c and nd = lognot d in
+    let p =
+      logor
+        (logand (logand a nb) (logand c d))
+        (logor
+           (logand (logand na b) (logand c nd))
+           (logand (logand a b) (logand d nc)))
+    in
+    let n =
+      logor
+        (logand (logand a nb) (logand d nc))
+        (logor
+           (logand (logand na b) (logand c d))
+           (logand (logand a b) (logand c nd)))
+    in
+    acc := !acc + popcount64 p - popcount64 n
+  done;
+  !acc
+
+(* row h := row h · row i *)
+let rowsum t h i =
+  let acc = phase_acc t.x.(i) t.z.(i) t.x.(h) t.z.(h) in
+  let total =
+    (2 * (if get_r t h then 1 else 0))
+    + (2 * if get_r t i then 1 else 0)
+    + acc
+  in
+  let m = ((total mod 4) + 4) mod 4 in
+  (* the product of commuting real Pauli rows is real: m ∈ {0, 2} *)
+  set_r t h (m = 2);
+  Bitvec.xor_into ~src:t.x.(i) t.x.(h);
+  Bitvec.xor_into ~src:t.z.(i) t.z.(h)
+
+let measure_is_random t q =
+  check_qubit t q;
+  let rec loop k = k < 2 * t.n && (Bitvec.get t.x.(k) q || loop (k + 1)) in
+  loop t.n
+
+let measure t rng q =
+  check_qubit t q;
+  (* find a stabilizer row with x_q = 1 *)
+  let p = ref (-1) in
+  (try
+     for k = t.n to (2 * t.n) - 1 do
+       if Bitvec.get t.x.(k) q then begin
+         p := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !p >= 0 then begin
+    let p = !p in
+    (* random outcome *)
+    for k = 0 to (2 * t.n) - 1 do
+      if k <> p && Bitvec.get t.x.(k) q then rowsum t k p
+    done;
+    (* destabilizer p−n := old stabilizer p; stabilizer p := ±Z_q *)
+    Bitvec.blit ~src:t.x.(p) t.x.(p - t.n);
+    Bitvec.blit ~src:t.z.(p) t.z.(p - t.n);
+    set_r t (p - t.n) (get_r t p);
+    let outcome = Random.State.bool rng in
+    Bitvec.clear t.x.(p);
+    Bitvec.clear t.z.(p);
+    Bitvec.set t.z.(p) q true;
+    set_r t p outcome;
+    outcome
+  end
+  else begin
+    (* deterministic outcome: accumulate into a scratch row *)
+    let sx = Bitvec.create t.n and sz = Bitvec.create t.n in
+    let sr = ref 0 in
+    for i = 0 to t.n - 1 do
+      if Bitvec.get t.x.(i) q then begin
+        (* multiply stabilizer i+n into scratch *)
+        let acc = phase_acc t.x.(i + t.n) t.z.(i + t.n) sx sz in
+        let total =
+          (2 * !sr) + (2 * if get_r t (i + t.n) then 1 else 0) + acc
+        in
+        sr := if ((total mod 4) + 4) mod 4 = 2 then 1 else 0;
+        Bitvec.xor_into ~src:t.x.(i + t.n) sx;
+        Bitvec.xor_into ~src:t.z.(i + t.n) sz
+      end
+    done;
+    !sr = 1
+  end
+
+let measure_x t rng q =
+  h t q;
+  let outcome = measure t rng q in
+  h t q;
+  outcome
+
+let reset t rng q = if measure t rng q then x t q
+
+let row_pauli t k =
+  (* A row is (−1)^r times the tensor of literal letters (Y literal,
+     Hermitian) — the convention under which the g function above is
+     derived. *)
+  Pauli.of_bits ~phase:(if get_r t k then 2 else 0) ~x:t.x.(k) ~z:t.z.(k) ()
+
+let stabilizers t = List.init t.n (fun i -> row_pauli t (i + t.n))
+let destabilizers t = List.init t.n (fun i -> row_pauli t i)
+
+let anticommutes_with_row t k (p : Pauli.t) =
+  let px = Pauli.x_bits p and pz = Pauli.z_bits p in
+  Bitvec.dot t.x.(k) pz <> Bitvec.dot t.z.(k) px
+
+let apply_pauli t p =
+  if Pauli.num_qubits p <> t.n then invalid_arg "Tableau.apply_pauli";
+  for k = 0 to (2 * t.n) - 1 do
+    if anticommutes_with_row t k p then flip_r t k
+  done
+
+let expectation t p =
+  if Pauli.num_qubits p <> t.n then invalid_arg "Tableau.expectation";
+  (match Pauli.phase p with
+  | 0 | 2 -> ()
+  | _ -> invalid_arg "Tableau.expectation: phase must be ±1");
+  (* p commutes with all stabilizers iff its expectation is ±1 *)
+  let commutes_all =
+    let rec loop_stab k =
+      k >= 2 * t.n
+      || ((not (anticommutes_with_row t k p)) && loop_stab (k + 1))
+    in
+    loop_stab t.n
+  in
+  if not commutes_all then None
+  else begin
+    (* coefficient of stabilizer i = (p anticommutes with destabilizer i) *)
+    let product = ref (Pauli.identity t.n) in
+    for i = 0 to t.n - 1 do
+      if anticommutes_with_row t i p then
+        product := Pauli.mul !product (row_pauli t (i + t.n))
+    done;
+    if Pauli.equal !product p then Some true
+    else if Pauli.equal !product (Pauli.neg p) then Some false
+    else
+      (* p commutes with the group but is not in it up to sign: can
+         only happen if the tableau is corrupt. *)
+      invalid_arg "Tableau.expectation: inconsistent tableau"
+  end
+
+(* --- general Pauli measurement ------------------------------------- *)
+
+let check_hermitian p =
+  match Pauli.phase p with
+  | 0 -> false
+  | 2 -> true
+  | _ -> invalid_arg "Tableau: Pauli observable must have phase ±1"
+
+let find_anticommuting_stab t p =
+  let rec loop k =
+    if k >= 2 * t.n then None
+    else if anticommutes_with_row t k p then Some k
+    else loop (k + 1)
+  in
+  loop t.n
+
+(* Collapse onto the [outcome] eigenspace of [p], given [row] is a
+   stabilizer row anticommuting with [p]. *)
+let collapse t p row ~outcome =
+  let negated = check_hermitian p in
+  for k = 0 to (2 * t.n) - 1 do
+    if k <> row && anticommutes_with_row t k p then rowsum t k row
+  done;
+  Bitvec.blit ~src:t.x.(row) t.x.(row - t.n);
+  Bitvec.blit ~src:t.z.(row) t.z.(row - t.n);
+  set_r t (row - t.n) (get_r t row);
+  Bitvec.blit ~src:(Pauli.x_bits p) t.x.(row);
+  Bitvec.blit ~src:(Pauli.z_bits p) t.z.(row);
+  set_r t row (negated <> outcome)
+
+(* Deterministic expectation as an outcome bit, assuming [p] commutes
+   with the whole stabilizer group. *)
+let deterministic_outcome t p =
+  let product = ref (Pauli.identity t.n) in
+  for i = 0 to t.n - 1 do
+    if anticommutes_with_row t i p then
+      product := Pauli.mul !product (row_pauli t (i + t.n))
+  done;
+  if Pauli.equal !product p then false
+  else if Pauli.equal !product (Pauli.neg p) then true
+  else invalid_arg "Tableau: inconsistent tableau in Pauli measurement"
+
+let measure_pauli t rng p =
+  if Pauli.num_qubits p <> t.n then invalid_arg "Tableau.measure_pauli";
+  ignore (check_hermitian p);
+  match find_anticommuting_stab t p with
+  | Some row ->
+    let outcome = Random.State.bool rng in
+    collapse t p row ~outcome;
+    outcome
+  | None -> deterministic_outcome t p
+
+let postselect_pauli t p ~outcome =
+  if Pauli.num_qubits p <> t.n then invalid_arg "Tableau.postselect_pauli";
+  ignore (check_hermitian p);
+  match find_anticommuting_stab t p with
+  | Some row ->
+    collapse t p row ~outcome;
+    true
+  | None -> Bool.equal (deterministic_outcome t p) outcome
+
+let default_rng = lazy (Random.State.make [| 0x7ab1ea |])
+
+let run ?rng t c =
+  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  if Circuit.num_qubits c <> t.n then
+    invalid_arg "Tableau.run: register size mismatch";
+  let cbits = Array.make (Circuit.num_cbits c) false in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Gate g -> apply_gate t g
+      | Circuit.Measure { qubit; cbit } -> cbits.(cbit) <- measure t rng qubit
+      | Circuit.Measure_x { qubit; cbit } ->
+        cbits.(cbit) <- measure_x t rng qubit
+      | Circuit.Reset q -> reset t rng q
+      | Circuit.Cond { cbit; gate } -> if cbits.(cbit) then apply_gate t gate
+      | Circuit.Cond_parity { cbits = bs; gate } ->
+        let parity =
+          List.fold_left (fun acc b -> acc <> cbits.(b)) false bs
+        in
+        if parity then apply_gate t gate
+      | Circuit.Tick -> ())
+    (Circuit.instrs c);
+  cbits
+
+let equal_states a b =
+  a.n = b.n
+  &&
+  (* every stabilizer of b must have expectation +1 in a, and vice
+     versa is then automatic (both groups are maximal). *)
+  List.for_all (fun p -> expectation a p = Some true) (stabilizers b)
+
+let pp fmt t =
+  List.iteri
+    (fun i p ->
+      if i > 0 then Format.pp_print_newline fmt ();
+      Pauli.pp fmt p)
+    (stabilizers t)

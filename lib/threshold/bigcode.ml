@@ -1,0 +1,22 @@
+let shor_b = 4.0
+
+let block_error ~b ~eps ~t =
+  if t < 1 then invalid_arg "Bigcode.block_error: t >= 1";
+  (float_of_int t ** b *. eps) ** float_of_int (t + 1)
+
+let e_inv = 1.0 /. Float.exp 1.0
+
+let optimal_t ~b ~eps = e_inv *. (eps ** (-1.0 /. b))
+let min_block_error ~b ~eps = Float.exp (-.e_inv *. b *. (eps ** (-1.0 /. b)))
+
+let best_integer_t ~b ~eps ~t_max =
+  let best = ref (1, block_error ~b ~eps ~t:1) in
+  for t = 2 to t_max do
+    let p = block_error ~b ~eps ~t in
+    if p < snd !best then best := (t, p)
+  done;
+  !best
+
+let required_accuracy ~b ~cycles =
+  if cycles <= 1.0 then invalid_arg "Bigcode.required_accuracy";
+  (e_inv *. b /. log cycles) ** b

@@ -1,0 +1,29 @@
+(** Non-concatenated large-code scaling (§5, Eqs. 30–32).
+
+    For a code correcting t errors whose syndrome measurement costs
+    ~t^b steps, the block fails when t+1 errors accumulate during
+    recovery: Block error ~ (t^b·ε)^{t+1} (Eq. 30).  Optimizing t
+    gives t* ≈ e⁻¹·ε^{−1/b} and a minimum block error
+    exp(−e⁻¹·b·ε^{−1/b}) (Eq. 31); supporting T error-free cycles
+    therefore needs ε ~ (log T)^{−b} (Eq. 32). *)
+
+(** [block_error ~b ~eps ~t] — Eq. (30). *)
+val block_error : b:float -> eps:float -> t:int -> float
+
+(** [optimal_t ~b ~eps] — the real-valued optimizer e⁻¹·ε^{−1/b}. *)
+val optimal_t : b:float -> eps:float -> float
+
+(** [min_block_error ~b ~eps] — Eq. (31), exp(−e⁻¹ b ε^{−1/b}). *)
+val min_block_error : b:float -> eps:float -> float
+
+(** [best_integer_t ~b ~eps ~t_max] — exact discrete minimizer of
+    {!block_error} over 1..t_max, with its block error. *)
+val best_integer_t : b:float -> eps:float -> t_max:int -> int * float
+
+(** [required_accuracy ~b ~cycles] — Eq. (32): the ε making
+    {!min_block_error} ≈ 1/cycles, i.e.
+    ε = (e⁻¹·b / ln cycles)^b. *)
+val required_accuracy : b:float -> cycles:float -> float
+
+(** Shor's original procedure has b = 4 (§5). *)
+val shor_b : float

@@ -1,0 +1,36 @@
+let paper_coefficient = 21.0
+let paper_threshold = 1.0 /. 21.0
+let step ~a p = a *. p *. p
+
+let level_error ~a ~eps ~level =
+  if level < 0 then invalid_arg "Flow.level_error: negative level";
+  let rec loop p l = if l = 0 then p else loop (step ~a p) (l - 1) in
+  loop eps level
+
+let closed_form ~a ~eps ~level =
+  let eps0 = 1.0 /. a in
+  eps0 *. ((eps /. eps0) ** (2.0 ** float_of_int level))
+
+let threshold ~a = 1.0 /. a
+
+let levels_needed ~a ~eps ~target =
+  if eps >= threshold ~a then None
+  else begin
+    let rec loop p l =
+      if p <= target then Some l
+      else if l >= 60 then None
+      else loop (step ~a p) (l + 1)
+    in
+    loop eps 0
+  end
+
+let block_size_for ~a ~eps ~gates =
+  let target = 1.0 /. gates in
+  match levels_needed ~a ~eps ~target with
+  | None -> None
+  | Some l ->
+    let eps0 = threshold ~a in
+    let estimate =
+      (log (eps0 *. gates) /. log (eps0 /. eps)) ** (log 7.0 /. log 2.0)
+    in
+    Some (l, 7.0 ** float_of_int l, estimate)

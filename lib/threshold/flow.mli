@@ -1,0 +1,44 @@
+(** Concatenation flow equations (§5, Eqs. 33, 36, 37).
+
+    One level of concatenated [[7,1,3]] coding maps a block error
+    probability p to A·p² (Eq. 33's combinatorial estimate gives
+    A = C(7,2) = 21): the block fails only when at least two of its
+    seven subblocks fail.  Iterating yields the double-exponential
+    suppression of Eq. (36) below the threshold p₀ = 1/A, and the
+    polylogarithmic block-size requirement of Eq. (37). *)
+
+(** The paper's combinatorial coefficient, C(7,2) = 21. *)
+val paper_coefficient : float
+
+(** The paper's corresponding threshold estimate, 1/21 (Eq. 33). *)
+val paper_threshold : float
+
+(** [step ~a p] = A·p². *)
+val step : a:float -> float -> float
+
+(** [level_error ~a ~eps ~level] iterates [step] [level] times from
+    [eps].  [level_error ~a ~eps ~level:0] = eps. *)
+val level_error : a:float -> eps:float -> level:int -> float
+
+(** [closed_form ~a ~eps ~level] is Eq. (36):
+    ε₀ · (ε/ε₀)^(2^level) with ε₀ = 1/A — identical to
+    {!level_error} (exactly, not just asymptotically). *)
+val closed_form : a:float -> eps:float -> level:int -> float
+
+(** [threshold ~a] = 1/A. *)
+val threshold : a:float -> float
+
+(** [levels_needed ~a ~eps ~target] is the least L with
+    ε(L) ≤ target, or [None] if ε ≥ threshold (or L would exceed
+    60). *)
+val levels_needed : a:float -> eps:float -> target:float -> int option
+
+(** [block_size_for ~a ~eps ~gates] is Eq. (37): the physical block
+    size 7^L needed to run a [gates]-gate computation with O(1)
+    failure odds, i.e. with per-gate logical error ≤ 1/gates.
+    Also returns the closed-form estimate
+    (log ε₀·gates / log ε₀/ε)^{log₂ 7} for comparison.
+    [None] above threshold. *)
+val block_size_for :
+  a:float -> eps:float -> gates:float -> (int * float * float) option
+(** returned as (levels, 7^levels, closed-form estimate) *)

@@ -1,0 +1,12 @@
+type fit = { a : float; threshold : float; points : (float * float) list }
+
+let fit points =
+  match points with
+  | [] -> invalid_arg "Pseudothreshold.fit: no points"
+  | _ ->
+    let ratios = List.map (fun (eps, p) -> p /. (eps *. eps)) points in
+    let a = List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios) in
+    { a; threshold = 1.0 /. a; points }
+
+let project f ~eps ~levels =
+  List.init (levels + 1) (fun l -> Flow.level_error ~a:f.a ~eps ~level:l)

@@ -1,0 +1,20 @@
+(** Pseudo-threshold extraction from Monte-Carlo data (E5).
+
+    Given measured level-1 logical failure rates p₁(ε) from the
+    [ft] gadget simulations, fit p₁ = A·ε² and report the
+    pseudo-threshold ε* = 1/A (where encoding stops paying), together
+    with flow-equation projections to higher levels. *)
+
+type fit = {
+  a : float;  (** fitted coefficient in p₁ = A·ε² *)
+  threshold : float;  (** 1/A *)
+  points : (float * float) list;  (** the (ε, p₁) data *)
+}
+
+(** [fit points] — inverse-variance-ish weighted fit of A through the
+    origin in the variable ε² (simple mean of p/ε²). *)
+val fit : (float * float) list -> fit
+
+(** [project fit ~eps ~levels] — p_L for L = 0..levels using the
+    fitted A. *)
+val project : fit -> eps:float -> levels:int -> float list

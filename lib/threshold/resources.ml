@@ -1,0 +1,74 @@
+type estimate = {
+  bits : int;
+  logical_qubits : int;
+  toffoli_gates : float;
+  target_gate_error : float;
+  target_storage_error : float;
+  physical_eps : float;
+  levels : int option;
+  block_size : int option;
+  data_qubits : float option;
+  total_qubits : float option;
+}
+
+let estimate ?(flow_a = 3e4) ?(ancilla_overhead = 1.35) ?(safety = 3.0)
+    ~bits ~physical_eps () =
+  let logical_qubits = 5 * bits in
+  let toffoli_gates = 38.0 *. (float_of_int bits ** 3.0) in
+  (* the paper tolerates a few expected failures over the whole run
+     ("less than about 1e-9" per gate for 3e9 gates): budget =
+     safety / #gates *)
+  let target_gate_error = safety /. toffoli_gates in
+  (* storage must hold three extra orders of magnitude (1e-12 vs
+     1e-9 in the worked example) *)
+  let target_storage_error = target_gate_error /. 1000.0 in
+  let levels =
+    match
+      ( Flow.levels_needed ~a:flow_a ~eps:physical_eps
+          ~target:target_gate_error,
+        Flow.levels_needed ~a:flow_a ~eps:physical_eps
+          ~target:target_storage_error )
+    with
+    | Some lg, Some ls -> Some (max lg ls)
+    | _ -> None
+  in
+  let block_size = Option.map (fun l -> int_of_float (7.0 ** float_of_int l)) levels in
+  let data_qubits =
+    Option.map (fun b -> float_of_int (logical_qubits * b)) block_size
+  in
+  let total_qubits = Option.map (fun d -> d *. ancilla_overhead) data_qubits in
+  { bits;
+    logical_qubits;
+    toffoli_gates;
+    target_gate_error;
+    target_storage_error;
+    physical_eps;
+    levels;
+    block_size;
+    data_qubits;
+    total_qubits }
+
+let paper_432 () = estimate ~bits:432 ~physical_eps:1e-6 ()
+
+let steane_block55 ~bits =
+  let logical = 5 * bits in
+  (* block size 55, overhead factor ≈ 3.4 for ancillas (ref. 48's
+     4·10⁵ total for 2160 logical qubits) *)
+  (logical, float_of_int (logical * 55) *. 3.37)
+
+let pp fmt e =
+  Format.fprintf fmt "factoring %d-bit number:@." e.bits;
+  Format.fprintf fmt "  logical qubits      5n      = %d@." e.logical_qubits;
+  Format.fprintf fmt "  Toffoli gates       38n^3   = %.3g@." e.toffoli_gates;
+  Format.fprintf fmt "  gate error budget           = %.2g@." e.target_gate_error;
+  Format.fprintf fmt "  storage error budget        = %.2g@."
+    e.target_storage_error;
+  Format.fprintf fmt "  physical error rate         = %.2g@." e.physical_eps;
+  (match (e.levels, e.block_size, e.data_qubits, e.total_qubits) with
+  | Some l, Some b, Some d, Some t ->
+    Format.fprintf fmt "  concatenation levels        = %d@." l;
+    Format.fprintf fmt "  block size          7^L     = %d@." b;
+    Format.fprintf fmt "  data qubits                 = %.3g@." d;
+    Format.fprintf fmt "  total qubits (with ancilla) = %.3g@." t
+  | _ ->
+    Format.fprintf fmt "  BELOW THRESHOLD: no concatenation level suffices@.")

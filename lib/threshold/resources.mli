@@ -1,0 +1,54 @@
+(** Resource estimates for factoring with Shor's algorithm under
+    concatenated coding (§6's worked example, E8).
+
+    Gate and qubit counts follow Beckman–Chari–Devabhaktuni–Preskill
+    (ref. 47): factoring an n-bit number takes about 5n qubits and
+    38·n³ Toffoli gates.  Reliability targets and concatenation levels
+    follow the §5 flow equations. *)
+
+type estimate = {
+  bits : int;  (** size of the number being factored *)
+  logical_qubits : int;  (** 5n *)
+  toffoli_gates : float;  (** 38·n³ *)
+  target_gate_error : float;  (** per-Toffoli error budget *)
+  target_storage_error : float;
+  physical_eps : float;  (** assumed elementary error rate *)
+  levels : int option;  (** concatenation levels needed *)
+  block_size : int option;  (** 7^levels *)
+  data_qubits : float option;  (** logical_qubits · block *)
+  total_qubits : float option;
+      (** with the ancilla-overhead factor included *)
+}
+
+(** [estimate ?flow_a ?ancilla_overhead ?safety ~bits ~physical_eps ()]
+    reproduces the §6 arithmetic.  [flow_a] is the effective
+    per-level flow coefficient (default 3·10⁴ — not Eq. 33's toy 21,
+    but a value consistent with the detailed Shor-method flow
+    analysis of ref. 23 the paper invokes, which is what makes
+    ε = 10⁻⁶ demand 3 levels); [ancilla_overhead] multiplies the
+    data-qubit count to cover EC/Toffoli ancillas (default 1.35,
+    landing the 432-bit example at "of order 10⁶"); the per-gate
+    error budget is [safety]/#gates (default 3 — the paper quotes
+    "about 10⁻⁹" for 3·10⁹ Toffolis, i.e. a few expected faults per
+    run), with the storage budget 1000× tighter.  The concatenation
+    level must satisfy both budgets. *)
+val estimate :
+  ?flow_a:float ->
+  ?ancilla_overhead:float ->
+  ?safety:float ->
+  bits:int ->
+  physical_eps:float ->
+  unit ->
+  estimate
+
+(** The paper's headline example: 432 bits (130 digits),
+    ε = 10⁻⁶ → 3 levels, block 343, ~10⁶ qubits. *)
+val paper_432 : unit -> estimate
+
+(** [steane_block55 ~bits] — the §6 comparison point from Steane
+    (ref. 48): a block-55 code correcting 5 errors at gate error
+    10⁻⁵ needs ≈ 4·10⁵ qubits for the same task.  Returns
+    (logical qubits, physical qubits). *)
+val steane_block55 : bits:int -> int * float
+
+val pp : Format.formatter -> estimate -> unit

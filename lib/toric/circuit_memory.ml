@@ -1,0 +1,126 @@
+module Bitvec = Gf2.Bitvec
+
+type result = {
+  l : int;
+  rounds : int;
+  noise : Ft.Noise.t;
+  trials : int;
+  failures : int;
+  rate : float;
+}
+
+(* space-time graph over [rounds]+1 detection layers (noisy rounds plus
+   the final noise-free readout layer) *)
+let build_graph lat ~layers =
+  let np = Lattice.num_plaquettes lat in
+  let g = Match_graph.create ~num_nodes:(np * layers) in
+  let spatial_qubit = Hashtbl.create (Lattice.num_qubits lat * layers) in
+  for t = 0 to layers - 1 do
+    for e = 0 to Lattice.num_qubits lat - 1 do
+      let a, b = Lattice.edge_endpoints lat e in
+      let id = Match_graph.add_edge g ((t * np) + a) ((t * np) + b) in
+      Hashtbl.add spatial_qubit id e
+    done;
+    if t < layers - 1 then
+      for p = 0 to np - 1 do
+        ignore (Match_graph.add_edge g ((t * np) + p) (((t + 1) * np) + p))
+      done
+  done;
+  (g, spatial_qubit)
+
+let plaquette_op lat ~total ~x ~y =
+  List.fold_left
+    (fun acc e -> Pauli.mul acc (Pauli.single total e Pauli.Z))
+    (Pauli.identity total)
+    (Lattice.plaquette_edges lat ~x ~y)
+
+let logical_z_ops lat ~total =
+  let l = Lattice.size lat in
+  let z_on support =
+    List.fold_left
+      (fun acc e -> Pauli.mul acc (Pauli.single total e Pauli.Z))
+      (Pauli.identity total) support
+  in
+  ( z_on (List.init l (fun y -> Lattice.v_edge lat ~x:0 ~y)),
+    z_on (List.init l (fun x -> Lattice.h_edge lat ~x ~y:0)) )
+
+let run ~l ~rounds ~noise ~trials rng =
+  if rounds < 1 then invalid_arg "Circuit_memory.run: rounds >= 1";
+  let lat = Lattice.create l in
+  let nq = Lattice.num_qubits lat in
+  let np = Lattice.num_plaquettes lat in
+  let total = nq + np in
+  let layers = rounds + 1 in
+  let g, spatial_qubit = build_graph lat ~layers in
+  let z1, z2 = logical_z_ops lat ~total in
+  let plaq_ops =
+    Array.init np (fun p ->
+        plaquette_op lat ~total ~x:(p mod l) ~y:(p / l))
+  in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    let sim = Ft.Sim.create ~n:total ~noise rng in
+    let tab = Ft.Sim.tableau sim in
+    let prev = Bitvec.create np in
+    let defects = Array.make (np * layers) false in
+    let data_qubits = List.init nq Fun.id in
+    for t = 0 to rounds - 1 do
+      (* one noisy measurement round: each plaquette through its own
+         bare ancilla (|+⟩, four CZs, X readout) — Kitaev's
+         single-ancilla scheme *)
+      let observed = Bitvec.create np in
+      for p = 0 to np - 1 do
+        let anc = nq + p in
+        Ft.Sim.prepare_plus sim anc;
+        List.iter
+          (fun e -> Ft.Sim.cz sim anc e)
+          (Lattice.plaquette_edges lat ~x:(p mod l) ~y:(p / l));
+        if Ft.Sim.measure_x sim anc then Bitvec.set observed p true
+      done;
+      Ft.Sim.tick sim data_qubits;
+      for p = 0 to np - 1 do
+        if Bitvec.get observed p <> Bitvec.get prev p then
+          defects.((t * np) + p) <- true
+      done;
+      Bitvec.blit ~src:observed prev
+    done;
+    (* final noise-free layer: the true syndrome *)
+    let final = Bitvec.create np in
+    Array.iteri
+      (fun p op ->
+        if Tableau.measure_pauli tab (Ft.Sim.rng sim) op then
+          Bitvec.set final p true)
+      plaq_ops;
+    for p = 0 to np - 1 do
+      if Bitvec.get final p <> Bitvec.get prev p then
+        defects.((rounds * np) + p) <- true
+    done;
+    (* decode in space-time and apply the spatial corrections *)
+    let selected = Match_graph.decode g ~defects in
+    let correction = Bitvec.create nq in
+    Array.iteri
+      (fun id on ->
+        if on then
+          match Hashtbl.find_opt spatial_qubit id with
+          | Some e -> Bitvec.flip correction e
+          | None -> ())
+      selected;
+    let cpauli =
+      Bitvec.support correction
+      |> List.fold_left
+           (fun acc e -> Pauli.mul acc (Pauli.single total e Pauli.X))
+           (Pauli.identity total)
+    in
+    Tableau.apply_pauli tab cpauli;
+    (* judged by the logical Z loops, which started at +1 *)
+    let rng' = Ft.Sim.rng sim in
+    let bad1 = Tableau.measure_pauli tab rng' z1 in
+    let bad2 = Tableau.measure_pauli tab rng' z2 in
+    if bad1 || bad2 then incr failures
+  done;
+  { l;
+    rounds;
+    noise;
+    trials;
+    failures = !failures;
+    rate = float_of_int !failures /. float_of_int trials }

@@ -1,0 +1,49 @@
+module Bitvec = Gf2.Bitvec
+
+let pauli_on n letter support =
+  List.fold_left
+    (fun acc q -> Pauli.mul acc (Pauli.single n q letter))
+    (Pauli.identity n) support
+
+let stabilizer_code l =
+  let lat = Lattice.create l in
+  let n = Lattice.num_qubits lat in
+  let plaquettes = ref [] and vertices = ref [] in
+  for y = 0 to l - 1 do
+    for x = 0 to l - 1 do
+      (* drop the last operator of each type: dependent on the rest *)
+      if not (x = l - 1 && y = l - 1) then begin
+        plaquettes :=
+          pauli_on n Pauli.Z (Lattice.plaquette_edges lat ~x ~y) :: !plaquettes;
+        vertices :=
+          pauli_on n Pauli.X (Lattice.vertex_edges lat ~x ~y) :: !vertices
+      end
+    done
+  done;
+  (* X̄ᵢ: noncontractible X loops (flip plaquette-syndrome winding);
+     Z̄ᵢ: dual noncontractible Z loops chosen to pair correctly:
+     Z̄₁ must anticommute with X̄₁ (share an odd number of qubits). *)
+  let x1 = Lattice.logical_x1 lat in
+  (* vertical column of v-edges *)
+  let x2 = Lattice.logical_x2 lat in
+  let support_of v = Bitvec.support v in
+  let lx1 = pauli_on n Pauli.X (support_of x1) in
+  let lx2 = pauli_on n Pauli.X (support_of x2) in
+  (* Z̄₁: loop of h-edges along a row of vertices crossing x1 once:
+     the co-loop {h(x, y0)} shares exactly h-edges with x2 and
+     v-edges with... choose duals explicitly: *)
+  let z1 =
+    (* z-loop sharing exactly one qubit with x1 = {v(x,0)}: take
+       {v(0,y) : all y} — shares v(0,0) only *)
+    List.init l (fun y -> Lattice.v_edge lat ~x:0 ~y)
+  in
+  let z2 =
+    (* shares exactly h(0,0) with x2 = {h(0,y)} *)
+    List.init l (fun x -> Lattice.h_edge lat ~x ~y:0)
+  in
+  let lz1 = pauli_on n Pauli.Z z1 in
+  let lz2 = pauli_on n Pauli.Z z2 in
+  Codes.Stabilizer_code.make
+    ~name:(Printf.sprintf "toric_%d" l)
+    ~generators:(List.rev !plaquettes @ List.rev !vertices)
+    ~logical_x:[ lx1; lx2 ] ~logical_z:[ lz1; lz2 ]

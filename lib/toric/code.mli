@@ -1,0 +1,11 @@
+(** The toric code as an explicit [[2L², 2, L]] stabilizer code, for
+    small L: plugs Kitaev's spin model (§7, Fig. 17) into the generic
+    stabilizer machinery (syndromes, distance, tableau preparation).
+    One plaquette and one vertex operator are dropped from the
+    generator list — their products over the whole torus are
+    identities, so only 2L² − 2 generators are independent. *)
+
+(** [stabilizer_code l] — the [[2L², 2]] code (practical for
+    L ≤ 4 with the exhaustive distance search; the code itself scales
+    further). *)
+val stabilizer_code : int -> Codes.Stabilizer_code.t

@@ -1,0 +1,70 @@
+module Bitvec = Gf2.Bitvec
+
+type t = { l : int }
+
+let create l =
+  if l < 2 then invalid_arg "Lattice.create: need L >= 2";
+  { l }
+
+let size t = t.l
+let num_qubits t = 2 * t.l * t.l
+let num_plaquettes t = t.l * t.l
+let modl t x = ((x mod t.l) + t.l) mod t.l
+let h_edge t ~x ~y = 2 * ((modl t y * t.l) + modl t x)
+let v_edge t ~x ~y = (2 * ((modl t y * t.l) + modl t x)) + 1
+let plaquette_index t ~x ~y = (modl t y * t.l) + modl t x
+
+let plaquette_edges t ~x ~y =
+  [ h_edge t ~x ~y; h_edge t ~x ~y:(y + 1); v_edge t ~x ~y; v_edge t ~x:(x + 1) ~y ]
+
+let vertex_edges t ~x ~y =
+  (* vertex (x,y) touches the two horizontal edges h(x−1,y), h(x,y)
+     and the two vertical edges v(x,y−1), v(x,y) *)
+  [ h_edge t ~x:(x - 1) ~y; h_edge t ~x ~y; v_edge t ~x ~y:(y - 1); v_edge t ~x ~y ]
+
+let edge_endpoints t e =
+  let idx = e / 2 in
+  let x = idx mod t.l and y = idx / t.l in
+  if e land 1 = 0 then
+    (* h(x,y): separates plaquettes (x,y) and (x,y−1) *)
+    (plaquette_index t ~x ~y, plaquette_index t ~x ~y:(y - 1))
+  else
+    (* v(x,y): separates plaquettes (x,y) and (x−1,y) *)
+    (plaquette_index t ~x ~y, plaquette_index t ~x:(x - 1) ~y)
+
+let syndrome t error =
+  if Bitvec.length error <> num_qubits t then invalid_arg "Lattice.syndrome";
+  let s = Bitvec.create (num_plaquettes t) in
+  Bitvec.iteri
+    (fun e set ->
+      if set then begin
+        let a, b = edge_endpoints t e in
+        Bitvec.flip s a;
+        Bitvec.flip s b
+      end)
+    error;
+  s
+
+let winding t error =
+  let wx = ref false and wy = ref false in
+  for y = 0 to t.l - 1 do
+    if Bitvec.get error (v_edge t ~x:0 ~y) then wx := not !wx
+  done;
+  for x = 0 to t.l - 1 do
+    if Bitvec.get error (h_edge t ~x ~y:0) then wy := not !wy
+  done;
+  (!wx, !wy)
+
+let logical_x1 t =
+  let v = Bitvec.create (num_qubits t) in
+  for x = 0 to t.l - 1 do
+    Bitvec.set v (v_edge t ~x ~y:0) true
+  done;
+  v
+
+let logical_x2 t =
+  let v = Bitvec.create (num_qubits t) in
+  for y = 0 to t.l - 1 do
+    Bitvec.set v (h_edge t ~x:0 ~y) true
+  done;
+  v

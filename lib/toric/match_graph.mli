@@ -1,0 +1,27 @@
+(** Generic union-find + peeling matching decoder over an arbitrary
+    graph.
+
+    Nodes carry defect marks (an even number per connected component
+    once boundary conditions are periodic); the decoder returns an
+    edge set whose boundary is exactly the defect set.  Used by the
+    2-D toric decoder ({!Decoder}) and by the space-time (3-D) decoder
+    that handles noisy syndrome measurements ({!Noisy_memory}). *)
+
+type t
+
+(** [create ~num_nodes] — an empty graph. *)
+val create : num_nodes:int -> t
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+(** [add_edge g a b] — returns the new edge's id. *)
+val add_edge : t -> int -> int -> int
+
+(** [endpoints g e]. *)
+val endpoints : t -> int -> int * int
+
+(** [decode g ~defects] — an edge set (indexed by edge id) whose
+    boundary equals the defect set.  Requires even defect parity per
+    connected component; raises [Invalid_argument] otherwise. *)
+val decode : t -> defects:bool array -> bool array

@@ -1,0 +1,33 @@
+module Bitvec = Gf2.Bitvec
+
+type result = { l : int; p : float; trials : int; failures : int; rate : float }
+
+let run ?(decoder = `Union_find) ~l ~p ~trials rng =
+  let lat = Lattice.create l in
+  let n = Lattice.num_qubits lat in
+  let failures = ref 0 in
+  let error = Bitvec.create n in
+  for _ = 1 to trials do
+    Bitvec.randomize ~p rng error;
+    let syndrome = Lattice.syndrome lat error in
+    let correction =
+      match decoder with
+      | `Union_find -> Decoder.decode lat syndrome
+      | `Greedy -> Decoder.greedy_decode lat syndrome
+    in
+    let residual = Bitvec.xor error correction in
+    (* sanity: the residual must have trivial syndrome *)
+    assert (Bitvec.is_zero (Lattice.syndrome lat residual));
+    let wx, wy = Lattice.winding lat residual in
+    if wx || wy then incr failures
+  done;
+  { l;
+    p;
+    trials;
+    failures = !failures;
+    rate = float_of_int !failures /. float_of_int trials }
+
+let scan ?(decoder = `Union_find) ~ls ~ps ~trials rng =
+  List.concat_map
+    (fun l -> List.map (fun p -> run ~decoder ~l ~p ~trials rng) ps)
+    ls

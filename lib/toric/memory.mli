@@ -1,0 +1,28 @@
+(** Toric-code memory Monte Carlo (E10): IID X noise of strength p on
+    every edge, one round of perfect syndrome measurement, decoding,
+    and a homology-class check of the residual.  Below threshold the
+    logical failure rate falls with lattice size; above it rises —
+    the phase transition behind §7's intrinsically fault-tolerant
+    hardware.  (Z noise is the exact mirror image under lattice
+    duality, so only the X sector is simulated.) *)
+
+type result = { l : int; p : float; trials : int; failures : int; rate : float }
+
+(** [run ?decoder ~l ~p ~trials rng] — [decoder] is [`Union_find]
+    (default) or [`Greedy]. *)
+val run :
+  ?decoder:[ `Union_find | `Greedy ] ->
+  l:int ->
+  p:float ->
+  trials:int ->
+  Random.State.t ->
+  result
+
+(** [scan ?decoder ~ls ~ps ~trials rng] — full grid of results. *)
+val scan :
+  ?decoder:[ `Union_find | `Greedy ] ->
+  ls:int list ->
+  ps:float list ->
+  trials:int ->
+  Random.State.t ->
+  result list

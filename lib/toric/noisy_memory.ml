@@ -1,0 +1,98 @@
+module Bitvec = Gf2.Bitvec
+
+type result = {
+  l : int;
+  rounds : int;
+  p : float;
+  q : float;
+  trials : int;
+  failures : int;
+  rate : float;
+}
+
+(* Build the space-time matching graph once per (l, rounds): node
+   (plaq, t) for t in 0..rounds-1; spatial edges replicate the lattice
+   adjacency at each time slice, temporal edges link consecutive
+   slices.  Edge ids are recorded so spatial corrections can be mapped
+   back to qubits. *)
+type graph = {
+  g : Match_graph.t;
+  spatial_qubit : (int, int) Hashtbl.t; (* edge id -> qubit *)
+}
+
+let build_graph lat ~rounds =
+  let np = Lattice.num_plaquettes lat in
+  let g = Match_graph.create ~num_nodes:(np * rounds) in
+  let spatial_qubit = Hashtbl.create (Lattice.num_qubits lat * rounds) in
+  for t = 0 to rounds - 1 do
+    for e = 0 to Lattice.num_qubits lat - 1 do
+      let a, b = Lattice.edge_endpoints lat e in
+      let id = Match_graph.add_edge g ((t * np) + a) ((t * np) + b) in
+      Hashtbl.add spatial_qubit id e
+    done;
+    if t < rounds - 1 then
+      for plaq = 0 to np - 1 do
+        ignore (Match_graph.add_edge g ((t * np) + plaq) (((t + 1) * np) + plaq))
+      done
+  done;
+  { g; spatial_qubit }
+
+let run_with_graph lat graph ~rounds ~p ~q ~trials rng =
+  let nq = Lattice.num_qubits lat in
+  let np = Lattice.num_plaquettes lat in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    let error = Bitvec.create nq in
+    let prev = Bitvec.create np in
+    let defects = Array.make (np * rounds) false in
+    let fresh = Bitvec.create nq in
+    for t = 0 to rounds - 1 do
+      (* new qubit errors this round *)
+      Bitvec.randomize ~p rng fresh;
+      Bitvec.xor_into ~src:fresh error;
+      let sigma = Lattice.syndrome lat error in
+      let observed = Bitvec.copy sigma in
+      if t < rounds - 1 && q > 0.0 then
+        for i = 0 to np - 1 do
+          if Random.State.float rng 1.0 < q then Bitvec.flip observed i
+        done;
+      (* detection events = change since the previous record *)
+      for i = 0 to np - 1 do
+        if Bitvec.get observed i <> Bitvec.get prev i then
+          defects.((t * np) + i) <- true
+      done;
+      Bitvec.blit ~src:observed prev
+    done;
+    let selected = Match_graph.decode graph.g ~defects in
+    let correction = Bitvec.create nq in
+    Array.iteri
+      (fun id on ->
+        if on then
+          match Hashtbl.find_opt graph.spatial_qubit id with
+          | Some qubit -> Bitvec.flip correction qubit
+          | None -> () (* temporal edge: a diagnosed measurement error *))
+      selected;
+    let residual = Bitvec.xor error correction in
+    assert (Bitvec.is_zero (Lattice.syndrome lat residual));
+    let wx, wy = Lattice.winding lat residual in
+    if wx || wy then incr failures
+  done;
+  !failures
+
+let run ~l ~rounds ~p ~q ~trials rng =
+  if rounds < 2 then invalid_arg "Noisy_memory.run: need >= 2 rounds";
+  let lat = Lattice.create l in
+  let graph = build_graph lat ~rounds in
+  let failures = run_with_graph lat graph ~rounds ~p ~q ~trials rng in
+  { l;
+    rounds;
+    p;
+    q;
+    trials;
+    failures;
+    rate = float_of_int failures /. float_of_int trials }
+
+let scan ~ls ~ps ~rounds ~trials rng =
+  List.concat_map
+    (fun l -> List.map (fun p -> run ~l ~rounds ~p ~q:p ~trials rng) ps)
+    ls

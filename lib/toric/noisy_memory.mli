@@ -1,0 +1,44 @@
+(** Toric-code memory with *noisy syndrome measurements* — the §7
+    regime where the medium is operated at finite temperature and the
+    error diagnosis itself is unreliable.
+
+    Errors accumulate over [rounds] measurement rounds: each round,
+    every qubit flips with probability [p] and every reported
+    plaquette bit is wrong with probability [q]; a final perfect round
+    closes the history (the standard memory-experiment convention).
+    Decoding matches *detection events* (differences between
+    consecutive syndrome records) in the space-time graph: spatial
+    edges are qubit errors, vertical edges are measurement errors.
+    The threshold drops from ≈10% (perfect measurement) to a few
+    percent — the price of fault tolerance when even looking at the
+    system is noisy. *)
+
+type result = {
+  l : int;
+  rounds : int;
+  p : float;
+  q : float;
+  trials : int;
+  failures : int;
+  rate : float;
+}
+
+(** [run ~l ~rounds ~p ~q ~trials rng]. *)
+val run :
+  l:int ->
+  rounds:int ->
+  p:float ->
+  q:float ->
+  trials:int ->
+  Random.State.t ->
+  result
+
+(** [scan ~ls ~ps ~rounds ~trials rng] — grid with q = p (the usual
+    phenomenological convention). *)
+val scan :
+  ls:int list ->
+  ps:float list ->
+  rounds:int ->
+  trials:int ->
+  Random.State.t ->
+  result list

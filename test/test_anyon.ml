@@ -1,0 +1,156 @@
+open Ftqc
+module Perm = Group.Perm
+module Fg = Group.Finite_group
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 61 |]
+
+let test_paper_encoding () =
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  Alcotest.(check string) "u0" "(1 2 5)" (Perm.to_string u0);
+  Alcotest.(check string) "u1" "(2 3 4)" (Perm.to_string u1);
+  Alcotest.(check string) "v" "(1 4)(3 5)" (Perm.to_string v);
+  check "v involution" true (Perm.is_identity (Perm.compose v v));
+  check "v conjugates u0 to u1 (Eq. 45)" true (Perm.equal (Perm.conj u0 v) u1)
+
+let test_not_gate () =
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  let reg = Anyon.Register.create ~degree:5 [ u0; v ] in
+  Anyon.Register.not_gate reg ~data:0 ~not_pair:1;
+  check "NOT" true (Perm.equal (Anyon.Register.flux reg 0) u1);
+  Anyon.Register.not_gate reg ~data:0 ~not_pair:1;
+  check "NOT twice = id" true (Perm.equal (Anyon.Register.flux reg 0) u0);
+  check "NOT pair unchanged" true (Perm.equal (Anyon.Register.flux reg 1) v)
+
+let test_pull_through_reversible () =
+  let r = rng () in
+  let a5 = Fg.alternating 5 in
+  let elems = Array.of_list (Fg.elements a5) in
+  for _ = 1 to 50 do
+    let u = elems.(Random.State.int r 60) in
+    let w = elems.(Random.State.int r 60) in
+    let reg = Anyon.Register.create ~degree:5 [ w; u ] in
+    Anyon.Register.pull_through reg ~outer:0 ~inner:1;
+    Anyon.Register.pull_through_inverse reg ~outer:0 ~inner:1;
+    check "pull through then back = id" true
+      (Perm.equal (Anyon.Register.flux reg 1) u)
+  done
+
+let test_pull_through_eq41 () =
+  (* Eq. 41: |u1,u1^-1>|u2,u2^-1> -> |u2,...>|u2^-1 u1 u2,...> *)
+  let r = rng () in
+  let a5 = Fg.alternating 5 in
+  let elems = Array.of_list (Fg.elements a5) in
+  for _ = 1 to 50 do
+    let u1 = elems.(Random.State.int r 60) in
+    let u2 = elems.(Random.State.int r 60) in
+    let reg = Anyon.Register.create ~degree:5 [ u2; u1 ] in
+    Anyon.Register.pull_through reg ~outer:0 ~inner:1;
+    check "inner conjugated" true
+      (Perm.equal (Anyon.Register.flux reg 1) (Perm.conj u1 u2));
+    check "outer unchanged" true (Perm.equal (Anyon.Register.flux reg 0) u2)
+  done
+
+let test_charge_measurement () =
+  let r = rng () in
+  let a5 = Fg.alternating 5 in
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  let plus_seen = ref 0 and minus_seen = ref 0 in
+  for _ = 1 to 200 do
+    let pair = Anyon.Pair_sim.create a5 ~class_rep:u0 in
+    let minus = Anyon.Pair_sim.measure_charge pair r ~projectile:v in
+    if minus then incr minus_seen else incr plus_seen;
+    (* post-measurement state is (|u0> ± |u1>)/sqrt2 *)
+    let s = 1.0 /. sqrt 2.0 in
+    let a0 = Anyon.Pair_sim.amplitude pair u0 in
+    let a1 = Anyon.Pair_sim.amplitude pair u1 in
+    check "amp u0" true (Qmath.Cx.approx a0 (Qmath.Cx.re s));
+    check "amp u1" true
+      (Qmath.Cx.approx a1 (Qmath.Cx.re (if minus then -.s else s)));
+    (* projective: repeating gives the same answer *)
+    check "repeatable" true
+      (Anyon.Pair_sim.measure_charge pair r ~projectile:v = minus)
+  done;
+  check "both outcomes occur" true (!plus_seen > 30 && !minus_seen > 30)
+
+let test_flux_measurement_collapse () =
+  let r = rng () in
+  let a5 = Fg.alternating 5 in
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  let pair = Anyon.Pair_sim.create a5 ~class_rep:u0 in
+  ignore (Anyon.Pair_sim.measure_charge pair r ~projectile:v);
+  let f = Anyon.Pair_sim.measure_flux pair r in
+  check "flux in {u0,u1}" true (Perm.equal f u0 || Perm.equal f u1);
+  check "collapsed" true
+    (Float.abs (Anyon.Pair_sim.prob_flux pair f -. 1.0) < 1e-9)
+
+let test_charge_zero_pair () =
+  let r = rng () in
+  let a5 = Fg.alternating 5 in
+  let u0, _, v = Anyon.Register.paper_a5_encoding () in
+  (* Eq. 44: invariant under conjugation, +1 charge for any projectile *)
+  let cz = Anyon.Pair_sim.charge_zero a5 ~class_rep:u0 in
+  check "dimension 20" true (Anyon.Pair_sim.dimension cz = 20);
+  check "+1 charge" false (Anyon.Pair_sim.measure_charge cz r ~projectile:v);
+  (* conjugating the charge-zero pair leaves it invariant *)
+  let cz2 = Anyon.Pair_sim.charge_zero a5 ~class_rep:u0 in
+  Anyon.Pair_sim.conjugate_by cz2 v;
+  check "conjugation invariant" true
+    (Qmath.Cx.approx
+       (Anyon.Pair_sim.amplitude cz2 u0)
+       (Qmath.Cx.re (1.0 /. sqrt 20.0)))
+
+let test_conjugate_by_permutes () =
+  let a5 = Fg.alternating 5 in
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  let pair = Anyon.Pair_sim.create a5 ~class_rep:u0 in
+  Anyon.Pair_sim.conjugate_by pair v;
+  check "basis state moved" true
+    (Qmath.Cx.approx (Anyon.Pair_sim.amplitude pair u1) Qmath.Cx.one)
+
+let test_solvability_landscape () =
+  check "A5 smallest nonsolvable" true (Anyon.Logic.smallest_nonsolvable_check ());
+  check "A5 perfect" true (Anyon.Logic.is_perfect (Fg.alternating 5));
+  check "S4 not perfect" false (Anyon.Logic.is_perfect (Fg.symmetric 4));
+  Alcotest.(check (list int)) "S4 derived series" [ 24; 12; 4; 1 ]
+    (Anyon.Logic.derived_series (Fg.symmetric 4));
+  Alcotest.(check (list int)) "A5 derived series" [ 60 ]
+    (Anyon.Logic.derived_series (Fg.alternating 5))
+
+let test_commutator_depths () =
+  let depth g = Anyon.Logic.commutator_closure_depth g ~max_depth:12 in
+  check "A5 unbounded" true (depth (Fg.alternating 5) = None);
+  check "S5 unbounded" true (depth (Fg.symmetric 5) = None);
+  check "S4 depth 3" true (depth (Fg.symmetric 4) = Some 3);
+  check "A4 depth 2" true (depth (Fg.alternating 4) = Some 2);
+  check "D4 depth 2" true (depth (Fg.dihedral 4) = Some 2);
+  check "Z7 depth 1" true (depth (Fg.cyclic 7) = Some 1)
+
+let test_and_gadget () =
+  let a5 = Fg.alternating 5 in
+  match Anyon.Logic.find_noncommuting a5 with
+  | None -> Alcotest.fail "A5 reported abelian"
+  | Some (a, b) ->
+    List.iter
+      (fun (x, y) ->
+        let out = Anyon.Logic.and_gadget_value ~x ~y a b in
+        check "AND truth table" true
+          (Perm.is_identity out = not (x && y)))
+      [ (false, false); (false, true); (true, false); (true, true) ]
+
+let suites =
+  [ ( "anyon",
+      [ Alcotest.test_case "paper encoding" `Quick test_paper_encoding;
+        Alcotest.test_case "NOT gate" `Quick test_not_gate;
+        Alcotest.test_case "pull-through reversible" `Quick
+          test_pull_through_reversible;
+        Alcotest.test_case "Eq. 41" `Quick test_pull_through_eq41;
+        Alcotest.test_case "charge measurement" `Quick test_charge_measurement;
+        Alcotest.test_case "flux measurement" `Quick
+          test_flux_measurement_collapse;
+        Alcotest.test_case "charge-zero pair" `Quick test_charge_zero_pair;
+        Alcotest.test_case "conjugate_by" `Quick test_conjugate_by_permutes;
+        Alcotest.test_case "solvability landscape" `Quick
+          test_solvability_landscape;
+        Alcotest.test_case "commutator depths" `Quick test_commutator_depths;
+        Alcotest.test_case "AND gadget" `Quick test_and_gadget ] ) ]

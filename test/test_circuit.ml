@@ -1,0 +1,94 @@
+open Ftqc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample () =
+  let open Circuit in
+  let c = create ~num_cbits:2 ~num_qubits:3 () in
+  let c = add_gate c (H 0) in
+  let c = add_gate c (Cnot (0, 1)) in
+  let c = add c Tick in
+  let c = add_gate c (Toffoli (0, 1, 2)) in
+  let c = add c (Measure { qubit = 2; cbit = 0 }) in
+  let c = add c (Cond { cbit = 0; gate = X 1 }) in
+  c
+
+let test_counts () =
+  let c = sample () in
+  check_int "length" 6 (Circuit.length c);
+  check_int "gate count" 4 (Circuit.gate_count c);
+  check_int "measure count" 1 (Circuit.measure_count c);
+  check_int "tick count" 1 (Circuit.tick_count c);
+  check_int "two-qubit gates" 2 (Circuit.two_qubit_gate_count c);
+  check "not clifford" false (Circuit.is_clifford c)
+
+let test_validation () =
+  let c = Circuit.create ~num_qubits:2 () in
+  Alcotest.check_raises "qubit out of range"
+    (Invalid_argument "Circuit.add: qubit 5 out of range") (fun () ->
+      ignore (Circuit.add_gate c (Circuit.H 5)));
+  Alcotest.check_raises "repeated operand"
+    (Invalid_argument "Circuit.add: repeated qubit operand") (fun () ->
+      ignore (Circuit.add_gate c (Circuit.Cnot (1, 1))));
+  Alcotest.check_raises "cbit out of range"
+    (Invalid_argument "Circuit.add: cbit 0 out of range") (fun () ->
+      ignore (Circuit.add c (Circuit.Measure { qubit = 0; cbit = 0 })))
+
+let test_inverse () =
+  let open Circuit in
+  let c = create ~num_cbits:1 ~num_qubits:2 () in
+  let c = add_gate c (H 0) in
+  let c = add_gate c (S 1) in
+  let c = add_gate c (Cnot (0, 1)) in
+  let inv = inverse c in
+  (* play c then inv on a state vector: must return to |00> basis *)
+  let sv = Statevec.create 2 in
+  List.iter
+    (fun i -> match i with Gate g -> Statevec.apply_gate sv g | _ -> ())
+    (instrs (append c inv));
+  check "c · c⁻¹ = id" true
+    (Qmath.Cx.approx (Statevec.amplitude sv 0) Qmath.Cx.one);
+  Alcotest.check_raises "cannot invert measurement"
+    (Invalid_argument "Circuit.inverse: non-unitary instruction") (fun () ->
+      ignore (inverse (add c (Measure { qubit = 0; cbit = 0 }))))
+
+let test_map_qubits () =
+  let open Circuit in
+  let c = create ~num_qubits:2 () in
+  let c = add_gate c (Cnot (0, 1)) in
+  let shifted = map_qubits ~f:(fun q -> q + 3) c in
+  check_int "new size" 5 (num_qubits shifted);
+  (match instrs shifted with
+  | [ Gate (Cnot (3, 4)) ] -> ()
+  | _ -> Alcotest.fail "wrong mapped instruction");
+  let wide = map_qubits ~num_qubits:10 ~f:(fun q -> q + 3) c in
+  check_int "explicit size" 10 (num_qubits wide)
+
+let test_gate_qubits () =
+  Alcotest.(check (list int)) "toffoli qubits" [ 4; 5; 6 ]
+    (Circuit.gate_qubits (Circuit.Toffoli (4, 5, 6)));
+  Alcotest.(check (list int)) "h qubits" [ 2 ]
+    (Circuit.gate_qubits (Circuit.H 2))
+
+let test_inverse_gate () =
+  check "S inverse" true (Circuit.inverse_gate (Circuit.S 0) = Circuit.Sdg 0);
+  check "Sdg inverse" true (Circuit.inverse_gate (Circuit.Sdg 0) = Circuit.S 0);
+  check "H self-inverse" true (Circuit.inverse_gate (Circuit.H 1) = Circuit.H 1)
+
+let test_append_mismatch () =
+  let a = Circuit.create ~num_qubits:2 () in
+  let b = Circuit.create ~num_qubits:3 () in
+  Alcotest.check_raises "register mismatch"
+    (Invalid_argument "Circuit.append: register mismatch") (fun () ->
+      ignore (Circuit.append a b))
+
+let suites =
+  [ ( "circuit",
+      [ Alcotest.test_case "counts" `Quick test_counts;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "inverse" `Quick test_inverse;
+        Alcotest.test_case "map_qubits" `Quick test_map_qubits;
+        Alcotest.test_case "gate_qubits" `Quick test_gate_qubits;
+        Alcotest.test_case "inverse_gate" `Quick test_inverse_gate;
+        Alcotest.test_case "append mismatch" `Quick test_append_mismatch ] ) ]

@@ -1,0 +1,162 @@
+open Ftqc
+module Conj = Codes.Conjugate
+module Code = Codes.Stabilizer_code
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 139 |]
+
+let test_known_rules () =
+  let p = Pauli.of_string in
+  let g = Circuit.Cnot (0, 1) in
+  (* §3.1: X on the source spreads forward *)
+  check "CNOT: X_c -> X_c X_t" true (Pauli.equal (Conj.gate g (p "XI")) (p "XX"));
+  check "CNOT: X_t fixed" true (Pauli.equal (Conj.gate g (p "IX")) (p "IX"));
+  (* and Z on the target spreads backward *)
+  check "CNOT: Z_t -> Z_c Z_t" true (Pauli.equal (Conj.gate g (p "IZ")) (p "ZZ"));
+  check "CNOT: Z_c fixed" true (Pauli.equal (Conj.gate g (p "ZI")) (p "ZI"));
+  check "H: X -> Z" true (Pauli.equal (Conj.gate (Circuit.H 0) (p "X")) (p "Z"));
+  check "H: Y -> -Y" true (Pauli.equal (Conj.gate (Circuit.H 0) (p "Y")) (p "-Y"));
+  check "S: X -> Y" true (Pauli.equal (Conj.gate (Circuit.S 0) (p "X")) (p "Y"));
+  check "S: Y -> -X" true (Pauli.equal (Conj.gate (Circuit.S 0) (p "Y")) (p "-X"));
+  check "X: Z -> -Z" true (Pauli.equal (Conj.gate (Circuit.X 0) (p "Z")) (p "-Z"));
+  check "CZ: X_a -> X_a Z_b" true
+    (Pauli.equal (Conj.gate (Circuit.Cz (0, 1)) (p "XI")) (p "XZ"));
+  check "SWAP exchanges" true
+    (Pauli.equal (Conj.gate (Circuit.Swap (0, 1)) (p "XZ")) (p "ZX"))
+
+let random_clifford r n gates = Conj.random_clifford_circuit r ~n ~gates
+
+let prop_statevec_agreement =
+  QCheck.Test.make ~name:"conjugation = statevec evolution (exact phase)"
+    ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let n = 4 in
+      let c = random_clifford r n 15 in
+      let p = Pauli.random r n in
+      let a = Statevec.create n in
+      Statevec.h a 0;
+      Statevec.cnot a 0 1;
+      Statevec.s_gate a 2;
+      Statevec.h a 3;
+      Statevec.cnot a 2 3;
+      let b = Statevec.copy a in
+      Statevec.apply_pauli a p;
+      ignore (Statevec.run a c);
+      ignore (Statevec.run b c);
+      Statevec.apply_pauli b (Conj.circuit c p);
+      Qmath.Cx.approx (Statevec.inner a b) Qmath.Cx.one)
+
+let prop_homomorphism =
+  QCheck.Test.make ~name:"conj (P·Q) = conj P · conj Q" ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let n = 5 in
+      let c = random_clifford r n 20 in
+      let p = Pauli.random r n and q = Pauli.random r n in
+      Pauli.equal
+        (Conj.circuit c (Pauli.mul p q))
+        (Pauli.mul (Conj.circuit c p) (Conj.circuit c q)))
+
+let prop_inverse_circuit =
+  QCheck.Test.make ~name:"conj by U then U⁻¹ is the identity" ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let n = 5 in
+      let c = random_clifford r n 20 in
+      let p = Pauli.random r n in
+      Pauli.equal (Conj.circuit (Circuit.inverse c) (Conj.circuit c p)) p)
+
+let prop_commutation_preserved =
+  QCheck.Test.make ~name:"conjugation preserves commutation" ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let n = 5 in
+      let c = random_clifford r n 20 in
+      let p = Pauli.random r n and q = Pauli.random r n in
+      Bool.equal (Pauli.commutes p q)
+        (Pauli.commutes (Conj.circuit c p) (Conj.circuit c q)))
+
+(* --- random codes ------------------------------------------------------- *)
+
+let prop_random_codes_valid =
+  QCheck.Test.make ~name:"random codes validate and prepare" ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int r 3 in
+      let k = 1 + Random.State.int r 2 in
+      if k >= n then true
+      else begin
+        (* make validates internally; prep must stabilize everything *)
+        let code = Codes.Random_code.generate r ~n ~k ~gates:30 in
+        let tab = Code.prepare_logical_zero code in
+        Array.for_all
+          (fun g -> Tableau.expectation tab g = Some true)
+          code.Code.generators
+        && Array.for_all
+             (fun z -> Tableau.expectation tab z = Some true)
+             code.Code.logical_z
+      end)
+
+let prop_random_code_logicals_are_logical =
+  QCheck.Test.make ~name:"random code logicals classify as logical" ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let code = Codes.Random_code.generate r ~n:5 ~k:1 ~gates:25 in
+      Code.classify code code.Code.logical_z.(0) = `Logical
+      && Code.classify code code.Code.logical_x.(0) = `Logical
+      && Code.classify code
+           (Pauli.mul code.Code.generators.(0) code.Code.generators.(1))
+         = `Stabilizer)
+
+let prop_random_code_encoder =
+  QCheck.Test.make ~name:"measurement encoder works on random codes"
+    ~count:15
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let code = Codes.Random_code.generate r ~n:5 ~k:1 ~gates:25 in
+      let c = Code.encoding_circuit_via_measurement code in
+      let sv = Statevec.create 6 in
+      ignore (Statevec.run ~rng:r sv c);
+      Array.for_all
+        (fun g ->
+          Float.abs
+            (Statevec.expectation sv (Code.embed code ~offset:0 ~total:6 g)
+            -. 1.0)
+          < 1e-9)
+        code.Code.generators)
+
+let test_decoding_circuit () =
+  (* the conjugating circuit's inverse maps the code back to the
+     trivial one: conjugating a generator by U⁻¹ gives ±Z_i *)
+  let r = rng () in
+  let code, c = Codes.Random_code.generate_with_circuit r ~n:5 ~k:1 ~gates:30 in
+  let inv = Circuit.inverse c in
+  Array.iteri
+    (fun i g ->
+      let back = Conj.circuit inv g in
+      let expected = Pauli.single 5 i Pauli.Z in
+      check "decodes to a trivial generator" true
+        (Pauli.equal_up_to_phase back expected))
+    code.Code.generators
+
+let suites =
+  [ ( "codes.conjugate",
+      [ Alcotest.test_case "known rules" `Quick test_known_rules;
+        QCheck_alcotest.to_alcotest prop_statevec_agreement;
+        QCheck_alcotest.to_alcotest prop_homomorphism;
+        QCheck_alcotest.to_alcotest prop_inverse_circuit;
+        QCheck_alcotest.to_alcotest prop_commutation_preserved ] );
+    ( "codes.random_code",
+      [ QCheck_alcotest.to_alcotest prop_random_codes_valid;
+        QCheck_alcotest.to_alcotest prop_random_code_logicals_are_logical;
+        QCheck_alcotest.to_alcotest prop_random_code_encoder;
+        Alcotest.test_case "decoding circuit" `Quick test_decoding_circuit ] )
+  ]

@@ -1,0 +1,91 @@
+open Ftqc
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 149 |]
+
+let test_golay_processor_gates () =
+  let r = rng () in
+  let t =
+    Ft.Css_logical.create ~gadget:(Ft.Css_ec.for_golay ()) ~blocks:2
+      ~noise:Ft.Noise.none r
+  in
+  check "starts |00>" true
+    ((not (Ft.Css_logical.ideal_z t 0)) && not (Ft.Css_logical.ideal_z t 1));
+  Ft.Css_logical.x t 0;
+  Ft.Css_logical.cnot t ~control:0 ~target:1;
+  check "X;CNOT -> |11>" true
+    (Ft.Css_logical.ideal_z t 0 && Ft.Css_logical.ideal_z t 1);
+  check "destructive readout" true (Ft.Css_logical.measure_z t 1);
+  Ft.Css_logical.prepare_zero t 1;
+  check "re-prepared |0>" false (Ft.Css_logical.ideal_z t 1);
+  Ft.Css_logical.h t 1;
+  Ft.Css_logical.s t 1;
+  Ft.Css_logical.s t 1;
+  Ft.Css_logical.h t 1;
+  check "H S S H = X (transversal P on Golay)" true (Ft.Css_logical.ideal_z t 1)
+
+let test_steane_gadget_matches_logical () =
+  (* the generalized processor over the Steane gadget behaves like the
+     specialized Logical processor *)
+  let r = rng () in
+  let t =
+    Ft.Css_logical.create ~gadget:(Ft.Css_ec.for_steane ()) ~blocks:3
+      ~noise:Ft.Noise.none r
+  in
+  Ft.Css_logical.h t 0;
+  Ft.Css_logical.cnot t ~control:0 ~target:1;
+  Ft.Css_logical.cnot t ~control:1 ~target:2;
+  let a = Ft.Css_logical.ideal_z t 0 in
+  let b = Ft.Css_logical.ideal_z t 1 in
+  let c = Ft.Css_logical.ideal_z t 2 in
+  check "GHZ correlations" true (a = b && b = c)
+
+let test_non_self_dual_rejected () =
+  let r = rng () in
+  try
+    ignore
+      (Ft.Css_logical.create ~gadget:(Ft.Css_ec.for_shor9 ()) ~blocks:1
+         ~noise:Ft.Noise.none r);
+    Alcotest.fail "shor9 (not self-dual) accepted"
+  with Invalid_argument _ -> ()
+
+let test_golay_noisy_cnot () =
+  let r = rng () in
+  let ok = ref 0 in
+  let trials = 20 in
+  for _ = 1 to trials do
+    let t =
+      Ft.Css_logical.create ~gadget:(Ft.Css_ec.for_golay ()) ~blocks:2
+        ~noise:(Ft.Noise.gates_only 5e-4) r
+    in
+    Ft.Css_logical.x t 0;
+    Ft.Css_logical.cnot t ~control:0 ~target:1;
+    if Ft.Css_logical.ideal_z t 0 && Ft.Css_logical.ideal_z t 1 then incr ok
+  done;
+  check "noisy golay CNOT mostly survives" true (!ok >= trials - 1)
+
+let test_readout_robust_to_errors () =
+  (* up to 3 injected bit flips cannot fool the Golay destructive
+     readout *)
+  let r = rng () in
+  let t =
+    Ft.Css_logical.create ~gadget:(Ft.Css_ec.for_golay ()) ~blocks:1
+      ~noise:Ft.Noise.none r
+  in
+  Ft.Css_logical.x t 0;
+  Ft.Sim.inject (Ft.Css_logical.sim t)
+    (Pauli.mul
+       (Pauli.single 69 2 Pauli.X)
+       (Pauli.mul (Pauli.single 69 9 Pauli.X) (Pauli.single 69 20 Pauli.X)));
+  check "readout robust to 3 flips" true (Ft.Css_logical.measure_z t 0)
+
+let suites =
+  [ ( "ft.css_logical",
+      [ Alcotest.test_case "golay gates" `Quick test_golay_processor_gates;
+        Alcotest.test_case "steane gadget GHZ" `Quick
+          test_steane_gadget_matches_logical;
+        Alcotest.test_case "non-self-dual rejected" `Quick
+          test_non_self_dual_rejected;
+        Alcotest.test_case "noisy golay CNOT" `Quick test_golay_noisy_cnot;
+        Alcotest.test_case "robust readout" `Quick
+          test_readout_robust_to_errors ] ) ]

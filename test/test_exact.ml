@@ -1,0 +1,84 @@
+open Ftqc
+module Exact = Codes.Exact
+
+let check = Alcotest.(check bool)
+
+let steane_decoder = Codes.Steane.css_decoder ()
+
+let test_zero_noise () =
+  check "no noise, no failure" true
+    (Exact.failure_probability Codes.Steane.code steane_decoder ~eps:0.0 = 0.0)
+
+let test_low_order_coefficients () =
+  (* distance 3: no weight-0 or weight-1 pattern fails *)
+  let cx, cy, cz = Exact.failure_polynomial Codes.Steane.code steane_decoder in
+  check "c(0) = 0" true (cx.(0) = 0.0 && cy.(0) = 0.0 && cz.(0) = 0.0);
+  check "c(1) = 0" true (cx.(1) = 0.0 && cy.(1) = 0.0 && cz.(1) = 0.0);
+  check "some weight-2 failures" true (cx.(2) +. cy.(2) +. cz.(2) > 0.0);
+  (* X/Z symmetry of the self-dual code and CSS decoder *)
+  check "X/Z symmetric" true (Array.for_all2 ( = ) cx cz)
+
+let test_quadratic_leading_order () =
+  (* at small eps, failure ≈ C eps²: ratio stable over a decade *)
+  let f eps =
+    Exact.failure_probability Codes.Steane.code steane_decoder ~eps
+  in
+  let r1 = f 1e-4 /. 1e-8 in
+  let r2 = f 1e-5 /. 1e-10 in
+  check "quadratic leading order" true (Float.abs (r1 /. r2 -. 1.0) < 0.05)
+
+let test_matches_monte_carlo () =
+  let rng = Random.State.make [| 107 |] in
+  let eps = 0.02 in
+  let exact =
+    Exact.failure_probability Codes.Steane.code steane_decoder ~eps
+  in
+  let mc =
+    Codes.Pauli_frame.code_memory_failure Codes.Steane.code steane_decoder
+      ~eps ~rounds:1 ~trials:60000 rng
+  in
+  (* 5 sigma agreement *)
+  check "exact = MC within 5 sigma" true
+    (Float.abs (mc.rate -. exact) < (5.0 *. mc.stderr) +. 1e-6)
+
+let test_basis_metric_smaller () =
+  let eps = 0.03 in
+  let any = Exact.failure_probability ~metric:`Any Codes.Steane.code steane_decoder ~eps in
+  let basis =
+    Exact.failure_probability ~metric:`Basis_avg Codes.Steane.code
+      steane_decoder ~eps
+  in
+  check "basis-averaged <= any" true (basis <= any);
+  check "basis-averaged >= 2/3 any (Y counts double)" true
+    (basis >= (0.5 *. any) -. 1e-12)
+
+let test_pseudothresholds () =
+  (match Exact.pseudothreshold ~metric:`Any Codes.Steane.code steane_decoder with
+  | Some t -> check "steane eps* ~ 0.081" true (t > 0.07 && t < 0.09)
+  | None -> Alcotest.fail "no steane threshold");
+  match
+    Exact.pseudothreshold ~metric:`Any Codes.Five_qubit.code
+      (Codes.Stabilizer_code.default_decoder Codes.Five_qubit.code)
+  with
+  | Some t -> check "five-qubit eps* ~ 0.14" true (t > 0.12 && t < 0.15)
+  | None -> Alcotest.fail "no 5q threshold"
+
+let test_rejects_large_codes () =
+  try
+    ignore
+      (Exact.failure_polynomial Codes.More_codes.reed_muller15
+         (Codes.Stabilizer_code.default_decoder Codes.More_codes.reed_muller15));
+    Alcotest.fail "n = 15 accepted"
+  with Invalid_argument _ -> ()
+
+let suites =
+  [ ( "codes.exact",
+      [ Alcotest.test_case "zero noise" `Quick test_zero_noise;
+        Alcotest.test_case "low-order coefficients" `Quick
+          test_low_order_coefficients;
+        Alcotest.test_case "quadratic leading order" `Quick
+          test_quadratic_leading_order;
+        Alcotest.test_case "matches Monte Carlo" `Slow test_matches_monte_carlo;
+        Alcotest.test_case "metrics ordered" `Quick test_basis_metric_smaller;
+        Alcotest.test_case "pseudothresholds" `Quick test_pseudothresholds;
+        Alcotest.test_case "size guard" `Quick test_rejects_large_codes ] ) ]

@@ -1,0 +1,614 @@
+open Ftqc
+module Code = Codes.Stabilizer_code
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rng () = Random.State.make [| 83 |]
+let steane = Codes.Steane.code
+
+(* --- more codes -------------------------------------------------------- *)
+
+let test_rep3 () =
+  let c = Codes.More_codes.rep3_bit in
+  check_int "n" 3 c.n;
+  check_int "k" 1 c.k;
+  (* distance 1 as a quantum code: a single Z is already logical *)
+  check_int "quantum distance 1" 1 (Code.distance c);
+  (* but it corrects any single bit flip *)
+  let d = Code.lookup_decoder c in
+  for q = 0 to 2 do
+    check "bit flip corrected" true
+      (Code.correct d c (Pauli.single 3 q Pauli.X) = `Ok)
+  done;
+  check "phase flip is logical" true
+    (Code.classify c (Pauli.of_string "ZII") = `Logical)
+
+let test_four_two_two () =
+  let c = Codes.More_codes.four_two_two in
+  check_int "n" 4 c.n;
+  check_int "k" 2 c.k;
+  check_int "distance 2" 2 (Code.distance c);
+  (* detects (nonzero syndrome) every weight-1 error *)
+  for q = 0 to 3 do
+    List.iter
+      (fun l ->
+        check "single error detected" false
+          (Gf2.Bitvec.is_zero (Code.syndrome c (Pauli.single 4 q l))))
+      [ Pauli.X; Pauli.Y; Pauli.Z ]
+  done
+
+let test_reed_muller () =
+  let c = Codes.More_codes.reed_muller15 in
+  check_int "n" 15 c.n;
+  check_int "k" 1 c.k;
+  check_int "distance 3" 3 (Code.distance c);
+  check_int "generators" 14 (Array.length c.generators);
+  (* logical state prep and recovery work through the generic path *)
+  let r = rng () in
+  let tab = Code.prepare_logical_zero c in
+  Tableau.apply_pauli tab (Pauli.single 15 7 Pauli.Y);
+  ignore (Code.ideal_recover c tab r);
+  check "RM recovers single Y" false (Code.logical_measure_z c tab r 0)
+
+let test_bounds () =
+  let h5, s5, g5 = Codes.Bounds.check Codes.Five_qubit.code in
+  check "5q hamming" true h5;
+  check "5q perfect" true s5;
+  check "5q singleton" true g5;
+  let h7, s7, g7 = Codes.Bounds.check Codes.Steane.code in
+  check "steane hamming" true h7;
+  check "steane not perfect" false s7;
+  check "steane singleton" true g7;
+  (* Shor-9 is degenerate: the nondegenerate Hamming bound fails even
+     though the code is fine *)
+  let h9, _, g9 = Codes.Bounds.check Codes.Shor9.code in
+  check "shor9 hamming (degenerate, bound not applicable)" true h9;
+  (* 9-4... sphere: 1+27 = 28 <= 2^8 = 256: actually holds *)
+  check "shor9 singleton" true g9;
+  (* a parameter set that must violate the hamming bound *)
+  check "no [[4,1]] t=1 code" false
+    (Codes.Bounds.quantum_hamming_ok ~n:4 ~k:1 ~t:1)
+
+(* --- generic (non-CSS) Shor EC ------------------------------------------ *)
+
+let test_shor_ec_five_qubit () =
+  let r = rng () in
+  let code = Codes.Five_qubit.code in
+  (* data 0..4, cat 5..8, check 9 *)
+  for q = 0 to 4 do
+    List.iter
+      (fun l ->
+        let sim = Ft.Sim.create ~n:10 ~noise:Ft.Noise.none r in
+        let tab = Ft.Sim.tableau sim in
+        Array.iter
+          (fun g ->
+            ignore
+              (Tableau.postselect_pauli tab
+                 (Code.embed code ~offset:0 ~total:10 g)
+                 ~outcome:false))
+          code.generators;
+        ignore
+          (Tableau.postselect_pauli tab
+             (Code.embed code ~offset:0 ~total:10 code.logical_z.(0))
+             ~outcome:false);
+        Ft.Sim.inject sim (Pauli.single 10 q l);
+        ignore
+          (Ft.Shor_ec.recover sim code ~policy:Ft.Shor_ec.Repeat_if_nontrivial
+             ~offset:0 ~cat_base:5 ~check:9 ~verified:true);
+        check "five-qubit shor EC" false
+          (Ft.Sim.ideal_measure_logical_z sim code ~offset:0))
+      [ Pauli.X; Pauli.Y; Pauli.Z ]
+  done
+
+let test_cy_gate () =
+  (* CY on tableau agrees with statevec *)
+  let r = rng () in
+  for _ = 1 to 20 do
+    let sv = Statevec.create 2 and tab = Tableau.create 2 in
+    (* random Clifford prefix *)
+    for _ = 1 to 8 do
+      match Random.State.int r 4 with
+      | 0 ->
+        Statevec.h sv 0;
+        Tableau.h tab 0
+      | 1 ->
+        Statevec.s_gate sv 1;
+        Tableau.s_gate tab 1
+      | 2 ->
+        Statevec.cnot sv 0 1;
+        Tableau.cnot tab 0 1
+      | _ ->
+        Statevec.h sv 1;
+        Tableau.h tab 1
+    done;
+    (* CY on statevec = S_t CNOT Sdg_t *)
+    Statevec.sdg sv 1;
+    Statevec.cnot sv 0 1;
+    Statevec.s_gate sv 1;
+    Tableau.cy tab 0 1;
+    List.iter
+      (fun stab ->
+        check "cy agreement" true
+          (Float.abs (Statevec.expectation sv stab -. 1.0) < 1e-6))
+      (Tableau.stabilizers tab)
+  done
+
+(* --- generalized CSS Steane-method EC (Fig. 10) --------------------------- *)
+
+let css_ec_fixes_single_errors gadget =
+  let r = rng () in
+  let code = Ft.Css_ec.code gadget in
+  let n = code.Code.n in
+  let total = 3 * n in
+  for q = 0 to n - 1 do
+    List.iter
+      (fun l ->
+        let sim = Ft.Sim.create ~n:total ~noise:Ft.Noise.none r in
+        let tab = Ft.Sim.tableau sim in
+        Array.iter
+          (fun g ->
+            ignore
+              (Tableau.postselect_pauli tab
+                 (Code.embed code ~offset:0 ~total g)
+                 ~outcome:false))
+          code.generators;
+        ignore
+          (Tableau.postselect_pauli tab
+             (Code.embed code ~offset:0 ~total code.logical_z.(0))
+             ~outcome:false);
+        Ft.Sim.inject sim (Pauli.single total q l);
+        ignore
+          (Ft.Css_ec.recover sim gadget ~policy:Ft.Css_ec.Repeat_if_nontrivial
+             ~data:0 ~ancilla:n ~checker:(2 * n) ~max_attempts:5);
+        check "css_ec fixes single error" false
+          (Ft.Sim.ideal_measure_logical_z sim code ~offset:0))
+      [ Pauli.X; Pauli.Y; Pauli.Z ]
+  done
+
+let test_css_ec_steane () = css_ec_fixes_single_errors (Ft.Css_ec.for_steane ())
+let test_css_ec_shor9 () = css_ec_fixes_single_errors (Ft.Css_ec.for_shor9 ())
+
+let test_css_ec_reed_muller () =
+  css_ec_fixes_single_errors (Ft.Css_ec.for_reed_muller ())
+
+let test_css_ec_no_info_leak () =
+  (* extracting a syndrome from a clean block must not perturb a
+     logical superposition: run on |+bar> and check X̄ survives *)
+  let r = rng () in
+  let gadget = Ft.Css_ec.for_steane () in
+  let sim = Ft.Sim.create ~n:21 ~noise:Ft.Noise.none r in
+  let tab = Ft.Sim.tableau sim in
+  Array.iter
+    (fun g ->
+      ignore
+        (Tableau.postselect_pauli tab
+           (Code.embed Codes.Steane.code ~offset:0 ~total:21 g)
+           ~outcome:false))
+    Codes.Steane.code.generators;
+  ignore
+    (Tableau.postselect_pauli tab
+       (Code.embed Codes.Steane.code ~offset:0 ~total:21
+          Codes.Steane.code.logical_x.(0))
+       ~outcome:false);
+  ignore
+    (Ft.Css_ec.recover sim gadget ~policy:Ft.Css_ec.Repeat_if_nontrivial
+       ~data:0 ~ancilla:7 ~checker:14 ~max_attempts:5);
+  check "|+bar> survives syndrome extraction" false
+    (Ft.Sim.ideal_measure_logical_x sim Codes.Steane.code ~offset:0)
+
+let test_superposition_circuit () =
+  (* the circuit prepares exactly the uniform code-state: check for the
+     Hamming parity-check basis against Eq. (6)'s amplitudes *)
+  let c = Codes.Css.superposition_circuit Codes.Hamming.parity_check in
+  let sv = Statevec.create 7 in
+  ignore (Statevec.run sv c);
+  let zero = Statevec.of_amplitudes (Codes.Steane.logical_zero_amplitudes ()) in
+  check "superposition circuit = |0bar>" true
+    (Statevec.fidelity sv zero > 1.0 -. 1e-9)
+
+(* --- measurement-based encoding circuits -------------------------------------- *)
+
+let encoder_test (code : Code.t) =
+  let r = rng () in
+  let c = Code.encoding_circuit_via_measurement code in
+  let n = code.Code.n in
+  (* exact statevector check *)
+  let sv = Statevec.create (n + 1) in
+  ignore (Statevec.run ~rng:r sv c);
+  Array.iter
+    (fun g ->
+      check
+        (code.Code.name ^ " generator +1")
+        true
+        (Float.abs
+           (Statevec.expectation sv (Code.embed code ~offset:0 ~total:(n + 1) g)
+           -. 1.0)
+        < 1e-9))
+    code.Code.generators;
+  Array.iter
+    (fun z ->
+      check
+        (code.Code.name ^ " logical Z +1")
+        true
+        (Float.abs
+           (Statevec.expectation sv (Code.embed code ~offset:0 ~total:(n + 1) z)
+           -. 1.0)
+        < 1e-9))
+    code.Code.logical_z;
+  (* tableau run agrees with the direct projection preparation *)
+  let tab = Tableau.create (n + 1) in
+  ignore (Tableau.run ~rng:r tab c);
+  Array.iter
+    (fun g ->
+      check
+        (code.Code.name ^ " tableau generator")
+        true
+        (Tableau.expectation tab (Code.embed code ~offset:0 ~total:(n + 1) g)
+        = Some true))
+    code.Code.generators
+
+let test_measurement_encoder_five_qubit () = encoder_test Codes.Five_qubit.code
+let test_measurement_encoder_steane () = encoder_test Codes.Steane.code
+let test_measurement_encoder_toric () = encoder_test (Toric.Code.stabilizer_code 2)
+
+let test_measurement_encoder_rm15 () =
+  (* 16 qubits: the largest the statevector can comfortably take *)
+  encoder_test Codes.More_codes.reed_muller15
+
+(* --- multicore Monte Carlo --------------------------------------------------- *)
+
+let test_parmc_reproducible () =
+  let trial rng _ = Random.State.float rng 1.0 < 0.3 in
+  let a = Ft.Parmc.failures ~domains:1 ~trials:5000 ~seed:11 trial in
+  let b = Ft.Parmc.failures ~domains:1 ~trials:5000 ~seed:11 trial in
+  Alcotest.(check int) "same seed, same count" a b;
+  check "rate plausible" true (abs (a - 1500) < 150)
+
+let test_parmc_domains_agree_statistically () =
+  let trial rng _ = Random.State.float rng 1.0 < 0.5 in
+  let _, _, r1 = Ft.Parmc.estimate ~domains:1 ~trials:20000 ~seed:3 trial in
+  let _, _, r4 = Ft.Parmc.estimate ~domains:4 ~trials:20000 ~seed:3 trial in
+  check "different domain counts agree statistically" true
+    (Float.abs (r1 -. r4) < 0.02)
+
+let test_parmc_trial_index () =
+  (* every trial index is passed exactly once *)
+  let seen = Array.make 100 0 in
+  let mutex = Mutex.create () in
+  let trial _ i =
+    Mutex.lock mutex;
+    seen.(i) <- seen.(i) + 1;
+    Mutex.unlock mutex;
+    false
+  in
+  ignore (Ft.Parmc.failures ~domains:3 ~trials:100 ~seed:1 trial);
+  check "each index exactly once" true (Array.for_all (( = ) 1) seen)
+
+let test_parmc_matches_serial_experiment () =
+  let noise = Ft.Noise.gates_only 2e-3 in
+  let f, n =
+    Ft.Concat_ec.logical_failure_rate_par ~domains:2 ~noise ~level:1
+      ~trials:4000 ~seed:5 ()
+  in
+  check "parallel level-1 plausible" true
+    (n = 4000 && float_of_int f /. float_of_int n < 0.01)
+
+(* --- logical teleportation -------------------------------------------------- *)
+
+(* source 0-6, bell_a 7-13, bell_b 14-20, checker 21-27, total 28 *)
+let prep_source sim ~state =
+  let tab = Ft.Sim.tableau sim in
+  let n = Ft.Sim.num_qubits sim in
+  Array.iter
+    (fun g ->
+      ignore
+        (Tableau.postselect_pauli tab
+           (Code.embed steane ~offset:0 ~total:n g)
+           ~outcome:false))
+    steane.Code.generators;
+  (* project onto the +1 eigenstate of the basis operator, then apply
+     the conjugate logical to flip when needed (postselecting the −1
+     eigenvalue of a deterministic +1 operator would be a no-op) *)
+  let op, flip =
+    match state with
+    | `Zero -> (steane.Code.logical_z.(0), None)
+    | `One -> (steane.Code.logical_z.(0), Some steane.Code.logical_x.(0))
+    | `Plus -> (steane.Code.logical_x.(0), None)
+    | `Minus -> (steane.Code.logical_x.(0), Some steane.Code.logical_z.(0))
+  in
+  ignore
+    (Tableau.postselect_pauli tab (Code.embed steane ~offset:0 ~total:n op)
+       ~outcome:false);
+  match flip with
+  | Some f -> Tableau.apply_pauli tab (Code.embed steane ~offset:0 ~total:n f)
+  | None -> ()
+
+let test_teleport_basis_states () =
+  let r = rng () in
+  List.iter
+    (fun (state, check_x, expect) ->
+      let sim = Ft.Sim.create ~n:28 ~noise:Ft.Noise.none r in
+      prep_source sim ~state;
+      ignore
+        (Ft.Teleport.teleport sim ~source:0 ~bell_a:7 ~bell_b:14 ~checker:21
+           ~verify:Ft.Steane_ec.Reject);
+      let out =
+        if check_x then Ft.Sim.ideal_measure_logical_x sim steane ~offset:14
+        else Ft.Sim.ideal_measure_logical_z sim steane ~offset:14
+      in
+      check "teleported state correct" true (out = expect))
+    [ (`Zero, false, false); (`One, false, true); (`Plus, true, false);
+      (`Minus, true, true) ]
+
+let test_teleport_under_noise () =
+  let r = rng () in
+  let ok = ref 0 in
+  let trials = 40 in
+  for _ = 1 to trials do
+    let sim = Ft.Sim.create ~n:28 ~noise:(Ft.Noise.gates_only 3e-4) r in
+    prep_source sim ~state:`One;
+    ignore
+      (Ft.Teleport.teleport sim ~source:0 ~bell_a:7 ~bell_b:14 ~checker:21
+         ~verify:Ft.Steane_ec.Reject);
+    if Ft.Sim.ideal_measure_logical_z sim steane ~offset:14 then incr ok
+  done;
+  check "teleportation mostly survives noise" true (!ok >= trials - 2)
+
+let test_bell_pair_correlations () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:28 ~noise:Ft.Noise.none r in
+  Ft.Teleport.logical_bell_pair sim ~block_a:0 ~block_b:7 ~checker:21
+    ~verify:Ft.Steane_ec.Reject;
+  let tab = Ft.Sim.tableau sim in
+  let zz =
+    Pauli.mul
+      (Code.embed steane ~offset:0 ~total:28 steane.Code.logical_z.(0))
+      (Code.embed steane ~offset:7 ~total:28 steane.Code.logical_z.(0))
+  in
+  let xx =
+    Pauli.mul
+      (Code.embed steane ~offset:0 ~total:28 steane.Code.logical_x.(0))
+      (Code.embed steane ~offset:7 ~total:28 steane.Code.logical_x.(0))
+  in
+  check "ZZ correlation" true (Tableau.expectation tab zz = Some true);
+  check "XX correlation" true (Tableau.expectation tab xx = Some true)
+
+(* --- level-2 concatenated EC ----------------------------------------------- *)
+
+let total_l2 = 49 + Ft.Concat_ec.scratch_qubits
+let code2 = lazy (Codes.Concat.steane_level 2)
+
+let prep_l2 sim ~plus =
+  let tab = Ft.Sim.tableau sim in
+  let code2 = Lazy.force code2 in
+  Array.iter
+    (fun g ->
+      ignore
+        (Tableau.postselect_pauli tab
+           (Code.embed code2 ~offset:0 ~total:total_l2 g)
+           ~outcome:false))
+    code2.Code.generators;
+  let l = if plus then code2.logical_x.(0) else code2.logical_z.(0) in
+  ignore
+    (Tableau.postselect_pauli tab
+       (Code.embed code2 ~offset:0 ~total:total_l2 l)
+       ~outcome:false)
+
+let test_l2_recovery_scattered_errors () =
+  let r = rng () in
+  for _ = 1 to 5 do
+    let sim = Ft.Sim.create ~n:total_l2 ~noise:Ft.Noise.none r in
+    prep_l2 sim ~plus:false;
+    (* one random error in each of three different inner blocks *)
+    List.iter
+      (fun b ->
+        let q = (7 * b) + Random.State.int r 7 in
+        let l = [| Pauli.X; Pauli.Y; Pauli.Z |].(Random.State.int r 3) in
+        Ft.Sim.inject sim (Pauli.single total_l2 q l))
+      [ 0; 3; 6 ];
+    Ft.Concat_ec.recover_l2 sim ~data:0 ~scratch:49 ~max_attempts:10;
+    check "level-2 recovery (3 scattered errors)" false
+      (Ft.Concat_ec.measure_logical_z_destructive_l2 sim ~block:0)
+  done
+
+let test_l2_recovery_inner_logical_error () =
+  (* a full inner logical X (an outer-level single error) must be
+     caught by the *outer* syndrome round *)
+  let r = rng () in
+  for b = 0 to 6 do
+    let sim = Ft.Sim.create ~n:total_l2 ~noise:Ft.Noise.none r in
+    prep_l2 sim ~plus:false;
+    Ft.Sim.inject sim
+      (Code.embed Codes.Steane.code ~offset:(7 * b) ~total:total_l2
+         (Pauli.of_string "XXXXXXX"));
+    Ft.Concat_ec.recover_l2 sim ~data:0 ~scratch:49 ~max_attempts:10;
+    check "level-2 fixes an inner logical X" false
+      (Ft.Concat_ec.measure_logical_z_destructive_l2 sim ~block:0)
+  done
+
+let test_l2_prepare_zero () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:total_l2 ~noise:Ft.Noise.none r in
+  Ft.Concat_ec.prepare_zero_l2 sim ~block:0 ~scratch:49 ~max_attempts:5;
+  let tab = Ft.Sim.tableau sim in
+  let code2 = Lazy.force code2 in
+  check "prepared |0bar>_2 is stabilized" true
+    (Array.for_all
+       (fun g ->
+         Tableau.expectation tab (Code.embed code2 ~offset:0 ~total:total_l2 g)
+         = Some true)
+       code2.Code.generators);
+  check "logical value 0" false
+    (Ft.Concat_ec.measure_logical_z_destructive_l2 sim ~block:0)
+
+let test_l2_noisy_smoke () =
+  (* a handful of noisy trials must run to completion with low failure *)
+  let r = rng () in
+  let f, n =
+    Ft.Concat_ec.logical_failure_rate ~noise:(Ft.Noise.gates_only 5e-4)
+      ~level:2 ~trials:30 r
+  in
+  check "noisy level-2 smoke" true (n = 30 && f <= 2)
+
+(* --- nondestructive logical measurement ---------------------------------- *)
+
+let test_nondestructive_measure () =
+  let r = rng () in
+  let prep plus =
+    let sim = Ft.Sim.create ~n:8 ~noise:Ft.Noise.none r in
+    let tab = Ft.Sim.tableau sim in
+    Array.iter
+      (fun g ->
+        ignore
+          (Tableau.postselect_pauli tab
+             (Code.embed Codes.Steane.code ~offset:0 ~total:8 g)
+             ~outcome:false))
+      Codes.Steane.code.generators;
+    let l =
+      if plus then Codes.Steane.code.logical_x.(0)
+      else Codes.Steane.code.logical_z.(0)
+    in
+    ignore
+      (Tableau.postselect_pauli tab
+         (Code.embed Codes.Steane.code ~offset:0 ~total:8 l)
+         ~outcome:false);
+    sim
+  in
+  (* measures |0bar> as 0 and |1bar> as 1, preserving the block *)
+  let sim = prep false in
+  check "reads |0bar>" false
+    (Ft.Transversal.logical_measure_z_nondestructive sim ~block:0 ~ancilla:7
+       ~repetitions:3);
+  check "block intact" false
+    (Ft.Sim.ideal_measure_logical_z sim Codes.Steane.code ~offset:0);
+  let sim = prep false in
+  Ft.Transversal.logical_x sim ~block:0;
+  check "reads |1bar>" true
+    (Ft.Transversal.logical_measure_z_nondestructive sim ~block:0 ~ancilla:7
+       ~repetitions:3);
+  (* collapses |+bar> to a definite logical value, still in codespace *)
+  let sim = prep true in
+  let o =
+    Ft.Transversal.logical_measure_z_nondestructive sim ~block:0 ~ancilla:7
+      ~repetitions:3
+  in
+  check "collapsed consistently" true
+    (Ft.Sim.ideal_measure_logical_z sim Codes.Steane.code ~offset:0 = o);
+  (* robust to a single injected bit flip: majority of 3 still right *)
+  let sim = prep false in
+  Ft.Sim.inject sim (Pauli.single 8 3 Pauli.X);
+  check "robust to one flip" false
+    (Ft.Transversal.logical_measure_z_nondestructive sim ~block:0 ~ancilla:7
+       ~repetitions:3);
+  (* X-basis version *)
+  let sim = prep true in
+  check "reads |+bar>" false
+    (Ft.Transversal.logical_measure_x_nondestructive sim ~block:0 ~ancilla:7
+       ~repetitions:3)
+
+(* --- logical processor ---------------------------------------------------- *)
+
+let test_logical_processor_basics () =
+  let r = rng () in
+  let t = Ft.Logical.create ~blocks:2 ~noise:Ft.Noise.none r in
+  check "starts |00>" true
+    ((not (Ft.Logical.ideal_z t 0)) && not (Ft.Logical.ideal_z t 1));
+  Ft.Logical.x t 0;
+  Ft.Logical.cnot t ~control:0 ~target:1;
+  check "X then CNOT gives |11>" true
+    (Ft.Logical.ideal_z t 0 && Ft.Logical.ideal_z t 1);
+  check "destructive readout" true (Ft.Logical.measure_z t 1);
+  Ft.Logical.prepare_zero t 1;
+  check "re-prepared" false (Ft.Logical.ideal_z t 1)
+
+let test_logical_ghz () =
+  (* fault-tolerant logical GHZ on three blocks, with noise, judged
+     ideally: parity correlations must survive *)
+  let r = rng () in
+  let successes = ref 0 in
+  let trials = 60 in
+  for _ = 1 to trials do
+    let t =
+      Ft.Logical.create ~blocks:3 ~noise:(Ft.Noise.gates_only 2e-4) r
+    in
+    Ft.Logical.h t 0;
+    Ft.Logical.cnot t ~control:0 ~target:1;
+    Ft.Logical.cnot t ~control:1 ~target:2;
+    let a = Ft.Logical.ideal_z t 0 in
+    let b = Ft.Logical.ideal_z t 1 in
+    let c = Ft.Logical.ideal_z t 2 in
+    if a = b && b = c then incr successes
+  done;
+  check "GHZ correlations survive noisy FT circuit" true
+    (!successes >= trials - 2)
+
+let test_logical_s_gate () =
+  let r = rng () in
+  let t = Ft.Logical.create ~blocks:1 ~noise:Ft.Noise.none r in
+  Ft.Logical.h t 0;
+  Ft.Logical.s t 0;
+  Ft.Logical.s t 0;
+  Ft.Logical.h t 0;
+  (* HZH = X: |0> -H-> |+> -Z-> |-> -H-> |1> *)
+  check "H S S H = X" true (Ft.Logical.ideal_z t 0)
+
+let test_logical_nondestructive () =
+  let r = rng () in
+  let t = Ft.Logical.create ~blocks:1 ~noise:Ft.Noise.none r in
+  Ft.Logical.x t 0;
+  check "nondestructive reads 1" true (Ft.Logical.measure_z_nondestructive t 0);
+  check "still |1bar> afterwards" true (Ft.Logical.ideal_z t 0)
+
+let suites =
+  [ ( "codes.more",
+      [ Alcotest.test_case "rep3" `Quick test_rep3;
+        Alcotest.test_case "[[4,2,2]]" `Quick test_four_two_two;
+        Alcotest.test_case "[[15,1,3]] Reed-Muller" `Quick test_reed_muller;
+        Alcotest.test_case "quantum bounds" `Quick test_bounds ] );
+    ( "ft.css_ec",
+      [ Alcotest.test_case "steane" `Quick test_css_ec_steane;
+        Alcotest.test_case "shor9" `Quick test_css_ec_shor9;
+        Alcotest.test_case "reed-muller 15" `Quick test_css_ec_reed_muller;
+        Alcotest.test_case "no information leak" `Quick
+          test_css_ec_no_info_leak;
+        Alcotest.test_case "superposition circuit" `Quick
+          test_superposition_circuit ] );
+    ( "codes.encoding_circuits",
+      [ Alcotest.test_case "five-qubit" `Quick
+          test_measurement_encoder_five_qubit;
+        Alcotest.test_case "steane" `Quick test_measurement_encoder_steane;
+        Alcotest.test_case "toric L=2" `Quick test_measurement_encoder_toric;
+        Alcotest.test_case "reed-muller 15" `Quick
+          test_measurement_encoder_rm15 ] );
+    ( "ft.parmc",
+      [ Alcotest.test_case "reproducible" `Quick test_parmc_reproducible;
+        Alcotest.test_case "domain counts agree" `Quick
+          test_parmc_domains_agree_statistically;
+        Alcotest.test_case "trial indices" `Quick test_parmc_trial_index;
+        Alcotest.test_case "parallel experiment" `Slow
+          test_parmc_matches_serial_experiment ] );
+    ( "ft.teleport",
+      [ Alcotest.test_case "basis states" `Quick test_teleport_basis_states;
+        Alcotest.test_case "under noise" `Quick test_teleport_under_noise;
+        Alcotest.test_case "bell correlations" `Quick
+          test_bell_pair_correlations ] );
+    ( "ft.concat_ec",
+      [ Alcotest.test_case "scattered errors" `Quick
+          test_l2_recovery_scattered_errors;
+        Alcotest.test_case "inner logical error" `Quick
+          test_l2_recovery_inner_logical_error;
+        Alcotest.test_case "verified |0bar>_2 prep" `Quick
+          test_l2_prepare_zero;
+        Alcotest.test_case "noisy smoke" `Slow test_l2_noisy_smoke ] );
+    ( "ft.extensions",
+      [ Alcotest.test_case "shor EC on 5-qubit code" `Quick
+          test_shor_ec_five_qubit;
+        Alcotest.test_case "controlled-Y" `Quick test_cy_gate;
+        Alcotest.test_case "nondestructive measurement" `Quick
+          test_nondestructive_measure;
+        Alcotest.test_case "logical processor" `Quick
+          test_logical_processor_basics;
+        Alcotest.test_case "logical GHZ under noise" `Quick test_logical_ghz;
+        Alcotest.test_case "logical S" `Quick test_logical_s_gate;
+        Alcotest.test_case "logical nondestructive readout" `Quick
+          test_logical_nondestructive ] ) ]

@@ -1,0 +1,457 @@
+open Ftqc
+module Code = Codes.Stabilizer_code
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 41 |]
+let steane = Codes.Steane.code
+
+(* prepare a perfect logical eigenstate inside a wider noisy register *)
+let prep sim ~offset ~plus =
+  let n = Ft.Sim.num_qubits sim in
+  let tab = Ft.Sim.tableau sim in
+  Array.iter
+    (fun g ->
+      assert
+        (Tableau.postselect_pauli tab
+           (Code.embed steane ~offset ~total:n g)
+           ~outcome:false))
+    steane.generators;
+  let l = if plus then steane.logical_x.(0) else steane.logical_z.(0) in
+  assert
+    (Tableau.postselect_pauli tab
+       (Code.embed steane ~offset ~total:n l)
+       ~outcome:false)
+
+(* --- noiseless gadget exactness -------------------------------------- *)
+
+let test_shor_ec_fixes_all_single_errors () =
+  let r = rng () in
+  for q = 0 to 6 do
+    List.iter
+      (fun l ->
+        let sim = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none r in
+        prep sim ~offset:0 ~plus:false;
+        Ft.Sim.inject sim (Pauli.single 12 q l);
+        ignore
+          (Ft.Shor_ec.recover sim steane
+             ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~offset:0 ~cat_base:7
+             ~check:11 ~verified:true);
+        check "shor EC fixes error" false
+          (Ft.Sim.ideal_measure_logical_z sim steane ~offset:0))
+      [ Pauli.X; Pauli.Y; Pauli.Z ]
+  done
+
+let test_steane_ec_fixes_all_single_errors () =
+  let r = rng () in
+  for q = 0 to 6 do
+    List.iter
+      (fun l ->
+        let sim = Ft.Sim.create ~n:21 ~noise:Ft.Noise.none r in
+        prep sim ~offset:0 ~plus:false;
+        Ft.Sim.inject sim (Pauli.single 21 q l);
+        ignore
+          (Ft.Steane_ec.recover sim ~policy:Ft.Steane_ec.Repeat_if_nontrivial
+             ~verify:Ft.Steane_ec.Reject ~data:0 ~ancilla:7 ~checker:14);
+        check "steane EC fixes error" false
+          (Ft.Sim.ideal_measure_logical_z sim steane ~offset:0))
+      [ Pauli.X; Pauli.Y; Pauli.Z ]
+  done
+
+let test_shor_syndrome_matches_code_syndrome () =
+  let r = rng () in
+  for _ = 1 to 20 do
+    let sim = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none r in
+    prep sim ~offset:0 ~plus:false;
+    let q = Random.State.int r 7 in
+    let l = [| Pauli.X; Pauli.Y; Pauli.Z |].(Random.State.int r 3) in
+    let e = Pauli.single 7 q l in
+    Ft.Sim.inject sim (Code.embed steane ~offset:0 ~total:12 e);
+    let s =
+      Ft.Shor_ec.syndrome sim steane ~offset:0 ~cat_base:7 ~check:11
+        ~verified:true
+    in
+    check "gadget syndrome = algebraic syndrome" true
+      (Gf2.Bitvec.equal s (Code.syndrome steane e))
+  done
+
+let test_trivial_syndrome_on_clean_block () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:true;
+  let s =
+    Ft.Shor_ec.syndrome sim steane ~offset:0 ~cat_base:7 ~check:11
+      ~verified:true
+  in
+  check "clean block -> trivial syndrome" true (Gf2.Bitvec.is_zero s);
+  (* and the |+bar> state is untouched by the measurement *)
+  check "syndrome extraction preserves |+bar>" false
+    (Ft.Sim.ideal_measure_logical_x sim steane ~offset:0)
+
+(* --- cat preparation -------------------------------------------------- *)
+
+let test_cat_prepared_correctly () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:5 ~noise:Ft.Noise.none r in
+  let attempts =
+    Ft.Cat.prepare sim ~qubits:[ 0; 1; 2; 3 ] ~check:4 ~max_attempts:5
+  in
+  check "one attempt suffices noiselessly" true (attempts = 1);
+  let tab = Ft.Sim.tableau sim in
+  check "XXXX stabilizer" true
+    (Tableau.expectation tab (Pauli.of_string "XXXXI") = Some true);
+  check "ZZ on ends" true
+    (Tableau.expectation tab (Pauli.of_string "ZIIZI") = Some true)
+
+let test_cat_verification_catches_split () =
+  (* inject the Fig. 8 failure (a mid-chain X fault -> |0011>+|1100>)
+     and confirm verification rejects it: we emulate by corrupting
+     after build inside a retry-free run *)
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:5 ~noise:Ft.Noise.none r in
+  Ft.Cat.prepare_unverified sim ~qubits:[ 0; 1; 2; 3 ];
+  (* split the cat: X on qubits 2,3 makes ends disagree *)
+  Ft.Sim.inject sim (Pauli.of_string "IIXXI");
+  (* run the verification step manually *)
+  Ft.Sim.prepare_zero sim 4;
+  Ft.Sim.cnot sim 0 4;
+  Ft.Sim.cnot sim 3 4;
+  check "verification flags the split cat" true (Ft.Sim.measure sim 4)
+
+(* --- ancilla verification --------------------------------------------- *)
+
+let test_verified_zero_prep () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:14 ~noise:Ft.Noise.none r in
+  Ft.Steane_ec.prepare_zero_verified sim ~block:0 ~checker:7
+    ~verify:Ft.Steane_ec.Reject ~max_attempts:5;
+  check "verified |0bar|" false
+    (Ft.Sim.ideal_measure_logical_z sim steane ~offset:0);
+  let tab = Ft.Sim.tableau sim in
+  Array.iter
+    (fun g ->
+      check "stabilized" true
+        (Tableau.expectation tab (Code.embed steane ~offset:0 ~total:14 g)
+        = Some true))
+    steane.generators
+
+(* --- transversal gates ------------------------------------------------ *)
+
+let test_transversal_x_z () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:false;
+  Ft.Transversal.logical_x sim ~block:0;
+  check "Xbar flips |0bar>" true
+    (Ft.Sim.ideal_measure_logical_z sim steane ~offset:0);
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:true;
+  Ft.Transversal.logical_z sim ~block:0;
+  check "Zbar flips |+bar>" true
+    (Ft.Sim.ideal_measure_logical_x sim steane ~offset:0)
+
+let test_transversal_x_weight3 () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:false;
+  Ft.Transversal.logical_x_w3 sim ~block:0;
+  check "weight-3 NOT flips |0bar> (footnote f)" true
+    (Ft.Sim.ideal_measure_logical_z sim steane ~offset:0)
+
+let test_transversal_h () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:false;
+  Ft.Transversal.logical_h sim ~block:0;
+  check "Hbar: |0bar> -> |+bar>" false
+    (Ft.Sim.ideal_measure_logical_x sim steane ~offset:0);
+  (* and |1bar> -> |-bar| *)
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:false;
+  Ft.Transversal.logical_x sim ~block:0;
+  Ft.Transversal.logical_h sim ~block:0;
+  check "Hbar: |1bar> -> |-bar>" true
+    (Ft.Sim.ideal_measure_logical_x sim steane ~offset:0)
+
+let test_transversal_s () =
+  (* P̄ implemented bitwise as P⁻¹ (Sec. 4.1): check S̄² = Z̄ on |+bar> *)
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:true;
+  Ft.Transversal.logical_s sim ~block:0;
+  Ft.Transversal.logical_s sim ~block:0;
+  check "Sbar^2 = Zbar" true
+    (Ft.Sim.ideal_measure_logical_x sim steane ~offset:0);
+  (* S̄ maps the +1 Y̅ eigenstate story: |+bar> -> +i|1...>: verify
+     via stabilizer: after S̄ on |+bar>, Ȳ = i·X̄·Z̄... simpler check:
+     S̄ preserves |0bar> *)
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  prep sim ~offset:0 ~plus:false;
+  Ft.Transversal.logical_s sim ~block:0;
+  check "Sbar preserves |0bar>" false
+    (Ft.Sim.ideal_measure_logical_z sim steane ~offset:0)
+
+let test_transversal_cnot_truth_table () =
+  let r = rng () in
+  List.iter
+    (fun (a, b) ->
+      let sim = Ft.Sim.create ~n:14 ~noise:Ft.Noise.none r in
+      prep sim ~offset:0 ~plus:false;
+      prep sim ~offset:7 ~plus:false;
+      if a then Ft.Transversal.logical_x sim ~block:0;
+      if b then Ft.Transversal.logical_x sim ~block:7;
+      Ft.Transversal.logical_cnot sim ~control:0 ~target:7;
+      let ra = Ft.Sim.ideal_measure_logical_z sim steane ~offset:0 in
+      let rb = Ft.Sim.ideal_measure_logical_z sim steane ~offset:7 in
+      check "cnot control" true (ra = a);
+      check "cnot target" true (rb = (a <> b)))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_destructive_measurement_robust () =
+  let r = rng () in
+  (* one bit flip before destructive readout must not change the
+     logical outcome (classical Hamming correction, Sec. 2) *)
+  for q = 0 to 6 do
+    let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+    prep sim ~offset:0 ~plus:false;
+    Ft.Transversal.logical_x sim ~block:0;
+    Ft.Sim.inject sim (Pauli.single 7 q Pauli.X);
+    check "robust readout" true
+      (Ft.Transversal.logical_measure_z_destructive sim ~block:0)
+  done
+
+(* --- FT Toffoli -------------------------------------------------------- *)
+
+let test_toffoli_all_basis () =
+  let r = rng () in
+  for input = 0 to 7 do
+    let sv = Statevec.create 7 in
+    if input land 1 = 1 then Statevec.x sv 0;
+    if input land 2 = 2 then Statevec.x sv 1;
+    if input land 4 = 4 then Statevec.x sv 2;
+    Ft.Toffoli.apply sv r ~data:(0, 1, 2) ~scratch:(3, 4, 5) ~control:6;
+    let expected = if input land 3 = 3 then input lxor 4 else input in
+    List.iter (fun q -> Statevec.reset sv r q) [ 3; 4; 5; 6 ];
+    check
+      (Printf.sprintf "toffoli input %d" input)
+      true
+      (Qmath.Cx.norm2 (Statevec.amplitude sv expected) > 1.0 -. 1e-9)
+  done
+
+let test_toffoli_superposition () =
+  let r = rng () in
+  for _ = 1 to 5 do
+    let sv = Statevec.create 7 in
+    Statevec.h sv 0;
+    Statevec.h sv 1;
+    Statevec.h sv 2;
+    Ft.Toffoli.apply sv r ~data:(0, 1, 2) ~scratch:(3, 4, 5) ~control:6;
+    let expected = Statevec.create 7 in
+    Statevec.h expected 0;
+    Statevec.h expected 1;
+    Statevec.h expected 2;
+    Statevec.toffoli expected 0 1 2;
+    List.iter
+      (fun q ->
+        Statevec.reset sv r q;
+        Statevec.reset expected r q)
+      [ 3; 4; 5; 6 ];
+    check "toffoli on full superposition" true
+      (Statevec.fidelity sv expected > 1.0 -. 1e-9)
+  done
+
+let test_ancilla_a_state () =
+  let r = rng () in
+  let sv = Statevec.create 4 in
+  ignore (Ft.Toffoli.prepare_ancilla_a sv r ~a:0 ~b:1 ~c:2 ~control:3);
+  Statevec.reset sv r 3;
+  (* |A> = (|000>+|010>+|100>+|111>)/2, qubit order a,b,c -> bits 0,1,2 *)
+  let expect = [ (0, 0.5); (2, 0.5); (1, 0.5); (7, 0.5) ] in
+  List.iter
+    (fun (idx, amp) ->
+      check "A amplitude" true
+        (Float.abs (Qmath.Cx.norm (Statevec.amplitude sv idx) -. amp) < 1e-9))
+    [ (0, 0.5); (1, 0.5); (2, 0.5); (7, 0.5) ];
+  ignore expect
+
+let test_transversal_ingredients () =
+  check "encoded ingredients" true
+    (Ft.Toffoli.transversal_ingredients_check (rng ()))
+
+(* --- leakage ----------------------------------------------------------- *)
+
+let test_leakage_detection () =
+  let r = rng () in
+  let t = Ft.Leakage.create ~n:2 ~noise:Ft.Noise.none ~leak_rate:0.0 r in
+  check "healthy not flagged" false (Ft.Leakage.detect t ~data:0 ~ancilla:1);
+  Ft.Leakage.leak t 0;
+  check "leaked flagged" true (Ft.Leakage.detect t ~data:0 ~ancilla:1);
+  Ft.Leakage.replace t 0;
+  check "replaced healthy" false (Ft.Leakage.detect t ~data:0 ~ancilla:1)
+
+let test_leakage_detection_superposition () =
+  (* detection must not disturb an unleaked qubit's superposition *)
+  let r = rng () in
+  let t = Ft.Leakage.create ~n:2 ~noise:Ft.Noise.none ~leak_rate:0.0 r in
+  let tab = Ft.Sim.tableau (Ft.Leakage.sim t) in
+  Tableau.h tab 0;
+  check "not flagged" false (Ft.Leakage.detect t ~data:0 ~ancilla:1);
+  check "superposition preserved" true
+    (Tableau.expectation tab (Pauli.of_string "XI") = Some true)
+
+let test_scrub () =
+  let r = rng () in
+  let t = Ft.Leakage.create ~n:4 ~noise:Ft.Noise.none ~leak_rate:0.0 r in
+  Ft.Leakage.leak t 1;
+  Ft.Leakage.leak t 2;
+  let fixed = Ft.Leakage.scrub t ~qubits:[ 0; 1; 2 ] ~ancilla:3 in
+  Alcotest.(check int) "two leaks repaired" 2 fixed;
+  check "flags cleared" false (Ft.Leakage.leaked t 1 || Ft.Leakage.leaked t 2)
+
+(* --- systematic vs random errors --------------------------------------- *)
+
+let test_systematic_scaling () =
+  let r = rng () in
+  let p_sys n =
+    Ft.Systematic.error_probability ~theta:0.01 ~steps:n ~mode:`Systematic
+      ~trials:1 r
+  in
+  let p100 = p_sys 100 and p10 = p_sys 10 in
+  (* quadratic: double-log slope 2 between N=10 and N=100 *)
+  let slope = log (p100 /. p10) /. log 10.0 in
+  check "systematic slope ~2" true (Float.abs (slope -. 2.0) < 0.1);
+  let pr100 =
+    Ft.Systematic.error_probability ~theta:0.01 ~steps:100 ~mode:`Random
+      ~trials:300 r
+  in
+  let pr10 =
+    Ft.Systematic.error_probability ~theta:0.01 ~steps:10 ~mode:`Random
+      ~trials:300 r
+  in
+  let rslope = log (pr100 /. pr10) /. log 10.0 in
+  check "random slope ~1" true (Float.abs (rslope -. 1.0) < 0.3)
+
+(* --- Monte-Carlo separations (small but real) --------------------------- *)
+
+let test_ft_beats_nonft () =
+  let r = rng () in
+  let noise = Ft.Noise.gates_only 2e-3 in
+  let bad =
+    Ft.Memory.shor_ec_failure ~noise ~policy:Ft.Shor_ec.Repeat_if_nontrivial
+      ~verified:false ~trials:3000 r
+  in
+  let good =
+    Ft.Memory.shor_ec_failure ~noise ~policy:Ft.Shor_ec.Repeat_if_nontrivial
+      ~verified:true ~trials:3000 r
+  in
+  check "FT strictly better at 2e-3" true (good.failures <= bad.failures)
+
+let test_encoded_beats_unencoded () =
+  let r = rng () in
+  let u = Ft.Memory.unencoded ~eps:5e-3 ~trials:6000 r in
+  let e =
+    Ft.Memory.encoded_ideal_ec steane ~eps:5e-3 ~rounds:1 ~trials:6000 r
+  in
+  check "encoding wins below crossover" true (e.failures < u.failures)
+
+let test_noise_counters () =
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:2 ~noise:(Ft.Noise.uniform 1.0) r in
+  Ft.Sim.h sim 0;
+  Ft.Sim.cnot sim 0 1;
+  check "faults injected at eps=1" true (Ft.Sim.fault_count sim = 2);
+  Alcotest.(check int) "gate count" 2 (Ft.Sim.gate_count sim)
+
+let test_until_agree_policy () =
+  let r = rng () in
+  for q = 0 to 6 do
+    let sim = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none r in
+    prep sim ~offset:0 ~plus:false;
+    Ft.Sim.inject sim (Pauli.single 12 q Pauli.X);
+    let rounds =
+      Ft.Shor_ec.recover sim steane ~policy:(Ft.Shor_ec.Until_agree 5)
+        ~offset:0 ~cat_base:7 ~check:11 ~verified:true
+    in
+    check "until-agree fixes error" false
+      (Ft.Sim.ideal_measure_logical_z sim steane ~offset:0);
+    check "noise-free agreement in 2 rounds" true (rounds = 2)
+  done
+
+(* §3.2's exact accounting: the Shor method couples the data block to
+   24 ancilla bits through 24 XORs per double syndrome (one per unit
+   of generator weight), the Steane method to 14 through 14 (two
+   transversal XOR layers); the trade is that Steane's ancilla
+   preparation is more complex.  Verify the 24 and the 14 from the
+   gadgets' own structure. *)
+let test_data_coupling_counts () =
+  let shor_xors =
+    Array.fold_left
+      (fun acc g -> acc + Pauli.weight g)
+      0 steane.Codes.Stabilizer_code.generators
+  in
+  Alcotest.(check int) "shor method data couplings" 24 shor_xors;
+  let steane_xors = 2 * steane.Codes.Stabilizer_code.n in
+  Alcotest.(check int) "steane method data couplings" 14 steane_xors;
+  check "steane couples data to fewer ancilla bits" true
+    (steane_xors < shor_xors)
+
+let test_wide_cat () =
+  (* cat states of width 6 (for weight-6 generators of bigger codes) *)
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  ignore
+    (Ft.Cat.prepare sim ~qubits:[ 0; 1; 2; 3; 4; 5 ] ~check:6 ~max_attempts:3);
+  let tab = Ft.Sim.tableau sim in
+  check "XXXXXX stabilizer" true
+    (Tableau.expectation tab (Pauli.of_string "XXXXXXI") = Some true);
+  check "end-to-end ZZ" true
+    (Tableau.expectation tab (Pauli.of_string "ZIIIIZI") = Some true)
+
+let test_fit_quadratic () =
+  let a = Ft.Memory.fit_quadratic [ (0.01, 2.1e-3); (0.02, 8.4e-3) ] in
+  check "fit recovers A=21" true (Float.abs (a -. 21.0) < 1e-6)
+
+let suites =
+  [ ( "ft.gadgets",
+      [ Alcotest.test_case "shor EC all single errors" `Quick
+          test_shor_ec_fixes_all_single_errors;
+        Alcotest.test_case "steane EC all single errors" `Quick
+          test_steane_ec_fixes_all_single_errors;
+        Alcotest.test_case "gadget syndrome correct" `Quick
+          test_shor_syndrome_matches_code_syndrome;
+        Alcotest.test_case "clean block trivial syndrome" `Quick
+          test_trivial_syndrome_on_clean_block;
+        Alcotest.test_case "cat preparation" `Quick test_cat_prepared_correctly;
+        Alcotest.test_case "cat verification" `Quick
+          test_cat_verification_catches_split;
+        Alcotest.test_case "verified |0bar> prep" `Quick test_verified_zero_prep ]
+    );
+    ( "ft.transversal",
+      [ Alcotest.test_case "X/Z" `Quick test_transversal_x_z;
+        Alcotest.test_case "weight-3 NOT" `Quick test_transversal_x_weight3;
+        Alcotest.test_case "H" `Quick test_transversal_h;
+        Alcotest.test_case "S" `Quick test_transversal_s;
+        Alcotest.test_case "CNOT truth table" `Quick
+          test_transversal_cnot_truth_table;
+        Alcotest.test_case "robust readout" `Quick
+          test_destructive_measurement_robust ] );
+    ( "ft.toffoli",
+      [ Alcotest.test_case "all basis inputs" `Quick test_toffoli_all_basis;
+        Alcotest.test_case "superposition" `Quick test_toffoli_superposition;
+        Alcotest.test_case "|A> preparation" `Quick test_ancilla_a_state;
+        Alcotest.test_case "transversal ingredients" `Quick
+          test_transversal_ingredients ] );
+    ( "ft.leakage",
+      [ Alcotest.test_case "detection" `Quick test_leakage_detection;
+        Alcotest.test_case "superposition safe" `Quick
+          test_leakage_detection_superposition;
+        Alcotest.test_case "scrub" `Quick test_scrub ] );
+    ( "ft.noise",
+      [ Alcotest.test_case "systematic scaling" `Quick test_systematic_scaling;
+        Alcotest.test_case "FT beats non-FT" `Quick test_ft_beats_nonft;
+        Alcotest.test_case "encoding wins" `Quick test_encoded_beats_unencoded;
+        Alcotest.test_case "noise counters" `Quick test_noise_counters;
+        Alcotest.test_case "until-agree policy" `Quick test_until_agree_policy;
+        Alcotest.test_case "data-coupling counts (24 vs 14)" `Quick
+          test_data_coupling_counts;
+        Alcotest.test_case "wide cat" `Quick test_wide_cat;
+        Alcotest.test_case "quadratic fit" `Quick test_fit_quadratic ] ) ]

@@ -1,0 +1,203 @@
+open Ftqc
+module Bitvec = Gf2.Bitvec
+module Mat = Gf2.Mat
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Bitvec ---------------------------------------------------------- *)
+
+let test_basic_ops () =
+  let v = Bitvec.create 70 in
+  check_int "length" 70 (Bitvec.length v);
+  check "fresh is zero" true (Bitvec.is_zero v);
+  Bitvec.set v 0 true;
+  Bitvec.set v 63 true;
+  Bitvec.set v 69 true;
+  check "get 0" true (Bitvec.get v 0);
+  check "get 63" true (Bitvec.get v 63);
+  check "get 69" true (Bitvec.get v 69);
+  check "get 1" false (Bitvec.get v 1);
+  check_int "weight" 3 (Bitvec.weight v);
+  check "parity odd" true (Bitvec.parity v);
+  Bitvec.flip v 69;
+  check "flipped off" false (Bitvec.get v 69);
+  check_int "weight after flip" 2 (Bitvec.weight v)
+
+let test_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 8" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v 8))
+
+let test_string_roundtrip () =
+  let s = "1010011100101" in
+  let v = Bitvec.of_string s in
+  Alcotest.(check string) "roundtrip" s (Bitvec.to_string v);
+  check_int "weight" 7 (Bitvec.weight v)
+
+let test_int_roundtrip () =
+  for x = 0 to 127 do
+    let v = Bitvec.of_int ~width:7 x in
+    check_int "int roundtrip" x (Bitvec.to_int v)
+  done
+
+let test_xor_dot () =
+  let a = Bitvec.of_string "110100" and b = Bitvec.of_string "011100" in
+  Alcotest.(check string) "xor" "101000" (Bitvec.to_string (Bitvec.xor a b));
+  check "dot" false (Bitvec.dot a b);
+  (* |a∧b| = 2 -> even *)
+  let c = Bitvec.of_string "100000" in
+  check "dot odd" true (Bitvec.dot a c)
+
+let test_append_sub () =
+  let a = Bitvec.of_string "101" and b = Bitvec.of_string "0110" in
+  let ab = Bitvec.append a b in
+  Alcotest.(check string) "append" "1010110" (Bitvec.to_string ab);
+  Alcotest.(check string) "sub" "011"
+    (Bitvec.to_string (Bitvec.sub ab ~pos:3 ~len:3))
+
+let test_support () =
+  let v = Bitvec.of_string "0101001" in
+  Alcotest.(check (list int)) "support" [ 1; 3; 6 ] (Bitvec.support v)
+
+let test_blit_clear () =
+  let a = Bitvec.of_string "1111" and b = Bitvec.of_string "0101" in
+  Bitvec.blit ~src:b a;
+  check "blit" true (Bitvec.equal a b);
+  Bitvec.clear a;
+  check "clear" true (Bitvec.is_zero a)
+
+(* --- Mat ------------------------------------------------------------- *)
+
+let test_identity_mul () =
+  let i5 = Mat.identity 5 in
+  let m = Mat.of_int_lists [ [ 1; 0; 1; 1; 0 ]; [ 0; 1; 1; 0; 1 ] ] in
+  check "I*m... m*I = m" true (Mat.equal (Mat.mul m i5) m)
+
+let test_rank_kernel () =
+  let m =
+    Mat.of_int_lists [ [ 1; 0; 1; 0 ]; [ 0; 1; 1; 0 ]; [ 1; 1; 0; 0 ] ]
+  in
+  (* row3 = row1 + row2 *)
+  check_int "rank" 2 (Mat.rank m);
+  let kernel = Mat.kernel m in
+  check_int "kernel dim" 2 (List.length kernel);
+  List.iter
+    (fun k -> check "m*k = 0" true (Bitvec.is_zero (Mat.mul_vec m k)))
+    kernel
+
+let test_solve () =
+  let m = Mat.of_int_lists [ [ 1; 1; 0 ]; [ 0; 1; 1 ] ] in
+  let b = Bitvec.of_string "10" in
+  (match Mat.solve m b with
+  | None -> Alcotest.fail "solvable system reported unsolvable"
+  | Some x ->
+    check "solution valid" true (Bitvec.equal (Mat.mul_vec m x) b));
+  (* inconsistent system: x+y = 0 and x+y = 1 *)
+  let m2 = Mat.of_int_lists [ [ 1; 1 ]; [ 1; 1 ] ] in
+  check "inconsistent" true (Mat.solve m2 (Bitvec.of_string "01") = None)
+
+let test_inverse () =
+  let m = Mat.of_int_lists [ [ 1; 1; 0 ]; [ 0; 1; 1 ]; [ 0; 0; 1 ] ] in
+  (match Mat.inverse m with
+  | None -> Alcotest.fail "invertible matrix reported singular"
+  | Some inv ->
+    check "m*inv = I" true (Mat.equal (Mat.mul m inv) (Mat.identity 3)));
+  let singular = Mat.of_int_lists [ [ 1; 1 ]; [ 1; 1 ] ] in
+  check "singular" true (Mat.inverse singular = None)
+
+let test_transpose_row_space () =
+  let m = Mat.of_int_lists [ [ 1; 0; 1 ]; [ 0; 1; 1 ] ] in
+  let t = Mat.transpose m in
+  check_int "t rows" 3 (Mat.rows t);
+  check "t entries" true (Mat.get t 2 0 && Mat.get t 2 1);
+  check "row space membership" true
+    (Mat.in_row_space m (Bitvec.of_string "110"));
+  check "row space non-membership" false
+    (Mat.in_row_space m (Bitvec.of_string "100"))
+
+(* --- properties ------------------------------------------------------ *)
+
+let bitvec_gen n =
+  QCheck.Gen.(map (fun bits -> Bitvec.of_bool_list bits) (list_repeat n bool))
+
+let arb_bitvec n =
+  QCheck.make ~print:Bitvec.to_string (bitvec_gen n)
+
+let prop_xor_involution =
+  QCheck.Test.make ~name:"xor is an involution" ~count:200
+    (QCheck.pair (arb_bitvec 37) (arb_bitvec 37))
+    (fun (a, b) -> Bitvec.equal (Bitvec.xor (Bitvec.xor a b) b) a)
+
+let prop_weight_xor =
+  QCheck.Test.make ~name:"weight(a xor b) = |a|+|b|-2|a and b|" ~count:200
+    (QCheck.pair (arb_bitvec 41) (arb_bitvec 41))
+    (fun (a, b) ->
+      Bitvec.weight (Bitvec.xor a b)
+      = Bitvec.weight a + Bitvec.weight b - (2 * Bitvec.weight (Bitvec.and_ a b)))
+
+let prop_dot_bilinear =
+  QCheck.Test.make ~name:"dot is bilinear" ~count:200
+    (QCheck.triple (arb_bitvec 23) (arb_bitvec 23) (arb_bitvec 23))
+    (fun (a, b, c) ->
+      Bool.equal
+        (Bitvec.dot (Bitvec.xor a b) c)
+        (Bitvec.dot a c <> Bitvec.dot b c))
+
+let mat_gen rows cols =
+  QCheck.Gen.(
+    map
+      (fun rs -> Mat.of_rows rs)
+      (list_repeat rows (bitvec_gen cols)))
+
+let arb_mat rows cols =
+  QCheck.make ~print:(Format.asprintf "%a" Mat.pp) (mat_gen rows cols)
+
+let prop_rank_transpose =
+  QCheck.Test.make ~name:"rank m = rank mT" ~count:100 (arb_mat 5 9)
+    (fun m -> Mat.rank m = Mat.rank (Mat.transpose m))
+
+let prop_kernel_dim =
+  QCheck.Test.make ~name:"rank + kernel dim = cols" ~count:100 (arb_mat 6 8)
+    (fun m -> Mat.rank m + List.length (Mat.kernel m) = Mat.cols m)
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"matrix multiplication associative" ~count:50
+    (QCheck.triple (arb_mat 4 5) (arb_mat 5 6) (arb_mat 6 3))
+    (fun (a, b, c) ->
+      Mat.equal (Mat.mul (Mat.mul a b) c) (Mat.mul a (Mat.mul b c)))
+
+let prop_solve_consistent =
+  QCheck.Test.make ~name:"solve returns a valid solution" ~count:100
+    (QCheck.pair (arb_mat 5 7) (arb_bitvec 7))
+    (fun (m, x) ->
+      let b = Mat.mul_vec m x in
+      match Mat.solve m b with
+      | None -> false
+      | Some x' -> Bitvec.equal (Mat.mul_vec m x') b)
+
+let suites =
+  [ ( "gf2.bitvec",
+      [ Alcotest.test_case "basic ops" `Quick test_basic_ops;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+        Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+        Alcotest.test_case "xor/dot" `Quick test_xor_dot;
+        Alcotest.test_case "append/sub" `Quick test_append_sub;
+        Alcotest.test_case "support" `Quick test_support;
+        Alcotest.test_case "blit/clear" `Quick test_blit_clear;
+        QCheck_alcotest.to_alcotest prop_xor_involution;
+        QCheck_alcotest.to_alcotest prop_weight_xor;
+        QCheck_alcotest.to_alcotest prop_dot_bilinear ] );
+    ( "gf2.mat",
+      [ Alcotest.test_case "identity mul" `Quick test_identity_mul;
+        Alcotest.test_case "rank/kernel" `Quick test_rank_kernel;
+        Alcotest.test_case "solve" `Quick test_solve;
+        Alcotest.test_case "inverse" `Quick test_inverse;
+        Alcotest.test_case "transpose/row space" `Quick test_transpose_row_space;
+        QCheck_alcotest.to_alcotest prop_rank_transpose;
+        QCheck_alcotest.to_alcotest prop_kernel_dim;
+        QCheck_alcotest.to_alcotest prop_mul_assoc;
+        QCheck_alcotest.to_alcotest prop_solve_consistent ] ) ]

@@ -1,0 +1,126 @@
+open Ftqc
+module Bitvec = Gf2.Bitvec
+module Code = Codes.Stabilizer_code
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rng () = Random.State.make [| 97 |]
+
+let test_weight_distribution () =
+  (* the classic Golay weight enumerator *)
+  let dist = Codes.Golay.weight_distribution () in
+  List.iter
+    (fun (w, expect) ->
+      check_int (Printf.sprintf "A%d" w) expect dist.(w))
+    [ (0, 1); (7, 253); (8, 506); (11, 1288); (12, 1288); (15, 506);
+      (16, 253); (23, 1); (1, 0); (2, 0); (3, 0); (4, 0); (5, 0); (6, 0) ];
+  check_int "4096 codewords" 4096 (Array.fold_left ( + ) 0 dist)
+
+let test_perfect_decoding () =
+  (* every pattern of <= 3 bit flips on any codeword decodes back *)
+  let r = rng () in
+  for _ = 1 to 200 do
+    let data = Bitvec.of_int ~width:12 (Random.State.int r 4096) in
+    let c = Gf2.Mat.vec_mul data Codes.Golay.generator in
+    let corrupted = Bitvec.copy c in
+    let flips = 1 + Random.State.int r 3 in
+    let positions = ref [] in
+    while List.length !positions < flips do
+      let p = Random.State.int r 23 in
+      if not (List.mem p !positions) then positions := p :: !positions
+    done;
+    List.iter (Bitvec.flip corrupted) !positions;
+    check "3-error decode" true (Bitvec.equal (Codes.Golay.decode corrupted) c)
+  done
+
+let test_four_errors_fail () =
+  (* 4 flips must (sometimes) miscorrect — the code is perfect, so the
+     result is always *a* codeword, just sometimes the wrong one *)
+  let c = Gf2.Mat.vec_mul (Bitvec.of_int ~width:12 5) Codes.Golay.generator in
+  let corrupted = Bitvec.copy c in
+  List.iter (Bitvec.flip corrupted) [ 0; 1; 2; 3 ];
+  let decoded = Codes.Golay.decode corrupted in
+  check "still a codeword" true (Codes.Golay.is_codeword decoded);
+  check "but the wrong one" false (Bitvec.equal decoded c)
+
+let test_quantum_golay_params () =
+  let code = Codes.Golay.code in
+  check_int "n" 23 code.n;
+  check_int "k" 1 code.k;
+  check_int "generators" 22 (Array.length code.generators);
+  check_int "distance 7 (weight-enumerator argument)" 7
+    (Codes.Golay.quantum_distance ());
+  (* corroborate with a direct check in the feasible range: every
+     weight-1 Pauli is detectable *)
+  let found = ref false in
+  for q = 0 to 22 do
+    List.iter
+      (fun l ->
+        if Codes.Stabilizer_code.classify code (Pauli.single 23 q l) <> `Detectable
+        then found := true)
+      [ Pauli.X; Pauli.Y; Pauli.Z ]
+  done;
+  check "no weight-1 logical" false !found
+
+let test_quantum_corrects_weight3 () =
+  let r = rng () in
+  let code = Codes.Golay.code in
+  let d = Codes.Golay.css_decoder () in
+  for _ = 1 to 100 do
+    let e = ref (Pauli.identity 23) in
+    (* up to 3 arbitrary single-qubit errors on distinct qubits *)
+    let count = 1 + Random.State.int r 3 in
+    let used = ref [] in
+    while List.length !used < count do
+      let q = Random.State.int r 23 in
+      if not (List.mem q !used) then begin
+        used := q :: !used;
+        let l = [| Pauli.X; Pauli.Y; Pauli.Z |].(Random.State.int r 3) in
+        e := Pauli.mul !e (Pauli.single 23 q l)
+      end
+    done;
+    check "weight<=3 corrected" true (Code.correct d code !e = `Ok)
+  done
+
+let test_quantum_logical_states () =
+  let r = rng () in
+  let tab = Code.prepare_logical_zero Codes.Golay.code in
+  check "Zbar = +1" true
+    (Tableau.expectation tab Codes.Golay.code.logical_z.(0) = Some true);
+  (* round trip through ideal recovery with a weight-3 error *)
+  Tableau.apply_pauli tab
+    (Pauli.mul
+       (Pauli.single 23 2 Pauli.X)
+       (Pauli.mul (Pauli.single 23 9 Pauli.Y) (Pauli.single 23 17 Pauli.Z)));
+  ignore (Code.ideal_recover Codes.Golay.code tab r);
+  check "weight-3 recovery on tableau" false
+    (Code.logical_measure_z Codes.Golay.code tab r 0)
+
+let test_memory_scaling () =
+  (* quartic vs quadratic: at eps = 0.01 Golay must beat Steane by a
+     wide margin *)
+  let r = rng () in
+  let s =
+    Codes.Pauli_frame.code_memory_failure Codes.Steane.code
+      (Codes.Steane.css_decoder ()) ~eps:0.02 ~rounds:1 ~trials:30000 r
+  in
+  let g =
+    Codes.Pauli_frame.code_memory_failure Codes.Golay.code
+      (Codes.Golay.css_decoder ()) ~eps:0.02 ~rounds:1 ~trials:30000 r
+  in
+  check "golay at least 4x better at eps=0.02" true
+    (g.failures * 4 < s.failures)
+
+let suites =
+  [ ( "codes.golay",
+      [ Alcotest.test_case "weight distribution" `Quick
+          test_weight_distribution;
+        Alcotest.test_case "perfect decoding" `Quick test_perfect_decoding;
+        Alcotest.test_case "four errors miscorrect" `Quick
+          test_four_errors_fail;
+        Alcotest.test_case "quantum parameters" `Quick
+          test_quantum_golay_params;
+        Alcotest.test_case "corrects weight <= 3" `Quick
+          test_quantum_corrects_weight3;
+        Alcotest.test_case "logical states" `Quick test_quantum_logical_states;
+        Alcotest.test_case "memory scaling" `Slow test_memory_scaling ] ) ]

@@ -1,0 +1,153 @@
+open Ftqc
+module Perm = Group.Perm
+module Fg = Group.Finite_group
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_cycles () =
+  let p = Perm.of_cycles 5 [ [ 1; 2; 5 ] ] in
+  check_int "apply 0 -> 1" 1 (Perm.apply p 0);
+  check_int "apply 1 -> 4" 4 (Perm.apply p 1);
+  check_int "apply 4 -> 0" 0 (Perm.apply p 4);
+  check_int "apply 2 fixed" 2 (Perm.apply p 2);
+  Alcotest.(check string) "to_string" "(1 2 5)" (Perm.to_string p);
+  check "roundtrip" true
+    (Perm.equal p (Perm.of_cycles 5 (Perm.to_cycles p)))
+
+let test_compose_inverse () =
+  let a = Perm.of_cycles 4 [ [ 1; 2 ] ] and b = Perm.of_cycles 4 [ [ 2; 3 ] ] in
+  (* left-to-right composition: apply a, then b *)
+  let ab = Perm.compose a b in
+  check_int "(1 2)(2 3): 1 -> 2 -> 3" 2 (Perm.apply ab 0);
+  check "inverse" true
+    (Perm.is_identity (Perm.compose a (Perm.inverse a)))
+
+let test_order_sign () =
+  check_int "3-cycle order" 3 (Perm.order (Perm.of_cycles 5 [ [ 1; 2; 3 ] ]));
+  check_int "transposition order" 2 (Perm.order (Perm.of_cycles 5 [ [ 1; 2 ] ]));
+  check_int "5-cycle order" 5
+    (Perm.order (Perm.of_cycles 5 [ [ 1; 2; 3; 4; 5 ] ]));
+  check_int "3-cycle even" 1 (Perm.sign (Perm.of_cycles 5 [ [ 1; 2; 3 ] ]));
+  check_int "transposition odd" (-1) (Perm.sign (Perm.of_cycles 5 [ [ 1; 2 ] ]));
+  check_int "(12)(34) even" 1
+    (Perm.sign (Perm.of_cycles 5 [ [ 1; 2 ]; [ 3; 4 ] ]))
+
+let test_conj () =
+  (* Eq. 40/45: (14)(35) conjugates (125) to (234) *)
+  let u0 = Perm.of_cycles 5 [ [ 1; 2; 5 ] ] in
+  let v = Perm.of_cycles 5 [ [ 1; 4 ]; [ 3; 5 ] ] in
+  let u1 = Perm.of_cycles 5 [ [ 2; 3; 4 ] ] in
+  check "conjugation matches the paper" true (Perm.equal (Perm.conj u0 v) u1)
+
+let test_group_orders () =
+  check_int "S3" 6 (Fg.order (Fg.symmetric 3));
+  check_int "S4" 24 (Fg.order (Fg.symmetric 4));
+  check_int "S5" 120 (Fg.order (Fg.symmetric 5));
+  check_int "A4" 12 (Fg.order (Fg.alternating 4));
+  check_int "A5" 60 (Fg.order (Fg.alternating 5));
+  check_int "Z7" 7 (Fg.order (Fg.cyclic 7));
+  check_int "D4" 8 (Fg.order (Fg.dihedral 4));
+  check_int "D6" 12 (Fg.order (Fg.dihedral 6))
+
+let test_a5_classes () =
+  let a5 = Fg.alternating 5 in
+  let sizes =
+    List.map List.length (Fg.conjugacy_classes a5) |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "A5 class sizes" [ 1; 12; 12; 15; 20 ] sizes
+
+let test_solvability () =
+  check "A5 not solvable" false (Fg.is_solvable (Fg.alternating 5));
+  check "S5 not solvable" false (Fg.is_solvable (Fg.symmetric 5));
+  check "S4 solvable" true (Fg.is_solvable (Fg.symmetric 4));
+  check "A4 solvable" true (Fg.is_solvable (Fg.alternating 4));
+  check "D5 solvable" true (Fg.is_solvable (Fg.dihedral 5));
+  check "Z12 solvable" true (Fg.is_solvable (Fg.cyclic 12))
+
+let test_derived () =
+  let s4 = Fg.symmetric 4 in
+  check_int "[S4,S4] = A4" 12 (Fg.order (Fg.derived_subgroup s4));
+  let a5 = Fg.alternating 5 in
+  check_int "[A5,A5] = A5" 60 (Fg.order (Fg.derived_subgroup a5))
+
+let test_center_centralizer () =
+  let s4 = Fg.symmetric 4 in
+  check_int "Z(S4) trivial" 1 (Fg.order (Fg.center s4));
+  let d4 = Fg.dihedral 4 in
+  check_int "Z(D4) = Z2" 2 (Fg.order (Fg.center d4));
+  let a5 = Fg.alternating 5 in
+  let three_cycle = Perm.of_cycles 5 [ [ 1; 2; 3 ] ] in
+  check_int "centralizer of a 3-cycle in A5" 3
+    (Fg.order (Fg.centralizer a5 three_cycle))
+
+let test_abelian () =
+  check "Z6 abelian" true (Fg.is_abelian (Fg.cyclic 6));
+  check "S3 not abelian" false (Fg.is_abelian (Fg.symmetric 3))
+
+(* properties *)
+
+let arb_perm n =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          let rng = Random.State.make [| seed |] in
+          let a = Array.init n Fun.id in
+          for i = n - 1 downto 1 do
+            let j = Random.State.int rng (i + 1) in
+            let t = a.(i) in
+            a.(i) <- a.(j);
+            a.(j) <- t
+          done;
+          Perm.of_array a)
+        int)
+  in
+  QCheck.make ~print:Perm.to_string gen
+
+let prop_compose_assoc =
+  QCheck.Test.make ~name:"composition associative" ~count:200
+    (QCheck.triple (arb_perm 6) (arb_perm 6) (arb_perm 6))
+    (fun (a, b, c) ->
+      Perm.equal
+        (Perm.compose (Perm.compose a b) c)
+        (Perm.compose a (Perm.compose b c)))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"p · p⁻¹ = e" ~count:200 (arb_perm 7) (fun p ->
+      Perm.is_identity (Perm.compose p (Perm.inverse p)))
+
+let prop_conj_homomorphism =
+  QCheck.Test.make ~name:"conj by v is an automorphism" ~count:200
+    (QCheck.triple (arb_perm 6) (arb_perm 6) (arb_perm 6))
+    (fun (a, b, v) ->
+      Perm.equal
+        (Perm.conj (Perm.compose a b) v)
+        (Perm.compose (Perm.conj a v) (Perm.conj b v)))
+
+let prop_sign_multiplicative =
+  QCheck.Test.make ~name:"sign multiplicative" ~count:200
+    (QCheck.pair (arb_perm 6) (arb_perm 6))
+    (fun (a, b) -> Perm.sign (Perm.compose a b) = Perm.sign a * Perm.sign b)
+
+let prop_order_divides =
+  QCheck.Test.make ~name:"order divides |S6| (Lagrange)" ~count:100
+    (arb_perm 6) (fun p -> 720 mod Perm.order p = 0)
+
+let suites =
+  [ ( "group",
+      [ Alcotest.test_case "cycles" `Quick test_cycles;
+        Alcotest.test_case "compose/inverse" `Quick test_compose_inverse;
+        Alcotest.test_case "order/sign" `Quick test_order_sign;
+        Alcotest.test_case "paper conjugation" `Quick test_conj;
+        Alcotest.test_case "group orders" `Quick test_group_orders;
+        Alcotest.test_case "A5 conjugacy classes" `Quick test_a5_classes;
+        Alcotest.test_case "solvability" `Quick test_solvability;
+        Alcotest.test_case "derived subgroups" `Quick test_derived;
+        Alcotest.test_case "center/centralizer" `Quick test_center_centralizer;
+        Alcotest.test_case "abelian" `Quick test_abelian;
+        QCheck_alcotest.to_alcotest prop_compose_assoc;
+        QCheck_alcotest.to_alcotest prop_inverse;
+        QCheck_alcotest.to_alcotest prop_conj_homomorphism;
+        QCheck_alcotest.to_alcotest prop_sign_multiplicative;
+        QCheck_alcotest.to_alcotest prop_order_divides ] ) ]

@@ -1,0 +1,255 @@
+(* Cross-cutting circuit and gate identities, each verified on the
+   exact state-vector simulator (and, where Clifford, on the tableau):
+   the algebra the paper's constructions lean on. *)
+
+open Ftqc
+module Sv = Statevec
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 131 |]
+
+(* a pseudo-random 3-qubit state via a fixed gate sequence *)
+let scrambled () =
+  let sv = Sv.create 3 in
+  Sv.h sv 0;
+  Sv.s_gate sv 0;
+  Sv.cnot sv 0 1;
+  Sv.h sv 1;
+  Sv.cnot sv 1 2;
+  Sv.s_gate sv 2;
+  Sv.h sv 2;
+  Sv.cz sv 0 2;
+  sv
+
+let same a b = Float.abs (Sv.fidelity a b -. 1.0) < 1e-9
+
+let test_conjugation_identities () =
+  (* H X H = Z; H Z H = X; S X S† = Y on arbitrary states *)
+  List.iter
+    (fun (name, lhs, rhs) ->
+      let a = scrambled () and b = scrambled () in
+      lhs a;
+      rhs b;
+      check name true (same a b))
+    [ ( "HXH = Z",
+        (fun s ->
+          Sv.h s 1;
+          Sv.x s 1;
+          Sv.h s 1),
+        fun s -> Sv.z s 1 );
+      ( "HZH = X",
+        (fun s ->
+          Sv.h s 1;
+          Sv.z s 1;
+          Sv.h s 1),
+        fun s -> Sv.x s 1 );
+      ( "S X S† = Y (up to phase)",
+        (fun s ->
+          Sv.sdg s 1;
+          Sv.x s 1;
+          Sv.s_gate s 1),
+        fun s -> Sv.y s 1 );
+      ( "S S = Z",
+        (fun s ->
+          Sv.s_gate s 1;
+          Sv.s_gate s 1),
+        fun s -> Sv.z s 1 ) ]
+
+let test_swap_is_three_cnots () =
+  let a = scrambled () and b = scrambled () in
+  Sv.swap a 0 2;
+  Sv.cnot b 0 2;
+  Sv.cnot b 2 0;
+  Sv.cnot b 0 2;
+  check "SWAP = CNOT³" true (same a b)
+
+let test_cz_symmetric () =
+  let a = scrambled () and b = scrambled () in
+  Sv.cz a 0 2;
+  Sv.cz b 2 0;
+  check "CZ symmetric" true (same a b)
+
+let test_cz_from_cnot () =
+  let a = scrambled () and b = scrambled () in
+  Sv.cz a 0 1;
+  Sv.h b 1;
+  Sv.cnot b 0 1;
+  Sv.h b 1;
+  check "CZ = H·CNOT·H" true (same a b)
+
+let test_fig5_on_states () =
+  (* Fig. 5: H⊗H conjugation reverses the XOR *)
+  let a = scrambled () and b = scrambled () in
+  Sv.h a 0;
+  Sv.h a 1;
+  Sv.cnot a 0 1;
+  Sv.h a 0;
+  Sv.h a 1;
+  Sv.cnot b 1 0;
+  check "Fig. 5 identity on states" true (same a b)
+
+let test_toffoli_involution () =
+  let a = scrambled () and b = scrambled () in
+  Sv.toffoli a 0 1 2;
+  Sv.toffoli a 0 1 2;
+  check "Toffoli² = I" true (same a b)
+
+let test_toffoli_from_ccz () =
+  let a = scrambled () and b = scrambled () in
+  Sv.toffoli a 0 1 2;
+  Sv.h b 2;
+  (* CCZ via Toffoli conjugated by H — the inverse direction *)
+  Sv.h b 2;
+  Sv.toffoli b 0 1 2;
+  check "Toffoli = H·CCZ·H (trivial wrap)" true (same a b)
+
+let test_cnot_propagation () =
+  (* §3.1: X on the source propagates forward, Z on the target
+     propagates backward *)
+  let a = scrambled () and b = scrambled () in
+  (* X₀ then CNOT(0,1) = CNOT(0,1) then X₀X₁ *)
+  Sv.x a 0;
+  Sv.cnot a 0 1;
+  Sv.cnot b 0 1;
+  Sv.x b 0;
+  Sv.x b 1;
+  check "X propagates forward through XOR" true (same a b);
+  let a = scrambled () and b = scrambled () in
+  (* Z₁ then CNOT(0,1) = CNOT(0,1) then Z₀Z₁ *)
+  Sv.z a 1;
+  Sv.cnot a 0 1;
+  Sv.cnot b 0 1;
+  Sv.z b 0;
+  Sv.z b 1;
+  check "Z propagates backward through XOR" true (same a b)
+
+let test_tableau_conjugation () =
+  (* the same propagation rules at the stabilizer level: conjugate a
+     Pauli by a circuit and compare with the tableau's evolution *)
+  let r = rng () in
+  for _ = 1 to 30 do
+    let tab = Tableau.create 4 in
+    (* prepare a random stabilizer state *)
+    for _ = 1 to 15 do
+      match Random.State.int r 5 with
+      | 0 -> Tableau.h tab (Random.State.int r 4)
+      | 1 -> Tableau.s_gate tab (Random.State.int r 4)
+      | 2 ->
+        let a = Random.State.int r 4 in
+        let b = (a + 1 + Random.State.int r 3) mod 4 in
+        Tableau.cnot tab a b
+      | 3 -> Tableau.x tab (Random.State.int r 4)
+      | _ -> Tableau.z tab (Random.State.int r 4)
+    done;
+    (* applying a stabilizer of the state must leave it unchanged *)
+    let before = Tableau.copy tab in
+    let stabs = Tableau.stabilizers tab in
+    let s = List.nth stabs (Random.State.int r 4) in
+    Tableau.apply_pauli tab s;
+    check "applying a stabilizer is a no-op" true
+      (Tableau.equal_states before tab)
+  done
+
+let test_random_circuit_inverse () =
+  let r = rng () in
+  for _ = 1 to 20 do
+    let c = ref (Circuit.create ~num_qubits:4 ()) in
+    for _ = 1 to 25 do
+      let g : Circuit.gate =
+        match Random.State.int r 6 with
+        | 0 -> H (Random.State.int r 4)
+        | 1 -> S (Random.State.int r 4)
+        | 2 -> Sdg (Random.State.int r 4)
+        | 3 ->
+          let a = Random.State.int r 4 in
+          Cnot (a, (a + 1 + Random.State.int r 3) mod 4)
+        | 4 ->
+          let a = Random.State.int r 4 in
+          Cz (a, (a + 1 + Random.State.int r 3) mod 4)
+        | _ ->
+          let a = Random.State.int r 4 in
+          let b = (a + 1 + Random.State.int r 3) mod 4 in
+          let t = List.find (fun q -> q <> a && q <> b) [ 0; 1; 2; 3 ] in
+          Toffoli (a, b, t)
+      in
+      c := Circuit.add_gate !c g
+    done;
+    let sv = Sv.create 4 in
+    ignore (Sv.run sv !c);
+    ignore (Sv.run sv (Circuit.inverse !c));
+    check "U U⁻¹ = I" true
+      (Qmath.Cx.approx (Sv.amplitude sv 0) Qmath.Cx.one)
+  done
+
+let test_depth_regressions () =
+  (* reference depths the E20 analysis quotes *)
+  let extraction = Ft.Steane_ec.syndrome_extraction_circuit () in
+  Alcotest.(check int) "extraction depth" 18 (Circuit.depth extraction);
+  Alcotest.(check int) "extraction length" 77 (Circuit.length extraction);
+  (* a transversal layer has depth 1 *)
+  let c = ref (Circuit.create ~num_qubits:7 ()) in
+  for q = 0 to 6 do
+    c := Circuit.add_gate !c (Circuit.H q)
+  done;
+  Alcotest.(check int) "transversal layer depth" 1 (Circuit.depth !c);
+  (* a CNOT chain has depth = length *)
+  let c = ref (Circuit.create ~num_qubits:8 ()) in
+  for q = 0 to 6 do
+    c := Circuit.add_gate !c (Circuit.Cnot (q, q + 1))
+  done;
+  Alcotest.(check int) "chain depth" 7 (Circuit.depth !c);
+  (* the Steane encoder: 14 gates, parallelizable to depth < 14 *)
+  let enc = Codes.Steane.encoding_circuit () in
+  check "encoder parallelizes" true
+    (Circuit.depth enc < Circuit.length enc)
+
+let test_encoder_unitarity () =
+  (* the Fig. 3 encoder is unitary: running it then its inverse on a
+     random input restores the input *)
+  let enc = Codes.Steane.encoding_circuit () in
+  let sv = Sv.create 7 in
+  Sv.h sv Codes.Steane.input_qubit;
+  Sv.s_gate sv Codes.Steane.input_qubit;
+  let before = Sv.copy sv in
+  ignore (Sv.run sv enc);
+  ignore (Sv.run sv (Circuit.inverse enc));
+  check "encoder · encoder⁻¹ = I" true (same before sv)
+
+let test_logical_s_gives_y_eigenstate () =
+  (* S̄|+̄⟩ is the +1 eigenstate of Ȳ = i X̄ Z̄ *)
+  let r = rng () in
+  let sim = Ft.Sim.create ~n:7 ~noise:Ft.Noise.none r in
+  let tab = Ft.Sim.tableau sim in
+  Array.iter
+    (fun g -> ignore (Tableau.postselect_pauli tab g ~outcome:false))
+    Codes.Steane.code.generators;
+  ignore
+    (Tableau.postselect_pauli tab Codes.Steane.code.logical_x.(0)
+       ~outcome:false);
+  Ft.Transversal.logical_s sim ~block:0;
+  let y_bar =
+    Pauli.mul_phase
+      (Pauli.mul Codes.Steane.code.logical_x.(0)
+         Codes.Steane.code.logical_z.(0))
+      1
+  in
+  check "S̄|+̄⟩ stabilized by Ȳ" true (Tableau.expectation tab y_bar = Some true)
+
+let suites =
+  [ ( "identities",
+      [ Alcotest.test_case "conjugation" `Quick test_conjugation_identities;
+        Alcotest.test_case "swap = cnot³" `Quick test_swap_is_three_cnots;
+        Alcotest.test_case "cz symmetric" `Quick test_cz_symmetric;
+        Alcotest.test_case "cz from cnot" `Quick test_cz_from_cnot;
+        Alcotest.test_case "fig. 5 on states" `Quick test_fig5_on_states;
+        Alcotest.test_case "toffoli involution" `Quick test_toffoli_involution;
+        Alcotest.test_case "toffoli/ccz wrap" `Quick test_toffoli_from_ccz;
+        Alcotest.test_case "error propagation (§3.1)" `Quick
+          test_cnot_propagation;
+        Alcotest.test_case "stabilizer no-op" `Quick test_tableau_conjugation;
+        Alcotest.test_case "random circuit inverse" `Quick
+          test_random_circuit_inverse;
+        Alcotest.test_case "depth regressions" `Quick test_depth_regressions;
+        Alcotest.test_case "encoder unitarity" `Quick test_encoder_unitarity;
+        Alcotest.test_case "S̄ makes Ȳ eigenstate" `Quick
+          test_logical_s_gives_y_eigenstate ] ) ]

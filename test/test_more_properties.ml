@@ -1,0 +1,211 @@
+(* A second sweep of cross-module properties: the mathematical laws
+   the substrates must obey, checked on randomized inputs. *)
+
+open Ftqc
+module Bitvec = Gf2.Bitvec
+module Mat = Gf2.Mat
+module Fg = Group.Finite_group
+
+let check = Alcotest.(check bool)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.int
+
+(* --- group theory -------------------------------------------------------- *)
+
+let prop_orbit_stabilizer =
+  QCheck.Test.make ~name:"orbit-stabilizer: |class| * |centralizer| = |G|"
+    ~count:30 arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let g =
+        match Random.State.int r 3 with
+        | 0 -> Fg.alternating 5
+        | 1 -> Fg.symmetric 4
+        | _ -> Fg.dihedral 6
+      in
+      let elems = Array.of_list (Fg.elements g) in
+      let u = elems.(Random.State.int r (Array.length elems)) in
+      List.length (Fg.conjugacy_class g u) * Fg.order (Fg.centralizer g u)
+      = Fg.order g)
+
+let prop_class_equation =
+  QCheck.Test.make ~name:"class equation: sizes sum to |G|" ~count:10 arb_seed
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let g = if Random.State.bool r then Fg.symmetric 4 else Fg.alternating 5 in
+      List.fold_left (fun a c -> a + List.length c) 0 (Fg.conjugacy_classes g)
+      = Fg.order g)
+
+let prop_derived_is_normal_subgroup =
+  QCheck.Test.make ~name:"derived subgroup closed under conjugation" ~count:15
+    arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let g = Fg.symmetric 4 in
+      let d = Fg.derived_subgroup g in
+      let elems = Array.of_list (Fg.elements g) in
+      let v = elems.(Random.State.int r (Array.length elems)) in
+      List.for_all
+        (fun u -> Fg.mem d (Group.Perm.conj u v))
+        (Fg.elements d))
+
+(* --- GF(2) matrices ------------------------------------------------------- *)
+
+let bitvec_gen n =
+  QCheck.Gen.(map Bitvec.of_bool_list (list_repeat n bool))
+
+let mat_gen rows cols =
+  QCheck.Gen.(map Mat.of_rows (list_repeat rows (bitvec_gen cols)))
+
+let prop_double_inverse =
+  QCheck.Test.make ~name:"inverse of inverse" ~count:60
+    (QCheck.make (mat_gen 4 4))
+    (fun m ->
+      match Mat.inverse m with
+      | None -> true (* singular: nothing to check *)
+      | Some inv -> (
+        match Mat.inverse inv with
+        | None -> false
+        | Some back -> Mat.equal back m))
+
+let prop_kernel_orthogonal_rowspace =
+  QCheck.Test.make ~name:"kernel ⊥ row space" ~count:60
+    (QCheck.make (mat_gen 5 8))
+    (fun m ->
+      List.for_all
+        (fun kv ->
+          List.for_all (fun rv -> not (Bitvec.dot kv rv)) (Mat.row_space m))
+        (Mat.kernel m))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involution" ~count:60
+    (QCheck.make (mat_gen 4 7))
+    (fun m -> Mat.equal (Mat.transpose (Mat.transpose m)) m)
+
+let prop_mul_vec_linear =
+  QCheck.Test.make ~name:"m(u+v) = mu + mv" ~count:60
+    (QCheck.make QCheck.Gen.(triple (mat_gen 5 9) (bitvec_gen 9) (bitvec_gen 9)))
+    (fun (m, u, v) ->
+      Bitvec.equal
+        (Mat.mul_vec m (Bitvec.xor u v))
+        (Bitvec.xor (Mat.mul_vec m u) (Mat.mul_vec m v)))
+
+(* --- simulators ----------------------------------------------------------- *)
+
+let prop_measure_pauli_repeatable =
+  QCheck.Test.make ~name:"pauli measurement repeatable on tableau" ~count:60
+    arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let tab = Tableau.create 4 in
+      for _ = 1 to 12 do
+        match Random.State.int r 3 with
+        | 0 -> Tableau.h tab (Random.State.int r 4)
+        | 1 -> Tableau.s_gate tab (Random.State.int r 4)
+        | _ ->
+          let a = Random.State.int r 4 in
+          Tableau.cnot tab a ((a + 1) mod 4)
+      done;
+      let p = Pauli.random r 4 in
+      let p = if Pauli.phase p mod 2 = 0 then p else Pauli.mul_phase p 1 in
+      let o1 = Tableau.measure_pauli tab r p in
+      let o2 = Tableau.measure_pauli tab r p in
+      o1 = o2)
+
+let prop_statevec_measure_destroys_superposition =
+  QCheck.Test.make ~name:"statevec post-measurement eigenstate" ~count:40
+    arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let sv = Statevec.create 3 in
+      Statevec.h sv 0;
+      Statevec.cnot sv 0 1;
+      Statevec.h sv 2;
+      let q = Random.State.int r 3 in
+      let o = Statevec.measure sv r q in
+      let p = Statevec.prob_one sv q in
+      if o then p > 1.0 -. 1e-9 else p < 1e-9)
+
+let prop_depth_le_length =
+  QCheck.Test.make ~name:"depth <= instruction count" ~count:60 arb_seed
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let c = Codes.Conjugate.random_clifford_circuit r ~n:5 ~gates:30 in
+      Circuit.depth c <= Circuit.length c)
+
+(* --- codes ----------------------------------------------------------------- *)
+
+let prop_syndrome_linear =
+  QCheck.Test.make ~name:"syndrome(e1 e2) = syndrome e1 + syndrome e2"
+    ~count:80 arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let code = Codes.Steane.code in
+      let e1 = Pauli.random r 7 and e2 = Pauli.random r 7 in
+      Bitvec.equal
+        (Codes.Stabilizer_code.syndrome code (Pauli.mul e1 e2))
+        (Bitvec.xor
+           (Codes.Stabilizer_code.syndrome code e1)
+           (Codes.Stabilizer_code.syndrome code e2)))
+
+let prop_residual_class_invariant_mod_stabilizer =
+  QCheck.Test.make ~name:"pauli-frame class invariant mod stabilizer"
+    ~count:60 arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let code = Codes.Steane.code in
+      let e = Pauli.random r 7 in
+      let g =
+        code.Codes.Stabilizer_code.generators.(Random.State.int r 6)
+      in
+      Codes.Pauli_frame.steane_class e
+      = Codes.Pauli_frame.steane_class (Pauli.mul e g))
+
+let prop_toric_winding_stabilizer_invariant =
+  QCheck.Test.make ~name:"toric winding invariant under star operators"
+    ~count:40 arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let lat = Toric.Lattice.create 5 in
+      let n = Toric.Lattice.num_qubits lat in
+      let e = Bitvec.create n in
+      Bitvec.randomize ~p:0.1 r e;
+      (* add a random star operator: a contractible loop *)
+      let x = Random.State.int r 5 and y = Random.State.int r 5 in
+      let e2 = Bitvec.copy e in
+      List.iter (Bitvec.flip e2) (Toric.Lattice.vertex_edges lat ~x ~y);
+      Toric.Lattice.winding lat e = Toric.Lattice.winding lat e2
+      && Bitvec.equal (Toric.Lattice.syndrome lat e)
+           (Toric.Lattice.syndrome lat e2))
+
+let prop_concat_class_letter_lift =
+  QCheck.Test.make ~name:"level-2 class of a lifted inner logical"
+    ~count:40 arb_seed (fun seed ->
+      let r = Random.State.make [| seed |] in
+      (* a single inner-block logical operator decodes at level 2 to
+         identity (the outer code corrects one 'outer qubit' error) *)
+      let b = Random.State.int r 7 in
+      let which = Random.State.int r 2 in
+      let inner =
+        if which = 0 then Pauli.of_string "XXXXXXX"
+        else Pauli.of_string "ZZZZZZZ"
+      in
+      let e =
+        Codes.Stabilizer_code.embed Codes.Steane.code ~offset:(7 * b)
+          ~total:49 inner
+      in
+      Codes.Pauli_frame.concatenated_steane_class ~level:2 e
+      = Codes.Pauli_frame.L_i)
+
+let suites =
+  [ ( "properties.group",
+      [ QCheck_alcotest.to_alcotest prop_orbit_stabilizer;
+        QCheck_alcotest.to_alcotest prop_class_equation;
+        QCheck_alcotest.to_alcotest prop_derived_is_normal_subgroup ] );
+    ( "properties.gf2",
+      [ QCheck_alcotest.to_alcotest prop_double_inverse;
+        QCheck_alcotest.to_alcotest prop_kernel_orthogonal_rowspace;
+        QCheck_alcotest.to_alcotest prop_transpose_involution;
+        QCheck_alcotest.to_alcotest prop_mul_vec_linear ] );
+    ( "properties.simulators",
+      [ QCheck_alcotest.to_alcotest prop_measure_pauli_repeatable;
+        QCheck_alcotest.to_alcotest prop_statevec_measure_destroys_superposition;
+        QCheck_alcotest.to_alcotest prop_depth_le_length ] );
+    ( "properties.codes",
+      [ QCheck_alcotest.to_alcotest prop_syndrome_linear;
+        QCheck_alcotest.to_alcotest prop_residual_class_invariant_mod_stabilizer;
+        QCheck_alcotest.to_alcotest prop_toric_winding_stabilizer_invariant;
+        QCheck_alcotest.to_alcotest prop_concat_class_letter_lift ] ) ]

@@ -1,0 +1,127 @@
+open Ftqc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> check_str "roundtrip" s (Pauli.to_string (Pauli.of_string s)))
+    [ "IIIZZZZ"; "XIXIXIX"; "YYY"; "-XZ"; "iY"; "-iZZ"; "IIII" ]
+
+let test_single_letters () =
+  let p = Pauli.of_string "IXYZ" in
+  check "letter I" true (Pauli.letter p 0 = Pauli.I);
+  check "letter X" true (Pauli.letter p 1 = Pauli.X);
+  check "letter Y" true (Pauli.letter p 2 = Pauli.Y);
+  check "letter Z" true (Pauli.letter p 3 = Pauli.Z);
+  check_int "weight" 3 (Pauli.weight p);
+  check_int "phase" 0 (Pauli.phase p)
+
+let test_mul_phases () =
+  let x = Pauli.of_string "X" and y = Pauli.of_string "Y" and z = Pauli.of_string "Z" in
+  (* X·Y = iZ, Y·X = -iZ, Z·X = iY, X·Z = -iY, Y·Z = iX, Z·Y = -iX *)
+  check_str "XY = iZ" "iZ" (Pauli.to_string (Pauli.mul x y));
+  check_str "YX = -iZ" "-iZ" (Pauli.to_string (Pauli.mul y x));
+  check_str "ZX = iY" "iY" (Pauli.to_string (Pauli.mul z x));
+  check_str "XZ = -iY" "-iY" (Pauli.to_string (Pauli.mul x z));
+  check_str "YZ = iX" "iX" (Pauli.to_string (Pauli.mul y z));
+  check_str "ZY = -iX" "-iX" (Pauli.to_string (Pauli.mul z y));
+  check "X² = I" true (Pauli.equal (Pauli.mul x x) (Pauli.identity 1));
+  check "Y² = I" true (Pauli.equal (Pauli.mul y y) (Pauli.identity 1));
+  check "Z² = I" true (Pauli.equal (Pauli.mul z z) (Pauli.identity 1))
+
+let test_commutation () =
+  let p = Pauli.of_string and c = Pauli.commutes in
+  check "X,Z anticommute" false (c (p "X") (p "Z"));
+  check "X,X commute" true (c (p "X") (p "X"));
+  check "XX,ZZ commute" true (c (p "XX") (p "ZZ"));
+  check "XI,ZZ anticommute" false (c (p "XI") (p "ZZ"));
+  check "steane gens commute" true
+    (c (p "IIIZZZZ") (p "XIXIXIX"))
+
+let test_embed_via_single () =
+  let y2 = Pauli.single 5 2 Pauli.Y in
+  check_str "single" "IIYII" (Pauli.to_string y2);
+  check_int "phase of Y single" 0 (Pauli.phase y2)
+
+let test_neg_phase () =
+  let p = Pauli.of_string "XX" in
+  check_str "neg" "-XX" (Pauli.to_string (Pauli.neg p));
+  check "neg . neg = id" true (Pauli.equal (Pauli.neg (Pauli.neg p)) p);
+  check "equal_up_to_phase" true (Pauli.equal_up_to_phase p (Pauli.neg p));
+  check "not equal" false (Pauli.equal p (Pauli.neg p))
+
+let test_to_matrix () =
+  (* to_matrix is a homomorphism: M(a·b) = M(a)·M(b) on 2 qubits *)
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 20 do
+    let a = Pauli.random rng 2 and b = Pauli.random rng 2 in
+    let lhs = Pauli.to_matrix (Pauli.mul a b) in
+    let rhs = Qmath.Cmat.mul (Pauli.to_matrix a) (Pauli.to_matrix b) in
+    check "matrix homomorphism" true (Qmath.Cmat.equal lhs rhs)
+  done
+
+let test_set_letter () =
+  let p = Pauli.of_string "XYZ" in
+  let q = Pauli.set_letter p 1 Pauli.I in
+  check_str "set letter" "XIZ" (Pauli.to_string q);
+  check_str "original untouched" "XYZ" (Pauli.to_string p)
+
+(* properties *)
+
+let arb_pauli n =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (seed, phase) ->
+          let rng = Random.State.make [| seed |] in
+          Pauli.mul_phase (Pauli.random rng n) phase)
+        (pair int (int_bound 3)))
+  in
+  QCheck.make ~print:Pauli.to_string gen
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"pauli mul associative" ~count:300
+    (QCheck.triple (arb_pauli 5) (arb_pauli 5) (arb_pauli 5))
+    (fun (a, b, c) ->
+      Pauli.equal (Pauli.mul (Pauli.mul a b) c) (Pauli.mul a (Pauli.mul b c)))
+
+let prop_commute_or_anticommute =
+  QCheck.Test.make ~name:"ab = ±ba" ~count:300
+    (QCheck.pair (arb_pauli 5) (arb_pauli 5))
+    (fun (a, b) ->
+      let ab = Pauli.mul a b and ba = Pauli.mul b a in
+      if Pauli.commutes a b then Pauli.equal ab ba
+      else Pauli.equal ab (Pauli.neg ba))
+
+let prop_square_phase =
+  QCheck.Test.make ~name:"p² = ±I" ~count:300 (arb_pauli 6) (fun p ->
+      let sq = Pauli.mul p p in
+      Pauli.equal_up_to_phase sq (Pauli.identity 6)
+      && (Pauli.phase sq = 0 || Pauli.phase sq = 2))
+
+let prop_weight_subadditive =
+  QCheck.Test.make ~name:"weight(ab) <= weight a + weight b" ~count:300
+    (QCheck.pair (arb_pauli 7) (arb_pauli 7))
+    (fun (a, b) -> Pauli.weight (Pauli.mul a b) <= Pauli.weight a + Pauli.weight b)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:300 (arb_pauli 6) (fun p ->
+      Pauli.equal p (Pauli.of_string (Pauli.to_string p)))
+
+let suites =
+  [ ( "pauli",
+      [ Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+        Alcotest.test_case "letters" `Quick test_single_letters;
+        Alcotest.test_case "mul phases" `Quick test_mul_phases;
+        Alcotest.test_case "commutation" `Quick test_commutation;
+        Alcotest.test_case "single" `Quick test_embed_via_single;
+        Alcotest.test_case "neg/phase" `Quick test_neg_phase;
+        Alcotest.test_case "to_matrix homomorphism" `Quick test_to_matrix;
+        Alcotest.test_case "set_letter" `Quick test_set_letter;
+        QCheck_alcotest.to_alcotest prop_mul_assoc;
+        QCheck_alcotest.to_alcotest prop_commute_or_anticommute;
+        QCheck_alcotest.to_alcotest prop_square_phase;
+        QCheck_alcotest.to_alcotest prop_weight_subadditive;
+        QCheck_alcotest.to_alcotest prop_string_roundtrip ] ) ]

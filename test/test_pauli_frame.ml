@@ -1,0 +1,160 @@
+open Ftqc
+module Pf = Codes.Pauli_frame
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 71 |]
+
+let test_class_algebra () =
+  check "I neutral" true (Pf.compose Pf.L_i Pf.L_x = Pf.L_x);
+  check "X∘X = I" true (Pf.compose Pf.L_x Pf.L_x = Pf.L_i);
+  check "X∘Z = Y" true (Pf.compose Pf.L_x Pf.L_z = Pf.L_y);
+  check "Y∘Z = X" true (Pf.compose Pf.L_y Pf.L_z = Pf.L_x)
+
+let test_steane_class_basics () =
+  check "identity -> I" true (Pf.steane_class (Pauli.identity 7) = Pf.L_i);
+  (* single errors are corrected *)
+  for q = 0 to 6 do
+    List.iter
+      (fun l ->
+        check "weight-1 -> I" true
+          (Pf.steane_class (Pauli.single 7 q l) = Pf.L_i))
+      [ Pauli.X; Pauli.Y; Pauli.Z ]
+  done;
+  (* logical operators decode to their own class *)
+  check "Xbar -> X" true (Pf.steane_class (Pauli.of_string "XXXXXXX") = Pf.L_x);
+  check "Zbar -> Z" true (Pf.steane_class (Pauli.of_string "ZZZZZZZ") = Pf.L_z);
+  check "weight-3 Xbar -> X" true
+    (Pf.steane_class Codes.Steane.logical_x_weight3 = Pf.L_x);
+  (* double bit flip -> logical X (Eq. 12) *)
+  check "XX -> logical X" true
+    (Pf.steane_class (Pauli.of_string "XXIIIII") = Pf.L_x);
+  check "ZZ -> logical Z" true
+    (Pf.steane_class (Pauli.of_string "ZZIIIII") = Pf.L_z)
+
+let test_concatenated_consistency () =
+  (* level 1 = plain Steane *)
+  let r = rng () in
+  for _ = 1 to 50 do
+    let e = Pauli.random r 7 in
+    check "level-1 = steane" true
+      (Pf.concatenated_steane_class ~level:1 e = Pf.steane_class e)
+  done
+
+let test_concatenated_level2_single_block () =
+  (* a logical X on one inner block of the 49-qubit code looks like a
+     single X at the outer level: corrected *)
+  let inner_logical_x =
+    Codes.Stabilizer_code.embed Codes.Steane.code ~offset:0 ~total:49
+      (Pauli.of_string "XXXXXXX")
+  in
+  check "one inner logical -> corrected" true
+    (Pf.concatenated_steane_class ~level:2 inner_logical_x = Pf.L_i);
+  (* logical X on the whole level-2 code *)
+  let full = Pauli.of_letters (List.init 49 (fun _ -> Pauli.X)) in
+  check "all-X -> logical X" true
+    (Pf.concatenated_steane_class ~level:2 full = Pf.L_x)
+
+let test_concatenated_level2_two_blocks () =
+  (* logical X on two inner blocks = weight-2 outer error: decoded to a
+     definite (possibly wrong) class, but composed with a third it is
+     the Eq. 12 failure; check two inner logicals give a logical
+     failure exactly when the outer decode miscorrects *)
+  let lx b =
+    Codes.Stabilizer_code.embed Codes.Steane.code ~offset:(7 * b) ~total:49
+      (Pauli.of_string "XXXXXXX")
+  in
+  let e = Pauli.mul (lx 0) (lx 1) in
+  check "two inner logicals -> outer logical error" true
+    (Pf.concatenated_steane_class ~level:2 e = Pf.L_x)
+
+let test_depolarize_statistics () =
+  let r = rng () in
+  let total = ref 0 in
+  let n = 1000 and eps = 0.3 in
+  for _ = 1 to 30 do
+    total := !total + Pauli.weight (Pf.depolarize r ~eps ~n)
+  done;
+  let mean = float_of_int !total /. 30.0 /. float_of_int n in
+  check "depolarize rate" true (Float.abs (mean -. eps) < 0.03)
+
+let test_biased_statistics () =
+  let r = rng () in
+  let nz = ref 0 and nx = ref 0 in
+  let n = 2000 in
+  for _ = 1 to 30 do
+    let e = Pf.biased_depolarize r ~eps:0.3 ~eta:10.0 ~n in
+    for q = 0 to n - 1 do
+      match Pauli.letter e q with
+      | Pauli.Z -> incr nz
+      | Pauli.X -> incr nx
+      | _ -> ()
+    done
+  done;
+  let ratio = float_of_int !nz /. float_of_int (max 1 !nx) in
+  check "Z/X ratio ~ eta" true (ratio > 7.0 && ratio < 14.0)
+
+let test_memory_suppression () =
+  let r = rng () in
+  let p1 = (Pf.memory_failure ~level:1 ~eps:0.02 ~rounds:1 ~trials:20000 r).rate in
+  let p2 = (Pf.memory_failure ~level:2 ~eps:0.02 ~rounds:1 ~trials:20000 r).rate in
+  check "level 2 strongly suppressed" true (p2 < p1 /. 4.0);
+  (* above threshold the ordering reverses *)
+  let q1 = (Pf.memory_failure ~level:1 ~eps:0.13 ~rounds:1 ~trials:5000 r).rate in
+  let q2 = (Pf.memory_failure ~level:2 ~eps:0.13 ~rounds:1 ~trials:5000 r).rate in
+  check "above threshold level 2 worse" true (q2 > q1)
+
+let test_rounds_accumulate () =
+  let r = rng () in
+  let one = (Pf.memory_failure ~level:1 ~eps:0.02 ~rounds:1 ~trials:30000 r).rate in
+  let five = (Pf.memory_failure ~level:1 ~eps:0.02 ~rounds:5 ~trials:30000 r).rate in
+  check "5 rounds ~ 5x failure" true
+    (five > 3.0 *. one && five < 7.0 *. one)
+
+let test_code_memory_generic () =
+  let r = rng () in
+  let d = Codes.Stabilizer_code.lookup_decoder Codes.Five_qubit.code in
+  let e =
+    Pf.code_memory_failure Codes.Five_qubit.code d ~eps:0.01 ~rounds:1
+      ~trials:20000 r
+  in
+  (* distance 3: failure O(eps^2) *)
+  check "five-qubit pauli-frame memory" true (e.rate < 0.01)
+
+let prop_class_matches_tableau =
+  (* the pauli-frame classification agrees with a tableau experiment *)
+  QCheck.Test.make ~name:"pauli-frame class = tableau ground truth" ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let e = Codes.Pauli_frame.depolarize r ~eps:0.15 ~n:7 in
+      let cls = Pf.steane_class e in
+      (* tableau: prepare |0bar>, apply e, ideal recover, measure Zbar;
+         the Z outcome must flip iff the class has an X component *)
+      let tab = Codes.Stabilizer_code.prepare_logical_zero Codes.Steane.code in
+      Tableau.apply_pauli tab e;
+      ignore
+        (Codes.Stabilizer_code.ideal_recover Codes.Steane.code tab r);
+      let flipped =
+        Codes.Stabilizer_code.logical_measure_z Codes.Steane.code tab r 0
+      in
+      let has_x = cls = Pf.L_x || cls = Pf.L_y in
+      Bool.equal flipped has_x)
+
+let suites =
+  [ ( "codes.pauli_frame",
+      [ Alcotest.test_case "class algebra" `Quick test_class_algebra;
+        Alcotest.test_case "steane classes" `Quick test_steane_class_basics;
+        Alcotest.test_case "level-1 consistency" `Quick
+          test_concatenated_consistency;
+        Alcotest.test_case "level-2 single block" `Quick
+          test_concatenated_level2_single_block;
+        Alcotest.test_case "level-2 two blocks" `Quick
+          test_concatenated_level2_two_blocks;
+        Alcotest.test_case "depolarize statistics" `Quick
+          test_depolarize_statistics;
+        Alcotest.test_case "biased statistics" `Quick test_biased_statistics;
+        Alcotest.test_case "memory suppression" `Quick test_memory_suppression;
+        Alcotest.test_case "rounds accumulate" `Quick test_rounds_accumulate;
+        Alcotest.test_case "generic code memory" `Quick
+          test_code_memory_generic;
+        QCheck_alcotest.to_alcotest prop_class_matches_tableau ] ) ]

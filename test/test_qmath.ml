@@ -1,0 +1,90 @@
+open Ftqc
+module Cx = Qmath.Cx
+module Cmat = Qmath.Cmat
+module Gates = Qmath.Gates
+
+let check = Alcotest.(check bool)
+
+let test_cx_arith () =
+  let open Cx in
+  check "i*i = -1" true (approx (i * i) minus_one);
+  check "conj" true (approx (conj (make 1. 2.)) (make 1. (-2.)));
+  check "exp_i pi = -1" true (approx ~tol:1e-12 (exp_i Float.pi) minus_one);
+  check "norm2" true (Float.abs (norm2 (make 3. 4.) -. 25.) < 1e-12)
+
+let test_gates_unitary () =
+  List.iter
+    (fun (name, m) ->
+      check (name ^ " unitary") true (Cmat.is_unitary m))
+    [ ("X", Gates.x); ("Y", Gates.y); ("Z", Gates.z); ("H", Gates.h);
+      ("S", Gates.s); ("S†", Gates.sdg); ("R'", Gates.r'); ("CNOT", Gates.cnot);
+      ("CZ", Gates.cz); ("SWAP", Gates.swap); ("Toffoli", Gates.toffoli);
+      ("Rz(0.3)", Gates.rz 0.3) ]
+
+let test_pauli_algebra () =
+  check "H^2 = I" true (Cmat.equal (Cmat.mul Gates.h Gates.h) Gates.id2);
+  check "XZ = -iY (textbook)" true
+    (Cmat.equal (Cmat.mul Gates.x Gates.z)
+       (Cmat.smul (Cx.neg Cx.i) Gates.y));
+  check "paper Y = X·Z" true (Cmat.equal Gates.y_paper (Cmat.mul Gates.x Gates.z));
+  check "S^2 = Z" true (Cmat.equal (Cmat.mul Gates.s Gates.s) Gates.z);
+  check "HXH = Z" true
+    (Cmat.equal (Cmat.mul Gates.h (Cmat.mul Gates.x Gates.h)) Gates.z);
+  check "HZH = X" true
+    (Cmat.equal (Cmat.mul Gates.h (Cmat.mul Gates.z Gates.h)) Gates.x);
+  (* R' turns Y into Z: R'† Y R' = Z up to phase *)
+  let conj = Cmat.mul (Cmat.dagger Gates.r') (Cmat.mul Gates.y Gates.r') in
+  check "R'† Y R' ∝ Z" true (Cmat.proportional conj Gates.z)
+
+(* Fig. 5: (H⊗H) CNOT (H⊗H) = CNOT with source and target exchanged *)
+let test_fig5_identity () =
+  let hh = Cmat.kron Gates.h Gates.h in
+  let lhs = Cmat.mul hh (Cmat.mul Gates.cnot hh) in
+  (* reversed CNOT = SWAP · CNOT · SWAP *)
+  let reversed = Cmat.mul Gates.swap (Cmat.mul Gates.cnot Gates.swap) in
+  check "Fig. 5 identity" true (Cmat.equal lhs reversed)
+
+let test_toffoli_action () =
+  (* Toffoli flips the target iff both controls are set *)
+  for input = 0 to 7 do
+    let v = Array.make 8 Cx.zero in
+    v.(input) <- Cx.one;
+    let out = Cmat.apply Gates.toffoli v in
+    let expected = if input land 0b110 = 0b110 then input lxor 1 else input in
+    check
+      (Printf.sprintf "toffoli |%d⟩" input)
+      true
+      (Cx.approx out.(expected) Cx.one)
+  done
+
+let test_kron_dims () =
+  let k = Cmat.kron Gates.cnot Gates.h in
+  Alcotest.(check int) "kron rows" 8 (Cmat.rows k);
+  check "kron unitary" true (Cmat.is_unitary k);
+  (* kron is multiplicative: (A⊗B)(C⊗D) = AC ⊗ BD *)
+  let a = Gates.h and b = Gates.s and c = Gates.x and d = Gates.z in
+  check "kron multiplicative" true
+    (Cmat.equal
+       (Cmat.mul (Cmat.kron a b) (Cmat.kron c d))
+       (Cmat.kron (Cmat.mul a c) (Cmat.mul b d)))
+
+let test_proportional () =
+  check "proportional to self times i" true
+    (Cmat.proportional Gates.x (Cmat.smul Cx.i Gates.x));
+  check "not proportional" false (Cmat.proportional Gates.x Gates.z)
+
+let test_trace_dagger () =
+  check "trace Z = 0" true (Cx.approx (Cmat.trace Gates.z) Cx.zero);
+  check "trace I = 2" true (Cx.approx (Cmat.trace Gates.id2) (Cx.re 2.0));
+  check "dagger of S is S†" true (Cmat.equal (Cmat.dagger Gates.s) Gates.sdg)
+
+let suites =
+  [ ( "qmath",
+      [ Alcotest.test_case "complex arithmetic" `Quick test_cx_arith;
+        Alcotest.test_case "gates unitary" `Quick test_gates_unitary;
+        Alcotest.test_case "pauli algebra" `Quick test_pauli_algebra;
+        Alcotest.test_case "Fig. 5 identity" `Quick test_fig5_identity;
+        Alcotest.test_case "toffoli action" `Quick test_toffoli_action;
+        Alcotest.test_case "kron" `Quick test_kron_dims;
+        Alcotest.test_case "proportional" `Quick test_proportional;
+        Alcotest.test_case "trace/dagger" `Quick test_trace_dagger ] ) ]

@@ -1,0 +1,197 @@
+open Ftqc
+module Sv = Statevec
+module Cx = Qmath.Cx
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 17 |]
+
+let test_initial_state () =
+  let sv = Sv.create 3 in
+  check "amp 0 = 1" true (Cx.approx (Sv.amplitude sv 0) Cx.one);
+  check "norm 1" true (Float.abs (Sv.norm sv -. 1.0) < 1e-12)
+
+let test_bell_state () =
+  let sv = Sv.create 2 in
+  Sv.h sv 0;
+  Sv.cnot sv 0 1;
+  let s = Cx.re (1.0 /. sqrt 2.0) in
+  check "amp 00" true (Cx.approx (Sv.amplitude sv 0) s);
+  check "amp 11" true (Cx.approx (Sv.amplitude sv 3) s);
+  check "amp 01" true (Cx.approx (Sv.amplitude sv 1) Cx.zero);
+  (* measurement correlations *)
+  let r = rng () in
+  for _ = 1 to 20 do
+    let sv = Sv.create 2 in
+    Sv.h sv 0;
+    Sv.cnot sv 0 1;
+    let a = Sv.measure sv r 0 in
+    let b = Sv.measure sv r 1 in
+    check "bell correlated" true (a = b)
+  done
+
+let test_gates_vs_matrices () =
+  (* applying the dedicated gate = applying its matrix via apply_1q *)
+  let r = rng () in
+  List.iter
+    (fun (name, direct, matrix) ->
+      let a = Sv.create 3 in
+      (* randomize the state with a few gates *)
+      Sv.h a 0;
+      Sv.cnot a 0 1;
+      Sv.s_gate a 2;
+      Sv.h a 2;
+      let b = Sv.copy a in
+      direct a 1;
+      Sv.apply_1q b matrix 1;
+      check (name ^ " matches matrix") true
+        (Float.abs (Sv.fidelity a b -. 1.0) < 1e-9))
+    [ ("x", Sv.x, Qmath.Gates.x); ("y", Sv.y, Qmath.Gates.y);
+      ("z", Sv.z, Qmath.Gates.z); ("h", Sv.h, Qmath.Gates.h);
+      ("s", Sv.s_gate, Qmath.Gates.s); ("sdg", Sv.sdg, Qmath.Gates.sdg) ];
+  ignore r
+
+let test_toffoli_basis () =
+  for input = 0 to 7 do
+    let sv = Sv.basis ~n:3 ~index:input in
+    Sv.toffoli sv 0 1 2;
+    (* qubits 0,1 control (bits 0,1), target bit 2 *)
+    let expected = if input land 3 = 3 then input lxor 4 else input in
+    check "toffoli basis" true (Cx.approx (Sv.amplitude sv expected) Cx.one)
+  done
+
+let test_swap_cz () =
+  let sv = Sv.basis ~n:2 ~index:1 in
+  Sv.swap sv 0 1;
+  check "swap |01> -> |10>" true (Cx.approx (Sv.amplitude sv 2) Cx.one);
+  let sv = Sv.basis ~n:2 ~index:3 in
+  Sv.cz sv 0 1;
+  check "cz phases |11>" true (Cx.approx (Sv.amplitude sv 3) Cx.minus_one)
+
+let test_measurement_statistics () =
+  let r = rng () in
+  let ones = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    let sv = Sv.create 1 in
+    Sv.h sv 0;
+    if Sv.measure sv r 0 then incr ones
+  done;
+  let f = float_of_int !ones /. float_of_int n in
+  check "|+> measures 1 half the time" true (Float.abs (f -. 0.5) < 0.05)
+
+let test_postselect () =
+  let sv = Sv.create 2 in
+  Sv.h sv 0;
+  Sv.cnot sv 0 1;
+  let p = Sv.postselect sv 0 true in
+  check "postselect prob" true (Float.abs (p -. 0.5) < 1e-9);
+  check "collapsed to |11>" true (Cx.approx (Sv.amplitude sv 3) Cx.one)
+
+let test_expectation () =
+  let sv = Sv.create 2 in
+  Sv.h sv 0;
+  Sv.cnot sv 0 1;
+  check "<XX> = 1" true
+    (Float.abs (Sv.expectation sv (Pauli.of_string "XX") -. 1.0) < 1e-9);
+  check "<ZZ> = 1" true
+    (Float.abs (Sv.expectation sv (Pauli.of_string "ZZ") -. 1.0) < 1e-9);
+  check "<ZI> = 0" true
+    (Float.abs (Sv.expectation sv (Pauli.of_string "ZI")) < 1e-9);
+  check "<YY> = -1" true
+    (Float.abs (Sv.expectation sv (Pauli.of_string "YY") +. 1.0) < 1e-9)
+
+let test_apply_pauli_phase () =
+  let sv = Sv.create 1 in
+  Sv.apply_pauli sv (Pauli.of_string "-Z");
+  check "global phase -1 on |0>" true
+    (Cx.approx (Sv.amplitude sv 0) Cx.minus_one)
+
+let test_run_circuit_cond () =
+  (* teleport-like conditional: measure a qubit and conditionally
+     flip another *)
+  let open Circuit in
+  let c = create ~num_cbits:1 ~num_qubits:2 () in
+  let c = add_gate c (X 0) in
+  let c = add c (Measure { qubit = 0; cbit = 0 }) in
+  let c = add c (Cond { cbit = 0; gate = X 1 }) in
+  let sv = Sv.create 2 in
+  let cbits = Sv.run ~rng:(rng ()) sv c in
+  check "cbit recorded" true cbits.(0);
+  check "conditional applied" true (Cx.approx (Sv.amplitude sv 3) Cx.one)
+
+let test_norm_preserved_random_circuits () =
+  let r = rng () in
+  for _ = 1 to 20 do
+    let sv = Sv.create 4 in
+    for _ = 1 to 40 do
+      match Random.State.int r 5 with
+      | 0 -> Sv.h sv (Random.State.int r 4)
+      | 1 -> Sv.s_gate sv (Random.State.int r 4)
+      | 2 ->
+        let a = Random.State.int r 4 in
+        let b = (a + 1 + Random.State.int r 3) mod 4 in
+        Sv.cnot sv a b
+      | 3 ->
+        let a = Random.State.int r 4 in
+        let b = (a + 1 + Random.State.int r 3) mod 4 in
+        Sv.cz sv a b
+      | _ -> Sv.y sv (Random.State.int r 4)
+    done;
+    check "norm preserved" true (Float.abs (Sv.norm sv -. 1.0) < 1e-9)
+  done
+
+let test_partial_trace () =
+  (* product state: every subsystem pure *)
+  let sv = Sv.create 3 in
+  Sv.h sv 0;
+  Sv.s_gate sv 1;
+  check "product purity 1" true (Float.abs (Sv.purity sv ~keep:[ 0 ] -. 1.0) < 1e-9);
+  (* Bell pair: each side maximally mixed *)
+  let sv = Sv.create 2 in
+  Sv.h sv 0;
+  Sv.cnot sv 0 1;
+  check "bell half purity 1/2" true
+    (Float.abs (Sv.purity sv ~keep:[ 0 ] -. 0.5) < 1e-9);
+  let rho = Sv.reduced_density_matrix sv ~keep:[ 0 ] in
+  check "bell half = I/2" true
+    (Qmath.Cmat.equal rho
+       (Qmath.Cmat.smul (Qmath.Cx.re 0.5) (Qmath.Cmat.identity 2)));
+  (* GHZ: any two qubits are classically correlated, purity 1/2 *)
+  let sv = Sv.create 3 in
+  Sv.h sv 0;
+  Sv.cnot sv 0 1;
+  Sv.cnot sv 1 2;
+  check "ghz pair purity 1/2" true
+    (Float.abs (Sv.purity sv ~keep:[ 0; 1 ] -. 0.5) < 1e-9);
+  (* trace of any reduced state is 1 *)
+  check "trace one" true
+    (Qmath.Cx.approx
+       (Qmath.Cmat.trace (Sv.reduced_density_matrix sv ~keep:[ 1; 2 ]))
+       Qmath.Cx.one)
+
+let test_equal_up_to_phase () =
+  let a = Sv.create 2 in
+  Sv.h a 0;
+  let b = Sv.copy a in
+  Sv.apply_pauli b (Pauli.of_string "-II");
+  check "global phase ignored" true (Sv.equal_up_to_phase a b);
+  Sv.x b 1;
+  check "different states" false (Sv.equal_up_to_phase a b)
+
+let suites =
+  [ ( "statevec",
+      [ Alcotest.test_case "initial state" `Quick test_initial_state;
+        Alcotest.test_case "bell state" `Quick test_bell_state;
+        Alcotest.test_case "gates vs matrices" `Quick test_gates_vs_matrices;
+        Alcotest.test_case "toffoli" `Quick test_toffoli_basis;
+        Alcotest.test_case "swap/cz" `Quick test_swap_cz;
+        Alcotest.test_case "measurement stats" `Quick test_measurement_statistics;
+        Alcotest.test_case "postselect" `Quick test_postselect;
+        Alcotest.test_case "expectation" `Quick test_expectation;
+        Alcotest.test_case "pauli phase" `Quick test_apply_pauli_phase;
+        Alcotest.test_case "classical control" `Quick test_run_circuit_cond;
+        Alcotest.test_case "norm preservation" `Quick
+          test_norm_preserved_random_circuits;
+        Alcotest.test_case "partial trace" `Quick test_partial_trace;
+        Alcotest.test_case "equal up to phase" `Quick test_equal_up_to_phase ] )
+  ]

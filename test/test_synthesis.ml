@@ -1,0 +1,74 @@
+open Ftqc
+module Perm = Group.Perm
+module Syn = Anyon.Synthesis
+
+let check = Alcotest.(check bool)
+
+let test_apply_program () =
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  let fluxes = [| u0; v |] in
+  let out =
+    Syn.apply_program ~fluxes [ { Syn.outer = 1; inner = 0; dir = `Fwd } ]
+  in
+  check "pull-through move" true (Perm.equal out.(0) u1);
+  check "outer untouched" true (Perm.equal out.(1) v);
+  (* Fwd then Bwd is the identity *)
+  let back =
+    Syn.apply_program ~fluxes:out [ { Syn.outer = 1; inner = 0; dir = `Bwd } ]
+  in
+  check "bwd undoes fwd" true (Perm.equal back.(0) u0)
+
+let test_not_rediscovered () =
+  match Syn.not_via_pull_through () with
+  | Some [ { Syn.outer = 1; inner = 0; dir = _ } ] -> ()
+  | Some prog ->
+    Alcotest.failf "unexpected NOT program of length %d" (List.length prog)
+  | None -> Alcotest.fail "NOT not found"
+
+let test_identity_program () =
+  (* the identity target is realized by the empty program *)
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  match
+    Syn.search ~encodings:[ (u0, u1) ] ~ancillas:[ v ]
+      ~targets:(fun bits -> bits) ~max_depth:2
+  with
+  | Some [] -> ()
+  | Some prog ->
+    Alcotest.failf "identity needed %d moves" (List.length prog)
+  | None -> Alcotest.fail "identity not found"
+
+let test_no_cnot_small_depth () =
+  check "no bare 2-register CNOT (depth 6, exhaustive)" true
+    (Syn.no_cnot_without_ancilla ~max_depth:6)
+
+let test_double_not () =
+  (* NOT on both of two registers sharing one v-ancilla: 2 moves *)
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  match
+    Syn.search
+      ~encodings:[ (u0, u1); (u0, u1) ]
+      ~ancillas:[ v ]
+      ~targets:(function [ a; b ] -> [ not a; not b ] | _ -> assert false)
+      ~max_depth:3
+  with
+  | Some prog -> check "double NOT in 2 moves" true (List.length prog = 2)
+  | None -> Alcotest.fail "double NOT not found"
+
+let test_search_respects_depth () =
+  (* with max_depth 0 only the identity is reachable *)
+  let u0, u1, v = Anyon.Register.paper_a5_encoding () in
+  check "NOT unreachable at depth 0" true
+    (Syn.search ~encodings:[ (u0, u1) ] ~ancillas:[ v ]
+       ~targets:(function [ b ] -> [ not b ] | _ -> assert false)
+       ~max_depth:0
+    = None)
+
+let suites =
+  [ ( "anyon.synthesis",
+      [ Alcotest.test_case "apply program" `Quick test_apply_program;
+        Alcotest.test_case "NOT rediscovered" `Quick test_not_rediscovered;
+        Alcotest.test_case "identity program" `Quick test_identity_program;
+        Alcotest.test_case "no bare CNOT" `Quick test_no_cnot_small_depth;
+        Alcotest.test_case "double NOT" `Quick test_double_not;
+        Alcotest.test_case "depth bound respected" `Quick
+          test_search_respects_depth ] ) ]

@@ -1,0 +1,197 @@
+open Ftqc
+
+let check = Alcotest.(check bool)
+let rng () = Random.State.make [| 23 |]
+
+let random_gate r n : Circuit.gate =
+  let q () = Random.State.int r n in
+  let rec two () =
+    let a = q () and b = q () in
+    if a = b then two () else (a, b)
+  in
+  match Random.State.int r 8 with
+  | 0 -> H (q ())
+  | 1 -> X (q ())
+  | 2 -> Y (q ())
+  | 3 -> Z (q ())
+  | 4 -> S (q ())
+  | 5 -> Sdg (q ())
+  | 6 ->
+    let a, b = two () in
+    Cnot (a, b)
+  | _ ->
+    let a, b = two () in
+    Cz (a, b)
+
+(* The central correctness test: every stabilizer the tableau reports
+   must have expectation +1 in the exact state vector, after random
+   Clifford circuits and random fault injection. *)
+let test_crosscheck_statevec () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let n = 5 in
+    let sv = Statevec.create n in
+    let tab = Tableau.create n in
+    for _ = 1 to 25 do
+      let g = random_gate r n in
+      Statevec.apply_gate sv g;
+      Tableau.apply_gate tab g
+    done;
+    let p = Pauli.random r n in
+    Statevec.apply_pauli sv p;
+    Tableau.apply_pauli tab p;
+    List.iter
+      (fun stab ->
+        check "stabilizer expectation +1" true
+          (Float.abs (Statevec.expectation sv stab -. 1.0) < 1e-6))
+      (Tableau.stabilizers tab)
+  done
+
+let test_measurement_agreement () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let n = 4 in
+    let sv = Statevec.create n in
+    let tab = Tableau.create n in
+    for _ = 1 to 20 do
+      let g = random_gate r n in
+      Statevec.apply_gate sv g;
+      Tableau.apply_gate tab g
+    done;
+    for q = 0 to n - 1 do
+      let p1 = Statevec.prob_one sv q in
+      if Tableau.measure_is_random tab q then
+        check "random <-> p = 1/2" true (Float.abs (p1 -. 0.5) < 1e-6)
+      else begin
+        let tab' = Tableau.copy tab in
+        let o = Tableau.measure tab' r q in
+        check "deterministic agrees" true
+          (if o then p1 > 1.0 -. 1e-6 else p1 < 1e-6)
+      end
+    done
+  done
+
+let test_ghz () =
+  let tab = Tableau.create 3 in
+  Tableau.h tab 0;
+  Tableau.cnot tab 0 1;
+  Tableau.cnot tab 1 2;
+  check "XXX stabilizes GHZ" true
+    (Tableau.expectation tab (Pauli.of_string "XXX") = Some true);
+  check "ZZI stabilizes GHZ" true
+    (Tableau.expectation tab (Pauli.of_string "ZZI") = Some true);
+  check "-XXX has expectation -1" true
+    (Tableau.expectation tab (Pauli.of_string "-XXX") = Some false);
+  check "ZII random" true (Tableau.expectation tab (Pauli.of_string "ZII") = None);
+  (* measurement correlations *)
+  let r = rng () in
+  for _ = 1 to 20 do
+    let t = Tableau.copy tab in
+    let a = Tableau.measure t r 0 in
+    let b = Tableau.measure t r 1 in
+    let c = Tableau.measure t r 2 in
+    check "GHZ correlated" true (a = b && b = c)
+  done
+
+let test_y_eigenstate () =
+  (* S·H|0> is the +1 eigenstate of Y *)
+  let tab = Tableau.create 1 in
+  Tableau.h tab 0;
+  Tableau.s_gate tab 0;
+  check "Y stabilizes SH|0>" true
+    (Tableau.expectation tab (Pauli.of_string "Y") = Some true)
+
+let test_measure_pauli () =
+  let r = rng () in
+  let tab = Tableau.create 2 in
+  (* measure XX on |00>: random, then ZZ still +1, and XX repeats *)
+  let o1 = Tableau.measure_pauli tab r (Pauli.of_string "XX") in
+  let o2 = Tableau.measure_pauli tab r (Pauli.of_string "XX") in
+  check "repeated pauli measurement agrees" true (o1 = o2);
+  check "ZZ survives XX measurement" true
+    (Tableau.expectation tab (Pauli.of_string "ZZ") = Some true)
+
+let test_postselect_pauli () =
+  let tab = Tableau.create 2 in
+  check "postselect -XX from |00>" true
+    (Tableau.postselect_pauli tab (Pauli.of_string "XX") ~outcome:true);
+  check "now in -1 eigenstate" true
+    (Tableau.expectation tab (Pauli.of_string "XX") = Some false);
+  (* impossible postselection: |00> has ZI = +1 deterministically *)
+  let t2 = Tableau.create 2 in
+  check "impossible postselection refused" false
+    (Tableau.postselect_pauli t2 (Pauli.of_string "ZI") ~outcome:true)
+
+let test_equal_states () =
+  let a = Tableau.create 2 in
+  Tableau.h a 0;
+  Tableau.cnot a 0 1;
+  let b = Tableau.create 2 in
+  Tableau.h b 1;
+  Tableau.cnot b 1 0;
+  check "bell states equal regardless of construction" true
+    (Tableau.equal_states a b);
+  Tableau.z b 0;
+  check "different after phase flip" false (Tableau.equal_states a b)
+
+let test_reset () =
+  let r = rng () in
+  let tab = Tableau.create 1 in
+  Tableau.h tab 0;
+  Tableau.reset tab r 0;
+  check "reset gives |0>" true
+    (Tableau.expectation tab (Pauli.of_string "Z") = Some true)
+
+let test_destabilizers () =
+  let tab = Tableau.create 3 in
+  let stabs = Tableau.stabilizers tab in
+  let destabs = Tableau.destabilizers tab in
+  (* pairing: destab i anticommutes with stab i, commutes with others *)
+  List.iteri
+    (fun i d ->
+      List.iteri
+        (fun j s ->
+          check "destabilizer pairing" true
+            (Bool.equal (Pauli.commutes d s) (i <> j)))
+        stabs)
+    destabs
+
+let test_toffoli_rejected () =
+  let tab = Tableau.create 3 in
+  Alcotest.check_raises "toffoli not clifford"
+    (Invalid_argument "Tableau.apply_gate: Toffoli is not Clifford") (fun () ->
+      Tableau.apply_gate tab (Circuit.Toffoli (0, 1, 2)))
+
+let test_large_register () =
+  (* 343-qubit register: level-3 Steane block scale *)
+  let n = 343 in
+  let tab = Tableau.create n in
+  let r = rng () in
+  for q = 0 to n - 1 do
+    Tableau.h tab q
+  done;
+  for q = 0 to n - 2 do
+    Tableau.cnot tab q (q + 1)
+  done;
+  (* still a valid stabilizer state: measuring every qubit works *)
+  for q = 0 to n - 1 do
+    ignore (Tableau.measure tab r q)
+  done;
+  check "large register survives" true true
+
+let suites =
+  [ ( "tableau",
+      [ Alcotest.test_case "crosscheck vs statevec" `Quick
+          test_crosscheck_statevec;
+        Alcotest.test_case "measurement agreement" `Quick
+          test_measurement_agreement;
+        Alcotest.test_case "GHZ" `Quick test_ghz;
+        Alcotest.test_case "Y eigenstate" `Quick test_y_eigenstate;
+        Alcotest.test_case "measure_pauli" `Quick test_measure_pauli;
+        Alcotest.test_case "postselect_pauli" `Quick test_postselect_pauli;
+        Alcotest.test_case "equal_states" `Quick test_equal_states;
+        Alcotest.test_case "reset" `Quick test_reset;
+        Alcotest.test_case "destabilizer pairing" `Quick test_destabilizers;
+        Alcotest.test_case "toffoli rejected" `Quick test_toffoli_rejected;
+        Alcotest.test_case "343-qubit register" `Quick test_large_register ] )
+  ]

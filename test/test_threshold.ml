@@ -1,0 +1,131 @@
+open Ftqc
+module Flow = Threshold.Flow
+module Bigcode = Threshold.Bigcode
+module Resources = Threshold.Resources
+
+let check = Alcotest.(check bool)
+
+let test_flow_basics () =
+  check "paper threshold 1/21" true
+    (Float.abs (Flow.paper_threshold -. (1.0 /. 21.0)) < 1e-12);
+  check "step" true (Float.abs (Flow.step ~a:21.0 0.01 -. 2.1e-3) < 1e-12);
+  check "level 0 is identity" true
+    (Flow.level_error ~a:21.0 ~eps:0.007 ~level:0 = 0.007)
+
+let test_closed_form_exact () =
+  (* Eq. 36 is exactly the iterated flow, not just asymptotically *)
+  List.iter
+    (fun eps ->
+      for l = 0 to 6 do
+        let it = Flow.level_error ~a:21.0 ~eps ~level:l in
+        let cf = Flow.closed_form ~a:21.0 ~eps ~level:l in
+        check "closed form = iteration" true
+          (Float.abs (it -. cf) <= 1e-9 *. Float.max it 1e-300)
+      done)
+    [ 1e-2; 1e-3; 1e-4 ]
+
+let prop_closed_form =
+  QCheck.Test.make ~name:"Eq. 36 = iterated flow (random a, eps)" ~count:200
+    (QCheck.pair (QCheck.float_range 2.0 100.0) (QCheck.float_range 1e-8 1e-3))
+    (fun (a, eps) ->
+      let it = Flow.level_error ~a ~eps ~level:3 in
+      let cf = Flow.closed_form ~a ~eps ~level:3 in
+      Float.abs (it -. cf) <= 1e-9 *. Float.max it 1e-300)
+
+let test_flow_monotone () =
+  (* below threshold errors fall with level, above they grow *)
+  let below = Flow.level_error ~a:21.0 ~eps:0.01 in
+  check "below threshold decreasing" true
+    (below ~level:1 < 0.01 && below ~level:2 < below ~level:1);
+  let above = Flow.level_error ~a:21.0 ~eps:0.06 in
+  check "above threshold increasing" true (above ~level:1 > 0.06)
+
+let test_levels_needed () =
+  check "exact at threshold boundary" true
+    (Flow.levels_needed ~a:21.0 ~eps:0.05 ~target:1e-10 = None);
+  (match Flow.levels_needed ~a:21.0 ~eps:1e-4 ~target:1e-10 with
+  | Some l -> check "reasonable level count" true (l >= 1 && l <= 3)
+  | None -> Alcotest.fail "below-threshold reported unreachable");
+  check "already good enough" true
+    (Flow.levels_needed ~a:21.0 ~eps:1e-12 ~target:1e-10 = Some 0)
+
+let test_block_size () =
+  match Flow.block_size_for ~a:21.0 ~eps:1e-6 ~gates:3e9 with
+  | Some (l, b, est) ->
+    check "levels small" true (l <= 2);
+    check "block = 7^l" true (Float.abs (b -. (7.0 ** float_of_int l)) < 1e-9);
+    check "estimate positive" true (est > 0.0)
+  | None -> Alcotest.fail "should be below threshold"
+
+let test_bigcode () =
+  let b = Bigcode.shor_b in
+  check "b = 4" true (b = 4.0);
+  (* Eq. 30 at t=1 *)
+  check "block error t=1" true
+    (Float.abs (Bigcode.block_error ~b ~eps:1e-4 ~t:1 -. 1e-8) < 1e-20);
+  (* integer optimum is near the real optimum *)
+  List.iter
+    (fun eps ->
+      let t_real = Bigcode.optimal_t ~b ~eps in
+      let t_int, p_int = Bigcode.best_integer_t ~b ~eps ~t_max:2000 in
+      check "integer optimum near continuum" true
+        (Float.abs (float_of_int t_int -. t_real) <= Float.max 2.0 (0.5 *. t_real));
+      (* discrete minimum beats neighbours *)
+      check "local minimum" true
+        (p_int <= Bigcode.block_error ~b ~eps ~t:(t_int + 1)
+        && (t_int = 1 || p_int <= Bigcode.block_error ~b ~eps ~t:(t_int - 1))))
+    [ 1e-4; 1e-5; 1e-6 ];
+  (* Eq. 32 inverse relationship: plugging the required accuracy back
+     gives a min block error near 1/cycles *)
+  let cycles = 1e9 in
+  let eps = Bigcode.required_accuracy ~b ~cycles in
+  let p = Bigcode.min_block_error ~b ~eps in
+  check "required accuracy consistent" true
+    (Float.abs (log (p *. cycles)) < 1e-6)
+
+let test_resources_paper_example () =
+  let e = Resources.paper_432 () in
+  Alcotest.(check int) "2160 logical qubits" 2160 e.logical_qubits;
+  check "3e9 toffolis" true
+    (Float.abs (e.toffoli_gates -. (38.0 *. (432.0 ** 3.0))) < 1.0);
+  check "~1e-9 gate budget" true
+    (e.target_gate_error > 5e-10 && e.target_gate_error < 2e-9);
+  check "3 levels" true (e.levels = Some 3);
+  check "block 343" true (e.block_size = Some 343);
+  (match e.total_qubits with
+  | Some t -> check "order 1e6 qubits" true (t > 5e5 && t < 2e6)
+  | None -> Alcotest.fail "no qubit estimate");
+  let logical, physical = Resources.steane_block55 ~bits:432 in
+  Alcotest.(check int) "steane logical" 2160 logical;
+  check "steane ~4e5" true (physical > 3e5 && physical < 5e5)
+
+let test_resources_above_threshold () =
+  let e = Resources.estimate ~bits:432 ~physical_eps:0.1 () in
+  check "no level works above threshold" true (e.levels = None)
+
+let test_pseudothreshold_fit () =
+  let f =
+    Threshold.Pseudothreshold.fit [ (1e-3, 21e-6); (2e-3, 84e-6) ]
+  in
+  check "A = 21" true (Float.abs (f.a -. 21.0) < 1e-9);
+  check "threshold = 1/21" true (Float.abs (f.threshold -. (1.0 /. 21.0)) < 1e-9);
+  let proj = Threshold.Pseudothreshold.project f ~eps:1e-3 ~levels:2 in
+  check "projection levels" true (List.length proj = 3);
+  check "projection L1" true
+    (Float.abs (List.nth proj 1 -. 21e-6) < 1e-12)
+
+let suites =
+  [ ( "threshold",
+      [ Alcotest.test_case "flow basics" `Quick test_flow_basics;
+        Alcotest.test_case "closed form exact" `Quick test_closed_form_exact;
+        QCheck_alcotest.to_alcotest prop_closed_form;
+        Alcotest.test_case "flow monotone" `Quick test_flow_monotone;
+        Alcotest.test_case "levels needed" `Quick test_levels_needed;
+        Alcotest.test_case "block size" `Quick test_block_size;
+        Alcotest.test_case "big-code scaling" `Quick test_bigcode;
+        Alcotest.test_case "paper 432-bit example" `Quick
+          test_resources_paper_example;
+        Alcotest.test_case "above threshold" `Quick
+          test_resources_above_threshold;
+        Alcotest.test_case "pseudothreshold fit" `Quick
+          test_pseudothreshold_fit ] ) ]

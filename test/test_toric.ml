@@ -1,0 +1,146 @@
+open Ftqc
+module Lattice = Toric.Lattice
+module Bitvec = Gf2.Bitvec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rng () = Random.State.make [| 53 |]
+
+let test_lattice_indexing () =
+  let lat = Lattice.create 4 in
+  check_int "qubits" 32 (Lattice.num_qubits lat);
+  check_int "plaquettes" 16 (Lattice.num_plaquettes lat);
+  (* every edge index in range, each edge has two distinct endpoints *)
+  for e = 0 to 31 do
+    let a, b = Lattice.edge_endpoints lat e in
+    check "endpoints in range" true (a >= 0 && a < 16 && b >= 0 && b < 16);
+    check "distinct endpoints" true (a <> b)
+  done;
+  (* wraparound: h(-1, y) = h(L-1, y) *)
+  check_int "wraparound" (Lattice.h_edge lat ~x:3 ~y:0)
+    (Lattice.h_edge lat ~x:(-1) ~y:0)
+
+let test_plaquette_edge_duality () =
+  (* edge e borders plaquette p iff p is an endpoint of e *)
+  let lat = Lattice.create 4 in
+  for y = 0 to 3 do
+    for x = 0 to 3 do
+      let p = Lattice.plaquette_index lat ~x ~y in
+      List.iter
+        (fun e ->
+          let a, b = Lattice.edge_endpoints lat e in
+          check "duality" true (a = p || b = p))
+        (Lattice.plaquette_edges lat ~x ~y)
+    done
+  done
+
+let test_single_error_syndrome () =
+  let lat = Lattice.create 4 in
+  let e = Bitvec.create 32 in
+  Bitvec.set e (Lattice.h_edge lat ~x:1 ~y:2) true;
+  let s = Lattice.syndrome lat e in
+  check_int "two defects" 2 (Bitvec.weight s)
+
+let test_logical_loops () =
+  let lat = Lattice.create 5 in
+  List.iter
+    (fun loop ->
+      check "trivial syndrome" true
+        (Bitvec.is_zero (Lattice.syndrome lat loop));
+      let wx, wy = Lattice.winding lat loop in
+      check "nontrivial winding" true (wx || wy))
+    [ Lattice.logical_x1 lat; Lattice.logical_x2 lat ];
+  (* a contractible X-loop is a vertex (star) operator: the four edges
+     meeting a vertex have trivial plaquette syndrome and no winding *)
+  let star = Bitvec.create (Lattice.num_qubits lat) in
+  List.iter
+    (fun e -> Bitvec.flip star e)
+    (Lattice.vertex_edges lat ~x:2 ~y:2);
+  check "vertex operator trivial syndrome" true
+    (Bitvec.is_zero (Lattice.syndrome lat star));
+  let wx, wy = Lattice.winding lat star in
+  check "contractible: zero winding" true ((not wx) && not wy)
+
+let decoder_property decoder =
+  let r = rng () in
+  let lat = Lattice.create 6 in
+  let n = Lattice.num_qubits lat in
+  for _ = 1 to 100 do
+    let e = Bitvec.create n in
+    Bitvec.randomize ~p:0.08 r e;
+    let s = Lattice.syndrome lat e in
+    let c = decoder lat s in
+    check "correction matches syndrome" true
+      (Bitvec.equal (Lattice.syndrome lat c) s)
+  done
+
+let test_uf_decoder_valid () = decoder_property Toric.Decoder.decode
+let test_greedy_decoder_valid () = decoder_property Toric.Decoder.greedy_decode
+
+let test_uf_corrects_sparse_errors () =
+  (* any single error and any pair of well-separated errors must be
+     corrected without a logical fault *)
+  let lat = Lattice.create 8 in
+  let n = Lattice.num_qubits lat in
+  for e1 = 0 to n - 1 do
+    let e = Bitvec.create n in
+    Bitvec.set e e1 true;
+    let c = Toric.Decoder.decode lat (Lattice.syndrome lat e) in
+    let residual = Bitvec.xor e c in
+    let wx, wy = Lattice.winding lat residual in
+    check "single edge error corrected" true ((not wx) && not wy)
+  done
+
+let test_threshold_behaviour () =
+  let r = rng () in
+  let low_small = Toric.Memory.run ~l:4 ~p:0.03 ~trials:1500 r in
+  let low_big = Toric.Memory.run ~l:10 ~p:0.03 ~trials:1500 r in
+  check "below threshold: larger L better" true
+    (low_big.rate <= low_small.rate);
+  let hi = Toric.Memory.run ~l:10 ~p:0.2 ~trials:500 r in
+  check "far above threshold: failure high" true (hi.rate > 0.3)
+
+let test_stabilizer_code_view () =
+  let c2 = Toric.Code.stabilizer_code 2 in
+  check_int "L=2 n" 8 c2.n;
+  check_int "L=2 k" 2 c2.k;
+  check_int "L=2 distance" 2 (Codes.Stabilizer_code.distance c2);
+  let c3 = Toric.Code.stabilizer_code 3 in
+  check_int "L=3 n" 18 c3.n;
+  check_int "L=3 distance" 3 (Codes.Stabilizer_code.distance c3);
+  (* logical state prep through the generic machinery *)
+  let tab = Codes.Stabilizer_code.prepare_logical_zero c3 in
+  check "toric |0bar,0bar>" true
+    (Tableau.expectation tab c3.logical_z.(0) = Some true
+    && Tableau.expectation tab c3.logical_z.(1) = Some true)
+
+let prop_residual_trivial =
+  QCheck.Test.make ~name:"uf residual always trivial syndrome" ~count:50
+    (QCheck.make
+       ~print:(fun (seed, p) -> Printf.sprintf "seed %d p %f" seed p)
+       QCheck.Gen.(pair int (float_range 0.0 0.3)))
+    (fun (seed, p) ->
+      let r = Random.State.make [| seed |] in
+      let lat = Lattice.create 5 in
+      let e = Bitvec.create (Lattice.num_qubits lat) in
+      Bitvec.randomize ~p r e;
+      let c = Toric.Decoder.decode lat (Lattice.syndrome lat e) in
+      Bitvec.is_zero (Lattice.syndrome lat (Bitvec.xor e c)))
+
+let suites =
+  [ ( "toric",
+      [ Alcotest.test_case "lattice indexing" `Quick test_lattice_indexing;
+        Alcotest.test_case "plaquette-edge duality" `Quick
+          test_plaquette_edge_duality;
+        Alcotest.test_case "single error syndrome" `Quick
+          test_single_error_syndrome;
+        Alcotest.test_case "logical loops" `Quick test_logical_loops;
+        Alcotest.test_case "uf decoder validity" `Quick test_uf_decoder_valid;
+        Alcotest.test_case "greedy decoder validity" `Quick
+          test_greedy_decoder_valid;
+        Alcotest.test_case "sparse errors corrected" `Quick
+          test_uf_corrects_sparse_errors;
+        Alcotest.test_case "threshold behaviour" `Slow test_threshold_behaviour;
+        Alcotest.test_case "stabilizer code view" `Quick
+          test_stabilizer_code_view;
+        QCheck_alcotest.to_alcotest prop_residual_trivial ] ) ]

@@ -1,0 +1,90 @@
+open Ftqc
+module We = Codes.Weight_enumerator
+module Mat = Gf2.Mat
+
+let check = Alcotest.(check bool)
+let check_arr name a b = Alcotest.(check (array int)) name a b
+
+let hamming_basis =
+  (* generator of the [7,4] Hamming code: basis of ker H *)
+  Mat.of_rows (Mat.kernel Codes.Hamming.parity_check)
+
+let test_hamming_distribution () =
+  (* A(z) = 1 + 7z³ + 7z⁴ + z⁷ *)
+  check_arr "hamming weights" [| 1; 0; 0; 7; 7; 0; 0; 1 |]
+    (We.distribution hamming_basis);
+  Alcotest.(check int) "min distance" 3 (We.minimum_distance hamming_basis)
+
+let test_hamming_dual () =
+  (* the dual (even subcode/simplex-like [7,3]): all nonzero words have
+     weight 4 *)
+  check_arr "dual weights" [| 1; 0; 0; 0; 7; 0; 0; 0 |]
+    (We.dual_distribution hamming_basis)
+
+let test_macwilliams_hamming () =
+  let direct = We.dual_distribution hamming_basis in
+  let transformed =
+    We.macwilliams_transform ~n:7 (We.distribution hamming_basis)
+  in
+  check_arr "MacWilliams = direct dual" direct transformed;
+  (* and the transform is an involution (up to the size factor) *)
+  let back = We.macwilliams_transform ~n:7 transformed in
+  check_arr "transform involutive" (We.distribution hamming_basis) back
+
+let test_macwilliams_golay () =
+  let direct = We.dual_distribution Codes.Golay.generator in
+  let transformed =
+    We.macwilliams_transform ~n:23 (We.distribution Codes.Golay.generator)
+  in
+  check_arr "golay MacWilliams" direct transformed;
+  (* dual = [23,11,8]: minimum weight 8 *)
+  Alcotest.(check int) "dual min weight" 8
+    (We.minimum_distance (Mat.of_rows (Mat.kernel Codes.Golay.generator)))
+
+let test_golay_distribution_matches_module () =
+  check_arr "golay distribution consistent"
+    (Array.of_list (Array.to_list (Codes.Golay.weight_distribution ())))
+    (We.distribution Codes.Golay.generator)
+
+let test_krawtchouk_basics () =
+  (* K_0(i) = 1; K_j(0) = C(n, j) *)
+  for i = 0 to 7 do
+    Alcotest.(check int) "K0" 1 (We.krawtchouk ~n:7 ~j:0 i)
+  done;
+  Alcotest.(check int) "K2(0)" 21 (We.krawtchouk ~n:7 ~j:2 0);
+  Alcotest.(check int) "K1(i) = n-2i" (7 - (2 * 3)) (We.krawtchouk ~n:7 ~j:1 3)
+
+let prop_macwilliams_random =
+  QCheck.Test.make ~name:"MacWilliams identity on random codes" ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let n = 5 + Random.State.int r 5 in
+      let k = 1 + Random.State.int r 3 in
+      (* random full-rank basis *)
+      let rec make_basis () =
+        let rows =
+          List.init k (fun _ ->
+              let v = Gf2.Bitvec.create n in
+              Gf2.Bitvec.randomize ~p:0.5 r v;
+              v)
+        in
+        let m = Mat.of_rows rows in
+        if Mat.rank m = k then m else make_basis ()
+      in
+      let basis = make_basis () in
+      We.dual_distribution basis
+      = We.macwilliams_transform ~n (We.distribution basis))
+
+let suites =
+  [ ( "codes.weight_enumerator",
+      [ Alcotest.test_case "hamming distribution" `Quick
+          test_hamming_distribution;
+        Alcotest.test_case "hamming dual" `Quick test_hamming_dual;
+        Alcotest.test_case "MacWilliams (hamming)" `Quick
+          test_macwilliams_hamming;
+        Alcotest.test_case "MacWilliams (golay)" `Quick test_macwilliams_golay;
+        Alcotest.test_case "golay module consistency" `Quick
+          test_golay_distribution_matches_module;
+        Alcotest.test_case "krawtchouk" `Quick test_krawtchouk_basics;
+        QCheck_alcotest.to_alcotest prop_macwilliams_random ] ) ]
