@@ -1,14 +1,30 @@
-(* Bechamel benchmarks: one Test.make per experiment family (the
-   kernel that regenerates each table/figure of EXPERIMENTS.md) plus
-   the ablations called out in DESIGN.md (Shor vs Steane extraction,
+(* Benchmarks: one kernel per experiment family (the code that
+   regenerates each table/figure of EXPERIMENTS.md) plus the ablations
+   called out in DESIGN.md (Shor vs Steane extraction,
    syndrome-repetition policy, union-find vs greedy toric decoding,
-   simulator throughput).  Prints mean wall-clock time per run. *)
+   simulator throughput).
 
-open Bechamel
-open Toolkit
+   Two frontends over the same kernel list:
+   - default: bechamel (OLS over many runs, prints time/run and r²);
+   - --smoke [--out FILE]: a few wall-clock repetitions per kernel,
+     written as JSON (for CI artifacts), plus a sequential-vs-parallel
+     probe of the Mc.Runner engine that records the speedup and checks
+     the two failure counts agree. *)
+
 open Ftqc
 
-let rng = Random.State.make [| 77 |]
+(* Per-kernel RNG streams: each kernel closure gets its own split
+   stream off one root seed, so adding or reordering kernels (or a
+   sampler's choice of run counts) cannot perturb what any other
+   kernel draws. *)
+let bench_seed = 77
+let next_stream = ref 0
+
+let fresh_rng () =
+  let i = !next_stream in
+  incr next_stream;
+  Mc.Rng.to_state (Mc.Rng.split (Mc.Rng.root bench_seed) i)
+
 let steane = Codes.Steane.code
 
 let prep_block sim ~offset =
@@ -27,286 +43,274 @@ let prep_block sim ~offset =
           steane.logical_z.(0))
        ~outcome:false)
 
+let noise = Ft.Noise.gates_only 1e-3
+
 (* --- E1: encoded memory round ---------------------------------------- *)
 
-let bench_e1_memory =
-  Test.make ~name:"e1-steane-ideal-ec-round"
-    (Staged.stage (fun () ->
-         ignore
-           (Ft.Memory.encoded_ideal_ec steane ~eps:1e-2 ~rounds:1 ~trials:10
-              rng)))
+let e1_memory =
+  let rng = fresh_rng () in
+  fun () ->
+    ignore (Ft.Memory.encoded_ideal_ec steane ~eps:1e-2 ~rounds:1 ~trials:10 rng)
 
 (* --- E2: syndrome extraction gadgets (ablation: Shor vs Steane vs
        non-FT) -------------------------------------------------------- *)
 
-let noise = Ft.Noise.gates_only 1e-3
+let shor_ec_kernel verified =
+  let rng = fresh_rng () in
+  fun () ->
+    let sim = Ft.Sim.create ~n:12 ~noise rng in
+    prep_block sim ~offset:0;
+    ignore
+      (Ft.Shor_ec.recover sim steane ~policy:Ft.Shor_ec.Repeat_if_nontrivial
+         ~offset:0 ~cat_base:7 ~check:11 ~verified)
 
-let bench_shor_ec verified name =
-  Test.make ~name
-    (Staged.stage (fun () ->
-         let sim = Ft.Sim.create ~n:12 ~noise rng in
-         prep_block sim ~offset:0;
-         ignore
-           (Ft.Shor_ec.recover sim steane
-              ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~offset:0 ~cat_base:7
-              ~check:11 ~verified)))
+let e2_shor_ft = shor_ec_kernel true
+let e2_shor_nonft = shor_ec_kernel false
 
-let bench_e2_shor_ft = bench_shor_ec true "e2-shor-ec-verified"
-let bench_e2_shor_nonft = bench_shor_ec false "e2-shor-ec-shared-ancilla"
+let steane_ec_kernel policy =
+  let rng = fresh_rng () in
+  fun () ->
+    let sim = Ft.Sim.create ~n:21 ~noise rng in
+    prep_block sim ~offset:0;
+    ignore
+      (Ft.Steane_ec.recover sim ~policy ~verify:Ft.Steane_ec.Reject ~data:0
+         ~ancilla:7 ~checker:14)
 
-let bench_steane_ec policy name =
-  Test.make ~name
-    (Staged.stage (fun () ->
-         let sim = Ft.Sim.create ~n:21 ~noise rng in
-         prep_block sim ~offset:0;
-         ignore
-           (Ft.Steane_ec.recover sim ~policy ~verify:Ft.Steane_ec.Reject
-              ~data:0 ~ancilla:7 ~checker:14)))
-
-let bench_e2_steane =
-  bench_steane_ec Ft.Steane_ec.Repeat_if_nontrivial "e2-steane-ec"
+let e2_steane = steane_ec_kernel Ft.Steane_ec.Repeat_if_nontrivial
 
 (* --- E4 ablation: syndrome acceptance policy -------------------------- *)
 
-let bench_e4_accept_first =
-  bench_steane_ec Ft.Steane_ec.Accept_first "e4-steane-ec-accept-first"
+let e4_accept_first = steane_ec_kernel Ft.Steane_ec.Accept_first
 
 (* --- E5: logical CNOT extended rectangle ------------------------------- *)
 
-let bench_e5_exrec =
-  Test.make ~name:"e5-cnot-exrec"
-    (Staged.stage (fun () ->
-         ignore (Ft.Memory.logical_cnot_exrec_failure ~noise ~trials:5 rng)))
+let e5_exrec =
+  let rng = fresh_rng () in
+  fun () -> ignore (Ft.Memory.logical_cnot_exrec_failure ~noise ~trials:5 rng)
 
 (* --- E6/E7/E8: analytic tables ----------------------------------------- *)
 
-let bench_e6_flow =
-  Test.make ~name:"e6-flow-table"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun eps ->
-             for l = 0 to 4 do
-               ignore (Threshold.Flow.level_error ~a:21.0 ~eps ~level:l)
-             done;
-             ignore (Threshold.Flow.block_size_for ~a:21.0 ~eps ~gates:3e9))
-           [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6 ]))
+let e6_flow () =
+  List.iter
+    (fun eps ->
+      for l = 0 to 4 do
+        ignore (Threshold.Flow.level_error ~a:21.0 ~eps ~level:l)
+      done;
+      ignore (Threshold.Flow.block_size_for ~a:21.0 ~eps ~gates:3e9))
+    [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6 ]
 
-let bench_e7_bigcode =
-  Test.make ~name:"e7-bigcode-table"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun eps ->
-             ignore (Threshold.Bigcode.best_integer_t ~b:4.0 ~eps ~t_max:1000))
-           [ 1e-4; 1e-5; 1e-6; 1e-7 ]))
+let e7_bigcode () =
+  List.iter
+    (fun eps -> ignore (Threshold.Bigcode.best_integer_t ~b:4.0 ~eps ~t_max:1000))
+    [ 1e-4; 1e-5; 1e-6; 1e-7 ]
 
-let bench_e8_resources =
-  Test.make ~name:"e8-resource-table"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun bits ->
-             ignore (Threshold.Resources.estimate ~bits ~physical_eps:1e-6 ()))
-           [ 128; 256; 432; 512; 1024 ]))
+let e8_resources () =
+  List.iter
+    (fun bits -> ignore (Threshold.Resources.estimate ~bits ~physical_eps:1e-6 ()))
+    [ 128; 256; 432; 512; 1024 ]
 
 (* --- E9: systematic error sweep ---------------------------------------- *)
 
-let bench_e9_systematic =
-  Test.make ~name:"e9-systematic-sweep"
-    (Staged.stage (fun () ->
-         ignore
-           (Ft.Systematic.crossover_table ~theta:0.01
-              ~steps_list:[ 1; 10; 100 ] ~trials:20 rng)))
+let e9_systematic =
+  let rng = fresh_rng () in
+  fun () ->
+    ignore
+      (Ft.Systematic.crossover_table ~theta:0.01 ~steps_list:[ 1; 10; 100 ]
+         ~trials:20 rng)
 
 (* --- E10: toric decoding (ablation: union-find vs greedy) -------------- *)
 
-let toric_bench decoder name =
+let toric_kernel decoder =
+  let rng = fresh_rng () in
   let lat = Toric.Lattice.create 12 in
   let n = Toric.Lattice.num_qubits lat in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         let e = Gf2.Bitvec.create n in
-         Gf2.Bitvec.randomize ~p:0.08 rng e;
-         let s = Toric.Lattice.syndrome lat e in
-         ignore (decoder lat s)))
+  fun () ->
+    let e = Gf2.Bitvec.create n in
+    Gf2.Bitvec.randomize ~p:0.08 rng e;
+    let s = Toric.Lattice.syndrome lat e in
+    ignore (decoder lat s)
 
-let bench_e10_uf = toric_bench Toric.Decoder.decode "e10-toric-unionfind-L12"
-
-let bench_e10_greedy =
-  toric_bench Toric.Decoder.greedy_decode "e10-toric-greedy-L12"
+let e10_uf = toric_kernel Toric.Decoder.decode
+let e10_greedy = toric_kernel Toric.Decoder.greedy_decode
 
 (* --- E11: anyon substrate ----------------------------------------------- *)
 
-let bench_e11_charge =
+let e11_charge =
+  let rng = fresh_rng () in
   let a5 = Group.Finite_group.alternating 5 in
   let u0, _, v = Anyon.Register.paper_a5_encoding () in
-  Test.make ~name:"e11-charge-interferometer"
-    (Staged.stage (fun () ->
-         let pair = Anyon.Pair_sim.create a5 ~class_rep:u0 in
-         ignore (Anyon.Pair_sim.measure_charge pair rng ~projectile:v)))
+  fun () ->
+    let pair = Anyon.Pair_sim.create a5 ~class_rep:u0 in
+    ignore (Anyon.Pair_sim.measure_charge pair rng ~projectile:v)
 
-let bench_e11_closure =
+let e11_closure =
   let s4 = Group.Finite_group.symmetric 4 in
-  Test.make ~name:"e11-commutator-closure-S4"
-    (Staged.stage (fun () ->
-         ignore (Anyon.Logic.commutator_closure_depth s4 ~max_depth:12)))
+  fun () -> ignore (Anyon.Logic.commutator_closure_depth s4 ~max_depth:12)
 
 (* --- E12: leakage scrub -------------------------------------------------- *)
 
-let bench_e12_scrub =
-  Test.make ~name:"e12-leak-scrub-block"
-    (Staged.stage (fun () ->
-         let t =
-           Ft.Leakage.create ~n:8 ~noise:Ft.Noise.none ~leak_rate:0.0 rng
-         in
-         Ft.Leakage.leak t 3;
-         ignore
-           (Ft.Leakage.scrub t ~qubits:[ 0; 1; 2; 3; 4; 5; 6 ] ~ancilla:7)))
+let e12_scrub =
+  let rng = fresh_rng () in
+  fun () ->
+    let t = Ft.Leakage.create ~n:8 ~noise:Ft.Noise.none ~leak_rate:0.0 rng in
+    Ft.Leakage.leak t 3;
+    ignore (Ft.Leakage.scrub t ~qubits:[ 0; 1; 2; 3; 4; 5; 6 ] ~ancilla:7)
 
 (* --- E13: code machinery -------------------------------------------------- *)
 
-let bench_e13_distance =
-  Test.make ~name:"e13-distance-steane"
-    (Staged.stage (fun () -> ignore (Codes.Stabilizer_code.distance steane)))
+let e13_distance () = ignore (Codes.Stabilizer_code.distance steane)
 
 (* --- E14: FT Toffoli ------------------------------------------------------- *)
 
-let bench_e14_toffoli =
-  Test.make ~name:"e14-teleported-toffoli"
-    (Staged.stage (fun () ->
-         let sv = Statevec.create 7 in
-         Statevec.h sv 0;
-         Statevec.h sv 1;
-         Ft.Toffoli.apply sv rng ~data:(0, 1, 2) ~scratch:(3, 4, 5) ~control:6))
+let e14_toffoli =
+  let rng = fresh_rng () in
+  fun () ->
+    let sv = Statevec.create 7 in
+    Statevec.h sv 0;
+    Statevec.h sv 1;
+    Ft.Toffoli.apply sv rng ~data:(0, 1, 2) ~scratch:(3, 4, 5) ~control:6
 
 (* --- E16: generalized CSS EC / E6b: pauli frame ----------------------------- *)
 
-let bench_e16_css_ec_rm15 =
+let e16_css_ec_rm15 =
+  let rng = fresh_rng () in
   let gadget = Ft.Css_ec.for_reed_muller () in
-  Test.make ~name:"e16-css-ec-reed-muller"
-    (Staged.stage (fun () ->
-         let sim = Ft.Sim.create ~n:45 ~noise rng in
-         ignore
-           (Ft.Css_ec.recover sim gadget
-              ~policy:Ft.Css_ec.Repeat_if_nontrivial ~data:0 ~ancilla:15
-              ~checker:30 ~max_attempts:25)))
+  fun () ->
+    let sim = Ft.Sim.create ~n:45 ~noise rng in
+    ignore
+      (Ft.Css_ec.recover sim gadget ~policy:Ft.Css_ec.Repeat_if_nontrivial
+         ~data:0 ~ancilla:15 ~checker:30 ~max_attempts:25)
 
-let bench_e6b_level2 =
-  Test.make ~name:"e6b-pauli-frame-level2"
-    (Staged.stage (fun () ->
-         ignore
-           (Codes.Pauli_frame.memory_failure ~level:2 ~eps:0.02 ~rounds:1
-              ~trials:50 rng)))
+let e6b_level2 =
+  let rng = fresh_rng () in
+  fun () ->
+    ignore
+      (Codes.Pauli_frame.memory_failure ~level:2 ~eps:0.02 ~rounds:1 ~trials:50
+         rng)
 
-let bench_e6b_level3 =
-  Test.make ~name:"e6b-pauli-frame-level3"
-    (Staged.stage (fun () ->
-         ignore
-           (Codes.Pauli_frame.memory_failure ~level:3 ~eps:0.02 ~rounds:1
-              ~trials:10 rng)))
+let e6b_level3 =
+  let rng = fresh_rng () in
+  fun () ->
+    ignore
+      (Codes.Pauli_frame.memory_failure ~level:3 ~eps:0.02 ~rounds:1 ~trials:10
+         rng)
 
 (* --- E17..E20 ---------------------------------------------------------------- *)
 
-let bench_e17_l2_recover =
-  Test.make ~name:"e17-level2-ec-cycle"
-    (Staged.stage (fun () ->
-         let total = 49 + Ft.Concat_ec.scratch_qubits in
-         let sim = Ft.Sim.create ~n:total ~noise:Ft.Noise.none rng in
-         let tab = Ft.Sim.tableau sim in
-         let code2 = Codes.Concat.steane_level 2 in
-         Array.iter
-           (fun g ->
-             ignore
-               (Tableau.postselect_pauli tab
-                  (Codes.Stabilizer_code.embed code2 ~offset:0 ~total g)
-                  ~outcome:false))
-           code2.generators;
-         Ft.Concat_ec.recover_l2 sim ~data:0 ~scratch:49 ~max_attempts:10))
+let e17_l2_recover =
+  let rng = fresh_rng () in
+  fun () ->
+    let total = 49 + Ft.Concat_ec.scratch_qubits in
+    let sim = Ft.Sim.create ~n:total ~noise:Ft.Noise.none rng in
+    let tab = Ft.Sim.tableau sim in
+    let code2 = Codes.Concat.steane_level 2 in
+    Array.iter
+      (fun g ->
+        ignore
+          (Tableau.postselect_pauli tab
+             (Codes.Stabilizer_code.embed code2 ~offset:0 ~total g)
+             ~outcome:false))
+      code2.generators;
+    Ft.Concat_ec.recover_l2 sim ~data:0 ~scratch:49 ~max_attempts:10
 
-let bench_e18_golay =
-  Test.make ~name:"e18-golay-decode"
-    (Staged.stage (fun () ->
-         let w = Gf2.Bitvec.create 23 in
-         Gf2.Bitvec.randomize ~p:0.1 rng w;
-         ignore (Codes.Golay.decode w)))
+let e18_golay =
+  let rng = fresh_rng () in
+  fun () ->
+    let w = Gf2.Bitvec.create 23 in
+    Gf2.Bitvec.randomize ~p:0.1 rng w;
+    ignore (Codes.Golay.decode w)
 
-let bench_e19_noisy_toric =
-  Test.make ~name:"e19-noisy-toric-L8x8"
-    (Staged.stage (fun () ->
-         ignore
-           (Toric.Noisy_memory.run ~l:8 ~rounds:8 ~p:0.02 ~q:0.02 ~trials:1
-              rng)))
+let e19_noisy_toric =
+  let rng = fresh_rng () in
+  fun () ->
+    ignore (Toric.Noisy_memory.run ~l:8 ~rounds:8 ~p:0.02 ~q:0.02 ~trials:1 rng)
 
-let bench_e11_synthesis =
-  Test.make ~name:"e11-synthesis-exhaust-depth4"
-    (Staged.stage (fun () ->
-         ignore (Anyon.Synthesis.no_cnot_without_ancilla ~max_depth:4)))
+let e11_synthesis () =
+  ignore (Anyon.Synthesis.no_cnot_without_ancilla ~max_depth:4)
 
-let bench_e20_depth =
-  Test.make ~name:"e20-circuit-depth"
-    (Staged.stage (fun () ->
-         ignore (Circuit.depth (Ft.Steane_ec.syndrome_extraction_circuit ()))))
+let e20_depth () =
+  ignore (Circuit.depth (Ft.Steane_ec.syndrome_extraction_circuit ()))
 
 (* --- code machinery ---------------------------------------------------------- *)
 
-let bench_exact_polynomial =
-  Test.make ~name:"codes-exact-steane-4^7-enum"
-    (Staged.stage (fun () ->
-         ignore
-           (Codes.Exact.failure_polynomial Codes.Steane.code
-              (Codes.Steane.css_decoder ()))))
+let exact_polynomial () =
+  ignore
+    (Codes.Exact.failure_polynomial Codes.Steane.code
+       (Codes.Steane.css_decoder ()))
 
-let bench_measurement_encoder =
-  Test.make ~name:"codes-measurement-encoder-5q"
-    (Staged.stage (fun () ->
-         let c =
-           Codes.Stabilizer_code.encoding_circuit_via_measurement
-             Codes.Five_qubit.code
-         in
-         let sv = Statevec.create 6 in
-         ignore (Statevec.run sv c)))
+let measurement_encoder () =
+  let c =
+    Codes.Stabilizer_code.encoding_circuit_via_measurement Codes.Five_qubit.code
+  in
+  let sv = Statevec.create 6 in
+  ignore (Statevec.run sv c)
 
-let bench_conjugate =
-  Test.make ~name:"codes-conjugate-100-gates"
-    (Staged.stage (fun () ->
-         let c = Codes.Conjugate.random_clifford_circuit rng ~n:10 ~gates:100 in
-         ignore (Codes.Conjugate.circuit c (Pauli.random rng 10))))
+let conjugate =
+  let rng = fresh_rng () in
+  fun () ->
+    let c = Codes.Conjugate.random_clifford_circuit rng ~n:10 ~gates:100 in
+    ignore (Codes.Conjugate.circuit c (Pauli.random rng 10))
 
-let bench_macwilliams =
-  Test.make ~name:"codes-macwilliams-golay"
-    (Staged.stage (fun () ->
-         ignore
-           (Codes.Weight_enumerator.macwilliams_transform ~n:23
-              (Codes.Weight_enumerator.distribution Codes.Golay.generator))))
+let macwilliams () =
+  ignore
+    (Codes.Weight_enumerator.macwilliams_transform ~n:23
+       (Codes.Weight_enumerator.distribution Codes.Golay.generator))
 
 (* --- simulator throughput -------------------------------------------------- *)
 
-let bench_tableau_343 =
-  Test.make ~name:"sim-tableau-cnot-chain-343q"
-    (Staged.stage (fun () ->
-         let tab = Tableau.create 343 in
-         for q = 0 to 341 do
-           Tableau.cnot tab q (q + 1)
-         done))
+let tableau_343 () =
+  let tab = Tableau.create 343 in
+  for q = 0 to 341 do
+    Tableau.cnot tab q (q + 1)
+  done
 
-let bench_statevec_16 =
-  Test.make ~name:"sim-statevec-h-layer-16q"
-    (Staged.stage (fun () ->
-         let sv = Statevec.create 16 in
-         for q = 0 to 15 do
-           Statevec.h sv q
-         done))
+let statevec_16 () =
+  let sv = Statevec.create 16 in
+  for q = 0 to 15 do
+    Statevec.h sv q
+  done
 
-let tests =
-  [ bench_e1_memory; bench_e2_shor_ft; bench_e2_shor_nonft; bench_e2_steane;
-    bench_e4_accept_first; bench_e5_exrec; bench_e6_flow; bench_e7_bigcode;
-    bench_e8_resources; bench_e9_systematic; bench_e10_uf; bench_e10_greedy;
-    bench_e11_charge; bench_e11_closure; bench_e12_scrub; bench_e13_distance;
-    bench_e14_toffoli; bench_e16_css_ec_rm15; bench_e6b_level2;
-    bench_e6b_level3; bench_e17_l2_recover; bench_e18_golay;
-    bench_e19_noisy_toric; bench_e11_synthesis; bench_e20_depth;
-    bench_exact_polynomial; bench_measurement_encoder; bench_conjugate;
-    bench_macwilliams; bench_tableau_343; bench_statevec_16 ]
+let kernels =
+  [ ("e1-steane-ideal-ec-round", e1_memory);
+    ("e2-shor-ec-verified", e2_shor_ft);
+    ("e2-shor-ec-shared-ancilla", e2_shor_nonft);
+    ("e2-steane-ec", e2_steane);
+    ("e4-steane-ec-accept-first", e4_accept_first);
+    ("e5-cnot-exrec", e5_exrec);
+    ("e6-flow-table", e6_flow);
+    ("e7-bigcode-table", e7_bigcode);
+    ("e8-resource-table", e8_resources);
+    ("e9-systematic-sweep", e9_systematic);
+    ("e10-toric-unionfind-L12", e10_uf);
+    ("e10-toric-greedy-L12", e10_greedy);
+    ("e11-charge-interferometer", e11_charge);
+    ("e11-commutator-closure-S4", e11_closure);
+    ("e12-leak-scrub-block", e12_scrub);
+    ("e13-distance-steane", e13_distance);
+    ("e14-teleported-toffoli", e14_toffoli);
+    ("e16-css-ec-reed-muller", e16_css_ec_rm15);
+    ("e6b-pauli-frame-level2", e6b_level2);
+    ("e6b-pauli-frame-level3", e6b_level3);
+    ("e17-level2-ec-cycle", e17_l2_recover);
+    ("e18-golay-decode", e18_golay);
+    ("e19-noisy-toric-L8x8", e19_noisy_toric);
+    ("e11-synthesis-exhaust-depth4", e11_synthesis);
+    ("e20-circuit-depth", e20_depth);
+    ("codes-exact-steane-4^7-enum", exact_polynomial);
+    ("codes-measurement-encoder-5q", measurement_encoder);
+    ("codes-conjugate-100-gates", conjugate);
+    ("codes-macwilliams-golay", macwilliams);
+    ("sim-tableau-cnot-chain-343q", tableau_343);
+    ("sim-statevec-h-layer-16q", statevec_16) ]
 
-let () =
+(* --------------------------------------------------------- full mode *)
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -339,3 +343,93 @@ let () =
           | _ -> Printf.printf "%-36s %14s\n%!" name "n/a")
         analyzed)
     tests
+
+(* -------------------------------------------------------- smoke mode *)
+
+(* A few wall-clock repetitions per kernel — enough for CI to catch
+   order-of-magnitude regressions and produce a machine-readable
+   artifact, nowhere near bechamel's statistical rigor. *)
+let smoke_run (name, f) =
+  f ();
+  (* warmup *)
+  let budget = 0.25 and max_runs = 8 in
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 in
+  while
+    !runs = 0
+    || (!runs < max_runs && Unix.gettimeofday () -. t0 < budget)
+  do
+    f ();
+    incr runs
+  done;
+  let mean_ms = (Unix.gettimeofday () -. t0) /. float_of_int !runs *. 1e3 in
+  Printf.printf "%-36s %10.3f ms  (%d runs)\n%!" name mean_ms !runs;
+  (name, mean_ms, !runs)
+
+(* Sequential vs parallel probe of the shared Monte-Carlo engine on a
+   real trial loop (Steane-EC memory).  The two counts must agree —
+   that is the engine's domain-count-invariance contract. *)
+let parallel_probe () =
+  let domains = Mc.Runner.default_domains () in
+  let trials = 600 in
+  let pnoise = Ft.Noise.gates_only 8e-3 in
+  let run d =
+    let t0 = Unix.gettimeofday () in
+    let e =
+      Ft.Memory.steane_ec_failure_mc ~domains:d ~noise:pnoise
+        ~policy:Ft.Steane_ec.Repeat_if_nontrivial ~verify:Ft.Steane_ec.Reject
+        ~trials ~seed:2026 ()
+    in
+    (e.Mc.Stats.failures, Unix.gettimeofday () -. t0)
+  in
+  ignore (run domains);
+  (* warm both code paths *)
+  let f_seq, t_seq = run 1 in
+  let f_par, t_par = run domains in
+  let speedup = t_seq /. t_par in
+  Printf.printf
+    "parallel probe: %d trials, %d domains: seq %.3f s, par %.3f s \
+     (%.2fx), counts %d/%d %s\n%!"
+    trials domains t_seq t_par speedup f_seq f_par
+    (if f_seq = f_par then "agree" else "DISAGREE");
+  (trials, domains, t_seq, t_par, speedup, f_seq = f_par)
+
+let run_smoke ~out =
+  let entries = List.map smoke_run kernels in
+  let trials, domains, t_seq, t_par, speedup, agree = parallel_probe () in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"mode\": \"smoke\",\n  \"benchmarks\": [\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (name, ms, runs) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"mean_ms\": %.6f, \"runs\": %d}%s\n"
+        name ms runs
+        (if i = last then "" else ","))
+    entries;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"parallel\": {\"trials\": %d, \"domains\": %d, \"seq_s\": %.6f, \
+     \"par_s\": %.6f, \"speedup\": %.4f, \"identical_counts\": %b}\n\
+     }\n"
+    trials domains t_seq t_par speedup agree;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+(* --------------------------------------------------------------- CLI *)
+
+let () =
+  let smoke = ref false and out = ref "BENCH_smoke.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      out := file;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: bench [--smoke [--out FILE]] (got %S)\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !smoke then run_smoke ~out:!out else run_bechamel ()

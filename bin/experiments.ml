@@ -13,18 +13,24 @@ let header title =
 
 (* ---------------------------------------------------------------- E1 *)
 
-let e1 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 1 |] in
+let e1 ?domains ~trials ~seed () =
   header
     "E1  Encoded memory fidelity (Eq. 14): unencoded 1-eps vs Steane 1-O(eps^2)";
   let decoder = Codes.Steane.css_decoder () in
   Printf.printf "%10s %14s %14s %14s %14s\n" "eps" "unencoded"
     "steane (MC)" "steane (exact)" "21*eps^2";
-  List.iter
-    (fun eps ->
-      let u = Ft.Memory.unencoded ~eps ~trials rng in
+  List.iteri
+    (fun i eps ->
+      let u =
+        Ft.Memory.unencoded_mc ?domains ~eps ~trials
+          ~seed:(Mc.Rng.derive seed [ 1; 0; i ])
+          ()
+      in
       let e =
-        Ft.Memory.encoded_ideal_ec Codes.Steane.code ~eps ~rounds:1 ~trials rng
+        Ft.Memory.encoded_ideal_ec_mc ?domains Codes.Steane.code ~eps
+          ~rounds:1 ~trials
+          ~seed:(Mc.Rng.derive seed [ 1; 1; i ])
+          ()
       in
       let exact =
         Codes.Exact.failure_probability ~metric:`Basis_avg Codes.Steane.code
@@ -74,29 +80,36 @@ let slope pts =
     let sxy = List.fold_left2 (fun a x y -> a +. (x *. y)) 0.0 lx ly in
     ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
 
-let e2 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 2 |] in
+let e2 ?domains ~trials ~seed () =
   header
     "E2  Fault-tolerant vs non-FT syndrome extraction (Figs. 2/6): O(eps) vs O(eps^2)";
   Printf.printf "%10s %14s %14s %14s\n" "eps" "nonFT(Fig.2)" "Shor-FT"
     "Steane-FT";
   let eps_list = [ 1e-3; 2e-3; 4e-3; 8e-3; 1.6e-2 ] in
   let bad_pts = ref [] and shor_pts = ref [] and steane_pts = ref [] in
-  List.iter
-    (fun eps ->
+  List.iteri
+    (fun i eps ->
       let noise = Ft.Noise.gates_only eps in
+      (* one independent stream per (family, eps): run order and trial
+         counts of one column can no longer perturb another *)
       let bad =
-        Ft.Memory.shor_ec_failure ~noise
-          ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:false ~trials rng
+        Ft.Memory.shor_ec_failure_mc ?domains ~noise
+          ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:false ~trials
+          ~seed:(Mc.Rng.derive seed [ 2; 0; i ])
+          ()
       in
       let shor =
-        Ft.Memory.shor_ec_failure ~noise
-          ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:true ~trials rng
+        Ft.Memory.shor_ec_failure_mc ?domains ~noise
+          ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:true ~trials
+          ~seed:(Mc.Rng.derive seed [ 2; 1; i ])
+          ()
       in
       let steane =
-        Ft.Memory.steane_ec_failure ~noise
+        Ft.Memory.steane_ec_failure_mc ?domains ~noise
           ~policy:Ft.Steane_ec.Repeat_if_nontrivial ~verify:Ft.Steane_ec.Reject
-          ~trials rng
+          ~trials
+          ~seed:(Mc.Rng.derive seed [ 2; 2; i ])
+          ()
       in
       bad_pts := (eps, bad.rate) :: !bad_pts;
       shor_pts := (eps, shor.rate) :: !shor_pts;
@@ -111,16 +124,14 @@ let e2 ~trials ~seed () =
 
 (* ---------------------------------------------------------------- E3 *)
 
-let e3 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 3 |] in
+let e3 ?domains ~trials ~seed () =
   header "E3  Cat-state verification (Fig. 8): feedback damage with/without";
   (* measure one weight-4 generator of a perfect block; judge the
      block afterwards *)
   let code = Codes.Steane.code in
-  let probe ~verified eps =
+  let probe ~verified ~key eps =
     let noise = Ft.Noise.gates_only eps in
-    let failures = ref 0 in
-    for t = 1 to trials do
+    let trial rng t =
       let plus_basis = t mod 2 = 0 in
       let sim = Ft.Sim.create ~n:12 ~noise rng in
       let tab = Ft.Sim.tableau sim in
@@ -140,19 +151,18 @@ let e3 ~trials ~seed () =
       ignore
         (Ft.Shor_ec.measure_generator sim ~generator:code.generators.(3)
            ~offset:0 ~cat_base:7 ~check:11 ~verified);
-      let fail =
-        if plus_basis then Ft.Sim.ideal_measure_logical_x sim code ~offset:0
-        else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
-      in
-      if fail then incr failures
-    done;
-    float_of_int !failures /. float_of_int trials
+      if plus_basis then Ft.Sim.ideal_measure_logical_x sim code ~offset:0
+      else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
+    in
+    let failures = Mc.Runner.failures ?domains ~trials ~seed:key trial in
+    float_of_int failures /. float_of_int trials
   in
   Printf.printf "%10s %18s %18s\n" "eps" "unverified cat" "verified cat";
-  List.iter
-    (fun eps ->
-      Printf.printf "%10.4g %18.5g %18.5g\n" eps (probe ~verified:false eps)
-        (probe ~verified:true eps))
+  List.iteri
+    (fun i eps ->
+      Printf.printf "%10.4g %18.5g %18.5g\n" eps
+        (probe ~verified:false ~key:(Mc.Rng.derive seed [ 3; 0; i ]) eps)
+        (probe ~verified:true ~key:(Mc.Rng.derive seed [ 3; 1; i ]) eps))
     [ 2e-3; 5e-3; 1e-2; 2e-2 ];
   print_endline
     "\n(single generator measurement on a perfect block; the verified cat\n\
@@ -160,23 +170,26 @@ let e3 ~trials ~seed () =
 
 (* ---------------------------------------------------------------- E4 *)
 
-let e4 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 4 |] in
+let e4 ?domains ~trials ~seed () =
   header
     "E4  Syndrome repetition and ancilla verification policies (Sec. 3.3-3.4)";
   Printf.printf "%10s %14s %14s %14s %14s\n" "eps" "accept-first"
     "repeat-rule" "paper-flip" "no-verify";
-  List.iter
-    (fun eps ->
+  List.iteri
+    (fun i eps ->
       let noise = Ft.Noise.gates_only eps in
-      let run policy verify =
-        (Ft.Memory.steane_ec_failure ~noise ~policy ~verify ~trials rng).rate
+      let run k policy verify =
+        (Ft.Memory.steane_ec_failure_mc ?domains ~noise ~policy ~verify
+           ~trials
+           ~seed:(Mc.Rng.derive seed [ 4; k; i ])
+           ())
+          .rate
       in
       Printf.printf "%10.4g %14.5g %14.5g %14.5g %14.5g\n" eps
-        (run Ft.Steane_ec.Accept_first Ft.Steane_ec.Reject)
-        (run Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Reject)
-        (run Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Paper_flip)
-        (run Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.No_verification))
+        (run 0 Ft.Steane_ec.Accept_first Ft.Steane_ec.Reject)
+        (run 1 Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Reject)
+        (run 2 Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Paper_flip)
+        (run 3 Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.No_verification))
     [ 2e-3; 5e-3; 1e-2; 2e-2 ];
   print_endline
     "\ncolumns 2-4 vary the Sec. 3.4 acceptance rule and the Sec. 3.3 ancilla\n\
@@ -186,16 +199,19 @@ let e4 ~trials ~seed () =
 
 (* ---------------------------------------------------------------- E5 *)
 
-let e5 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 5 |] in
+let e5 ?domains ~trials ~seed () =
   header
     "E5  Level-1 pseudo-threshold (Eq. 33): p1 = A*eps^2, threshold = 1/A";
   let eps_list = [ 1e-3; 2e-3; 4e-3 ] in
   let pts =
-    List.map
-      (fun eps ->
+    List.mapi
+      (fun i eps ->
         let noise = Ft.Noise.gates_only eps in
-        let r = Ft.Memory.logical_cnot_exrec_failure ~noise ~trials rng in
+        let r =
+          Ft.Memory.logical_cnot_exrec_failure_mc ?domains ~noise ~trials
+            ~seed:(Mc.Rng.derive seed [ 5; i ])
+            ()
+        in
         Printf.printf "  eps=%8.4g  p1=%.5g (+-%.2g)\n%!" eps r.rate r.stderr;
         (eps, r.rate))
       eps_list
@@ -243,17 +259,19 @@ let e6 () =
 
 (* --------------------------------------------------------------- E6b *)
 
-let e6b ~trials ~seed () =
-  let rng = Random.State.make [| seed; 66 |] in
+let e6b ?domains ~trials ~seed () =
   header
     "E6b Concatenated Steane, direct Monte Carlo (Pauli frame, ideal EC)";
   Printf.printf
     "%8s %12s %12s %12s   (failure per recovery, levels L = 1..3)\n" "eps"
     "L=1 (7q)" "L=2 (49q)" "L=3 (343q)";
-  List.iter
-    (fun eps ->
+  List.iteri
+    (fun i eps ->
       let run level t =
-        (Codes.Pauli_frame.memory_failure ~level ~eps ~rounds:1 ~trials:t rng)
+        (Codes.Pauli_frame.memory_failure_mc ?domains ~level ~eps ~rounds:1
+           ~trials:t
+           ~seed:(Mc.Rng.derive seed [ 66; i; level ])
+           ())
           .rate
       in
       Printf.printf "%8.3f %12.5f %12.5f %12.5f\n%!" eps (run 1 trials)
@@ -268,18 +286,19 @@ let e6b ~trials ~seed () =
 
 (* --------------------------------------------------------------- E15 *)
 
-let e15 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 15 |] in
+let e15 ?domains ~trials ~seed () =
   header
     "E15 Biased noise ablation (Sec. 6: tailoring the scheme to the model)";
   Printf.printf
     "total eps fixed at 0.02; eta = P(Z)/P(X); self-dual CSS decoding\n\n";
   Printf.printf "%8s %12s %12s\n" "eta" "L=1" "L=2";
-  List.iter
-    (fun eta ->
+  List.iteri
+    (fun i eta ->
       let run level =
-        (Codes.Pauli_frame.memory_failure_biased ~level ~eps:0.02 ~eta
-           ~rounds:1 ~trials rng)
+        (Codes.Pauli_frame.memory_failure_biased_mc ?domains ~level ~eps:0.02
+           ~eta ~rounds:1 ~trials
+           ~seed:(Mc.Rng.derive seed [ 15; i; level ])
+           ())
           .rate
       in
       Printf.printf "%8.1f %12.5f %12.5f\n%!" eta (run 1) (run 2))
@@ -355,20 +374,23 @@ let e9 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E10 *)
 
-let e10 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 10 |] in
+let e10 ?domains ~trials ~seed () =
   header "E10  Toric-code memory (Sec. 7): threshold of the Kitaev model";
   let ls = [ 4; 6; 8; 12 ] in
   let ps = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15 ] in
   Printf.printf "%8s" "p \\ L";
   List.iter (fun l -> Printf.printf " %9d" l) ls;
   print_newline ();
-  List.iter
-    (fun p ->
+  List.iteri
+    (fun pi p ->
       Printf.printf "%8.3f" p;
       List.iter
         (fun l ->
-          let r = Toric.Memory.run ~l ~p ~trials rng in
+          let r =
+            Toric.Memory.run_mc ?domains ~l ~p ~trials
+              ~seed:(Mc.Rng.derive seed [ 10; l; pi ])
+              ()
+          in
           Printf.printf " %9.4f" r.rate)
         ls;
       print_newline ())
@@ -442,7 +464,7 @@ let e11 ~seed () =
 
 (* --------------------------------------------------------------- E12 *)
 
-let e12 ~trials ~seed () =
+let e12 ?domains ~trials ~seed () =
   let rng = Random.State.make [| seed; 12 |] in
   header "E12  Leakage detection (Fig. 15)";
   (* single-qubit demo *)
@@ -494,9 +516,8 @@ let e12 ~trials ~seed () =
          (Codes.Stabilizer_code.embed code ~offset:7 ~total code.logical_x.(0))
          ~outcome:false)
   in
-  let run ~scrub ~eps =
-    let failures = ref 0 in
-    for _ = 1 to trials do
+  let run ~scrub ~key ~eps =
+    let trial rng _ =
       let t =
         Ft.Leakage.create ~n:total ~noise:Ft.Noise.none ~leak_rate:0.0 rng
       in
@@ -536,15 +557,17 @@ let e12 ~trials ~seed () =
       (* end of life: scrub in both arms (otherwise the leaked qubit
          cannot even be read out), then judge ideally *)
       ignore (Ft.Leakage.scrub t ~qubits:(List.init 7 Fun.id) ~ancilla:14);
-      if Ft.Sim.ideal_measure_logical_z sim code ~offset:0 then incr failures
-    done;
-    float_of_int !failures /. float_of_int trials
+      Ft.Sim.ideal_measure_logical_z sim code ~offset:0
+    in
+    let failures = Mc.Runner.failures ?domains ~trials ~seed:key trial in
+    float_of_int failures /. float_of_int trials
   in
   Printf.printf "%10s %20s %20s\n" "eps" "scrub every round" "no scrubbing";
-  List.iter
-    (fun eps ->
-      Printf.printf "%10.4g %20.5g %20.5g\n" eps (run ~scrub:true ~eps)
-        (run ~scrub:false ~eps))
+  List.iteri
+    (fun i eps ->
+      Printf.printf "%10.4g %20.5g %20.5g\n" eps
+        (run ~scrub:true ~key:(Mc.Rng.derive seed [ 12; 0; i ]) ~eps)
+        (run ~scrub:false ~key:(Mc.Rng.derive seed [ 12; 1; i ]) ~eps))
     [ 0.0; 5e-3; 1e-2; 2e-2 ];
   print_endline
     "(scrubbing converts the leak into a located, correctable error;\n\
@@ -627,23 +650,21 @@ let e14 ~seed () =
 
 (* --------------------------------------------------------------- E16 *)
 
-let e16 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 16 |] in
+let e16 ?domains ~trials ~seed () =
   header
     "E16 Generalized Steane-method EC across CSS codes (Sec. 3.6, Fig. 10)";
   Printf.printf
     "one noisy EC cycle on a perfect block, judged ideally (eps = gate error)\n\n";
   Printf.printf "%18s %6s %10s %10s %10s\n" "code" "n" "eps=1e-3" "eps=4e-3"
     "eps=1e-2";
-  List.iter
-    (fun (gadget, label) ->
+  List.iteri
+    (fun ci (gadget, label) ->
       let code = Ft.Css_ec.code gadget in
       let n = code.Codes.Stabilizer_code.n in
       let total = 3 * n in
-      let run eps =
+      let run ei eps =
         let noise = Ft.Noise.gates_only eps in
-        let failures = ref 0 in
-        for t = 1 to trials do
+        let trial rng t =
           let plus_basis = t mod 2 = 0 in
           let sim = Ft.Sim.create ~n:total ~noise rng in
           let tab = Ft.Sim.tableau sim in
@@ -665,17 +686,18 @@ let e16 ~trials ~seed () =
             (Ft.Css_ec.recover sim gadget
                ~policy:Ft.Css_ec.Repeat_if_nontrivial ~data:0 ~ancilla:n
                ~checker:(2 * n) ~max_attempts:50);
-          let fail =
-            if plus_basis then
-              Ft.Sim.ideal_measure_logical_x sim code ~offset:0
-            else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
-          in
-          if fail then incr failures
-        done;
-        float_of_int !failures /. float_of_int trials
+          if plus_basis then Ft.Sim.ideal_measure_logical_x sim code ~offset:0
+          else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
+        in
+        let failures =
+          Mc.Runner.failures ?domains ~trials
+            ~seed:(Mc.Rng.derive seed [ 16; ci; ei ])
+            trial
+        in
+        float_of_int failures /. float_of_int trials
       in
-      Printf.printf "%18s %6d %10.5f %10.5f %10.5f\n%!" label n (run 1e-3)
-        (run 4e-3) (run 1e-2))
+      Printf.printf "%18s %6d %10.5f %10.5f %10.5f\n%!" label n (run 0 1e-3)
+        (run 1 4e-3) (run 2 1e-2))
     [ (Ft.Css_ec.for_steane (), "steane [[7,1,3]]");
       (Ft.Css_ec.for_shor9 (), "shor [[9,1,3]]");
       (Ft.Css_ec.for_reed_muller (), "RM [[15,1,3]]") ];
@@ -685,8 +707,7 @@ let e16 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E17 *)
 
-let e17 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 17 |] in
+let e17 ?domains ~trials ~seed () =
   header
     "E17 Circuit-level concatenation: level-2 vs level-1 EC gadgets (Sec. 5)";
   Printf.printf
@@ -694,15 +715,19 @@ let e17 ~trials ~seed () =
      outer syndromes through verified |0bar>_2 ancillas); %d / %d trials\n\n"
     (trials * 10) trials;
   Printf.printf "%10s %14s %14s\n" "eps" "p1 (level 1)" "p2 (level 2)";
-  List.iter
-    (fun eps ->
+  List.iteri
+    (fun i eps ->
       let noise = Ft.Noise.gates_only eps in
       let f1, n1 =
-        Ft.Concat_ec.logical_failure_rate ~noise ~level:1 ~trials:(trials * 10)
-          rng
+        Ft.Concat_ec.logical_failure_rate_par ?domains ~noise ~level:1
+          ~trials:(trials * 10)
+          ~seed:(Mc.Rng.derive seed [ 17; 1; i ])
+          ()
       in
       let f2, n2 =
-        Ft.Concat_ec.logical_failure_rate ~noise ~level:2 ~trials rng
+        Ft.Concat_ec.logical_failure_rate_par ?domains ~noise ~level:2 ~trials
+          ~seed:(Mc.Rng.derive seed [ 17; 2; i ])
+          ()
       in
       Printf.printf "%10.4g %14.5g %14.5g%s\n%!" eps
         (float_of_int f1 /. float_of_int n1)
@@ -715,13 +740,11 @@ let e17 ~trials ~seed () =
   print_endline
     "\nbelow the level-1 pseudo-threshold the level-2 block wins (the flow\n\
      p2 = A p1^2 in the flesh); near/above it the extra machinery of the\n\
-     big block costs more than it buys.";
-  ignore rng
+     big block costs more than it buys."
 
 (* --------------------------------------------------------------- E18 *)
 
-let e18 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 18 |] in
+let e18 ?domains ~trials ~seed () =
   header
     "E18 One big code vs concatenation (Sec. 5): Golay [[23,1,7]] vs Steane";
   Printf.printf
@@ -729,17 +752,25 @@ let e18 ~trials ~seed () =
   Printf.printf "%8s %14s %16s %14s\n" "eps" "steane (7q)" "steane^2 (49q)"
     "golay (23q)";
   let golay_decoder = Codes.Golay.css_decoder () in
-  List.iter
-    (fun eps ->
+  List.iteri
+    (fun i eps ->
       let s1 =
-        Codes.Pauli_frame.memory_failure ~level:1 ~eps ~rounds:1 ~trials rng
+        Codes.Pauli_frame.memory_failure_mc ?domains ~level:1 ~eps ~rounds:1
+          ~trials
+          ~seed:(Mc.Rng.derive seed [ 18; 0; i ])
+          ()
       in
       let s2 =
-        Codes.Pauli_frame.memory_failure ~level:2 ~eps ~rounds:1 ~trials rng
+        Codes.Pauli_frame.memory_failure_mc ?domains ~level:2 ~eps ~rounds:1
+          ~trials
+          ~seed:(Mc.Rng.derive seed [ 18; 1; i ])
+          ()
       in
       let g =
-        Codes.Pauli_frame.code_memory_failure Codes.Golay.code golay_decoder
-          ~eps ~rounds:1 ~trials rng
+        Codes.Pauli_frame.code_memory_failure_mc ?domains Codes.Golay.code
+          golay_decoder ~eps ~rounds:1 ~trials
+          ~seed:(Mc.Rng.derive seed [ 18; 2; i ])
+          ()
       in
       Printf.printf "%8.3f %14.5f %16.5f %14.5f\n%!" eps s1.rate s2.rate g.rate)
     [ 0.002; 0.01; 0.03; 0.06; 0.10 ];
@@ -754,8 +785,7 @@ let e18 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E19 *)
 
-let e19 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 19 |] in
+let e19 ?domains ~trials ~seed () =
   header
     "E19 Toric memory with noisy syndrome measurement (Sec. 7, finite T)";
   Printf.printf
@@ -766,12 +796,16 @@ let e19 ~trials ~seed () =
   Printf.printf "%8s" "p \\ L";
   List.iter (fun l -> Printf.printf " %9d" l) ls;
   print_newline ();
-  List.iter
-    (fun p ->
+  List.iteri
+    (fun pi p ->
       Printf.printf "%8.3f" p;
       List.iter
         (fun l ->
-          let r = Toric.Noisy_memory.run ~l ~rounds:l ~p ~q:p ~trials rng in
+          let r =
+            Toric.Noisy_memory.run_mc ?domains ~l ~rounds:l ~p ~q:p ~trials
+              ~seed:(Mc.Rng.derive seed [ 19; l; pi ])
+              ()
+          in
           Printf.printf " %9.4f" r.rate)
         ls;
       print_newline ())
@@ -783,8 +817,7 @@ let e19 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E20 *)
 
-let e20 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 20 |] in
+let e20 ?domains ~trials ~seed () =
   header
     "E20 Maximal parallelism vs storage errors (Sec. 6, third bullet)";
   let circuit = Ft.Steane_ec.syndrome_extraction_circuit () in
@@ -798,16 +831,18 @@ let e20 ~trials ~seed () =
     (float_of_int d_seq /. float_of_int d_par);
   Printf.printf "%12s %18s %18s\n" "eps_store" "parallel schedule"
     "serial schedule";
-  List.iter
-    (fun eps_store ->
-      let run exposure =
-        (Codes.Pauli_frame.memory_failure ~level:1
+  List.iteri
+    (fun i eps_store ->
+      let run k exposure =
+        (Codes.Pauli_frame.memory_failure_mc ?domains ~level:1
            ~eps:(Float.min 0.75 (eps_store *. float_of_int exposure))
-           ~rounds:1 ~trials rng)
+           ~rounds:1 ~trials
+           ~seed:(Mc.Rng.derive seed [ 20; k; i ])
+           ())
           .rate
       in
-      Printf.printf "%12.1e %18.5f %18.5f\n%!" eps_store (run d_par)
-        (run d_seq))
+      Printf.printf "%12.1e %18.5f %18.5f\n%!" eps_store (run 0 d_par)
+        (run 1 d_seq))
     [ 1e-5; 3e-5; 1e-4; 3e-4; 1e-3 ];
   print_endline
     "\n(each resting qubit is exposed for one gadget-execution per EC cycle;\n\
@@ -817,8 +852,7 @@ let e20 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E22 *)
 
-let e22 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 22 |] in
+let e22 ?domains ~trials ~seed () =
   header
     "E22 Gate vs storage error thresholds (Eqs. 34-35)";
   Printf.printf
@@ -826,16 +860,18 @@ let e22 ~trials ~seed () =
      (ancilla factories pipelined per Sec. 6: data idles one step per round)\n\n";
   Printf.printf "%10s %16s %16s\n" "eps" "gates only" "storage only";
   let gate_pts = ref [] and store_pts = ref [] in
-  List.iter
-    (fun eps ->
-      let run noise =
-        (Ft.Memory.steane_ec_failure ~noise
+  List.iteri
+    (fun i eps ->
+      let run k noise =
+        (Ft.Memory.steane_ec_failure_mc ?domains ~noise
            ~policy:Ft.Steane_ec.Repeat_if_nontrivial
-           ~verify:Ft.Steane_ec.Reject ~trials rng)
+           ~verify:Ft.Steane_ec.Reject ~trials
+           ~seed:(Mc.Rng.derive seed [ 22; k; i ])
+           ())
           .rate
       in
-      let g = run (Ft.Noise.gates_only eps) in
-      let st = run (Ft.Noise.storage_only eps) in
+      let g = run 0 (Ft.Noise.gates_only eps) in
+      let st = run 1 (Ft.Noise.storage_only eps) in
       gate_pts := (eps, g) :: !gate_pts;
       store_pts := (eps, st) :: !store_pts;
       Printf.printf "%10.4g %16.5g %16.5g\n%!" eps g st)
@@ -857,17 +893,15 @@ let e22 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E23 *)
 
-let e23 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 23 |] in
+let e23 ?domains ~trials ~seed () =
   header
     "E23 The same logical program on stronger hardware codes (Sec. 4.2/5)";
   Printf.printf
     "logical GHZ (H + 2 CNOTs, EC after every gate) on three blocks;\n\
      identical program, different self-dual CSS code underneath\n\n";
   Printf.printf "%10s %16s %16s\n" "eps" "steane [[7,1,3]]" "golay [[23,1,7]]";
-  let run gadget eps =
-    let failures = ref 0 in
-    for _ = 1 to trials do
+  let run gadget ~key eps =
+    let trial rng _ =
       let t =
         Ft.Css_logical.create ~gadget ~blocks:3
           ~noise:(Ft.Noise.gates_only eps) rng
@@ -878,16 +912,18 @@ let e23 ~trials ~seed () =
       let a = Ft.Css_logical.ideal_z t 0 in
       let b = Ft.Css_logical.ideal_z t 1 in
       let c = Ft.Css_logical.ideal_z t 2 in
-      if not (a = b && b = c) then incr failures
-    done;
-    float_of_int !failures /. float_of_int trials
+      not (a = b && b = c)
+    in
+    let failures = Mc.Runner.failures ?domains ~trials ~seed:key trial in
+    float_of_int failures /. float_of_int trials
   in
   let steane = Ft.Css_ec.for_steane () in
   let golay = Ft.Css_ec.for_golay () in
-  List.iter
-    (fun eps ->
-      Printf.printf "%10.4g %16.5g %16.5g\n%!" eps (run steane eps)
-        (run golay eps))
+  List.iteri
+    (fun i eps ->
+      Printf.printf "%10.4g %16.5g %16.5g\n%!" eps
+        (run steane ~key:(Mc.Rng.derive seed [ 23; 0; i ]) eps)
+        (run golay ~key:(Mc.Rng.derive seed [ 23; 1; i ]) eps))
     [ 1e-3; 3e-3; 6e-3 ];
   print_endline
     "\nthe identical logical program runs unchanged on either code (the\n\
@@ -901,8 +937,7 @@ let e23 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E24 *)
 
-let e24 ~trials ~seed () =
-  let rng = Random.State.make [| seed; 24 |] in
+let e24 ?domains ~trials ~seed () =
   header
     "E24 Circuit-level toric memory: Kitaev's bare-ancilla scheme (Sec. 3.6)";
   Printf.printf
@@ -913,14 +948,16 @@ let e24 ~trials ~seed () =
   Printf.printf "%10s" "eps \\ L";
   List.iter (fun l -> Printf.printf " %9d" l) ls;
   print_newline ();
-  List.iter
-    (fun eps ->
+  List.iteri
+    (fun ei eps ->
       Printf.printf "%10.4f" eps;
       List.iter
         (fun l ->
           let r =
-            Toric.Circuit_memory.run ~l ~rounds:l
-              ~noise:(Ft.Noise.uniform eps) ~trials rng
+            Toric.Circuit_memory.run_mc ?domains ~l ~rounds:l
+              ~noise:(Ft.Noise.uniform eps) ~trials
+              ~seed:(Mc.Rng.derive seed [ 24; l; ei ])
+              ()
           in
           Printf.printf " %9.4f" r.rate)
         ls;
@@ -943,6 +980,15 @@ let trials_arg default =
 let seed_arg =
   Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"random seed")
 
+(* 0 = auto: FTQC_DOMAINS if set, else the recommended domain count *)
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ]
+        ~doc:"worker domains for Monte-Carlo experiments (0 = auto)")
+
+let resolve_domains d = if d <= 0 then None else Some d
+
 let simple name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
@@ -952,66 +998,75 @@ let with_trials name doc default f =
       const (fun trials seed -> f ~trials ~seed ())
       $ trials_arg default $ seed_arg)
 
+(* parallel experiments additionally take --domains *)
+let with_trials_par name doc default f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun domains trials seed ->
+          f ?domains:(resolve_domains domains) ~trials ~seed ())
+      $ domains_arg $ trials_arg default $ seed_arg)
+
 let with_seed name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const (fun seed -> f ~seed ()) $ seed_arg)
 
 let all_cmd =
-  let run trials seed =
-    e1 ~trials ~seed ();
-    e2 ~trials ~seed ();
-    e3 ~trials ~seed ();
-    e4 ~trials ~seed ();
-    e5 ~trials:(trials * 2) ~seed ();
+  let run domains trials seed =
+    let domains = resolve_domains domains in
+    e1 ?domains ~trials ~seed ();
+    e2 ?domains ~trials ~seed ();
+    e3 ?domains ~trials ~seed ();
+    e4 ?domains ~trials ~seed ();
+    e5 ?domains ~trials:(trials * 2) ~seed ();
     e6 ();
-    e6b ~trials:(max 5000 trials) ~seed ();
+    e6b ?domains ~trials:(max 5000 trials) ~seed ();
     e7 ();
     e8 ();
     e9 ~trials:200 ~seed ();
-    e10 ~trials:(max 500 (trials / 4)) ~seed ();
+    e10 ?domains ~trials:(max 500 (trials / 4)) ~seed ();
     e11 ~seed ();
-    e12 ~trials:(max 500 (trials / 4)) ~seed ();
+    e12 ?domains ~trials:(max 500 (trials / 4)) ~seed ();
     e13 ();
     e14 ~seed ();
-    e15 ~trials:(max 5000 trials) ~seed ();
-    e16 ~trials:(min 3000 trials) ~seed ();
-    e17 ~trials:800 ~seed ();
-    e18 ~trials:(max 20000 trials) ~seed ();
-    e19 ~trials:(max 1000 (trials / 6)) ~seed ();
-    e20 ~trials:(max 20000 trials) ~seed ();
-    e22 ~trials ~seed ();
-    e23 ~trials:(max 500 (trials / 8)) ~seed ();
-    e24 ~trials:400 ~seed ()
+    e15 ?domains ~trials:(max 5000 trials) ~seed ();
+    e16 ?domains ~trials:(min 3000 trials) ~seed ();
+    e17 ?domains ~trials:800 ~seed ();
+    e18 ?domains ~trials:(max 20000 trials) ~seed ();
+    e19 ?domains ~trials:(max 1000 (trials / 6)) ~seed ();
+    e20 ?domains ~trials:(max 20000 trials) ~seed ();
+    e22 ?domains ~trials ~seed ();
+    e23 ?domains ~trials:(max 500 (trials / 8)) ~seed ();
+    e24 ?domains ~trials:400 ~seed ()
   in
   Cmd.v (Cmd.info "all" ~doc:"run every experiment")
-    Term.(const run $ trials_arg 4000 $ seed_arg)
+    Term.(const run $ domains_arg $ trials_arg 4000 $ seed_arg)
 
 let () =
   let cmds =
-    [ with_trials "e1" "memory fidelity (Eq. 14)" 20000 e1;
-      with_trials "e2" "FT vs non-FT extraction" 20000 e2;
-      with_trials "e3" "cat verification" 20000 e3;
-      with_trials "e4" "syndrome repetition" 20000 e4;
-      with_trials "e5" "pseudo-threshold" 20000 e5;
+    [ with_trials_par "e1" "memory fidelity (Eq. 14)" 20000 e1;
+      with_trials_par "e2" "FT vs non-FT extraction" 20000 e2;
+      with_trials_par "e3" "cat verification" 20000 e3;
+      with_trials_par "e4" "syndrome repetition" 20000 e4;
+      with_trials_par "e5" "pseudo-threshold" 20000 e5;
       simple "e6" "concatenation flow (Eqs. 36-37)" e6;
-      with_trials "e6b" "concatenated Steane Monte Carlo" 30000 e6b;
+      with_trials_par "e6b" "concatenated Steane Monte Carlo" 30000 e6b;
       simple "e7" "big-code scaling (Eqs. 30-32)" e7;
       simple "e8" "factoring resources (Sec. 6)" e8;
       with_trials "e9" "random vs systematic errors" 500 e9;
-      with_trials "e10" "toric-code threshold" 2000 e10;
+      with_trials_par "e10" "toric-code threshold" 2000 e10;
       with_seed "e11" "A5 flux-pair logic" e11;
-      with_trials "e12" "leakage detection" 2000 e12;
+      with_trials_par "e12" "leakage detection" 2000 e12;
       simple "e13" "code comparison" e13;
       with_seed "e14" "fault-tolerant Toffoli" e14;
-      with_trials "e15" "biased-noise ablation" 30000 e15;
-      with_trials "e16" "generalized CSS EC" 5000 e16;
-      with_trials "e17" "level-2 vs level-1 EC gadget" 3000 e17;
-      with_trials "e18" "Golay vs concatenation" 50000 e18;
-      with_trials "e19" "toric with noisy measurement" 2000 e19;
-      with_trials "e20" "parallelism vs storage errors" 50000 e20;
-      with_trials "e22" "gate vs storage thresholds" 20000 e22;
-      with_trials "e23" "same program, stronger code" 2000 e23;
-      with_trials "e24" "circuit-level toric memory" 500 e24;
+      with_trials_par "e15" "biased-noise ablation" 30000 e15;
+      with_trials_par "e16" "generalized CSS EC" 5000 e16;
+      with_trials_par "e17" "level-2 vs level-1 EC gadget" 3000 e17;
+      with_trials_par "e18" "Golay vs concatenation" 50000 e18;
+      with_trials_par "e19" "toric with noisy measurement" 2000 e19;
+      with_trials_par "e20" "parallelism vs storage errors" 50000 e20;
+      with_trials_par "e22" "gate vs storage thresholds" 20000 e22;
+      with_trials_par "e23" "same program, stronger code" 2000 e23;
+      with_trials_par "e24" "circuit-level toric memory" 500 e24;
       all_cmd ]
   in
   let info = Cmd.info "experiments" ~doc:"Preskill FTQC reproduction experiments" in

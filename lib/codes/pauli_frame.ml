@@ -99,35 +99,66 @@ let estimate ~failures ~trials =
   in
   { failures; trials; rate; stderr }
 
-let run_memory ~noise_sample ~decode ~rounds ~trials =
+(* One memory trial: [noise_sample] draws a fresh Pauli error from the
+   supplied stream each round; [decode] classifies the residual. *)
+let memory_trial ~noise_sample ~decode ~rounds rng =
+  let cls = ref L_i in
+  for _ = 1 to rounds do
+    match decode (noise_sample rng) with
+    | Some c -> cls := compose !cls c
+    | None -> cls := compose !cls L_y (* undecodable: count as failed *)
+  done;
+  !cls <> L_i
+
+let run_memory ~noise_sample ~decode ~rounds ~trials rng =
   let failures = ref 0 in
   for _ = 1 to trials do
-    let cls = ref L_i in
-    for _ = 1 to rounds do
-      match decode (noise_sample ()) with
-      | Some c -> cls := compose !cls c
-      | None -> cls := compose !cls L_y (* undecodable: count as failed *)
-    done;
-    if !cls <> L_i then incr failures
+    if memory_trial ~noise_sample ~decode ~rounds rng then incr failures
   done;
   estimate ~failures:!failures ~trials
+
+let run_memory_mc ?domains ~noise_sample ~decode ~rounds ~trials ~seed () =
+  Mc.Runner.estimate ?domains ~trials ~seed (fun rng _ ->
+      memory_trial ~noise_sample ~decode ~rounds rng)
 
 let memory_failure ~level ~eps ~rounds ~trials rng =
   let n = int_of_float (7.0 ** float_of_int level) in
   run_memory
-    ~noise_sample:(fun () -> depolarize rng ~eps ~n)
+    ~noise_sample:(fun rng -> depolarize rng ~eps ~n)
     ~decode:(fun e -> Some (concatenated_steane_class ~level e))
-    ~rounds ~trials
+    ~rounds ~trials rng
+
+let memory_failure_mc ?domains ~level ~eps ~rounds ~trials ~seed () =
+  let n = int_of_float (7.0 ** float_of_int level) in
+  run_memory_mc ?domains
+    ~noise_sample:(fun rng -> depolarize rng ~eps ~n)
+    ~decode:(fun e -> Some (concatenated_steane_class ~level e))
+    ~rounds ~trials ~seed ()
 
 let code_memory_failure code decoder ~eps ~rounds ~trials rng =
   run_memory
-    ~noise_sample:(fun () -> depolarize rng ~eps ~n:code.Code.n)
+    ~noise_sample:(fun rng -> depolarize rng ~eps ~n:code.Code.n)
     ~decode:(fun e -> residual_class code decoder e)
-    ~rounds ~trials
+    ~rounds ~trials rng
+
+let code_memory_failure_mc ?domains code decoder ~eps ~rounds ~trials ~seed ()
+    =
+  run_memory_mc ?domains
+    ~noise_sample:(fun rng -> depolarize rng ~eps ~n:code.Code.n)
+    ~decode:(fun e -> residual_class code decoder e)
+    ~rounds ~trials ~seed ()
 
 let memory_failure_biased ~level ~eps ~eta ~rounds ~trials rng =
   let n = int_of_float (7.0 ** float_of_int level) in
   run_memory
-    ~noise_sample:(fun () -> biased_depolarize rng ~eps ~eta ~n)
+    ~noise_sample:(fun rng -> biased_depolarize rng ~eps ~eta ~n)
     ~decode:(fun e -> Some (concatenated_steane_class ~level e))
-    ~rounds ~trials
+    ~rounds ~trials rng
+
+let memory_failure_biased_mc ?domains ~level ~eps ~eta ~rounds ~trials ~seed
+    () =
+  let n = int_of_float (7.0 ** float_of_int level) in
+  run_memory_mc ?domains
+    ~noise_sample:(fun rng -> biased_depolarize rng ~eps ~eta ~n)
+    ~decode:(fun e -> Some (concatenated_steane_class ~level e))
+    ~rounds ~trials ~seed ()

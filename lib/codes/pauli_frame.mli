@@ -56,6 +56,20 @@ type estimate = {
 val memory_failure :
   level:int -> eps:float -> rounds:int -> trials:int -> Random.State.t -> estimate
 
+(** [memory_failure_mc ?domains ~level ~eps ~rounds ~trials ~seed ()]
+    — the same experiment on the shared {!Mc.Runner} engine: trials
+    fan out over OCaml 5 domains with per-chunk split RNG streams;
+    counts are bit-identical for any [domains]. *)
+val memory_failure_mc :
+  ?domains:int ->
+  level:int ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
 (** [code_memory_failure code decoder ~eps ~rounds ~trials rng] — same
     driver for an arbitrary k = 1 code; undecodable syndromes count as
     failures. *)
@@ -67,6 +81,17 @@ val code_memory_failure :
   trials:int ->
   Random.State.t ->
   estimate
+
+val code_memory_failure_mc :
+  ?domains:int ->
+  Stabilizer_code.t ->
+  Stabilizer_code.decoder ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
 
 (** [biased_depolarize rng ~eps ~eta ~n] — §6's "more realistic error
     model" hook: total error probability [eps] per qubit with Z
@@ -83,3 +108,14 @@ val memory_failure_biased :
   trials:int ->
   Random.State.t ->
   estimate
+
+val memory_failure_biased_mc :
+  ?domains:int ->
+  level:int ->
+  eps:float ->
+  eta:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate

@@ -2,6 +2,9 @@
     reproducing Preskill's "Fault-Tolerant Quantum Computation".
 
     Layering, bottom to top:
+    - {!Mc}: the shared Monte-Carlo engine — splittable deterministic
+      RNG streams, a parallel (OCaml 5 domains) map-reduce runner with
+      domain-count-invariant results, Wilson-interval estimators.
     - {!Gf2}: GF(2) linear algebra (bit vectors, matrices).
     - {!Qmath}: complex scalars, dense matrices, standard gates.
     - {!Group}: finite permutation groups (A₅ and friends, §7.4).
@@ -18,6 +21,7 @@
     - {!Toric}: Kitaev's toric code + union-find decoder (§7).
     - {!Anyon}: nonabelian flux-pair computation over A₅ (§7.3–7.4). *)
 
+module Mc = Mc
 module Gf2 = Gf2
 module Qmath = Qmath
 module Group = Group

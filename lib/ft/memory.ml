@@ -18,20 +18,29 @@ let depolarize_block tab rng ~n ~offset ~block_size ~eps =
         (Pauli.single n (offset + q) letters.(Random.State.int rng 3))
   done
 
-let unencoded ~eps ~trials rng =
+(* Each experiment is one per-trial predicate [... -> rng -> t -> bool]
+   (t's parity picks the basis), shared between the legacy sequential
+   entry points (caller-supplied rng) and the [_mc] entry points that
+   fan the trials out over domains via Mc.Runner. *)
+
+let unencoded_trial ~eps rng t =
+  let plus_basis = t mod 2 = 0 in
+  let tab = Tableau.create 1 in
+  if plus_basis then Tableau.h tab 0;
+  depolarize_block tab rng ~n:1 ~offset:0 ~block_size:1 ~eps;
+  if plus_basis then Tableau.measure_x tab rng 0 else Tableau.measure tab rng 0
+
+let sequential ~trials rng trial =
   let failures = ref 0 in
   for t = 1 to trials do
-    let plus_basis = t mod 2 = 0 in
-    let tab = Tableau.create 1 in
-    if plus_basis then Tableau.h tab 0;
-    depolarize_block tab rng ~n:1 ~offset:0 ~block_size:1 ~eps;
-    let outcome =
-      if plus_basis then Tableau.measure_x tab rng 0
-      else Tableau.measure tab rng 0
-    in
-    if outcome then incr failures
+    if trial rng t then incr failures
   done;
   estimate ~failures:!failures ~trials
+
+let unencoded ~eps ~trials rng = sequential ~trials rng (unencoded_trial ~eps)
+
+let unencoded_mc ?domains ~eps ~trials ~seed () =
+  Mc.Runner.estimate ?domains ~trials ~seed (unencoded_trial ~eps)
 
 (* Judge a block noiselessly: ideal recovery then logical readout. *)
 let judge tab rng (code : Code.t) ~plus_basis =
@@ -41,22 +50,25 @@ let judge tab rng (code : Code.t) ~plus_basis =
   in
   Tableau.measure_pauli tab rng op
 
-let encoded_ideal_ec (code : Code.t) ~eps ~rounds ~trials rng =
-  let failures = ref 0 in
-  for t = 1 to trials do
-    let plus_basis = t mod 2 = 0 in
-    let tab =
-      if plus_basis then Code.prepare_logical_plus code
-      else Code.prepare_logical_zero code
-    in
-    for _ = 1 to rounds do
-      depolarize_block tab rng ~n:code.Code.n ~offset:0
-        ~block_size:code.Code.n ~eps;
-      ignore (Code.ideal_recover code tab rng)
-    done;
-    if judge tab rng code ~plus_basis then incr failures
+let encoded_ideal_ec_trial (code : Code.t) ~eps ~rounds rng t =
+  let plus_basis = t mod 2 = 0 in
+  let tab =
+    if plus_basis then Code.prepare_logical_plus code
+    else Code.prepare_logical_zero code
+  in
+  for _ = 1 to rounds do
+    depolarize_block tab rng ~n:code.Code.n ~offset:0 ~block_size:code.Code.n
+      ~eps;
+    ignore (Code.ideal_recover code tab rng)
   done;
-  estimate ~failures:!failures ~trials
+  judge tab rng code ~plus_basis
+
+let encoded_ideal_ec (code : Code.t) ~eps ~rounds ~trials rng =
+  sequential ~trials rng (encoded_ideal_ec_trial code ~eps ~rounds)
+
+let encoded_ideal_ec_mc ?domains code ~eps ~rounds ~trials ~seed () =
+  Mc.Runner.estimate ?domains ~trials ~seed
+    (encoded_ideal_ec_trial code ~eps ~rounds)
 
 (* Copy a prepared 7-qubit logical state into a larger noisy register:
    we instead prepare directly in the register by projecting. *)
@@ -82,64 +94,69 @@ let judge_steane_in sim ~offset ~plus_basis =
     Sim.ideal_measure_logical_x sim Codes.Steane.code ~offset
   else Sim.ideal_measure_logical_z sim Codes.Steane.code ~offset
 
-let shor_ec_failure ~noise ~policy ~verified ~trials rng =
+let shor_ec_trial ~noise ~policy ~verified rng t =
   let code = Codes.Steane.code in
   (* data 0..6, cat 7..10 (weight-4 generators), check 11 *)
-  let n = 12 in
-  let failures = ref 0 in
-  for t = 1 to trials do
-    let plus_basis = t mod 2 = 0 in
-    let sim = Sim.create ~n ~noise rng in
-    prepare_steane_in sim ~offset:0 ~plus_basis;
-    ignore
-      (Shor_ec.recover sim code ~policy ~offset:0 ~cat_base:7 ~check:11
-         ~verified);
-    if judge_steane_in sim ~offset:0 ~plus_basis then incr failures
-  done;
-  estimate ~failures:!failures ~trials
+  let plus_basis = t mod 2 = 0 in
+  let sim = Sim.create ~n:12 ~noise rng in
+  prepare_steane_in sim ~offset:0 ~plus_basis;
+  ignore
+    (Shor_ec.recover sim code ~policy ~offset:0 ~cat_base:7 ~check:11
+       ~verified);
+  judge_steane_in sim ~offset:0 ~plus_basis
+
+let shor_ec_failure ~noise ~policy ~verified ~trials rng =
+  sequential ~trials rng (shor_ec_trial ~noise ~policy ~verified)
+
+let shor_ec_failure_mc ?domains ~noise ~policy ~verified ~trials ~seed () =
+  Mc.Runner.estimate ?domains ~trials ~seed
+    (shor_ec_trial ~noise ~policy ~verified)
+
+let steane_ec_trial ~noise ~policy ~verify rng t =
+  (* data 0..6, ancilla 7..13, checker 14..20 *)
+  let plus_basis = t mod 2 = 0 in
+  let sim = Sim.create ~n:21 ~noise rng in
+  prepare_steane_in sim ~offset:0 ~plus_basis;
+  ignore (Steane_ec.recover sim ~policy ~verify ~data:0 ~ancilla:7 ~checker:14);
+  judge_steane_in sim ~offset:0 ~plus_basis
 
 let steane_ec_failure ~noise ~policy ~verify ~trials rng =
-  let n = 21 in
-  (* data 0..6, ancilla 7..13, checker 14..20 *)
-  let failures = ref 0 in
-  for t = 1 to trials do
-    let plus_basis = t mod 2 = 0 in
-    let sim = Sim.create ~n ~noise rng in
-    prepare_steane_in sim ~offset:0 ~plus_basis;
-    ignore (Steane_ec.recover sim ~policy ~verify ~data:0 ~ancilla:7 ~checker:14);
-    if judge_steane_in sim ~offset:0 ~plus_basis then incr failures
-  done;
-  estimate ~failures:!failures ~trials
+  sequential ~trials rng (steane_ec_trial ~noise ~policy ~verify)
 
-let logical_cnot_exrec_failure ~noise ~trials rng =
+let steane_ec_failure_mc ?domains ~noise ~policy ~verify ~trials ~seed () =
+  Mc.Runner.estimate ?domains ~trials ~seed
+    (steane_ec_trial ~noise ~policy ~verify)
+
+let logical_cnot_exrec_trial ~noise rng t =
   (* blocks at 0 and 7; shared scratch at 14 (ancilla) and 21
      (checker) *)
-  let n = 28 in
-  let failures = ref 0 in
-  for t = 1 to trials do
-    let plus_basis = t mod 2 = 0 in
-    let sim = Sim.create ~n ~noise rng in
-    prepare_steane_in sim ~offset:0 ~plus_basis;
-    prepare_steane_in sim ~offset:7 ~plus_basis;
-    Transversal.logical_cnot sim ~control:0 ~target:7;
-    ignore
-      (Steane_ec.recover sim ~policy:Steane_ec.Repeat_if_nontrivial
-         ~verify:Steane_ec.Reject ~data:0 ~ancilla:14 ~checker:21);
-    ignore
-      (Steane_ec.recover sim ~policy:Steane_ec.Repeat_if_nontrivial
-         ~verify:Steane_ec.Reject ~data:7 ~ancilla:14 ~checker:21);
-    (* judge both blocks: logical CNOT on |00̄⟩ / |+̄+̄⟩ leaves
-       eigenstates of Z̄⊗Z̄-ish checks; simplest exact judgment:
-       undo the logical CNOT ideally, then check each block *)
-    let tab = Sim.tableau sim in
-    for i = 0 to 6 do
-      Tableau.cnot tab i (7 + i)
-    done;
-    let fail0 = judge_steane_in sim ~offset:0 ~plus_basis in
-    let fail1 = judge_steane_in sim ~offset:7 ~plus_basis in
-    if fail0 || fail1 then incr failures
+  let plus_basis = t mod 2 = 0 in
+  let sim = Sim.create ~n:28 ~noise rng in
+  prepare_steane_in sim ~offset:0 ~plus_basis;
+  prepare_steane_in sim ~offset:7 ~plus_basis;
+  Transversal.logical_cnot sim ~control:0 ~target:7;
+  ignore
+    (Steane_ec.recover sim ~policy:Steane_ec.Repeat_if_nontrivial
+       ~verify:Steane_ec.Reject ~data:0 ~ancilla:14 ~checker:21);
+  ignore
+    (Steane_ec.recover sim ~policy:Steane_ec.Repeat_if_nontrivial
+       ~verify:Steane_ec.Reject ~data:7 ~ancilla:14 ~checker:21);
+  (* judge both blocks: logical CNOT on |00̄⟩ / |+̄+̄⟩ leaves
+     eigenstates of Z̄⊗Z̄-ish checks; simplest exact judgment:
+     undo the logical CNOT ideally, then check each block *)
+  let tab = Sim.tableau sim in
+  for i = 0 to 6 do
+    Tableau.cnot tab i (7 + i)
   done;
-  estimate ~failures:!failures ~trials
+  let fail0 = judge_steane_in sim ~offset:0 ~plus_basis in
+  let fail1 = judge_steane_in sim ~offset:7 ~plus_basis in
+  fail0 || fail1
+
+let logical_cnot_exrec_failure ~noise ~trials rng =
+  sequential ~trials rng (logical_cnot_exrec_trial ~noise)
+
+let logical_cnot_exrec_failure_mc ?domains ~noise ~trials ~seed () =
+  Mc.Runner.estimate ?domains ~trials ~seed (logical_cnot_exrec_trial ~noise)
 
 let fit_quadratic points =
   match points with

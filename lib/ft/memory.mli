@@ -17,10 +17,23 @@ type estimate = {
 
 val estimate : failures:int -> trials:int -> estimate
 
+(** Every experiment below comes in two forms: the legacy sequential
+    one driven by a caller-supplied [Random.State.t], and an [_mc]
+    form on the shared {!Mc.Runner} engine — trials fan out over
+    OCaml 5 domains ([?domains], default
+    [Mc.Runner.default_domains ()]), per-trial RNG streams are split
+    deterministically from [seed], and the returned
+    {!Mc.Stats.estimate} (with Wilson interval) is bit-identical for
+    any domain count. *)
+
 (** [unencoded ~eps ~trials rng] — E1 baseline: one bare qubit, one
     depolarizing step of strength [eps] (X/Y/Z each eps/3), judged in
     both bases; failure rate ≈ 2ε/3 per basis. *)
 val unencoded : eps:float -> trials:int -> Random.State.t -> estimate
+
+val unencoded_mc :
+  ?domains:int -> eps:float -> trials:int -> seed:int -> unit ->
+  Mc.Stats.estimate
 
 (** [encoded_ideal_ec code ~eps ~rounds ~trials rng] — E1: every qubit
     of the block suffers a depolarizing step of strength [eps], then a
@@ -34,6 +47,16 @@ val encoded_ideal_ec :
   Random.State.t ->
   estimate
 
+val encoded_ideal_ec_mc :
+  ?domains:int ->
+  Codes.Stabilizer_code.t ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
 (** [shor_ec_failure ~noise ~policy ~verified ~trials rng] — E2: one
     noisy Shor-style EC cycle on a perfect Steane block; judged
     ideally afterwards. *)
@@ -45,6 +68,16 @@ val shor_ec_failure :
   Random.State.t ->
   estimate
 
+val shor_ec_failure_mc :
+  ?domains:int ->
+  noise:Noise.t ->
+  policy:Shor_ec.policy ->
+  verified:bool ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
 (** [steane_ec_failure ~noise ~policy ~verify ~trials rng] — E2/E4
     with the Steane gadget. *)
 val steane_ec_failure :
@@ -55,6 +88,16 @@ val steane_ec_failure :
   Random.State.t ->
   estimate
 
+val steane_ec_failure_mc :
+  ?domains:int ->
+  noise:Noise.t ->
+  policy:Steane_ec.policy ->
+  verify:Steane_ec.verify_policy ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
 (** [logical_cnot_exrec_failure ~noise ~trials rng] — E5: the extended
     rectangle of one transversal logical CNOT between two Steane
     blocks, each followed by a Steane EC cycle; failure if either
@@ -62,6 +105,14 @@ val steane_ec_failure :
     fitted to A·ε² yields the pseudo-threshold ε* = 1/A. *)
 val logical_cnot_exrec_failure :
   noise:Noise.t -> trials:int -> Random.State.t -> estimate
+
+val logical_cnot_exrec_failure_mc :
+  ?domains:int ->
+  noise:Noise.t ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
 
 (** [fit_quadratic points] — least squares A from p ≈ A·ε² over
     (ε, p) points (through the origin, weights 1/ε²: fits p/ε²). *)

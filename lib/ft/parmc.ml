@@ -1,43 +1,17 @@
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+(* Thin compatibility shim over the shared Monte-Carlo engine
+   (Mc.Runner).  Historically this module did its own per-worker
+   seeding, which made results depend on the domain count; the engine
+   chunks trials and splits RNG streams per chunk, so counts are now
+   bit-identical for any [domains]. *)
 
-let chunk_bounds ~trials ~domains =
-  (* trial index ranges [lo, hi) per worker, remainder spread across
-     the first workers *)
-  let base = trials / domains and extra = trials mod domains in
-  List.init domains (fun w ->
-      let lo = (w * base) + min w extra in
-      let hi = lo + base + if w < extra then 1 else 0 in
-      (lo, hi))
-
-let run_chunk ~seed trial (lo, hi) =
-  (* one RNG per worker, seeded by the worker's first trial index so
-     the stream does not depend on how other workers progress *)
-  let rng = Random.State.make [| seed; lo; 0x9e3779b9 |] in
-  let failures = ref 0 in
-  for i = lo to hi - 1 do
-    if trial rng i then incr failures
-  done;
-  !failures
+let default_domains () = Mc.Runner.default_domains ()
 
 let failures ?domains ~trials ~seed trial =
   if trials < 0 then invalid_arg "Parmc.failures";
-  let domains =
-    match domains with
-    | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Parmc.failures: domains >= 1"
-    | None -> default_domains ()
-  in
-  let domains = max 1 (min domains trials) in
-  if domains = 1 then run_chunk ~seed trial (0, trials)
-  else begin
-    let chunks = chunk_bounds ~trials ~domains in
-    let workers =
-      List.map
-        (fun bounds -> Domain.spawn (fun () -> run_chunk ~seed trial bounds))
-        chunks
-    in
-    List.fold_left (fun acc d -> acc + Domain.join d) 0 workers
-  end
+  (match domains with
+  | Some d when d < 1 -> invalid_arg "Parmc.failures: domains >= 1"
+  | _ -> ());
+  Mc.Runner.failures ?domains ~trials ~seed trial
 
 let estimate ?domains ~trials ~seed trial =
   let f = failures ?domains ~trials ~seed trial in

@@ -1,15 +1,19 @@
-(** Multicore Monte-Carlo harness (OCaml 5 domains).
+(** Multicore Monte-Carlo harness — compatibility front for
+    {!Mc.Runner}.
 
-    Trials are split evenly across [domains] worker domains, each with
-    its own independently seeded RNG (derived deterministically from
-    the caller's seed, so a run is reproducible for a fixed domain
-    count).  The per-trial function must be self-contained — build
+    Trials run on the shared engine: fixed-size chunks, one split RNG
+    stream per chunk, dynamic chunk claiming across OCaml 5 domains.
+    Counts are bit-identical for any [domains] value (the historical
+    behaviour — per-worker streams — made them depend on the worker
+    layout).  The per-trial function must be self-contained — build
     your own simulator inside it; domains share nothing. *)
+
+val default_domains : unit -> int
 
 (** [failures ~domains ~trials ~seed trial] — run [trial rng i] for
     i = 0..trials−1 and count [true] results.  [domains] defaults to
-    [Domain.recommended_domain_count ()] capped at 8; [domains = 1]
-    runs inline (no spawning). *)
+    [Mc.Runner.default_domains ()]; [domains = 1] runs inline (no
+    spawning) and produces the same count as any other setting. *)
 val failures :
   ?domains:int ->
   trials:int ->

@@ -1,0 +1,36 @@
+(* Splittable deterministic PRNG keys (SplitMix64-style mixing).
+
+   A [key] names a stream, not a position in one: child streams are
+   derived by hashing (parent, index), never by drawing from the
+   parent, so any shard of a Monte-Carlo run can rebuild its stream
+   from the root seed alone — the foundation of domain-count-invariant
+   parallel runs. *)
+
+type key = int64
+
+let gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer: a bijective avalanche mix of the full 64-bit
+   state. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let root seed = mix (Int64.add (Int64.of_int seed) gamma)
+
+(* gamma is odd, so gamma·(2i+1) is injective in i: distinct child
+   indices always hash distinct inputs. *)
+let split k i =
+  if i < 0 then invalid_arg "Mc.Rng.split: negative index";
+  mix (Int64.logxor k (Int64.mul gamma (Int64.of_int ((2 * i) + 1))))
+
+let draw k n = mix (Int64.add k (Int64.mul gamma (Int64.of_int (n + 1))))
+
+let to_state k =
+  let d n = Int64.to_int (draw k n) land max_int in
+  Random.State.make [| d 0; d 1; d 2; d 3 |]
+
+let derive seed path =
+  Int64.to_int (List.fold_left split (root seed) path) land max_int

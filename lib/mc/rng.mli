@@ -1,0 +1,34 @@
+(** Splittable deterministic PRNG streams (SplitMix64-style).
+
+    One root seed deterministically names a whole tree of independent
+    streams: [split] derives a child key by hashing (parent, index)
+    rather than by drawing from the parent, so stream [i] of a
+    Monte-Carlo run is the same bits whether one domain computes all
+    shards or sixteen domains race over them.  Keys are cheap value
+    types; materialize a stdlib generator with {!to_state} at the
+    point of use. *)
+
+type key = int64
+
+(** [root seed] — the key of the root stream for an integer seed. *)
+val root : int -> key
+
+(** [split k i] — the key of child stream [i] (i ≥ 0) of [k].
+    Distinct indices yield distinct, statistically independent
+    streams; no draws from [k] are consumed. *)
+val split : key -> int -> key
+
+(** [draw k n] — the [n]-th raw 64-bit output of stream [k]
+    (stateless; exposed for independence testing). *)
+val draw : key -> int -> int64
+
+(** [to_state k] — a fresh [Random.State.t] seeded from the first
+    four draws of [k]. *)
+val to_state : key -> Random.State.t
+
+(** [derive seed path] — a non-negative integer sub-seed obtained by
+    walking [path] down the split tree from [root seed]; use it to
+    give each experiment family its own independent stream so that
+    run order and trial counts of one family cannot perturb
+    another. *)
+val derive : int -> int list -> int

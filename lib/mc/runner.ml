@@ -1,0 +1,163 @@
+(* Parallel Monte-Carlo map-reduce over OCaml 5 domains.
+
+   Determinism contract: the trial range is cut into fixed-size chunks
+   whose size depends only on [trials] (never on the domain count);
+   chunk [c] always runs on the RNG stream [Rng.split root c]; chunk
+   results land in a per-chunk slot and are merged in chunk order
+   after all workers join.  Workers claim chunks from a shared atomic
+   cursor (a single-queue work-stealing discipline: idle domains
+   steal the next unclaimed chunk), so scheduling is dynamic but the
+   aggregate is bit-identical for any [domains]. *)
+
+let env_domains = "FTQC_DOMAINS"
+
+let default_domains () =
+  match Sys.getenv_opt env_domains with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let resolve_domains = function
+  | None -> default_domains ()
+  | Some d when d >= 1 -> d
+  | Some _ -> invalid_arg "Mc.Runner: domains must be >= 1"
+
+(* At most 1024 chunks: plenty of slack for dynamic load balancing,
+   cheap enough that per-chunk RNG setup is noise. *)
+let resolve_chunk ~trials = function
+  | None -> max 1 ((trials + 1023) / 1024)
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Mc.Runner: chunk must be >= 1"
+
+(* Run chunks [lo_chunk, hi_chunk) and return their accumulators in
+   chunk order.  [results] slots are written by at most one worker
+   each; Domain.join publishes them to the caller. *)
+let run_chunk_range ~domains ~root ~chunk ~trials ~lo_chunk ~hi_chunk
+    ~worker_init ~trial ~init ~accum =
+  let n = hi_chunk - lo_chunk in
+  let results = Array.make (max n 0) init in
+  let process ctx c =
+    let idx = lo_chunk + c in
+    let lo = idx * chunk and hi = min trials ((idx + 1) * chunk) in
+    let rng = Rng.to_state (Rng.split root idx) in
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := accum !acc (trial ctx rng i)
+    done;
+    results.(c) <- !acc
+  in
+  let workers = min domains n in
+  if workers <= 1 then begin
+    if n > 0 then begin
+      let ctx = worker_init () in
+      for c = 0 to n - 1 do
+        process ctx c
+      done
+    end
+  end
+  else begin
+    (* Shared lazy values inside user trial code (code tables,
+       decoders) are not safe to force concurrently in OCaml 5: run
+       one throwaway trial sequentially first so every lazy the trial
+       touches is already forced when the domains start. *)
+    let warm_ctx = worker_init () in
+    ignore (trial warm_ctx (Rng.to_state (Rng.split root lo_chunk)) 0);
+    let cursor = Atomic.make 0 in
+    let work ctx =
+      let rec loop () =
+        let c = Atomic.fetch_and_add cursor 1 in
+        if c < n then begin
+          process ctx c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> work (worker_init ())))
+    in
+    work warm_ctx;
+    List.iter Domain.join spawned
+  end;
+  results
+
+let map_reduce_ctx ?domains ?chunk ~trials ~seed ~worker_init ~init ~accum
+    ~merge trial =
+  if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
+  let domains = resolve_domains domains in
+  let chunk = resolve_chunk ~trials chunk in
+  let nchunks = (trials + chunk - 1) / chunk in
+  let root = Rng.root seed in
+  let results =
+    run_chunk_range ~domains ~root ~chunk ~trials ~lo_chunk:0
+      ~hi_chunk:nchunks ~worker_init ~trial ~init ~accum
+  in
+  Array.fold_left merge init results
+
+let map_reduce ?domains ?chunk ~trials ~seed ~init ~accum ~merge trial =
+  map_reduce_ctx ?domains ?chunk ~trials ~seed
+    ~worker_init:(fun () -> ())
+    ~init ~accum ~merge
+    (fun () rng i -> trial rng i)
+
+let count_accum acc hit = if hit then acc + 1 else acc
+
+let failures_ctx ?domains ?chunk ~trials ~seed ~worker_init trial =
+  map_reduce_ctx ?domains ?chunk ~trials ~seed ~worker_init ~init:0
+    ~accum:count_accum ~merge:( + ) trial
+
+let failures ?domains ?chunk ~trials ~seed trial =
+  failures_ctx ?domains ?chunk ~trials ~seed
+    ~worker_init:(fun () -> ())
+    (fun () rng i -> trial rng i)
+
+let default_min_trials = 1000
+
+let estimate_ctx ?domains ?chunk ?z ?target_half_width
+    ?(min_trials = default_min_trials) ~trials ~seed ~worker_init trial =
+  if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
+  if min_trials < 1 then invalid_arg "Mc.Runner: min_trials must be >= 1";
+  let domains = resolve_domains domains in
+  let chunk = resolve_chunk ~trials chunk in
+  let nchunks = (trials + chunk - 1) / chunk in
+  let root = Rng.root seed in
+  let run lo_chunk hi_chunk =
+    run_chunk_range ~domains ~root ~chunk ~trials ~lo_chunk ~hi_chunk
+      ~worker_init ~trial ~init:0 ~accum:count_accum
+    |> Array.fold_left ( + ) 0
+  in
+  match target_half_width with
+  | None ->
+    Stats.estimate ?z ~failures:(run 0 nchunks) ~trials ()
+  | Some target ->
+    (* Geometric batches at fixed chunk boundaries: the stop decision
+       after each batch depends only on aggregate counts, so early
+       stopping is as domain-count-invariant as the counts are.  The
+       floor [min_trials] is never undercut. *)
+    let floor_trials = min trials (max 1 min_trials) in
+    let chunks_for t = min nchunks ((t + chunk - 1) / chunk) in
+    let rec go done_chunks failures =
+      let done_trials = min trials (done_chunks * chunk) in
+      let e = Stats.estimate ?z ~failures ~trials:done_trials () in
+      if done_chunks >= nchunks then e
+      else if done_trials >= floor_trials && Stats.half_width e <= target
+      then e
+      else begin
+        let next_chunks =
+          if done_trials = 0 then chunks_for floor_trials
+          else max (done_chunks + 1) (chunks_for (2 * done_trials))
+        in
+        let next_chunks = min nchunks next_chunks in
+        go next_chunks (failures + run done_chunks next_chunks)
+      end
+    in
+    go 0 0
+
+let estimate ?domains ?chunk ?z ?target_half_width ?min_trials ~trials ~seed
+    trial =
+  estimate_ctx ?domains ?chunk ?z ?target_half_width ?min_trials ~trials
+    ~seed
+    ~worker_init:(fun () -> ())
+    (fun () rng i -> trial rng i)

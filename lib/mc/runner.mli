@@ -1,0 +1,114 @@
+(** Parallel Monte-Carlo map-reduce over OCaml 5 domains.
+
+    The trial range is cut into fixed-size chunks whose size depends
+    only on the trial count; each chunk runs on its own {!Rng} stream
+    ([Rng.split root chunk_index]) and results are merged in chunk
+    order.  Consequently the aggregate is **bit-identical for any
+    domain count** — [~domains:1] (fully sequential, no spawning) is
+    the reference semantics and [~domains:n] is just faster.  Workers
+    claim chunks from a shared atomic cursor, so load balancing is
+    dynamic even when trial costs vary.
+
+    [domains] defaults to the [FTQC_DOMAINS] environment variable if
+    set, else [Domain.recommended_domain_count ()].
+
+    Warmup: when more than one worker will run, the engine first runs
+    one discarded trial (index 0) sequentially, so that any [lazy]
+    the trial forces (code tables, decoders) is already forced before
+    domains race on it — concurrent [Lazy.force] is unsafe in OCaml 5.
+    Trial functions therefore must tolerate an extra invocation; pure
+    trials (anything without external side effects) trivially do. *)
+
+(** The default domain count ([FTQC_DOMAINS] env override, else
+    [Domain.recommended_domain_count ()]). *)
+val default_domains : unit -> int
+
+(** The environment variable consulted by {!default_domains}
+    ("FTQC_DOMAINS"). *)
+val env_domains : string
+
+(** [map_reduce ?domains ?chunk ~trials ~seed ~init ~accum ~merge
+    trial] — run [trial rng i] for i = 0..trials−1, folding each
+    chunk with [accum] from [init] and the per-chunk results, in
+    chunk order, with [merge].  [merge] must be associative with
+    [init] as identity; determinism then holds even for
+    order-sensitive payloads such as floats.  The per-trial function
+    must be self-contained: domains share nothing mutable. *)
+val map_reduce :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int ->
+  init:'acc ->
+  accum:('acc -> 'a -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  (Random.State.t -> int -> 'a) ->
+  'acc
+
+(** [map_reduce_ctx] — like {!map_reduce} with a per-worker context
+    ([worker_init] runs once in each worker domain; use it for
+    reusable scratch buffers or per-domain simulator state). *)
+val map_reduce_ctx :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int ->
+  worker_init:(unit -> 'ctx) ->
+  init:'acc ->
+  accum:('acc -> 'a -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  ('ctx -> Random.State.t -> int -> 'a) ->
+  'acc
+
+(** [failures ?domains ?chunk ~trials ~seed trial] — count [true]
+    trial outcomes. *)
+val failures :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int ->
+  (Random.State.t -> int -> bool) ->
+  int
+
+val failures_ctx :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int ->
+  worker_init:(unit -> 'ctx) ->
+  ('ctx -> Random.State.t -> int -> bool) ->
+  int
+
+(** The default early-stopping trial floor (1000). *)
+val default_min_trials : int
+
+(** [estimate ?domains ?chunk ?z ?target_half_width ?min_trials
+    ~trials ~seed trial] — failure-rate estimate with Wilson score
+    interval.  When [target_half_width] is given, trials run in
+    geometrically growing batches (at fixed chunk boundaries, so the
+    stopping decision is domain-count-invariant too) and stop early
+    once the interval half-width drops to the target — but never
+    before [min_trials] (default {!default_min_trials}) trials, and
+    never beyond [trials]. *)
+val estimate :
+  ?domains:int ->
+  ?chunk:int ->
+  ?z:float ->
+  ?target_half_width:float ->
+  ?min_trials:int ->
+  trials:int ->
+  seed:int ->
+  (Random.State.t -> int -> bool) ->
+  Stats.estimate
+
+val estimate_ctx :
+  ?domains:int ->
+  ?chunk:int ->
+  ?z:float ->
+  ?target_half_width:float ->
+  ?min_trials:int ->
+  trials:int ->
+  seed:int ->
+  worker_init:(unit -> 'ctx) ->
+  ('ctx -> Random.State.t -> int -> bool) ->
+  Stats.estimate

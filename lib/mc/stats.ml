@@ -1,0 +1,44 @@
+type estimate = {
+  failures : int;
+  trials : int;
+  rate : float;
+  stderr : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+let default_z = 1.96
+
+let wilson ?(z = default_z) ~failures ~trials () =
+  if trials < 0 || failures < 0 || failures > trials then
+    invalid_arg "Mc.Stats.wilson";
+  if trials = 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int failures /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let hw =
+      z /. denom
+      *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (Float.max 0.0 (center -. hw), Float.min 1.0 (center +. hw))
+  end
+
+let estimate ?z ~failures ~trials () =
+  let ci_low, ci_high = wilson ?z ~failures ~trials () in
+  if trials = 0 then
+    { failures; trials; rate = 0.0; stderr = 0.0; ci_low; ci_high }
+  else begin
+    let n = float_of_int trials in
+    let rate = float_of_int failures /. n in
+    let stderr = sqrt (Float.max (rate *. (1.0 -. rate)) 1e-12 /. n) in
+    { failures; trials; rate; stderr; ci_low; ci_high }
+  end
+
+let half_width e = (e.ci_high -. e.ci_low) /. 2.0
+
+let pp fmt e =
+  Format.fprintf fmt "%d/%d = %.4g [%.4g, %.4g]" e.failures e.trials e.rate
+    e.ci_low e.ci_high

@@ -1,0 +1,27 @@
+(** Binomial estimators for Monte-Carlo failure rates. *)
+
+type estimate = {
+  failures : int;
+  trials : int;
+  rate : float;  (** failures / trials *)
+  stderr : float;  (** binomial standard error √(p(1−p)/n) *)
+  ci_low : float;  (** Wilson score lower bound *)
+  ci_high : float;  (** Wilson score upper bound *)
+}
+
+(** The default confidence multiplier (1.96, a 95% interval). *)
+val default_z : float
+
+(** [wilson ?z ~failures ~trials] — the Wilson score interval, which
+    (unlike the normal approximation) stays inside [0,1] and behaves
+    at 0 or [trials] failures.  [trials = 0] returns (0, 1). *)
+val wilson : ?z:float -> failures:int -> trials:int -> unit -> float * float
+
+(** [estimate ?z ~failures ~trials ()] — the full record. *)
+val estimate : ?z:float -> failures:int -> trials:int -> unit -> estimate
+
+(** [half_width e] — half the Wilson interval width, the early-stop
+    criterion of {!Runner.estimate}. *)
+val half_width : estimate -> float
+
+val pp : Format.formatter -> estimate -> unit

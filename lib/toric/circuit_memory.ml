@@ -44,7 +44,24 @@ let logical_z_ops lat ~total =
   ( z_on (List.init l (fun y -> Lattice.v_edge lat ~x:0 ~y)),
     z_on (List.init l (fun x -> Lattice.h_edge lat ~x ~y:0)) )
 
-let run ~l ~rounds ~noise ~trials rng =
+(* Everything a trial needs that is worth building once: lattice,
+   space-time graph, logical operators, plaquette checks.  All
+   read-only during trials, so one setup is shared across worker
+   domains. *)
+type setup = {
+  s_l : int;
+  lat : Lattice.t;
+  nq : int;
+  np : int;
+  total : int;
+  g : Match_graph.t;
+  spatial_qubit : (int, int) Hashtbl.t;
+  z1 : Pauli.t;
+  z2 : Pauli.t;
+  plaq_ops : Pauli.t array;
+}
+
+let make_setup ~l ~rounds =
   if rounds < 1 then invalid_arg "Circuit_memory.run: rounds >= 1";
   let lat = Lattice.create l in
   let nq = Lattice.num_qubits lat in
@@ -57,12 +74,17 @@ let run ~l ~rounds ~noise ~trials rng =
     Array.init np (fun p ->
         plaquette_op lat ~total ~x:(p mod l) ~y:(p / l))
   in
-  let failures = ref 0 in
-  for _ = 1 to trials do
+  { s_l = l; lat; nq; np; total; g; spatial_qubit; z1; z2; plaq_ops }
+
+let trial_one st ~rounds ~noise rng =
+  let { s_l = l; lat; nq; np; total; g; spatial_qubit; z1; z2; plaq_ops } =
+    st
+  in
+  begin
     let sim = Ft.Sim.create ~n:total ~noise rng in
     let tab = Ft.Sim.tableau sim in
     let prev = Bitvec.create np in
-    let defects = Array.make (np * layers) false in
+    let defects = Array.make (np * (rounds + 1)) false in
     let data_qubits = List.init nq Fun.id in
     for t = 0 to rounds - 1 do
       (* one noisy measurement round: each plaquette through its own
@@ -116,11 +138,29 @@ let run ~l ~rounds ~noise ~trials rng =
     let rng' = Ft.Sim.rng sim in
     let bad1 = Tableau.measure_pauli tab rng' z1 in
     let bad2 = Tableau.measure_pauli tab rng' z2 in
-    if bad1 || bad2 then incr failures
-  done;
+    bad1 || bad2
+  end
+
+let result ~l ~rounds ~noise ~trials failures =
   { l;
     rounds;
     noise;
     trials;
-    failures = !failures;
-    rate = float_of_int !failures /. float_of_int trials }
+    failures;
+    rate = float_of_int failures /. float_of_int trials }
+
+let run ~l ~rounds ~noise ~trials rng =
+  let st = make_setup ~l ~rounds in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    if trial_one st ~rounds ~noise rng then incr failures
+  done;
+  result ~l ~rounds ~noise ~trials !failures
+
+let run_mc ?domains ~l ~rounds ~noise ~trials ~seed () =
+  let st = make_setup ~l ~rounds in
+  let failures =
+    Mc.Runner.failures ?domains ~trials ~seed (fun rng _ ->
+        trial_one st ~rounds ~noise rng)
+  in
+  result ~l ~rounds ~noise ~trials failures

@@ -37,3 +37,18 @@ val run :
   trials:int ->
   Random.State.t ->
   result
+
+(** [run_mc ?domains ~l ~rounds ~noise ~trials ~seed ()] — the same
+    experiment on the shared {!Mc.Runner} engine: lattice, space-time
+    graph and check operators are built once and shared read-only
+    across OCaml 5 domains; counts are bit-identical for any
+    [domains]. *)
+val run_mc :
+  ?domains:int ->
+  l:int ->
+  rounds:int ->
+  noise:Ft.Noise.t ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  result

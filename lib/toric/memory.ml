@@ -2,32 +2,57 @@ module Bitvec = Gf2.Bitvec
 
 type result = { l : int; p : float; trials : int; failures : int; rate : float }
 
+(* One trial: sample IID X noise into [error] (fully overwritten),
+   decode, judge the residual's homology class.  [lat] is immutable
+   after creation and [Decoder] allocates its own scratch, so one
+   lattice is safely shared across domains. *)
+let trial_one lat ~decoder ~p error rng =
+  Bitvec.randomize ~p rng error;
+  let syndrome = Lattice.syndrome lat error in
+  let correction =
+    match decoder with
+    | `Union_find -> Decoder.decode lat syndrome
+    | `Greedy -> Decoder.greedy_decode lat syndrome
+  in
+  let residual = Bitvec.xor error correction in
+  (* sanity: the residual must have trivial syndrome *)
+  assert (Bitvec.is_zero (Lattice.syndrome lat residual));
+  let wx, wy = Lattice.winding lat residual in
+  wx || wy
+
+let result ~l ~p ~trials failures =
+  { l; p; trials; failures; rate = float_of_int failures /. float_of_int trials }
+
 let run ?(decoder = `Union_find) ~l ~p ~trials rng =
   let lat = Lattice.create l in
-  let n = Lattice.num_qubits lat in
+  let error = Bitvec.create (Lattice.num_qubits lat) in
   let failures = ref 0 in
-  let error = Bitvec.create n in
   for _ = 1 to trials do
-    Bitvec.randomize ~p rng error;
-    let syndrome = Lattice.syndrome lat error in
-    let correction =
-      match decoder with
-      | `Union_find -> Decoder.decode lat syndrome
-      | `Greedy -> Decoder.greedy_decode lat syndrome
-    in
-    let residual = Bitvec.xor error correction in
-    (* sanity: the residual must have trivial syndrome *)
-    assert (Bitvec.is_zero (Lattice.syndrome lat residual));
-    let wx, wy = Lattice.winding lat residual in
-    if wx || wy then incr failures
+    if trial_one lat ~decoder ~p error rng then incr failures
   done;
-  { l;
-    p;
-    trials;
-    failures = !failures;
-    rate = float_of_int !failures /. float_of_int trials }
+  result ~l ~p ~trials !failures
+
+let run_mc ?domains ?(decoder = `Union_find) ~l ~p ~trials ~seed () =
+  let lat = Lattice.create l in
+  let failures =
+    Mc.Runner.failures_ctx ?domains ~trials ~seed
+      ~worker_init:(fun () -> Bitvec.create (Lattice.num_qubits lat))
+      (fun error rng _ -> trial_one lat ~decoder ~p error rng)
+  in
+  result ~l ~p ~trials failures
 
 let scan ?(decoder = `Union_find) ~ls ~ps ~trials rng =
   List.concat_map
     (fun l -> List.map (fun p -> run ~decoder ~l ~p ~trials rng) ps)
+    ls
+
+let scan_mc ?domains ?(decoder = `Union_find) ~ls ~ps ~trials ~seed () =
+  List.concat_map
+    (fun l ->
+      List.mapi
+        (fun i p ->
+          run_mc ?domains ~decoder ~l ~p ~trials
+            ~seed:(Mc.Rng.derive seed [ l; i ])
+            ())
+        ps)
     ls

@@ -18,6 +18,20 @@ val run :
   Random.State.t ->
   result
 
+(** [run_mc ?domains ?decoder ~l ~p ~trials ~seed ()] — the same
+    experiment on the shared {!Mc.Runner} engine: trials fan out over
+    OCaml 5 domains, failure counts are bit-identical for any
+    [domains]. *)
+val run_mc :
+  ?domains:int ->
+  ?decoder:[ `Union_find | `Greedy ] ->
+  l:int ->
+  p:float ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  result
+
 (** [scan ?decoder ~ls ~ps ~trials rng] — full grid of results. *)
 val scan :
   ?decoder:[ `Union_find | `Greedy ] ->
@@ -25,4 +39,16 @@ val scan :
   ps:float list ->
   trials:int ->
   Random.State.t ->
+  result list
+
+(** [scan_mc] — parallel grid; each (l, p) cell gets its own derived
+    seed, so cells are independent of grid shape and order. *)
+val scan_mc :
+  ?domains:int ->
+  ?decoder:[ `Union_find | `Greedy ] ->
+  ls:int list ->
+  ps:float list ->
+  trials:int ->
+  seed:int ->
+  unit ->
   result list

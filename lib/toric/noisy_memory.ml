@@ -37,53 +37,60 @@ let build_graph lat ~rounds =
   done;
   { g; spatial_qubit }
 
-let run_with_graph lat graph ~rounds ~p ~q ~trials rng =
+(* One trial against a prebuilt space-time graph.  The graph and
+   lattice are read-only here ([Match_graph.decode] copies what it
+   mutates), so one build is safely shared across worker domains. *)
+let trial_one lat graph ~rounds ~p ~q rng =
   let nq = Lattice.num_qubits lat in
   let np = Lattice.num_plaquettes lat in
+  let error = Bitvec.create nq in
+  let prev = Bitvec.create np in
+  let defects = Array.make (np * rounds) false in
+  let fresh = Bitvec.create nq in
+  for t = 0 to rounds - 1 do
+    (* new qubit errors this round *)
+    Bitvec.randomize ~p rng fresh;
+    Bitvec.xor_into ~src:fresh error;
+    let sigma = Lattice.syndrome lat error in
+    let observed = Bitvec.copy sigma in
+    if t < rounds - 1 && q > 0.0 then
+      for i = 0 to np - 1 do
+        if Random.State.float rng 1.0 < q then Bitvec.flip observed i
+      done;
+    (* detection events = change since the previous record *)
+    for i = 0 to np - 1 do
+      if Bitvec.get observed i <> Bitvec.get prev i then
+        defects.((t * np) + i) <- true
+    done;
+    Bitvec.blit ~src:observed prev
+  done;
+  let selected = Match_graph.decode graph.g ~defects in
+  let correction = Bitvec.create nq in
+  Array.iteri
+    (fun id on ->
+      if on then
+        match Hashtbl.find_opt graph.spatial_qubit id with
+        | Some qubit -> Bitvec.flip correction qubit
+        | None -> () (* temporal edge: a diagnosed measurement error *))
+    selected;
+  let residual = Bitvec.xor error correction in
+  assert (Bitvec.is_zero (Lattice.syndrome lat residual));
+  let wx, wy = Lattice.winding lat residual in
+  wx || wy
+
+let run_with_graph lat graph ~rounds ~p ~q ~trials rng =
   let failures = ref 0 in
   for _ = 1 to trials do
-    let error = Bitvec.create nq in
-    let prev = Bitvec.create np in
-    let defects = Array.make (np * rounds) false in
-    let fresh = Bitvec.create nq in
-    for t = 0 to rounds - 1 do
-      (* new qubit errors this round *)
-      Bitvec.randomize ~p rng fresh;
-      Bitvec.xor_into ~src:fresh error;
-      let sigma = Lattice.syndrome lat error in
-      let observed = Bitvec.copy sigma in
-      if t < rounds - 1 && q > 0.0 then
-        for i = 0 to np - 1 do
-          if Random.State.float rng 1.0 < q then Bitvec.flip observed i
-        done;
-      (* detection events = change since the previous record *)
-      for i = 0 to np - 1 do
-        if Bitvec.get observed i <> Bitvec.get prev i then
-          defects.((t * np) + i) <- true
-      done;
-      Bitvec.blit ~src:observed prev
-    done;
-    let selected = Match_graph.decode graph.g ~defects in
-    let correction = Bitvec.create nq in
-    Array.iteri
-      (fun id on ->
-        if on then
-          match Hashtbl.find_opt graph.spatial_qubit id with
-          | Some qubit -> Bitvec.flip correction qubit
-          | None -> () (* temporal edge: a diagnosed measurement error *))
-      selected;
-    let residual = Bitvec.xor error correction in
-    assert (Bitvec.is_zero (Lattice.syndrome lat residual));
-    let wx, wy = Lattice.winding lat residual in
-    if wx || wy then incr failures
+    if trial_one lat graph ~rounds ~p ~q rng then incr failures
   done;
   !failures
 
-let run ~l ~rounds ~p ~q ~trials rng =
+let setup ~l ~rounds =
   if rounds < 2 then invalid_arg "Noisy_memory.run: need >= 2 rounds";
   let lat = Lattice.create l in
-  let graph = build_graph lat ~rounds in
-  let failures = run_with_graph lat graph ~rounds ~p ~q ~trials rng in
+  (lat, build_graph lat ~rounds)
+
+let result ~l ~rounds ~p ~q ~trials failures =
   { l;
     rounds;
     p;
@@ -92,7 +99,31 @@ let run ~l ~rounds ~p ~q ~trials rng =
     failures;
     rate = float_of_int failures /. float_of_int trials }
 
+let run ~l ~rounds ~p ~q ~trials rng =
+  let lat, graph = setup ~l ~rounds in
+  let failures = run_with_graph lat graph ~rounds ~p ~q ~trials rng in
+  result ~l ~rounds ~p ~q ~trials failures
+
+let run_mc ?domains ~l ~rounds ~p ~q ~trials ~seed () =
+  let lat, graph = setup ~l ~rounds in
+  let failures =
+    Mc.Runner.failures ?domains ~trials ~seed (fun rng _ ->
+        trial_one lat graph ~rounds ~p ~q rng)
+  in
+  result ~l ~rounds ~p ~q ~trials failures
+
 let scan ~ls ~ps ~rounds ~trials rng =
   List.concat_map
     (fun l -> List.map (fun p -> run ~l ~rounds ~p ~q:p ~trials rng) ps)
+    ls
+
+let scan_mc ?domains ~ls ~ps ~rounds ~trials ~seed () =
+  List.concat_map
+    (fun l ->
+      List.mapi
+        (fun i p ->
+          run_mc ?domains ~l ~rounds ~p ~q:p ~trials
+            ~seed:(Mc.Rng.derive seed [ l; i ])
+            ())
+        ps)
     ls

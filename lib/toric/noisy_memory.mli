@@ -33,6 +33,21 @@ val run :
   Random.State.t ->
   result
 
+(** [run_mc ?domains ~l ~rounds ~p ~q ~trials ~seed ()] — the same
+    experiment on the shared {!Mc.Runner} engine: the space-time graph
+    is built once and shared read-only across OCaml 5 domains; failure
+    counts are bit-identical for any [domains]. *)
+val run_mc :
+  ?domains:int ->
+  l:int ->
+  rounds:int ->
+  p:float ->
+  q:float ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  result
+
 (** [scan ~ls ~ps ~rounds ~trials rng] — grid with q = p (the usual
     phenomenological convention). *)
 val scan :
@@ -41,4 +56,16 @@ val scan :
   rounds:int ->
   trials:int ->
   Random.State.t ->
+  result list
+
+(** [scan_mc] — parallel grid; each (l, p) cell gets its own derived
+    seed, so cells are independent of grid shape and order. *)
+val scan_mc :
+  ?domains:int ->
+  ls:int list ->
+  ps:float list ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
   result list

@@ -272,7 +272,10 @@ let test_parmc_domains_agree_statistically () =
     (Float.abs (r1 -. r4) < 0.02)
 
 let test_parmc_trial_index () =
-  (* every trial index is passed exactly once *)
+  (* every trial index is counted exactly once; when running on more
+     than one domain the engine additionally runs one discarded warmup
+     trial (index 0) sequentially before spawning, to force any lazy
+     initialisation the trial touches *)
   let seen = Array.make 100 0 in
   let mutex = Mutex.create () in
   let trial _ i =
@@ -282,7 +285,12 @@ let test_parmc_trial_index () =
     false
   in
   ignore (Ft.Parmc.failures ~domains:3 ~trials:100 ~seed:1 trial);
-  check "each index exactly once" true (Array.for_all (( = ) 1) seen)
+  check "warmup runs index 0 once more" true (seen.(0) = 2);
+  check "other indices exactly once" true
+    (Array.for_all (( = ) 1) (Array.sub seen 1 99));
+  ignore (Ft.Parmc.failures ~domains:1 ~trials:100 ~seed:1 trial);
+  check "single domain: no warmup, each index once more" true
+    (seen.(0) = 3 && Array.for_all (( = ) 2) (Array.sub seen 1 99))
 
 let test_parmc_matches_serial_experiment () =
   let noise = Ft.Noise.gates_only 2e-3 in
