@@ -195,6 +195,21 @@ let e6b_level3 =
       (Codes.Pauli_frame.memory_failure ~level:3 ~eps:0.02 ~rounds:1 ~trials:10
          rng)
 
+(* bit-sliced engine: same experiments, 64 shots per word *)
+let e6b_batch_level2 () =
+  ignore
+    (Codes.Pauli_frame.memory_failure_batch ~domains:1 ~level:2 ~eps:0.02
+       ~rounds:1 ~trials:3200 ~seed:41 ())
+
+let e6b_batch_level3 () =
+  ignore
+    (Codes.Pauli_frame.memory_failure_batch ~domains:1 ~level:3 ~eps:0.02
+       ~rounds:1 ~trials:640 ~seed:42 ())
+
+let e10_toric_batch () =
+  ignore
+    (Toric.Memory.run_batch ~domains:1 ~l:12 ~p:0.08 ~trials:640 ~seed:43 ())
+
 (* --- E17..E20 ---------------------------------------------------------------- *)
 
 let e17_l2_recover =
@@ -291,6 +306,9 @@ let kernels =
     ("e16-css-ec-reed-muller", e16_css_ec_rm15);
     ("e6b-pauli-frame-level2", e6b_level2);
     ("e6b-pauli-frame-level3", e6b_level3);
+    ("e6b-batch-level2-3200shots", e6b_batch_level2);
+    ("e6b-batch-level3-640shots", e6b_batch_level3);
+    ("e10-toric-batch-L12-640shots", e10_toric_batch);
     ("e17-level2-ec-cycle", e17_l2_recover);
     ("e18-golay-decode", e18_golay);
     ("e19-noisy-toric-L8x8", e19_noisy_toric);
@@ -394,9 +412,76 @@ let parallel_probe () =
     (if f_seq = f_par then "agree" else "DISAGREE");
   (trials, domains, t_seq, t_par, speedup, f_seq = f_par)
 
+(* Batch-vs-scalar probe: shots/sec of the legacy per-shot _mc path
+   vs the bit-sliced engine at domains:1, plus the engine's own
+   bit-identity contract — the batch count must equal the [`Scalar]
+   cross-check (identical sampled noise, per-shot decoding) exactly.
+   A mismatch fails the bench (and hence CI). *)
+let batch_probe () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let probe name ~trials ~mc ~batch ~crosscheck =
+    ignore (mc ());
+    ignore (batch ());
+    (* warm both paths *)
+    let mc_fail, t_mc = time mc in
+    let b_fail, t_b = time batch in
+    let c_fail, _ = time crosscheck in
+    let mc_sps = float_of_int trials /. t_mc in
+    let b_sps = float_of_int trials /. t_b in
+    let speedup = b_sps /. mc_sps in
+    let identical = b_fail = c_fail in
+    Printf.printf
+      "batch probe %-16s mc %9.0f shots/s, batch %11.0f shots/s (%6.1fx),        counts %d/%d %s  (mc count %d, statistical)
+%!"
+      name mc_sps b_sps speedup b_fail c_fail
+      (if identical then "agree" else "DISAGREE")
+      mc_fail;
+    (name, mc_sps, b_sps, speedup, b_fail, c_fail, identical)
+  in
+  let steane_trials = 20000 in
+  let steane engine () =
+    (match engine with
+    | `Mc ->
+      Codes.Pauli_frame.memory_failure_mc ~domains:1 ~level:2 ~eps:0.01
+        ~rounds:1 ~trials:steane_trials ~seed:909 ()
+    | `Batch ->
+      Codes.Pauli_frame.memory_failure_batch ~domains:1 ~level:2 ~eps:0.01
+        ~rounds:1 ~trials:steane_trials ~seed:909 ()
+    | `Cross ->
+      Codes.Pauli_frame.memory_failure_batch ~domains:1 ~engine:`Scalar
+        ~level:2 ~eps:0.01 ~rounds:1 ~trials:steane_trials ~seed:909 ())
+      .Mc.Stats.failures
+  in
+  let toric_trials = 20000 in
+  let toric engine () =
+    (match engine with
+    | `Mc -> Toric.Memory.run_mc ~domains:1 ~l:5 ~p:0.05 ~trials:toric_trials ~seed:910 ()
+    | `Batch ->
+      Toric.Memory.run_batch ~domains:1 ~l:5 ~p:0.05 ~trials:toric_trials
+        ~seed:910 ()
+    | `Cross ->
+      Toric.Memory.run_batch ~domains:1 ~engine:`Scalar ~l:5 ~p:0.05
+        ~trials:toric_trials ~seed:910 ())
+      .Toric.Memory.failures
+  in
+  let steane_entry =
+    probe "steane-level2" ~trials:steane_trials ~mc:(steane `Mc)
+      ~batch:(steane `Batch) ~crosscheck:(steane `Cross)
+  in
+  let toric_entry =
+    probe "toric-L5" ~trials:toric_trials ~mc:(toric `Mc)
+      ~batch:(toric `Batch) ~crosscheck:(toric `Cross)
+  in
+  [ steane_entry; toric_entry ]
+
 let run_smoke ~out =
   let entries = List.map smoke_run kernels in
   let trials, domains, t_seq, t_par, speedup, agree = parallel_probe () in
+  let batch_entries = batch_probe () in
   let oc = open_out out in
   Printf.fprintf oc "{\n  \"mode\": \"smoke\",\n  \"benchmarks\": [\n";
   let last = List.length entries - 1 in
@@ -409,11 +494,32 @@ let run_smoke ~out =
   Printf.fprintf oc
     "  ],\n\
     \  \"parallel\": {\"trials\": %d, \"domains\": %d, \"seq_s\": %.6f, \
-     \"par_s\": %.6f, \"speedup\": %.4f, \"identical_counts\": %b}\n\
-     }\n"
+     \"par_s\": %.6f, \"speedup\": %.4f, \"identical_counts\": %b},\n"
     trials domains t_seq t_par speedup agree;
+  Printf.fprintf oc "  \"batch\": [\n";
+  let blast = List.length batch_entries - 1 in
+  List.iteri
+    (fun i (name, mc_sps, b_sps, sp, bf, cf, id) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"mc_shots_per_s\": %.1f, \
+         \"batch_shots_per_s\": %.1f, \"speedup\": %.2f, \
+         \"batch_failures\": %d, \"crosscheck_failures\": %d, \
+         \"identical\": %b}%s\n"
+        name mc_sps b_sps sp bf cf id
+        (if i = blast then "" else ","))
+    batch_entries;
+  Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "wrote %s\n%!" out
+  Printf.printf "wrote %s\n%!" out;
+  let disagree =
+    (not agree)
+    || List.exists (fun (_, _, _, _, _, _, id) -> not id) batch_entries
+  in
+  if disagree then begin
+    Printf.eprintf
+      "FATAL: batch/scalar failure counts disagree (see %s)\n" out;
+    exit 1
+  end
 
 (* --------------------------------------------------------------- CLI *)
 

@@ -212,7 +212,7 @@ let e5 ?domains ~trials ~seed () =
             ~seed:(Mc.Rng.derive seed [ 5; i ])
             ()
         in
-        Printf.printf "  eps=%8.4g  p1=%.5g (+-%.2g)\n%!" eps r.rate r.stderr;
+        Format.printf "  eps=%8.4g  p1 = %a@." eps Mc.Stats.pp r;
         (eps, r.rate))
       eps_list
   in
@@ -259,7 +259,7 @@ let e6 () =
 
 (* --------------------------------------------------------------- E6b *)
 
-let e6b ?domains ~trials ~seed () =
+let e6b ?domains ?(engine = `Scalar) ~trials ~seed () =
   header
     "E6b Concatenated Steane, direct Monte Carlo (Pauli frame, ideal EC)";
   Printf.printf
@@ -268,10 +268,14 @@ let e6b ?domains ~trials ~seed () =
   List.iteri
     (fun i eps ->
       let run level t =
-        (Codes.Pauli_frame.memory_failure_mc ?domains ~level ~eps ~rounds:1
-           ~trials:t
-           ~seed:(Mc.Rng.derive seed [ 66; i; level ])
-           ())
+        let seed = Mc.Rng.derive seed [ 66; i; level ] in
+        (match engine with
+        | `Scalar ->
+          Codes.Pauli_frame.memory_failure_mc ?domains ~level ~eps ~rounds:1
+            ~trials:t ~seed ()
+        | `Batch ->
+          Codes.Pauli_frame.memory_failure_batch ?domains ~level ~eps
+            ~rounds:1 ~trials:t ~seed ())
           .rate
       in
       Printf.printf "%8.3f %12.5f %12.5f %12.5f\n%!" eps (run 1 trials)
@@ -286,7 +290,7 @@ let e6b ?domains ~trials ~seed () =
 
 (* --------------------------------------------------------------- E15 *)
 
-let e15 ?domains ~trials ~seed () =
+let e15 ?domains ?(engine = `Scalar) ~trials ~seed () =
   header
     "E15 Biased noise ablation (Sec. 6: tailoring the scheme to the model)";
   Printf.printf
@@ -295,10 +299,14 @@ let e15 ?domains ~trials ~seed () =
   List.iteri
     (fun i eta ->
       let run level =
-        (Codes.Pauli_frame.memory_failure_biased_mc ?domains ~level ~eps:0.02
-           ~eta ~rounds:1 ~trials
-           ~seed:(Mc.Rng.derive seed [ 15; i; level ])
-           ())
+        let seed = Mc.Rng.derive seed [ 15; i; level ] in
+        (match engine with
+        | `Scalar ->
+          Codes.Pauli_frame.memory_failure_biased_mc ?domains ~level
+            ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ()
+        | `Batch ->
+          Codes.Pauli_frame.memory_failure_biased_batch ?domains ~level
+            ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ())
           .rate
       in
       Printf.printf "%8.1f %12.5f %12.5f\n%!" eta (run 1) (run 2))
@@ -374,7 +382,7 @@ let e9 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E10 *)
 
-let e10 ?domains ~trials ~seed () =
+let e10 ?domains ?(engine = `Scalar) ~trials ~seed () =
   header "E10  Toric-code memory (Sec. 7): threshold of the Kitaev model";
   let ls = [ 4; 6; 8; 12 ] in
   let ps = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15 ] in
@@ -386,10 +394,11 @@ let e10 ?domains ~trials ~seed () =
       Printf.printf "%8.3f" p;
       List.iter
         (fun l ->
+          let seed = Mc.Rng.derive seed [ 10; l; pi ] in
           let r =
-            Toric.Memory.run_mc ?domains ~l ~p ~trials
-              ~seed:(Mc.Rng.derive seed [ 10; l; pi ])
-              ()
+            match engine with
+            | `Scalar -> Toric.Memory.run_mc ?domains ~l ~p ~trials ~seed ()
+            | `Batch -> Toric.Memory.run_batch ?domains ~l ~p ~trials ~seed ()
           in
           Printf.printf " %9.4f" r.rate)
         ls;
@@ -785,7 +794,7 @@ let e18 ?domains ~trials ~seed () =
 
 (* --------------------------------------------------------------- E19 *)
 
-let e19 ?domains ~trials ~seed () =
+let e19 ?domains ?(engine = `Scalar) ~trials ~seed () =
   header
     "E19 Toric memory with noisy syndrome measurement (Sec. 7, finite T)";
   Printf.printf
@@ -801,10 +810,15 @@ let e19 ?domains ~trials ~seed () =
       Printf.printf "%8.3f" p;
       List.iter
         (fun l ->
+          let seed = Mc.Rng.derive seed [ 19; l; pi ] in
           let r =
-            Toric.Noisy_memory.run_mc ?domains ~l ~rounds:l ~p ~q:p ~trials
-              ~seed:(Mc.Rng.derive seed [ 19; l; pi ])
-              ()
+            match engine with
+            | `Scalar ->
+              Toric.Noisy_memory.run_mc ?domains ~l ~rounds:l ~p ~q:p ~trials
+                ~seed ()
+            | `Batch ->
+              Toric.Noisy_memory.run_batch ?domains ~l ~rounds:l ~p ~q:p
+                ~trials ~seed ()
           in
           Printf.printf " %9.4f" r.rate)
         ls;
@@ -1006,6 +1020,24 @@ let with_trials_par name doc default f =
           f ?domains:(resolve_domains domains) ~trials ~seed ())
       $ domains_arg $ trials_arg default $ seed_arg)
 
+(* batch-capable experiments additionally take --engine *)
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("scalar", `Scalar); ("batch", `Batch) ]) `Scalar
+    & info [ "engine" ]
+        ~doc:
+          "Monte-Carlo engine: $(b,scalar) (per-shot, legacy sampling) or \
+           $(b,batch) (bit-sliced, 64 shots per word)")
+
+let with_trials_par_engine name doc default f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun domains trials seed engine ->
+          f ?domains:(resolve_domains domains) ?engine:(Some engine) ~trials
+            ~seed ())
+      $ domains_arg $ trials_arg default $ seed_arg $ engine_arg)
+
 let with_seed name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const (fun seed -> f ~seed ()) $ seed_arg)
@@ -1049,20 +1081,20 @@ let () =
       with_trials_par "e4" "syndrome repetition" 20000 e4;
       with_trials_par "e5" "pseudo-threshold" 20000 e5;
       simple "e6" "concatenation flow (Eqs. 36-37)" e6;
-      with_trials_par "e6b" "concatenated Steane Monte Carlo" 30000 e6b;
+      with_trials_par_engine "e6b" "concatenated Steane Monte Carlo" 30000 e6b;
       simple "e7" "big-code scaling (Eqs. 30-32)" e7;
       simple "e8" "factoring resources (Sec. 6)" e8;
       with_trials "e9" "random vs systematic errors" 500 e9;
-      with_trials_par "e10" "toric-code threshold" 2000 e10;
+      with_trials_par_engine "e10" "toric-code threshold" 2000 e10;
       with_seed "e11" "A5 flux-pair logic" e11;
       with_trials_par "e12" "leakage detection" 2000 e12;
       simple "e13" "code comparison" e13;
       with_seed "e14" "fault-tolerant Toffoli" e14;
-      with_trials_par "e15" "biased-noise ablation" 30000 e15;
+      with_trials_par_engine "e15" "biased-noise ablation" 30000 e15;
       with_trials_par "e16" "generalized CSS EC" 5000 e16;
       with_trials_par "e17" "level-2 vs level-1 EC gadget" 3000 e17;
       with_trials_par "e18" "Golay vs concatenation" 50000 e18;
-      with_trials_par "e19" "toric with noisy measurement" 2000 e19;
+      with_trials_par_engine "e19" "toric with noisy measurement" 2000 e19;
       with_trials_par "e20" "parallelism vs storage errors" 50000 e20;
       with_trials_par "e22" "gate vs storage thresholds" 20000 e22;
       with_trials_par "e23" "same program, stronger code" 2000 e23;

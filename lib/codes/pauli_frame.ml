@@ -68,10 +68,14 @@ let rec concatenated_steane_class ~level e =
     steane_class (Pauli.of_letters letters)
   end
 
+(* [Mc.Rng.t] is the primary randomness interface; the
+   [Random.State.t] entry points below wrap the state
+   ([Mc.Rng.of_random_state] shares it, so draws are bit-identical to
+   the pre-unification code). *)
 let sample_pauli rng ~px ~py ~pz ~n =
   let x = Bitvec.create n and z = Bitvec.create n in
   for q = 0 to n - 1 do
-    let r = Random.State.float rng 1.0 in
+    let r = Mc.Rng.float rng 1.0 in
     if r < px then Bitvec.set x q true
     else if r < px +. py then begin
       Bitvec.set x q true;
@@ -81,23 +85,31 @@ let sample_pauli rng ~px ~py ~pz ~n =
   done;
   Pauli.of_bits ~x ~z ()
 
-let depolarize rng ~eps ~n =
+let depolarize_rng rng ~eps ~n =
   let p = eps /. 3.0 in
   sample_pauli rng ~px:p ~py:p ~pz:p ~n
 
-let biased_depolarize rng ~eps ~eta ~n =
+let depolarize rng ~eps ~n = depolarize_rng (Mc.Rng.of_random_state rng) ~eps ~n
+
+let biased_depolarize_rng rng ~eps ~eta ~n =
   if eta <= 0.0 then invalid_arg "Pauli_frame.biased_depolarize: eta > 0";
   let unit = eps /. (eta +. 2.0) in
   sample_pauli rng ~px:unit ~py:unit ~pz:(eta *. unit) ~n
 
-type estimate = { failures : int; trials : int; rate : float; stderr : float }
+let biased_depolarize rng ~eps ~eta ~n =
+  biased_depolarize_rng (Mc.Rng.of_random_state rng) ~eps ~eta ~n
 
-let estimate ~failures ~trials =
-  let rate = float_of_int failures /. float_of_int trials in
-  let stderr =
-    sqrt (Float.max (rate *. (1.0 -. rate)) 1e-12 /. float_of_int trials)
-  in
-  { failures; trials; rate; stderr }
+(* One estimate record for the whole library (Mc.Stats.estimate). *)
+type estimate = Mc.Stats.estimate = {
+  failures : int;
+  trials : int;
+  rate : float;
+  stderr : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+let estimate ~failures ~trials = Mc.Stats.estimate ~failures ~trials ()
 
 (* One memory trial: [noise_sample] draws a fresh Pauli error from the
    supplied stream each round; [decode] classifies the residual. *)
@@ -161,4 +173,162 @@ let memory_failure_biased_mc ?domains ~level ~eps ~eta ~rounds ~trials ~seed
   run_memory_mc ?domains
     ~noise_sample:(fun rng -> biased_depolarize rng ~eps ~eta ~n)
     ~decode:(fun e -> Some (concatenated_steane_class ~level e))
+    ~rounds ~trials ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* Bit-sliced batch engine: 64 shots per int64 word.                   *)
+
+module Plane = Frame.Plane
+module Sampler = Frame.Sampler
+module Program = Frame.Program
+
+type engine = [ `Batch | `Scalar ]
+
+(* Word-wise Steane classifier.  For syndrome s with tabulated
+   correction c_s and error e, the residual's logical-X indicator is
+     has_x(c_s · e) = ⟨c_s, Lz⟩ ⊕ ⟨e, Lz⟩
+   by bilinearity of the symplectic product (likewise has_z against
+   Lx), so the class is an XOR of an error parity with a pure function
+   of the 6 syndrome bits — everything word-wise.  The tables are
+   derived from the actual CSS decoder, so the batch classifier agrees
+   with {!steane_class} on every error by construction. *)
+type steane_tables = {
+  checks : Program.check array; (* the 6 stabilizer parity selectors *)
+  lz : Program.check;           (* selector for ⟨e, Lz⟩ *)
+  lx : Program.check;           (* selector for ⟨e, Lx⟩ *)
+  ax : bool array;              (* ax.(s) = ⟨c_s, Lz⟩ *)
+  az : bool array;              (* az.(s) = ⟨c_s, Lx⟩ *)
+}
+
+let steane_tables =
+  lazy
+    (let code = Steane.code in
+     let dec = Lazy.force steane_decoder in
+     let checks = Array.map Program.check_of_generator code.Code.generators in
+     let lzp = code.Code.logical_z.(0) and lxp = code.Code.logical_x.(0) in
+     let ax = Array.make 64 false and az = Array.make 64 false in
+     for s = 0 to 63 do
+       let sv = Bitvec.create 6 in
+       for i = 0 to 5 do
+         if (s lsr i) land 1 = 1 then Bitvec.set sv i true
+       done;
+       match Code.decode dec sv with
+       | None -> assert false (* the CSS table covers all 64 syndromes *)
+       | Some c ->
+         ax.(s) <- not (Pauli.commutes c lzp);
+         az.(s) <- not (Pauli.commutes c lxp)
+     done;
+     {
+       checks;
+       lz = Program.check_of_generator lzp;
+       lx = Program.check_of_generator lxp;
+       ax;
+       az;
+     })
+
+let parity_sel (x : int64 array) (z : int64 array) off (c : Program.check) =
+  let acc = ref 0L in
+  Array.iter (fun q -> acc := Int64.logxor !acc x.(off + q)) c.Program.x_sel;
+  Array.iter (fun q -> acc := Int64.logxor !acc z.(off + q)) c.Program.z_sel;
+  !acc
+
+(* One 7-qubit block at word offset [off]: (has_x, has_z) words of the
+   post-correction residual for all 64 shots.  The 64 syndrome
+   minterms are disjoint, so the decoder contribution is an OR-mux. *)
+let classify_block tbl x z off =
+  let synd = Array.map (parity_sel x z off) tbl.checks in
+  let px = parity_sel x z off tbl.lz
+  and pz = parity_sel x z off tbl.lx in
+  let muxx = ref 0L and muxz = ref 0L in
+  for s = 0 to 63 do
+    if tbl.ax.(s) || tbl.az.(s) then begin
+      let m = ref (-1L) in
+      for i = 0 to 5 do
+        m :=
+          Int64.logand !m
+            (if (s lsr i) land 1 = 1 then synd.(i) else Int64.lognot synd.(i))
+      done;
+      if tbl.ax.(s) then muxx := Int64.logor !muxx !m;
+      if tbl.az.(s) then muxz := Int64.logor !muxz !m
+    end
+  done;
+  (Int64.logxor px !muxx, Int64.logxor pz !muxz)
+
+let rec pow7 = function 0 -> 1 | l -> 7 * pow7 (l - 1)
+
+(* Hierarchical decode, all 64 shots at once: each inner block's
+   (has_x, has_z) words become one outer qubit's plane words. *)
+let rec classify_words tbl ~level x z off =
+  if level = 1 then classify_block tbl x z off
+  else begin
+    let sub = pow7 (level - 1) in
+    let bx = Array.make 7 0L and bz = Array.make 7 0L in
+    for b = 0 to 6 do
+      let hx, hz = classify_words tbl ~level:(level - 1) x z (off + (b * sub)) in
+      bx.(b) <- hx;
+      bz.(b) <- hz
+    done;
+    classify_block tbl bx bz 0
+  end
+
+let run_memory_batch ?domains ?(engine = `Batch) ~level ~px ~py ~pz ~rounds
+    ~trials ~seed () =
+  if level < 1 then invalid_arg "Pauli_frame: level >= 1";
+  let n = pow7 level in
+  let tbl = Lazy.force steane_tables in
+  let qubits = Array.init n Fun.id in
+  let prog = Program.make ~n [ Program.Depolarize { qubits; px; py; pz } ] in
+  let batch (plane, xs, zs) key ~base:_ ~count =
+    let sampler = Sampler.create key in
+    match engine with
+    | `Batch ->
+      let fx = ref 0L and fz = ref 0L in
+      for _ = 1 to rounds do
+        Plane.clear plane;
+        ignore (Program.run prog sampler plane);
+        for q = 0 to n - 1 do
+          xs.(q) <- Plane.get_x plane q;
+          zs.(q) <- Plane.get_z plane q
+        done;
+        let hx, hz = classify_words tbl ~level xs zs 0 in
+        fx := Int64.logxor !fx hx;
+        fz := Int64.logxor !fz hz
+      done;
+      Int64.logor !fx !fz
+    | `Scalar ->
+      (* Cross-check engine: the identical sampler call sequence (so
+         the identical noise), but each shot is extracted and run
+         through the existing scalar classifier.  Counts are
+         bit-identical to [`Batch] by construction. *)
+      let cls = Array.make 64 L_i in
+      for _ = 1 to rounds do
+        Plane.clear plane;
+        ignore (Program.run prog sampler plane);
+        for k = 0 to count - 1 do
+          let e = Plane.extract_shot plane k in
+          cls.(k) <- compose cls.(k) (concatenated_steane_class ~level e)
+        done
+      done;
+      let w = ref 0L in
+      for k = 0 to count - 1 do
+        if cls.(k) <> L_i then w := Int64.logor !w (Int64.shift_left 1L k)
+      done;
+      !w
+  in
+  Mc.Runner.estimate_batched ?domains ~trials ~seed
+    ~worker_init:(fun () -> (Plane.create n, Array.make n 0L, Array.make n 0L))
+    batch
+
+let memory_failure_batch ?domains ?engine ~level ~eps ~rounds ~trials ~seed ()
+    =
+  let p = eps /. 3.0 in
+  run_memory_batch ?domains ?engine ~level ~px:p ~py:p ~pz:p ~rounds ~trials
+    ~seed ()
+
+let memory_failure_biased_batch ?domains ?engine ~level ~eps ~eta ~rounds
+    ~trials ~seed () =
+  if eta <= 0.0 then
+    invalid_arg "Pauli_frame.memory_failure_biased_batch: eta > 0";
+  let unit = eps /. (eta +. 2.0) in
+  run_memory_batch ?domains ?engine ~level ~px:unit ~py:unit ~pz:(eta *. unit)
     ~rounds ~trials ~seed ()

@@ -38,15 +38,27 @@ val steane_class : Pauli.t -> logical_class
     Pauli, recurse. *)
 val concatenated_steane_class : level:int -> Pauli.t -> logical_class
 
-(** [depolarize rng ~eps ~n] — IID single-qubit depolarizing noise as
-    a Pauli operator (X/Y/Z each with probability eps/3 per qubit). *)
+(** [depolarize_rng rng ~eps ~n] — IID single-qubit depolarizing noise
+    as a Pauli operator (X/Y/Z each with probability eps/3 per qubit).
+    [Mc.Rng.t] is the library's single randomness interface. *)
+val depolarize_rng : Mc.Rng.t -> eps:float -> n:int -> Pauli.t
+
+(** [depolarize rng ~eps ~n] — compatibility wrapper over
+    {!depolarize_rng}: the state is wrapped with
+    [Mc.Rng.of_random_state] (shared, not copied), so draws are
+    bit-identical to the pre-unification behaviour. *)
 val depolarize : Random.State.t -> eps:float -> n:int -> Pauli.t
 
-type estimate = {
+(** One estimate record for the whole library: {!Mc.Stats.estimate}
+    re-exported (with Wilson interval), so every driver returns the
+    same shape. *)
+type estimate = Mc.Stats.estimate = {
   failures : int;
   trials : int;
   rate : float;
   stderr : float;
+  ci_low : float;
+  ci_high : float;
 }
 
 (** [memory_failure ~level ~eps ~rounds ~trials rng] — the
@@ -93,10 +105,15 @@ val code_memory_failure_mc :
   unit ->
   Mc.Stats.estimate
 
-(** [biased_depolarize rng ~eps ~eta ~n] — §6's "more realistic error
-    model" hook: total error probability [eps] per qubit with Z
+(** [biased_depolarize_rng rng ~eps ~eta ~n] — §6's "more realistic
+    error model" hook: total error probability [eps] per qubit with Z
     errors [eta] times likelier than X (Y as likely as X);
     [eta] = 1 recovers depolarizing. *)
+val biased_depolarize_rng :
+  Mc.Rng.t -> eps:float -> eta:float -> n:int -> Pauli.t
+
+(** Compatibility wrapper over {!biased_depolarize_rng} (shared-state
+    [Mc.Rng.of_random_state], bit-identical draws). *)
 val biased_depolarize : Random.State.t -> eps:float -> eta:float -> n:int -> Pauli.t
 
 (** [memory_failure_biased ~level ~eps ~eta ~rounds ~trials rng]. *)
@@ -111,6 +128,50 @@ val memory_failure_biased :
 
 val memory_failure_biased_mc :
   ?domains:int ->
+  level:int ->
+  eps:float ->
+  eta:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
+(** {2 Bit-sliced batch engine}
+
+    64 Monte-Carlo shots per machine word: noise is sampled wordwise
+    from the binary expansion of each probability ({!Frame.Sampler}),
+    ideal recovery is a word-wise mux of the CSS decoder table, and
+    failure indicators come back as one bit per shot.
+
+    [`Batch] and [`Scalar] issue the identical {!Frame.Sampler} call
+    sequence per 64-shot chunk, so they see the same noise: [`Scalar]
+    re-decodes every shot through {!concatenated_steane_class} and the
+    failure counts are bit-identical by construction (for any
+    [domains]).  [`Scalar] exists as the cross-check and as the
+    like-for-like speedup baseline; the legacy [_mc] entry points use
+    per-shot [Random.State] sampling and keep their historical
+    counts. *)
+
+type engine = [ `Batch | `Scalar ]
+
+(** [memory_failure_batch ?domains ?engine ~level ~eps ~rounds ~trials
+    ~seed ()] — the {!memory_failure_mc} experiment on the batch
+    engine (levels 1–3 are the tested range). *)
+val memory_failure_batch :
+  ?domains:int ->
+  ?engine:engine ->
+  level:int ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
+val memory_failure_biased_batch :
+  ?domains:int ->
+  ?engine:engine ->
   level:int ->
   eps:float ->
   eta:float ->

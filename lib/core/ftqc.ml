@@ -12,6 +12,9 @@
     - {!Circuit}: the gate/measurement IR.
     - {!Statevec}: exact state-vector simulation (≤ ~20 qubits).
     - {!Tableau}: stabilizer (Aaronson–Gottesman) simulation.
+    - {!Frame}: bit-sliced Pauli-frame batch engine — 64 Monte-Carlo
+      shots per machine word, word-sampled noise, compiled frame
+      programs (the fast path behind the [_batch] drivers).
     - {!Codes}: Hamming, Steane, Shor-9, 5-qubit, CSS, concatenation.
     - {!Ft}: fault-tolerant gadgets — noisy executor, verified cats,
       Shor/Steane EC, transversal gates, FT Toffoli, leakage,
@@ -29,6 +32,7 @@ module Pauli = Pauli
 module Circuit = Circuit
 module Statevec = Statevec
 module Tableau = Tableau
+module Frame = Frame
 module Codes = Codes
 module Ft = Ft
 module Threshold = Threshold

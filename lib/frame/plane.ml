@@ -1,0 +1,91 @@
+module Bitvec = Gf2.Bitvec
+
+(* Bit-sliced Pauli frame: one X word and one Z word per qubit, bit k
+   of each word belonging to Monte-Carlo shot k.  Frame propagation
+   through Clifford gates is the usual symplectic update, applied
+   word-wise so all 64 shots advance per operation. *)
+
+type t = { n : int; x : int64 array; z : int64 array }
+
+let create n =
+  if n < 1 then invalid_arg "Frame.Plane.create: n >= 1";
+  { n; x = Array.make n 0L; z = Array.make n 0L }
+
+let num_qubits t = t.n
+
+let clear t =
+  Array.fill t.x 0 t.n 0L;
+  Array.fill t.z 0 t.n 0L
+
+(* CNOT a→b: X copies control→target, Z copies target→control. *)
+let cnot t a b =
+  t.x.(b) <- Int64.logxor t.x.(b) t.x.(a);
+  t.z.(a) <- Int64.logxor t.z.(a) t.z.(b)
+
+(* H: swap the X and Z planes of the qubit. *)
+let h t q =
+  let xq = t.x.(q) in
+  t.x.(q) <- t.z.(q);
+  t.z.(q) <- xq
+
+(* S: X → Y, i.e. the Z plane picks up the X plane. *)
+let s_gate t q = t.z.(q) <- Int64.logxor t.z.(q) t.x.(q)
+
+let xor_x t q w = t.x.(q) <- Int64.logxor t.x.(q) w
+let xor_z t q w = t.z.(q) <- Int64.logxor t.z.(q) w
+let get_x t q = t.x.(q)
+let get_z t q = t.z.(q)
+
+let parity_x t qubits =
+  Array.fold_left (fun acc q -> Int64.logxor acc t.x.(q)) 0L qubits
+
+let parity_z t qubits =
+  Array.fold_left (fun acc q -> Int64.logxor acc t.z.(q)) 0L qubits
+
+let depolarize t sampler ~qubits ~px ~py ~pz =
+  Array.iter
+    (fun q ->
+      let xw, zw = Sampler.pauli sampler ~px ~py ~pz in
+      xor_x t q xw;
+      xor_z t q zw)
+    qubits
+
+let flip_x t sampler ~qubits ~p =
+  Array.iter (fun q -> xor_x t q (Sampler.bernoulli sampler p)) qubits
+
+let flip_z t sampler ~qubits ~p =
+  Array.iter (fun q -> xor_z t q (Sampler.bernoulli sampler p)) qubits
+
+let bit w k = Int64.logand (Int64.shift_right_logical w k) 1L = 1L
+
+(* Transpose: one shot's view of a word array (word i holds bit
+   position i across the 64 shots). *)
+let shot_vec words k =
+  let v = Bitvec.create (Array.length words) in
+  Array.iteri (fun i w -> if bit w k then Bitvec.set v i true) words;
+  v
+
+let load_shot words k v =
+  if Bitvec.length v <> Array.length words then
+    invalid_arg "Frame.Plane.load_shot: length mismatch";
+  let m = Int64.shift_left 1L k in
+  Array.iteri
+    (fun i w ->
+      let w = Int64.logand w (Int64.lognot m) in
+      words.(i) <- (if Bitvec.get v i then Int64.logor w m else w))
+    words
+
+let extract_shot t k =
+  let x = Bitvec.create t.n and z = Bitvec.create t.n in
+  for q = 0 to t.n - 1 do
+    if bit t.x.(q) k then Bitvec.set x q true;
+    if bit t.z.(q) k then Bitvec.set z q true
+  done;
+  Pauli.of_bits ~x ~z ()
+
+let extract_shot_x t k =
+  let x = Bitvec.create t.n in
+  for q = 0 to t.n - 1 do
+    if bit t.x.(q) k then Bitvec.set x q true
+  done;
+  x

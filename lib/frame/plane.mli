@@ -1,0 +1,59 @@
+(** Bit-sliced Pauli-frame state: one X word and one Z word per qubit,
+    where bit [k] of each word is Monte-Carlo shot [k].  Frame
+    propagation through Clifford gates and noise injection are
+    word-wise XOR/AND, advancing all 64 shots per operation. *)
+
+type t
+
+(** [create n] — an [n]-qubit all-identity frame batch. *)
+val create : int -> t
+
+val num_qubits : t -> int
+
+(** [clear t] — reset every shot's frame to the identity. *)
+val clear : t -> unit
+
+(** Symplectic frame propagation. *)
+val cnot : t -> int -> int -> unit
+
+val h : t -> int -> unit
+val s_gate : t -> int -> unit
+
+(** Raw plane access (bit [k] = shot [k]). *)
+val xor_x : t -> int -> int64 -> unit
+
+val xor_z : t -> int -> int64 -> unit
+val get_x : t -> int -> int64
+val get_z : t -> int -> int64
+
+(** [parity_x t qubits] — word whose bit [k] is the X-plane parity of
+    shot [k] over [qubits] (likewise {!parity_z}). *)
+val parity_x : t -> int array -> int64
+
+val parity_z : t -> int array -> int64
+
+(** Word-sampled noise injection (see {!Sampler}). *)
+val depolarize :
+  t -> Sampler.t -> qubits:int array -> px:float -> py:float -> pz:float -> unit
+
+val flip_x : t -> Sampler.t -> qubits:int array -> p:float -> unit
+val flip_z : t -> Sampler.t -> qubits:int array -> p:float -> unit
+
+(** [bit w k] — bit [k] of a word, as a bool. *)
+val bit : int64 -> int -> bool
+
+(** [shot_vec words k] — transpose one shot out of a word array: bit
+    [i] of the result is bit [k] of [words.(i)]. *)
+val shot_vec : int64 array -> int -> Gf2.Bitvec.t
+
+(** [load_shot words k v] — inverse of {!shot_vec}: write bitvector
+    [v] into bit position [k] of each word. *)
+val load_shot : int64 array -> int -> Gf2.Bitvec.t -> unit
+
+(** [extract_shot t k] — shot [k]'s frame as a [Pauli.t]
+    (phase-free). *)
+val extract_shot : t -> int -> Pauli.t
+
+(** [extract_shot_x t k] — shot [k]'s X plane only (for X-error-only
+    models such as the toric memory). *)
+val extract_shot_x : t -> int -> Gf2.Bitvec.t

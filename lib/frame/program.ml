@@ -1,0 +1,90 @@
+(* A frame program is a circuit (or ideal-EC round structure) compiled
+   once into a flat array of ops: stochastic fault sites, Clifford
+   frame-propagation gates, and syndrome extractions.  Running it
+   against a Sampler and a Plane executes 64 shots at once; the
+   extracted syndrome words transpose to per-shot bitstrings for the
+   existing (scalar) decoders via Plane.shot_vec. *)
+
+(* Syndrome bit of generator g on error e = x(e)·z(g) ⊕ z(e)·x(g):
+   [x_sel] lists the qubits read from the X plane (the support of
+   z(g)), [z_sel] the qubits read from the Z plane. *)
+type check = { x_sel : int array; z_sel : int array }
+
+type op =
+  | Depolarize of { qubits : int array; px : float; py : float; pz : float }
+  | Flip_x of { qubits : int array; p : float }
+  | Flip_z of { qubits : int array; p : float }
+  | Cnot of int * int
+  | H of int
+  | S of int
+  | Extract of check array
+
+type t = { n : int; ops : op array; out_words : int }
+
+let check_of_generator g =
+  let sup v = Array.of_list (Gf2.Bitvec.support v) in
+  { x_sel = sup (Pauli.z_bits g); z_sel = sup (Pauli.x_bits g) }
+
+let num_out ops =
+  List.fold_left
+    (fun acc -> function Extract cs -> acc + Array.length cs | _ -> acc)
+    0 ops
+
+let make ~n ops =
+  let in_range q = q >= 0 && q < n in
+  List.iter
+    (function
+      | Depolarize { qubits; _ } | Flip_x { qubits; _ } | Flip_z { qubits; _ }
+        ->
+        if not (Array.for_all in_range qubits) then
+          invalid_arg "Frame.Program.make: qubit out of range"
+      | Cnot (a, b) ->
+        if (not (in_range a)) || (not (in_range b)) || a = b then
+          invalid_arg "Frame.Program.make: bad cnot"
+      | H q | S q ->
+        if not (in_range q) then
+          invalid_arg "Frame.Program.make: qubit out of range"
+      | Extract cs ->
+        Array.iter
+          (fun { x_sel; z_sel } ->
+            if
+              (not (Array.for_all in_range x_sel))
+              || not (Array.for_all in_range z_sel)
+            then invalid_arg "Frame.Program.make: check out of range")
+          cs)
+    ops;
+  { n; ops = Array.of_list ops; out_words = num_out ops }
+
+let num_qubits t = t.n
+let out_words t = t.out_words
+
+let run_into t sampler plane out =
+  if Plane.num_qubits plane <> t.n then
+    invalid_arg "Frame.Program.run: plane size mismatch";
+  if Array.length out < t.out_words then
+    invalid_arg "Frame.Program.run: output buffer too small";
+  let pos = ref 0 in
+  Array.iter
+    (function
+      | Depolarize { qubits; px; py; pz } ->
+        Plane.depolarize plane sampler ~qubits ~px ~py ~pz
+      | Flip_x { qubits; p } -> Plane.flip_x plane sampler ~qubits ~p
+      | Flip_z { qubits; p } -> Plane.flip_z plane sampler ~qubits ~p
+      | Cnot (a, b) -> Plane.cnot plane a b
+      | H q -> Plane.h plane q
+      | S q -> Plane.s_gate plane q
+      | Extract cs ->
+        Array.iter
+          (fun { x_sel; z_sel } ->
+            out.(!pos) <-
+              Int64.logxor
+                (Plane.parity_x plane x_sel)
+                (Plane.parity_z plane z_sel);
+            incr pos)
+          cs)
+    t.ops
+
+let run t sampler plane =
+  let out = Array.make t.out_words 0L in
+  run_into t sampler plane out;
+  out

@@ -1,0 +1,46 @@
+(** Compiled frame programs.
+
+    A circuit — or the ideal-EC round structure of the Monte-Carlo
+    drivers — is compiled once into a flat array of ops: stochastic
+    fault sites, CNOT/H/S frame-propagation gates, and syndrome
+    extractions.  {!run} executes 64 shots at once against a
+    {!Sampler} and a {!Plane}; each [Extract] appends one syndrome
+    word per check (bit [k] = shot [k]), which {!Plane.shot_vec}
+    transposes to per-shot bitstrings for the existing decoders. *)
+
+(** One syndrome bit: parity of the X plane over [x_sel] XOR parity of
+    the Z plane over [z_sel]. *)
+type check = { x_sel : int array; z_sel : int array }
+
+type op =
+  | Depolarize of { qubits : int array; px : float; py : float; pz : float }
+  | Flip_x of { qubits : int array; p : float }
+  | Flip_z of { qubits : int array; p : float }
+  | Cnot of int * int
+  | H of int
+  | S of int
+  | Extract of check array
+
+type t
+
+(** [check_of_generator g] — the check measuring stabilizer [g]:
+    [x_sel] is the support of z(g), [z_sel] the support of x(g), so
+    the extracted bit is the commutator x(e)·z(g) ⊕ z(e)·x(g). *)
+val check_of_generator : Pauli.t -> check
+
+(** [make ~n ops] — validate and flatten. *)
+val make : n:int -> op list -> t
+
+val num_qubits : t -> int
+
+(** Number of syndrome words produced per {!run}. *)
+val out_words : t -> int
+
+(** [run t sampler plane] — execute all ops in order (the plane is
+    *not* cleared first, so multi-round drivers can accumulate);
+    returns the extracted syndrome words. *)
+val run : t -> Sampler.t -> Plane.t -> int64 array
+
+(** [run_into t sampler plane out] — as {!run}, into a caller buffer
+    (first [out_words t] slots). *)
+val run_into : t -> Sampler.t -> Plane.t -> int64 array -> unit

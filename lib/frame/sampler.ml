@@ -1,0 +1,77 @@
+(* Word-level noise sampling for the bit-sliced engine.
+
+   A sampler walks the raw outputs of one [Mc.Rng] key by position, so
+   a word of randomness is a pure function of (key, position): the
+   batch engine and its per-shot scalar cross-check replay the same
+   call sequence and therefore see the very same noise, bit for bit.
+
+   Bernoulli(p) words come from the binary expansion of p: with
+   p = 0.b1 b2 … (b1 most significant) and u1, u2, … independent
+   uniform words, fold from the least significant digit up,
+     acc ← if b then u lor acc else u land acc,
+   which maps Bernoulli(t) to Bernoulli((b + t)/2) per step.  p is
+   truncated to [digits] = 40 binary digits (absolute bias < 2^-40,
+   orders of magnitude below any Monte-Carlo resolution here). *)
+
+type t = { key : Mc.Rng.key; mutable pos : int }
+
+let create key = { key; pos = 0 }
+
+let uniform t =
+  let v = Mc.Rng.draw t.key t.pos in
+  t.pos <- t.pos + 1;
+  v
+
+let digits = 40
+
+let bernoulli t p =
+  if p <= 0.0 then 0L
+  else if p >= 1.0 then -1L
+  else begin
+    let scaled = Int64.of_float ((p *. 0x1p40) +. 0.5) in
+    let scaled =
+      if scaled <= 0L then 1L
+      else if scaled >= 0x10000000000L then 0xFFFFFFFFFFL
+      else scaled
+    in
+    (* digits below the lowest set bit leave acc = 0 and can be
+       skipped; the draw count is a function of p alone, so replaying
+       the same call sequence consumes the same positions. *)
+    let start =
+      let rec lowest j =
+        if Int64.logand (Int64.shift_right_logical scaled j) 1L = 1L then j
+        else lowest (j + 1)
+      in
+      lowest 0
+    in
+    let acc = ref 0L in
+    for j = start to digits - 1 do
+      let u = uniform t in
+      if Int64.logand (Int64.shift_right_logical scaled j) 1L = 1L then
+        acc := Int64.logor u !acc
+      else acc := Int64.logand u !acc
+    done;
+    !acc
+  end
+
+(* Per-bit three-way Pauli choice as X/Z bit-planes: an error occurs
+   with probability px+py+pz; conditioned on an error it has an X
+   component with probability (px+py)/(px+py+pz), and given an X
+   component it is a Y with probability py/(px+py).  All three draws
+   are bitwise independent, so the construction is exact per shot. *)
+let pauli t ~px ~py ~pz =
+  let pt = px +. py +. pz in
+  if pt <= 0.0 then (0L, 0L)
+  else begin
+    let e = bernoulli t pt in
+    let hx = bernoulli t ((px +. py) /. pt) in
+    let y_given_x =
+      if px +. py <= 0.0 then 0L else bernoulli t (py /. (px +. py))
+    in
+    let x = Int64.logand e hx in
+    let z =
+      Int64.logand e
+        (Int64.logor (Int64.logand hx y_given_x) (Int64.lognot hx))
+    in
+    (x, z)
+  end

@@ -1,0 +1,30 @@
+(** Word-level noise sampling for the bit-sliced engine.
+
+    A sampler is a position-based walk over the raw outputs of one
+    {!Mc.Rng} key: every drawn word is a pure function of
+    (key, position).  The batch engine and its per-shot scalar
+    cross-check issue the same call sequence against samplers built
+    from the same key, so both see the identical noise — the basis of
+    the bit-identical batch-vs-scalar guarantee. *)
+
+type t
+
+(** [create key] — a fresh sampler at position 0 of [key]. *)
+val create : Mc.Rng.key -> t
+
+(** [uniform t] — next uniform 64-bit word. *)
+val uniform : t -> int64
+
+(** Binary digits of p kept by {!bernoulli} (40: absolute bias
+    < 2^-40). *)
+val digits : int
+
+(** [bernoulli t p] — a word whose 64 bits are IID Bernoulli(p),
+    sampled by the binary expansion of [p].  The number of uniform
+    words consumed depends only on [p]. *)
+val bernoulli : t -> float -> int64
+
+(** [pauli t ~px ~py ~pz] — [(x_plane, z_plane)] words of 64 IID
+    single-qubit Pauli errors: per bit, X with probability [px], Y
+    with [py] (both planes set), Z with [pz], identity otherwise. *)
+val pauli : t -> px:float -> py:float -> pz:float -> int64 * int64

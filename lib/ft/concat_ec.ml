@@ -199,7 +199,7 @@ let ideal_judge_l2 sim ~plus_basis =
       let g =
         Code.embed code2 ~offset:0 ~total code2.Code.generators.((6 * b) + i)
       in
-      if Tableau.measure_pauli tab rng g then Bitvec.set s i true
+      if Tableau.measure_pauli_rng tab rng g then Bitvec.set s i true
     done;
     match Code.decode d1 s with
     | Some c when Pauli.weight c > 0 ->
@@ -211,7 +211,7 @@ let ideal_judge_l2 sim ~plus_basis =
   let s = Bitvec.create 6 in
   for i = 0 to 5 do
     let g = Code.embed code2 ~offset:0 ~total code2.Code.generators.(42 + i) in
-    if Tableau.measure_pauli tab rng g then Bitvec.set s i true
+    if Tableau.measure_pauli_rng tab rng g then Bitvec.set s i true
   done;
   (match Code.decode d1 s with
   | Some c when Pauli.weight c > 0 ->
@@ -231,7 +231,7 @@ let ideal_judge_l2 sim ~plus_basis =
   let op =
     if plus_basis then code2.Code.logical_x.(0) else code2.Code.logical_z.(0)
   in
-  Tableau.measure_pauli tab rng (Code.embed code2 ~offset:0 ~total op)
+  Tableau.measure_pauli_rng tab rng (Code.embed code2 ~offset:0 ~total op)
 
 let one_trial ~noise ~level rng t =
   let plus_basis = t mod 2 = 0 in
@@ -263,7 +263,7 @@ let logical_failure_rate ~noise ~level ~trials rng =
 
 let logical_failure_rate_par ?domains ~noise ~level ~trials ~seed () =
   let f =
-    Parmc.failures ?domains ~trials ~seed (fun rng i ->
+    Mc.Runner.failures ?domains ~trials ~seed (fun rng i ->
         one_trial ~noise ~level rng i)
   in
   (f, trials)

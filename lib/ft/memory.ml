@@ -1,13 +1,18 @@
 module Code = Codes.Stabilizer_code
 
-type estimate = { failures : int; trials : int; rate : float; stderr : float }
+(* One estimate record for the whole library: the sequential entry
+   points return the same Mc.Stats.estimate (with Wilson interval) as
+   the _mc ones. *)
+type estimate = Mc.Stats.estimate = {
+  failures : int;
+  trials : int;
+  rate : float;
+  stderr : float;
+  ci_low : float;
+  ci_high : float;
+}
 
-let estimate ~failures ~trials =
-  let rate = float_of_int failures /. float_of_int trials in
-  let stderr =
-    sqrt (Float.max (rate *. (1.0 -. rate)) 1e-12 /. float_of_int trials)
-  in
-  { failures; trials; rate; stderr }
+let estimate ~failures ~trials = Mc.Stats.estimate ~failures ~trials ()
 
 let letters = [| Pauli.X; Pauli.Y; Pauli.Z |]
 

@@ -8,11 +8,16 @@
     |0̄⟩ (sensitive to X̄ failures) and |+̄⟩ (Z̄ failures) are run;
     reported failure rates average the two bases. *)
 
-type estimate = {
+(** The library's single estimate record, {!Mc.Stats.estimate}
+    (failures, trials, rate, binomial stderr, Wilson CI), re-exported
+    so existing field accesses keep compiling. *)
+type estimate = Mc.Stats.estimate = {
   failures : int;
   trials : int;
   rate : float;
-  stderr : float;  (** binomial standard error *)
+  stderr : float;
+  ci_low : float;
+  ci_high : float;
 }
 
 val estimate : failures:int -> trials:int -> estimate

@@ -1,18 +1,11 @@
-(* Thin compatibility shim over the shared Monte-Carlo engine
-   (Mc.Runner).  Historically this module did its own per-worker
-   seeding, which made results depend on the domain count; the engine
-   chunks trials and splits RNG streams per chunk, so counts are now
-   bit-identical for any [domains]. *)
+(* Deprecated compatibility shim over the shared Monte-Carlo engine:
+   every entry point delegates straight to Mc.Runner (which owns the
+   defaulting and validation).  New code should call Mc.Runner
+   directly. *)
 
-let default_domains () = Mc.Runner.default_domains ()
-
-let failures ?domains ~trials ~seed trial =
-  if trials < 0 then invalid_arg "Parmc.failures";
-  (match domains with
-  | Some d when d < 1 -> invalid_arg "Parmc.failures: domains >= 1"
-  | _ -> ());
-  Mc.Runner.failures ?domains ~trials ~seed trial
+let default_domains = Mc.Runner.default_domains
+let failures = Mc.Runner.failures
 
 let estimate ?domains ~trials ~seed trial =
-  let f = failures ?domains ~trials ~seed trial in
+  let f = Mc.Runner.failures ?domains ~trials ~seed trial in
   (f, trials, float_of_int f /. float_of_int trials)

@@ -1,31 +1,30 @@
-(** Multicore Monte-Carlo harness — compatibility front for
-    {!Mc.Runner}.
+(** Deprecated compatibility front for {!Mc.Runner}.
 
-    Trials run on the shared engine: fixed-size chunks, one split RNG
-    stream per chunk, dynamic chunk claiming across OCaml 5 domains.
-    Counts are bit-identical for any [domains] value (the historical
-    behaviour — per-worker streams — made them depend on the worker
-    layout).  The per-trial function must be self-contained — build
-    your own simulator inside it; domains share nothing. *)
+    Every entry point delegates directly to the shared engine; the
+    historical per-worker seeding (and this module's own defaulting
+    logic) is gone.  Call {!Mc.Runner} in new code. *)
 
 val default_domains : unit -> int
+[@@ocaml.deprecated "Use Mc.Runner.default_domains."]
 
-(** [failures ~domains ~trials ~seed trial] — run [trial rng i] for
-    i = 0..trials−1 and count [true] results.  [domains] defaults to
-    [Mc.Runner.default_domains ()]; [domains = 1] runs inline (no
-    spawning) and produces the same count as any other setting. *)
+(** [failures ~domains ~trials ~seed trial] — identical to
+    [Mc.Runner.failures]. *)
 val failures :
   ?domains:int ->
+  ?chunk:int ->
   trials:int ->
   seed:int ->
   (Random.State.t -> int -> bool) ->
   int
+[@@ocaml.deprecated "Use Mc.Runner.failures."]
 
 (** [estimate ~domains ~trials ~seed trial] — same, as
-    (failures, trials, rate). *)
+    (failures, trials, rate); [Mc.Runner.estimate] returns the richer
+    [Mc.Stats.estimate]. *)
 val estimate :
   ?domains:int ->
   trials:int ->
   seed:int ->
   (Random.State.t -> int -> bool) ->
   int * int * float
+[@@ocaml.deprecated "Use Mc.Runner.estimate."]

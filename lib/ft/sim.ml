@@ -3,13 +3,17 @@ module Code = Codes.Stabilizer_code
 type t = {
   tab : Tableau.t;
   noise : Noise.t;
-  rng : Random.State.t;
+  rng : Mc.Rng.t;
   mutable gates : int;
   mutable faults : int;
 }
 
-let create ~n ~noise rng =
+let create_rng ~n ~noise rng =
   { tab = Tableau.create n; noise; rng; gates = 0; faults = 0 }
+
+(* Compatibility wrapper: the wrapped state is shared, not copied, so
+   draws interleave exactly as before the Rng unification. *)
+let create ~n ~noise rng = create_rng ~n ~noise (Mc.Rng.of_random_state rng)
 
 let num_qubits sim = Tableau.num_qubits sim.tab
 let noise sim = sim.noise
@@ -21,17 +25,17 @@ let fault_count sim = sim.faults
 let letters = [| Pauli.X; Pauli.Y; Pauli.Z |]
 
 let fault1 sim q p =
-  if p > 0.0 && Random.State.float sim.rng 1.0 < p then begin
+  if p > 0.0 && Mc.Rng.float sim.rng 1.0 < p then begin
     sim.faults <- sim.faults + 1;
-    let l = letters.(Random.State.int sim.rng 3) in
+    let l = letters.(Mc.Rng.int sim.rng 3) in
     Tableau.apply_pauli sim.tab (Pauli.single (num_qubits sim) q l)
   end
 
 let fault2 sim a b p =
-  if p > 0.0 && Random.State.float sim.rng 1.0 < p then begin
+  if p > 0.0 && Mc.Rng.float sim.rng 1.0 < p then begin
     sim.faults <- sim.faults + 1;
     (* one of the 15 nontrivial two-qubit Paulis, uniformly *)
-    let k = 1 + Random.State.int sim.rng 15 in
+    let k = 1 + Mc.Rng.int sim.rng 15 in
     let la = k / 4 and lb = k mod 4 in
     let n = num_qubits sim in
     let p1 =
@@ -92,7 +96,7 @@ let run_circuit sim c ~offset =
     (Circuit.instrs c)
 
 let flip_with sim p outcome =
-  if p > 0.0 && Random.State.float sim.rng 1.0 < p then begin
+  if p > 0.0 && Mc.Rng.float sim.rng 1.0 < p then begin
     sim.faults <- sim.faults + 1;
     not outcome
   end
@@ -100,20 +104,20 @@ let flip_with sim p outcome =
 
 let measure sim q =
   sim.gates <- sim.gates + 1;
-  let true_outcome = Tableau.measure sim.tab sim.rng q in
+  let true_outcome = Tableau.measure_rng sim.tab sim.rng q in
   flip_with sim sim.noise.Noise.meas true_outcome
 
 let measure_x sim q =
   sim.gates <- sim.gates + 1;
-  let true_outcome = Tableau.measure_x sim.tab sim.rng q in
+  let true_outcome = Tableau.measure_x_rng sim.tab sim.rng q in
   flip_with sim sim.noise.Noise.meas true_outcome
 
 let prepare_zero sim q =
   sim.gates <- sim.gates + 1;
-  Tableau.reset sim.tab sim.rng q;
+  Tableau.reset_rng sim.tab sim.rng q;
   if
     sim.noise.Noise.prep > 0.0
-    && Random.State.float sim.rng 1.0 < sim.noise.Noise.prep
+    && Mc.Rng.float sim.rng 1.0 < sim.noise.Noise.prep
   then begin
     sim.faults <- sim.faults + 1;
     Tableau.x sim.tab q
@@ -121,11 +125,11 @@ let prepare_zero sim q =
 
 let prepare_plus sim q =
   sim.gates <- sim.gates + 1;
-  Tableau.reset sim.tab sim.rng q;
+  Tableau.reset_rng sim.tab sim.rng q;
   Tableau.h sim.tab q;
   if
     sim.noise.Noise.prep > 0.0
-    && Random.State.float sim.rng 1.0 < sim.noise.Noise.prep
+    && Mc.Rng.float sim.rng 1.0 < sim.noise.Noise.prep
   then begin
     sim.faults <- sim.faults + 1;
     Tableau.z sim.tab q
@@ -144,7 +148,7 @@ let ideal_logical measure_op sim (code : Code.t) ~offset =
   Array.iteri
     (fun i g ->
       let g' = Code.embed code ~offset ~total:n g in
-      if Tableau.measure_pauli sim.tab sim.rng g' then
+      if Tableau.measure_pauli_rng sim.tab sim.rng g' then
         Gf2.Bitvec.set syndrome i true)
     code.Code.generators;
   let decoder = Code.default_decoder code in
@@ -153,7 +157,7 @@ let ideal_logical measure_op sim (code : Code.t) ~offset =
     Tableau.apply_pauli sim.tab (Code.embed code ~offset ~total:n c)
   | Some _ | None -> ());
   let op = Code.embed code ~offset ~total:n measure_op in
-  Tableau.measure_pauli sim.tab sim.rng op
+  Tableau.measure_pauli_rng sim.tab sim.rng op
 
 let ideal_measure_logical_z sim code ~offset =
   ideal_logical code.Code.logical_z.(0) sim code ~offset

@@ -6,12 +6,21 @@
 
 type t
 
-(** [create ~n ~noise rng] allocates [n] qubits in |0…0⟩. *)
+(** [create_rng ~n ~noise rng] allocates [n] qubits in |0…0⟩.
+    [Mc.Rng.t] is the library's single randomness interface. *)
+val create_rng : n:int -> noise:Noise.t -> Mc.Rng.t -> t
+
+(** [create ~n ~noise rng] — compatibility wrapper: the state is
+    wrapped with [Mc.Rng.of_random_state] (shared, not copied), so
+    draws are bit-identical to the pre-unification behaviour. *)
 val create : n:int -> noise:Noise.t -> Random.State.t -> t
 
 val num_qubits : t -> int
 val noise : t -> Noise.t
-val rng : t -> Random.State.t
+
+(** The simulator's randomness stream (feed it to
+    [Tableau.*_rng] for noise-free judgment steps). *)
+val rng : t -> Mc.Rng.t
 
 (** [tableau sim] exposes the underlying state for *noise-free*
     verification steps (ideal decoding, logical readout).  Mutating it

@@ -34,3 +34,44 @@ let to_state k =
 
 let derive seed path =
   Int64.to_int (List.fold_left split (root seed) path) land max_int
+
+(* Stateful streams: the single randomness interface of the library.
+   A [Stream] walks the raw outputs of a key; a [Legacy] delegates
+   every draw to a wrapped [Random.State.t], so code rewritten against
+   [t] behaves bit-identically when fed an old-style state. *)
+
+type t =
+  | Stream of { key : key; mutable pos : int }
+  | Legacy of Random.State.t
+
+let of_key key = Stream { key; pos = 0 }
+let of_random_state s = Legacy s
+let of_seed seed = of_key (root seed)
+
+let bits64 = function
+  | Stream st ->
+    let v = draw st.key st.pos in
+    st.pos <- st.pos + 1;
+    v
+  | Legacy s -> Random.State.bits64 s
+
+let bool = function
+  | Stream _ as t -> Int64.logand (bits64 t) 1L = 1L
+  | Legacy s -> Random.State.bool s
+
+(* 53 uniform bits, exactly the resolution of [Random.State.float]. *)
+let float t bound =
+  match t with
+  | Stream _ ->
+    Int64.to_float (Int64.shift_right_logical (bits64 t) 11)
+    *. 0x1p-53 *. bound
+  | Legacy s -> Random.State.float s bound
+
+let int t n =
+  if n <= 0 then invalid_arg "Mc.Rng.int: bound must be positive";
+  match t with
+  | Stream _ ->
+    (* negligible modulo bias: n is tiny against 2^64 everywhere this
+       is used (Pauli letter choices) *)
+    Int64.to_int (Int64.unsigned_rem (bits64 t) (Int64.of_int n))
+  | Legacy s -> Random.State.int s n

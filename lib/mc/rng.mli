@@ -32,3 +32,37 @@ val to_state : key -> Random.State.t
     run order and trial counts of one family cannot perturb
     another. *)
 val derive : int -> int list -> int
+
+(** {1 Stateful streams}
+
+    [t] is the single randomness interface of the library: either a
+    stream of raw outputs of a {!key}, or a thin wrapper around a
+    legacy [Random.State.t].  Code written against [t] draws the very
+    same values as its [Random.State]-based predecessor when handed
+    {!of_random_state}, so migrating a signature never changes
+    existing counts. *)
+
+type t
+
+(** [of_key k] — a fresh stream positioned at the first output of
+    [k]. *)
+val of_key : key -> t
+
+(** [of_random_state s] — wrap a stdlib generator; every draw
+    delegates to [s] (shared state, not a copy). *)
+val of_random_state : Random.State.t -> t
+
+(** [of_seed seed] = [of_key (root seed)]. *)
+val of_seed : int -> t
+
+(** [bits64 t] — next raw 64-bit draw. *)
+val bits64 : t -> int64
+
+val bool : t -> bool
+
+(** [float t bound] — uniform in [\[0, bound)] with 53-bit
+    resolution. *)
+val float : t -> float -> float
+
+(** [int t n] — uniform in [\[0, n)]; [n] must be positive. *)
+val int : t -> int -> int

@@ -161,3 +161,78 @@ let estimate ?domains ?chunk ?z ?target_half_width ?min_trials ~trials ~seed
     ~seed
     ~worker_init:(fun () -> ())
     (fun () rng i -> trial rng i)
+
+(* Batched mode: one chunk = one 64-shot word.  The batch function
+   returns an int64 whose bit k is the outcome of shot [base + k]; the
+   engine masks the word to [count] live shots, popcounts, and merges
+   per-chunk counts in chunk order — the same determinism contract as
+   the scalar paths (chunk c always runs on [Rng.split root c]). *)
+
+let word_size = 64
+
+let popcount64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add
+      (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let live_mask count =
+  if count >= word_size then -1L
+  else Int64.sub (Int64.shift_left 1L count) 1L
+
+let failures_batched ?domains ~trials ~seed ~worker_init batch =
+  if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
+  let domains = resolve_domains domains in
+  let nchunks = (trials + word_size - 1) / word_size in
+  let root = Rng.root seed in
+  let results = Array.make (max nchunks 0) 0 in
+  let process ctx c =
+    let base = c * word_size in
+    let count = min word_size (trials - base) in
+    let w = batch ctx (Rng.split root c) ~base ~count in
+    results.(c) <- popcount64 (Int64.logand w (live_mask count))
+  in
+  let workers = min domains nchunks in
+  if workers <= 1 then begin
+    if nchunks > 0 then begin
+      let ctx = worker_init () in
+      for c = 0 to nchunks - 1 do
+        process ctx c
+      done
+    end
+  end
+  else begin
+    (* Same warmup discipline as the scalar engine: force every lazy
+       the batch touches before domains race on it. *)
+    let warm_ctx = worker_init () in
+    ignore
+      (batch warm_ctx (Rng.split root 0) ~base:0
+         ~count:(min word_size trials));
+    let cursor = Atomic.make 0 in
+    let work ctx =
+      let rec loop () =
+        let c = Atomic.fetch_and_add cursor 1 in
+        if c < nchunks then begin
+          process ctx c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (workers - 1) (fun _ ->
+          Domain.spawn (fun () -> work (worker_init ())))
+    in
+    work warm_ctx;
+    List.iter Domain.join spawned
+  end;
+  Array.fold_left ( + ) 0 results
+
+let estimate_batched ?domains ?z ~trials ~seed ~worker_init batch =
+  let failures = failures_batched ?domains ~trials ~seed ~worker_init batch in
+  Stats.estimate ?z ~failures ~trials ()

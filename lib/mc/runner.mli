@@ -112,3 +112,43 @@ val estimate_ctx :
   worker_init:(unit -> 'ctx) ->
   ('ctx -> Random.State.t -> int -> bool) ->
   Stats.estimate
+
+(** {1 Batched (bit-sliced) mode}
+
+    One chunk = one 64-shot word: the batch function receives the
+    chunk's {!Rng} key and must return an [int64] whose bit [k] is the
+    failure outcome of Monte-Carlo shot [base + k] (for [k < count];
+    higher bits are masked off by the engine).  Chunk [c] always runs
+    on [Rng.split root c] and per-chunk popcounts are merged in chunk
+    order, so — exactly as in the scalar paths — the total is
+    bit-identical for any [domains].  The same warmup discipline
+    applies: with more than one worker, one discarded batch (chunk 0)
+    runs sequentially first, so batch functions must tolerate an extra
+    invocation. *)
+
+(** Shots per batch word (64). *)
+val word_size : int
+
+(** [popcount64 w] — number of set bits of [w]. *)
+val popcount64 : int64 -> int
+
+(** [failures_batched ?domains ~trials ~seed ~worker_init batch] —
+    total failure count over [trials] shots, 64 per chunk. *)
+val failures_batched :
+  ?domains:int ->
+  trials:int ->
+  seed:int ->
+  worker_init:(unit -> 'ctx) ->
+  ('ctx -> Rng.key -> base:int -> count:int -> int64) ->
+  int
+
+(** [estimate_batched] — {!failures_batched} wrapped in a
+    {!Stats.estimate}. *)
+val estimate_batched :
+  ?domains:int ->
+  ?z:float ->
+  trials:int ->
+  seed:int ->
+  worker_init:(unit -> 'ctx) ->
+  ('ctx -> Rng.key -> base:int -> count:int -> int64) ->
+  Stats.estimate

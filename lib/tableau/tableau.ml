@@ -183,7 +183,7 @@ let measure_is_random t q =
   let rec loop k = k < 2 * t.n && (Bitvec.get t.x.(k) q || loop (k + 1)) in
   loop t.n
 
-let measure t rng q =
+let measure_rng t rng q =
   check_qubit t q;
   (* find a stabilizer row with x_q = 1 *)
   let p = ref (-1) in
@@ -205,7 +205,7 @@ let measure t rng q =
     Bitvec.blit ~src:t.x.(p) t.x.(p - t.n);
     Bitvec.blit ~src:t.z.(p) t.z.(p - t.n);
     set_r t (p - t.n) (get_r t p);
-    let outcome = Random.State.bool rng in
+    let outcome = Mc.Rng.bool rng in
     Bitvec.clear t.x.(p);
     Bitvec.clear t.z.(p);
     Bitvec.set t.z.(p) q true;
@@ -231,13 +231,21 @@ let measure t rng q =
     !sr = 1
   end
 
-let measure_x t rng q =
+let measure_x_rng t rng q =
   h t q;
-  let outcome = measure t rng q in
+  let outcome = measure_rng t rng q in
   h t q;
   outcome
 
-let reset t rng q = if measure t rng q then x t q
+let reset_rng t rng q = if measure_rng t rng q then x t q
+
+(* Legacy [Random.State.t] entry points: thin wrappers over the
+   [Mc.Rng] signatures; [Mc.Rng.of_random_state] delegates each draw
+   to the wrapped state, so these behave bit-identically to the
+   pre-unification code. *)
+let measure t rng q = measure_rng t (Mc.Rng.of_random_state rng) q
+let measure_x t rng q = measure_x_rng t (Mc.Rng.of_random_state rng) q
+let reset t rng q = reset_rng t (Mc.Rng.of_random_state rng) q
 
 let row_pauli t k =
   (* A row is (−1)^r times the tensor of literal letters (Y literal,
@@ -329,15 +337,17 @@ let deterministic_outcome t p =
   else if Pauli.equal !product (Pauli.neg p) then true
   else invalid_arg "Tableau: inconsistent tableau in Pauli measurement"
 
-let measure_pauli t rng p =
+let measure_pauli_rng t rng p =
   if Pauli.num_qubits p <> t.n then invalid_arg "Tableau.measure_pauli";
   ignore (check_hermitian p);
   match find_anticommuting_stab t p with
   | Some row ->
-    let outcome = Random.State.bool rng in
+    let outcome = Mc.Rng.bool rng in
     collapse t p row ~outcome;
     outcome
   | None -> deterministic_outcome t p
+
+let measure_pauli t rng p = measure_pauli_rng t (Mc.Rng.of_random_state rng) p
 
 let postselect_pauli t p ~outcome =
   if Pauli.num_qubits p <> t.n then invalid_arg "Tableau.postselect_pauli";

@@ -44,25 +44,38 @@ val apply_gate : t -> Circuit.gate -> unit
     flipped.  The global phase of [p] is irrelevant. *)
 val apply_pauli : t -> Pauli.t -> unit
 
-(** [measure s rng q] measures qubit [q] in the Z basis (collapsing
-    when the outcome is random), returning the outcome bit. *)
+(** [measure_rng s rng q] measures qubit [q] in the Z basis
+    (collapsing when the outcome is random), returning the outcome
+    bit.  [Mc.Rng.t] is the library's single randomness interface;
+    build one with [Mc.Rng.of_key] or wrap a legacy state with
+    [Mc.Rng.of_random_state]. *)
+val measure_rng : t -> Mc.Rng.t -> int -> bool
+
+(** [measure s rng q] — compatibility wrapper over {!measure_rng}
+    (bit-identical draws: the state is wrapped, not reseeded). *)
 val measure : t -> Random.State.t -> int -> bool
 
-(** [measure_x s rng q] measures in the X basis. *)
+(** [measure_x_rng s rng q] measures in the X basis. *)
+val measure_x_rng : t -> Mc.Rng.t -> int -> bool
+
 val measure_x : t -> Random.State.t -> int -> bool
 
 (** [measure_is_random s q] is [true] when a Z measurement of [q]
     would be nondeterministic. *)
 val measure_is_random : t -> int -> bool
 
-(** [reset s rng q] measures and corrects qubit [q] to |0⟩. *)
+(** [reset_rng s rng q] measures and corrects qubit [q] to |0⟩. *)
+val reset_rng : t -> Mc.Rng.t -> int -> unit
+
 val reset : t -> Random.State.t -> int -> unit
 
-(** [measure_pauli s rng p] projectively measures the Hermitian Pauli
-    observable [p] (phase must be ±1), returning the outcome bit
+(** [measure_pauli_rng s rng p] projectively measures the Hermitian
+    Pauli observable [p] (phase must be ±1), returning the outcome bit
     ([false] = +1 eigenvalue).  Collapses the state when the outcome
     is random.  This is the idealized syndrome measurement used for
     noise-free decoding checks. *)
+val measure_pauli_rng : t -> Mc.Rng.t -> Pauli.t -> bool
+
 val measure_pauli : t -> Random.State.t -> Pauli.t -> bool
 
 (** [postselect_pauli s p ~outcome] projects onto the ±1 eigenspace of

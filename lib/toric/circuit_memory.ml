@@ -110,7 +110,7 @@ let trial_one st ~rounds ~noise rng =
     let final = Bitvec.create np in
     Array.iteri
       (fun p op ->
-        if Tableau.measure_pauli tab (Ft.Sim.rng sim) op then
+        if Tableau.measure_pauli_rng tab (Ft.Sim.rng sim) op then
           Bitvec.set final p true)
       plaq_ops;
     for p = 0 to np - 1 do
@@ -136,8 +136,8 @@ let trial_one st ~rounds ~noise rng =
     Tableau.apply_pauli tab cpauli;
     (* judged by the logical Z loops, which started at +1 *)
     let rng' = Ft.Sim.rng sim in
-    let bad1 = Tableau.measure_pauli tab rng' z1 in
-    let bad2 = Tableau.measure_pauli tab rng' z2 in
+    let bad1 = Tableau.measure_pauli_rng tab rng' z1 in
+    let bad2 = Tableau.measure_pauli_rng tab rng' z2 in
     bad1 || bad2
   end
 

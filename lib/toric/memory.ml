@@ -41,6 +41,87 @@ let run_mc ?domains ?(decoder = `Union_find) ~l ~p ~trials ~seed () =
   in
   result ~l ~p ~trials failures
 
+(* Bit-sliced batch engine: 64 shots per word.  Noise and plaquette
+   syndromes are word-wise; only shots with a nonzero syndrome fall
+   back to the per-shot decoder (at interesting p most shots below
+   threshold are clean, so the word path does the bulk of the work).
+   [`Scalar] re-runs every extracted shot through the existing
+   Lattice.syndrome / Decoder pipeline on the same sampled noise, so
+   its counts are bit-identical to [`Batch] by construction. *)
+let plaquette_checks lat ~l =
+  Array.init (Lattice.num_plaquettes lat) (fun idx ->
+      let x = idx mod l and y = idx / l in
+      {
+        Frame.Program.x_sel = Array.of_list (Lattice.plaquette_edges lat ~x ~y);
+        z_sel = [||];
+      })
+
+let winding_selectors lat ~l =
+  ( Array.init l (fun y -> Lattice.v_edge lat ~x:0 ~y),
+    Array.init l (fun x -> Lattice.h_edge lat ~x ~y:0) )
+
+let run_batch ?domains ?(engine = `Batch) ?(decoder = `Union_find) ~l ~p
+    ~trials ~seed () =
+  let lat = Lattice.create l in
+  let nq = Lattice.num_qubits lat in
+  let np = Lattice.num_plaquettes lat in
+  let qubits = Array.init nq Fun.id in
+  let prog =
+    Frame.Program.make ~n:nq
+      [ Frame.Program.Flip_x { qubits; p };
+        Frame.Program.Extract (plaquette_checks lat ~l) ]
+  in
+  let wx_sel, wy_sel = winding_selectors lat ~l in
+  let decode syndrome =
+    match decoder with
+    | `Union_find -> Decoder.decode lat syndrome
+    | `Greedy -> Decoder.greedy_decode lat syndrome
+  in
+  let decode_shot plane out fail k ~use_word_syndrome =
+    let error = Frame.Plane.extract_shot_x plane k in
+    let syndrome =
+      if use_word_syndrome then Frame.Plane.shot_vec out k
+      else Lattice.syndrome lat error
+    in
+    let correction = decode syndrome in
+    let residual = Bitvec.xor error correction in
+    assert (Bitvec.is_zero (Lattice.syndrome lat residual));
+    let wx, wy = Lattice.winding lat residual in
+    if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L k)
+  in
+  let batch (plane, out) key ~base:_ ~count =
+    let sampler = Frame.Sampler.create key in
+    Frame.Plane.clear plane;
+    Frame.Program.run_into prog sampler plane out;
+    match engine with
+    | `Batch ->
+      (* word path for clean shots, per-shot decode for the rest *)
+      let any = Array.fold_left Int64.logor 0L out in
+      let clean_winding =
+        Int64.logor
+          (Frame.Plane.parity_x plane wx_sel)
+          (Frame.Plane.parity_x plane wy_sel)
+      in
+      let fail = ref (Int64.logand clean_winding (Int64.lognot any)) in
+      for k = 0 to count - 1 do
+        if Frame.Plane.bit any k then
+          decode_shot plane out fail k ~use_word_syndrome:true
+      done;
+      !fail
+    | `Scalar ->
+      let fail = ref 0L in
+      for k = 0 to count - 1 do
+        decode_shot plane out fail k ~use_word_syndrome:false
+      done;
+      !fail
+  in
+  let failures =
+    Mc.Runner.failures_batched ?domains ~trials ~seed
+      ~worker_init:(fun () -> (Frame.Plane.create nq, Array.make np 0L))
+      batch
+  in
+  result ~l ~p ~trials failures
+
 let scan ?(decoder = `Union_find) ~ls ~ps ~trials rng =
   List.concat_map
     (fun l -> List.map (fun p -> run ~decoder ~l ~p ~trials rng) ps)

@@ -32,6 +32,26 @@ val run_mc :
   unit ->
   result
 
+(** [run_batch ?domains ?engine ?decoder ~l ~p ~trials ~seed ()] — the
+    bit-sliced engine: 64 shots per word, word-wise noise sampling and
+    plaquette syndromes ({!Frame}), per-shot decoding only for shots
+    with a nonzero syndrome.  [`Batch] (default) and [`Scalar] see the
+    identical sampled noise (same {!Frame.Sampler} call sequence), so
+    their failure counts are bit-identical; [`Scalar] re-runs the
+    existing per-shot pipeline as the cross-check / baseline.  The
+    legacy [run]/[run_mc] use per-shot [Random.State] sampling and
+    keep their historical counts. *)
+val run_batch :
+  ?domains:int ->
+  ?engine:[ `Batch | `Scalar ] ->
+  ?decoder:[ `Union_find | `Greedy ] ->
+  l:int ->
+  p:float ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  result
+
 (** [scan ?decoder ~ls ~ps ~trials rng] — full grid of results. *)
 val scan :
   ?decoder:[ `Union_find | `Greedy ] ->

@@ -112,6 +112,143 @@ let run_mc ?domains ~l ~rounds ~p ~q ~trials ~seed () =
   in
   result ~l ~rounds ~p ~q ~trials failures
 
+(* Bit-sliced batch engine.  The sampling and space-time-defect phase
+   is word-wise and shared verbatim by both engines (same sampler call
+   sequence, so identical noise); decoding falls back per shot.
+   Shots with no detection events anywhere skip the matcher and are
+   judged by word-parallel winding. *)
+type batch_ctx = {
+  plane : Frame.Plane.t;
+  out : int64 array;     (* np: one round's syndrome words *)
+  mw : int64 array;      (* np*rounds: measurement-flip words *)
+  dw : int64 array;      (* np*rounds: defect words *)
+  prev : int64 array;    (* np: previous round's observed syndrome *)
+  acc : int64 array;     (* nq*rounds: accumulated-error snapshots *)
+  defects : bool array;  (* np*rounds: one shot's defect pattern *)
+}
+
+let correction_of_selected graph ~nq selected =
+  let correction = Bitvec.create nq in
+  Array.iteri
+    (fun id on ->
+      if on then
+        match Hashtbl.find_opt graph.spatial_qubit id with
+        | Some qubit -> Bitvec.flip correction qubit
+        | None -> () (* temporal edge: a diagnosed measurement error *))
+    selected;
+  correction
+
+let run_batch ?domains ?(engine = `Batch) ~l ~rounds ~p ~q ~trials ~seed () =
+  let lat, graph = setup ~l ~rounds in
+  let nq = Lattice.num_qubits lat in
+  let np = Lattice.num_plaquettes lat in
+  let qubits = Array.init nq Fun.id in
+  let checks =
+    Array.init np (fun idx ->
+        let x = idx mod l and y = idx / l in
+        {
+          Frame.Program.x_sel =
+            Array.of_list (Lattice.plaquette_edges lat ~x ~y);
+          z_sel = [||];
+        })
+  in
+  let round_prog =
+    Frame.Program.make ~n:nq
+      [ Frame.Program.Flip_x { qubits; p }; Frame.Program.Extract checks ]
+  in
+  let wx_sel = Array.init l (fun y -> Lattice.v_edge lat ~x:0 ~y) in
+  let wy_sel = Array.init l (fun x -> Lattice.h_edge lat ~x ~y:0) in
+  let batch ctx key ~base:_ ~count =
+    let sampler = Frame.Sampler.create key in
+    Frame.Plane.clear ctx.plane;
+    Array.fill ctx.prev 0 np 0L;
+    for t = 0 to rounds - 1 do
+      Frame.Program.run_into round_prog sampler ctx.plane ctx.out;
+      for e = 0 to nq - 1 do
+        ctx.acc.((t * nq) + e) <- Frame.Plane.get_x ctx.plane e
+      done;
+      for i = 0 to np - 1 do
+        let m =
+          if t < rounds - 1 && q > 0.0 then Frame.Sampler.bernoulli sampler q
+          else 0L
+        in
+        ctx.mw.((t * np) + i) <- m;
+        let observed = Int64.logxor ctx.out.(i) m in
+        ctx.dw.((t * np) + i) <- Int64.logxor observed ctx.prev.(i);
+        ctx.prev.(i) <- observed
+      done
+    done;
+    match engine with
+    | `Batch ->
+      let any = Array.fold_left Int64.logor 0L ctx.dw in
+      let clean_winding =
+        Int64.logor
+          (Frame.Plane.parity_x ctx.plane wx_sel)
+          (Frame.Plane.parity_x ctx.plane wy_sel)
+      in
+      let fail = ref (Int64.logand clean_winding (Int64.lognot any)) in
+      for k = 0 to count - 1 do
+        if Frame.Plane.bit any k then begin
+          for j = 0 to (np * rounds) - 1 do
+            ctx.defects.(j) <- Frame.Plane.bit ctx.dw.(j) k
+          done;
+          let selected = Match_graph.decode graph.g ~defects:ctx.defects in
+          let correction = correction_of_selected graph ~nq selected in
+          let error = Frame.Plane.extract_shot_x ctx.plane k in
+          let residual = Bitvec.xor error correction in
+          let wx, wy = Lattice.winding lat residual in
+          if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L k)
+        end
+      done;
+      !fail
+    | `Scalar ->
+      (* re-run the existing per-shot pipeline on the per-round
+         snapshots of the same sampled noise *)
+      let fail = ref 0L in
+      for k = 0 to count - 1 do
+        let prev_b = Bitvec.create np in
+        Array.fill ctx.defects 0 (np * rounds) false;
+        for t = 0 to rounds - 1 do
+          let error_t = Frame.Plane.shot_vec (Array.sub ctx.acc (t * nq) nq) k in
+          let observed = Bitvec.copy (Lattice.syndrome lat error_t) in
+          for i = 0 to np - 1 do
+            if Frame.Plane.bit ctx.mw.((t * np) + i) k then
+              Bitvec.flip observed i
+          done;
+          for i = 0 to np - 1 do
+            if Bitvec.get observed i <> Bitvec.get prev_b i then
+              ctx.defects.((t * np) + i) <- true
+          done;
+          Bitvec.blit ~src:observed prev_b
+        done;
+        let selected = Match_graph.decode graph.g ~defects:ctx.defects in
+        let correction = correction_of_selected graph ~nq selected in
+        let error =
+          Frame.Plane.shot_vec (Array.sub ctx.acc ((rounds - 1) * nq) nq) k
+        in
+        let residual = Bitvec.xor error correction in
+        assert (Bitvec.is_zero (Lattice.syndrome lat residual));
+        let wx, wy = Lattice.winding lat residual in
+        if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L k)
+      done;
+      !fail
+  in
+  let failures =
+    Mc.Runner.failures_batched ?domains ~trials ~seed
+      ~worker_init:(fun () ->
+        {
+          plane = Frame.Plane.create nq;
+          out = Array.make np 0L;
+          mw = Array.make (np * rounds) 0L;
+          dw = Array.make (np * rounds) 0L;
+          prev = Array.make np 0L;
+          acc = Array.make (nq * rounds) 0L;
+          defects = Array.make (np * rounds) false;
+        })
+      batch
+  in
+  result ~l ~rounds ~p ~q ~trials failures
+
 let scan ~ls ~ps ~rounds ~trials rng =
   List.concat_map
     (fun l -> List.map (fun p -> run ~l ~rounds ~p ~q:p ~trials rng) ps)

@@ -48,6 +48,25 @@ val run_mc :
   unit ->
   result
 
+(** [run_batch ?domains ?engine ~l ~rounds ~p ~q ~trials ~seed ()] —
+    the bit-sliced engine: per round, qubit-flip and measurement-flip
+    words are sampled word-wise and turned into space-time defect
+    words; shots with no detection events skip the matcher entirely
+    (word-parallel winding), the rest are transposed out and matched
+    per shot.  [`Batch] and [`Scalar] share the identical sampled
+    noise, so counts are bit-identical; see {!Memory.run_batch}. *)
+val run_batch :
+  ?domains:int ->
+  ?engine:[ `Batch | `Scalar ] ->
+  l:int ->
+  rounds:int ->
+  p:float ->
+  q:float ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  result
+
 (** [scan ~ls ~ps ~rounds ~trials rng] — grid with q = p (the usual
     phenomenological convention). *)
 val scan :

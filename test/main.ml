@@ -4,7 +4,7 @@ let () =
    @ Test_pauli.suites @ Test_circuit.suites @ Test_statevec.suites
    @ Test_tableau.suites @ Test_codes.suites @ Test_ft.suites
    @ Test_identities.suites @ Test_css_logical.suites
-   @ Test_conjugate.suites @ Test_pauli_frame.suites @ Test_extensions.suites @ Test_golay.suites @ Test_weight_enumerator.suites
+   @ Test_conjugate.suites @ Test_pauli_frame.suites @ Test_frame.suites @ Test_extensions.suites @ Test_golay.suites @ Test_weight_enumerator.suites
    @ Test_exact.suites
    @ Test_threshold.suites
    @ Test_toric.suites @ Test_noisy_toric.suites @ Test_anyon.suites
