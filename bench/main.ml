@@ -410,7 +410,7 @@ let parallel_probe () =
      (%.2fx), counts %d/%d %s\n%!"
     trials domains t_seq t_par speedup f_seq f_par
     (if f_seq = f_par then "agree" else "DISAGREE");
-  (trials, domains, t_seq, t_par, speedup, f_seq = f_par)
+  (trials, domains, t_seq, t_par, speedup, f_seq, f_par)
 
 (* Batch-vs-scalar probe: shots/sec of the legacy per-shot _mc path
    vs the bit-sliced engine at domains:1, plus the engine's own
@@ -440,7 +440,7 @@ let batch_probe () =
       name mc_sps b_sps speedup b_fail c_fail
       (if identical then "agree" else "DISAGREE")
       mc_fail;
-    (name, mc_sps, b_sps, speedup, b_fail, c_fail, identical)
+    (name, trials, mc_sps, b_sps, speedup, b_fail, c_fail, identical)
   in
   let steane_trials = 20000 in
   let steane engine () =
@@ -478,42 +478,77 @@ let batch_probe () =
   in
   [ steane_entry; toric_entry ]
 
+(* The artifact uses the same ftqc-manifest/1 schema as
+   `experiments --json` (one record per kernel/probe), so one
+   validator — bin/manifest_check.ml — covers both CI artifacts. *)
 let run_smoke ~out =
   let entries = List.map smoke_run kernels in
-  let trials, domains, t_seq, t_par, speedup, agree = parallel_probe () in
+  let trials, domains, t_seq, t_par, speedup, f_seq, f_par =
+    parallel_probe ()
+  in
+  let agree = f_seq = f_par in
   let batch_entries = batch_probe () in
-  let oc = open_out out in
-  Printf.fprintf oc "{\n  \"mode\": \"smoke\",\n  \"benchmarks\": [\n";
-  let last = List.length entries - 1 in
-  List.iteri
-    (fun i (name, ms, runs) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", \"mean_ms\": %.6f, \"runs\": %d}%s\n"
-        name ms runs
-        (if i = last then "" else ","))
+  let m = Obs.Manifest.create () in
+  let count name ~failures ~trials =
+    let e = Mc.Stats.estimate ~failures ~trials () in
+    {
+      Obs.Manifest.name;
+      failures = e.failures;
+      trials_used = e.trials;
+      rate = e.rate;
+      ci_lo = e.ci_low;
+      ci_hi = e.ci_high;
+    }
+  in
+  List.iter
+    (fun (name, mean_ms, runs) ->
+      Obs.Manifest.add m
+        {
+          Obs.Manifest.experiment = "bench:" ^ name;
+          params = [ ("runs", Obs.Json.Int runs) ];
+          results = [];
+          telemetry =
+            [ ("wall_s", Obs.Json.Float (mean_ms /. 1e3 *. float_of_int runs));
+              ("mean_ms", Obs.Json.Float mean_ms) ];
+        })
     entries;
-  Printf.fprintf oc
-    "  ],\n\
-    \  \"parallel\": {\"trials\": %d, \"domains\": %d, \"seq_s\": %.6f, \
-     \"par_s\": %.6f, \"speedup\": %.4f, \"identical_counts\": %b},\n"
-    trials domains t_seq t_par speedup agree;
-  Printf.fprintf oc "  \"batch\": [\n";
-  let blast = List.length batch_entries - 1 in
-  List.iteri
-    (fun i (name, mc_sps, b_sps, sp, bf, cf, id) ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"mc_shots_per_s\": %.1f, \
-         \"batch_shots_per_s\": %.1f, \"speedup\": %.2f, \
-         \"batch_failures\": %d, \"crosscheck_failures\": %d, \
-         \"identical\": %b}%s\n"
-        name mc_sps b_sps sp bf cf id
-        (if i = blast then "" else ","))
+  Obs.Manifest.add m
+    {
+      Obs.Manifest.experiment = "bench:parallel-probe";
+      params =
+        [ ("trials", Obs.Json.Int trials); ("domains", Obs.Json.Int domains) ];
+      results =
+        [ count "seq" ~failures:f_seq ~trials;
+          count "par" ~failures:f_par ~trials ];
+      telemetry =
+        [ ("wall_s", Obs.Json.Float (t_seq +. t_par));
+          ("seq_s", Obs.Json.Float t_seq);
+          ("par_s", Obs.Json.Float t_par);
+          ("speedup", Obs.Json.Float speedup);
+          ("identical_counts", Obs.Json.Bool agree) ];
+    };
+  List.iter
+    (fun (name, trials, mc_sps, b_sps, sp, bf, cf, id) ->
+      Obs.Manifest.add m
+        {
+          Obs.Manifest.experiment = "bench:batch-" ^ name;
+          params = [ ("trials", Obs.Json.Int trials) ];
+          results =
+            [ count "batch" ~failures:bf ~trials;
+              count "crosscheck" ~failures:cf ~trials ];
+          telemetry =
+            [ ("wall_s", Obs.Json.Float 0.0);
+              ("mc_shots_per_s", Obs.Json.Float mc_sps);
+              ("batch_shots_per_s", Obs.Json.Float b_sps);
+              ("speedup", Obs.Json.Float sp);
+              ("identical_counts", Obs.Json.Bool id) ];
+        })
     batch_entries;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  Obs.Manifest.write ~generator:"bench-smoke" m ~file:out;
   Printf.printf "wrote %s\n%!" out;
   let disagree =
     (not agree)
-    || List.exists (fun (_, _, _, _, _, _, id) -> not id) batch_entries
+    || List.exists (fun (_, _, _, _, _, _, _, id) -> not id) batch_entries
   in
   if disagree then begin
     Printf.eprintf

@@ -4,6 +4,82 @@
 
 open Ftqc
 
+(* ------------------------------------------------ manifest plumbing *)
+
+(* With --json FILE every experiment appends an Obs.Manifest.record
+   and [run_obs] is a live Obs handle, so Mc.Runner telemetry lands in
+   the same file.  Recording is observation-only: the sampled
+   randomness and the stdout report are bit-identical with or without
+   it (the only extra output is one note on stderr). *)
+let manifest : Obs.Manifest.t option ref = ref None
+let run_obs : Obs.t ref = ref Obs.none
+let obs () = !run_obs
+
+(* results of the experiment currently running, oldest first *)
+let acc : Obs.Manifest.result list ref = ref []
+
+let emit name (e : Mc.Stats.estimate) =
+  if !manifest <> None then
+    acc :=
+      {
+        Obs.Manifest.name;
+        failures = e.failures;
+        trials_used = e.trials;
+        rate = e.rate;
+        ci_lo = e.ci_low;
+        ci_hi = e.ci_high;
+      }
+      :: !acc
+
+(* a bare failure count: wrap in the Wilson interval without touching
+   how the experiment itself sampled or printed *)
+let emit_count name ~failures ~trials =
+  if !manifest <> None then emit name (Mc.Stats.estimate ~failures ~trials ())
+
+(* an analytic quantity: degenerate result, ci_lo = rate = ci_hi.
+   Non-finite values (e.g. a slope over too few points at tiny
+   --trials) are dropped — they cannot satisfy the bracketing
+   invariant {!Obs.Manifest.validate} checks. *)
+let emit_value name v =
+  if !manifest <> None && Float.is_finite v then
+    acc := Obs.Manifest.value name v :: !acc
+
+let p_trials t = ("trials", Obs.Json.Int t)
+let p_seed s = ("seed", Obs.Json.Int s)
+
+let p_engine e =
+  ("engine", Obs.Json.String (match e with `Scalar -> "scalar" | `Batch -> "batch"))
+
+let dused = function Some d -> d | None -> Mc.Runner.default_domains ()
+
+(* [recording ~experiment ~domains_used ~params body] — run [body],
+   then flush the results it emitted as one manifest record with
+   wall-clock and throughput telemetry. *)
+let recording ~experiment ?(domains_used = 1) ?(params = []) body =
+  match !manifest with
+  | None -> body ()
+  | Some m ->
+    acc := [];
+    let t0 = Obs.now () in
+    body ();
+    let wall = Obs.now () -. t0 in
+    let results = List.rev !acc in
+    acc := [];
+    let shots =
+      List.fold_left
+        (fun a (r : Obs.Manifest.result) -> a + r.trials_used)
+        0 results
+    in
+    let telemetry =
+      [ ("wall_s", Obs.Json.Float wall);
+        ( "shots_per_s",
+          if wall > 0.0 && shots > 0 then
+            Obs.Json.Float (float_of_int shots /. wall)
+          else Obs.Json.Null );
+        ("domains_used", Obs.Json.Int domains_used) ]
+    in
+    Obs.Manifest.add m { Obs.Manifest.experiment; params; results; telemetry }
+
 let hr () = print_endline (String.make 72 '-')
 
 let header title =
@@ -22,13 +98,13 @@ let e1 ?domains ~trials ~seed () =
   List.iteri
     (fun i eps ->
       let u =
-        Ft.Memory.unencoded_mc ?domains ~eps ~trials
+        Ft.Memory.unencoded_mc ?domains ~obs:(obs ()) ~eps ~trials
           ~seed:(Mc.Rng.derive seed [ 1; 0; i ])
           ()
       in
       let e =
-        Ft.Memory.encoded_ideal_ec_mc ?domains Codes.Steane.code ~eps
-          ~rounds:1 ~trials
+        Ft.Memory.encoded_ideal_ec_mc ?domains ~obs:(obs ()) Codes.Steane.code
+          ~eps ~rounds:1 ~trials
           ~seed:(Mc.Rng.derive seed [ 1; 1; i ])
           ()
       in
@@ -36,6 +112,9 @@ let e1 ?domains ~trials ~seed () =
         Codes.Exact.failure_probability ~metric:`Basis_avg Codes.Steane.code
           decoder ~eps
       in
+      emit (Printf.sprintf "unencoded@eps=%g" eps) u;
+      emit (Printf.sprintf "steane@eps=%g" eps) e;
+      emit_value (Printf.sprintf "steane_exact@eps=%g" eps) exact;
       Printf.printf "%10.4g %14.5g %14.5g %14.5g %14.5g\n" eps u.rate e.rate
         exact
         (21.0 *. eps *. eps))
@@ -44,6 +123,7 @@ let e1 ?domains ~trials ~seed () =
      any-error fidelity metric is what the Eq. 33 model estimates *)
   (match Codes.Exact.pseudothreshold ~metric:`Any Codes.Steane.code decoder with
   | Some t ->
+    emit_value "pseudothreshold_exact" t;
     Printf.printf
       "\nexact code-capacity pseudo-threshold, Eq. 14 metric (full 4^7\n\
        enumeration): eps* = %.4f — the paper's Eq. 33 model says 1/21 = %.4f\n"
@@ -93,30 +173,36 @@ let e2 ?domains ~trials ~seed () =
       (* one independent stream per (family, eps): run order and trial
          counts of one column can no longer perturb another *)
       let bad =
-        Ft.Memory.shor_ec_failure_mc ?domains ~noise
+        Ft.Memory.shor_ec_failure_mc ?domains ~obs:(obs ()) ~noise
           ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:false ~trials
           ~seed:(Mc.Rng.derive seed [ 2; 0; i ])
           ()
       in
       let shor =
-        Ft.Memory.shor_ec_failure_mc ?domains ~noise
+        Ft.Memory.shor_ec_failure_mc ?domains ~obs:(obs ()) ~noise
           ~policy:Ft.Shor_ec.Repeat_if_nontrivial ~verified:true ~trials
           ~seed:(Mc.Rng.derive seed [ 2; 1; i ])
           ()
       in
       let steane =
-        Ft.Memory.steane_ec_failure_mc ?domains ~noise
+        Ft.Memory.steane_ec_failure_mc ?domains ~obs:(obs ()) ~noise
           ~policy:Ft.Steane_ec.Repeat_if_nontrivial ~verify:Ft.Steane_ec.Reject
           ~trials
           ~seed:(Mc.Rng.derive seed [ 2; 2; i ])
           ()
       in
+      emit (Printf.sprintf "nonft@eps=%g" eps) bad;
+      emit (Printf.sprintf "shor_ft@eps=%g" eps) shor;
+      emit (Printf.sprintf "steane_ft@eps=%g" eps) steane;
       bad_pts := (eps, bad.rate) :: !bad_pts;
       shor_pts := (eps, shor.rate) :: !shor_pts;
       steane_pts := (eps, steane.rate) :: !steane_pts;
       Printf.printf "%10.4g %14.5g %14.5g %14.5g\n" eps bad.rate shor.rate
         steane.rate)
     eps_list;
+  emit_value "slope_nonft" (slope !bad_pts);
+  emit_value "slope_shor_ft" (slope !shor_pts);
+  emit_value "slope_steane_ft" (slope !steane_pts);
   Printf.printf
     "\nlog-log slopes: nonFT %.2f (expect ~1), Shor-FT %.2f (expect ~2), \
      Steane-FT %.2f (expect ~2)\n"
@@ -154,7 +240,14 @@ let e3 ?domains ~trials ~seed () =
       if plus_basis then Ft.Sim.ideal_measure_logical_x sim code ~offset:0
       else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
     in
-    let failures = Mc.Runner.failures ?domains ~trials ~seed:key trial in
+    let failures =
+      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key trial
+    in
+    emit_count
+      (Printf.sprintf "%s@eps=%g"
+         (if verified then "verified" else "unverified")
+         eps)
+      ~failures ~trials;
     float_of_int failures /. float_of_int trials
   in
   Printf.printf "%10s %18s %18s\n" "eps" "unverified cat" "verified cat";
@@ -178,18 +271,24 @@ let e4 ?domains ~trials ~seed () =
   List.iteri
     (fun i eps ->
       let noise = Ft.Noise.gates_only eps in
-      let run k policy verify =
-        (Ft.Memory.steane_ec_failure_mc ?domains ~noise ~policy ~verify
-           ~trials
-           ~seed:(Mc.Rng.derive seed [ 4; k; i ])
-           ())
-          .rate
+      let run k label policy verify =
+        let r =
+          Ft.Memory.steane_ec_failure_mc ?domains ~obs:(obs ()) ~noise ~policy
+            ~verify ~trials
+            ~seed:(Mc.Rng.derive seed [ 4; k; i ])
+            ()
+        in
+        emit (Printf.sprintf "%s@eps=%g" label eps) r;
+        r.rate
       in
       Printf.printf "%10.4g %14.5g %14.5g %14.5g %14.5g\n" eps
-        (run 0 Ft.Steane_ec.Accept_first Ft.Steane_ec.Reject)
-        (run 1 Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Reject)
-        (run 2 Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.Paper_flip)
-        (run 3 Ft.Steane_ec.Repeat_if_nontrivial Ft.Steane_ec.No_verification))
+        (run 0 "accept_first" Ft.Steane_ec.Accept_first Ft.Steane_ec.Reject)
+        (run 1 "repeat_rule" Ft.Steane_ec.Repeat_if_nontrivial
+           Ft.Steane_ec.Reject)
+        (run 2 "paper_flip" Ft.Steane_ec.Repeat_if_nontrivial
+           Ft.Steane_ec.Paper_flip)
+        (run 3 "no_verify" Ft.Steane_ec.Repeat_if_nontrivial
+           Ft.Steane_ec.No_verification))
     [ 2e-3; 5e-3; 1e-2; 2e-2 ];
   print_endline
     "\ncolumns 2-4 vary the Sec. 3.4 acceptance rule and the Sec. 3.3 ancilla\n\
@@ -208,15 +307,19 @@ let e5 ?domains ~trials ~seed () =
       (fun i eps ->
         let noise = Ft.Noise.gates_only eps in
         let r =
-          Ft.Memory.logical_cnot_exrec_failure_mc ?domains ~noise ~trials
+          Ft.Memory.logical_cnot_exrec_failure_mc ?domains ~obs:(obs ())
+            ~noise ~trials
             ~seed:(Mc.Rng.derive seed [ 5; i ])
             ()
         in
+        emit (Printf.sprintf "exrec@eps=%g" eps) r;
         Format.printf "  eps=%8.4g  p1 = %a@." eps Mc.Stats.pp r;
         (eps, r.rate))
       eps_list
   in
   let f = Threshold.Pseudothreshold.fit pts in
+  emit_value "fitted_A" f.a;
+  emit_value "pseudothreshold" f.threshold;
   Printf.printf "\nfitted A = %.1f  =>  pseudo-threshold eps* = 1/A = %.2e\n"
     f.a f.threshold;
   Printf.printf
@@ -242,7 +345,9 @@ let e6 () =
     (fun eps ->
       Printf.printf "%10.1e" eps;
       for l = 0 to 4 do
-        Printf.printf " %12.3e" (Threshold.Flow.level_error ~a ~eps ~level:l)
+        let p = Threshold.Flow.level_error ~a ~eps ~level:l in
+        emit_value (Printf.sprintf "level_error@eps=%g,L=%d" eps l) p;
+        Printf.printf " %12.3e" p
       done;
       print_newline ())
     [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6 ];
@@ -269,14 +374,17 @@ let e6b ?domains ?(engine = `Scalar) ~trials ~seed () =
     (fun i eps ->
       let run level t =
         let seed = Mc.Rng.derive seed [ 66; i; level ] in
-        (match engine with
-        | `Scalar ->
-          Codes.Pauli_frame.memory_failure_mc ?domains ~level ~eps ~rounds:1
-            ~trials:t ~seed ()
-        | `Batch ->
-          Codes.Pauli_frame.memory_failure_batch ?domains ~level ~eps
-            ~rounds:1 ~trials:t ~seed ())
-          .rate
+        let r =
+          match engine with
+          | `Scalar ->
+            Codes.Pauli_frame.memory_failure_mc ?domains ~obs:(obs ()) ~level
+              ~eps ~rounds:1 ~trials:t ~seed ()
+          | `Batch ->
+            Codes.Pauli_frame.memory_failure_batch ?domains ~obs:(obs ())
+              ~level ~eps ~rounds:1 ~trials:t ~seed ()
+        in
+        emit (Printf.sprintf "L%d@eps=%g" level eps) r;
+        r.rate
       in
       Printf.printf "%8.3f %12.5f %12.5f %12.5f\n%!" eps (run 1 trials)
         (run 2 trials)
@@ -300,14 +408,17 @@ let e15 ?domains ?(engine = `Scalar) ~trials ~seed () =
     (fun i eta ->
       let run level =
         let seed = Mc.Rng.derive seed [ 15; i; level ] in
-        (match engine with
-        | `Scalar ->
-          Codes.Pauli_frame.memory_failure_biased_mc ?domains ~level
-            ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ()
-        | `Batch ->
-          Codes.Pauli_frame.memory_failure_biased_batch ?domains ~level
-            ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ())
-          .rate
+        let r =
+          match engine with
+          | `Scalar ->
+            Codes.Pauli_frame.memory_failure_biased_mc ?domains ~obs:(obs ())
+              ~level ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ()
+          | `Batch ->
+            Codes.Pauli_frame.memory_failure_biased_batch ?domains
+              ~obs:(obs ()) ~level ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ()
+        in
+        emit (Printf.sprintf "L%d@eta=%g" level eta) r;
+        r.rate
       in
       Printf.printf "%8.1f %12.5f %12.5f\n%!" eta (run 1) (run 2))
     [ 1.0; 3.0; 10.0; 100.0 ];
@@ -328,14 +439,16 @@ let e7 () =
     (fun eps ->
       let t_real = Threshold.Bigcode.optimal_t ~b ~eps in
       let t_int, p = Threshold.Bigcode.best_integer_t ~b ~eps ~t_max:1000 in
+      emit_value (Printf.sprintf "min_block_error@eps=%g" eps) p;
       Printf.printf "%10.1e %10.2f %10d %16.3e %16.3e\n" eps t_real t_int p
         (Threshold.Bigcode.min_block_error ~b ~eps))
     [ 1e-4; 1e-5; 1e-6; 1e-7 ];
   Printf.printf "\nrequired accuracy eps ~ (log T)^-b (Eq. 32):\n";
   List.iter
     (fun cycles ->
-      Printf.printf "  T = %8.1e  =>  eps = %.3e\n" cycles
-        (Threshold.Bigcode.required_accuracy ~b ~cycles))
+      let eps = Threshold.Bigcode.required_accuracy ~b ~cycles in
+      emit_value (Printf.sprintf "required_accuracy@T=%g" cycles) eps;
+      Printf.printf "  T = %8.1e  =>  eps = %.3e\n" cycles eps)
     [ 1e6; 1e9; 1e12 ]
 
 (* ---------------------------------------------------------------- E8 *)
@@ -357,6 +470,7 @@ let e8 () =
       let r = Threshold.Resources.estimate ~bits ~physical_eps:1e-6 () in
       match (r.levels, r.total_qubits) with
       | Some l, Some t ->
+        emit_value (Printf.sprintf "total_qubits@bits=%d" bits) t;
         Printf.printf "%8d %12d %14.3g %10d %14.3g\n" bits r.logical_qubits
           r.toffoli_gates l t
       | _ -> Printf.printf "%8d: above threshold\n" bits)
@@ -373,6 +487,8 @@ let e9 ~trials ~seed () =
     "N(th/2)^2" "(N th/2)^2";
   List.iter
     (fun (n, pr, ps, lin, quad) ->
+      emit_value (Printf.sprintf "random@N=%d" n) pr;
+      emit_value (Printf.sprintf "systematic@N=%d" n) ps;
       Printf.printf "%8d %14.5g %14.5g %14.5g %14.5g\n" n pr ps lin quad)
     (Ft.Systematic.crossover_table ~theta ~steps_list:[ 1; 10; 100; 300 ]
        ~trials rng);
@@ -397,9 +513,16 @@ let e10 ?domains ?(engine = `Scalar) ~trials ~seed () =
           let seed = Mc.Rng.derive seed [ 10; l; pi ] in
           let r =
             match engine with
-            | `Scalar -> Toric.Memory.run_mc ?domains ~l ~p ~trials ~seed ()
-            | `Batch -> Toric.Memory.run_batch ?domains ~l ~p ~trials ~seed ()
+            | `Scalar ->
+              Toric.Memory.run_mc ?domains ~obs:(obs ()) ~l ~p ~trials ~seed
+                ()
+            | `Batch ->
+              Toric.Memory.run_batch ?domains ~obs:(obs ()) ~l ~p ~trials
+                ~seed ()
           in
+          emit_count
+            (Printf.sprintf "l=%d,p=%g" l p)
+            ~failures:r.failures ~trials:r.trials;
           Printf.printf " %9.4f" r.rate)
         ls;
       print_newline ())
@@ -419,6 +542,8 @@ let e11 ~seed () =
     (Group.Perm.to_string v);
   let reg = Anyon.Register.create ~degree:5 [ u0; v ] in
   Anyon.Register.not_gate reg ~data:0 ~not_pair:1;
+  emit_value "not_gate_ok"
+    (if Group.Perm.equal (Anyon.Register.flux reg 0) u1 then 1.0 else 0.0);
   Printf.printf "pull-through NOT: u0 -> %s  (expected u1: %s)\n"
     (Group.Perm.to_string (Anyon.Register.flux reg 0))
     (string_of_bool (Group.Perm.equal (Anyon.Register.flux reg 0) u1));
@@ -445,6 +570,8 @@ let e11 ~seed () =
       ("A4", Group.Finite_group.alternating 4);
       ("D5", Group.Finite_group.dihedral 5);
       ("Z5", Group.Finite_group.cyclic 5) ];
+  emit_value "a5_smallest_nonsolvable"
+    (if Anyon.Logic.smallest_nonsolvable_check () then 1.0 else 0.0);
   Printf.printf "A5 smallest nonsolvable (checked against library groups): %b\n"
     (Anyon.Logic.smallest_nonsolvable_check ());
   (* exhaustive gate synthesis over the pull-through repertoire *)
@@ -568,7 +695,12 @@ let e12 ?domains ~trials ~seed () =
       ignore (Ft.Leakage.scrub t ~qubits:(List.init 7 Fun.id) ~ancilla:14);
       Ft.Sim.ideal_measure_logical_z sim code ~offset:0
     in
-    let failures = Mc.Runner.failures ?domains ~trials ~seed:key trial in
+    let failures =
+      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key trial
+    in
+    emit_count
+      (Printf.sprintf "%s@eps=%g" (if scrub then "scrub" else "no_scrub") eps)
+      ~failures ~trials;
     float_of_int failures /. float_of_int trials
   in
   Printf.printf "%10s %20s %20s\n" "eps" "scrub every round" "no scrubbing";
@@ -601,6 +733,9 @@ let e13 () =
   in
   List.iter
     (fun ((code : Codes.Stabilizer_code.t), kind) ->
+      emit_value
+        (code.name ^ ".distance")
+        (float_of_int (Codes.Stabilizer_code.distance code));
       Printf.printf "%12s %4d %4d %4d %10s %22b\n" code.name code.n code.k
         (Codes.Stabilizer_code.distance code)
         kind (check_h code))
@@ -637,6 +772,7 @@ let e14 ~seed () =
       [ 3; 4; 5; 6 ];
     if Statevec.fidelity sv expected < 1.0 -. 1e-9 then ok := false
   done;
+  emit_value "toffoli_basis_ok" (if !ok then 1.0 else 0.0);
   Printf.printf "teleported Toffoli exact on all 8 basis inputs: %b\n" !ok;
   (* superposition input *)
   let sv = Statevec.create 7 in
@@ -652,6 +788,7 @@ let e14 ~seed () =
       Statevec.reset sv rng q;
       Statevec.reset expected rng q)
     [ 3; 4; 5; 6 ];
+  emit_value "toffoli_superposition_fidelity" (Statevec.fidelity sv expected);
   Printf.printf "teleported Toffoli on (|00>+|01>+|10>+|11>)|0>: fidelity %.6f\n"
     (Statevec.fidelity sv expected);
   Printf.printf "transversal ingredients (encoded CNOT/CZ/H/measure): %b\n"
@@ -699,10 +836,13 @@ let e16 ?domains ~trials ~seed () =
           else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
         in
         let failures =
-          Mc.Runner.failures ?domains ~trials
+          Mc.Runner.failures ?domains ~obs:(obs ()) ~trials
             ~seed:(Mc.Rng.derive seed [ 16; ci; ei ])
             trial
         in
+        emit_count
+          (Printf.sprintf "%s@eps=%g" label eps)
+          ~failures ~trials;
         float_of_int failures /. float_of_int trials
       in
       Printf.printf "%18s %6d %10.5f %10.5f %10.5f\n%!" label n (run 0 1e-3)
@@ -728,16 +868,19 @@ let e17 ?domains ~trials ~seed () =
     (fun i eps ->
       let noise = Ft.Noise.gates_only eps in
       let f1, n1 =
-        Ft.Concat_ec.logical_failure_rate_par ?domains ~noise ~level:1
-          ~trials:(trials * 10)
+        Ft.Concat_ec.logical_failure_rate_par ?domains ~obs:(obs ()) ~noise
+          ~level:1 ~trials:(trials * 10)
           ~seed:(Mc.Rng.derive seed [ 17; 1; i ])
           ()
       in
       let f2, n2 =
-        Ft.Concat_ec.logical_failure_rate_par ?domains ~noise ~level:2 ~trials
+        Ft.Concat_ec.logical_failure_rate_par ?domains ~obs:(obs ()) ~noise
+          ~level:2 ~trials
           ~seed:(Mc.Rng.derive seed [ 17; 2; i ])
           ()
       in
+      emit_count (Printf.sprintf "L1@eps=%g" eps) ~failures:f1 ~trials:n1;
+      emit_count (Printf.sprintf "L2@eps=%g" eps) ~failures:f2 ~trials:n2;
       Printf.printf "%10.4g %14.5g %14.5g%s\n%!" eps
         (float_of_int f1 /. float_of_int n1)
         (float_of_int f2 /. float_of_int n2)
@@ -764,23 +907,26 @@ let e18 ?domains ~trials ~seed () =
   List.iteri
     (fun i eps ->
       let s1 =
-        Codes.Pauli_frame.memory_failure_mc ?domains ~level:1 ~eps ~rounds:1
-          ~trials
+        Codes.Pauli_frame.memory_failure_mc ?domains ~obs:(obs ()) ~level:1
+          ~eps ~rounds:1 ~trials
           ~seed:(Mc.Rng.derive seed [ 18; 0; i ])
           ()
       in
       let s2 =
-        Codes.Pauli_frame.memory_failure_mc ?domains ~level:2 ~eps ~rounds:1
-          ~trials
+        Codes.Pauli_frame.memory_failure_mc ?domains ~obs:(obs ()) ~level:2
+          ~eps ~rounds:1 ~trials
           ~seed:(Mc.Rng.derive seed [ 18; 1; i ])
           ()
       in
       let g =
-        Codes.Pauli_frame.code_memory_failure_mc ?domains Codes.Golay.code
-          golay_decoder ~eps ~rounds:1 ~trials
+        Codes.Pauli_frame.code_memory_failure_mc ?domains ~obs:(obs ())
+          Codes.Golay.code golay_decoder ~eps ~rounds:1 ~trials
           ~seed:(Mc.Rng.derive seed [ 18; 2; i ])
           ()
       in
+      emit (Printf.sprintf "steane_L1@eps=%g" eps) s1;
+      emit (Printf.sprintf "steane_L2@eps=%g" eps) s2;
+      emit (Printf.sprintf "golay@eps=%g" eps) g;
       Printf.printf "%8.3f %14.5f %16.5f %14.5f\n%!" eps s1.rate s2.rate g.rate)
     [ 0.002; 0.01; 0.03; 0.06; 0.10 ];
   print_endline
@@ -814,12 +960,15 @@ let e19 ?domains ?(engine = `Scalar) ~trials ~seed () =
           let r =
             match engine with
             | `Scalar ->
-              Toric.Noisy_memory.run_mc ?domains ~l ~rounds:l ~p ~q:p ~trials
-                ~seed ()
+              Toric.Noisy_memory.run_mc ?domains ~obs:(obs ()) ~l ~rounds:l
+                ~p ~q:p ~trials ~seed ()
             | `Batch ->
-              Toric.Noisy_memory.run_batch ?domains ~l ~rounds:l ~p ~q:p
-                ~trials ~seed ()
+              Toric.Noisy_memory.run_batch ?domains ~obs:(obs ()) ~l
+                ~rounds:l ~p ~q:p ~trials ~seed ()
           in
+          emit_count
+            (Printf.sprintf "l=%d,p=%g" l p)
+            ~failures:r.failures ~trials:r.trials;
           Printf.printf " %9.4f" r.rate)
         ls;
       print_newline ())
@@ -847,16 +996,19 @@ let e20 ?domains ~trials ~seed () =
     "serial schedule";
   List.iteri
     (fun i eps_store ->
-      let run k exposure =
-        (Codes.Pauli_frame.memory_failure_mc ?domains ~level:1
-           ~eps:(Float.min 0.75 (eps_store *. float_of_int exposure))
-           ~rounds:1 ~trials
-           ~seed:(Mc.Rng.derive seed [ 20; k; i ])
-           ())
-          .rate
+      let run k label exposure =
+        let r =
+          Codes.Pauli_frame.memory_failure_mc ?domains ~obs:(obs ()) ~level:1
+            ~eps:(Float.min 0.75 (eps_store *. float_of_int exposure))
+            ~rounds:1 ~trials
+            ~seed:(Mc.Rng.derive seed [ 20; k; i ])
+            ()
+        in
+        emit (Printf.sprintf "%s@eps_store=%g" label eps_store) r;
+        r.rate
       in
-      Printf.printf "%12.1e %18.5f %18.5f\n%!" eps_store (run 0 d_par)
-        (run 1 d_seq))
+      Printf.printf "%12.1e %18.5f %18.5f\n%!" eps_store
+        (run 0 "parallel" d_par) (run 1 "serial" d_seq))
     [ 1e-5; 3e-5; 1e-4; 3e-4; 1e-3 ];
   print_endline
     "\n(each resting qubit is exposed for one gadget-execution per EC cycle;\n\
@@ -876,16 +1028,19 @@ let e22 ?domains ~trials ~seed () =
   let gate_pts = ref [] and store_pts = ref [] in
   List.iteri
     (fun i eps ->
-      let run k noise =
-        (Ft.Memory.steane_ec_failure_mc ?domains ~noise
-           ~policy:Ft.Steane_ec.Repeat_if_nontrivial
-           ~verify:Ft.Steane_ec.Reject ~trials
-           ~seed:(Mc.Rng.derive seed [ 22; k; i ])
-           ())
-          .rate
+      let run k label noise =
+        let r =
+          Ft.Memory.steane_ec_failure_mc ?domains ~obs:(obs ()) ~noise
+            ~policy:Ft.Steane_ec.Repeat_if_nontrivial
+            ~verify:Ft.Steane_ec.Reject ~trials
+            ~seed:(Mc.Rng.derive seed [ 22; k; i ])
+            ()
+        in
+        emit (Printf.sprintf "%s@eps=%g" label eps) r;
+        r.rate
       in
-      let g = run 0 (Ft.Noise.gates_only eps) in
-      let st = run 1 (Ft.Noise.storage_only eps) in
+      let g = run 0 "gates_only" (Ft.Noise.gates_only eps) in
+      let st = run 1 "storage_only" (Ft.Noise.storage_only eps) in
       gate_pts := (eps, g) :: !gate_pts;
       store_pts := (eps, st) :: !store_pts;
       Printf.printf "%10.4g %16.5g %16.5g\n%!" eps g st)
@@ -895,6 +1050,8 @@ let e22 ?domains ~trials ~seed () =
   in
   (try
      let fg = fit !gate_pts and fs = fit !store_pts in
+     emit_value "pseudothreshold_gates" fg.threshold;
+     emit_value "pseudothreshold_storage" fs.threshold;
      Printf.printf
        "\nfitted pseudo-thresholds: gates %.2e, storage %.2e (ratio %.1f)\n"
        fg.threshold fs.threshold (fs.threshold /. fg.threshold)
@@ -914,7 +1071,7 @@ let e23 ?domains ~trials ~seed () =
     "logical GHZ (H + 2 CNOTs, EC after every gate) on three blocks;\n\
      identical program, different self-dual CSS code underneath\n\n";
   Printf.printf "%10s %16s %16s\n" "eps" "steane [[7,1,3]]" "golay [[23,1,7]]";
-  let run gadget ~key eps =
+  let run gadget ~label ~key eps =
     let trial rng _ =
       let t =
         Ft.Css_logical.create ~gadget ~blocks:3
@@ -928,7 +1085,10 @@ let e23 ?domains ~trials ~seed () =
       let c = Ft.Css_logical.ideal_z t 2 in
       not (a = b && b = c)
     in
-    let failures = Mc.Runner.failures ?domains ~trials ~seed:key trial in
+    let failures =
+      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key trial
+    in
+    emit_count (Printf.sprintf "%s@eps=%g" label eps) ~failures ~trials;
     float_of_int failures /. float_of_int trials
   in
   let steane = Ft.Css_ec.for_steane () in
@@ -936,8 +1096,8 @@ let e23 ?domains ~trials ~seed () =
   List.iteri
     (fun i eps ->
       Printf.printf "%10.4g %16.5g %16.5g\n%!" eps
-        (run steane ~key:(Mc.Rng.derive seed [ 23; 0; i ]) eps)
-        (run golay ~key:(Mc.Rng.derive seed [ 23; 1; i ]) eps))
+        (run steane ~label:"steane" ~key:(Mc.Rng.derive seed [ 23; 0; i ]) eps)
+        (run golay ~label:"golay" ~key:(Mc.Rng.derive seed [ 23; 1; i ]) eps))
     [ 1e-3; 3e-3; 6e-3 ];
   print_endline
     "\nthe identical logical program runs unchanged on either code (the\n\
@@ -968,11 +1128,14 @@ let e24 ?domains ~trials ~seed () =
       List.iter
         (fun l ->
           let r =
-            Toric.Circuit_memory.run_mc ?domains ~l ~rounds:l
+            Toric.Circuit_memory.run_mc ?domains ~obs:(obs ()) ~l ~rounds:l
               ~noise:(Ft.Noise.uniform eps) ~trials
               ~seed:(Mc.Rng.derive seed [ 24; l; ei ])
               ()
           in
+          emit_count
+            (Printf.sprintf "l=%d,eps=%g" l eps)
+            ~failures:r.failures ~trials:r.trials;
           Printf.printf " %9.4f" r.rate)
         ls;
       print_newline ())
@@ -1003,22 +1166,59 @@ let domains_arg =
 
 let resolve_domains d = if d <= 0 then None else Some d
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write a machine-readable manifest (schema ftqc-manifest/1) with \
+           one record per experiment run — parameters, per-cell estimates \
+           with Wilson intervals, wall-clock telemetry and engine metrics — \
+           to $(docv).  Stdout is unchanged; recording never perturbs the \
+           sampled randomness.")
+
+(* Set up the manifest + live obs handle around [run], then write the
+   file.  The note goes to stderr so stdout stays bit-identical to a
+   run without --json. *)
+let with_manifest json run =
+  match json with
+  | None -> run ()
+  | Some file ->
+    let m = Obs.Manifest.create () in
+    manifest := Some m;
+    run_obs := Obs.create ();
+    run ();
+    Obs.Manifest.write ~generator:"ftqc-experiments"
+      ~metrics:(Obs.to_json !run_obs) m ~file;
+    Printf.eprintf "[ftqc] wrote manifest (%d records) to %s\n%!"
+      (Obs.Manifest.length m) file
+
 let simple name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+  let run json = with_manifest json (fun () -> recording ~experiment:name f) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg)
 
 let with_trials name doc default f =
+  let run trials seed json =
+    with_manifest json (fun () ->
+        recording ~experiment:name
+          ~params:[ p_trials trials; p_seed seed ]
+          (fun () -> f ~trials ~seed ()))
+  in
   Cmd.v (Cmd.info name ~doc)
-    Term.(
-      const (fun trials seed -> f ~trials ~seed ())
-      $ trials_arg default $ seed_arg)
+    Term.(const run $ trials_arg default $ seed_arg $ json_arg)
 
 (* parallel experiments additionally take --domains *)
 let with_trials_par name doc default f =
+  let run domains trials seed json =
+    let domains = resolve_domains domains in
+    with_manifest json (fun () ->
+        recording ~experiment:name ~domains_used:(dused domains)
+          ~params:[ p_trials trials; p_seed seed ]
+          (fun () -> f ?domains ~trials ~seed ()))
+  in
   Cmd.v (Cmd.info name ~doc)
-    Term.(
-      const (fun domains trials seed ->
-          f ?domains:(resolve_domains domains) ~trials ~seed ())
-      $ domains_arg $ trials_arg default $ seed_arg)
+    Term.(const run $ domains_arg $ trials_arg default $ seed_arg $ json_arg)
 
 (* batch-capable experiments additionally take --engine *)
 let engine_arg =
@@ -1031,47 +1231,87 @@ let engine_arg =
            $(b,batch) (bit-sliced, 64 shots per word)")
 
 let with_trials_par_engine name doc default f =
+  let run domains trials seed engine json =
+    let domains = resolve_domains domains in
+    with_manifest json (fun () ->
+        recording ~experiment:name ~domains_used:(dused domains)
+          ~params:[ p_trials trials; p_seed seed; p_engine engine ]
+          (fun () -> f ?domains ?engine:(Some engine) ~trials ~seed ()))
+  in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun domains trials seed engine ->
-          f ?domains:(resolve_domains domains) ?engine:(Some engine) ~trials
-            ~seed ())
-      $ domains_arg $ trials_arg default $ seed_arg $ engine_arg)
+      const run $ domains_arg $ trials_arg default $ seed_arg $ engine_arg
+      $ json_arg)
 
 let with_seed name doc f =
-  Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun seed -> f ~seed ()) $ seed_arg)
+  let run seed json =
+    with_manifest json (fun () ->
+        recording ~experiment:name ~params:[ p_seed seed ] (fun () ->
+            f ~seed ()))
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg $ json_arg)
 
 let all_cmd =
-  let run domains trials seed =
+  let run domains trials seed json =
     let domains = resolve_domains domains in
-    e1 ?domains ~trials ~seed ();
-    e2 ?domains ~trials ~seed ();
-    e3 ?domains ~trials ~seed ();
-    e4 ?domains ~trials ~seed ();
-    e5 ?domains ~trials:(trials * 2) ~seed ();
-    e6 ();
-    e6b ?domains ~trials:(max 5000 trials) ~seed ();
-    e7 ();
-    e8 ();
-    e9 ~trials:200 ~seed ();
-    e10 ?domains ~trials:(max 500 (trials / 4)) ~seed ();
-    e11 ~seed ();
-    e12 ?domains ~trials:(max 500 (trials / 4)) ~seed ();
-    e13 ();
-    e14 ~seed ();
-    e15 ?domains ~trials:(max 5000 trials) ~seed ();
-    e16 ?domains ~trials:(min 3000 trials) ~seed ();
-    e17 ?domains ~trials:800 ~seed ();
-    e18 ?domains ~trials:(max 20000 trials) ~seed ();
-    e19 ?domains ~trials:(max 1000 (trials / 6)) ~seed ();
-    e20 ?domains ~trials:(max 20000 trials) ~seed ();
-    e22 ?domains ~trials ~seed ();
-    e23 ?domains ~trials:(max 500 (trials / 8)) ~seed ();
-    e24 ?domains ~trials:400 ~seed ()
+    let du = dused domains in
+    (* [par] records a --domains experiment, [seq] a sequential one;
+       each closes over the exact trial count the experiment gets *)
+    let par name ~trials:t body =
+      recording ~experiment:name ~domains_used:du
+        ~params:[ p_trials t; p_seed seed ]
+        body
+    in
+    let seq name ?trials:t body =
+      let params =
+        match t with
+        | Some t -> [ p_trials t; p_seed seed ]
+        | None -> [ p_seed seed ]
+      in
+      recording ~experiment:name ~params body
+    in
+    with_manifest json (fun () ->
+        par "e1" ~trials (fun () -> e1 ?domains ~trials ~seed ());
+        par "e2" ~trials (fun () -> e2 ?domains ~trials ~seed ());
+        par "e3" ~trials (fun () -> e3 ?domains ~trials ~seed ());
+        par "e4" ~trials (fun () -> e4 ?domains ~trials ~seed ());
+        par "e5" ~trials:(trials * 2) (fun () ->
+            e5 ?domains ~trials:(trials * 2) ~seed ());
+        seq "e6" e6;
+        par "e6b" ~trials:(max 5000 trials) (fun () ->
+            e6b ?domains ~trials:(max 5000 trials) ~seed ());
+        seq "e7" e7;
+        seq "e8" e8;
+        seq "e9" ~trials:200 (fun () -> e9 ~trials:200 ~seed ());
+        par "e10"
+          ~trials:(max 500 (trials / 4))
+          (fun () -> e10 ?domains ~trials:(max 500 (trials / 4)) ~seed ());
+        seq "e11" (fun () -> e11 ~seed ());
+        par "e12"
+          ~trials:(max 500 (trials / 4))
+          (fun () -> e12 ?domains ~trials:(max 500 (trials / 4)) ~seed ());
+        seq "e13" e13;
+        seq "e14" (fun () -> e14 ~seed ());
+        par "e15" ~trials:(max 5000 trials) (fun () ->
+            e15 ?domains ~trials:(max 5000 trials) ~seed ());
+        par "e16" ~trials:(min 3000 trials) (fun () ->
+            e16 ?domains ~trials:(min 3000 trials) ~seed ());
+        par "e17" ~trials:800 (fun () -> e17 ?domains ~trials:800 ~seed ());
+        par "e18" ~trials:(max 20000 trials) (fun () ->
+            e18 ?domains ~trials:(max 20000 trials) ~seed ());
+        par "e19"
+          ~trials:(max 1000 (trials / 6))
+          (fun () -> e19 ?domains ~trials:(max 1000 (trials / 6)) ~seed ());
+        par "e20" ~trials:(max 20000 trials) (fun () ->
+            e20 ?domains ~trials:(max 20000 trials) ~seed ());
+        par "e22" ~trials (fun () -> e22 ?domains ~trials ~seed ());
+        par "e23"
+          ~trials:(max 500 (trials / 8))
+          (fun () -> e23 ?domains ~trials:(max 500 (trials / 8)) ~seed ());
+        par "e24" ~trials:400 (fun () -> e24 ?domains ~trials:400 ~seed ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"run every experiment")
-    Term.(const run $ domains_arg $ trials_arg 4000 $ seed_arg)
+    Term.(const run $ domains_arg $ trials_arg 4000 $ seed_arg $ json_arg)
 
 let () =
   let cmds =

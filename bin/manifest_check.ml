@@ -1,0 +1,36 @@
+(* Validate ftqc-manifest/1 documents (CI gate: the manifest written
+   by `experiments --json` and the bench-smoke artifact must parse and
+   every result's Wilson interval must bracket its rate).  Exits 0
+   when every file validates, 1 otherwise. *)
+
+let check file =
+  match
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ftqc.Obs.Json.of_string s
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "%s: %s\n" file msg;
+    false
+  | Error msg ->
+    Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+    false
+  | Ok j -> (
+    match Ftqc.Obs.Manifest.validate j with
+    | Ok n ->
+      Printf.printf "%s: ok (%d records)\n" file n;
+      true
+    | Error msg ->
+      Printf.eprintf "%s: invalid manifest: %s\n" file msg;
+      false)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as files) ->
+    let ok = List.for_all check files in
+    exit (if ok then 0 else 1)
+  | _ ->
+    prerr_endline "usage: manifest_check FILE...";
+    exit 2

@@ -129,8 +129,9 @@ let run_memory ~noise_sample ~decode ~rounds ~trials rng =
   done;
   estimate ~failures:!failures ~trials
 
-let run_memory_mc ?domains ~noise_sample ~decode ~rounds ~trials ~seed () =
-  Mc.Runner.estimate ?domains ~trials ~seed (fun rng _ ->
+let run_memory_mc ?domains ?obs ~noise_sample ~decode ~rounds ~trials ~seed ()
+    =
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed (fun rng _ ->
       memory_trial ~noise_sample ~decode ~rounds rng)
 
 let memory_failure ~level ~eps ~rounds ~trials rng =
@@ -140,9 +141,9 @@ let memory_failure ~level ~eps ~rounds ~trials rng =
     ~decode:(fun e -> Some (concatenated_steane_class ~level e))
     ~rounds ~trials rng
 
-let memory_failure_mc ?domains ~level ~eps ~rounds ~trials ~seed () =
+let memory_failure_mc ?domains ?obs ~level ~eps ~rounds ~trials ~seed () =
   let n = int_of_float (7.0 ** float_of_int level) in
-  run_memory_mc ?domains
+  run_memory_mc ?domains ?obs
     ~noise_sample:(fun rng -> depolarize rng ~eps ~n)
     ~decode:(fun e -> Some (concatenated_steane_class ~level e))
     ~rounds ~trials ~seed ()
@@ -153,9 +154,9 @@ let code_memory_failure code decoder ~eps ~rounds ~trials rng =
     ~decode:(fun e -> residual_class code decoder e)
     ~rounds ~trials rng
 
-let code_memory_failure_mc ?domains code decoder ~eps ~rounds ~trials ~seed ()
-    =
-  run_memory_mc ?domains
+let code_memory_failure_mc ?domains ?obs code decoder ~eps ~rounds ~trials
+    ~seed () =
+  run_memory_mc ?domains ?obs
     ~noise_sample:(fun rng -> depolarize rng ~eps ~n:code.Code.n)
     ~decode:(fun e -> residual_class code decoder e)
     ~rounds ~trials ~seed ()
@@ -167,10 +168,10 @@ let memory_failure_biased ~level ~eps ~eta ~rounds ~trials rng =
     ~decode:(fun e -> Some (concatenated_steane_class ~level e))
     ~rounds ~trials rng
 
-let memory_failure_biased_mc ?domains ~level ~eps ~eta ~rounds ~trials ~seed
-    () =
+let memory_failure_biased_mc ?domains ?obs ~level ~eps ~eta ~rounds ~trials
+    ~seed () =
   let n = int_of_float (7.0 ** float_of_int level) in
-  run_memory_mc ?domains
+  run_memory_mc ?domains ?obs
     ~noise_sample:(fun rng -> biased_depolarize rng ~eps ~eta ~n)
     ~decode:(fun e -> Some (concatenated_steane_class ~level e))
     ~rounds ~trials ~seed ()
@@ -271,8 +272,8 @@ let rec classify_words tbl ~level x z off =
     classify_block tbl bx bz 0
   end
 
-let run_memory_batch ?domains ?(engine = `Batch) ~level ~px ~py ~pz ~rounds
-    ~trials ~seed () =
+let run_memory_batch ?domains ?obs ?(engine = `Batch) ~level ~px ~py ~pz
+    ~rounds ~trials ~seed () =
   if level < 1 then invalid_arg "Pauli_frame: level >= 1";
   let n = pow7 level in
   let tbl = Lazy.force steane_tables in
@@ -315,20 +316,20 @@ let run_memory_batch ?domains ?(engine = `Batch) ~level ~px ~py ~pz ~rounds
       done;
       !w
   in
-  Mc.Runner.estimate_batched ?domains ~trials ~seed
+  Mc.Runner.estimate_batched ?domains ?obs ~trials ~seed
     ~worker_init:(fun () -> (Plane.create n, Array.make n 0L, Array.make n 0L))
     batch
 
-let memory_failure_batch ?domains ?engine ~level ~eps ~rounds ~trials ~seed ()
-    =
+let memory_failure_batch ?domains ?obs ?engine ~level ~eps ~rounds ~trials
+    ~seed () =
   let p = eps /. 3.0 in
-  run_memory_batch ?domains ?engine ~level ~px:p ~py:p ~pz:p ~rounds ~trials
-    ~seed ()
+  run_memory_batch ?domains ?obs ?engine ~level ~px:p ~py:p ~pz:p ~rounds
+    ~trials ~seed ()
 
-let memory_failure_biased_batch ?domains ?engine ~level ~eps ~eta ~rounds
+let memory_failure_biased_batch ?domains ?obs ?engine ~level ~eps ~eta ~rounds
     ~trials ~seed () =
   if eta <= 0.0 then
     invalid_arg "Pauli_frame.memory_failure_biased_batch: eta > 0";
   let unit = eps /. (eta +. 2.0) in
-  run_memory_batch ?domains ?engine ~level ~px:unit ~py:unit ~pz:(eta *. unit)
-    ~rounds ~trials ~seed ()
+  run_memory_batch ?domains ?obs ?engine ~level ~px:unit ~py:unit
+    ~pz:(eta *. unit) ~rounds ~trials ~seed ()

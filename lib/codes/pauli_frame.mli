@@ -71,9 +71,13 @@ val memory_failure :
 (** [memory_failure_mc ?domains ~level ~eps ~rounds ~trials ~seed ()]
     — the same experiment on the shared {!Mc.Runner} engine: trials
     fan out over OCaml 5 domains with per-chunk split RNG streams;
-    counts are bit-identical for any [domains]. *)
+    counts are bit-identical for any [domains].  All [_mc] and
+    [_batch] drivers below also accept [?obs:Obs.t] (default
+    {!Obs.none}), forwarded to the runner for telemetry that never
+    perturbs results. *)
 val memory_failure_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   level:int ->
   eps:float ->
   rounds:int ->
@@ -96,6 +100,7 @@ val code_memory_failure :
 
 val code_memory_failure_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   Stabilizer_code.t ->
   Stabilizer_code.decoder ->
   eps:float ->
@@ -128,6 +133,7 @@ val memory_failure_biased :
 
 val memory_failure_biased_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   level:int ->
   eps:float ->
   eta:float ->
@@ -160,6 +166,7 @@ type engine = [ `Batch | `Scalar ]
     engine (levels 1–3 are the tested range). *)
 val memory_failure_batch :
   ?domains:int ->
+  ?obs:Obs.t ->
   ?engine:engine ->
   level:int ->
   eps:float ->
@@ -171,6 +178,7 @@ val memory_failure_batch :
 
 val memory_failure_biased_batch :
   ?domains:int ->
+  ?obs:Obs.t ->
   ?engine:engine ->
   level:int ->
   eps:float ->

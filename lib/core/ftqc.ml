@@ -2,9 +2,14 @@
     reproducing Preskill's "Fault-Tolerant Quantum Computation".
 
     Layering, bottom to top:
+    - {!Obs}: telemetry — counters/gauges/timers/histograms merged
+      per-worker, a structured-event sink, a dependency-free JSON
+      encoder/parser, machine-readable experiment manifests, and the
+      opt-in [FTQC_PROGRESS] reporter.
     - {!Mc}: the shared Monte-Carlo engine — splittable deterministic
       RNG streams, a parallel (OCaml 5 domains) map-reduce runner with
-      domain-count-invariant results, Wilson-interval estimators.
+      domain-count-invariant results, Wilson-interval estimators —
+      instrumented behind an {!Obs.t} handle.
     - {!Gf2}: GF(2) linear algebra (bit vectors, matrices).
     - {!Qmath}: complex scalars, dense matrices, standard gates.
     - {!Group}: finite permutation groups (A₅ and friends, §7.4).
@@ -24,6 +29,7 @@
     - {!Toric}: Kitaev's toric code + union-find decoder (§7).
     - {!Anyon}: nonabelian flux-pair computation over A₅ (§7.3–7.4). *)
 
+module Obs = Obs
 module Mc = Mc
 module Gf2 = Gf2
 module Qmath = Qmath

@@ -261,9 +261,9 @@ let logical_failure_rate ~noise ~level ~trials rng =
   done;
   (!failures, trials)
 
-let logical_failure_rate_par ?domains ~noise ~level ~trials ~seed () =
+let logical_failure_rate_par ?domains ?obs ~noise ~level ~trials ~seed () =
   let f =
-    Mc.Runner.failures ?domains ~trials ~seed (fun rng i ->
+    Mc.Runner.failures ?domains ?obs ~trials ~seed (fun rng i ->
         one_trial ~noise ~level rng i)
   in
   (f, trials)

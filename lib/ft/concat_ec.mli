@@ -50,12 +50,13 @@ val measure_logical_z_destructive_l2 : Sim.t -> block:int -> bool
 val logical_failure_rate :
   noise:Noise.t -> level:int -> trials:int -> Random.State.t -> int * int
 
-(** [logical_failure_rate_par ?domains ~noise ~level ~trials ~seed ()]
-    — same experiment fanned out across OCaml 5 domains via {!Parmc}
-    (each level-2 trial simulates 161 qubits, so the wall-clock win is
-    nearly linear in cores). *)
+(** [logical_failure_rate_par ?domains ?obs ~noise ~level ~trials
+    ~seed ()] — same experiment fanned out across OCaml 5 domains via
+    {!Mc.Runner} (each level-2 trial simulates 161 qubits, so the
+    wall-clock win is nearly linear in cores). *)
 val logical_failure_rate_par :
   ?domains:int ->
+  ?obs:Obs.t ->
   noise:Noise.t ->
   level:int ->
   trials:int ->

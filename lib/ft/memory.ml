@@ -44,8 +44,8 @@ let sequential ~trials rng trial =
 
 let unencoded ~eps ~trials rng = sequential ~trials rng (unencoded_trial ~eps)
 
-let unencoded_mc ?domains ~eps ~trials ~seed () =
-  Mc.Runner.estimate ?domains ~trials ~seed (unencoded_trial ~eps)
+let unencoded_mc ?domains ?obs ~eps ~trials ~seed () =
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed (unencoded_trial ~eps)
 
 (* Judge a block noiselessly: ideal recovery then logical readout. *)
 let judge tab rng (code : Code.t) ~plus_basis =
@@ -71,8 +71,8 @@ let encoded_ideal_ec_trial (code : Code.t) ~eps ~rounds rng t =
 let encoded_ideal_ec (code : Code.t) ~eps ~rounds ~trials rng =
   sequential ~trials rng (encoded_ideal_ec_trial code ~eps ~rounds)
 
-let encoded_ideal_ec_mc ?domains code ~eps ~rounds ~trials ~seed () =
-  Mc.Runner.estimate ?domains ~trials ~seed
+let encoded_ideal_ec_mc ?domains ?obs code ~eps ~rounds ~trials ~seed () =
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed
     (encoded_ideal_ec_trial code ~eps ~rounds)
 
 (* Copy a prepared 7-qubit logical state into a larger noisy register:
@@ -113,8 +113,8 @@ let shor_ec_trial ~noise ~policy ~verified rng t =
 let shor_ec_failure ~noise ~policy ~verified ~trials rng =
   sequential ~trials rng (shor_ec_trial ~noise ~policy ~verified)
 
-let shor_ec_failure_mc ?domains ~noise ~policy ~verified ~trials ~seed () =
-  Mc.Runner.estimate ?domains ~trials ~seed
+let shor_ec_failure_mc ?domains ?obs ~noise ~policy ~verified ~trials ~seed () =
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed
     (shor_ec_trial ~noise ~policy ~verified)
 
 let steane_ec_trial ~noise ~policy ~verify rng t =
@@ -128,8 +128,8 @@ let steane_ec_trial ~noise ~policy ~verify rng t =
 let steane_ec_failure ~noise ~policy ~verify ~trials rng =
   sequential ~trials rng (steane_ec_trial ~noise ~policy ~verify)
 
-let steane_ec_failure_mc ?domains ~noise ~policy ~verify ~trials ~seed () =
-  Mc.Runner.estimate ?domains ~trials ~seed
+let steane_ec_failure_mc ?domains ?obs ~noise ~policy ~verify ~trials ~seed () =
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed
     (steane_ec_trial ~noise ~policy ~verify)
 
 let logical_cnot_exrec_trial ~noise rng t =
@@ -160,8 +160,9 @@ let logical_cnot_exrec_trial ~noise rng t =
 let logical_cnot_exrec_failure ~noise ~trials rng =
   sequential ~trials rng (logical_cnot_exrec_trial ~noise)
 
-let logical_cnot_exrec_failure_mc ?domains ~noise ~trials ~seed () =
-  Mc.Runner.estimate ?domains ~trials ~seed (logical_cnot_exrec_trial ~noise)
+let logical_cnot_exrec_failure_mc ?domains ?obs ~noise ~trials ~seed () =
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed
+    (logical_cnot_exrec_trial ~noise)
 
 let fit_quadratic points =
   match points with

@@ -29,7 +29,9 @@ val estimate : failures:int -> trials:int -> estimate
     [Mc.Runner.default_domains ()]), per-trial RNG streams are split
     deterministically from [seed], and the returned
     {!Mc.Stats.estimate} (with Wilson interval) is bit-identical for
-    any domain count. *)
+    any domain count.  Each [_mc] form also takes [?obs:Obs.t]
+    (default {!Obs.none}) and forwards it to the runner, which records
+    per-run telemetry without perturbing results. *)
 
 (** [unencoded ~eps ~trials rng] — E1 baseline: one bare qubit, one
     depolarizing step of strength [eps] (X/Y/Z each eps/3), judged in
@@ -37,7 +39,7 @@ val estimate : failures:int -> trials:int -> estimate
 val unencoded : eps:float -> trials:int -> Random.State.t -> estimate
 
 val unencoded_mc :
-  ?domains:int -> eps:float -> trials:int -> seed:int -> unit ->
+  ?domains:int -> ?obs:Obs.t -> eps:float -> trials:int -> seed:int -> unit ->
   Mc.Stats.estimate
 
 (** [encoded_ideal_ec code ~eps ~rounds ~trials rng] — E1: every qubit
@@ -54,6 +56,7 @@ val encoded_ideal_ec :
 
 val encoded_ideal_ec_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   Codes.Stabilizer_code.t ->
   eps:float ->
   rounds:int ->
@@ -75,6 +78,7 @@ val shor_ec_failure :
 
 val shor_ec_failure_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   noise:Noise.t ->
   policy:Shor_ec.policy ->
   verified:bool ->
@@ -95,6 +99,7 @@ val steane_ec_failure :
 
 val steane_ec_failure_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   noise:Noise.t ->
   policy:Steane_ec.policy ->
   verify:Steane_ec.verify_policy ->
@@ -113,6 +118,7 @@ val logical_cnot_exrec_failure :
 
 val logical_cnot_exrec_failure_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   noise:Noise.t ->
   trials:int ->
   seed:int ->

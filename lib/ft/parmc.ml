@@ -4,7 +4,9 @@
    directly. *)
 
 let default_domains = Mc.Runner.default_domains
-let failures = Mc.Runner.failures
+
+let failures ?domains ?chunk ~trials ~seed trial =
+  Mc.Runner.failures ?domains ?chunk ~trials ~seed trial
 
 let estimate ?domains ~trials ~seed trial =
   let f = Mc.Runner.failures ?domains ~trials ~seed trial in

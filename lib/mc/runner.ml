@@ -7,7 +7,14 @@
    after all workers join.  Workers claim chunks from a shared atomic
    cursor (a single-queue work-stealing discipline: idle domains
    steal the next unclaimed chunk), so scheduling is dynamic but the
-   aggregate is bit-identical for any [domains]. *)
+   aggregate is bit-identical for any [domains].
+
+   Telemetry: every entry point takes an [?obs:Obs.t] handle
+   (default [Obs.none], a no-op).  Instrumentation only ever times and
+   counts — it draws no randomness and gates no control flow — so
+   enabling it cannot perturb a single sampled bit.  Per-chunk timings
+   land in per-chunk slots and are folded into the handle in chunk
+   order after the join, mirroring the result-merge discipline. *)
 
 let env_domains = "FTQC_DOMAINS"
 
@@ -31,30 +38,78 @@ let resolve_chunk ~trials = function
   | Some c when c >= 1 -> c
   | Some _ -> invalid_arg "Mc.Runner: chunk must be >= 1"
 
+let resolve_obs = function None -> Obs.none | Some o -> o
+
+(* Record one engine run into the handle: chunk timings in chunk
+   order, claims per worker, warmup cost, aggregate wall/throughput.
+   Runs single-threaded after all workers have joined. *)
+let record_run obs ~engine ~trials ~chunks ~workers ~wall_s ~warmup_s
+    ~chunk_times ~claims =
+  if Obs.enabled obs then begin
+    Obs.incr obs "mc.runs";
+    Obs.add obs "mc.trials" trials;
+    Obs.add obs "mc.chunks" chunks;
+    Array.iter
+      (fun dt ->
+        Obs.observe obs "mc.chunk_wall_s" dt;
+        Obs.observe_histogram obs "mc.chunk_wall_s" dt)
+      chunk_times;
+    Array.iter
+      (fun k -> if k >= 0 then Obs.observe obs "mc.chunks_per_worker" (float_of_int k))
+      claims;
+    if warmup_s > 0.0 then Obs.observe obs "mc.warmup_s" warmup_s;
+    Obs.observe obs "mc.wall_s" wall_s;
+    let shots_per_s =
+      if wall_s > 0.0 then float_of_int trials /. wall_s else 0.0
+    in
+    if trials > 0 then Obs.set_gauge obs "mc.shots_per_s" shots_per_s;
+    Obs.event obs "mc.run"
+      [ ("engine", Obs.Json.String engine);
+        ("trials", Obs.Json.Int trials);
+        ("chunks", Obs.Json.Int chunks);
+        ("workers", Obs.Json.Int workers);
+        ("wall_s", Obs.Json.Float wall_s);
+        ("warmup_s", Obs.Json.Float warmup_s);
+        ("shots_per_s", Obs.Json.Float shots_per_s) ]
+  end
+
 (* Run chunks [lo_chunk, hi_chunk) and return their accumulators in
    chunk order.  [results] slots are written by at most one worker
    each; Domain.join publishes them to the caller. *)
-let run_chunk_range ~domains ~root ~chunk ~trials ~lo_chunk ~hi_chunk
-    ~worker_init ~trial ~init ~accum =
+let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
+    ~hi_chunk ~worker_init ~trial ~init ~accum =
   let n = hi_chunk - lo_chunk in
   let results = Array.make (max n 0) init in
+  let instrument = Obs.enabled obs in
+  let t_start = if instrument then Obs.now () else 0.0 in
+  let chunk_times = if instrument then Array.make (max n 0) 0.0 else [||] in
+  let range_trials =
+    if n <= 0 then 0
+    else min trials (hi_chunk * chunk) - (lo_chunk * chunk)
+  in
   let process ctx c =
     let idx = lo_chunk + c in
     let lo = idx * chunk and hi = min trials ((idx + 1) * chunk) in
     let rng = Rng.to_state (Rng.split root idx) in
+    let t0 = if instrument then Obs.now () else 0.0 in
     let acc = ref init in
     for i = lo to hi - 1 do
       acc := accum !acc (trial ctx rng i)
     done;
-    results.(c) <- !acc
+    results.(c) <- !acc;
+    if instrument then chunk_times.(c) <- Obs.now () -. t0;
+    Obs.Progress.step progress
   in
   let workers = min domains n in
+  let claims = Array.make (max workers 1) (-1) in
+  let warmup_s = ref 0.0 in
   if workers <= 1 then begin
     if n > 0 then begin
       let ctx = worker_init () in
       for c = 0 to n - 1 do
         process ctx c
-      done
+      done;
+      claims.(0) <- n
     end
   end
   else begin
@@ -63,101 +118,137 @@ let run_chunk_range ~domains ~root ~chunk ~trials ~lo_chunk ~hi_chunk
        one throwaway trial sequentially first so every lazy the trial
        touches is already forced when the domains start. *)
     let warm_ctx = worker_init () in
+    let t_warm = if instrument then Obs.now () else 0.0 in
     ignore (trial warm_ctx (Rng.to_state (Rng.split root lo_chunk)) 0);
+    if instrument then warmup_s := Obs.now () -. t_warm;
     let cursor = Atomic.make 0 in
-    let work ctx =
+    let work w ctx =
+      let mine = ref 0 in
       let rec loop () =
         let c = Atomic.fetch_and_add cursor 1 in
         if c < n then begin
           process ctx c;
+          incr mine;
           loop ()
         end
       in
-      loop ()
+      loop ();
+      claims.(w) <- !mine
     in
     let spawned =
-      List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> work (worker_init ())))
+      List.init (workers - 1) (fun w ->
+          Domain.spawn (fun () -> work (w + 1) (worker_init ())))
     in
-    work warm_ctx;
+    work 0 warm_ctx;
     List.iter Domain.join spawned
   end;
+  if instrument then
+    record_run obs ~engine:"scalar" ~trials:range_trials ~chunks:(max n 0)
+      ~workers ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s
+      ~chunk_times ~claims;
   results
 
-let map_reduce_ctx ?domains ?chunk ~trials ~seed ~worker_init ~init ~accum
-    ~merge trial =
+let map_reduce_ctx ?domains ?chunk ?obs ~trials ~seed ~worker_init ~init
+    ~accum ~merge trial =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let domains = resolve_domains domains in
   let chunk = resolve_chunk ~trials chunk in
+  let obs = resolve_obs obs in
   let nchunks = (trials + chunk - 1) / chunk in
+  let progress = Obs.Progress.create ~label:"mc" ~total:nchunks in
   let root = Rng.root seed in
   let results =
-    run_chunk_range ~domains ~root ~chunk ~trials ~lo_chunk:0
+    run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk:0
       ~hi_chunk:nchunks ~worker_init ~trial ~init ~accum
   in
+  Obs.Progress.finish progress;
   Array.fold_left merge init results
 
-let map_reduce ?domains ?chunk ~trials ~seed ~init ~accum ~merge trial =
-  map_reduce_ctx ?domains ?chunk ~trials ~seed
+let map_reduce ?domains ?chunk ?obs ~trials ~seed ~init ~accum ~merge trial =
+  map_reduce_ctx ?domains ?chunk ?obs ~trials ~seed
     ~worker_init:(fun () -> ())
     ~init ~accum ~merge
     (fun () rng i -> trial rng i)
 
 let count_accum acc hit = if hit then acc + 1 else acc
 
-let failures_ctx ?domains ?chunk ~trials ~seed ~worker_init trial =
-  map_reduce_ctx ?domains ?chunk ~trials ~seed ~worker_init ~init:0
+let failures_ctx ?domains ?chunk ?obs ~trials ~seed ~worker_init trial =
+  map_reduce_ctx ?domains ?chunk ?obs ~trials ~seed ~worker_init ~init:0
     ~accum:count_accum ~merge:( + ) trial
 
-let failures ?domains ?chunk ~trials ~seed trial =
-  failures_ctx ?domains ?chunk ~trials ~seed
+let failures ?domains ?chunk ?obs ~trials ~seed trial =
+  failures_ctx ?domains ?chunk ?obs ~trials ~seed
     ~worker_init:(fun () -> ())
     (fun () rng i -> trial rng i)
 
 let default_min_trials = 1000
 
-let estimate_ctx ?domains ?chunk ?z ?target_half_width
+let estimate_ctx ?domains ?chunk ?obs ?z ?target_half_width
     ?(min_trials = default_min_trials) ~trials ~seed ~worker_init trial =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   if min_trials < 1 then invalid_arg "Mc.Runner: min_trials must be >= 1";
   let domains = resolve_domains domains in
   let chunk = resolve_chunk ~trials chunk in
+  let obs = resolve_obs obs in
   let nchunks = (trials + chunk - 1) / chunk in
+  let progress = Obs.Progress.create ~label:"mc" ~total:nchunks in
   let root = Rng.root seed in
   let run lo_chunk hi_chunk =
-    run_chunk_range ~domains ~root ~chunk ~trials ~lo_chunk ~hi_chunk
-      ~worker_init ~trial ~init:0 ~accum:count_accum
+    run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
+      ~hi_chunk ~worker_init ~trial ~init:0 ~accum:count_accum
     |> Array.fold_left ( + ) 0
   in
-  match target_half_width with
-  | None ->
-    Stats.estimate ?z ~failures:(run 0 nchunks) ~trials ()
-  | Some target ->
-    (* Geometric batches at fixed chunk boundaries: the stop decision
-       after each batch depends only on aggregate counts, so early
-       stopping is as domain-count-invariant as the counts are.  The
-       floor [min_trials] is never undercut. *)
-    let floor_trials = min trials (max 1 min_trials) in
-    let chunks_for t = min nchunks ((t + chunk - 1) / chunk) in
-    let rec go done_chunks failures =
-      let done_trials = min trials (done_chunks * chunk) in
-      let e = Stats.estimate ?z ~failures ~trials:done_trials () in
-      if done_chunks >= nchunks then e
-      else if done_trials >= floor_trials && Stats.half_width e <= target
-      then e
-      else begin
-        let next_chunks =
-          if done_trials = 0 then chunks_for floor_trials
-          else max (done_chunks + 1) (chunks_for (2 * done_trials))
-        in
-        let next_chunks = min nchunks next_chunks in
-        go next_chunks (failures + run done_chunks next_chunks)
-      end
-    in
-    go 0 0
+  let result =
+    match target_half_width with
+    | None ->
+      Stats.estimate ?z ~failures:(run 0 nchunks) ~trials ()
+    | Some target ->
+      (* Geometric batches at fixed chunk boundaries: the stop decision
+         after each batch depends only on aggregate counts, so early
+         stopping is as domain-count-invariant as the counts are.  The
+         floor [min_trials] is never undercut. *)
+      let floor_trials = min trials (max 1 min_trials) in
+      let chunks_for t = min nchunks ((t + chunk - 1) / chunk) in
+      let trace ~done_chunks ~done_trials e ~stopped =
+        Obs.event obs "mc.early_stop_batch"
+          [ ("done_chunks", Obs.Json.Int done_chunks);
+            ("done_trials", Obs.Json.Int done_trials);
+            ("failures", Obs.Json.Int e.Stats.failures);
+            ("half_width", Obs.Json.Float (Stats.half_width e));
+            ("target", Obs.Json.Float target);
+            ("stopped", Obs.Json.Bool stopped) ]
+      in
+      let rec go done_chunks failures =
+        let done_trials = min trials (done_chunks * chunk) in
+        let e = Stats.estimate ?z ~failures ~trials:done_trials () in
+        if done_chunks >= nchunks then begin
+          if done_chunks > 0 then trace ~done_chunks ~done_trials e ~stopped:true;
+          e
+        end
+        else if done_trials >= floor_trials && Stats.half_width e <= target
+        then begin
+          trace ~done_chunks ~done_trials e ~stopped:true;
+          e
+        end
+        else begin
+          if done_chunks > 0 then
+            trace ~done_chunks ~done_trials e ~stopped:false;
+          let next_chunks =
+            if done_trials = 0 then chunks_for floor_trials
+            else max (done_chunks + 1) (chunks_for (2 * done_trials))
+          in
+          let next_chunks = min nchunks next_chunks in
+          go next_chunks (failures + run done_chunks next_chunks)
+        end
+      in
+      go 0 0
+  in
+  Obs.Progress.finish progress;
+  result
 
-let estimate ?domains ?chunk ?z ?target_half_width ?min_trials ~trials ~seed
-    trial =
-  estimate_ctx ?domains ?chunk ?z ?target_half_width ?min_trials ~trials
+let estimate ?domains ?chunk ?obs ?z ?target_half_width ?min_trials ~trials
+    ~seed trial =
+  estimate_ctx ?domains ?chunk ?obs ?z ?target_half_width ?min_trials ~trials
     ~seed
     ~worker_init:(fun () -> ())
     (fun () rng i -> trial rng i)
@@ -185,54 +276,76 @@ let live_mask count =
   if count >= word_size then -1L
   else Int64.sub (Int64.shift_left 1L count) 1L
 
-let failures_batched ?domains ~trials ~seed ~worker_init batch =
+let failures_batched ?domains ?obs ~trials ~seed ~worker_init batch =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let domains = resolve_domains domains in
+  let obs = resolve_obs obs in
   let nchunks = (trials + word_size - 1) / word_size in
+  let progress = Obs.Progress.create ~label:"mc-batch" ~total:nchunks in
   let root = Rng.root seed in
   let results = Array.make (max nchunks 0) 0 in
+  let instrument = Obs.enabled obs in
+  let t_start = if instrument then Obs.now () else 0.0 in
+  let chunk_times = if instrument then Array.make (max nchunks 0) 0.0 else [||] in
   let process ctx c =
     let base = c * word_size in
     let count = min word_size (trials - base) in
+    let t0 = if instrument then Obs.now () else 0.0 in
     let w = batch ctx (Rng.split root c) ~base ~count in
-    results.(c) <- popcount64 (Int64.logand w (live_mask count))
+    results.(c) <- popcount64 (Int64.logand w (live_mask count));
+    if instrument then chunk_times.(c) <- Obs.now () -. t0;
+    Obs.Progress.step progress
   in
   let workers = min domains nchunks in
+  let claims = Array.make (max workers 1) (-1) in
+  let warmup_s = ref 0.0 in
   if workers <= 1 then begin
     if nchunks > 0 then begin
       let ctx = worker_init () in
       for c = 0 to nchunks - 1 do
         process ctx c
-      done
+      done;
+      claims.(0) <- nchunks
     end
   end
   else begin
     (* Same warmup discipline as the scalar engine: force every lazy
        the batch touches before domains race on it. *)
     let warm_ctx = worker_init () in
+    let t_warm = if instrument then Obs.now () else 0.0 in
     ignore
       (batch warm_ctx (Rng.split root 0) ~base:0
          ~count:(min word_size trials));
+    if instrument then warmup_s := Obs.now () -. t_warm;
     let cursor = Atomic.make 0 in
-    let work ctx =
+    let work w ctx =
+      let mine = ref 0 in
       let rec loop () =
         let c = Atomic.fetch_and_add cursor 1 in
         if c < nchunks then begin
           process ctx c;
+          incr mine;
           loop ()
         end
       in
-      loop ()
+      loop ();
+      claims.(w) <- !mine
     in
     let spawned =
-      List.init (workers - 1) (fun _ ->
-          Domain.spawn (fun () -> work (worker_init ())))
+      List.init (workers - 1) (fun w ->
+          Domain.spawn (fun () -> work (w + 1) (worker_init ())))
     in
-    work warm_ctx;
+    work 0 warm_ctx;
     List.iter Domain.join spawned
   end;
+  if instrument then
+    record_run obs ~engine:"batch" ~trials ~chunks:(max nchunks 0) ~workers
+      ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s ~chunk_times ~claims;
+  Obs.Progress.finish progress;
   Array.fold_left ( + ) 0 results
 
-let estimate_batched ?domains ?z ~trials ~seed ~worker_init batch =
-  let failures = failures_batched ?domains ~trials ~seed ~worker_init batch in
+let estimate_batched ?domains ?obs ?z ~trials ~seed ~worker_init batch =
+  let failures =
+    failures_batched ?domains ?obs ~trials ~seed ~worker_init batch
+  in
   Stats.estimate ?z ~failures ~trials ()

@@ -17,7 +17,24 @@
     the trial forces (code tables, decoders) is already forced before
     domains race on it — concurrent [Lazy.force] is unsafe in OCaml 5.
     Trial functions therefore must tolerate an extra invocation; pure
-    trials (anything without external side effects) trivially do. *)
+    trials (anything without external side effects) trivially do.
+
+    {2 Telemetry}
+
+    Every entry point takes [?obs:Obs.t] (default [Obs.none], whose
+    no-op recording keeps the hot path overhead-free).  A live handle
+    receives, per engine run: the trial/chunk totals ([mc.trials],
+    [mc.chunks], [mc.runs] counters), per-chunk wall times (summary
+    and fixed-bucket histogram [mc.chunk_wall_s], folded in chunk
+    order), chunks claimed per worker ([mc.chunks_per_worker]), the
+    sequential warmup cost ([mc.warmup_s]), aggregate wall time and
+    throughput ([mc.wall_s], [mc.shots_per_s]), an [mc.run] event, and
+    — under early stopping — one [mc.early_stop_batch] event per
+    batch decision.  Instrumentation draws no randomness and gates no
+    control flow, so results are bit-identical with telemetry on or
+    off.  Progress/ETA lines on stderr are opt-in via the
+    [FTQC_PROGRESS] environment variable ({!Obs.Progress}),
+    independent of [?obs]. *)
 
 (** The default domain count ([FTQC_DOMAINS] env override, else
     [Domain.recommended_domain_count ()]). *)
@@ -27,7 +44,7 @@ val default_domains : unit -> int
     ("FTQC_DOMAINS"). *)
 val env_domains : string
 
-(** [map_reduce ?domains ?chunk ~trials ~seed ~init ~accum ~merge
+(** [map_reduce ?domains ?chunk ?obs ~trials ~seed ~init ~accum ~merge
     trial] — run [trial rng i] for i = 0..trials−1, folding each
     chunk with [accum] from [init] and the per-chunk results, in
     chunk order, with [merge].  [merge] must be associative with
@@ -37,6 +54,7 @@ val env_domains : string
 val map_reduce :
   ?domains:int ->
   ?chunk:int ->
+  ?obs:Obs.t ->
   trials:int ->
   seed:int ->
   init:'acc ->
@@ -51,6 +69,7 @@ val map_reduce :
 val map_reduce_ctx :
   ?domains:int ->
   ?chunk:int ->
+  ?obs:Obs.t ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
@@ -60,11 +79,12 @@ val map_reduce_ctx :
   ('ctx -> Random.State.t -> int -> 'a) ->
   'acc
 
-(** [failures ?domains ?chunk ~trials ~seed trial] — count [true]
+(** [failures ?domains ?chunk ?obs ~trials ~seed trial] — count [true]
     trial outcomes. *)
 val failures :
   ?domains:int ->
   ?chunk:int ->
+  ?obs:Obs.t ->
   trials:int ->
   seed:int ->
   (Random.State.t -> int -> bool) ->
@@ -73,6 +93,7 @@ val failures :
 val failures_ctx :
   ?domains:int ->
   ?chunk:int ->
+  ?obs:Obs.t ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
@@ -82,7 +103,7 @@ val failures_ctx :
 (** The default early-stopping trial floor (1000). *)
 val default_min_trials : int
 
-(** [estimate ?domains ?chunk ?z ?target_half_width ?min_trials
+(** [estimate ?domains ?chunk ?obs ?z ?target_half_width ?min_trials
     ~trials ~seed trial] — failure-rate estimate with Wilson score
     interval.  When [target_half_width] is given, trials run in
     geometrically growing batches (at fixed chunk boundaries, so the
@@ -93,6 +114,7 @@ val default_min_trials : int
 val estimate :
   ?domains:int ->
   ?chunk:int ->
+  ?obs:Obs.t ->
   ?z:float ->
   ?target_half_width:float ->
   ?min_trials:int ->
@@ -104,6 +126,7 @@ val estimate :
 val estimate_ctx :
   ?domains:int ->
   ?chunk:int ->
+  ?obs:Obs.t ->
   ?z:float ->
   ?target_half_width:float ->
   ?min_trials:int ->
@@ -132,10 +155,11 @@ val word_size : int
 (** [popcount64 w] — number of set bits of [w]. *)
 val popcount64 : int64 -> int
 
-(** [failures_batched ?domains ~trials ~seed ~worker_init batch] —
-    total failure count over [trials] shots, 64 per chunk. *)
+(** [failures_batched ?domains ?obs ~trials ~seed ~worker_init batch]
+    — total failure count over [trials] shots, 64 per chunk. *)
 val failures_batched :
   ?domains:int ->
+  ?obs:Obs.t ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
@@ -146,6 +170,7 @@ val failures_batched :
     {!Stats.estimate}. *)
 val estimate_batched :
   ?domains:int ->
+  ?obs:Obs.t ->
   ?z:float ->
   trials:int ->
   seed:int ->

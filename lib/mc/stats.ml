@@ -23,7 +23,14 @@ let wilson ?(z = default_z) ~failures ~trials () =
       z /. denom
       *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
     in
-    (Float.max 0.0 (center -. hw), Float.min 1.0 (center +. hw))
+    (* at p = 0 (resp. 1) the Wilson bound is exactly 0 (resp. 1);
+       [center -. hw] only rounds there to within ~1e-19, which would
+       leave the interval not bracketing the rate *)
+    let lo = if failures = 0 then 0.0 else Float.max 0.0 (center -. hw) in
+    let hi =
+      if failures = trials then 1.0 else Float.min 1.0 (center +. hw)
+    in
+    (lo, hi)
   end
 
 let estimate ?z ~failures ~trials () =

@@ -1,0 +1,40 @@
+(** Minimal JSON tree, encoder and parser — no external dependencies.
+
+    The encoder is deterministic (object fields are emitted in the
+    order given, floats print through a shortest-round-trip format)
+    so serialized telemetry can be compared textually.  NaN and
+    infinities encode as [null]; JSON has no representation for
+    them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] — render with 2-space indentation and a trailing
+    newline at top level. *)
+val to_string : t -> string
+
+(** [write ~file v] — {!to_string} to a file (truncating). *)
+val write : file:string -> t -> unit
+
+(** [of_string s] — parse one JSON document (surrounding whitespace
+    allowed).  Numbers without [.]/[e] parse as [Int] when they fit,
+    else [Float]; [\uXXXX] escapes decode to UTF-8. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors} (for validation code; all total) *)
+
+(** [member k v] — field [k] of an object, if any. *)
+val member : string -> t -> t option
+
+(** [to_float_opt v] — [Float] or [Int] as a float. *)
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,125 @@
+type result = {
+  name : string;
+  failures : int;
+  trials_used : int;
+  rate : float;
+  ci_lo : float;
+  ci_hi : float;
+}
+
+type record = {
+  experiment : string;
+  params : (string * Json.t) list;
+  results : result list;
+  telemetry : (string * Json.t) list;
+}
+
+let value name v =
+  { name; failures = 0; trials_used = 0; rate = v; ci_lo = v; ci_hi = v }
+
+type t = { mutable records : record list; mutable n : int }
+
+let schema_version = "ftqc-manifest/1"
+let create () = { records = []; n = 0 }
+
+let add t r =
+  t.records <- r :: t.records;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let result_json r =
+  Json.Obj
+    [ ("name", Json.String r.name);
+      ("failures", Json.Int r.failures);
+      ("trials_used", Json.Int r.trials_used);
+      ("rate", Json.Float r.rate);
+      ("ci_lo", Json.Float r.ci_lo);
+      ("ci_hi", Json.Float r.ci_hi) ]
+
+let record_json r =
+  Json.Obj
+    [ ("experiment", Json.String r.experiment);
+      ("params", Json.Obj r.params);
+      ("results", Json.List (List.map result_json r.results));
+      ("telemetry", Json.Obj r.telemetry) ]
+
+let to_json ?(generator = "ftqc") ?(metrics = Json.Null) t =
+  let base =
+    [ ("schema", Json.String schema_version);
+      ("generator", Json.String generator);
+      ("records", Json.List (List.rev_map record_json t.records)) ]
+  in
+  Json.Obj (match metrics with Json.Null -> base | m -> base @ [ ("metrics", m) ])
+
+let write ?generator ?metrics t ~file =
+  Json.write ~file (to_json ?generator ?metrics t)
+
+(* --------------------------------------------------------- validate *)
+
+let validate j =
+  let ( let* ) = Result.bind in
+  let field ctx name conv v =
+    match Option.bind (Json.member name v) conv with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "%s: missing or ill-typed %S" ctx name)
+  in
+  let* schema = field "document" "schema" Json.to_string_opt j in
+  let* () =
+    if String.length schema >= 14 && String.sub schema 0 14 = "ftqc-manifest/"
+    then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* records = field "document" "records" Json.to_list_opt j in
+  let validate_result ctx r =
+    let* rate = field ctx "rate" Json.to_float_opt r in
+    let* lo = field ctx "ci_lo" Json.to_float_opt r in
+    let* hi = field ctx "ci_hi" Json.to_float_opt r in
+    let* trials_used = field ctx "trials_used" Json.to_int_opt r in
+    let* () =
+      if lo <= rate && rate <= hi then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: interval [%g, %g] does not bracket rate %g" ctx
+             lo hi rate)
+    in
+    if trials_used >= 0 then Ok ()
+    else Error (Printf.sprintf "%s: negative trials_used" ctx)
+  in
+  let validate_record i r =
+    let* experiment =
+      field (Printf.sprintf "record %d" i) "experiment" Json.to_string_opt r
+    in
+    let ctx = Printf.sprintf "record %d (%s)" i experiment in
+    let* _params =
+      match Json.member "params" r with
+      | Some (Json.Obj fields) -> Ok fields
+      | _ -> Error (ctx ^ ": missing params object")
+    in
+    let* telemetry =
+      match Json.member "telemetry" r with
+      | Some (Json.Obj _ as t) -> Ok t
+      | _ -> Error (ctx ^ ": missing telemetry object")
+    in
+    let* _wall = field ctx "wall_s" Json.to_float_opt telemetry in
+    let* results = field ctx "results" Json.to_list_opt r in
+    List.fold_left
+      (fun acc res ->
+        let* () = acc in
+        let name =
+          match Option.bind (Json.member "name" res) Json.to_string_opt with
+          | Some n -> n
+          | None -> "?"
+        in
+        validate_result (Printf.sprintf "%s result %S" ctx name) res)
+      (Ok ()) results
+  in
+  let* () =
+    List.fold_left
+      (fun acc (i, r) ->
+        let* () = acc in
+        validate_record i r)
+      (Ok ())
+      (List.mapi (fun i r -> (i, r)) records)
+  in
+  Ok (List.length records)

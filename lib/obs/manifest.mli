@@ -1,0 +1,64 @@
+(** Machine-readable experiment manifests.
+
+    One schema for every artifact the repo emits: each run appends
+    [record]s (one per experiment / probe), and {!write} serializes
+    the whole accumulator as
+
+    {v
+    { "schema": "ftqc-manifest/1",
+      "generator": "experiments",
+      "records": [
+        { "experiment": "e1",
+          "params": { "trials": 4000, "seed": 2026, "domains": 4 },
+          "results": [
+            { "name": "steane@eps=0.01", "failures": 7, "trials_used": 4000,
+              "rate": 0.00175, "ci_lo": 0.00085, "ci_hi": 0.0036 } ],
+          "telemetry": { "wall_s": 1.27, "shots_per_s": 9448.8,
+                         "domains_used": 4 } } ],
+      "metrics": { ... } }
+    v}
+
+    Analytic (non-Monte-Carlo) values are carried as degenerate
+    results with [ci_lo = rate = ci_hi] and [trials_used = 0], so the
+    invariant "the interval brackets the rate" holds for every record
+    — that is what {!validate} checks. *)
+
+type result = {
+  name : string;
+  failures : int;
+  trials_used : int;
+  rate : float;
+  ci_lo : float;
+  ci_hi : float;
+}
+
+type record = {
+  experiment : string;
+  params : (string * Json.t) list;
+  results : result list;
+  telemetry : (string * Json.t) list;
+}
+
+(** [value name v] — a degenerate result for an analytic quantity. *)
+val value : string -> float -> result
+
+type t
+
+val schema_version : string
+
+val create : unit -> t
+val add : t -> record -> unit
+val length : t -> int
+
+(** [to_json ?generator ?metrics t] — the full document; [metrics]
+    (e.g. [Obs.to_json]) is attached when it is not [Null]. *)
+val to_json : ?generator:string -> ?metrics:Json.t -> t -> Json.t
+
+val write : ?generator:string -> ?metrics:Json.t -> t -> file:string -> unit
+
+(** [validate j] — check that [j] is a manifest document: schema tag,
+    a [records] list, and for every record an [experiment] name,
+    [params]/[telemetry] objects, a numeric [wall_s], and results
+    whose interval brackets the rate ([ci_lo] ≤ [rate] ≤ [ci_hi],
+    [trials_used] ≥ 0).  Returns the record count. *)
+val validate : Json.t -> (int, string) Stdlib.result

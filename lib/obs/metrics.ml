@@ -1,0 +1,177 @@
+type summ = {
+  mutable s_n : int;
+  mutable s_total : float;
+  mutable s_min : float;
+  mutable s_max : float;
+}
+
+type histo = { bounds : float array; counts : int array }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  summaries : (string, summ) Hashtbl.t;
+  histograms : (string, histo) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    summaries = Hashtbl.create 16;
+    histograms = Hashtbl.create 8;
+  }
+
+(* --------------------------------------------------------- counters *)
+
+let add t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counters name (ref n)
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+(* ----------------------------------------------------------- gauges *)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+(* -------------------------------------------------------- summaries *)
+
+let observe t name v =
+  match Hashtbl.find_opt t.summaries name with
+  | Some s ->
+    s.s_n <- s.s_n + 1;
+    s.s_total <- s.s_total +. v;
+    if v < s.s_min then s.s_min <- v;
+    if v > s.s_max then s.s_max <- v
+  | None ->
+    Hashtbl.add t.summaries name { s_n = 1; s_total = v; s_min = v; s_max = v }
+
+let summary t name =
+  Option.map
+    (fun s -> (s.s_n, s.s_total, s.s_min, s.s_max))
+    (Hashtbl.find_opt t.summaries name)
+
+(* ------------------------------------------------------- histograms *)
+
+let time_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0 |]
+
+let bucket_index bounds v =
+  (* first bound >= v; Array.length bounds = overflow *)
+  let m = Array.length bounds in
+  let rec go i = if i >= m || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe_histogram ?(bounds = time_buckets) t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        { bounds = Array.copy bounds;
+          counts = Array.make (Array.length bounds + 1) 0 }
+      in
+      Hashtbl.add t.histograms name h;
+      h
+  in
+  let i = bucket_index h.bounds v in
+  h.counts.(i) <- h.counts.(i) + 1
+
+let histogram t name =
+  Option.map
+    (fun h -> (Array.copy h.bounds, Array.copy h.counts))
+    (Hashtbl.find_opt t.histograms name)
+
+(* ------------------------------------------------------------ merge *)
+
+let merge_into ~into src =
+  Hashtbl.iter (fun name r -> add into name !r) src.counters;
+  Hashtbl.iter (fun name r -> set_gauge into name !r) src.gauges;
+  Hashtbl.iter
+    (fun name s ->
+      match Hashtbl.find_opt into.summaries name with
+      | Some d ->
+        d.s_n <- d.s_n + s.s_n;
+        d.s_total <- d.s_total +. s.s_total;
+        if s.s_min < d.s_min then d.s_min <- s.s_min;
+        if s.s_max > d.s_max then d.s_max <- s.s_max
+      | None ->
+        Hashtbl.add into.summaries name
+          { s_n = s.s_n; s_total = s.s_total; s_min = s.s_min; s_max = s.s_max })
+    src.summaries;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find_opt into.histograms name with
+      | Some d ->
+        if d.bounds <> h.bounds then
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics.merge_into: histogram %S bounds differ"
+               name);
+        Array.iteri (fun i c -> d.counts.(i) <- d.counts.(i) + c) h.counts
+      | None ->
+        Hashtbl.add into.histograms name
+          { bounds = Array.copy h.bounds; counts = Array.copy h.counts })
+    src.histograms
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+(* -------------------------------------------------------- serialize *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json t =
+  let counters =
+    List.map (fun (k, r) -> (k, Json.Int !r)) (sorted_bindings t.counters)
+  in
+  let gauges =
+    List.map (fun (k, r) -> (k, Json.Float !r)) (sorted_bindings t.gauges)
+  in
+  let summaries =
+    List.map
+      (fun (k, s) ->
+        ( k,
+          Json.Obj
+            [ ("count", Json.Int s.s_n);
+              ("total", Json.Float s.s_total);
+              ("min", Json.Float s.s_min);
+              ("max", Json.Float s.s_max);
+              ( "mean",
+                if s.s_n = 0 then Json.Null
+                else Json.Float (s.s_total /. float_of_int s.s_n) ) ] ))
+      (sorted_bindings t.summaries)
+  in
+  let histograms =
+    List.map
+      (fun (k, h) ->
+        ( k,
+          Json.Obj
+            [ ( "bounds",
+                Json.List
+                  (Array.to_list (Array.map (fun b -> Json.Float b) h.bounds))
+              );
+              ( "counts",
+                Json.List
+                  (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)) )
+            ] ))
+      (sorted_bindings t.histograms)
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("summaries", Json.Obj summaries);
+      ("histograms", Json.Obj histograms) ]

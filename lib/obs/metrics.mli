@@ -1,0 +1,69 @@
+(** Counters, gauges, timers and fixed-bucket histograms.
+
+    A [t] is cheap to create and is meant to be owned by one worker at
+    a time (no internal locking): each worker accumulates into its own
+    registry and the per-worker registries are merged afterwards — the
+    same discipline as the per-chunk result slots of [Mc.Runner], so
+    metrics collection can never perturb the simulation it observes.
+
+    {!merge_into} is associative, and commutative for every
+    integer-valued series (counters, histogram bucket counts,
+    observation counts); float totals are summed in merge order, which
+    callers keep deterministic by merging in a fixed (chunk) order. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} (monotone ints) *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+
+(** [counter t name] — current value (0 if never touched). *)
+val counter : t -> string -> int
+
+(** {1 Gauges} (last-written floats; merge keeps the source value) *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float option
+
+(** {1 Timers / summaries} (count, total, min, max of observations) *)
+
+val observe : t -> string -> float -> unit
+
+(** [summary t name] — [(count, total, min, max)] if any observation
+    was recorded. *)
+val summary : t -> string -> (int * float * float * float) option
+
+(** {1 Fixed-bucket histograms} *)
+
+(** Upper bucket bounds for durations in seconds: 1µs … 100s by
+    decades, plus an overflow bucket. *)
+val time_buckets : float array
+
+(** [observe_histogram ?bounds t name v] — count [v] into the first
+    bucket whose upper bound is ≥ [v] (one extra overflow bucket at
+    the end).  [bounds] (default {!time_buckets}, must be strictly
+    increasing) is fixed by the first observation of [name]; later
+    calls must pass a compatible value or omit it. *)
+val observe_histogram : ?bounds:float array -> t -> string -> float -> unit
+
+(** [histogram t name] — [(bounds, counts)] with
+    [Array.length counts = Array.length bounds + 1]. *)
+val histogram : t -> string -> (float array * int array) option
+
+(** {1 Merge / serialize} *)
+
+(** [merge_into ~into src] — fold every series of [src] into [into].
+    Histogram merges require identical bounds ([Invalid_argument]
+    otherwise). *)
+val merge_into : into:t -> t -> unit
+
+(** [merge a b] — functional merge into a fresh registry ([a] first,
+    then [b]; associative). *)
+val merge : t -> t -> t
+
+(** [to_json t] — all series, names sorted, as
+    [{counters; gauges; summaries; histograms}]. *)
+val to_json : t -> Json.t

@@ -1,0 +1,190 @@
+module Json = Json
+module Metrics = Metrics
+module Manifest = Manifest
+
+let now () = Unix.gettimeofday ()
+
+type handle = {
+  metrics : Metrics.t;
+  mutable events : Json.t list; (* newest first *)
+  mutable n_events : int;
+  mutable dropped : int;
+  lock : Mutex.t;
+}
+
+type t = handle option
+
+let none : t = None
+
+let create () =
+  Some
+    { metrics = Metrics.create ();
+      events = [];
+      n_events = 0;
+      dropped = 0;
+      lock = Mutex.create () }
+
+let enabled = Option.is_some
+
+let locked h f =
+  Mutex.lock h.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.lock) f
+
+let incr t name =
+  match t with None -> () | Some h -> locked h (fun () -> Metrics.incr h.metrics name)
+
+let add t name n =
+  match t with
+  | None -> ()
+  | Some h -> locked h (fun () -> Metrics.add h.metrics name n)
+
+let set_gauge t name v =
+  match t with
+  | None -> ()
+  | Some h -> locked h (fun () -> Metrics.set_gauge h.metrics name v)
+
+let observe t name v =
+  match t with
+  | None -> ()
+  | Some h -> locked h (fun () -> Metrics.observe h.metrics name v)
+
+let observe_histogram ?bounds t name v =
+  match t with
+  | None -> ()
+  | Some h -> locked h (fun () -> Metrics.observe_histogram ?bounds h.metrics name v)
+
+let max_events = 10_000
+
+let event t name fields =
+  match t with
+  | None -> ()
+  | Some h ->
+    let e =
+      Json.Obj (("event", Json.String name) :: ("time_s", Json.Float (now ())) :: fields)
+    in
+    locked h (fun () ->
+        if h.n_events >= max_events then begin
+          (* drop the oldest (cheaply: drop the newest would bias
+             traces; instead drop from the tail of the list, which is
+             the oldest since we cons) *)
+          h.events <- e :: List.filteri (fun i _ -> i < max_events - 1) h.events;
+          h.dropped <- h.dropped + 1
+        end
+        else begin
+          h.events <- e :: h.events;
+          h.n_events <- h.n_events + 1
+        end)
+
+let merge_metrics t m =
+  match t with
+  | None -> ()
+  | Some h -> locked h (fun () -> Metrics.merge_into ~into:h.metrics m)
+
+let counter t name =
+  match t with None -> 0 | Some h -> locked h (fun () -> Metrics.counter h.metrics name)
+
+let gauge t name =
+  match t with None -> None | Some h -> locked h (fun () -> Metrics.gauge h.metrics name)
+
+let summary t name =
+  match t with
+  | None -> None
+  | Some h -> locked h (fun () -> Metrics.summary h.metrics name)
+
+let metrics_json t =
+  match t with
+  | None -> Json.Null
+  | Some h -> locked h (fun () -> Metrics.to_json h.metrics)
+
+let events_json t =
+  match t with
+  | None -> Json.Null
+  | Some h ->
+    locked h (fun () ->
+        let evs = Json.List (List.rev h.events) in
+        if h.dropped = 0 then evs
+        else
+          Json.Obj
+            [ ("dropped_oldest", Json.Int h.dropped); ("events", evs) ])
+
+let to_json t =
+  match t with
+  | None -> Json.Null
+  | Some _ ->
+    Json.Obj [ ("metrics", metrics_json t); ("events", events_json t) ]
+
+(* ------------------------------------------------------------ progress *)
+
+module Progress = struct
+  let env_var = "FTQC_PROGRESS"
+
+  let setting () =
+    match Sys.getenv_opt env_var with
+    | None | Some "" | Some "0" | Some "false" | Some "no" -> None
+    | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when v > 0.0 -> Some v
+      | _ -> Some 1.0)
+
+  let enabled () = setting () <> None
+
+  type p = {
+    label : string;
+    total : int;
+    start : float;
+    interval : float;
+    done_ : int Atomic.t;
+    print_lock : Mutex.t;
+    mutable last_print : float;
+  }
+
+  let create ~label ~total =
+    match setting () with
+    | Some interval when total > 0 ->
+      Some
+        { label;
+          total;
+          start = now ();
+          interval;
+          done_ = Atomic.make 0;
+          print_lock = Mutex.create ();
+          last_print = now () }
+    | _ -> None
+
+  let print p d =
+    let t = now () in
+    let elapsed = t -. p.start in
+    let eta =
+      if d <= 0 then Float.infinity
+      else elapsed *. float_of_int (p.total - d) /. float_of_int d
+    in
+    Printf.eprintf "[ftqc] %s: %d/%d chunks (%.0f%%) elapsed %.1fs eta %.1fs\n%!"
+      p.label d p.total
+      (100.0 *. float_of_int d /. float_of_int p.total)
+      elapsed
+      (if Float.is_finite eta then eta else 0.0);
+    p.last_print <- t
+
+  let step po =
+    match po with
+    | None -> ()
+    | Some p ->
+      let d = Atomic.fetch_and_add p.done_ 1 + 1 in
+      if d < p.total && now () -. p.last_print >= p.interval then
+        if Mutex.try_lock p.print_lock then
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock p.print_lock)
+            (fun () ->
+              (* re-check under the lock: another domain may have just
+                 printed *)
+              if now () -. p.last_print >= p.interval then print p d)
+
+  let finish po =
+    match po with
+    | None -> ()
+    | Some p ->
+      Mutex.lock p.print_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock p.print_lock)
+        (fun () -> print p (Atomic.get p.done_))
+end

@@ -1,0 +1,96 @@
+(** Telemetry for the Monte-Carlo stack: a domain-safe metrics handle,
+    a structured-event sink, and an opt-in progress/ETA reporter.
+
+    The central type is the handle {!t}.  {!none} is a no-op handle:
+    every recording function pattern-matches it away first, so code
+    instrumented "behind an [Obs.t]" pays nothing when telemetry is
+    off — and, enabled or not, recording only ever observes (it never
+    draws randomness or changes control flow), so results are
+    bit-identical either way.
+
+    A live handle ({!create}) serializes all mutation behind one
+    mutex, so concurrent OCaml 5 domains may record into it; bulk
+    producers like [Mc.Runner] instead accumulate into per-worker
+    {!Metrics} registries and merge them in chunk order. *)
+
+module Json = Json
+module Metrics = Metrics
+module Manifest = Manifest
+
+(** [now ()] — wall-clock seconds ([Unix.gettimeofday]). *)
+val now : unit -> float
+
+type t
+
+(** The disabled handle: all recording is a no-op. *)
+val none : t
+
+(** A live handle with an empty registry and event log. *)
+val create : unit -> t
+
+val enabled : t -> bool
+
+(** {1 Recording} (all no-ops on {!none}; all thread-safe) *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val set_gauge : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+val observe_histogram : ?bounds:float array -> t -> string -> float -> unit
+
+(** [event t name fields] — append a structured event
+    [{event = name; time_s; ...fields}].  The log is capped (oldest
+    kept) at {!max_events}; a drop counter records any overflow. *)
+val event : t -> string -> (string * Json.t) list -> unit
+
+val max_events : int
+
+(** [merge_metrics t m] — fold a per-worker registry into the handle
+    (under the lock). *)
+val merge_metrics : t -> Metrics.t -> unit
+
+(** {1 Reading} *)
+
+val counter : t -> string -> int
+val gauge : t -> string -> float option
+val summary : t -> string -> (int * float * float * float) option
+
+(** [metrics_json t] — the metric registry as JSON ([Null] on
+    {!none}). *)
+val metrics_json : t -> Json.t
+
+(** [events_json t] — the event log, oldest first ([Null] on
+    {!none}). *)
+val events_json : t -> Json.t
+
+(** [to_json t] — [{metrics; events}] ([Null] on {!none}). *)
+val to_json : t -> Json.t
+
+(** {1 Progress / ETA reporting}
+
+    Opt-in via the [FTQC_PROGRESS] environment variable: unset, empty,
+    ["0"], ["false"] or ["no"] disable it; any other value enables
+    stderr progress lines, and a numeric value sets the minimum
+    interval between lines in seconds (default 1).  The reporter is
+    purely an observer — it reads an atomic step counter and prints;
+    it never touches simulation state. *)
+module Progress : sig
+  type p
+
+  (** The environment variable ("FTQC_PROGRESS"). *)
+  val env_var : string
+
+  val enabled : unit -> bool
+
+  (** [create ~label ~total] — [None] unless enabled and
+      [total > 0].  [total] is the number of steps (chunks). *)
+  val create : label:string -> total:int -> p option
+
+  (** [step p] — one step done; prints a rate-limited
+      ["label: done/total (pct%) elapsed eta"] line.  Safe from any
+      domain. *)
+  val step : p option -> unit
+
+  (** [finish p] — print the final line unconditionally. *)
+  val finish : p option -> unit
+end

@@ -157,10 +157,10 @@ let run ~l ~rounds ~noise ~trials rng =
   done;
   result ~l ~rounds ~noise ~trials !failures
 
-let run_mc ?domains ~l ~rounds ~noise ~trials ~seed () =
+let run_mc ?domains ?obs ~l ~rounds ~noise ~trials ~seed () =
   let st = make_setup ~l ~rounds in
   let failures =
-    Mc.Runner.failures ?domains ~trials ~seed (fun rng _ ->
+    Mc.Runner.failures ?domains ?obs ~trials ~seed (fun rng _ ->
         trial_one st ~rounds ~noise rng)
   in
   result ~l ~rounds ~noise ~trials failures

@@ -38,13 +38,14 @@ val run :
   Random.State.t ->
   result
 
-(** [run_mc ?domains ~l ~rounds ~noise ~trials ~seed ()] — the same
-    experiment on the shared {!Mc.Runner} engine: lattice, space-time
-    graph and check operators are built once and shared read-only
-    across OCaml 5 domains; counts are bit-identical for any
-    [domains]. *)
+(** [run_mc ?domains ?obs ~l ~rounds ~noise ~trials ~seed ()] — the
+    same experiment on the shared {!Mc.Runner} engine: lattice,
+    space-time graph and check operators are built once and shared
+    read-only across OCaml 5 domains; counts are bit-identical for any
+    [domains], with or without [?obs] telemetry. *)
 val run_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   l:int ->
   rounds:int ->
   noise:Ft.Noise.t ->

@@ -32,10 +32,10 @@ let run ?(decoder = `Union_find) ~l ~p ~trials rng =
   done;
   result ~l ~p ~trials !failures
 
-let run_mc ?domains ?(decoder = `Union_find) ~l ~p ~trials ~seed () =
+let run_mc ?domains ?obs ?(decoder = `Union_find) ~l ~p ~trials ~seed () =
   let lat = Lattice.create l in
   let failures =
-    Mc.Runner.failures_ctx ?domains ~trials ~seed
+    Mc.Runner.failures_ctx ?domains ?obs ~trials ~seed
       ~worker_init:(fun () -> Bitvec.create (Lattice.num_qubits lat))
       (fun error rng _ -> trial_one lat ~decoder ~p error rng)
   in
@@ -60,7 +60,7 @@ let winding_selectors lat ~l =
   ( Array.init l (fun y -> Lattice.v_edge lat ~x:0 ~y),
     Array.init l (fun x -> Lattice.h_edge lat ~x ~y:0) )
 
-let run_batch ?domains ?(engine = `Batch) ?(decoder = `Union_find) ~l ~p
+let run_batch ?domains ?obs ?(engine = `Batch) ?(decoder = `Union_find) ~l ~p
     ~trials ~seed () =
   let lat = Lattice.create l in
   let nq = Lattice.num_qubits lat in
@@ -116,7 +116,7 @@ let run_batch ?domains ?(engine = `Batch) ?(decoder = `Union_find) ~l ~p
       !fail
   in
   let failures =
-    Mc.Runner.failures_batched ?domains ~trials ~seed
+    Mc.Runner.failures_batched ?domains ?obs ~trials ~seed
       ~worker_init:(fun () -> (Frame.Plane.create nq, Array.make np 0L))
       batch
   in
@@ -127,12 +127,12 @@ let scan ?(decoder = `Union_find) ~ls ~ps ~trials rng =
     (fun l -> List.map (fun p -> run ~decoder ~l ~p ~trials rng) ps)
     ls
 
-let scan_mc ?domains ?(decoder = `Union_find) ~ls ~ps ~trials ~seed () =
+let scan_mc ?domains ?obs ?(decoder = `Union_find) ~ls ~ps ~trials ~seed () =
   List.concat_map
     (fun l ->
       List.mapi
         (fun i p ->
-          run_mc ?domains ~decoder ~l ~p ~trials
+          run_mc ?domains ?obs ~decoder ~l ~p ~trials
             ~seed:(Mc.Rng.derive seed [ l; i ])
             ())
         ps)

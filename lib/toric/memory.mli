@@ -18,12 +18,14 @@ val run :
   Random.State.t ->
   result
 
-(** [run_mc ?domains ?decoder ~l ~p ~trials ~seed ()] — the same
+(** [run_mc ?domains ?obs ?decoder ~l ~p ~trials ~seed ()] — the same
     experiment on the shared {!Mc.Runner} engine: trials fan out over
     OCaml 5 domains, failure counts are bit-identical for any
-    [domains]. *)
+    [domains].  [?obs] (default {!Obs.none}) forwards to the runner
+    for telemetry without perturbing results; likewise below. *)
 val run_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   ?decoder:[ `Union_find | `Greedy ] ->
   l:int ->
   p:float ->
@@ -43,6 +45,7 @@ val run_mc :
     keep their historical counts. *)
 val run_batch :
   ?domains:int ->
+  ?obs:Obs.t ->
   ?engine:[ `Batch | `Scalar ] ->
   ?decoder:[ `Union_find | `Greedy ] ->
   l:int ->
@@ -65,6 +68,7 @@ val scan :
     seed, so cells are independent of grid shape and order. *)
 val scan_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   ?decoder:[ `Union_find | `Greedy ] ->
   ls:int list ->
   ps:float list ->

@@ -104,10 +104,10 @@ let run ~l ~rounds ~p ~q ~trials rng =
   let failures = run_with_graph lat graph ~rounds ~p ~q ~trials rng in
   result ~l ~rounds ~p ~q ~trials failures
 
-let run_mc ?domains ~l ~rounds ~p ~q ~trials ~seed () =
+let run_mc ?domains ?obs ~l ~rounds ~p ~q ~trials ~seed () =
   let lat, graph = setup ~l ~rounds in
   let failures =
-    Mc.Runner.failures ?domains ~trials ~seed (fun rng _ ->
+    Mc.Runner.failures ?domains ?obs ~trials ~seed (fun rng _ ->
         trial_one lat graph ~rounds ~p ~q rng)
   in
   result ~l ~rounds ~p ~q ~trials failures
@@ -138,7 +138,8 @@ let correction_of_selected graph ~nq selected =
     selected;
   correction
 
-let run_batch ?domains ?(engine = `Batch) ~l ~rounds ~p ~q ~trials ~seed () =
+let run_batch ?domains ?obs ?(engine = `Batch) ~l ~rounds ~p ~q ~trials ~seed
+    () =
   let lat, graph = setup ~l ~rounds in
   let nq = Lattice.num_qubits lat in
   let np = Lattice.num_plaquettes lat in
@@ -234,7 +235,7 @@ let run_batch ?domains ?(engine = `Batch) ~l ~rounds ~p ~q ~trials ~seed () =
       !fail
   in
   let failures =
-    Mc.Runner.failures_batched ?domains ~trials ~seed
+    Mc.Runner.failures_batched ?domains ?obs ~trials ~seed
       ~worker_init:(fun () ->
         {
           plane = Frame.Plane.create nq;
@@ -254,12 +255,12 @@ let scan ~ls ~ps ~rounds ~trials rng =
     (fun l -> List.map (fun p -> run ~l ~rounds ~p ~q:p ~trials rng) ps)
     ls
 
-let scan_mc ?domains ~ls ~ps ~rounds ~trials ~seed () =
+let scan_mc ?domains ?obs ~ls ~ps ~rounds ~trials ~seed () =
   List.concat_map
     (fun l ->
       List.mapi
         (fun i p ->
-          run_mc ?domains ~l ~rounds ~p ~q:p ~trials
+          run_mc ?domains ?obs ~l ~rounds ~p ~q:p ~trials
             ~seed:(Mc.Rng.derive seed [ l; i ])
             ())
         ps)

@@ -33,12 +33,15 @@ val run :
   Random.State.t ->
   result
 
-(** [run_mc ?domains ~l ~rounds ~p ~q ~trials ~seed ()] — the same
-    experiment on the shared {!Mc.Runner} engine: the space-time graph
-    is built once and shared read-only across OCaml 5 domains; failure
-    counts are bit-identical for any [domains]. *)
+(** [run_mc ?domains ?obs ~l ~rounds ~p ~q ~trials ~seed ()] — the
+    same experiment on the shared {!Mc.Runner} engine: the space-time
+    graph is built once and shared read-only across OCaml 5 domains;
+    failure counts are bit-identical for any [domains].  [?obs]
+    (default {!Obs.none}) forwards runner telemetry without perturbing
+    results; likewise below. *)
 val run_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   l:int ->
   rounds:int ->
   p:float ->
@@ -57,6 +60,7 @@ val run_mc :
     noise, so counts are bit-identical; see {!Memory.run_batch}. *)
 val run_batch :
   ?domains:int ->
+  ?obs:Obs.t ->
   ?engine:[ `Batch | `Scalar ] ->
   l:int ->
   rounds:int ->
@@ -81,6 +85,7 @@ val scan :
     seed, so cells are independent of grid shape and order. *)
 val scan_mc :
   ?domains:int ->
+  ?obs:Obs.t ->
   ls:int list ->
   ps:float list ->
   rounds:int ->

@@ -8,4 +8,5 @@ let () =
    @ Test_exact.suites
    @ Test_threshold.suites
    @ Test_toric.suites @ Test_noisy_toric.suites @ Test_anyon.suites
-   @ Test_synthesis.suites @ Test_more_properties.suites @ Test_mc.suites)
+   @ Test_synthesis.suites @ Test_more_properties.suites @ Test_mc.suites
+   @ Test_obs.suites)

@@ -257,24 +257,26 @@ let test_measurement_encoder_rm15 () =
 
 (* --- multicore Monte Carlo --------------------------------------------------- *)
 
-(* Ft.Parmc is a deprecated shim over Mc.Runner; these tests keep the
-   compatibility surface covered, so the alert is silenced from here
-   on. *)
-[@@@alert "-deprecated"]
+(* These ran against the deprecated Ft.Parmc shim; they now exercise
+   Mc.Runner (its replacement) directly, keeping the same behavioural
+   surface covered: reproducibility, domain-count agreement, and the
+   exactly-once trial-index guarantee. *)
 
 let test_parmc_reproducible () =
   let trial rng _ = Random.State.float rng 1.0 < 0.3 in
-  let a = Ft.Parmc.failures ~domains:1 ~trials:5000 ~seed:11 trial in
-  let b = Ft.Parmc.failures ~domains:1 ~trials:5000 ~seed:11 trial in
+  let a = Mc.Runner.failures ~domains:1 ~trials:5000 ~seed:11 trial in
+  let b = Mc.Runner.failures ~domains:1 ~trials:5000 ~seed:11 trial in
   Alcotest.(check int) "same seed, same count" a b;
   check "rate plausible" true (abs (a - 1500) < 150)
 
 let test_parmc_domains_agree_statistically () =
   let trial rng _ = Random.State.float rng 1.0 < 0.5 in
-  let _, _, r1 = Ft.Parmc.estimate ~domains:1 ~trials:20000 ~seed:3 trial in
-  let _, _, r4 = Ft.Parmc.estimate ~domains:4 ~trials:20000 ~seed:3 trial in
-  check "different domain counts agree statistically" true
-    (Float.abs (r1 -. r4) < 0.02)
+  let r d =
+    (Mc.Runner.estimate ~domains:d ~trials:20000 ~seed:3 trial).Mc.Stats.rate
+  in
+  check "different domain counts agree statistically"
+    true
+    (Float.abs (r 1 -. r 4) < 0.02)
 
 let test_parmc_trial_index () =
   (* every trial index is counted exactly once; when running on more
@@ -289,11 +291,11 @@ let test_parmc_trial_index () =
     Mutex.unlock mutex;
     false
   in
-  ignore (Ft.Parmc.failures ~domains:3 ~trials:100 ~seed:1 trial);
+  ignore (Mc.Runner.failures ~domains:3 ~trials:100 ~seed:1 trial);
   check "warmup runs index 0 once more" true (seen.(0) = 2);
   check "other indices exactly once" true
     (Array.for_all (( = ) 1) (Array.sub seen 1 99));
-  ignore (Ft.Parmc.failures ~domains:1 ~trials:100 ~seed:1 trial);
+  ignore (Mc.Runner.failures ~domains:1 ~trials:100 ~seed:1 trial);
   check "single domain: no warmup, each index once more" true
     (seen.(0) = 3 && Array.for_all (( = ) 2) (Array.sub seen 1 99))
 

@@ -132,6 +132,28 @@ let test_wilson_basic () =
   let empty = Mc.Stats.wilson ~failures:0 ~trials:0 () in
   check "no trials: vacuous interval" true (empty = (0.0, 1.0))
 
+let test_estimate_edges () =
+  (* degenerate inputs every experiment driver can produce *)
+  let z = Mc.Stats.estimate ~failures:0 ~trials:1000 () in
+  check "0 failures: rate 0" true (z.rate = 0.0);
+  check "0 failures: interval starts at 0" true
+    (z.ci_low = 0.0 && z.ci_high > 0.0 && z.ci_high < 0.01);
+  let a = Mc.Stats.estimate ~failures:1000 ~trials:1000 () in
+  check "all failures: rate 1" true (a.rate = 1.0);
+  check "all failures: interval ends at 1" true
+    (a.ci_high >= 1.0 -. 1e-12 && a.ci_low < 1.0 && a.ci_low > 0.99);
+  let one_f = Mc.Stats.estimate ~failures:1 ~trials:1 () in
+  let one_s = Mc.Stats.estimate ~failures:0 ~trials:1 () in
+  check "1 trial: rate is 0 or 1" true (one_s.rate = 0.0 && one_f.rate = 1.0);
+  check "1 trial: intervals still bracket and stay in [0,1]" true
+    (one_s.ci_low = 0.0 && one_f.ci_high = 1.0
+    && one_s.ci_high <= 1.0 && one_f.ci_low >= 0.0
+    && one_s.ci_high > 0.5 && one_f.ci_low < 0.5);
+  check "1 trial: interval is wide" true
+    (Mc.Stats.half_width one_f > 0.3);
+  check "stderr nonnegative everywhere" true
+    (z.stderr >= 0.0 && a.stderr >= 0.0 && one_f.stderr >= 0.0)
+
 let test_wilson_coverage () =
   (* a 95% Wilson interval covers the true rate ~95% of the time;
      with 200 independent experiments, coverage below 90% would be a
@@ -207,6 +229,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_domain_invariance ] );
     ( "mc.stats",
       [ Alcotest.test_case "wilson basics" `Quick test_wilson_basic;
+        Alcotest.test_case "estimate edge cases" `Quick test_estimate_edges;
         Alcotest.test_case "wilson coverage" `Quick test_wilson_coverage ] );
     ( "mc.early-stop",
       [ Alcotest.test_case "floor" `Quick test_early_stop_floor;

@@ -1,0 +1,327 @@
+(* Telemetry subsystem: Obs.Json round-trips, Obs.Metrics merge laws
+   (associativity of histogram merge in particular), the no-op-handle
+   contract (instrumented runs give bit-identical counts with
+   telemetry on or off), and Obs.Manifest validation. *)
+
+open Ftqc
+
+let check msg expected actual = Alcotest.(check bool) msg expected actual
+
+(* --- Obs.Json ---------------------------------------------------------- *)
+
+let sample : Obs.Json.t =
+  Obs.Json.(
+    Obj
+      [ ("schema", String "x/1");
+        ("n", Int 42);
+        ("rate", Float 0.125);
+        ("ok", Bool true);
+        ("none", Null);
+        ("xs", List [ Int 1; Int 2; Int 3 ]);
+        ("msg", String "a \"quoted\" line\nand a tab\t.") ])
+
+let test_json_roundtrip () =
+  match Obs.Json.of_string (Obs.Json.to_string sample) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok j ->
+    check "round-trips structurally" true (j = sample);
+    check "member" true (Obs.Json.member "n" j = Some (Obs.Json.Int 42));
+    check "absent member" true (Obs.Json.member "zzz" j = None);
+    check "int as float" true
+      (Obs.Json.(member "n" j |> Option.get |> to_float_opt) = Some 42.0)
+
+let test_json_nonfinite_encodes_null () =
+  check "nan -> null" true
+    (String.trim (Obs.Json.to_string (Obs.Json.Float Float.nan)) = "null");
+  check "inf -> null" true
+    (String.trim (Obs.Json.to_string (Obs.Json.Float Float.infinity)) = "null")
+
+let test_json_parse_errors () =
+  let bad s =
+    match Obs.Json.of_string s with Error _ -> true | Ok _ -> false
+  in
+  check "empty" true (bad "");
+  check "truncated object" true (bad "{\"a\": 1");
+  check "trailing garbage" true (bad "{} {}");
+  check "bare word" true (bad "nope");
+  check "unterminated string" true (bad "\"abc")
+
+let test_json_numbers () =
+  check "plain int parses as Int" true
+    (Obs.Json.of_string "17" = Ok (Obs.Json.Int 17));
+  check "decimal parses as Float" true
+    (Obs.Json.of_string "0.5" = Ok (Obs.Json.Float 0.5));
+  check "exponent parses as Float" true
+    (Obs.Json.of_string "1e3" = Ok (Obs.Json.Float 1000.0));
+  check "negative int" true
+    (Obs.Json.of_string "-4" = Ok (Obs.Json.Int (-4)))
+
+(* --- Obs.Metrics ------------------------------------------------------- *)
+
+let test_metrics_basics () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "c";
+  Obs.Metrics.add m "c" 4;
+  Alcotest.(check int) "counter" 5 (Obs.Metrics.counter m "c");
+  Alcotest.(check int) "untouched counter" 0 (Obs.Metrics.counter m "zzz");
+  Obs.Metrics.set_gauge m "g" 1.0;
+  Obs.Metrics.set_gauge m "g" 2.5;
+  check "gauge keeps last write" true (Obs.Metrics.gauge m "g" = Some 2.5);
+  Obs.Metrics.observe m "t" 3.0;
+  Obs.Metrics.observe m "t" 1.0;
+  check "summary (count,total,min,max)" true
+    (Obs.Metrics.summary m "t" = Some (2, 4.0, 1.0, 3.0))
+
+let test_metrics_histogram_buckets () =
+  let m = Obs.Metrics.create () in
+  let bounds = [| 1.0; 10.0; 100.0 |] in
+  List.iter
+    (Obs.Metrics.observe_histogram ~bounds m "h")
+    [ 0.5; 1.0; 5.0; 50.0; 1e6 ];
+  match Obs.Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some (b, counts) ->
+    check "bounds preserved" true (b = bounds);
+    (* <=1, <=10, <=100, overflow *)
+    check "bucket placement" true (counts = [| 2; 1; 1; 1 |])
+
+let fill seed m =
+  (* a deterministic little workload touching every series kind *)
+  let st = Random.State.make [| seed |] in
+  for _ = 1 to 50 do
+    Obs.Metrics.incr m "events";
+    Obs.Metrics.add m "bytes" (Random.State.int st 100);
+    Obs.Metrics.observe m "dt" (Random.State.float st 2.0);
+    Obs.Metrics.observe_histogram ~bounds:[| 0.5; 1.0 |] m "dt"
+      (Random.State.float st 2.0)
+  done;
+  Obs.Metrics.set_gauge m "last" (float_of_int seed);
+  m
+
+let test_metrics_merge_associative () =
+  let h () = (fill 1 (Obs.Metrics.create ()),
+              fill 2 (Obs.Metrics.create ()),
+              fill 3 (Obs.Metrics.create ())) in
+  let a, b, c = h () in
+  let left = Obs.Metrics.(merge (merge a b) c) in
+  let a, b, c = h () in
+  let right = Obs.Metrics.(merge a (merge b c)) in
+  check "(a+b)+c = a+(b+c) (serialized)" true
+    (Obs.Json.to_string (Obs.Metrics.to_json left)
+    = Obs.Json.to_string (Obs.Metrics.to_json right))
+
+let test_metrics_merge_counts_commute () =
+  let a = fill 4 (Obs.Metrics.create ())
+  and b = fill 5 (Obs.Metrics.create ()) in
+  let ab = Obs.Metrics.merge a b and ba = Obs.Metrics.merge b a in
+  Alcotest.(check int) "counters commute"
+    (Obs.Metrics.counter ab "events")
+    (Obs.Metrics.counter ba "events");
+  Alcotest.(check int) "added counters commute"
+    (Obs.Metrics.counter ab "bytes")
+    (Obs.Metrics.counter ba "bytes");
+  let count m = match Obs.Metrics.summary m "dt" with
+    | Some (n, _, _, _) -> n
+    | None -> 0
+  in
+  Alcotest.(check int) "observation counts commute" (count ab) (count ba);
+  let buckets m = match Obs.Metrics.histogram m "dt" with
+    | Some (_, counts) -> Array.to_list counts
+    | None -> []
+  in
+  Alcotest.(check (list int)) "histogram buckets commute"
+    (buckets ab) (buckets ba)
+
+let test_metrics_histogram_merge_bounds_mismatch () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.observe_histogram ~bounds:[| 1.0 |] a "h" 0.5;
+  Obs.Metrics.observe_histogram ~bounds:[| 2.0 |] b "h" 0.5;
+  check "incompatible bounds rejected" true
+    (match Obs.Metrics.merge a b with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Obs handle -------------------------------------------------------- *)
+
+let test_obs_none_is_noop () =
+  let o = Obs.none in
+  check "disabled" false (Obs.enabled o);
+  Obs.incr o "c";
+  Obs.observe o "t" 1.0;
+  Obs.event o "e" [];
+  Alcotest.(check int) "counter stays 0" 0 (Obs.counter o "c");
+  check "no summary" true (Obs.summary o "t" = None);
+  check "json is Null" true (Obs.to_json o = Obs.Json.Null)
+
+let test_obs_live_records () =
+  let o = Obs.create () in
+  check "enabled" true (Obs.enabled o);
+  Obs.incr o "c";
+  Obs.add o "c" 2;
+  Obs.event o "boot" [ ("k", Obs.Json.Int 1) ];
+  Alcotest.(check int) "counter" 3 (Obs.counter o "c");
+  match Obs.events_json o with
+  | Obs.Json.List [ e ] ->
+    check "event name" true
+      (Obs.Json.member "event" e = Some (Obs.Json.String "boot"));
+    check "event field" true
+      (Obs.Json.member "k" e = Some (Obs.Json.Int 1))
+  | _ -> Alcotest.fail "expected a one-event log"
+
+let bernoulli p rng _ = Random.State.float rng 1.0 < p
+
+let test_obs_does_not_perturb_counts () =
+  (* the whole point of the no-op default: identical failure counts
+     with telemetry off, on, and on-across-domains *)
+  let plain = Mc.Runner.failures ~domains:1 ~trials:4000 ~seed:8 (bernoulli 0.3) in
+  let o = Obs.create () in
+  let observed =
+    Mc.Runner.failures ~domains:1 ~obs:o ~trials:4000 ~seed:8 (bernoulli 0.3)
+  in
+  Alcotest.(check int) "obs on = obs off" plain observed;
+  let o4 = Obs.create () in
+  let par =
+    Mc.Runner.failures ~domains:4 ~obs:o4 ~trials:4000 ~seed:8 (bernoulli 0.3)
+  in
+  Alcotest.(check int) "obs on, 4 domains = obs off" plain par;
+  let e =
+    Mc.Runner.estimate ~domains:3 ~obs:(Obs.create ()) ~trials:4000 ~seed:8
+      (bernoulli 0.3)
+  in
+  Alcotest.(check int) "estimate under obs agrees" plain e.Mc.Stats.failures
+
+let test_obs_runner_populates_metrics () =
+  let o = Obs.create () in
+  let trials = 3000 in
+  ignore (Mc.Runner.failures ~domains:2 ~obs:o ~trials ~seed:5 (bernoulli 0.5));
+  Alcotest.(check int) "one run recorded" 1 (Obs.counter o "mc.runs");
+  Alcotest.(check int) "all trials recorded" trials (Obs.counter o "mc.trials");
+  check "chunks recorded" true (Obs.counter o "mc.chunks" > 0);
+  check "chunk wall times observed" true
+    (match Obs.summary o "mc.chunk_wall_s" with
+    | Some (n, total, mn, mx) -> n > 0 && total >= 0.0 && mn <= mx
+    | None -> false);
+  check "throughput gauge set" true
+    (match Obs.gauge o "mc.shots_per_s" with
+    | Some v -> v > 0.0
+    | None -> false);
+  check "mc.run event logged" true
+    (match Obs.events_json o with
+    | Obs.Json.List evs ->
+      List.exists
+        (fun e -> Obs.Json.member "event" e = Some (Obs.Json.String "mc.run"))
+        evs
+    | _ -> false)
+
+let test_progress_disabled_by_default () =
+  (* the suite runs without FTQC_PROGRESS set, so the reporter stays
+     off; stepping a [None] reporter is a no-op *)
+  if not (Obs.Progress.enabled ()) then begin
+    check "create yields None" true
+      (Obs.Progress.create ~label:"t" ~total:10 = None);
+    Obs.Progress.step None;
+    Obs.Progress.finish None
+  end;
+  check "zero total never reports" true
+    (Obs.Progress.create ~label:"t" ~total:0 = None)
+
+(* --- Obs.Manifest ------------------------------------------------------ *)
+
+let manifest_doc () =
+  let m = Obs.Manifest.create () in
+  let e = Mc.Stats.estimate ~failures:3 ~trials:100 () in
+  Obs.Manifest.add m
+    { experiment = "e-test";
+      params = [ ("trials", Obs.Json.Int 100) ];
+      results =
+        [ { name = "cell";
+            failures = e.failures;
+            trials_used = e.trials;
+            rate = e.rate;
+            ci_lo = e.ci_low;
+            ci_hi = e.ci_high };
+          Obs.Manifest.value "analytic" 0.25 ];
+      telemetry = [ ("wall_s", Obs.Json.Float 0.5) ] };
+  m
+
+let test_manifest_validate_ok () =
+  let m = manifest_doc () in
+  Alcotest.(check int) "length" 1 (Obs.Manifest.length m);
+  match Obs.Manifest.validate (Obs.Manifest.to_json ~generator:"test" m) with
+  | Ok n -> Alcotest.(check int) "one record validates" 1 n
+  | Error e -> Alcotest.failf "expected valid manifest: %s" e
+
+let test_manifest_write_reparses () =
+  let file = Filename.temp_file "ftqc_manifest" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Obs.Manifest.write ~generator:"test" (manifest_doc ()) ~file;
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.of_string s with
+      | Error e -> Alcotest.failf "written manifest unparsable: %s" e
+      | Ok j -> (
+        check "schema tag" true
+          (Obs.Json.member "schema" j
+          = Some (Obs.Json.String Obs.Manifest.schema_version));
+        match Obs.Manifest.validate j with
+        | Ok 1 -> ()
+        | Ok n -> Alcotest.failf "expected 1 record, got %d" n
+        | Error e -> Alcotest.failf "written manifest invalid: %s" e))
+
+let test_manifest_validate_rejects () =
+  let reject msg doc =
+    check msg true
+      (match Obs.Json.of_string doc with
+      | Ok j -> Result.is_error (Obs.Manifest.validate j)
+      | Error _ -> true)
+  in
+  reject "not an object" "[1,2]";
+  reject "wrong schema" {|{"schema": "other/9", "records": []}|};
+  reject "records not a list" {|{"schema": "ftqc-manifest/1", "records": 3}|};
+  reject "rate outside interval"
+    {|{"schema": "ftqc-manifest/1", "records": [
+        {"experiment": "e", "params": {}, "telemetry": {"wall_s": 0.1},
+         "results": [{"name": "x", "failures": 1, "trials_used": 10,
+                      "rate": 0.9, "ci_lo": 0.0, "ci_hi": 0.5}]}]}|};
+  reject "missing wall_s"
+    {|{"schema": "ftqc-manifest/1", "records": [
+        {"experiment": "e", "params": {}, "telemetry": {},
+         "results": []}]}|};
+  check "empty manifest is fine" true
+    (Obs.Json.of_string {|{"schema": "ftqc-manifest/1", "records": []}|}
+     |> Result.get_ok |> Obs.Manifest.validate = Ok 0)
+
+let suites =
+  [ ( "obs.json",
+      [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "non-finite -> null" `Quick
+          test_json_nonfinite_encodes_null;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "number forms" `Quick test_json_numbers ] );
+    ( "obs.metrics",
+      [ Alcotest.test_case "basics" `Quick test_metrics_basics;
+        Alcotest.test_case "histogram buckets" `Quick
+          test_metrics_histogram_buckets;
+        Alcotest.test_case "merge associative" `Quick
+          test_metrics_merge_associative;
+        Alcotest.test_case "integer series commute" `Quick
+          test_metrics_merge_counts_commute;
+        Alcotest.test_case "bounds mismatch rejected" `Quick
+          test_metrics_histogram_merge_bounds_mismatch ] );
+    ( "obs.handle",
+      [ Alcotest.test_case "none is a no-op" `Quick test_obs_none_is_noop;
+        Alcotest.test_case "live handle records" `Quick test_obs_live_records;
+        Alcotest.test_case "does not perturb counts" `Quick
+          test_obs_does_not_perturb_counts;
+        Alcotest.test_case "runner populates metrics" `Quick
+          test_obs_runner_populates_metrics;
+        Alcotest.test_case "progress off by default" `Quick
+          test_progress_disabled_by_default ] );
+    ( "obs.manifest",
+      [ Alcotest.test_case "validate ok" `Quick test_manifest_validate_ok;
+        Alcotest.test_case "write/reparse" `Quick test_manifest_write_reparses;
+        Alcotest.test_case "validate rejects" `Quick
+          test_manifest_validate_rejects ] ) ]
