@@ -478,6 +478,52 @@ let batch_probe () =
   in
   [ steane_entry; toric_entry ]
 
+(* Crash-recovery probe: run a checkpointed campaign, interrupt it at
+   a deterministic chunk (a chaos hook raising the same stop flag a
+   SIGINT would), resume from the checkpoint file, and require the
+   resumed count to equal an uninterrupted reference bit-for-bit. *)
+let resume_probe () =
+  let trials = 50_000 and chunk = 500 and seed = 2027 in
+  (* a cheap Bernoulli body keeps the probe's wall-time small; what is
+     under test is the checkpoint/resume machinery, not a gadget *)
+  let trial rng _ = Random.State.float rng 1.0 < 0.1 in
+  let reference = Mc.Runner.failures ~domains:1 ~chunk ~trials ~seed trial in
+  let file = Filename.temp_file "ftqc_bench_resume" ".json" in
+  Sys.remove file;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Mc.Campaign.reset_stop ();
+      let c =
+        match Mc.Campaign.create ~flush_every:1 file with
+        | Ok c -> c
+        | Error m -> failwith m
+      in
+      (match
+         Mc.Runner.failures ~domains:2 ~chunk ~campaign:c ~trials ~seed
+           ~chaos:(Mc.Chaos.at_chunk ~chunk:20 Mc.Campaign.request_stop)
+           trial
+       with
+      | _ -> ()
+      | exception Mc.Campaign.Interrupted _ -> ());
+      Mc.Campaign.reset_stop ();
+      let c' =
+        match Mc.Campaign.load file with
+        | Ok c -> c
+        | Error m -> failwith m
+      in
+      let resumed =
+        Mc.Runner.failures ~domains:2 ~chunk ~campaign:c' ~trials ~seed trial
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "resume probe: %d trials interrupted+resumed in %.3f s, counts %d/%d \
+         %s\n%!"
+        trials dt reference resumed
+        (if reference = resumed then "agree" else "DISAGREE");
+      (trials, dt, reference, resumed))
+
 (* The artifact uses the same ftqc-manifest/1 schema as
    `experiments --json` (one record per kernel/probe), so one
    validator — bin/manifest_check.ml — covers both CI artifacts. *)
@@ -488,6 +534,8 @@ let run_smoke ~out =
   in
   let agree = f_seq = f_par in
   let batch_entries = batch_probe () in
+  let r_trials, r_dt, r_ref, r_resumed = resume_probe () in
+  let resume_agree = r_ref = r_resumed in
   let m = Obs.Manifest.create () in
   let count name ~failures ~trials =
     let e = Mc.Stats.estimate ~failures ~trials () in
@@ -544,6 +592,17 @@ let run_smoke ~out =
               ("identical_counts", Obs.Json.Bool id) ];
         })
     batch_entries;
+  Obs.Manifest.add m
+    {
+      Obs.Manifest.experiment = "bench:resume-probe";
+      params = [ ("trials", Obs.Json.Int r_trials) ];
+      results =
+        [ count "reference" ~failures:r_ref ~trials:r_trials;
+          count "resumed" ~failures:r_resumed ~trials:r_trials ];
+      telemetry =
+        [ ("wall_s", Obs.Json.Float r_dt);
+          ("identical_counts", Obs.Json.Bool resume_agree) ];
+    };
   Obs.Manifest.write ~generator:"bench-smoke" m ~file:out;
   Printf.printf "wrote %s\n%!" out;
   let disagree =
@@ -553,6 +612,13 @@ let run_smoke ~out =
   if disagree then begin
     Printf.eprintf
       "FATAL: batch/scalar failure counts disagree (see %s)\n" out;
+    exit 1
+  end;
+  if not resume_agree then begin
+    Printf.eprintf
+      "FATAL: interrupted+resumed campaign count differs from the \
+       uninterrupted reference (see %s)\n"
+      out;
     exit 1
   end
 

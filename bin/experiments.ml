@@ -54,8 +54,11 @@ let dused = function Some d -> d | None -> Mc.Runner.default_domains ()
 
 (* [recording ~experiment ~domains_used ~params body] — run [body],
    then flush the results it emitted as one manifest record with
-   wall-clock and throughput telemetry. *)
+   wall-clock and throughput telemetry.  The body runs under a
+   campaign label equal to the experiment name, so checkpoint job
+   keys from different experiments can never collide. *)
 let recording ~experiment ?(domains_used = 1) ?(params = []) body =
+  let body () = Mc.Campaign.with_label experiment body in
   match !manifest with
   | None -> body ()
   | Some m ->
@@ -1178,47 +1181,157 @@ let json_arg =
            to $(docv).  Stdout is unchanged; recording never perturbs the \
            sampled randomness.")
 
-(* Set up the manifest + live obs handle around [run], then write the
-   file.  The note goes to stderr so stdout stays bit-identical to a
-   run without --json. *)
-let with_manifest json run =
-  match json with
-  | None -> run ()
+(* Campaign flags, shared by every subcommand: --checkpoint FILE
+   starts a fresh crash-safe campaign (refusing to clobber an
+   existing checkpoint), --resume FILE reopens one and replays its
+   completed chunks, --chunk-timeout SECS arms the per-chunk
+   watchdog.  With a campaign active, SIGINT/SIGTERM degrade
+   gracefully: workers stop at the next chunk boundary, the
+   checkpoint and a partial manifest (with a resume token) are
+   flushed, and the process exits 130. *)
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "record completed Monte-Carlo chunks in a crash-safe checkpoint \
+           (schema ftqc-checkpoint/1, atomic writes).  Refuses to overwrite \
+           an existing $(docv) — resume it with $(b,--resume) instead.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "resume an interrupted campaign from $(docv): chunks already \
+           recorded are replayed from the checkpoint (bit-identical to an \
+           uninterrupted run, at any --domains), only missing chunks are \
+           computed, and new completions keep being recorded.")
+
+let chunk_timeout_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "chunk-timeout" ] ~docv:"SECS"
+        ~doc:
+          "per-chunk watchdog: a chunk stalled past $(docv) seconds is \
+           abandoned and retried (with backoff) on the same deterministic \
+           RNG stream; 0 disables.")
+
+let session_arg =
+  let combine checkpoint resume chunk_timeout =
+    (checkpoint, resume, chunk_timeout)
+  in
+  Term.(const combine $ checkpoint_arg $ resume_arg $ chunk_timeout_arg)
+
+let die msg =
+  Printf.eprintf "[ftqc] error: %s\n%!" msg;
+  exit 2
+
+(* Set up the campaign + manifest + live obs handle around [run],
+   then write the files.  Notes go to stderr so stdout stays
+   bit-identical to a run without --json.  A graceful interrupt
+   (SIGINT/SIGTERM routed through Mc.Campaign) still writes both
+   artifacts — the manifest gains an "interrupted" marker record
+   carrying the resume token — and exits 130. *)
+let with_session json (checkpoint, resume, chunk_timeout) run =
+  if chunk_timeout < 0.0 then die "--chunk-timeout must be >= 0";
+  Mc.Runner.set_default_chunk_timeout chunk_timeout;
+  let campaign =
+    match (checkpoint, resume) with
+    | Some _, Some _ -> die "--checkpoint and --resume are mutually exclusive"
+    | Some file, None -> (
+      match Mc.Campaign.create file with
+      | Ok c -> Some c
+      | Error msg -> die msg)
+    | None, Some file -> (
+      match Mc.Campaign.load file with
+      | Ok c ->
+        Printf.eprintf "[ftqc] resuming campaign from %s\n%!" file;
+        Some c
+      | Error msg -> die msg)
+    | None, None -> None
+  in
+  if campaign <> None then Mc.Campaign.install_signal_handlers ();
+  Mc.Campaign.set_current campaign;
+  let interrupted = ref None in
+  let body () =
+    try run ()
+    with Mc.Campaign.Interrupted { completed; total; checkpoint } ->
+      interrupted := Some (completed, total, checkpoint)
+  in
+  (match json with
+  | None -> body ()
   | Some file ->
     let m = Obs.Manifest.create () in
     manifest := Some m;
     run_obs := Obs.create ();
-    run ();
+    body ();
+    (match !interrupted with
+    | None -> ()
+    | Some (completed, total, cp) ->
+      (* resume token: a well-formed record (empty results validate
+         vacuously) that tells readers the run is partial and where
+         to pick it up *)
+      Obs.Manifest.add m
+        { Obs.Manifest.experiment = "interrupted";
+          params =
+            (match cp with
+            | Some f -> [ ("resume", Obs.Json.String f) ]
+            | None -> []);
+          results = [];
+          telemetry =
+            [ ("wall_s", Obs.Json.Float 0.0);
+              ("chunks_done", Obs.Json.Int completed);
+              ("chunks_total", Obs.Json.Int total) ] });
     Obs.Manifest.write ~generator:"ftqc-experiments"
       ~metrics:(Obs.to_json !run_obs) m ~file;
     Printf.eprintf "[ftqc] wrote manifest (%d records) to %s\n%!"
-      (Obs.Manifest.length m) file
+      (Obs.Manifest.length m) file);
+  (match campaign with Some c -> Mc.Campaign.flush c | None -> ());
+  Mc.Campaign.set_current None;
+  match !interrupted with
+  | None -> ()
+  | Some (_, _, cp) ->
+    (match cp with
+    | Some f ->
+      Printf.eprintf
+        "[ftqc] interrupted; progress saved — resume with --resume %s\n%!" f
+    | None ->
+      Printf.eprintf
+        "[ftqc] interrupted; no --checkpoint, unfinished progress lost\n%!");
+    exit 130
 
 let simple name doc f =
-  let run json = with_manifest json (fun () -> recording ~experiment:name f) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg)
+  let run json session =
+    with_session json session (fun () -> recording ~experiment:name f)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg $ session_arg)
 
 let with_trials name doc default f =
-  let run trials seed json =
-    with_manifest json (fun () ->
+  let run trials seed json session =
+    with_session json session (fun () ->
         recording ~experiment:name
           ~params:[ p_trials trials; p_seed seed ]
           (fun () -> f ~trials ~seed ()))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ trials_arg default $ seed_arg $ json_arg)
+    Term.(const run $ trials_arg default $ seed_arg $ json_arg $ session_arg)
 
 (* parallel experiments additionally take --domains *)
 let with_trials_par name doc default f =
-  let run domains trials seed json =
+  let run domains trials seed json session =
     let domains = resolve_domains domains in
-    with_manifest json (fun () ->
+    with_session json session (fun () ->
         recording ~experiment:name ~domains_used:(dused domains)
           ~params:[ p_trials trials; p_seed seed ]
           (fun () -> f ?domains ~trials ~seed ()))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ domains_arg $ trials_arg default $ seed_arg $ json_arg)
+    Term.(
+      const run $ domains_arg $ trials_arg default $ seed_arg $ json_arg
+      $ session_arg)
 
 (* batch-capable experiments additionally take --engine *)
 let engine_arg =
@@ -1231,9 +1344,9 @@ let engine_arg =
            $(b,batch) (bit-sliced, 64 shots per word)")
 
 let with_trials_par_engine name doc default f =
-  let run domains trials seed engine json =
+  let run domains trials seed engine json session =
     let domains = resolve_domains domains in
-    with_manifest json (fun () ->
+    with_session json session (fun () ->
         recording ~experiment:name ~domains_used:(dused domains)
           ~params:[ p_trials trials; p_seed seed; p_engine engine ]
           (fun () -> f ?domains ?engine:(Some engine) ~trials ~seed ()))
@@ -1241,18 +1354,19 @@ let with_trials_par_engine name doc default f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ domains_arg $ trials_arg default $ seed_arg $ engine_arg
-      $ json_arg)
+      $ json_arg $ session_arg)
 
 let with_seed name doc f =
-  let run seed json =
-    with_manifest json (fun () ->
+  let run seed json session =
+    with_session json session (fun () ->
         recording ~experiment:name ~params:[ p_seed seed ] (fun () ->
             f ~seed ()))
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg $ json_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ seed_arg $ json_arg $ session_arg)
 
 let all_cmd =
-  let run domains trials seed json =
+  let run domains trials seed json session =
     let domains = resolve_domains domains in
     let du = dused domains in
     (* [par] records a --domains experiment, [seq] a sequential one;
@@ -1270,7 +1384,7 @@ let all_cmd =
       in
       recording ~experiment:name ~params body
     in
-    with_manifest json (fun () ->
+    with_session json session (fun () ->
         par "e1" ~trials (fun () -> e1 ?domains ~trials ~seed ());
         par "e2" ~trials (fun () -> e2 ?domains ~trials ~seed ());
         par "e3" ~trials (fun () -> e3 ?domains ~trials ~seed ());
@@ -1311,7 +1425,9 @@ let all_cmd =
         par "e24" ~trials:400 (fun () -> e24 ?domains ~trials:400 ~seed ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"run every experiment")
-    Term.(const run $ domains_arg $ trials_arg 4000 $ seed_arg $ json_arg)
+    Term.(
+      const run $ domains_arg $ trials_arg 4000 $ seed_arg $ json_arg
+      $ session_arg)
 
 let () =
   let cmds =

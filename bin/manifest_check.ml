@@ -1,36 +1,125 @@
-(* Validate ftqc-manifest/1 documents (CI gate: the manifest written
-   by `experiments --json` and the bench-smoke artifact must parse and
-   every result's Wilson interval must bracket its rate).  Exits 0
-   when every file validates, 1 otherwise. *)
+(* Validate ftqc-manifest/1 and ftqc-checkpoint/1 documents (CI gate:
+   the manifest written by `experiments --json`, the bench-smoke
+   artifact and any campaign checkpoint must parse; manifests must
+   bracket every rate with its Wilson interval, checkpoints must have
+   in-range, duplicate-free chunk ledgers).  Exits 0 when every file
+   validates, 1 otherwise.
+
+   With --diff-results REF OTHER, additionally compare the two
+   manifests' result payloads (experiment names, per-result failures,
+   trials, rate and CI bounds) for exact equality — the crash-recovery
+   CI job uses this to assert that an interrupted-and-resumed campaign
+   reproduced the uninterrupted reference bit-for-bit.  Telemetry
+   (wall times, throughput) is excluded: it legitimately differs. *)
+
+module Json = Ftqc.Obs.Json
+
+let schema_of j =
+  match Option.bind (Json.member "schema" j) Json.to_string_opt with
+  | Some s when String.length s >= 16 && String.sub s 0 16 = "ftqc-checkpoint/"
+    ->
+    `Checkpoint
+  | _ -> `Manifest
 
 let check file =
-  match
-    let ic = open_in_bin file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    Ftqc.Obs.Json.of_string s
-  with
-  | exception Sys_error msg ->
-    Printf.eprintf "%s: %s\n" file msg;
-    false
+  match Json.read_file file with
   | Error msg ->
-    Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+    Printf.eprintf "%s\n" msg;
     false
   | Ok j -> (
-    match Ftqc.Obs.Manifest.validate j with
-    | Ok n ->
-      Printf.printf "%s: ok (%d records)\n" file n;
+    match schema_of j with
+    | `Checkpoint -> (
+      match Ftqc.Mc.Campaign.validate j with
+      | Ok n ->
+        Printf.printf "%s: ok (checkpoint, %d jobs)\n" file n;
+        true
+      | Error msg ->
+        Printf.eprintf "%s: invalid checkpoint: %s\n" file msg;
+        false)
+    | `Manifest -> (
+      match Ftqc.Obs.Manifest.validate j with
+      | Ok n ->
+        Printf.printf "%s: ok (%d records)\n" file n;
+        true
+      | Error msg ->
+        Printf.eprintf "%s: invalid manifest: %s\n" file msg;
+        false))
+
+(* ------------------------------------------------------ result diff *)
+
+(* The comparable payload of one manifest: every record's experiment
+   name with its results' counting fields, in order. *)
+let payload j =
+  let records =
+    match Option.bind (Json.member "records" j) Json.to_list_opt with
+    | Some l -> l
+    | None -> []
+  in
+  List.map
+    (fun r ->
+      let str name =
+        Option.value ~default:"?"
+          (Option.bind (Json.member name r) Json.to_string_opt)
+      in
+      let results =
+        match Option.bind (Json.member "results" r) Json.to_list_opt with
+        | Some l -> l
+        | None -> []
+      in
+      ( str "experiment",
+        List.map
+          (fun res ->
+            let get name =
+              match Json.member name res with Some v -> v | None -> Json.Null
+            in
+            ( get "name", get "failures", get "trials_used", get "rate",
+              get "ci_lo", get "ci_hi" ))
+          results ))
+    records
+
+let diff_results ref_file other_file =
+  match (Json.read_file ref_file, Json.read_file other_file) with
+  | Error msg, _ | _, Error msg ->
+    Printf.eprintf "%s\n" msg;
+    false
+  | Ok a, Ok b ->
+    let pa = payload a and pb = payload b in
+    if pa = pb then begin
+      Printf.printf "%s == %s: results identical (%d records)\n" ref_file
+        other_file (List.length pa);
       true
-    | Error msg ->
-      Printf.eprintf "%s: invalid manifest: %s\n" file msg;
-      false)
+    end
+    else begin
+      (* locate the first divergence for the diagnostic *)
+      let rec first_diff i xs ys =
+        match (xs, ys) with
+        | [], [] -> Printf.sprintf "record %d differs" i
+        | x :: xs', y :: ys' ->
+          if x = y then first_diff (i + 1) xs' ys'
+          else
+            Printf.sprintf "record %d (%s vs %s) differs" i (fst x) (fst y)
+        | _ ->
+          Printf.sprintf "record counts differ (%d vs %d)" (List.length pa)
+            (List.length pb)
+      in
+      Printf.eprintf "%s != %s: %s\n" ref_file other_file
+        (first_diff 0 pa pb);
+      false
+    end
+
+let usage () =
+  prerr_endline
+    "usage: manifest_check FILE...\n\
+    \       manifest_check --diff-results REF OTHER [FILE...]";
+  exit 2
 
 let () =
   match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as files) ->
+  | _ :: "--diff-results" :: ref_file :: other_file :: files ->
+    let ok_diff = diff_results ref_file other_file in
+    let ok_files = List.for_all check (ref_file :: other_file :: files) in
+    exit (if ok_diff && ok_files then 0 else 1)
+  | _ :: (_ :: _ as files) when not (List.mem "--diff-results" files) ->
     let ok = List.for_all check files in
     exit (if ok then 0 else 1)
-  | _ ->
-    prerr_endline "usage: manifest_check FILE...";
-    exit 2
+  | _ -> usage ()

@@ -1,15 +1,35 @@
 module Code = Codes.Stabilizer_code
 
+(* A fault location is one execution of a noisy primitive; its kind
+   determines which faults the §6 model can deposit there.  Locations
+   are numbered (and the hook consulted) only while a hook is
+   installed, so the Monte-Carlo hot path pays one [None] match per
+   primitive and nothing else. *)
+type loc_kind =
+  | Gate1 of int
+  | Gate2 of int * int
+  | Prep of int
+  | Meas of int
+  | Store of int
+
+type fault =
+  | Pauli1 of Pauli.letter
+  | Pauli2 of Pauli.letter * Pauli.letter
+  | Flip
+
 type t = {
   tab : Tableau.t;
   noise : Noise.t;
   rng : Mc.Rng.t;
   mutable gates : int;
   mutable faults : int;
+  mutable locs : int;
+  mutable hook : (int -> loc_kind -> fault option) option;
 }
 
 let create_rng ~n ~noise rng =
-  { tab = Tableau.create n; noise; rng; gates = 0; faults = 0 }
+  { tab = Tableau.create n; noise; rng; gates = 0; faults = 0; locs = 0;
+    hook = None }
 
 (* Compatibility wrapper: the wrapped state is shared, not copied, so
    draws interleave exactly as before the Rng unification. *)
@@ -23,6 +43,68 @@ let gate_count sim = sim.gates
 let fault_count sim = sim.faults
 
 let letters = [| Pauli.X; Pauli.Y; Pauli.Z |]
+
+(* ------------------------------------------ fault-location machinery *)
+
+let set_location_hook sim hook =
+  sim.hook <- hook;
+  sim.locs <- 0
+
+let locations sim = sim.locs
+
+(* Consult the hook at one fault site.  The injected fault draws no
+   randomness and the noise probabilities are unchanged on [None], so
+   the execution prefix before an injected fault is identical to the
+   unhooked run with the same seed — exactly what deterministic
+   fault-path enumeration (Van Rynbach et al., 1212.0845) needs. *)
+let site sim kind =
+  match sim.hook with
+  | None -> None
+  | Some f ->
+    let loc = sim.locs in
+    sim.locs <- sim.locs + 1;
+    f loc kind
+
+let faults_of_kind = function
+  | Gate1 _ | Store _ -> [ Pauli1 Pauli.X; Pauli1 Pauli.Y; Pauli1 Pauli.Z ]
+  | Gate2 _ ->
+    (* the 15 nontrivial two-qubit Paulis *)
+    let ls = [ Pauli.I; Pauli.X; Pauli.Y; Pauli.Z ] in
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a = Pauli.I && b = Pauli.I then None else Some (Pauli2 (a, b)))
+          ls)
+      ls
+  | Prep _ | Meas _ -> [ Flip ]
+
+let bad_fault kind =
+  let k =
+    match kind with
+    | Gate1 _ -> "Gate1"
+    | Gate2 _ -> "Gate2"
+    | Prep _ -> "Prep"
+    | Meas _ -> "Meas"
+    | Store _ -> "Store"
+  in
+  invalid_arg (Printf.sprintf "Sim: fault shape invalid at a %s location" k)
+
+let inject_pauli1 sim kind q = function
+  | Pauli1 l when l <> Pauli.I ->
+    sim.faults <- sim.faults + 1;
+    Tableau.apply_pauli sim.tab (Pauli.single (num_qubits sim) q l)
+  | _ -> bad_fault kind
+
+let inject_pauli2 sim kind a b = function
+  | Pauli2 (la, lb) when not (la = Pauli.I && lb = Pauli.I) ->
+    sim.faults <- sim.faults + 1;
+    let n = num_qubits sim in
+    let p1 = if la = Pauli.I then Pauli.identity n else Pauli.single n a la in
+    let p2 = if lb = Pauli.I then Pauli.identity n else Pauli.single n b lb in
+    Tableau.apply_pauli sim.tab (Pauli.mul p1 p2)
+  | _ -> bad_fault kind
+
+(* ------------------------------------------------- noisy primitives *)
 
 let fault1 sim q p =
   if p > 0.0 && Mc.Rng.float sim.rng 1.0 < p then begin
@@ -50,7 +132,9 @@ let fault2 sim a b p =
 let gate1 f sim q =
   sim.gates <- sim.gates + 1;
   f sim.tab q;
-  fault1 sim q sim.noise.Noise.gate1
+  match site sim (Gate1 q) with
+  | None -> fault1 sim q sim.noise.Noise.gate1
+  | Some fault -> inject_pauli1 sim (Gate1 q) q fault
 
 let h = gate1 Tableau.h
 let x = gate1 Tableau.x
@@ -62,7 +146,9 @@ let sdg = gate1 Tableau.sdg
 let gate2 f sim a b =
   sim.gates <- sim.gates + 1;
   f sim.tab a b;
-  fault2 sim a b sim.noise.Noise.gate2
+  match site sim (Gate2 (a, b)) with
+  | None -> fault2 sim a b sim.noise.Noise.gate2
+  | Some fault -> inject_pauli2 sim (Gate2 (a, b)) a b fault
 
 let cnot = gate2 Tableau.cnot
 let cz = gate2 Tableau.cz
@@ -102,44 +188,87 @@ let flip_with sim p outcome =
   end
   else outcome
 
+let meas_site sim q true_outcome =
+  match site sim (Meas q) with
+  | None -> flip_with sim sim.noise.Noise.meas true_outcome
+  | Some Flip ->
+    sim.faults <- sim.faults + 1;
+    not true_outcome
+  | Some _ -> bad_fault (Meas q)
+
 let measure sim q =
   sim.gates <- sim.gates + 1;
   let true_outcome = Tableau.measure_rng sim.tab sim.rng q in
-  flip_with sim sim.noise.Noise.meas true_outcome
+  meas_site sim q true_outcome
 
 let measure_x sim q =
   sim.gates <- sim.gates + 1;
   let true_outcome = Tableau.measure_x_rng sim.tab sim.rng q in
-  flip_with sim sim.noise.Noise.meas true_outcome
+  meas_site sim q true_outcome
+
+(* A prep fault deposits the orthogonal state (§6): the site's [Flip]
+   applies the flip appropriate to the prepared basis. *)
+let prep_site sim q ~flip =
+  match site sim (Prep q) with
+  | None ->
+    if
+      sim.noise.Noise.prep > 0.0
+      && Mc.Rng.float sim.rng 1.0 < sim.noise.Noise.prep
+    then begin
+      sim.faults <- sim.faults + 1;
+      flip sim.tab q
+    end
+  | Some Flip ->
+    sim.faults <- sim.faults + 1;
+    flip sim.tab q
+  | Some _ -> bad_fault (Prep q)
 
 let prepare_zero sim q =
   sim.gates <- sim.gates + 1;
   Tableau.reset_rng sim.tab sim.rng q;
-  if
-    sim.noise.Noise.prep > 0.0
-    && Mc.Rng.float sim.rng 1.0 < sim.noise.Noise.prep
-  then begin
-    sim.faults <- sim.faults + 1;
-    Tableau.x sim.tab q
-  end
+  prep_site sim q ~flip:Tableau.x
 
 let prepare_plus sim q =
   sim.gates <- sim.gates + 1;
   Tableau.reset_rng sim.tab sim.rng q;
   Tableau.h sim.tab q;
-  if
-    sim.noise.Noise.prep > 0.0
-    && Mc.Rng.float sim.rng 1.0 < sim.noise.Noise.prep
-  then begin
-    sim.faults <- sim.faults + 1;
-    Tableau.z sim.tab q
-  end
+  prep_site sim q ~flip:Tableau.z
 
-let tick sim qs = List.iter (fun q -> fault1 sim q sim.noise.Noise.store) qs
+let tick sim qs =
+  List.iter
+    (fun q ->
+      match site sim (Store q) with
+      | None -> fault1 sim q sim.noise.Noise.store
+      | Some fault -> inject_pauli1 sim (Store q) q fault)
+    qs
 
 let inject sim p =
   sim.faults <- sim.faults + 1;
   Tableau.apply_pauli sim.tab p
+
+(* [record_locations sim f] — dry-run [f] with a recording hook and
+   return its result plus every location visited, in execution order.
+   Valid as an enumeration of the hooked run's locations because the
+   hook draws no randomness: with the same seed, a later injection run
+   visits the same locations (up to the injected fault, after which
+   adaptive gadget branches may diverge — which is fine, the fault is
+   already placed). *)
+let record_locations sim f =
+  let acc = ref [] in
+  set_location_hook sim
+    (Some
+       (fun _ k ->
+         acc := k :: !acc;
+         None));
+  Fun.protect
+    ~finally:(fun () -> set_location_hook sim None)
+    (fun () ->
+      let r = f () in
+      (r, Array.of_list (List.rev !acc)))
+
+let inject_at sim ~location fault =
+  set_location_hook sim
+    (Some (fun loc _ -> if loc = location then Some fault else None))
 
 let ideal_logical measure_op sim (code : Code.t) ~offset =
   let n = num_qubits sim in

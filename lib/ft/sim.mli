@@ -83,6 +83,61 @@ val tick : t -> int list -> unit
     injection tests). *)
 val inject : t -> Pauli.t -> unit
 
+(** {1 Deterministic fault locations}
+
+    Every execution of a noisy primitive is a {e fault location} in
+    the §5–§6 sense; a hook installed with {!set_location_hook} is
+    consulted at each one, in execution order, and may deposit a
+    specific fault there.  This is the machinery for exhaustive
+    single-fault enumeration (the paper's §5 fault-tolerance
+    criterion; cf. fault-path counting, Van Rynbach et al.,
+    1212.0845): {!record_locations} dry-runs a gadget to list its
+    locations, then one fresh run per (location, fault) pair injects
+    exactly that fault via {!inject_at}.  The hook draws no
+    randomness and, when it returns [None], leaves the noise model
+    untouched — so with the same seed, the prefix before an injected
+    fault is identical to the clean run. *)
+
+type loc_kind =
+  | Gate1 of int  (** after a one-qubit gate on [q] *)
+  | Gate2 of int * int  (** after a two-qubit gate on [(a, b)] *)
+  | Prep of int  (** after a fresh-state preparation of [q] *)
+  | Meas of int  (** on the reported outcome of measuring [q] *)
+  | Store of int  (** one storage step on a resting [q] *)
+
+type fault =
+  | Pauli1 of Pauli.letter  (** X/Y/Z at a [Gate1]/[Store] location *)
+  | Pauli2 of Pauli.letter * Pauli.letter
+      (** one of the 15 nontrivial pairs at a [Gate2] location *)
+  | Flip
+      (** orthogonal preparation at [Prep]; outcome flip at [Meas] *)
+
+(** [faults_of_kind k] — every fault the §6 model can deposit at a
+    location of kind [k] (3 for [Gate1]/[Store], 15 for [Gate2], 1
+    for [Prep]/[Meas]). *)
+val faults_of_kind : loc_kind -> fault list
+
+(** [set_location_hook sim h] — install ([Some]) or remove ([None])
+    the location hook and reset the location counter.  With a hook
+    installed, each noisy-primitive execution calls [h loc kind]; a
+    [Some fault] return injects that fault (which must match the
+    location kind, else [Invalid_argument]) {e instead of} the random
+    noise-model draw at that site. *)
+val set_location_hook : t -> (int -> loc_kind -> fault option) option -> unit
+
+(** [locations sim] — locations visited since the hook was
+    installed. *)
+val locations : t -> int
+
+(** [record_locations sim f] — run [f ()] under a purely recording
+    hook; returns [f]'s result and the visited locations in execution
+    order.  The previous hook is restored (removed) after. *)
+val record_locations : t -> (unit -> 'a) -> 'a * loc_kind array
+
+(** [inject_at sim ~location fault] — install a hook that deposits
+    [fault] at location index [location] and nothing anywhere else. *)
+val inject_at : t -> location:int -> fault -> unit
+
 (** [ideal_measure_logical_z sim code ~offset] /
     [ideal_measure_logical_x sim code ~offset] — noise-free logical
     readout of a code block living at [offset]: runs an ideal recovery

@@ -1,0 +1,68 @@
+(* Chaos-injection hooks for the Monte-Carlo supervision layer.
+
+   A [t] is a bundle of callbacks the runner invokes at chunk and
+   trial boundaries.  Production code always passes [none] (every
+   callback a no-op, recognized physically so the hot path never pays
+   a closure call per trial); tests thread custom hooks through the
+   [?chaos] argument of [Mc.Runner] entry points to simulate worker
+   death, stalls past the watchdog timeout, and trial-level
+   exceptions — and then assert that supervision recovers with
+   bit-identical counts or fails with a clean diagnostic. *)
+
+exception Killed of string
+
+type t = {
+  on_chunk_start : chunk:int -> attempt:int -> unit;
+      (* before the chunk's RNG stream is rebuilt; may raise or sleep *)
+  on_trial : chunk:int -> attempt:int -> trial:int -> unit;
+      (* before each trial of a supervised chunk; may raise or sleep *)
+}
+
+let nop_chunk ~chunk:_ ~attempt:_ = ()
+let nop_trial ~chunk:_ ~attempt:_ ~trial:_ = ()
+let none = { on_chunk_start = nop_chunk; on_trial = nop_trial }
+let is_none t = t == none
+
+let make ?(on_chunk_start = nop_chunk) ?(on_trial = nop_trial) () =
+  { on_chunk_start; on_trial }
+
+let kill_chunk ?(once = true) ~chunk () =
+  make
+    ~on_chunk_start:(fun ~chunk:c ~attempt ->
+      if c = chunk && ((not once) || attempt = 0) then
+        raise (Killed (Printf.sprintf "chaos: killed chunk %d (attempt %d)" c attempt)))
+    ()
+
+let fail_trial ?(once = true) ~chunk ~trial () =
+  make
+    ~on_trial:(fun ~chunk:c ~attempt ~trial:i ->
+      if c = chunk && i = trial && ((not once) || attempt = 0) then
+        failwith
+          (Printf.sprintf "chaos: trial %d of chunk %d threw (attempt %d)" i c
+             attempt))
+    ()
+
+let stall_chunk ?(once = true) ~chunk ~seconds () =
+  make
+    ~on_chunk_start:(fun ~chunk:c ~attempt ->
+      if c = chunk && ((not once) || attempt = 0) then Unix.sleepf seconds)
+    ()
+
+(* [at_chunk ~chunk f] — run [f ()] once, when [chunk] is first
+   attempted (e.g. [Campaign.request_stop] to simulate an operator
+   interrupt at a deterministic point). *)
+let at_chunk ~chunk f =
+  let fired = Atomic.make false in
+  make
+    ~on_chunk_start:(fun ~chunk:c ~attempt:_ ->
+      if c = chunk && not (Atomic.exchange fired true) then f ())
+    ()
+
+(* [all l] — fan one runner hook out to every bundle in [l]. *)
+let all l =
+  make
+    ~on_chunk_start:(fun ~chunk ~attempt ->
+      List.iter (fun c -> c.on_chunk_start ~chunk ~attempt) l)
+    ~on_trial:(fun ~chunk ~attempt ~trial ->
+      List.iter (fun c -> c.on_trial ~chunk ~attempt ~trial) l)
+    ()

@@ -1,0 +1,61 @@
+(** Chaos-injection hooks for testing the Monte-Carlo supervision
+    layer.
+
+    A {!t} bundles callbacks that {!Runner} invokes at chunk and trial
+    boundaries of a supervised run.  Tests pass hooks through the
+    [?chaos] argument of runner entry points to simulate worker death
+    ({!kill_chunk}), stalls past the watchdog timeout ({!stall_chunk}),
+    trial-level exceptions ({!fail_trial}) and operator interrupts
+    ({!at_chunk} + [Campaign.request_stop]), then assert that
+    supervision recovers with bit-identical counts or fails with a
+    clean diagnostic.  Production code leaves the argument at its
+    default {!none}, which the runner recognizes physically so the hot
+    path pays nothing. *)
+
+(** Raised by {!kill_chunk} to simulate a worker dying mid-campaign.
+    Retryable: supervision re-derives the chunk's RNG stream and runs
+    it again, so a transient kill cannot change any count. *)
+exception Killed of string
+
+type t = {
+  on_chunk_start : chunk:int -> attempt:int -> unit;
+  on_trial : chunk:int -> attempt:int -> trial:int -> unit;
+}
+
+(** The no-op bundle (the runner skips all hook plumbing when it
+    receives this exact value). *)
+val none : t
+
+(** [is_none c] — physical equality with {!none}. *)
+val is_none : t -> bool
+
+(** [make ?on_chunk_start ?on_trial ()] — custom hooks; omitted
+    callbacks default to no-ops.  [chunk] is the absolute chunk
+    index, [attempt] counts retries from 0, [trial] is the absolute
+    trial index. *)
+val make :
+  ?on_chunk_start:(chunk:int -> attempt:int -> unit) ->
+  ?on_trial:(chunk:int -> attempt:int -> trial:int -> unit) ->
+  unit ->
+  t
+
+(** [kill_chunk ?once ~chunk ()] — raise {!Killed} when [chunk] starts
+    (only on attempt 0 if [once], the default — so a retry succeeds). *)
+val kill_chunk : ?once:bool -> chunk:int -> unit -> t
+
+(** [fail_trial ?once ~chunk ~trial ()] — raise [Failure] just before
+    the given trial of the given chunk (attempt 0 only if [once]). *)
+val fail_trial : ?once:bool -> chunk:int -> trial:int -> unit -> t
+
+(** [stall_chunk ?once ~chunk ~seconds ()] — sleep at chunk start,
+    long enough to trip a watchdog timeout (attempt 0 only if
+    [once]). *)
+val stall_chunk : ?once:bool -> chunk:int -> seconds:float -> unit -> t
+
+(** [at_chunk ~chunk f] — run [f ()] exactly once, the first time
+    [chunk] is attempted (e.g. [Campaign.request_stop] to simulate a
+    SIGINT landing at a deterministic point). *)
+val at_chunk : chunk:int -> (unit -> unit) -> t
+
+(** [all l] — fan each hook out to every bundle in [l], in order. *)
+val all : t list -> t

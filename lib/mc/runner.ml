@@ -9,6 +9,12 @@
    steal the next unclaimed chunk), so scheduling is dynamic but the
    aggregate is bit-identical for any [domains].
 
+   Supervision rides the same contract: a retried chunk re-derives
+   the same RNG stream, a chunk replayed from a checkpoint contributes
+   the same count it would have computed, and a graceful stop only
+   ever drops whole chunks — so resume, retry and chaos recovery all
+   preserve bit-identical aggregates.
+
    Telemetry: every entry point takes an [?obs:Obs.t] handle
    (default [Obs.none], a no-op).  Instrumentation only ever times and
    counts — it draws no randomness and gates no control flow — so
@@ -40,24 +46,171 @@ let resolve_chunk ~trials = function
 
 let resolve_obs = function None -> Obs.none | Some o -> o
 
+(* ------------------------------------------------------- supervision *)
+
+exception
+  Chunk_failed of { chunk : int; attempts : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Chunk_failed { chunk; attempts; message } ->
+      Some
+        (Printf.sprintf "Mc.Runner.Chunk_failed (chunk %d, %d attempt%s: %s)"
+           chunk attempts
+           (if attempts = 1 then "" else "s")
+           message)
+    | _ -> None)
+
+(* Internal marker for the cooperative watchdog; always retryable. *)
+exception Chunk_timeout of float
+
+let default_retries = 2
+let default_backoff = 0.1
+
+(* Ambient watchdog default, set by the CLI's --chunk-timeout so the
+   timeout reaches every driver without widening signatures (same
+   pattern as the ambient campaign store).  Explicit [?chunk_timeout]
+   arguments override it. *)
+let ambient_chunk_timeout = ref 0.0
+
+let set_default_chunk_timeout t =
+  if t < 0.0 then invalid_arg "Mc.Runner: chunk_timeout must be >= 0";
+  ambient_chunk_timeout := t
+
+let default_chunk_timeout () = !ambient_chunk_timeout
+
+(* Non-retryable: resource exhaustion, explicit interrupts, and
+   already-wrapped supervision failures.  Everything else — chaos
+   kills, trial exceptions, watchdog timeouts — is transient by
+   assumption and worth [retries] more derivations of the same RNG
+   stream. *)
+let retryable = function
+  | Out_of_memory | Stack_overflow | Sys.Break -> false
+  | Chunk_failed _ | Campaign.Interrupted _ -> false
+  | _ -> true
+
+(* Per-run supervision bundle, generic in the accumulator so the
+   same chunk loop serves counting paths (with persistence) and
+   general map-reduce (supervision only). *)
+type 'acc sup = {
+  skip : int -> 'acc option;  (* chunk idx -> checkpointed result *)
+  record : int -> 'acc -> unit;  (* persist a freshly computed chunk *)
+  flush : unit -> unit;  (* force checkpoint to disk *)
+  file : string option;  (* resume token for Interrupted *)
+  timeout : float;  (* per-chunk watchdog, seconds; 0 = off *)
+  retries : int;
+  backoff : float;  (* base retry delay, doubled per attempt *)
+  chaos : Chaos.t;
+}
+
+let resolve_sup_args ?chunk_timeout ?(retries = default_retries)
+    ?(backoff = default_backoff) ?(chaos = Chaos.none) () =
+  let chunk_timeout =
+    match chunk_timeout with
+    | Some t -> t
+    | None -> !ambient_chunk_timeout
+  in
+  if chunk_timeout < 0.0 then
+    invalid_arg "Mc.Runner: chunk_timeout must be >= 0";
+  if retries < 0 then invalid_arg "Mc.Runner: retries must be >= 0";
+  if backoff < 0.0 then invalid_arg "Mc.Runner: backoff must be >= 0";
+  (chunk_timeout, retries, backoff, chaos)
+
+let plain_sup ~timeout ~retries ~backoff ~chaos =
+  { skip = (fun _ -> None);
+    record = (fun _ _ -> ());
+    flush = ignore;
+    file = None;
+    timeout;
+    retries;
+    backoff;
+    chaos }
+
+(* Counting paths persist through the campaign store: explicit
+   [?campaign] first, else the ambient store set by the CLI. *)
+let counting_sup ?campaign ~engine ~seed ~trials ~chunk ~timeout ~retries
+    ~backoff ~chaos () =
+  match
+    match campaign with Some c -> Some c | None -> Campaign.current ()
+  with
+  | None -> plain_sup ~timeout ~retries ~backoff ~chaos
+  | Some store ->
+    let job =
+      { Campaign.label = Campaign.label (); engine; seed; trials; chunk }
+    in
+    { skip = (fun idx -> Campaign.find store ~job ~chunk:idx);
+      record = (fun idx n -> Campaign.record store ~job ~chunk:idx ~failures:n);
+      flush = (fun () -> Campaign.flush store);
+      file = Some (Campaign.file store);
+      timeout;
+      retries;
+      backoff;
+      chaos }
+
+(* Run one chunk attempt-by-attempt: chaos hooks fire first, the RNG
+   stream is re-derived from scratch on every attempt (so a retry is
+   bit-identical to a clean first run), and a cooperative deadline is
+   checked between trials.  Exhausted retries wrap the last exception
+   in [Chunk_failed]. *)
+let supervised_attempts ~sup ~idx ~retried ~timeouts body =
+  let rec attempt a =
+    match
+      (* the deadline is armed before the chaos hook so a stall at
+         chunk start counts against the watchdog like any other
+         stall *)
+      let deadline =
+        if sup.timeout > 0.0 then Obs.now () +. sup.timeout
+        else Float.infinity
+      in
+      sup.chaos.Chaos.on_chunk_start ~chunk:idx ~attempt:a;
+      body a deadline
+    with
+    | acc -> acc
+    | exception e when retryable e && a < sup.retries ->
+      Atomic.incr retried;
+      (match e with Chunk_timeout _ -> Atomic.incr timeouts | _ -> ());
+      if sup.backoff > 0.0 then
+        Unix.sleepf (sup.backoff *. Float.of_int (1 lsl a));
+      attempt (a + 1)
+    | exception e when retryable e ->
+      (match e with Chunk_timeout _ -> Atomic.incr timeouts | _ -> ());
+      raise
+        (Chunk_failed
+           { chunk = idx;
+             attempts = a + 1;
+             message =
+               (match e with
+               | Chunk_timeout t ->
+                 Printf.sprintf "exceeded %gs chunk timeout" t
+               | e -> Printexc.to_string e) })
+  in
+  attempt 0
+
 (* Record one engine run into the handle: chunk timings in chunk
    order, claims per worker, warmup cost, aggregate wall/throughput.
-   Runs single-threaded after all workers have joined. *)
+   Runs single-threaded after all workers have joined.  Skipped
+   (checkpoint-replayed) chunks carry a negative sentinel timing and
+   are not observed. *)
 let record_run obs ~engine ~trials ~chunks ~workers ~wall_s ~warmup_s
-    ~chunk_times ~claims =
+    ~chunk_times ~claims ~resumed ~retried ~timeouts =
   if Obs.enabled obs then begin
     Obs.incr obs "mc.runs";
     Obs.add obs "mc.trials" trials;
     Obs.add obs "mc.chunks" chunks;
     Array.iter
       (fun dt ->
-        Obs.observe obs "mc.chunk_wall_s" dt;
-        Obs.observe_histogram obs "mc.chunk_wall_s" dt)
+        if dt >= 0.0 then begin
+          Obs.observe obs "mc.chunk_wall_s" dt;
+          Obs.observe_histogram obs "mc.chunk_wall_s" dt
+        end)
       chunk_times;
     Array.iter
       (fun k -> if k >= 0 then Obs.observe obs "mc.chunks_per_worker" (float_of_int k))
       claims;
     if warmup_s > 0.0 then Obs.observe obs "mc.warmup_s" warmup_s;
+    if resumed > 0 then Obs.add obs "mc.chunks_resumed" resumed;
+    if retried > 0 then Obs.add obs "mc.chunk_retries" retried;
+    if timeouts > 0 then Obs.add obs "mc.chunk_timeouts" timeouts;
     Obs.observe obs "mc.wall_s" wall_s;
     let shots_per_s =
       if wall_s > 0.0 then float_of_int trials /. wall_s else 0.0
@@ -75,30 +228,79 @@ let record_run obs ~engine ~trials ~chunks ~workers ~wall_s ~warmup_s
 
 (* Run chunks [lo_chunk, hi_chunk) and return their accumulators in
    chunk order.  [results] slots are written by at most one worker
-   each; Domain.join publishes them to the caller. *)
+   each; Domain.join publishes them to the caller.
+
+   Abnormal exits: workers stop claiming once a chunk has exhausted
+   its retries (the first exception is kept, in-flight chunks drain)
+   or once [Campaign.stop_requested] turns true; either way the
+   checkpoint is flushed before the exception — [Chunk_failed] or
+   [Campaign.Interrupted] — reaches the caller, so completed chunks
+   survive. *)
 let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
-    ~hi_chunk ~worker_init ~trial ~init ~accum =
+    ~hi_chunk ~sup ~worker_init ~trial ~init ~accum =
   let n = hi_chunk - lo_chunk in
   let results = Array.make (max n 0) init in
+  let done_ = Array.make (max n 0) false in
+  let abort : exn option Atomic.t = Atomic.make None in
+  let resumed = Atomic.make 0 in
+  let retried = Atomic.make 0 in
+  let timeouts = Atomic.make 0 in
   let instrument = Obs.enabled obs in
   let t_start = if instrument then Obs.now () else 0.0 in
-  let chunk_times = if instrument then Array.make (max n 0) 0.0 else [||] in
+  let chunk_times = if instrument then Array.make (max n 0) (-1.0) else [||] in
   let range_trials =
     if n <= 0 then 0
     else min trials (hi_chunk * chunk) - (lo_chunk * chunk)
   in
+  let chaos_on = not (Chaos.is_none sup.chaos) in
+  let supervised = sup.timeout > 0.0 || chaos_on in
   let process ctx c =
     let idx = lo_chunk + c in
-    let lo = idx * chunk and hi = min trials ((idx + 1) * chunk) in
-    let rng = Rng.to_state (Rng.split root idx) in
-    let t0 = if instrument then Obs.now () else 0.0 in
-    let acc = ref init in
-    for i = lo to hi - 1 do
-      acc := accum !acc (trial ctx rng i)
-    done;
-    results.(c) <- !acc;
-    if instrument then chunk_times.(c) <- Obs.now () -. t0;
-    Obs.Progress.step progress
+    match sup.skip idx with
+    | Some acc ->
+      results.(c) <- acc;
+      done_.(c) <- true;
+      Atomic.incr resumed;
+      Obs.Progress.step progress
+    | None ->
+      let lo = idx * chunk and hi = min trials ((idx + 1) * chunk) in
+      let t0 = if instrument then Obs.now () else 0.0 in
+      let acc =
+        if not supervised then begin
+          (* hot path: no deadline reads, no hook calls *)
+          let rng = Rng.to_state (Rng.split root idx) in
+          let acc = ref init in
+          for i = lo to hi - 1 do
+            acc := accum !acc (trial ctx rng i)
+          done;
+          !acc
+        end
+        else
+          supervised_attempts ~sup ~idx ~retried ~timeouts
+            (fun attempt deadline ->
+              let rng = Rng.to_state (Rng.split root idx) in
+              let acc = ref init in
+              for i = lo to hi - 1 do
+                if sup.timeout > 0.0 && Obs.now () > deadline then
+                  raise (Chunk_timeout sup.timeout);
+                if chaos_on then
+                  sup.chaos.Chaos.on_trial ~chunk:idx ~attempt ~trial:i;
+                acc := accum !acc (trial ctx rng i)
+              done;
+              !acc)
+      in
+      results.(c) <- acc;
+      done_.(c) <- true;
+      sup.record idx acc;
+      if instrument then chunk_times.(c) <- Obs.now () -. t0;
+      Obs.Progress.step progress
+  in
+  let should_stop () =
+    Atomic.get abort <> None || Campaign.stop_requested ()
+  in
+  let guarded ctx c =
+    try process ctx c
+    with e -> ignore (Atomic.compare_and_set abort None (Some e))
   in
   let workers = min domains n in
   let claims = Array.make (max workers 1) (-1) in
@@ -106,10 +308,12 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
   if workers <= 1 then begin
     if n > 0 then begin
       let ctx = worker_init () in
-      for c = 0 to n - 1 do
-        process ctx c
+      let c = ref 0 in
+      while !c < n && not (should_stop ()) do
+        guarded ctx !c;
+        incr c
       done;
-      claims.(0) <- n
+      claims.(0) <- !c
     end
   end
   else begin
@@ -125,11 +329,13 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
     let work w ctx =
       let mine = ref 0 in
       let rec loop () =
-        let c = Atomic.fetch_and_add cursor 1 in
-        if c < n then begin
-          process ctx c;
-          incr mine;
-          loop ()
+        if not (should_stop ()) then begin
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c < n then begin
+            guarded ctx c;
+            incr mine;
+            loop ()
+          end
         end
       in
       loop ();
@@ -142,60 +348,111 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
     work 0 warm_ctx;
     List.iter Domain.join spawned
   end;
+  let completed = ref 0 in
+  Array.iter (fun d -> if d then incr completed) done_;
+  if !completed < n then begin
+    (* abnormal exit: persist what we have, then raise *)
+    sup.flush ();
+    match Atomic.get abort with
+    | Some e -> raise e
+    | None ->
+      raise
+        (Campaign.Interrupted
+           { completed = !completed; total = n; checkpoint = sup.file })
+  end;
+  (match Atomic.get abort with Some e -> raise e | None -> ());
   if instrument then
     record_run obs ~engine:"scalar" ~trials:range_trials ~chunks:(max n 0)
-      ~workers ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s
-      ~chunk_times ~claims;
+      ~workers ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s ~chunk_times
+      ~claims ~resumed:(Atomic.get resumed) ~retried:(Atomic.get retried)
+      ~timeouts:(Atomic.get timeouts);
   results
 
-let map_reduce_ctx ?domains ?chunk ?obs ~trials ~seed ~worker_init ~init
+let map_reduce_sup ~domains ~chunk ~obs ~trials ~seed ~sup ~worker_init ~init
     ~accum ~merge trial =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
-  let domains = resolve_domains domains in
-  let chunk = resolve_chunk ~trials chunk in
-  let obs = resolve_obs obs in
   let nchunks = (trials + chunk - 1) / chunk in
   let progress = Obs.Progress.create ~label:"mc" ~total:nchunks in
   let root = Rng.root seed in
   let results =
     run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk:0
-      ~hi_chunk:nchunks ~worker_init ~trial ~init ~accum
+      ~hi_chunk:nchunks ~sup ~worker_init ~trial ~init ~accum
   in
   Obs.Progress.finish progress;
   Array.fold_left merge init results
 
-let map_reduce ?domains ?chunk ?obs ~trials ~seed ~init ~accum ~merge trial =
-  map_reduce_ctx ?domains ?chunk ?obs ~trials ~seed
+let map_reduce_ctx ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff
+    ?chaos ~trials ~seed ~worker_init ~init ~accum ~merge trial =
+  let domains = resolve_domains domains in
+  let chunk = resolve_chunk ~trials chunk in
+  let obs = resolve_obs obs in
+  let timeout, retries, backoff, chaos =
+    resolve_sup_args ?chunk_timeout ?retries ?backoff ?chaos ()
+  in
+  let sup = plain_sup ~timeout ~retries ~backoff ~chaos in
+  map_reduce_sup ~domains ~chunk ~obs ~trials ~seed ~sup ~worker_init ~init
+    ~accum ~merge trial
+
+let map_reduce ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff ?chaos
+    ~trials ~seed ~init ~accum ~merge trial =
+  map_reduce_ctx ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff ?chaos
+    ~trials ~seed
     ~worker_init:(fun () -> ())
     ~init ~accum ~merge
     (fun () rng i -> trial rng i)
 
 let count_accum acc hit = if hit then acc + 1 else acc
 
-let failures_ctx ?domains ?chunk ?obs ~trials ~seed ~worker_init trial =
-  map_reduce_ctx ?domains ?chunk ?obs ~trials ~seed ~worker_init ~init:0
+let failures_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ~trials ~seed ~worker_init trial =
+  if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
+  let domains = resolve_domains domains in
+  let chunk = resolve_chunk ~trials chunk in
+  let obs = resolve_obs obs in
+  let timeout, retries, backoff, chaos =
+    resolve_sup_args ?chunk_timeout ?retries ?backoff ?chaos ()
+  in
+  let sup =
+    counting_sup ?campaign ~engine:"scalar" ~seed ~trials ~chunk ~timeout
+      ~retries ~backoff ~chaos ()
+  in
+  map_reduce_sup ~domains ~chunk ~obs ~trials ~seed ~sup ~worker_init ~init:0
     ~accum:count_accum ~merge:( + ) trial
 
-let failures ?domains ?chunk ?obs ~trials ~seed trial =
-  failures_ctx ?domains ?chunk ?obs ~trials ~seed
+let failures ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ~trials ~seed trial =
+  failures_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ~trials ~seed
     ~worker_init:(fun () -> ())
     (fun () rng i -> trial rng i)
 
 let default_min_trials = 1000
 
-let estimate_ctx ?domains ?chunk ?obs ?z ?target_half_width
-    ?(min_trials = default_min_trials) ~trials ~seed ~worker_init trial =
+let estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?z ?target_half_width ?(min_trials = default_min_trials)
+    ~trials ~seed ~worker_init trial =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   if min_trials < 1 then invalid_arg "Mc.Runner: min_trials must be >= 1";
   let domains = resolve_domains domains in
   let chunk = resolve_chunk ~trials chunk in
   let obs = resolve_obs obs in
+  let timeout, retries, backoff, chaos =
+    resolve_sup_args ?chunk_timeout ?retries ?backoff ?chaos ()
+  in
+  (* One supervision bundle for every batch of the early-stopping
+     loop: cached per-chunk counts replay identically, so a resumed
+     early-stopped run revisits the same batch boundaries and stops
+     at the same point as the uninterrupted run. *)
+  let sup =
+    counting_sup ?campaign ~engine:"scalar" ~seed ~trials ~chunk ~timeout
+      ~retries ~backoff ~chaos ()
+  in
   let nchunks = (trials + chunk - 1) / chunk in
   let progress = Obs.Progress.create ~label:"mc" ~total:nchunks in
   let root = Rng.root seed in
   let run lo_chunk hi_chunk =
     run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
-      ~hi_chunk ~worker_init ~trial ~init:0 ~accum:count_accum
+      ~hi_chunk ~sup ~worker_init ~trial ~init:0 ~accum:count_accum
     |> Array.fold_left ( + ) 0
   in
   let result =
@@ -246,10 +503,10 @@ let estimate_ctx ?domains ?chunk ?obs ?z ?target_half_width
   Obs.Progress.finish progress;
   result
 
-let estimate ?domains ?chunk ?obs ?z ?target_half_width ?min_trials ~trials
-    ~seed trial =
-  estimate_ctx ?domains ?chunk ?obs ?z ?target_half_width ?min_trials ~trials
-    ~seed
+let estimate ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ?z ?target_half_width ?min_trials ~trials ~seed trial =
+  estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ?z ?target_half_width ?min_trials ~trials ~seed
     ~worker_init:(fun () -> ())
     (fun () rng i -> trial rng i)
 
@@ -257,7 +514,11 @@ let estimate ?domains ?chunk ?obs ?z ?target_half_width ?min_trials ~trials
    returns an int64 whose bit k is the outcome of shot [base + k]; the
    engine masks the word to [count] live shots, popcounts, and merges
    per-chunk counts in chunk order — the same determinism contract as
-   the scalar paths (chunk c always runs on [Rng.split root c]). *)
+   the scalar paths (chunk c always runs on [Rng.split root c]).
+   Supervision mirrors the scalar engine, with two adaptations: the
+   watchdog deadline is checked after the (uninterruptible) batch
+   call, and chaos [on_trial] hooks do not apply (a word has no
+   per-trial boundary). *)
 
 let word_size = 64
 
@@ -276,25 +537,71 @@ let live_mask count =
   if count >= word_size then -1L
   else Int64.sub (Int64.shift_left 1L count) 1L
 
-let failures_batched ?domains ?obs ~trials ~seed ~worker_init batch =
+let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ~trials ~seed ~worker_init batch =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let domains = resolve_domains domains in
   let obs = resolve_obs obs in
+  let timeout, retries, backoff, chaos =
+    resolve_sup_args ?chunk_timeout ?retries ?backoff ?chaos ()
+  in
+  let sup =
+    counting_sup ?campaign ~engine:"batch" ~seed ~trials ~chunk:word_size
+      ~timeout ~retries ~backoff ~chaos ()
+  in
   let nchunks = (trials + word_size - 1) / word_size in
   let progress = Obs.Progress.create ~label:"mc-batch" ~total:nchunks in
   let root = Rng.root seed in
   let results = Array.make (max nchunks 0) 0 in
+  let done_ = Array.make (max nchunks 0) false in
+  let abort : exn option Atomic.t = Atomic.make None in
+  let resumed = Atomic.make 0 in
+  let retried = Atomic.make 0 in
+  let timeouts = Atomic.make 0 in
   let instrument = Obs.enabled obs in
   let t_start = if instrument then Obs.now () else 0.0 in
-  let chunk_times = if instrument then Array.make (max nchunks 0) 0.0 else [||] in
+  let chunk_times =
+    if instrument then Array.make (max nchunks 0) (-1.0) else [||]
+  in
+  let chaos_on = not (Chaos.is_none chaos) in
+  let supervised = timeout > 0.0 || chaos_on in
   let process ctx c =
-    let base = c * word_size in
-    let count = min word_size (trials - base) in
-    let t0 = if instrument then Obs.now () else 0.0 in
-    let w = batch ctx (Rng.split root c) ~base ~count in
-    results.(c) <- popcount64 (Int64.logand w (live_mask count));
-    if instrument then chunk_times.(c) <- Obs.now () -. t0;
-    Obs.Progress.step progress
+    match sup.skip c with
+    | Some count ->
+      results.(c) <- count;
+      done_.(c) <- true;
+      Atomic.incr resumed;
+      Obs.Progress.step progress
+    | None ->
+      let base = c * word_size in
+      let count = min word_size (trials - base) in
+      let t0 = if instrument then Obs.now () else 0.0 in
+      let run_word () =
+        let w = batch ctx (Rng.split root c) ~base ~count in
+        popcount64 (Int64.logand w (live_mask count))
+      in
+      let n_failures =
+        if not supervised then run_word ()
+        else
+          supervised_attempts ~sup ~idx:c ~retried ~timeouts
+            (fun _attempt deadline ->
+              let r = run_word () in
+              if timeout > 0.0 && Obs.now () > deadline then
+                raise (Chunk_timeout timeout);
+              r)
+      in
+      results.(c) <- n_failures;
+      done_.(c) <- true;
+      sup.record c n_failures;
+      if instrument then chunk_times.(c) <- Obs.now () -. t0;
+      Obs.Progress.step progress
+  in
+  let should_stop () =
+    Atomic.get abort <> None || Campaign.stop_requested ()
+  in
+  let guarded ctx c =
+    try process ctx c
+    with e -> ignore (Atomic.compare_and_set abort None (Some e))
   in
   let workers = min domains nchunks in
   let claims = Array.make (max workers 1) (-1) in
@@ -302,10 +609,12 @@ let failures_batched ?domains ?obs ~trials ~seed ~worker_init batch =
   if workers <= 1 then begin
     if nchunks > 0 then begin
       let ctx = worker_init () in
-      for c = 0 to nchunks - 1 do
-        process ctx c
+      let c = ref 0 in
+      while !c < nchunks && not (should_stop ()) do
+        guarded ctx !c;
+        incr c
       done;
-      claims.(0) <- nchunks
+      claims.(0) <- !c
     end
   end
   else begin
@@ -321,11 +630,13 @@ let failures_batched ?domains ?obs ~trials ~seed ~worker_init batch =
     let work w ctx =
       let mine = ref 0 in
       let rec loop () =
-        let c = Atomic.fetch_and_add cursor 1 in
-        if c < nchunks then begin
-          process ctx c;
-          incr mine;
-          loop ()
+        if not (should_stop ()) then begin
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c < nchunks then begin
+            guarded ctx c;
+            incr mine;
+            loop ()
+          end
         end
       in
       loop ();
@@ -338,14 +649,30 @@ let failures_batched ?domains ?obs ~trials ~seed ~worker_init batch =
     work 0 warm_ctx;
     List.iter Domain.join spawned
   end;
+  let completed = ref 0 in
+  Array.iter (fun d -> if d then incr completed) done_;
+  if !completed < nchunks then begin
+    sup.flush ();
+    match Atomic.get abort with
+    | Some e -> raise e
+    | None ->
+      raise
+        (Campaign.Interrupted
+           { completed = !completed; total = nchunks; checkpoint = sup.file })
+  end;
+  (match Atomic.get abort with Some e -> raise e | None -> ());
   if instrument then
     record_run obs ~engine:"batch" ~trials ~chunks:(max nchunks 0) ~workers
-      ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s ~chunk_times ~claims;
+      ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s ~chunk_times ~claims
+      ~resumed:(Atomic.get resumed) ~retried:(Atomic.get retried)
+      ~timeouts:(Atomic.get timeouts);
   Obs.Progress.finish progress;
   Array.fold_left ( + ) 0 results
 
-let estimate_batched ?domains ?obs ?z ~trials ~seed ~worker_init batch =
+let estimate_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ?z ~trials ~seed ~worker_init batch =
   let failures =
-    failures_batched ?domains ?obs ~trials ~seed ~worker_init batch
+    failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
+      ?chaos ~trials ~seed ~worker_init batch
   in
   Stats.estimate ?z ~failures ~trials ()

@@ -19,6 +19,36 @@
     Trial functions therefore must tolerate an extra invocation; pure
     trials (anything without external side effects) trivially do.
 
+    {2 Supervision and checkpointing}
+
+    Every entry point takes watchdog/retry/chaos controls, and the
+    counting entry points ({!failures}, {!estimate} and their [_ctx] /
+    [_batched] variants) additionally take [?campaign:Campaign.t]
+    (default: the ambient {!Campaign.current} store, if set):
+
+    - [?chunk_timeout] (seconds, default 0 = off) arms a cooperative
+      per-chunk watchdog: the deadline is checked between trials, so a
+      chunk stalled past the timeout is abandoned and retried.
+    - [?retries] (default 2) bounds retry attempts per chunk with
+      exponential backoff starting at [?backoff] (default 0.1 s,
+      doubling per attempt).  A retry re-derives the chunk's RNG
+      stream from scratch, so recovery cannot change any count.
+      Exhausted retries raise {!Chunk_failed} — after flushing the
+      checkpoint, so completed chunks survive.
+    - With a campaign store, each completed chunk's count is recorded
+      (and periodically flushed, atomically); chunks already in the
+      store are replayed from cache, making an interrupted run
+      resumed from its checkpoint bit-identical to an uninterrupted
+      one — including the stopping point of [target_half_width]
+      early-stopping runs, whose batch decisions depend only on
+      aggregate counts.
+    - When [Campaign.stop_requested] turns true (e.g. a SIGINT routed
+      through [Campaign.install_signal_handlers]), workers stop
+      claiming chunks, the checkpoint is flushed, and
+      [Campaign.Interrupted] is raised with a resume token.
+    - [?chaos] (test only, default {!Chaos.none}) injects failures at
+      chunk/trial boundaries to exercise all of the above.
+
     {2 Telemetry}
 
     Every entry point takes [?obs:Obs.t] (default [Obs.none], whose
@@ -26,8 +56,10 @@
     receives, per engine run: the trial/chunk totals ([mc.trials],
     [mc.chunks], [mc.runs] counters), per-chunk wall times (summary
     and fixed-bucket histogram [mc.chunk_wall_s], folded in chunk
-    order), chunks claimed per worker ([mc.chunks_per_worker]), the
-    sequential warmup cost ([mc.warmup_s]), aggregate wall time and
+    order; checkpoint-replayed chunks are not observed), chunks
+    claimed per worker ([mc.chunks_per_worker]), the sequential warmup
+    cost ([mc.warmup_s]), supervision counters ([mc.chunks_resumed],
+    [mc.chunk_retries], [mc.chunk_timeouts]), aggregate wall time and
     throughput ([mc.wall_s], [mc.shots_per_s]), an [mc.run] event, and
     — under early stopping — one [mc.early_stop_batch] event per
     batch decision.  Instrumentation draws no randomness and gates no
@@ -44,17 +76,44 @@ val default_domains : unit -> int
     ("FTQC_DOMAINS"). *)
 val env_domains : string
 
-(** [map_reduce ?domains ?chunk ?obs ~trials ~seed ~init ~accum ~merge
-    trial] — run [trial rng i] for i = 0..trials−1, folding each
-    chunk with [accum] from [init] and the per-chunk results, in
-    chunk order, with [merge].  [merge] must be associative with
-    [init] as identity; determinism then holds even for
-    order-sensitive payloads such as floats.  The per-trial function
-    must be self-contained: domains share nothing mutable. *)
+(** Raised when a chunk fails [retries + 1] consecutive attempts;
+    carries the final attempt's error.  The checkpoint (if any) is
+    flushed first. *)
+exception
+  Chunk_failed of { chunk : int; attempts : int; message : string }
+
+(** Default retry budget per chunk (2). *)
+val default_retries : int
+
+(** [set_default_chunk_timeout t] — ambient watchdog default used
+    when an entry point receives no explicit [?chunk_timeout] (the
+    CLI sets it from [--chunk-timeout]; initial value 0 = off). *)
+val set_default_chunk_timeout : float -> unit
+
+val default_chunk_timeout : unit -> float
+
+(** Default base backoff delay in seconds (0.1, doubling per
+    attempt). *)
+val default_backoff : float
+
+(** [map_reduce ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff
+    ?chaos ~trials ~seed ~init ~accum ~merge trial] — run
+    [trial rng i] for i = 0..trials−1, folding each chunk with
+    [accum] from [init] and the per-chunk results, in chunk order,
+    with [merge].  [merge] must be associative with [init] as
+    identity; determinism then holds even for order-sensitive
+    payloads such as floats.  The per-trial function must be
+    self-contained: domains share nothing mutable.  Supervision
+    (watchdog/retry/stop) applies, but generic accumulators are not
+    checkpointed — only the counting entry points persist. *)
 val map_reduce :
   ?domains:int ->
   ?chunk:int ->
   ?obs:Obs.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   trials:int ->
   seed:int ->
   init:'acc ->
@@ -70,6 +129,10 @@ val map_reduce_ctx :
   ?domains:int ->
   ?chunk:int ->
   ?obs:Obs.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
@@ -79,12 +142,18 @@ val map_reduce_ctx :
   ('ctx -> Random.State.t -> int -> 'a) ->
   'acc
 
-(** [failures ?domains ?chunk ?obs ~trials ~seed trial] — count [true]
-    trial outcomes. *)
+(** [failures ?domains ?chunk ?obs ?campaign ... ~trials ~seed trial]
+    — count [true] trial outcomes.  Checkpointed through [?campaign]
+    (default: the ambient {!Campaign.current} store). *)
 val failures :
   ?domains:int ->
   ?chunk:int ->
   ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   trials:int ->
   seed:int ->
   (Random.State.t -> int -> bool) ->
@@ -94,6 +163,11 @@ val failures_ctx :
   ?domains:int ->
   ?chunk:int ->
   ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
@@ -103,18 +177,26 @@ val failures_ctx :
 (** The default early-stopping trial floor (1000). *)
 val default_min_trials : int
 
-(** [estimate ?domains ?chunk ?obs ?z ?target_half_width ?min_trials
-    ~trials ~seed trial] — failure-rate estimate with Wilson score
-    interval.  When [target_half_width] is given, trials run in
-    geometrically growing batches (at fixed chunk boundaries, so the
-    stopping decision is domain-count-invariant too) and stop early
-    once the interval half-width drops to the target — but never
-    before [min_trials] (default {!default_min_trials}) trials, and
-    never beyond [trials]. *)
+(** [estimate ?domains ?chunk ?obs ?campaign ... ?z ?target_half_width
+    ?min_trials ~trials ~seed trial] — failure-rate estimate with
+    Wilson score interval.  When [target_half_width] is given, trials
+    run in geometrically growing batches (at fixed chunk boundaries,
+    so the stopping decision is domain-count-invariant too) and stop
+    early once the interval half-width drops to the target — but
+    never before [min_trials] (default {!default_min_trials}) trials,
+    and never beyond [trials].  Early stopping honors the same
+    checkpoint/supervision hooks as the straight-through path: a
+    resumed run replays cached chunk counts and therefore stops at
+    the identical batch boundary. *)
 val estimate :
   ?domains:int ->
   ?chunk:int ->
   ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   ?z:float ->
   ?target_half_width:float ->
   ?min_trials:int ->
@@ -127,6 +209,11 @@ val estimate_ctx :
   ?domains:int ->
   ?chunk:int ->
   ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   ?z:float ->
   ?target_half_width:float ->
   ?min_trials:int ->
@@ -147,7 +234,13 @@ val estimate_ctx :
     bit-identical for any [domains].  The same warmup discipline
     applies: with more than one worker, one discarded batch (chunk 0)
     runs sequentially first, so batch functions must tolerate an extra
-    invocation. *)
+    invocation.
+
+    Supervision mirrors the scalar engine (campaign chunks are
+    64-shot words under engine ["batch"]), with two adaptations: the
+    watchdog deadline is checked after the uninterruptible batch
+    call, and chaos [on_trial] hooks do not fire (a word has no
+    per-trial boundary — use [on_chunk_start]). *)
 
 (** Shots per batch word (64). *)
 val word_size : int
@@ -155,11 +248,17 @@ val word_size : int
 (** [popcount64 w] — number of set bits of [w]. *)
 val popcount64 : int64 -> int
 
-(** [failures_batched ?domains ?obs ~trials ~seed ~worker_init batch]
-    — total failure count over [trials] shots, 64 per chunk. *)
+(** [failures_batched ?domains ?obs ?campaign ... ~trials ~seed
+    ~worker_init batch] — total failure count over [trials] shots, 64
+    per chunk. *)
 val failures_batched :
   ?domains:int ->
   ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
@@ -171,6 +270,11 @@ val failures_batched :
 val estimate_batched :
   ?domains:int ->
   ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
   ?z:float ->
   trials:int ->
   seed:int ->

@@ -86,11 +86,31 @@ let to_string v =
   Buffer.add_char b '\n';
   Buffer.contents b
 
-let write ~file v =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string v))
+(* Crash-safe write: stage the document in a temp file in the same
+   directory (rename across filesystems is not atomic, same-dir is),
+   optionally fsync, then [Sys.rename] over the target.  A reader —
+   or a validator in CI — therefore sees either the old complete
+   document or the new complete document, never a truncated prefix. *)
+let write_atomic ?(fsync = false) ~file v =
+  let dir = Filename.dirname file in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename file ^ ".") ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string v);
+         flush oc;
+         if fsync then Unix.fsync (Unix.descr_of_out_channel oc))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp file
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let write ~file v = write_atomic ~file v
 
 (* ------------------------------------------------------------- parse *)
 
@@ -265,6 +285,23 @@ let of_string s =
   with
   | v -> Ok v
   | exception Parse_error msg -> Error msg
+
+(* [of_string] already rejects trailing garbage, so a file that was
+   appended to after a crash, or truncated mid-token, parses to
+   [Error] here rather than silently yielding a prefix document. *)
+let read_file file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error (Printf.sprintf "%s: %s" file msg)
+  | exception End_of_file -> Error (Printf.sprintf "%s: unexpected end of file" file)
+  | contents -> (
+    match of_string contents with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "%s: %s" file msg))
 
 (* --------------------------------------------------------- accessors *)
 

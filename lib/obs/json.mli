@@ -19,8 +19,24 @@ type t =
     newline at top level. *)
 val to_string : t -> string
 
-(** [write ~file v] — {!to_string} to a file (truncating). *)
+(** [write_atomic ?fsync ~file v] — {!to_string} to a temp file in the
+    same directory, then [Sys.rename] over [file].  Readers observe
+    either the previous complete document or the new one, never a
+    truncated prefix; with [~fsync:true] the data is forced to disk
+    before the rename (for checkpoints that must survive power loss,
+    not just process death). *)
+val write_atomic : ?fsync:bool -> file:string -> t -> unit
+
+(** [write ~file v] — alias for {!write_atomic} without fsync.  Kept
+    as the ordinary entry point so every manifest emit in the tree is
+    crash-safe by default. *)
 val write : file:string -> t -> unit
+
+(** [read_file file] — read and parse one JSON document from [file].
+    Errors (missing file, I/O failure, malformed or trailing bytes)
+    come back as [Error msg] with the filename prefixed — truncated
+    or corrupted checkpoints are rejected, never mis-parsed. *)
+val read_file : string -> (t, string) result
 
 (** [of_string s] — parse one JSON document (surrounding whitespace
     allowed).  Numbers without [.]/[e] parse as [Int] when they fit,

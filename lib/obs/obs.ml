@@ -151,18 +151,29 @@ module Progress = struct
           last_print = now () }
     | _ -> None
 
+  (* Pure formatter, split out so the reporting contract (ETA math,
+     zero-progress and degenerate-total edges) is unit-testable
+     without capturing stderr.  ETA extrapolates the mean step cost
+     over the remaining steps; with no steps done yet (or a
+     degenerate total) it reads 0.0 rather than inf/nan. *)
+  let format_line ~label ~done_ ~total ~elapsed =
+    let pct =
+      if total <= 0 then 100.0
+      else 100.0 *. float_of_int done_ /. float_of_int total
+    in
+    let eta =
+      if done_ <= 0 || total <= 0 then Float.infinity
+      else elapsed *. float_of_int (total - done_) /. float_of_int done_
+    in
+    Printf.sprintf "[ftqc] %s: %d/%d chunks (%.0f%%) elapsed %.1fs eta %.1fs"
+      label done_ total pct elapsed
+      (if Float.is_finite eta then eta else 0.0)
+
   let print p d =
     let t = now () in
     let elapsed = t -. p.start in
-    let eta =
-      if d <= 0 then Float.infinity
-      else elapsed *. float_of_int (p.total - d) /. float_of_int d
-    in
-    Printf.eprintf "[ftqc] %s: %d/%d chunks (%.0f%%) elapsed %.1fs eta %.1fs\n%!"
-      p.label d p.total
-      (100.0 *. float_of_int d /. float_of_int p.total)
-      elapsed
-      (if Float.is_finite eta then eta else 0.0);
+    Printf.eprintf "%s\n%!"
+      (format_line ~label:p.label ~done_:d ~total:p.total ~elapsed);
     p.last_print <- t
 
   let step po =

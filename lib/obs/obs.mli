@@ -86,6 +86,14 @@ module Progress : sig
       [total > 0].  [total] is the number of steps (chunks). *)
   val create : label:string -> total:int -> p option
 
+  (** [format_line ~label ~done_ ~total ~elapsed] — the progress line
+      (no trailing newline), pure so the reporting contract is
+      testable: percentage of [total], elapsed seconds, and an ETA
+      extrapolated from the mean step cost (0.0 when no steps are
+      done yet or [total <= 0]). *)
+  val format_line :
+    label:string -> done_:int -> total:int -> elapsed:float -> string
+
   (** [step p] — one step done; prints a rate-limited
       ["label: done/total (pct%) elapsed eta"] line.  Safe from any
       domain. *)

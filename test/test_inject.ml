@@ -1,0 +1,188 @@
+(* Exhaustive single-fault injection against the §5 fault-tolerance
+   criterion: for EVERY fault location of an EC gadget and EVERY fault
+   the §6 model can deposit there (3 Paulis at a one-qubit gate or
+   storage step, 15 pairs at a two-qubit gate, a flip at each
+   preparation/measurement), one faulty EC followed by an ideal
+   recovery must restore the encoded state — a single fault anywhere
+   may never cause a logical error.  Both |0̄⟩ (X̄-sensitive) and
+   |+̄⟩ (Z̄-sensitive) are judged, for the Steane-method and
+   Shor-method gadgets.
+
+   Mechanics (fault-path enumeration in the style of Van Rynbach et
+   al., 1212.0845): a dry run under a recording hook lists the
+   gadget's locations in execution order; then one fresh, noiseless,
+   same-seeded run per (location, fault) pair deposits exactly that
+   fault via [Sim.inject_at].  Because the hook draws no randomness,
+   the run's prefix before the injection site is identical to the dry
+   run, so location indices and kinds line up even through the
+   gadgets' adaptive branches. *)
+
+open Ftqc
+module Code = Codes.Stabilizer_code
+
+let check = Alcotest.(check bool)
+let steane = Codes.Steane.code
+let seed = 4242
+let rng () = Random.State.make [| seed |]
+
+(* perfect logical eigenstate via projection (no fault locations) *)
+let prep sim ~plus =
+  let n = Ft.Sim.num_qubits sim in
+  let tab = Ft.Sim.tableau sim in
+  Array.iter
+    (fun g ->
+      assert
+        (Tableau.postselect_pauli tab
+           (Code.embed steane ~offset:0 ~total:n g)
+           ~outcome:false))
+    steane.generators;
+  let l = if plus then steane.logical_x.(0) else steane.logical_z.(0) in
+  assert
+    (Tableau.postselect_pauli tab
+       (Code.embed steane ~offset:0 ~total:n l)
+       ~outcome:false)
+
+let judge sim ~plus =
+  if plus then Ft.Sim.ideal_measure_logical_x sim steane ~offset:0
+  else Ft.Sim.ideal_measure_logical_z sim steane ~offset:0
+
+let kind_name = function
+  | Ft.Sim.Gate1 q -> Printf.sprintf "gate1(%d)" q
+  | Ft.Sim.Gate2 (a, b) -> Printf.sprintf "gate2(%d,%d)" a b
+  | Ft.Sim.Prep q -> Printf.sprintf "prep(%d)" q
+  | Ft.Sim.Meas q -> Printf.sprintf "meas(%d)" q
+  | Ft.Sim.Store q -> Printf.sprintf "store(%d)" q
+
+(* Run [gadget] once per (location, fault) pair and assert the §5
+   criterion.  [fresh ()] must rebuild an identically-seeded
+   simulator so the prefix before the injection site replays the dry
+   run exactly. *)
+let enumerate ~what ~fresh ~gadget ~plus =
+  let sim0 = fresh () in
+  prep sim0 ~plus;
+  let (), locs = Ft.Sim.record_locations sim0 (fun () -> gadget sim0) in
+  check
+    (Printf.sprintf "%s: dry run enumerates locations" what)
+    true
+    (Array.length locs > 0);
+  let pairs = ref 0 in
+  Array.iteri
+    (fun location kind ->
+      List.iteri
+        (fun fi fault ->
+          incr pairs;
+          let sim = fresh () in
+          prep sim ~plus;
+          Ft.Sim.inject_at sim ~location fault;
+          gadget sim;
+          Ft.Sim.set_location_hook sim None;
+          let faults = Ft.Sim.fault_count sim in
+          (* adaptive branches can legitimately end a run before the
+             site is reached; then the run was clean *)
+          check
+            (Printf.sprintf "%s: at most the one injected fault" what)
+            true (faults <= 1);
+          if judge sim ~plus then
+            Alcotest.failf
+              "%s: single fault at location %d [%s, fault #%d] causes a \
+               logical error (basis %s)"
+              what location (kind_name kind) fi
+              (if plus then "|+>" else "|0>"))
+        (Ft.Sim.faults_of_kind kind))
+    locs;
+  !pairs
+
+let steane_gadget sim =
+  ignore
+    (Ft.Steane_ec.recover sim ~policy:Ft.Steane_ec.Repeat_if_nontrivial
+       ~verify:Ft.Steane_ec.Reject ~data:0 ~ancilla:7 ~checker:14)
+
+let shor_gadget sim =
+  ignore
+    (Ft.Shor_ec.recover sim steane ~policy:Ft.Shor_ec.Repeat_if_nontrivial
+       ~offset:0 ~cat_base:7 ~check:11 ~verified:true)
+
+let fresh_steane () = Ft.Sim.create ~n:21 ~noise:Ft.Noise.none (rng ())
+let fresh_shor () = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none (rng ())
+
+let test_steane_ec_single_fault_zero () =
+  ignore
+    (enumerate ~what:"steane-ec" ~fresh:fresh_steane ~gadget:steane_gadget
+       ~plus:false)
+
+let test_steane_ec_single_fault_plus () =
+  ignore
+    (enumerate ~what:"steane-ec" ~fresh:fresh_steane ~gadget:steane_gadget
+       ~plus:true)
+
+let test_shor_ec_single_fault_zero () =
+  ignore
+    (enumerate ~what:"shor-ec" ~fresh:fresh_shor ~gadget:shor_gadget
+       ~plus:false)
+
+let test_shor_ec_single_fault_plus () =
+  ignore
+    (enumerate ~what:"shor-ec" ~fresh:fresh_shor ~gadget:shor_gadget
+       ~plus:true)
+
+(* the location machinery itself: recording is invisible (no faults,
+   same final state as a bare run), and the fault menu per kind
+   matches the §6 model's cardinalities *)
+let test_fault_menu () =
+  Alcotest.(check int)
+    "gate1 menu" 3
+    (List.length (Ft.Sim.faults_of_kind (Ft.Sim.Gate1 0)));
+  Alcotest.(check int)
+    "gate2 menu" 15
+    (List.length (Ft.Sim.faults_of_kind (Ft.Sim.Gate2 (0, 1))));
+  Alcotest.(check int)
+    "store menu" 3
+    (List.length (Ft.Sim.faults_of_kind (Ft.Sim.Store 0)));
+  Alcotest.(check int)
+    "prep menu" 1
+    (List.length (Ft.Sim.faults_of_kind (Ft.Sim.Prep 0)));
+  Alcotest.(check int)
+    "meas menu" 1
+    (List.length (Ft.Sim.faults_of_kind (Ft.Sim.Meas 0)))
+
+let test_recording_is_invisible () =
+  let run record =
+    let sim = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none (rng ()) in
+    prep sim ~plus:false;
+    if record then begin
+      let (), locs = Ft.Sim.record_locations sim (fun () -> shor_gadget sim) in
+      check "locations recorded" true (Array.length locs > 0)
+    end
+    else shor_gadget sim;
+    (Ft.Sim.fault_count sim, judge sim ~plus:false)
+  in
+  check "recording draws nothing and injects nothing" true
+    (run true = run false)
+
+let test_inject_at_lands_exactly_once () =
+  let sim0 = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none (rng ()) in
+  prep sim0 ~plus:false;
+  let (), locs = Ft.Sim.record_locations sim0 (fun () -> shor_gadget sim0) in
+  let fault = List.hd (Ft.Sim.faults_of_kind locs.(0)) in
+  let sim = Ft.Sim.create ~n:12 ~noise:Ft.Noise.none (rng ()) in
+  prep sim ~plus:false;
+  Ft.Sim.inject_at sim ~location:0 fault;
+  shor_gadget sim;
+  Ft.Sim.set_location_hook sim None;
+  Alcotest.(check int) "exactly one fault" 1 (Ft.Sim.fault_count sim)
+
+let suites =
+  [ ( "ft.inject",
+      [ Alcotest.test_case "fault menus (3/15/1/1)" `Quick test_fault_menu;
+        Alcotest.test_case "recording is invisible" `Quick
+          test_recording_is_invisible;
+        Alcotest.test_case "inject_at lands once" `Quick
+          test_inject_at_lands_exactly_once;
+        Alcotest.test_case "steane EC single-fault FT, |0>" `Quick
+          test_steane_ec_single_fault_zero;
+        Alcotest.test_case "steane EC single-fault FT, |+>" `Quick
+          test_steane_ec_single_fault_plus;
+        Alcotest.test_case "shor EC single-fault FT, |0>" `Quick
+          test_shor_ec_single_fault_zero;
+        Alcotest.test_case "shor EC single-fault FT, |+>" `Quick
+          test_shor_ec_single_fault_plus ] ) ]

@@ -225,6 +225,133 @@ let test_progress_disabled_by_default () =
   check "zero total never reports" true
     (Obs.Progress.create ~label:"t" ~total:0 = None)
 
+let test_progress_format_line () =
+  let line = Obs.Progress.format_line in
+  (* half done in 10 s: same pace gives 10 more seconds *)
+  Alcotest.(check string)
+    "midpoint" "[ftqc] e3: 5/10 chunks (50%) elapsed 10.0s eta 10.0s"
+    (line ~label:"e3" ~done_:5 ~total:10 ~elapsed:10.0);
+  (* nothing done yet: no pace to extrapolate, ETA reads 0.0 *)
+  Alcotest.(check string)
+    "zero done" "[ftqc] e3: 0/10 chunks (0%) elapsed 1.0s eta 0.0s"
+    (line ~label:"e3" ~done_:0 ~total:10 ~elapsed:1.0);
+  (* finished: 100%, eta 0 *)
+  Alcotest.(check string)
+    "finished" "[ftqc] e3: 10/10 chunks (100%) elapsed 4.2s eta 0.0s"
+    (line ~label:"e3" ~done_:10 ~total:10 ~elapsed:4.2);
+  (* single chunk is both 0% and then 100% — no intermediate states *)
+  Alcotest.(check string)
+    "single chunk" "[ftqc] x: 1/1 chunks (100%) elapsed 0.5s eta 0.0s"
+    (line ~label:"x" ~done_:1 ~total:1 ~elapsed:0.5);
+  (* degenerate totals must not divide by zero *)
+  Alcotest.(check string)
+    "zero total" "[ftqc] x: 0/0 chunks (100%) elapsed 0.0s eta 0.0s"
+    (line ~label:"x" ~done_:0 ~total:0 ~elapsed:0.0);
+  (* uneven pace: 3 chunks in 2 s -> 7 remaining at 2/3 s each *)
+  Alcotest.(check string)
+    "extrapolated eta" "[ftqc] e: 3/10 chunks (30%) elapsed 2.0s eta 4.7s"
+    (line ~label:"e" ~done_:3 ~total:10 ~elapsed:2.0)
+
+let test_progress_env_gate () =
+  let prev = Sys.getenv_opt Obs.Progress.env_var in
+  let restore () =
+    Unix.putenv Obs.Progress.env_var (Option.value ~default:"" prev)
+  in
+  Fun.protect ~finally:restore (fun () ->
+      List.iter
+        (fun v ->
+          Unix.putenv Obs.Progress.env_var v;
+          check
+            (Printf.sprintf "FTQC_PROGRESS=%S disables" v)
+            false
+            (Obs.Progress.enabled ()))
+        [ ""; "0"; "false"; "no" ];
+      Unix.putenv Obs.Progress.env_var "1";
+      check "FTQC_PROGRESS=1 enables" true (Obs.Progress.enabled ());
+      check "enabled create yields a reporter" true
+        (Obs.Progress.create ~label:"t" ~total:3 <> None);
+      Unix.putenv Obs.Progress.env_var "0.5";
+      check "numeric value enables too" true (Obs.Progress.enabled ()))
+
+let test_progress_never_writes_stdout () =
+  (* progress is a stderr facility: capture stdout around a full
+     enabled create/step/finish cycle and require it byte-empty *)
+  let prev = Sys.getenv_opt Obs.Progress.env_var in
+  let restore () =
+    Unix.putenv Obs.Progress.env_var (Option.value ~default:"" prev)
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv Obs.Progress.env_var "1";
+      let file = Filename.temp_file "ftqc_stdout" ".txt" in
+      let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let saved = Unix.dup Unix.stdout in
+      flush stdout;
+      Unix.dup2 fd Unix.stdout;
+      Fun.protect
+        ~finally:(fun () ->
+          flush stdout;
+          Unix.dup2 saved Unix.stdout;
+          Unix.close saved;
+          Unix.close fd;
+          try Sys.remove file with Sys_error _ -> ())
+        (fun () ->
+          let p = Obs.Progress.create ~label:"cap" ~total:4 in
+          check "reporter live" true (p <> None);
+          for _ = 1 to 4 do
+            Obs.Progress.step p
+          done;
+          Obs.Progress.finish p;
+          flush stdout;
+          let ic = open_in_bin file in
+          let len = in_channel_length ic in
+          close_in ic;
+          Alcotest.(check int) "stdout untouched" 0 len))
+
+(* --- Obs.Json atomic writes -------------------------------------------- *)
+
+let test_write_atomic_roundtrip () =
+  let file = Filename.temp_file "ftqc_atomic" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Obs.Json.write_atomic ~file sample;
+      check "read back" true (Obs.Json.read_file file = Ok sample);
+      (* overwrite in place — and no temp droppings left behind *)
+      Obs.Json.write_atomic ~fsync:true ~file (Obs.Json.Int 1);
+      check "overwrite read back" true
+        (Obs.Json.read_file file = Ok (Obs.Json.Int 1));
+      let dir = Filename.dirname file and base = Filename.basename file in
+      let leftovers =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      check "no temp files left" true (leftovers = []))
+
+let test_read_file_rejects_corruption () =
+  let bad what content =
+    let file = Filename.temp_file "ftqc_corrupt" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin file in
+        output_string oc content;
+        close_out oc;
+        match Obs.Json.read_file file with
+        | Error msg ->
+          check (what ^ " error names the file") true
+            (String.length msg > 0
+            && String.sub msg 0 (String.length file) = file)
+        | Ok _ -> Alcotest.fail (what ^ " must be rejected"))
+  in
+  bad "truncated document" "{\"a\": [1, 2";
+  bad "trailing bytes" "{}{}";
+  bad "binary garbage" "\x00\x01\x02";
+  match Obs.Json.read_file "/nonexistent/ftqc.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must be an error"
+
 (* --- Obs.Manifest ------------------------------------------------------ *)
 
 let manifest_doc () =
@@ -300,7 +427,11 @@ let suites =
         Alcotest.test_case "non-finite -> null" `Quick
           test_json_nonfinite_encodes_null;
         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
-        Alcotest.test_case "number forms" `Quick test_json_numbers ] );
+        Alcotest.test_case "number forms" `Quick test_json_numbers;
+        Alcotest.test_case "atomic write round-trip" `Quick
+          test_write_atomic_roundtrip;
+        Alcotest.test_case "read_file rejects corruption" `Quick
+          test_read_file_rejects_corruption ] );
     ( "obs.metrics",
       [ Alcotest.test_case "basics" `Quick test_metrics_basics;
         Alcotest.test_case "histogram buckets" `Quick
@@ -319,7 +450,12 @@ let suites =
         Alcotest.test_case "runner populates metrics" `Quick
           test_obs_runner_populates_metrics;
         Alcotest.test_case "progress off by default" `Quick
-          test_progress_disabled_by_default ] );
+          test_progress_disabled_by_default;
+        Alcotest.test_case "progress line format" `Quick
+          test_progress_format_line;
+        Alcotest.test_case "progress env gate" `Quick test_progress_env_gate;
+        Alcotest.test_case "progress never writes stdout" `Quick
+          test_progress_never_writes_stdout ] );
     ( "obs.manifest",
       [ Alcotest.test_case "validate ok" `Quick test_manifest_validate_ok;
         Alcotest.test_case "write/reparse" `Quick test_manifest_write_reparses;
