@@ -524,6 +524,90 @@ let resume_probe () =
         (if reference = resumed then "agree" else "DISAGREE");
       (trials, dt, reference, resumed))
 
+(* Service round-trip probe: an in-process ftqcd on a temp socket.
+   Measures cold (fresh job) latency, cache-hit latency and ping
+   round-trips/sec, and checks the byte-identity contract: the cached
+   reply must equal the fresh one, and both must equal the result
+   frame a direct in-process run of the same estimator produces. *)
+let service_probe () =
+  Mc.Campaign.reset_stop ();
+  let socket = Filename.temp_file "ftqc_bench_svc" ".sock" in
+  Sys.remove socket;
+  let cfg =
+    Svc.Server.config ~workers:2 ~cache_capacity:8 ~progress_interval:5.0
+      ~socket ()
+  in
+  let th = Thread.create (fun () -> Svc.Server.run cfg) () in
+  let rec wait n =
+    if Sys.file_exists socket then ()
+    else if n = 0 then failwith "service probe: daemon did not start"
+    else begin
+      Thread.delay 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Mc.Campaign.request_stop ();
+      Thread.join th;
+      Mc.Campaign.reset_stop ())
+    (fun () ->
+      let est =
+        Svc.Protocol.Toric_memory
+          { l = 8; p = 0.08; trials = 2000; seed = 2026; engine = `Scalar }
+      in
+      let request () =
+        match
+          Svc.Client.with_connection ~socket (fun fd ->
+              Svc.Client.request fd est)
+        with
+        | Ok (Ok o) -> o
+        | Ok (Error e) ->
+          failwith (Printf.sprintf "service probe: %s: %s" e.code e.message)
+        | Error msg -> failwith ("service probe: " ^ msg)
+      in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let v = f () in
+        (v, Unix.gettimeofday () -. t0)
+      in
+      let fresh, cold_s = timed request in
+      let cached, hit_s = timed request in
+      let direct = Svc.Server.execute est in
+      let expected =
+        Svc.Codec.encode
+          (Svc.Protocol.result_frame
+             ~key:(Svc.Protocol.to_canonical (Run est))
+             direct)
+      in
+      let identical =
+        (not fresh.cached) && cached.cached
+        && fresh.raw_result = cached.raw_result
+        && fresh.raw_result = expected
+      in
+      let pings = 200 in
+      let (), ping_dt =
+        timed (fun () ->
+            match
+              Svc.Client.with_connection ~socket (fun fd ->
+                  for _ = 1 to pings do
+                    match Svc.Client.ping fd with
+                    | Ok () -> ()
+                    | Error e -> failwith ("service probe ping: " ^ e.message)
+                  done)
+            with
+            | Ok () -> ()
+            | Error msg -> failwith ("service probe: " ^ msg))
+      in
+      let rps = float_of_int pings /. ping_dt in
+      Printf.printf
+        "service probe: cold %.3f s, cache hit %.4f s, %.0f pings/s, \
+         replies %s\n%!"
+        cold_s hit_s rps
+        (if identical then "byte-identical" else "DISAGREE");
+      (cold_s, hit_s, rps, identical))
+
 (* The artifact uses the same ftqc-manifest/1 schema as
    `experiments --json` (one record per kernel/probe), so one
    validator — bin/manifest_check.ml — covers both CI artifacts. *)
@@ -536,6 +620,7 @@ let run_smoke ~out =
   let batch_entries = batch_probe () in
   let r_trials, r_dt, r_ref, r_resumed = resume_probe () in
   let resume_agree = r_ref = r_resumed in
+  let svc_cold, svc_hit, svc_rps, svc_identical = service_probe () in
   let m = Obs.Manifest.create () in
   let count name ~failures ~trials =
     let e = Mc.Stats.estimate ~failures ~trials () in
@@ -603,6 +688,18 @@ let run_smoke ~out =
         [ ("wall_s", Obs.Json.Float r_dt);
           ("identical_counts", Obs.Json.Bool resume_agree) ];
     };
+  Obs.Manifest.add m
+    {
+      Obs.Manifest.experiment = "bench:service-probe";
+      params = [];
+      results = [];
+      telemetry =
+        [ ("wall_s", Obs.Json.Float (svc_cold +. svc_hit));
+          ("cold_request_s", Obs.Json.Float svc_cold);
+          ("cache_hit_s", Obs.Json.Float svc_hit);
+          ("requests_per_s", Obs.Json.Float svc_rps);
+          ("identical_replies", Obs.Json.Bool svc_identical) ];
+    };
   Obs.Manifest.write ~generator:"bench-smoke" m ~file:out;
   Printf.printf "wrote %s\n%!" out;
   let disagree =
@@ -618,6 +715,13 @@ let run_smoke ~out =
     Printf.eprintf
       "FATAL: interrupted+resumed campaign count differs from the \
        uninterrupted reference (see %s)\n"
+      out;
+    exit 1
+  end;
+  if not svc_identical then begin
+    Printf.eprintf
+      "FATAL: service replies are not byte-identical to the direct run \
+       (see %s)\n"
       out;
     exit 1
   end

@@ -1,0 +1,324 @@
+(* ftqc_client — command-line client for ftqcd (ftqc-rpc/1).
+
+   Each estimator subcommand sends one request and prints the result
+   cells; `--json FILE` additionally writes an ftqc-manifest/1
+   document whose record matches what a direct `experiments` run with
+   the same parameters and seed would emit (so `manifest_check
+   --diff-results` can compare them), and `--out FILE` stores the raw
+   bytes of the result frame — the byte-identity contract is checked
+   on those bytes.  Cache/coalescing metadata goes to stderr.  Exit
+   codes: 0 success, 1 error, 3 overloaded. *)
+
+module Svc = Ftqc.Svc
+module Protocol = Svc.Protocol
+module Json = Ftqc.Obs.Json
+module Manifest = Ftqc.Obs.Manifest
+open Cmdliner
+
+(* --------------------------------------------------------- printing *)
+
+let pp_cell (c : Protocol.cell) =
+  Format.printf "  %-24s %a@." c.name Ftqc.Mc.Stats.pp c.estimate
+
+let print_payload = function
+  | Protocol.Estimate c -> pp_cell c
+  | Protocol.Cells cs -> List.iter pp_cell cs
+  | Protocol.Fit { cells; a; threshold } ->
+    List.iter pp_cell cells;
+    Format.printf "  fitted A = %g  =>  pseudo-threshold 1/A = %g@." a
+      threshold
+
+let write_manifest ~file ~est ~(outcome : Svc.Client.outcome) =
+  let m = Manifest.create () in
+  Manifest.add m
+    {
+      experiment = Protocol.experiment_name est;
+      params = [ ("request", Protocol.request_to_json (Run est)) ];
+      results = Protocol.manifest_results outcome.payload;
+      telemetry =
+        [
+          ("wall_s", Json.Float outcome.server_wall_s);
+          ("cached", Json.Bool outcome.cached);
+          ("coalesced", Json.Bool outcome.coalesced);
+        ];
+    };
+  Manifest.write ~generator:"ftqc_client" m ~file
+
+let write_raw ~file bytes =
+  let oc = open_out_bin file in
+  output_string oc bytes;
+  close_out oc
+
+(* ------------------------------------------------------ subcommands *)
+
+let on_progress ~state ~elapsed_s =
+  Printf.eprintf "progress: %s (%.1fs)\n%!" state elapsed_s
+
+let run_estimator socket json out est =
+  match
+    Svc.Client.with_connection ~socket (fun fd ->
+        Svc.Client.request ~on_progress fd est)
+  with
+  | Error msg ->
+    Printf.eprintf "ftqc_client: %s\n" msg;
+    1
+  | Ok (Error e) ->
+    Printf.eprintf "ftqc_client: %s: %s\n" e.code e.message;
+    if e.code = "overloaded" then 3 else 1
+  | Ok (Ok o) ->
+    print_payload o.payload;
+    Printf.eprintf "meta: cached=%b coalesced=%b server_wall=%.3fs\n%!"
+      o.cached o.coalesced o.server_wall_s;
+    Option.iter (fun file -> write_manifest ~file ~est ~outcome:o) json;
+    Option.iter (fun file -> write_raw ~file o.raw_result) out;
+    0
+
+(* ------------------------------------------------------------- args *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "ftqcd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"daemon socket path")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"write an ftqc-manifest/1 document (diffable against a \
+              direct experiments run)")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"write the raw result-frame bytes (byte-identity checks)")
+
+let trials_arg default =
+  Arg.(value & opt int default & info [ "trials" ] ~doc:"Monte-Carlo trials")
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"random seed")
+
+let derive_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "derive" ] ~docv:"PATH"
+        ~doc:"derive the seed through this split path (e.g. 10,8,2 for \
+              the e10 cell l=8, p-index 2) before sending")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("scalar", `Scalar); ("batch", `Batch) ]) `Scalar
+    & info [ "engine" ] ~doc:"Monte-Carlo engine (scalar or batch)")
+
+let finish_seed seed path =
+  match path with [] -> seed | path -> Ftqc.Mc.Rng.derive seed path
+
+let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
+
+let steane_cmd =
+  let run socket json out level eps rounds trials seed path engine =
+    run_estimator socket json out
+      (Protocol.Steane_memory
+         {
+           level;
+           eps;
+           rounds;
+           trials;
+           seed = finish_seed seed path;
+           engine;
+         })
+  in
+  let level =
+    Arg.(value & opt int 1 & info [ "level" ] ~doc:"concatenation level (1-3)")
+  in
+  let eps =
+    Arg.(value & opt float 0.05 & info [ "eps" ] ~doc:"physical error rate")
+  in
+  let rounds =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~doc:"memory rounds")
+  in
+  cmd "steane" ~doc:"concatenated-Steane memory failure (one E6b cell)"
+    Term.(
+      const run $ socket_arg $ json_arg $ out_arg $ level $ eps $ rounds
+      $ trials_arg 30000 $ seed_arg $ derive_arg $ engine_arg)
+
+let toric_cmd =
+  let run socket json out l p trials seed path engine =
+    run_estimator socket json out
+      (Protocol.Toric_memory
+         { l; p; trials; seed = finish_seed seed path; engine })
+  in
+  let l = Arg.(value & opt int 8 & info [ "l"; "lattice" ] ~doc:"lattice size") in
+  let p =
+    Arg.(value & opt float 0.08 & info [ "p"; "prob" ] ~doc:"X-error probability")
+  in
+  cmd "toric" ~doc:"toric-code memory failure (one E10 cell)"
+    Term.(
+      const run $ socket_arg $ json_arg $ out_arg $ l $ p $ trials_arg 2000
+      $ seed_arg $ derive_arg $ engine_arg)
+
+let toric_scan_cmd =
+  let run socket json out ls ps trials seed engine =
+    run_estimator socket json out
+      (Protocol.Toric_scan { ls; ps; trials; seed; engine })
+  in
+  let ls =
+    Arg.(
+      value
+      & opt (list int) [ 4; 6; 8; 12 ]
+      & info [ "ls" ] ~doc:"lattice sizes")
+  in
+  let ps =
+    Arg.(
+      value
+      & opt (list float) [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15 ]
+      & info [ "ps" ] ~doc:"error probabilities")
+  in
+  cmd "toric-scan"
+    ~doc:
+      "the E10 grid with the experiments driver's per-cell seed \
+       derivation (diffable against `experiments e10`)"
+    Term.(
+      const run $ socket_arg $ json_arg $ out_arg $ ls $ ps $ trials_arg 2000
+      $ seed_arg $ engine_arg)
+
+let toric_noisy_cmd =
+  let run socket json out l rounds p q trials seed path engine =
+    let rounds = match rounds with Some r -> r | None -> l in
+    let q = match q with Some q -> q | None -> p in
+    run_estimator socket json out
+      (Protocol.Toric_noisy
+         { l; rounds; p; q; trials; seed = finish_seed seed path; engine })
+  in
+  let l = Arg.(value & opt int 6 & info [ "l"; "lattice" ] ~doc:"lattice size") in
+  let rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~doc:"measurement rounds (default l)")
+  in
+  let p =
+    Arg.(value & opt float 0.03 & info [ "p"; "prob" ] ~doc:"data error probability")
+  in
+  let q =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "q"; "meas-prob" ] ~doc:"measurement error probability (default p)")
+  in
+  cmd "toric-noisy" ~doc:"toric memory with noisy measurements (E19 cell)"
+    Term.(
+      const run $ socket_arg $ json_arg $ out_arg $ l $ rounds $ p $ q
+      $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg)
+
+let toric_circuit_cmd =
+  let run socket json out l rounds eps trials seed path =
+    let rounds = match rounds with Some r -> r | None -> l in
+    run_estimator socket json out
+      (Protocol.Toric_circuit
+         { l; rounds; eps; trials; seed = finish_seed seed path })
+  in
+  let l = Arg.(value & opt int 4 & info [ "l"; "lattice" ] ~doc:"lattice size") in
+  let rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~doc:"noisy syndrome rounds (default l)")
+  in
+  let eps =
+    Arg.(value & opt float 0.002 & info [ "eps" ] ~doc:"gate noise strength")
+  in
+  cmd "toric-circuit" ~doc:"circuit-level toric memory (E24 cell)"
+    Term.(
+      const run $ socket_arg $ json_arg $ out_arg $ l $ rounds $ eps
+      $ trials_arg 400 $ seed_arg $ derive_arg)
+
+let pseudothreshold_cmd =
+  let run socket json out eps_list trials seed =
+    run_estimator socket json out
+      (Protocol.Pseudothreshold { eps_list; trials; seed })
+  in
+  let eps_list =
+    Arg.(
+      value
+      & opt (list float) [ 1e-3; 2e-3; 4e-3 ]
+      & info [ "eps-list" ] ~doc:"noise strengths")
+  in
+  cmd "pseudothreshold"
+    ~doc:
+      "the E5 pseudo-threshold scan with the driver's seed derivation \
+       (diffable against `experiments e5`)"
+    Term.(
+      const run $ socket_arg $ json_arg $ out_arg $ eps_list
+      $ trials_arg 20000 $ seed_arg)
+
+let status_cmd =
+  let run socket json =
+    match Svc.Client.with_connection ~socket Svc.Client.status with
+    | Error msg ->
+      Printf.eprintf "ftqc_client: %s\n" msg;
+      1
+    | Ok (Error e) ->
+      Printf.eprintf "ftqc_client: %s: %s\n" e.code e.message;
+      1
+    | Ok (Ok j) ->
+      print_string (Json.to_string j);
+      Option.iter (fun file -> Json.write ~file j) json;
+      0
+  in
+  cmd "status" ~doc:"daemon status (queue, cache, metrics registry)"
+    Term.(const run $ socket_arg $ json_arg)
+
+let ping_cmd =
+  let run socket =
+    match Svc.Client.with_connection ~socket Svc.Client.ping with
+    | Ok (Ok ()) ->
+      print_endline "pong";
+      0
+    | Ok (Error e) ->
+      Printf.eprintf "ftqc_client: %s: %s\n" e.code e.message;
+      1
+    | Error msg ->
+      Printf.eprintf "ftqc_client: %s\n" msg;
+      1
+  in
+  cmd "ping" ~doc:"liveness probe" Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let run socket =
+    match Svc.Client.with_connection ~socket Svc.Client.shutdown with
+    | Ok (Ok ()) ->
+      print_endline "shutting down";
+      0
+    | Ok (Error e) ->
+      Printf.eprintf "ftqc_client: %s: %s\n" e.code e.message;
+      1
+    | Error msg ->
+      Printf.eprintf "ftqc_client: %s\n" msg;
+      1
+  in
+  cmd "shutdown" ~doc:"stop the daemon (drains queued jobs)"
+    Term.(const run $ socket_arg)
+
+let () =
+  let info = Cmd.info "ftqc_client" ~doc:"client for the ftqcd service" in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            steane_cmd;
+            toric_cmd;
+            toric_scan_cmd;
+            toric_noisy_cmd;
+            toric_circuit_cmd;
+            pseudothreshold_cmd;
+            status_cmd;
+            ping_cmd;
+            shutdown_cmd;
+          ]))

@@ -1,0 +1,72 @@
+(* ftqcd — the persistent estimation daemon.  Binds a Unix-domain
+   socket and serves ftqc-rpc/1 requests (see lib/svc) until SIGINT,
+   SIGTERM or a client shutdown request; the signal path is the same
+   campaign stop flag the Monte-Carlo engine already honours, so a
+   signal also stops in-flight runners at the next chunk boundary.
+   The socket file is removed on the way out. *)
+
+open Cmdliner
+module Svc = Ftqc.Svc
+
+let run socket max_queue workers cache_size domains progress_interval =
+  let domains = if domains <= 0 then None else Some domains in
+  Ftqc.Mc.Campaign.install_signal_handlers ();
+  let cfg =
+    Svc.Server.config ~socket ~max_queue ~workers ~cache_capacity:cache_size
+      ?domains ~progress_interval ()
+  in
+  match
+    Printf.printf "ftqcd: listening on %s (workers=%d, queue<=%d, cache<=%d)\n%!"
+      socket workers max_queue cache_size;
+    Svc.Server.run cfg
+  with
+  | () ->
+    Printf.printf "ftqcd: stopped, %s removed\n%!" socket;
+    0
+  | exception Failure msg ->
+    Printf.eprintf "ftqcd: %s\n" msg;
+    1
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "ftqcd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-queue" ]
+        ~doc:"admission limit; further requests get a structured \
+              $(i,overloaded) error")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~doc:"worker threads")
+
+let cache_arg =
+  Arg.(
+    value & opt int 128 & info [ "cache-size" ] ~doc:"LRU result-cache entries")
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ]
+        ~doc:"Monte-Carlo domains per job (0 = engine default); results \
+              do not depend on it")
+
+let progress_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "progress-interval" ]
+        ~doc:"seconds between progress frames to waiting clients")
+
+let () =
+  let term =
+    Term.(
+      const run $ socket_arg $ max_queue_arg $ workers_arg $ cache_arg
+      $ domains_arg $ progress_arg)
+  in
+  let info =
+    Cmd.info "ftqcd" ~doc:"persistent FTQC estimation service daemon"
+  in
+  exit (Cmd.eval' (Cmd.v info term))

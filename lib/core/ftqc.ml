@@ -27,7 +27,10 @@
     - {!Threshold}: concatenation flow equations, big-code scaling,
       factoring resource estimates.
     - {!Toric}: Kitaev's toric code + union-find decoder (§7).
-    - {!Anyon}: nonabelian flux-pair computation over A₅ (§7.3–7.4). *)
+    - {!Anyon}: nonabelian flux-pair computation over A₅ (§7.3–7.4).
+    - {!Svc}: the persistent estimation service ([ftqcd]) — a
+      Unix-socket daemon with a bounded job queue, request
+      coalescing and an LRU result cache over the estimators. *)
 
 module Obs = Obs
 module Mc = Mc
@@ -44,6 +47,7 @@ module Ft = Ft
 module Threshold = Threshold
 module Toric = Toric
 module Anyon = Anyon
+module Svc = Svc
 
 (** Library version. *)
 let version = "1.0.0"

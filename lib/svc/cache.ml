@@ -1,0 +1,85 @@
+(* Doubly-linked LRU list + hashtable, one mutex around everything:
+   the cache is shared between connection threads (lookups) and
+   worker threads (inserts). *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards MRU *)
+  mutable next : 'a node option;  (* towards LRU *)
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable mru : 'a node option;
+  mutable lru : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = t.capacity
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+(* unlink [n] from the list (caller holds the lock) *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_mru t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+        t.hits <- t.hits + 1;
+        unlink t n;
+        push_mru t n;
+        Some n.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key value =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some n ->
+        n.value <- value;
+        unlink t n;
+        push_mru t n
+      | None ->
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key n;
+        push_mru t n);
+      if Hashtbl.length t.table > t.capacity then
+        match t.lru with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.key
+        | None -> assert false)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)

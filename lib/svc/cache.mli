@@ -1,0 +1,30 @@
+(** A thread-safe LRU result cache keyed by canonical request
+    strings.
+
+    Capacity-bounded: inserting beyond [capacity] evicts the least
+    recently used entry ({!find} counts as use).  Hit/miss counters
+    feed the daemon's [status] metrics.  All operations take the
+    internal mutex, so worker and connection threads may share one
+    cache. *)
+
+type 'a t
+
+(** [create ~capacity] — capacity must be >= 1. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Current number of entries. *)
+val length : 'a t -> int
+
+(** [find t key] — the cached value, promoting the entry to
+    most-recently-used; bumps the hit or miss counter. *)
+val find : 'a t -> string -> 'a option
+
+(** [add t key v] — insert or overwrite (either way the entry
+    becomes most-recently-used), evicting the LRU entry when over
+    capacity. *)
+val add : 'a t -> string -> 'a -> unit
+
+val hits : 'a t -> int
+val misses : 'a t -> int

@@ -1,0 +1,131 @@
+module Json = Obs.Json
+
+type error = { code : string; message : string }
+
+type outcome = {
+  payload : Protocol.payload;
+  raw_result : string;
+  cached : bool;
+  coalesced : bool;
+  server_wall_s : float;
+  progress_frames : int;
+}
+
+let transport message = { code = "transport"; message }
+
+let connect ~socket =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  try
+    Unix.connect fd (ADDR_UNIX socket);
+    Ok fd
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "%s: %s" socket (Unix.error_message e))
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let with_connection ~socket f =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok fd -> Ok (Fun.protect ~finally:(fun () -> close fd) (fun () -> f fd))
+
+let read_frame fd =
+  match Codec.read fd with
+  | Error `Closed -> Error (transport "connection closed by server")
+  | Error (`Bad msg) -> Error (transport msg)
+  | Ok (j, raw) -> (
+    match Protocol.check_frame j with
+    | Error msg -> Error (transport msg)
+    | Ok ty -> Ok (ty, j, raw))
+
+let field_string j k =
+  Option.bind (Protocol.frame_field j k) Json.to_string_opt
+
+let field_float j k =
+  Option.bind (Protocol.frame_field j k) Json.to_float_opt
+
+let field_bool j k =
+  match Protocol.frame_field j k with Some (Json.Bool b) -> Some b | _ -> None
+
+let error_of_frame j =
+  {
+    code = Option.value ~default:"error" (field_string j "code");
+    message = Option.value ~default:"(no message)" (field_string j "message");
+  }
+
+let send fd req =
+  try
+    Codec.write fd (Protocol.request_frame req);
+    Ok ()
+  with
+  | Unix.Unix_error (e, _, _) -> Error (transport (Unix.error_message e))
+  | Failure msg -> Error (transport msg)
+
+let request ?on_progress fd est =
+  match send fd (Protocol.Run est) with
+  | Error _ as e -> e
+  | Ok () ->
+    (* ack, then any number of progress frames, then meta + result
+       (or a terminal error frame at any point) *)
+    let rec loop ~cached ~coalesced ~wall ~progress =
+      match read_frame fd with
+      | Error _ as e -> e
+      | Ok (ty, j, raw) -> (
+        match ty with
+        | "ack" -> loop ~cached ~coalesced ~wall ~progress
+        | "progress" ->
+          (match on_progress with
+          | Some f ->
+            f
+              ~state:(Option.value ~default:"?" (field_string j "state"))
+              ~elapsed_s:(Option.value ~default:0.0 (field_float j "elapsed_s"))
+          | None -> ());
+          loop ~cached ~coalesced ~wall ~progress:(progress + 1)
+        | "meta" ->
+          loop
+            ~cached:(Option.value ~default:cached (field_bool j "cached"))
+            ~coalesced:
+              (Option.value ~default:coalesced (field_bool j "coalesced"))
+            ~wall:(Option.value ~default:wall (field_float j "wall_s"))
+            ~progress
+        | "result" -> (
+          match
+            Option.to_result ~none:"result frame: missing payload"
+              (Protocol.frame_field j "payload")
+            |> Fun.flip Result.bind Protocol.payload_of_json
+          with
+          | Error msg -> Error (transport msg)
+          | Ok payload ->
+            Ok
+              {
+                payload;
+                raw_result = raw;
+                cached;
+                coalesced;
+                server_wall_s = wall;
+                progress_frames = progress;
+              })
+        | "error" -> Error (error_of_frame j)
+        | other ->
+          Error (transport (Printf.sprintf "unexpected %s frame" other)))
+    in
+    loop ~cached:false ~coalesced:false ~wall:0.0 ~progress:0
+
+let simple fd req ~expect =
+  match send fd req with
+  | Error _ as e -> e
+  | Ok () -> (
+    match read_frame fd with
+    | Error _ as e -> e
+    | Ok (ty, j, _) ->
+      if ty = expect then Ok j
+      else if ty = "error" then Error (error_of_frame j)
+      else Error (transport (Printf.sprintf "unexpected %s frame" ty)))
+
+let status fd = simple fd Protocol.Status ~expect:"status"
+
+let ping fd =
+  Result.map (fun _ -> ()) (simple fd Protocol.Ping ~expect:"pong")
+
+let shutdown fd =
+  Result.map (fun _ -> ()) (simple fd Protocol.Shutdown ~expect:"ok")

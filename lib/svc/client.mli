@@ -1,0 +1,53 @@
+(** Blocking client for the [ftqc-rpc/1] estimation service.
+
+    One {!connect}ed descriptor carries any number of sequential
+    requests.  {!request} streams the server's frames: [progress]
+    frames invoke the callback, the [meta] frame fills the outcome's
+    cache/coalescing flags, and the final deterministic [result]
+    frame is returned both parsed ([payload]) and as the exact bytes
+    the server sent ([raw_result]) — the byte-identity contract is
+    checked against those bytes, not a re-encoding. *)
+
+type error = {
+  code : string;
+      (** server error code ([overloaded], [failed], [bad_request],
+          [shutting_down], …) or ["transport"] for connection-level
+          failures *)
+  message : string;
+}
+
+type outcome = {
+  payload : Protocol.payload;
+  raw_result : string;  (** exact bytes of the result frame *)
+  cached : bool;  (** answered from the LRU cache *)
+  coalesced : bool;  (** joined an in-flight identical request *)
+  server_wall_s : float;  (** server-side wall time for this request *)
+  progress_frames : int;  (** progress frames received while waiting *)
+}
+
+(** [connect ~socket] — open a connection to a daemon's Unix-domain
+    socket. *)
+val connect : socket:string -> (Unix.file_descr, string) result
+
+val close : Unix.file_descr -> unit
+
+(** [request ?on_progress fd est] — run one estimator remotely. *)
+val request :
+  ?on_progress:(state:string -> elapsed_s:float -> unit) ->
+  Unix.file_descr ->
+  Protocol.estimator ->
+  (outcome, error) result
+
+(** [status fd] — the daemon's status frame (uptime, queue and cache
+    occupancy, full metrics registry) as JSON. *)
+val status : Unix.file_descr -> (Obs.Json.t, error) result
+
+val ping : Unix.file_descr -> (unit, error) result
+
+(** [shutdown fd] — ask the daemon to stop (it drains queued jobs,
+    then removes its socket). *)
+val shutdown : Unix.file_descr -> (unit, error) result
+
+(** [with_connection ~socket f] — connect, apply [f], always close. *)
+val with_connection :
+  socket:string -> (Unix.file_descr -> 'a) -> ('a, string) result

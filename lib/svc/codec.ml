@@ -1,0 +1,61 @@
+(* 4-byte big-endian length prefix + JSON payload bytes. *)
+
+let max_frame = 16 * 1024 * 1024
+
+let encode j = Obs.Json.to_string j
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd buf !off (len - !off) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    off := !off + n
+  done
+
+let write fd j =
+  let payload = Bytes.unsafe_of_string (encode j) in
+  let len = Bytes.length payload in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  write_all fd header;
+  write_all fd payload
+
+(* read exactly [len] bytes; [`Closed] only when EOF lands before the
+   first byte (a clean connection close at a frame boundary) *)
+let read_exact fd len ~at_boundary =
+  let buf = Bytes.create len in
+  let off = ref 0 in
+  let result = ref (Ok buf) in
+  (try
+     while !off < len && Result.is_ok !result do
+       let n = Unix.read fd buf !off (len - !off) in
+       if n = 0 then
+         result :=
+           if !off = 0 && at_boundary then Error `Closed
+           else
+             Error
+               (`Bad
+                  (Printf.sprintf "connection closed mid-frame (%d/%d bytes)"
+                     !off len))
+       else off := !off + n
+     done
+   with Unix.Unix_error (e, _, _) ->
+     result := Error (`Bad ("read: " ^ Unix.error_message e)));
+  !result
+
+let read fd =
+  match read_exact fd 4 ~at_boundary:true with
+  | Error _ as e -> e
+  | Ok header -> (
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 0 || len > max_frame then
+      Error (`Bad (Printf.sprintf "frame length %d out of range" len))
+    else
+      match read_exact fd len ~at_boundary:false with
+      | Error _ as e -> e
+      | Ok payload -> (
+        let raw = Bytes.unsafe_to_string payload in
+        match Obs.Json.of_string raw with
+        | Ok j -> Ok (j, raw)
+        | Error msg -> Error (`Bad ("malformed frame: " ^ msg))))

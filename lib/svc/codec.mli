@@ -1,0 +1,25 @@
+(** Length-prefixed JSON framing over a stream socket.
+
+    One frame = a 4-byte big-endian payload length followed by that
+    many bytes of JSON (the deterministic {!Obs.Json.to_string}
+    rendering).  Reads are exact: a peer that closes mid-frame or
+    sends an oversized or malformed payload yields [Error], never a
+    mis-parsed frame. *)
+
+(** Maximum accepted payload size in bytes (16 MiB) — an admission
+    guard, not a protocol limit. *)
+val max_frame : int
+
+(** [encode j] — the payload bytes of a frame (no length prefix):
+    what a byte-identity comparison of two replies should compare. *)
+val encode : Obs.Json.t -> string
+
+(** [write fd j] — send one frame ([Unix.write] until complete). *)
+val write : Unix.file_descr -> Obs.Json.t -> unit
+
+(** [read fd] — receive one frame; returns the parsed document and
+    its raw payload bytes.  [Error `Closed] on clean EOF at a frame
+    boundary, [Error (`Bad msg)] on anything malformed. *)
+val read :
+  Unix.file_descr ->
+  (Obs.Json.t * string, [ `Closed | `Bad of string ]) result

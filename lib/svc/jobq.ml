@@ -1,0 +1,49 @@
+(* Mutex + condition around a Queue.t; push is non-blocking by design
+   (admission control happens here, not in the workers). *)
+
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutable closed : bool;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Jobq.create: capacity must be >= 1";
+  {
+    capacity;
+    q = Queue.create ();
+    closed = false;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = t.capacity
+let depth t = locked t (fun () -> Queue.length t.q)
+
+let push t v =
+  locked t (fun () ->
+      if t.closed then Error `Closed
+      else if Queue.length t.q >= t.capacity then Error `Overloaded
+      else begin
+        Queue.add v t.q;
+        Condition.signal t.nonempty;
+        Ok ()
+      end)
+
+let pop t =
+  locked t (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      if Queue.is_empty t.q then None else Some (Queue.take t.q))
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)

@@ -1,0 +1,26 @@
+(** A bounded FIFO job queue with reject-on-overflow admission
+    control.
+
+    {!push} never blocks: beyond [capacity] queued entries it returns
+    [Error `Overloaded] — the daemon turns that into a structured
+    [overloaded] reply instead of letting requests pile up or hang.
+    {!pop} blocks workers until an entry or {!close} arrives. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+
+(** Entries currently queued (excludes entries already popped by a
+    worker). *)
+val depth : 'a t -> int
+
+val push : 'a t -> 'a -> (unit, [ `Overloaded | `Closed ]) result
+
+(** [pop t] — block until an entry is available; [None] once the
+    queue is closed and drained. *)
+val pop : 'a t -> 'a option
+
+(** [close t] — reject further pushes and wake every blocked
+    {!pop} (each drains remaining entries, then gets [None]). *)
+val close : 'a t -> unit

@@ -1,0 +1,459 @@
+(* ftqc-rpc/1: canonical request encoding + frame builders.  The
+   canonical string (fixed field order, defaults filled in, the
+   deterministic Obs.Json encoder) is the cache/coalescing key; the
+   result frame is a pure function of (key, payload) so cached and
+   fresh replies are byte-identical. *)
+
+module Json = Obs.Json
+
+let proto_version = "ftqc-rpc/1"
+
+type engine = [ `Scalar | `Batch ]
+
+type estimator =
+  | Steane_memory of {
+      level : int;
+      eps : float;
+      rounds : int;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }
+  | Toric_memory of {
+      l : int;
+      p : float;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }
+  | Toric_scan of {
+      ls : int list;
+      ps : float list;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }
+  | Toric_noisy of {
+      l : int;
+      rounds : int;
+      p : float;
+      q : float;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }
+  | Toric_circuit of {
+      l : int;
+      rounds : int;
+      eps : float;
+      trials : int;
+      seed : int;
+    }
+  | Pseudothreshold of { eps_list : float list; trials : int; seed : int }
+
+type request = Run of estimator | Status | Ping | Shutdown
+type cell = { name : string; estimate : Mc.Stats.estimate }
+
+type payload =
+  | Estimate of cell
+  | Cells of cell list
+  | Fit of { cells : cell list; a : float; threshold : float }
+
+(* ------------------------------------------------------- encoding *)
+
+let engine_to_string = function `Scalar -> "scalar" | `Batch -> "batch"
+
+let engine_of_string = function
+  | "scalar" -> Ok `Scalar
+  | "batch" -> Ok `Batch
+  | s -> Error (Printf.sprintf "unknown engine %S" s)
+
+let estimator_name = function
+  | Steane_memory _ -> "steane_memory"
+  | Toric_memory _ -> "toric_memory"
+  | Toric_scan _ -> "toric_scan"
+  | Toric_noisy _ -> "toric_noisy"
+  | Toric_circuit _ -> "toric_circuit"
+  | Pseudothreshold _ -> "pseudothreshold"
+
+(* Scans that replay an experiments-driver record keep its experiment
+   name so manifest_check --diff-results can compare a service reply
+   against a direct run; single cells get the request-type tag. *)
+let experiment_name = function
+  | Toric_scan _ -> "e10"
+  | Pseudothreshold _ -> "e5"
+  | e -> estimator_name e
+
+let floats l = Json.List (List.map (fun f -> Json.Float f) l)
+let ints l = Json.List (List.map (fun i -> Json.Int i) l)
+
+let estimator_to_json e =
+  let typ = ("type", Json.String (estimator_name e)) in
+  match e with
+  | Steane_memory { level; eps; rounds; trials; seed; engine } ->
+    Json.Obj
+      [ typ; ("level", Int level); ("eps", Float eps); ("rounds", Int rounds);
+        ("trials", Int trials); ("seed", Int seed);
+        ("engine", String (engine_to_string engine)) ]
+  | Toric_memory { l; p; trials; seed; engine } ->
+    Json.Obj
+      [ typ; ("l", Int l); ("p", Float p); ("trials", Int trials);
+        ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
+  | Toric_scan { ls; ps; trials; seed; engine } ->
+    Json.Obj
+      [ typ; ("ls", ints ls); ("ps", floats ps); ("trials", Int trials);
+        ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
+  | Toric_noisy { l; rounds; p; q; trials; seed; engine } ->
+    Json.Obj
+      [ typ; ("l", Int l); ("rounds", Int rounds); ("p", Float p);
+        ("q", Float q); ("trials", Int trials); ("seed", Int seed);
+        ("engine", String (engine_to_string engine)) ]
+  | Toric_circuit { l; rounds; eps; trials; seed } ->
+    Json.Obj
+      [ typ; ("l", Int l); ("rounds", Int rounds); ("eps", Float eps);
+        ("trials", Int trials); ("seed", Int seed) ]
+  | Pseudothreshold { eps_list; trials; seed } ->
+    Json.Obj
+      [ typ; ("eps_list", floats eps_list); ("trials", Int trials);
+        ("seed", Int seed) ]
+
+let request_to_json = function
+  | Run e -> estimator_to_json e
+  | Status -> Json.Obj [ ("type", String "status") ]
+  | Ping -> Json.Obj [ ("type", String "ping") ]
+  | Shutdown -> Json.Obj [ ("type", String "shutdown") ]
+
+(* ------------------------------------------------------- decoding *)
+
+let ( let* ) = Result.bind
+
+(* strict object reader: every present field must be consumed, every
+   consumed field must be well-typed; [engine] is the one defaulted
+   field (canonicalization fills it in) *)
+type reader = { fields : (string * Json.t) list; mutable seen : string list }
+
+let reader_of_json = function
+  | Json.Obj fields -> Ok { fields; seen = [] }
+  | _ -> Error "request must be a JSON object"
+
+let field r name =
+  r.seen <- name :: r.seen;
+  List.assoc_opt name r.fields
+
+let req_int r name =
+  match field r name with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let req_float r name =
+  match field r name with
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "field %S must be a number" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let req_engine r =
+  match field r "engine" with
+  | None -> Ok `Scalar
+  | Some (Json.String s) -> engine_of_string s
+  | Some _ -> Error "field \"engine\" must be a string"
+
+let req_list elem r name =
+  match field r name with
+  | Some (Json.List l) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: tl -> (
+        match elem v with
+        | Some x -> go (x :: acc) tl
+        | None -> Error (Printf.sprintf "field %S has a malformed element" name))
+    in
+    let* l = go [] l in
+    if l = [] then Error (Printf.sprintf "field %S must be non-empty" name)
+    else Ok l
+  | Some _ -> Error (Printf.sprintf "field %S must be a list" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let finish r v =
+  let unknown =
+    List.filter
+      (fun (k, _) -> not (List.mem k ("type" :: r.seen)))
+      r.fields
+  in
+  match unknown with
+  | [] -> v
+  | (k, _) :: _ -> Error (Printf.sprintf "unknown field %S" k)
+
+let check cond msg = if cond then Ok () else Error msg
+
+let prob name p =
+  check (p >= 0.0 && p <= 1.0) (Printf.sprintf "%s must be in [0,1]" name)
+
+let positive name i =
+  check (i > 0) (Printf.sprintf "%s must be positive" name)
+
+let estimator_of_json j =
+  let* r = reader_of_json j in
+  let* typ =
+    match List.assoc_opt "type" r.fields with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "missing request \"type\""
+  in
+  finish r
+    (match typ with
+    | "steane_memory" ->
+      let* level = req_int r "level" in
+      let* eps = req_float r "eps" in
+      let* rounds = req_int r "rounds" in
+      let* trials = req_int r "trials" in
+      let* seed = req_int r "seed" in
+      let* engine = req_engine r in
+      let* () = check (level >= 1 && level <= 3) "level must be 1..3" in
+      let* () = prob "eps" eps in
+      let* () = positive "rounds" rounds in
+      let* () = positive "trials" trials in
+      Ok (Steane_memory { level; eps; rounds; trials; seed; engine })
+    | "toric_memory" ->
+      let* l = req_int r "l" in
+      let* p = req_float r "p" in
+      let* trials = req_int r "trials" in
+      let* seed = req_int r "seed" in
+      let* engine = req_engine r in
+      let* () = check (l >= 2) "l must be >= 2" in
+      let* () = prob "p" p in
+      let* () = positive "trials" trials in
+      Ok (Toric_memory { l; p; trials; seed; engine })
+    | "toric_scan" ->
+      let* ls = req_list Json.to_int_opt r "ls" in
+      let* ps = req_list Json.to_float_opt r "ps" in
+      let* trials = req_int r "trials" in
+      let* seed = req_int r "seed" in
+      let* engine = req_engine r in
+      let* () = check (List.for_all (fun l -> l >= 2) ls) "ls must be >= 2" in
+      let* () =
+        check (List.for_all (fun p -> p >= 0.0 && p <= 1.0) ps)
+          "ps must be in [0,1]"
+      in
+      let* () = positive "trials" trials in
+      Ok (Toric_scan { ls; ps; trials; seed; engine })
+    | "toric_noisy" ->
+      let* l = req_int r "l" in
+      let* rounds = req_int r "rounds" in
+      let* p = req_float r "p" in
+      let* q = req_float r "q" in
+      let* trials = req_int r "trials" in
+      let* seed = req_int r "seed" in
+      let* engine = req_engine r in
+      let* () = check (l >= 2) "l must be >= 2" in
+      let* () = positive "rounds" rounds in
+      let* () = prob "p" p in
+      let* () = prob "q" q in
+      let* () = positive "trials" trials in
+      Ok (Toric_noisy { l; rounds; p; q; trials; seed; engine })
+    | "toric_circuit" ->
+      let* l = req_int r "l" in
+      let* rounds = req_int r "rounds" in
+      let* eps = req_float r "eps" in
+      let* trials = req_int r "trials" in
+      let* seed = req_int r "seed" in
+      let* () = check (l >= 2) "l must be >= 2" in
+      let* () = positive "rounds" rounds in
+      let* () = prob "eps" eps in
+      let* () = positive "trials" trials in
+      Ok (Toric_circuit { l; rounds; eps; trials; seed })
+    | "pseudothreshold" ->
+      let* eps_list = req_list Json.to_float_opt r "eps_list" in
+      let* trials = req_int r "trials" in
+      let* seed = req_int r "seed" in
+      let* () =
+        check
+          (List.for_all (fun e -> e > 0.0 && e <= 1.0) eps_list)
+          "eps_list must be in (0,1]"
+      in
+      let* () = positive "trials" trials in
+      Ok (Pseudothreshold { eps_list; trials; seed })
+    | t -> Error (Printf.sprintf "unknown request type %S" t))
+
+let request_of_json j =
+  match j with
+  | Json.Obj fields -> (
+    match List.assoc_opt "type" fields with
+    | Some (Json.String "status") -> Ok Status
+    | Some (Json.String "ping") -> Ok Ping
+    | Some (Json.String "shutdown") -> Ok Shutdown
+    | _ ->
+      let* e = estimator_of_json j in
+      Ok (Run e))
+  | _ -> Error "request must be a JSON object"
+
+let to_canonical r = Json.to_string (request_to_json r)
+let hash r = Digest.to_hex (Digest.string (to_canonical r))
+
+(* ------------------------------------------------------- payloads *)
+
+let estimate_to_json (e : Mc.Stats.estimate) =
+  Json.Obj
+    [ ("failures", Int e.failures); ("trials", Int e.trials);
+      ("rate", Float e.rate); ("stderr", Float e.stderr);
+      ("ci_low", Float e.ci_low); ("ci_high", Float e.ci_high) ]
+
+let estimate_of_json j =
+  let* r = reader_of_json j in
+  let* failures = req_int r "failures" in
+  let* trials = req_int r "trials" in
+  let* rate = req_float r "rate" in
+  let* stderr = req_float r "stderr" in
+  let* ci_low = req_float r "ci_low" in
+  let* ci_high = req_float r "ci_high" in
+  Ok { Mc.Stats.failures; trials; rate; stderr; ci_low; ci_high }
+
+let cell_to_json c =
+  Json.Obj
+    [ ("name", String c.name); ("estimate", estimate_to_json c.estimate) ]
+
+let cell_of_json j =
+  let* r = reader_of_json j in
+  let* name =
+    match field r "name" with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "cell needs a string \"name\""
+  in
+  let* e =
+    match field r "estimate" with
+    | Some v -> estimate_of_json v
+    | None -> Error "cell needs an \"estimate\""
+  in
+  Ok { name; estimate = e }
+
+let cells_to_json cells = Json.List (List.map cell_to_json cells)
+
+let cells_of_json = function
+  | Json.List l ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: tl ->
+        let* c = cell_of_json v in
+        go (c :: acc) tl
+    in
+    go [] l
+  | _ -> Error "cells must be a list"
+
+let payload_to_json = function
+  | Estimate c ->
+    Json.Obj
+      [ ("kind", String "estimate"); ("name", String c.name);
+        ("estimate", estimate_to_json c.estimate) ]
+  | Cells cells ->
+    Json.Obj [ ("kind", String "cells"); ("cells", cells_to_json cells) ]
+  | Fit { cells; a; threshold } ->
+    Json.Obj
+      [ ("kind", String "fit"); ("cells", cells_to_json cells);
+        ("a", Float a); ("threshold", Float threshold) ]
+
+(* NaN/inf encode as Null (JSON has no representation); a fit over
+   degenerate points comes back as nan, matching the driver's
+   behaviour of dropping non-finite analytic values *)
+let float_or_nan = function
+  | Some v -> ( match Json.to_float_opt v with Some f -> f | None -> nan)
+  | None -> nan
+
+let payload_of_json j =
+  let* r = reader_of_json j in
+  match field r "kind" with
+  | Some (Json.String "estimate") ->
+    let* c = cell_of_json (Json.Obj (List.remove_assoc "kind" r.fields)) in
+    Ok (Estimate c)
+  | Some (Json.String "cells") -> (
+    match field r "cells" with
+    | Some v ->
+      let* cells = cells_of_json v in
+      Ok (Cells cells)
+    | None -> Error "missing \"cells\"")
+  | Some (Json.String "fit") -> (
+    match field r "cells" with
+    | Some v ->
+      let* cells = cells_of_json v in
+      let a = float_or_nan (field r "a") in
+      let threshold = float_or_nan (field r "threshold") in
+      Ok (Fit { cells; a; threshold })
+    | None -> Error "missing \"cells\"")
+  | _ -> Error "unknown payload kind"
+
+let manifest_result (c : cell) =
+  {
+    Obs.Manifest.name = c.name;
+    failures = c.estimate.failures;
+    trials_used = c.estimate.trials;
+    rate = c.estimate.rate;
+    ci_lo = c.estimate.ci_low;
+    ci_hi = c.estimate.ci_high;
+  }
+
+let manifest_results = function
+  | Estimate c -> [ manifest_result c ]
+  | Cells cells -> List.map manifest_result cells
+  | Fit { cells; a; threshold } ->
+    List.map manifest_result cells
+    @ (if Float.is_finite a then [ Obs.Manifest.value "fitted_A" a ] else [])
+    @
+    if Float.is_finite threshold then
+      [ Obs.Manifest.value "pseudothreshold" threshold ]
+    else []
+
+(* ------------------------------------------------------- frames *)
+
+let frame typ fields =
+  Json.Obj
+    (("proto", Json.String proto_version) :: ("type", Json.String typ)
+   :: fields)
+
+let request_frame r = frame "request" [ ("body", request_to_json r) ]
+
+let result_frame ~key payload =
+  frame "result" [ ("key", String key); ("payload", payload_to_json payload) ]
+
+let ack_frame ~key ~state =
+  frame "ack" [ ("key", String key); ("state", String state) ]
+
+let progress_frame ~key ~state ~elapsed_s =
+  frame "progress"
+    [ ("key", String key); ("state", String state);
+      ("elapsed_s", Float elapsed_s) ]
+
+let meta_frame ~cached ~coalesced ~wall_s =
+  frame "meta"
+    [ ("cached", Bool cached); ("coalesced", Bool coalesced);
+      ("wall_s", Float wall_s) ]
+
+let error_frame ~code ~message =
+  frame "error" [ ("code", String code); ("message", String message) ]
+
+let pong_frame = frame "pong" []
+let ok_frame = frame "ok" []
+
+let status_frame ~uptime_s ~queue_depth ~queue_capacity ~cache_length
+    ~cache_capacity ~metrics =
+  frame "status"
+    [ ("uptime_s", Float uptime_s);
+      ( "queue",
+        Obj [ ("depth", Int queue_depth); ("capacity", Int queue_capacity) ] );
+      ( "cache",
+        Obj [ ("length", Int cache_length); ("capacity", Int cache_capacity) ]
+      );
+      ("metrics", metrics) ]
+
+let frame_field j k =
+  match Json.member k j with Some Json.Null -> None | v -> v
+
+let check_frame j =
+  match Json.member "proto" j with
+  | Some (Json.String p) when p = proto_version -> (
+    match Json.member "type" j with
+    | Some (Json.String t) -> Ok t
+    | _ -> Error "frame has no \"type\"")
+  | Some (Json.String p) ->
+    Error (Printf.sprintf "protocol mismatch: peer speaks %S, we speak %S" p
+             proto_version)
+  | _ -> Error "frame has no \"proto\" tag"

@@ -1,0 +1,164 @@
+(** The [ftqc-rpc/1] wire protocol of the estimation service.
+
+    A request names one of the library's experiment estimators with
+    fully explicit parameters; {!to_canonical} renders it as a
+    {e canonical} JSON document — fixed field order, defaults filled
+    in, deterministic float formatting (via {!Obs.Json.to_string}) —
+    so two requests for the same computation always produce the same
+    bytes.  The canonical string is the coalescing/cache key (the
+    seed is part of it, which is what makes cached answers
+    bit-identical to fresh ones), and {!hash} is its hex digest for
+    display and logging.
+
+    Frames are JSON objects tagged with [proto = "ftqc-rpc/1"] and a
+    [type]; the {e result} frame is built by the pure
+    {!result_frame}, so a cached reply re-encodes to the very same
+    bytes as the fresh one. *)
+
+(** Monte-Carlo engine selector, as in the [_batch] drivers. *)
+type engine = [ `Scalar | `Batch ]
+
+(** One estimator request.  Seeds are final (already derived):
+    clients that want the seed of a specific experiment cell apply
+    [Mc.Rng.derive] themselves. *)
+type estimator =
+  | Steane_memory of {
+      level : int;
+      eps : float;
+      rounds : int;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }  (** {!Codes.Pauli_frame} concatenated-Steane memory (one E6b cell). *)
+  | Toric_memory of {
+      l : int;
+      p : float;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }  (** {!Toric.Memory} (one E10 cell, seed taken literally). *)
+  | Toric_scan of {
+      ls : int list;
+      ps : float list;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }
+      (** The full E10 grid with the experiment driver's own per-cell
+          seed derivation ([derive seed [10; l; pi]]), so the result
+          cells are bit-identical to [experiments e10 --seed]. *)
+  | Toric_noisy of {
+      l : int;
+      rounds : int;
+      p : float;
+      q : float;
+      trials : int;
+      seed : int;
+      engine : engine;
+    }  (** {!Toric.Noisy_memory} (E19-style cell). *)
+  | Toric_circuit of {
+      l : int;
+      rounds : int;
+      eps : float;
+      trials : int;
+      seed : int;
+    }  (** {!Toric.Circuit_memory} (E24-style cell). *)
+  | Pseudothreshold of { eps_list : float list; trials : int; seed : int }
+      (** The E5 scan: CNOT-exRec failure at each eps (seed
+          [derive seed [5; i]]), fitted to p = A·eps². *)
+
+type request = Run of estimator | Status | Ping | Shutdown
+
+(** One named result cell ({!Mc.Stats.estimate} plus the result name
+    the experiments driver would use for the same cell). *)
+type cell = { name : string; estimate : Mc.Stats.estimate }
+
+(** The deterministic result payload of a completed job. *)
+type payload =
+  | Estimate of cell  (** single-cell estimators *)
+  | Cells of cell list  (** grid scans *)
+  | Fit of { cells : cell list; a : float; threshold : float }
+      (** pseudothreshold scan: per-eps cells + fitted A and 1/A *)
+
+(** The protocol identifier, ["ftqc-rpc/1"]. *)
+val proto_version : string
+
+(** {1 Canonicalization} *)
+
+val request_to_json : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+
+(** [to_canonical r] — the canonical encoding: [request_to_json]
+    rendered by the deterministic encoder.  Equal requests (after
+    default-filling) yield equal strings. *)
+val to_canonical : request -> string
+
+(** [hash r] — hex digest of {!to_canonical} (the display form of
+    the cache/coalescing key). *)
+val hash : request -> string
+
+(** [estimator_name e] — the request-type tag, e.g.
+    ["toric_memory"]. *)
+val estimator_name : estimator -> string
+
+(** [experiment_name e] — the manifest experiment label; scans that
+    reproduce an experiments-driver record exactly use its name
+    (["e10"], ["e5"]) so [manifest_check --diff-results] can compare
+    service output against a direct run. *)
+val experiment_name : estimator -> string
+
+(** [manifest_results p] — the payload as manifest result rows
+    (degenerate rows for analytic fit values, dropped when
+    non-finite, exactly as the experiments driver emits them). *)
+val manifest_results : payload -> Obs.Manifest.result list
+
+(** {1 Payload encoding} *)
+
+val payload_to_json : payload -> Obs.Json.t
+val payload_of_json : Obs.Json.t -> (payload, string) result
+
+(** {1 Frames}
+
+    Every frame carries [proto]; {!check_frame} rejects anything
+    else.  Server→client frame types: [ack], [progress], [meta],
+    [result], [error], [pong], [status], [ok]. *)
+
+val request_frame : request -> Obs.Json.t
+
+(** [result_frame ~key payload] — the final reply.  Pure function of
+    (key, payload): cached, coalesced and fresh replies to the same
+    request are byte-identical. *)
+val result_frame : key:string -> payload -> Obs.Json.t
+
+(** [ack_frame ~key ~state] — first reply to an estimator request;
+    [state] is ["cached"], ["coalesced"] or ["queued"]. *)
+val ack_frame : key:string -> state:string -> Obs.Json.t
+
+val progress_frame :
+  key:string -> state:string -> elapsed_s:float -> Obs.Json.t
+
+(** [meta_frame] — per-request metadata that legitimately differs
+    between cached and fresh replies (sent {e before} the result
+    frame, which stays deterministic). *)
+val meta_frame :
+  cached:bool -> coalesced:bool -> wall_s:float -> Obs.Json.t
+
+val error_frame : code:string -> message:string -> Obs.Json.t
+val pong_frame : Obs.Json.t
+val ok_frame : Obs.Json.t
+
+val status_frame :
+  uptime_s:float ->
+  queue_depth:int ->
+  queue_capacity:int ->
+  cache_length:int ->
+  cache_capacity:int ->
+  metrics:Obs.Json.t ->
+  Obs.Json.t
+
+(** [check_frame j] — validate the [proto] tag and return the frame
+    [type]. *)
+val check_frame : Obs.Json.t -> (string, string) result
+
+(** [frame_field j k] — field [k], if present and non-null. *)
+val frame_field : Obs.Json.t -> string -> Obs.Json.t option

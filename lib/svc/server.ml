@@ -1,0 +1,414 @@
+(* Threading model: connection handlers and workers are systhreads
+   (they block on sockets and the job queue); the actual parallelism
+   lives inside each job, where Mc.Runner fans trials out over OCaml 5
+   domains (Domain.join releases the runtime lock, so other threads
+   keep serving).  *)
+
+type config = {
+  socket : string;
+  max_queue : int;
+  workers : int;
+  cache_capacity : int;
+  domains : int option;
+  progress_interval : float;
+}
+
+let config ?(max_queue = 32) ?(workers = 2) ?(cache_capacity = 128) ?domains
+    ?(progress_interval = 1.0) ~socket () =
+  if max_queue < 1 then invalid_arg "Server.config: max_queue must be >= 1";
+  if workers < 1 then invalid_arg "Server.config: workers must be >= 1";
+  { socket; max_queue; workers; cache_capacity; domains; progress_interval }
+
+(* ------------------------------------------------------- estimators *)
+
+(* Each arm reproduces the experiments driver's calls exactly — same
+   library entry point, same per-cell seed derivation, same result
+   names — so a service reply can be diffed against a direct
+   [experiments] manifest (and so canonical requests really do pin
+   down the bits of the answer). *)
+let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
+    Protocol.payload =
+  let estimate_of ~failures ~trials =
+    Mc.Stats.estimate ~failures ~trials ()
+  in
+  match est with
+  | Steane_memory { level; eps; rounds; trials; seed; engine } ->
+    let e =
+      match engine with
+      | `Scalar ->
+        Codes.Pauli_frame.memory_failure_mc ?domains ~obs ~level ~eps ~rounds
+          ~trials ~seed ()
+      | `Batch ->
+        Codes.Pauli_frame.memory_failure_batch ?domains ~obs ~level ~eps
+          ~rounds ~trials ~seed ()
+    in
+    Estimate { name = Printf.sprintf "L%d@eps=%g" level eps; estimate = e }
+  | Toric_memory { l; p; trials; seed; engine } ->
+    let r =
+      match engine with
+      | `Scalar -> Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
+      | `Batch -> Toric.Memory.run_batch ?domains ~obs ~l ~p ~trials ~seed ()
+    in
+    Estimate
+      {
+        name = Printf.sprintf "l=%d,p=%g" l p;
+        estimate = estimate_of ~failures:r.failures ~trials:r.trials;
+      }
+  | Toric_scan { ls; ps; trials; seed; engine } ->
+    (* e10's loop shape: p outer (indexed), l inner, seed derived per
+       cell — cells coincide with [experiments e10 --seed seed]. *)
+    let cells = ref [] in
+    List.iteri
+      (fun pi p ->
+        List.iter
+          (fun l ->
+            let seed = Mc.Rng.derive seed [ 10; l; pi ] in
+            let r =
+              match engine with
+              | `Scalar ->
+                Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
+              | `Batch ->
+                Toric.Memory.run_batch ?domains ~obs ~l ~p ~trials ~seed ()
+            in
+            cells :=
+              {
+                Protocol.name = Printf.sprintf "l=%d,p=%g" l p;
+                estimate = estimate_of ~failures:r.failures ~trials:r.trials;
+              }
+              :: !cells)
+          ls)
+      ps;
+    Cells (List.rev !cells)
+  | Toric_noisy { l; rounds; p; q; trials; seed; engine } ->
+    let r =
+      match engine with
+      | `Scalar ->
+        Toric.Noisy_memory.run_mc ?domains ~obs ~l ~rounds ~p ~q ~trials
+          ~seed ()
+      | `Batch ->
+        Toric.Noisy_memory.run_batch ?domains ~obs ~l ~rounds ~p ~q ~trials
+          ~seed ()
+    in
+    Estimate
+      {
+        name = Printf.sprintf "l=%d,p=%g" l p;
+        estimate = estimate_of ~failures:r.failures ~trials:r.trials;
+      }
+  | Toric_circuit { l; rounds; eps; trials; seed } ->
+    let r =
+      Toric.Circuit_memory.run_mc ?domains ~obs ~l ~rounds
+        ~noise:(Ft.Noise.uniform eps) ~trials ~seed ()
+    in
+    Estimate
+      {
+        name = Printf.sprintf "l=%d,eps=%g" l eps;
+        estimate = estimate_of ~failures:r.failures ~trials:r.trials;
+      }
+  | Pseudothreshold { eps_list; trials; seed } ->
+    (* e5: per-eps exRec failure, then the A·eps² fit. *)
+    let cells =
+      List.mapi
+        (fun i eps ->
+          let e =
+            Ft.Memory.logical_cnot_exrec_failure_mc ?domains ~obs
+              ~noise:(Ft.Noise.gates_only eps) ~trials
+              ~seed:(Mc.Rng.derive seed [ 5; i ])
+              ()
+          in
+          { Protocol.name = Printf.sprintf "exrec@eps=%g" eps; estimate = e })
+        eps_list
+    in
+    let pts =
+      List.map2
+        (fun eps (c : Protocol.cell) -> (eps, c.estimate.rate))
+        eps_list cells
+    in
+    let f = Threshold.Pseudothreshold.fit pts in
+    Fit { cells; a = f.a; threshold = f.threshold }
+
+(* ------------------------------------------------------------- jobs *)
+
+type job_state =
+  | Queued
+  | Running
+  | Finished of (Protocol.payload, string) result
+
+type job = {
+  key : string;  (* canonical request string: cache/coalescing key *)
+  est : Protocol.estimator;
+  started : float;  (* admission time *)
+  jlock : Mutex.t;
+  mutable state : job_state;
+}
+
+type t = {
+  cfg : config;
+  obs : Obs.t;
+  cache : Protocol.payload Cache.t;
+  queue : job Jobq.t;
+  inflight : (string, job) Hashtbl.t;  (* key -> job, under [ilock] *)
+  ilock : Mutex.t;
+  started_at : float;
+  mutable conns : (Thread.t * Unix.file_descr) list;  (* under [clock] *)
+  clock : Mutex.t;
+}
+
+let job_state j =
+  Mutex.lock j.jlock;
+  let s = j.state in
+  Mutex.unlock j.jlock;
+  s
+
+let set_job_state j s =
+  Mutex.lock j.jlock;
+  j.state <- s;
+  Mutex.unlock j.jlock
+
+(* ---------------------------------------------------------- workers *)
+
+let worker t =
+  let rec loop () =
+    match Jobq.pop t.queue with
+    | None -> ()
+    | Some job ->
+      Obs.set_gauge t.obs "svc.queue_depth" (float_of_int (Jobq.depth t.queue));
+      set_job_state job Running;
+      let result =
+        try Ok (execute ?domains:t.cfg.domains ~obs:t.obs job.est)
+        with exn -> Error (Printexc.to_string exn)
+      in
+      (match result with
+      | Ok payload -> Cache.add t.cache job.key payload
+      | Error _ -> ());
+      (* drop from the coalescing table before publishing the state,
+         so late arrivals go to the cache, not to a finished job *)
+      Mutex.lock t.ilock;
+      Hashtbl.remove t.inflight job.key;
+      Mutex.unlock t.ilock;
+      set_job_state job (Finished result);
+      Obs.incr t.obs "svc.jobs_done";
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------ connections *)
+
+let send fd j = Codec.write fd j
+
+let finish_request t fd ~key ~t0 ~cached ~coalesced payload =
+  let wall = Obs.now () -. t0 in
+  send fd (Protocol.meta_frame ~cached ~coalesced ~wall_s:wall);
+  send fd (Protocol.result_frame ~key payload);
+  Obs.observe_histogram t.obs "svc.request_latency_s" wall
+
+(* Wait for [job] to finish, streaming progress frames.  Polling (with
+   a short sleep) instead of a condition: OCaml's Condition.wait has
+   no timeout, and we need to wake up for the progress cadence and for
+   daemon shutdown anyway. *)
+let await_job t fd ~coalesced ~t0 job =
+  let last_progress = ref (Obs.now ()) in
+  let rec loop () =
+    match job_state job with
+    | Finished (Ok payload) ->
+      finish_request t fd ~key:job.key ~t0 ~cached:false ~coalesced payload
+    | Finished (Error msg) ->
+      send fd (Protocol.error_frame ~code:"failed" ~message:msg)
+    | Queued | Running ->
+      let now = Obs.now () in
+      if now -. !last_progress >= t.cfg.progress_interval then begin
+        last_progress := now;
+        let state =
+          match job_state job with Running -> "running" | _ -> "queued"
+        in
+        send fd
+          (Protocol.progress_frame ~key:job.key ~state
+             ~elapsed_s:(now -. job.started))
+      end;
+      Thread.delay 0.02;
+      loop ()
+  in
+  loop ()
+
+let handle_run t fd est =
+  let req = Protocol.Run est in
+  let key = Protocol.to_canonical req in
+  let khash = Protocol.hash req in
+  let t0 = Obs.now () in
+  Obs.incr t.obs "svc.requests";
+  Obs.incr t.obs (Printf.sprintf "svc.requests.%s" (Protocol.estimator_name est));
+  match Cache.find t.cache key with
+  | Some payload ->
+    Obs.incr t.obs "svc.cache_hits";
+    send fd (Protocol.ack_frame ~key:khash ~state:"cached");
+    finish_request t fd ~key ~t0 ~cached:true ~coalesced:false payload
+  | None -> (
+    Obs.incr t.obs "svc.cache_misses";
+    (* Coalesce onto an in-flight job for the same canonical request,
+       or admit a new one (bounded; reject, never hang). *)
+    Mutex.lock t.ilock;
+    let verdict =
+      match Hashtbl.find_opt t.inflight key with
+      | Some job -> `Join job
+      | None -> (
+        let job =
+          {
+            key;
+            est;
+            started = t0;
+            jlock = Mutex.create ();
+            state = Queued;
+          }
+        in
+        match Jobq.push t.queue job with
+        | Ok () ->
+          Hashtbl.replace t.inflight key job;
+          `Fresh job
+        | Error `Overloaded -> `Overloaded
+        | Error `Closed -> `Closed)
+    in
+    Mutex.unlock t.ilock;
+    match verdict with
+    | `Join job ->
+      Obs.incr t.obs "svc.coalesced";
+      send fd (Protocol.ack_frame ~key:khash ~state:"coalesced");
+      await_job t fd ~coalesced:true ~t0 job
+    | `Fresh job ->
+      Obs.set_gauge t.obs "svc.queue_depth" (float_of_int (Jobq.depth t.queue));
+      send fd (Protocol.ack_frame ~key:khash ~state:"queued");
+      await_job t fd ~coalesced:false ~t0 job
+    | `Overloaded ->
+      Obs.incr t.obs "svc.overloaded";
+      send fd
+        (Protocol.error_frame ~code:"overloaded"
+           ~message:
+             (Printf.sprintf "queue full (%d queued, capacity %d)"
+                (Jobq.depth t.queue) (Jobq.capacity t.queue)))
+    | `Closed ->
+      send fd
+        (Protocol.error_frame ~code:"shutting_down"
+           ~message:"daemon is shutting down"))
+
+let handle_status t fd =
+  Obs.incr t.obs "svc.requests";
+  send fd
+    (Protocol.status_frame
+       ~uptime_s:(Obs.now () -. t.started_at)
+       ~queue_depth:(Jobq.depth t.queue) ~queue_capacity:(Jobq.capacity t.queue)
+       ~cache_length:(Cache.length t.cache)
+       ~cache_capacity:(Cache.capacity t.cache) ~metrics:(Obs.metrics_json t.obs))
+
+let handle_frame t fd j =
+  let req =
+    match Protocol.check_frame j with
+    | Error msg -> Error msg
+    | Ok "request" -> (
+      match Protocol.frame_field j "body" with
+      | None -> Error "request frame: missing body"
+      | Some body -> Protocol.request_of_json body)
+    | Ok other -> Error (Printf.sprintf "unexpected %s frame" other)
+  in
+  match req with
+  | Error msg -> send fd (Protocol.error_frame ~code:"bad_request" ~message:msg)
+  | Ok (Run est) -> handle_run t fd est
+  | Ok Status -> handle_status t fd
+  | Ok Ping ->
+    Obs.incr t.obs "svc.requests";
+    send fd Protocol.pong_frame
+  | Ok Shutdown ->
+    Obs.incr t.obs "svc.requests";
+    send fd Protocol.ok_frame;
+    Mc.Campaign.request_stop ()
+
+let handle_conn t fd =
+  let rec loop () =
+    match Codec.read fd with
+    | Error `Closed -> ()
+    | Error (`Bad msg) ->
+      (try send fd (Protocol.error_frame ~code:"bad_frame" ~message:msg)
+       with _ -> ())
+    | Ok (j, _) ->
+      (match (try Ok (handle_frame t fd j) with exn -> Error exn) with
+      | Ok () -> loop ()
+      | Error _ -> ())
+  in
+  (try loop () with _ -> ());
+  (* deregister before closing so the shutdown sweep never touches a
+     closed (possibly reused) descriptor *)
+  Mutex.lock t.clock;
+  t.conns <- List.filter (fun (_, fd') -> fd' != fd) t.conns;
+  Mutex.unlock t.clock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------ setup *)
+
+(* A socket file can be left behind by a crashed daemon.  Probe it:
+   a live listener answers the connect; a stale file refuses, and is
+   safe to replace. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith (Printf.sprintf "Svc.Server: %s: daemon already running" path);
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let run ?(obs = Obs.create ()) cfg =
+  claim_socket cfg.socket;
+  let listen_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  let t =
+    {
+      cfg;
+      obs;
+      cache = Cache.create ~capacity:cfg.cache_capacity;
+      queue = Jobq.create ~capacity:cfg.max_queue;
+      inflight = Hashtbl.create 16;
+      ilock = Mutex.create ();
+      started_at = Obs.now ();
+      conns = [];
+      clock = Mutex.create ();
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink cfg.socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind listen_fd (ADDR_UNIX cfg.socket);
+      Unix.listen listen_fd 64;
+      let workers = List.init cfg.workers (fun _ -> Thread.create worker t) in
+      (* accept loop: select with a timeout so the campaign stop flag
+         (signal handler or shutdown request) is noticed promptly *)
+      while not (Mc.Campaign.stop_requested ()) do
+        match Unix.select [ listen_fd ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ ->
+          let fd, _ = Unix.accept listen_fd in
+          (* register under the lock so the handler can't deregister
+             before its entry exists *)
+          Mutex.lock t.clock;
+          let th = Thread.create (fun () -> handle_conn t fd) () in
+          t.conns <- (th, fd) :: t.conns;
+          Mutex.unlock t.clock
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+      done;
+      (* drain: workers finish queued jobs (pop empties the queue
+         before yielding None), waiters then see Finished and reply *)
+      Jobq.close t.queue;
+      List.iter Thread.join workers;
+      Mutex.lock t.clock;
+      let conns = t.conns in
+      t.conns <- [];
+      Mutex.unlock t.clock;
+      (* nudge any connection still blocked in read, then collect *)
+      List.iter
+        (fun (_, fd) ->
+          try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun (th, _) -> Thread.join th) conns)

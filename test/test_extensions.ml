@@ -257,49 +257,12 @@ let test_measurement_encoder_rm15 () =
 
 (* --- multicore Monte Carlo --------------------------------------------------- *)
 
-(* These ran against the deprecated Ft.Parmc shim; they now exercise
-   Mc.Runner (its replacement) directly, keeping the same behavioural
-   surface covered: reproducibility, domain-count agreement, and the
-   exactly-once trial-index guarantee. *)
+(* The Ft.Parmc compat suite is gone with the shim itself; Mc.Runner's
+   own guarantees (reproducibility, domain-count invariance, the
+   exactly-once trial index) live in test/test_mc.ml.  What stays here
+   is the one experiment-level consumer of the parallel entry point. *)
 
-let test_parmc_reproducible () =
-  let trial rng _ = Random.State.float rng 1.0 < 0.3 in
-  let a = Mc.Runner.failures ~domains:1 ~trials:5000 ~seed:11 trial in
-  let b = Mc.Runner.failures ~domains:1 ~trials:5000 ~seed:11 trial in
-  Alcotest.(check int) "same seed, same count" a b;
-  check "rate plausible" true (abs (a - 1500) < 150)
-
-let test_parmc_domains_agree_statistically () =
-  let trial rng _ = Random.State.float rng 1.0 < 0.5 in
-  let r d =
-    (Mc.Runner.estimate ~domains:d ~trials:20000 ~seed:3 trial).Mc.Stats.rate
-  in
-  check "different domain counts agree statistically"
-    true
-    (Float.abs (r 1 -. r 4) < 0.02)
-
-let test_parmc_trial_index () =
-  (* every trial index is counted exactly once; when running on more
-     than one domain the engine additionally runs one discarded warmup
-     trial (index 0) sequentially before spawning, to force any lazy
-     initialisation the trial touches *)
-  let seen = Array.make 100 0 in
-  let mutex = Mutex.create () in
-  let trial _ i =
-    Mutex.lock mutex;
-    seen.(i) <- seen.(i) + 1;
-    Mutex.unlock mutex;
-    false
-  in
-  ignore (Mc.Runner.failures ~domains:3 ~trials:100 ~seed:1 trial);
-  check "warmup runs index 0 once more" true (seen.(0) = 2);
-  check "other indices exactly once" true
-    (Array.for_all (( = ) 1) (Array.sub seen 1 99));
-  ignore (Mc.Runner.failures ~domains:1 ~trials:100 ~seed:1 trial);
-  check "single domain: no warmup, each index once more" true
-    (seen.(0) = 3 && Array.for_all (( = ) 2) (Array.sub seen 1 99))
-
-let test_parmc_matches_serial_experiment () =
+let test_concat_ec_parallel_experiment () =
   let noise = Ft.Noise.gates_only 2e-3 in
   let f, n =
     Ft.Concat_ec.logical_failure_rate_par ~domains:2 ~noise ~level:1
@@ -595,13 +558,6 @@ let suites =
         Alcotest.test_case "toric L=2" `Quick test_measurement_encoder_toric;
         Alcotest.test_case "reed-muller 15" `Quick
           test_measurement_encoder_rm15 ] );
-    ( "ft.parmc",
-      [ Alcotest.test_case "reproducible" `Quick test_parmc_reproducible;
-        Alcotest.test_case "domain counts agree" `Quick
-          test_parmc_domains_agree_statistically;
-        Alcotest.test_case "trial indices" `Quick test_parmc_trial_index;
-        Alcotest.test_case "parallel experiment" `Slow
-          test_parmc_matches_serial_experiment ] );
     ( "ft.teleport",
       [ Alcotest.test_case "basis states" `Quick test_teleport_basis_states;
         Alcotest.test_case "under noise" `Quick test_teleport_under_noise;
@@ -614,7 +570,9 @@ let suites =
           test_l2_recovery_inner_logical_error;
         Alcotest.test_case "verified |0bar>_2 prep" `Quick
           test_l2_prepare_zero;
-        Alcotest.test_case "noisy smoke" `Slow test_l2_noisy_smoke ] );
+        Alcotest.test_case "noisy smoke" `Slow test_l2_noisy_smoke;
+        Alcotest.test_case "parallel experiment" `Slow
+          test_concat_ec_parallel_experiment ] );
     ( "ft.extensions",
       [ Alcotest.test_case "shor EC on 5-qubit code" `Quick
           test_shor_ec_five_qubit;

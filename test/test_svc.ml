@@ -1,0 +1,449 @@
+(* lib/svc — the persistent estimation service.  The load-bearing
+   properties: the canonical request encoding is order- and
+   default-insensitive (it is the cache/coalescing key), the codec
+   never mis-parses a damaged frame, the LRU cache and bounded queue
+   keep their contracts, and above all a cached, coalesced or fresh
+   reply to the same canonical request is byte-identical to a direct
+   library run with the same parameters and seed. *)
+
+open Ftqc
+module Protocol = Svc.Protocol
+module Json = Obs.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let toric_est ?(l = 6) ?(p = 0.08) ?(trials = 400) ?(seed = 7) () =
+  Protocol.Toric_memory { l; p; trials; seed; engine = `Scalar }
+
+(* ---------------------------------------------------- canonicalize *)
+
+let all_estimators =
+  [
+    Protocol.Steane_memory
+      { level = 2; eps = 0.01; rounds = 1; trials = 50; seed = 1;
+        engine = `Batch };
+    toric_est ();
+    Protocol.Toric_scan
+      { ls = [ 4; 6 ]; ps = [ 0.05; 0.1 ]; trials = 20; seed = 3;
+        engine = `Scalar };
+    Protocol.Toric_noisy
+      { l = 4; rounds = 4; p = 0.02; q = 0.02; trials = 20; seed = 4;
+        engine = `Scalar };
+    Protocol.Toric_circuit
+      { l = 4; rounds = 4; eps = 0.002; trials = 10; seed = 5 };
+    Protocol.Pseudothreshold
+      { eps_list = [ 1e-3; 2e-3 ]; trials = 30; seed = 6 };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun est ->
+      let req = Protocol.Run est in
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' ->
+        check_str
+          (Protocol.estimator_name est ^ " canonical survives round trip")
+          (Protocol.to_canonical req) (Protocol.to_canonical req')
+      | Error msg -> Alcotest.failf "round trip failed: %s" msg)
+    (all_estimators
+    @ []);
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' -> check "control request round trips" true (req = req')
+      | Error msg -> Alcotest.failf "round trip failed: %s" msg)
+    [ Protocol.Status; Protocol.Ping; Protocol.Shutdown ]
+
+(* field order must not matter, and the defaulted engine field must
+   canonicalize to the same key as the explicit one *)
+let test_canonical_insensitive () =
+  let reordered =
+    Json.Obj
+      [ ("seed", Json.Int 7); ("p", Json.Float 0.08); ("trials", Json.Int 400);
+        ("type", Json.String "toric_memory"); ("l", Json.Int 6) ]
+  in
+  match Protocol.request_of_json reordered with
+  | Error msg -> Alcotest.failf "reordered request rejected: %s" msg
+  | Ok req ->
+    check_str "reordered + defaulted request has the same canonical key"
+      (Protocol.to_canonical (Run (toric_est ())))
+      (Protocol.to_canonical req);
+    check_str "and the same hash"
+      (Protocol.hash (Run (toric_est ())))
+      (Protocol.hash req)
+
+let expect_reject name j =
+  match Protocol.request_of_json j with
+  | Ok _ -> Alcotest.failf "%s: should have been rejected" name
+  | Error _ -> ()
+
+let test_validation () =
+  let base =
+    [ ("type", Json.String "toric_memory"); ("l", Json.Int 6);
+      ("p", Json.Float 0.08); ("trials", Json.Int 400); ("seed", Json.Int 7) ]
+  in
+  expect_reject "unknown field"
+    (Json.Obj (base @ [ ("bogus", Json.Int 1) ]));
+  expect_reject "bad probability"
+    (Json.Obj
+       (("p", Json.Float 1.5) :: List.remove_assoc "p" base));
+  expect_reject "zero trials"
+    (Json.Obj (("trials", Json.Int 0) :: List.remove_assoc "trials" base));
+  expect_reject "bad engine"
+    (Json.Obj (base @ [ ("engine", Json.String "turbo") ]));
+  expect_reject "unknown type"
+    (Json.Obj [ ("type", Json.String "alchemy") ]);
+  expect_reject "empty scan"
+    (Json.Obj
+       [ ("type", Json.String "toric_scan"); ("ls", Json.List []);
+         ("ps", Json.List [ Json.Float 0.1 ]); ("trials", Json.Int 1);
+         ("seed", Json.Int 0) ])
+
+let test_payload_roundtrip () =
+  let e = Mc.Stats.estimate ~failures:3 ~trials:100 () in
+  let payloads =
+    [
+      Protocol.Estimate { name = "cell"; estimate = e };
+      Protocol.Cells
+        [ { name = "a"; estimate = e }; { name = "b"; estimate = e } ];
+      Protocol.Fit
+        { cells = [ { name = "a"; estimate = e } ]; a = 21.0;
+          threshold = 1.0 /. 21.0 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      match Protocol.payload_of_json (Protocol.payload_to_json p) with
+      | Ok p' ->
+        check_str "payload round trips"
+          (Json.to_string (Protocol.payload_to_json p))
+          (Json.to_string (Protocol.payload_to_json p'))
+      | Error msg -> Alcotest.failf "payload round trip: %s" msg)
+    payloads;
+  (* a non-finite fit value encodes as null and comes back nan,
+     and is dropped from manifest rows — like the driver does *)
+  let degenerate =
+    Protocol.Fit { cells = [ { name = "a"; estimate = e } ]; a = 0.0;
+                   threshold = infinity }
+  in
+  let reparsed =
+    (* through the wire encoding: infinity serializes as null *)
+    match Json.of_string (Json.to_string (Protocol.payload_to_json degenerate))
+    with
+    | Ok j -> Protocol.payload_of_json j
+    | Error msg -> Error msg
+  in
+  match reparsed with
+  | Error msg -> Alcotest.failf "degenerate fit: %s" msg
+  | Ok (Fit f) ->
+    check "infinite threshold decodes as nan" true (Float.is_nan f.threshold);
+    check_int "non-finite fit values dropped from manifest rows" 2
+      (List.length (Protocol.manifest_results degenerate))
+  | Ok _ -> Alcotest.fail "degenerate fit decoded to the wrong payload"
+
+(* ---------------------------------------------------------- codec *)
+
+let test_codec_roundtrip () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let j = Protocol.request_frame (Run (toric_est ())) in
+      Svc.Codec.write a j;
+      (match Svc.Codec.read b with
+      | Ok (j', raw) ->
+        check_str "frame round trips" (Json.to_string j) (Json.to_string j');
+        check_str "raw bytes are the deterministic rendering"
+          (Svc.Codec.encode j) raw
+      | Error _ -> Alcotest.fail "codec read failed");
+      (* clean close between frames *)
+      Unix.close b;
+      check "clean EOF reads as `Closed" true
+        (match Svc.Codec.read a with Error `Closed -> true | _ -> false))
+
+let test_codec_truncated () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close a)
+    (fun () ->
+      (* a length header promising more bytes than ever arrive *)
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 64l;
+      let n = Unix.write b header 0 4 in
+      check_int "header written" 4 n;
+      let _ = Unix.write_substring b "{}" 0 2 in
+      Unix.close b;
+      check "mid-frame close is `Bad, not `Closed" true
+        (match Svc.Codec.read a with Error (`Bad _) -> true | _ -> false))
+
+(* ---------------------------------------------------------- cache *)
+
+let test_cache_lru () =
+  let c = Svc.Cache.create ~capacity:2 in
+  Svc.Cache.add c "a" 1;
+  Svc.Cache.add c "b" 2;
+  check "a present" true (Svc.Cache.find c "a" = Some 1);
+  (* "a" is now MRU; inserting "c" must evict "b" *)
+  Svc.Cache.add c "c" 3;
+  check "b evicted" true (Svc.Cache.find c "b" = None);
+  check "a survived" true (Svc.Cache.find c "a" = Some 1);
+  check "c present" true (Svc.Cache.find c "c" = Some 3);
+  check_int "length tracks evictions" 2 (Svc.Cache.length c);
+  Svc.Cache.add c "c" 4;
+  check "overwrite keeps one entry" true (Svc.Cache.find c "c" = Some 4);
+  check_int "hits counted" 4 (Svc.Cache.hits c);
+  check_int "misses counted" 1 (Svc.Cache.misses c)
+
+(* ----------------------------------------------------------- jobq *)
+
+let test_jobq () =
+  let q = Svc.Jobq.create ~capacity:2 in
+  check "push 1" true (Svc.Jobq.push q 1 = Ok ());
+  check "push 2" true (Svc.Jobq.push q 2 = Ok ());
+  check "push beyond capacity is rejected" true
+    (Svc.Jobq.push q 3 = Error `Overloaded);
+  check_int "depth" 2 (Svc.Jobq.depth q);
+  check "FIFO pop" true (Svc.Jobq.pop q = Some 1);
+  check "slot freed" true (Svc.Jobq.push q 3 = Ok ());
+  Svc.Jobq.close q;
+  check "push after close" true (Svc.Jobq.push q 4 = Error `Closed);
+  check "drains after close" true (Svc.Jobq.pop q = Some 2);
+  check "drains after close (2)" true (Svc.Jobq.pop q = Some 3);
+  check "then None" true (Svc.Jobq.pop q = None)
+
+(* ----------------------------------------------------- end-to-end *)
+
+let fresh_socket_path () =
+  let f = Filename.temp_file "ftqc_svc" ".sock" in
+  Sys.remove f;
+  f
+
+(* An in-process daemon on a temp socket; the campaign stop flag is
+   the shutdown path, exactly as in the real ftqcd. *)
+let with_server ?(workers = 2) ?(max_queue = 8) f =
+  Mc.Campaign.reset_stop ();
+  let socket = fresh_socket_path () in
+  let cfg =
+    Svc.Server.config ~workers ~max_queue ~cache_capacity:8 ~domains:2
+      ~progress_interval:0.05 ~socket ()
+  in
+  let obs = Obs.create () in
+  let th = Thread.create (fun () -> Svc.Server.run ~obs cfg) () in
+  let rec wait n =
+    if Sys.file_exists socket then ()
+    else if n = 0 then Alcotest.fail "server did not start"
+    else begin
+      Thread.delay 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Mc.Campaign.request_stop ();
+      Thread.join th;
+      Mc.Campaign.reset_stop ();
+      check "socket file removed on shutdown" false (Sys.file_exists socket))
+    (fun () -> f socket)
+
+let request_ok ?on_progress socket est =
+  match
+    Svc.Client.with_connection ~socket (fun fd ->
+        Svc.Client.request ?on_progress fd est)
+  with
+  | Ok (Ok o) -> o
+  | Ok (Error e) -> Alcotest.failf "request failed: %s: %s" e.code e.message
+  | Error msg -> Alcotest.failf "connect failed: %s" msg
+
+(* the central contract: fresh reply == cached reply == direct library
+   run, byte for byte *)
+let test_cached_bit_identical () =
+  with_server (fun socket ->
+      let est = toric_est () in
+      let direct = Svc.Server.execute ~domains:3 est in
+      let expected_raw =
+        Svc.Codec.encode
+          (Protocol.result_frame
+             ~key:(Protocol.to_canonical (Run est))
+             direct)
+      in
+      let fresh = request_ok socket est in
+      check "first reply is not cached" false fresh.cached;
+      check_str "fresh reply is byte-identical to the direct run"
+        expected_raw fresh.raw_result;
+      let cached = request_ok socket est in
+      check "second reply is cached" true cached.cached;
+      check_str "cached reply is byte-identical to the fresh one"
+        fresh.raw_result cached.raw_result)
+
+(* a second identical request arriving while the first is queued or
+   running must share its job (one execution, two byte-identical
+   replies) *)
+let test_coalescing () =
+  with_server ~workers:1 (fun socket ->
+      (* occupy the single worker so the next request stays visible
+         in the in-flight table long enough to be joined *)
+      let blocker = Thread.create (fun () ->
+          ignore (request_ok socket (toric_est ~l:12 ~p:0.1 ~trials:20000 ()))) ()
+      in
+      Thread.delay 0.2;
+      let est = toric_est ~seed:11 () in
+      let r1 = ref None and r2 = ref None in
+      let t1 = Thread.create (fun () -> r1 := Some (request_ok socket est)) () in
+      Thread.delay 0.1;
+      let t2 = Thread.create (fun () -> r2 := Some (request_ok socket est)) () in
+      Thread.join t1;
+      Thread.join t2;
+      Thread.join blocker;
+      match (!r1, !r2) with
+      | Some a, Some b ->
+        check "second request joined the first job" true b.coalesced;
+        check "coalesced reply is not a cache hit" false b.cached;
+        check_str "coalesced replies are byte-identical" a.raw_result
+          b.raw_result
+      | _ -> Alcotest.fail "coalesced requests did not complete")
+
+(* beyond max_queue the daemon must refuse with a structured error,
+   never hang the client *)
+let test_overload () =
+  with_server ~workers:1 ~max_queue:1 (fun socket ->
+      let blocker = Thread.create (fun () ->
+          ignore (request_ok socket (toric_est ~l:12 ~p:0.1 ~trials:20000 ()))) ()
+      in
+      Thread.delay 0.2;
+      (* the worker is busy: this one fills the single queue slot *)
+      let filler = Thread.create (fun () ->
+          ignore (request_ok socket (toric_est ~seed:21 ()))) ()
+      in
+      Thread.delay 0.1;
+      let refused =
+        Svc.Client.with_connection ~socket (fun fd ->
+            Svc.Client.request fd (toric_est ~seed:22 ()))
+      in
+      (match refused with
+      | Ok (Error e) -> check_str "structured overload error" "overloaded" e.code
+      | Ok (Ok _) -> Alcotest.fail "request beyond max_queue was accepted"
+      | Error msg -> Alcotest.failf "connect failed: %s" msg);
+      Thread.join filler;
+      Thread.join blocker)
+
+let test_scan_matches_driver_derivation () =
+  with_server (fun socket ->
+      let ls = [ 4; 6 ] and ps = [ 0.05; 0.1 ] in
+      let est =
+        Protocol.Toric_scan { ls; ps; trials = 200; seed = 2026;
+                              engine = `Scalar }
+      in
+      let o = request_ok socket est in
+      let cells =
+        match o.payload with
+        | Protocol.Cells cells -> cells
+        | _ -> Alcotest.fail "scan reply is not a cell list"
+      in
+      check_int "full grid" (List.length ls * List.length ps)
+        (List.length cells);
+      (* every cell must equal the driver's derivation for that cell *)
+      List.iteri
+        (fun pi p ->
+          List.iter
+            (fun l ->
+              let r =
+                Toric.Memory.run_mc ~l ~p ~trials:200
+                  ~seed:(Mc.Rng.derive 2026 [ 10; l; pi ])
+                  ()
+              in
+              let cell =
+                List.find
+                  (fun (c : Protocol.cell) ->
+                    c.name = Printf.sprintf "l=%d,p=%g" l p)
+                  cells
+              in
+              check_int
+                (Printf.sprintf "failures match driver at l=%d p=%g" l p)
+                r.failures cell.estimate.failures)
+            ls)
+        ps)
+
+let test_status_and_metrics () =
+  with_server (fun socket ->
+      let est = toric_est ~trials:100 () in
+      ignore (request_ok socket est);
+      ignore (request_ok socket est);
+      match Svc.Client.with_connection ~socket Svc.Client.status with
+      | Ok (Ok j) ->
+        let counter name =
+          match
+            Option.bind (Json.member "metrics" j) (fun m ->
+                Option.bind (Json.member "counters" m) (Json.member name))
+          with
+          | Some (Json.Int n) -> n
+          | _ -> 0
+        in
+        check "requests counted" true (counter "svc.requests" >= 3);
+        check_int "one cache hit" 1 (counter "svc.cache_hits");
+        check_int "one cache miss" 1 (counter "svc.cache_misses");
+        check "cache occupancy reported" true
+          (match
+             Option.bind (Json.member "cache" j) (Json.member "length")
+           with
+          | Some (Json.Int 1) -> true
+          | _ -> false);
+        check "latency histogram present" true
+          (Option.is_some
+             (Option.bind (Json.member "metrics" j) (fun m ->
+                  Option.bind (Json.member "histograms" m)
+                    (Json.member "svc.request_latency_s"))))
+      | Ok (Error e) -> Alcotest.failf "status failed: %s" e.message
+      | Error msg -> Alcotest.failf "connect failed: %s" msg)
+
+let test_shutdown_request () =
+  (* not via with_server: the shutdown request itself must stop the
+     daemon and remove the socket *)
+  Mc.Campaign.reset_stop ();
+  let socket = fresh_socket_path () in
+  let cfg = Svc.Server.config ~socket () in
+  let th = Thread.create (fun () -> Svc.Server.run cfg) () in
+  let rec wait n =
+    if Sys.file_exists socket || n = 0 then () else (Thread.delay 0.02; wait (n - 1))
+  in
+  wait 250;
+  (match Svc.Client.with_connection ~socket Svc.Client.shutdown with
+  | Ok (Ok ()) -> ()
+  | Ok (Error e) -> Alcotest.failf "shutdown failed: %s" e.message
+  | Error msg -> Alcotest.failf "connect failed: %s" msg);
+  Thread.join th;
+  Mc.Campaign.reset_stop ();
+  check "socket removed after shutdown request" false (Sys.file_exists socket)
+
+let test_ping () =
+  with_server (fun socket ->
+      match Svc.Client.with_connection ~socket Svc.Client.ping with
+      | Ok (Ok ()) -> ()
+      | Ok (Error e) -> Alcotest.failf "ping failed: %s" e.message
+      | Error msg -> Alcotest.failf "connect failed: %s" msg)
+
+let suites =
+  [ ( "svc",
+      [ Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
+        Alcotest.test_case "canonical key insensitivity" `Quick
+          test_canonical_insensitive;
+        Alcotest.test_case "request validation" `Quick test_validation;
+        Alcotest.test_case "payload round trip" `Quick test_payload_roundtrip;
+        Alcotest.test_case "codec round trip" `Quick test_codec_roundtrip;
+        Alcotest.test_case "codec truncation" `Quick test_codec_truncated;
+        Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+        Alcotest.test_case "job queue" `Quick test_jobq;
+        Alcotest.test_case "ping" `Quick test_ping;
+        Alcotest.test_case "cached replies bit-identical" `Quick
+          test_cached_bit_identical;
+        Alcotest.test_case "request coalescing" `Slow test_coalescing;
+        Alcotest.test_case "overload admission control" `Slow test_overload;
+        Alcotest.test_case "scan matches driver derivation" `Slow
+          test_scan_matches_driver_derivation;
+        Alcotest.test_case "status metrics" `Quick test_status_and_metrics;
+        Alcotest.test_case "shutdown request" `Quick test_shutdown_request ] )
+  ]
