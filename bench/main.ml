@@ -195,20 +195,27 @@ let e6b_level3 =
       (Codes.Pauli_frame.memory_failure ~level:3 ~eps:0.02 ~rounds:1 ~trials:10
          rng)
 
-(* bit-sliced engine: same experiments, 64 shots per word *)
+(* bit-sliced engine: same experiments, 64 shots per word and
+   [--tile-width] shots per tile (counts are width-invariant, so the
+   flag only moves throughput) *)
+let cli_tile_width = ref 64
+
 let e6b_batch_level2 () =
   ignore
-    (Codes.Pauli_frame.memory_failure_batch ~domains:1 ~level:2 ~eps:0.02
-       ~rounds:1 ~trials:3200 ~seed:41 ())
+    (Codes.Pauli_frame.memory_failure_batch ~domains:1
+       ~tile_width:!cli_tile_width ~level:2 ~eps:0.02 ~rounds:1 ~trials:3200
+       ~seed:41 ())
 
 let e6b_batch_level3 () =
   ignore
-    (Codes.Pauli_frame.memory_failure_batch ~domains:1 ~level:3 ~eps:0.02
-       ~rounds:1 ~trials:640 ~seed:42 ())
+    (Codes.Pauli_frame.memory_failure_batch ~domains:1
+       ~tile_width:!cli_tile_width ~level:3 ~eps:0.02 ~rounds:1 ~trials:640
+       ~seed:42 ())
 
 let e10_toric_batch () =
   ignore
-    (Toric.Memory.run_batch ~domains:1 ~l:12 ~p:0.08 ~trials:640 ~seed:43 ())
+    (Toric.Memory.run_batch ~domains:1 ~tile_width:!cli_tile_width ~l:12
+       ~p:0.08 ~trials:640 ~seed:43 ())
 
 (* --- E17..E20 ---------------------------------------------------------------- *)
 
@@ -412,11 +419,41 @@ let parallel_probe () =
     (if f_seq = f_par then "agree" else "DISAGREE");
   (trials, domains, t_seq, t_par, speedup, f_seq, f_par)
 
-(* Batch-vs-scalar probe: shots/sec of the legacy per-shot _mc path
-   vs the bit-sliced engine at domains:1, plus the engine's own
-   bit-identity contract — the batch count must equal the [`Scalar]
-   cross-check (identical sampled noise, per-shot decoding) exactly.
-   A mismatch fails the bench (and hence CI). *)
+(* Batch-vs-scalar probe, now a tile-width sweep: shots/sec of the
+   legacy per-shot _mc path vs the bit-sliced engine at each tile
+   width (64 / 256 / 512 shots per op) at domains:1, plus the
+   engine's bit-identity contract — the batch count at {e every}
+   width must equal the [`Scalar] cross-check (identical sampled
+   noise, per-shot decoding) exactly.  A mismatch fails the bench
+   (and hence CI).  The per-width shots/sec land in the committed
+   performance trajectory via [--record].
+
+   Kernel choice: steane-level2 and toric-L5 are the standard
+   mid-noise kernels; toric-L3-deep runs the paper's deep
+   subthreshold regime (p = 2^-12, where almost every shot is clean
+   and the word-parallel front-end carries the whole load);
+   toric-L3-deep-ckpt is the same workload under a live campaign
+   checkpoint (default [flush_every]), where a wider tile amortizes
+   the per-chunk ledger append and journal flush over 8x the shots —
+   the configuration every long supervised campaign actually runs.
+
+   Timing discipline: widths are measured interleaved round-robin
+   with the best of [probe_rounds] kept per width, because this
+   container's clock jitter between back-to-back runs (~2x worst
+   case) would otherwise masquerade as a width effect. *)
+let tile_widths = [ 64; 256; 512 ]
+let probe_rounds = 5
+
+type width_probe_entry = {
+  wp_name : string;
+  wp_trials : int;
+  wp_mc_sps : float;
+  wp_mc_fail : int;
+  wp_cross_fail : int;
+  wp_widths : (int * float * int) list; (* width, shots/s, failures *)
+  wp_identical : bool;
+}
+
 let batch_probe () =
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -425,22 +462,52 @@ let batch_probe () =
   in
   let probe name ~trials ~mc ~batch ~crosscheck =
     ignore (mc ());
-    ignore (batch ());
+    ignore (batch 64 ());
     (* warm both paths *)
     let mc_fail, t_mc = time mc in
-    let b_fail, t_b = time batch in
     let c_fail, _ = time crosscheck in
     let mc_sps = float_of_int trials /. t_mc in
-    let b_sps = float_of_int trials /. t_b in
-    let speedup = b_sps /. mc_sps in
-    let identical = b_fail = c_fail in
+    let wa = Array.of_list tile_widths in
+    let nw = Array.length wa in
+    let best = Array.make nw infinity in
+    let fails = Array.make nw 0 in
+    Array.iter (fun w -> ignore (batch w ())) wa;
+    (* warm every width *)
+    for _ = 1 to probe_rounds do
+      Array.iteri
+        (fun i w ->
+          let b_fail, t_b = time (batch w) in
+          fails.(i) <- b_fail;
+          if t_b < best.(i) then best.(i) <- t_b)
+        wa
+    done;
+    let widths =
+      List.init nw (fun i ->
+          (wa.(i), float_of_int trials /. best.(i), fails.(i)))
+    in
+    let identical = List.for_all (fun (_, _, bf) -> bf = c_fail) widths in
+    let base_sps = match widths with (_, s, _) :: _ -> s | [] -> 1.0 in
+    Printf.printf "batch probe %-16s mc %9.0f shots/s%s\n%!" name mc_sps
+      (String.concat ""
+         (List.map
+            (fun (w, sps, _) ->
+              Printf.sprintf ", w%d %9.0f/s (%4.2fx)" w sps (sps /. base_sps))
+            widths));
     Printf.printf
-      "batch probe %-16s mc %9.0f shots/s, batch %11.0f shots/s (%6.1fx),        counts %d/%d %s  (mc count %d, statistical)
-%!"
-      name mc_sps b_sps speedup b_fail c_fail
-      (if identical then "agree" else "DISAGREE")
-      mc_fail;
-    (name, trials, mc_sps, b_sps, speedup, b_fail, c_fail, identical)
+      "            %-16s widths %s vs scalar cross-check %d: %s\n%!" name
+      (String.concat "/"
+         (List.map (fun (_, _, bf) -> string_of_int bf) widths))
+      c_fail
+      (if identical then "bit-identical" else "DISAGREE");
+    {
+      wp_name = name;
+      wp_trials = trials;
+      wp_mc_sps = mc_sps;
+      wp_mc_fail = mc_fail;
+      wp_cross_fail = c_fail;
+      wp_widths = widths;
+      wp_identical = identical;
+    }
   in
   let steane_trials = 20000 in
   let steane engine () =
@@ -448,9 +515,9 @@ let batch_probe () =
     | `Mc ->
       Codes.Pauli_frame.memory_failure_mc ~domains:1 ~level:2 ~eps:0.01
         ~rounds:1 ~trials:steane_trials ~seed:909 ()
-    | `Batch ->
-      Codes.Pauli_frame.memory_failure_batch ~domains:1 ~level:2 ~eps:0.01
-        ~rounds:1 ~trials:steane_trials ~seed:909 ()
+    | `Batch w ->
+      Codes.Pauli_frame.memory_failure_batch ~domains:1 ~tile_width:w
+        ~level:2 ~eps:0.01 ~rounds:1 ~trials:steane_trials ~seed:909 ()
     | `Cross ->
       Codes.Pauli_frame.memory_failure_batch ~domains:1 ~engine:`Scalar
         ~level:2 ~eps:0.01 ~rounds:1 ~trials:steane_trials ~seed:909 ())
@@ -459,24 +526,74 @@ let batch_probe () =
   let toric_trials = 20000 in
   let toric engine () =
     (match engine with
-    | `Mc -> Toric.Memory.run_mc ~domains:1 ~l:5 ~p:0.05 ~trials:toric_trials ~seed:910 ()
-    | `Batch ->
-      Toric.Memory.run_batch ~domains:1 ~l:5 ~p:0.05 ~trials:toric_trials
+    | `Mc ->
+      Toric.Memory.run_mc ~domains:1 ~l:5 ~p:0.05 ~trials:toric_trials
         ~seed:910 ()
+    | `Batch w ->
+      Toric.Memory.run_batch ~domains:1 ~tile_width:w ~l:5 ~p:0.05
+        ~trials:toric_trials ~seed:910 ()
     | `Cross ->
       Toric.Memory.run_batch ~domains:1 ~engine:`Scalar ~l:5 ~p:0.05
         ~trials:toric_trials ~seed:910 ())
       .Toric.Memory.failures
   in
-  let steane_entry =
-    probe "steane-level2" ~trials:steane_trials ~mc:(steane `Mc)
-      ~batch:(steane `Batch) ~crosscheck:(steane `Cross)
+  (* deep subthreshold: p = 2^-12 (a 12-draw dyadic plan), l = 3;
+     1M shots keeps each width's run well above timer jitter *)
+  let deep_trials = 1_000_000 and deep_p = 0.000244140625 in
+  let deep engine () =
+    (match engine with
+    | `Mc ->
+      Toric.Memory.run_mc ~domains:1 ~l:3 ~p:deep_p ~trials:deep_trials
+        ~seed:911 ()
+    | `Batch w ->
+      Toric.Memory.run_batch ~domains:1 ~tile_width:w ~l:3 ~p:deep_p
+        ~trials:deep_trials ~seed:911 ()
+    | `Cross ->
+      Toric.Memory.run_batch ~domains:1 ~engine:`Scalar ~l:3 ~p:deep_p
+        ~trials:deep_trials ~seed:911 ())
+      .Toric.Memory.failures
   in
-  let toric_entry =
+  (* the same deep workload under a live checkpoint: each run journals
+     into a fresh campaign file (created and deleted inside the timed
+     region — that is the cost a supervised campaign pays), chunk
+     granularity = tile width, default flush cadence.  Counts are
+     campaign-invariant, so the scalar cross-check needs no ledger. *)
+  let ckpt_trials = 50_000 in
+  let deep_ckpt engine () =
+    (match engine with
+    | `Mc ->
+      Toric.Memory.run_mc ~domains:1 ~l:3 ~p:deep_p ~trials:ckpt_trials
+        ~seed:912 ()
+    | `Batch w ->
+      let file = Filename.temp_file "ftqc_bench_ckpt" ".json" in
+      Sys.remove file;
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+        (fun () ->
+          let c =
+            match Mc.Campaign.create file with
+            | Ok c -> c
+            | Error m -> failwith m
+          in
+          Toric.Memory.run_batch ~domains:1 ~campaign:c ~tile_width:w ~l:3
+            ~p:deep_p ~trials:ckpt_trials ~seed:912 ())
+    | `Cross ->
+      Toric.Memory.run_batch ~domains:1 ~engine:`Scalar ~l:3 ~p:deep_p
+        ~trials:ckpt_trials ~seed:912 ())
+      .Toric.Memory.failures
+  in
+  [ probe "steane-level2" ~trials:steane_trials ~mc:(steane `Mc)
+      ~batch:(fun w -> steane (`Batch w))
+      ~crosscheck:(steane `Cross);
     probe "toric-L5" ~trials:toric_trials ~mc:(toric `Mc)
-      ~batch:(toric `Batch) ~crosscheck:(toric `Cross)
-  in
-  [ steane_entry; toric_entry ]
+      ~batch:(fun w -> toric (`Batch w))
+      ~crosscheck:(toric `Cross);
+    probe "toric-L3-deep" ~trials:deep_trials ~mc:(deep `Mc)
+      ~batch:(fun w -> deep (`Batch w))
+      ~crosscheck:(deep `Cross);
+    probe "toric-L3-deep-ckpt" ~trials:ckpt_trials ~mc:(deep_ckpt `Mc)
+      ~batch:(fun w -> deep_ckpt (`Batch w))
+      ~crosscheck:(deep_ckpt `Cross) ]
 
 (* Crash-recovery probe: run a checkpointed campaign, interrupt it at
    a deterministic chunk (a chaos hook raising the same stop flag a
@@ -553,14 +670,15 @@ let service_probe () =
       Thread.join th;
       Mc.Campaign.reset_stop ())
     (fun () ->
-      let est =
+      let est seed =
         Svc.Protocol.Toric_memory
-          { l = 8; p = 0.08; trials = 2000; seed = 2026; engine = `Scalar }
+          { l = 8; p = 0.08; trials = 2000; seed; engine = `Scalar;
+            tile_width = 64 }
       in
-      let request () =
+      let request seed () =
         match
           Svc.Client.with_connection ~socket (fun fd ->
-              Svc.Client.request fd est)
+              Svc.Client.request fd (est seed))
         with
         | Ok (Ok o) -> o
         | Ok (Error e) ->
@@ -572,13 +690,23 @@ let service_probe () =
         let v = f () in
         (v, Unix.gettimeofday () -. t0)
       in
-      let fresh, cold_s = timed request in
-      let cached, hit_s = timed request in
-      let direct = Svc.Server.execute est in
+      (* each latency is the best of three — a single ~30 ms sample
+         carries enough scheduler jitter to trip the trajectory
+         gate's 2x ceiling; distinct seeds keep every cold request a
+         genuine cache miss *)
+      let fresh, cold1 = timed (request 2026) in
+      let cached, hit1 = timed (request 2026) in
+      let _, cold2 = timed (request 2027) in
+      let _, cold3 = timed (request 2028) in
+      let _, hit2 = timed (request 2026) in
+      let _, hit3 = timed (request 2026) in
+      let cold_s = min cold1 (min cold2 cold3) in
+      let hit_s = min hit1 (min hit2 hit3) in
+      let direct = Svc.Server.execute (est 2026) in
       let expected =
         Svc.Codec.encode
           (Svc.Protocol.result_frame
-             ~key:(Svc.Protocol.to_canonical (Run est))
+             ~key:(Svc.Protocol.to_canonical (Run (est 2026)))
              direct)
       in
       let identical =
@@ -610,8 +738,10 @@ let service_probe () =
 
 (* The artifact uses the same ftqc-manifest/1 schema as
    `experiments --json` (one record per kernel/probe), so one
-   validator — bin/manifest_check.ml — covers both CI artifacts. *)
-let run_smoke ~out =
+   validator — bin/manifest_check.ml — covers both CI artifacts.
+   With [--record], the width-probe shots/sec and daemon latencies
+   are additionally appended to the performance trajectory. *)
+let run_smoke ~out ~record ~trajectory ~label =
   let entries = List.map smoke_run kernels in
   let trials, domains, t_seq, t_par, speedup, f_seq, f_par =
     parallel_probe ()
@@ -661,20 +791,35 @@ let run_smoke ~out =
           ("identical_counts", Obs.Json.Bool agree) ];
     };
   List.iter
-    (fun (name, trials, mc_sps, b_sps, sp, bf, cf, id) ->
+    (fun wp ->
+      let b_sps =
+        match wp.wp_widths with (_, s, _) :: _ -> s | [] -> 0.0
+      in
+      let bf =
+        match wp.wp_widths with (_, _, f) :: _ -> f | [] -> 0
+      in
       Obs.Manifest.add m
         {
-          Obs.Manifest.experiment = "bench:batch-" ^ name;
-          params = [ ("trials", Obs.Json.Int trials) ];
+          Obs.Manifest.experiment = "bench:batch-" ^ wp.wp_name;
+          params = [ ("trials", Obs.Json.Int wp.wp_trials) ];
           results =
-            [ count "batch" ~failures:bf ~trials;
-              count "crosscheck" ~failures:cf ~trials ];
+            [ count "batch" ~failures:bf ~trials:wp.wp_trials;
+              count "crosscheck" ~failures:wp.wp_cross_fail
+                ~trials:wp.wp_trials ];
           telemetry =
             [ ("wall_s", Obs.Json.Float 0.0);
-              ("mc_shots_per_s", Obs.Json.Float mc_sps);
+              ("mc_shots_per_s", Obs.Json.Float wp.wp_mc_sps);
               ("batch_shots_per_s", Obs.Json.Float b_sps);
-              ("speedup", Obs.Json.Float sp);
-              ("identical_counts", Obs.Json.Bool id) ];
+              ("speedup", Obs.Json.Float (b_sps /. wp.wp_mc_sps));
+              ( "widths",
+                Obs.Json.List
+                  (List.map
+                     (fun (w, sps, _) ->
+                       Obs.Json.Obj
+                         [ ("width", Obs.Json.Int w);
+                           ("shots_per_s", Obs.Json.Float sps) ])
+                     wp.wp_widths) );
+              ("identical_counts", Obs.Json.Bool wp.wp_identical) ];
         })
     batch_entries;
   Obs.Manifest.add m
@@ -702,9 +847,26 @@ let run_smoke ~out =
     };
   Obs.Manifest.write ~generator:"bench-smoke" m ~file:out;
   Printf.printf "wrote %s\n%!" out;
+  if record then begin
+    let entry =
+      {
+        Obs.Perf.label;
+        kernels =
+          List.concat_map
+            (fun wp ->
+              List.map
+                (fun (w, sps, _) ->
+                  { Obs.Perf.name = wp.wp_name; width = w; shots_per_s = sps })
+                wp.wp_widths)
+            batch_entries;
+        daemon = Some { Obs.Perf.cold_s = svc_cold; hit_s = svc_hit };
+      }
+    in
+    Obs.Perf.append ~file:trajectory entry;
+    Printf.printf "recorded trajectory entry %S in %s\n%!" label trajectory
+  end;
   let disagree =
-    (not agree)
-    || List.exists (fun (_, _, _, _, _, _, _, id) -> not id) batch_entries
+    (not agree) || List.exists (fun wp -> not wp.wp_identical) batch_entries
   in
   if disagree then begin
     Printf.eprintf
@@ -730,6 +892,15 @@ let run_smoke ~out =
 
 let () =
   let smoke = ref false and out = ref "BENCH_smoke.json" in
+  let record = ref false
+  and trajectory = ref "BENCH_trajectory.json"
+  and label = ref "local" in
+  let usage () =
+    Printf.eprintf
+      "usage: bench [--smoke [--out FILE]] [--record [--trajectory FILE] \
+       [--label NAME]] [--tile-width N]\n";
+    exit 2
+  in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -738,9 +909,31 @@ let () =
     | "--out" :: file :: rest ->
       out := file;
       parse rest
+    | "--record" :: rest ->
+      (* recording runs the smoke probes (that is where the width
+         sweep and daemon latencies come from) *)
+      smoke := true;
+      record := true;
+      parse rest
+    | "--trajectory" :: file :: rest ->
+      trajectory := file;
+      parse rest
+    | "--label" :: name :: rest ->
+      label := name;
+      parse rest
+    | "--tile-width" :: w :: rest -> (
+      match int_of_string_opt w with
+      | Some w when w >= 64 && w mod 64 = 0 ->
+        cli_tile_width := w;
+        parse rest
+      | _ ->
+        Printf.eprintf "bench: --tile-width must be a positive multiple of 64\n";
+        exit 2)
     | arg :: _ ->
-      Printf.eprintf "usage: bench [--smoke [--out FILE]] (got %S)\n" arg;
-      exit 2
+      Printf.eprintf "bench: unknown argument %S\n" arg;
+      usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !smoke then run_smoke ~out:!out else run_bechamel ()
+  if !smoke then
+    run_smoke ~out:!out ~record:!record ~trajectory:!trajectory ~label:!label
+  else run_bechamel ()

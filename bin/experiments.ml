@@ -367,7 +367,7 @@ let e6 () =
 
 (* --------------------------------------------------------------- E6b *)
 
-let e6b ?domains ?(engine = `Scalar) ~trials ~seed () =
+let e6b ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
   header
     "E6b Concatenated Steane, direct Monte Carlo (Pauli frame, ideal EC)";
   Printf.printf
@@ -384,7 +384,7 @@ let e6b ?domains ?(engine = `Scalar) ~trials ~seed () =
               ~eps ~rounds:1 ~trials:t ~seed ()
           | `Batch ->
             Codes.Pauli_frame.memory_failure_batch ?domains ~obs:(obs ())
-              ~level ~eps ~rounds:1 ~trials:t ~seed ()
+              ~tile_width ~level ~eps ~rounds:1 ~trials:t ~seed ()
         in
         emit (Printf.sprintf "L%d@eps=%g" level eps) r;
         r.rate
@@ -401,7 +401,7 @@ let e6b ?domains ?(engine = `Scalar) ~trials ~seed () =
 
 (* --------------------------------------------------------------- E15 *)
 
-let e15 ?domains ?(engine = `Scalar) ~trials ~seed () =
+let e15 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
   header
     "E15 Biased noise ablation (Sec. 6: tailoring the scheme to the model)";
   Printf.printf
@@ -418,7 +418,8 @@ let e15 ?domains ?(engine = `Scalar) ~trials ~seed () =
               ~level ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ()
           | `Batch ->
             Codes.Pauli_frame.memory_failure_biased_batch ?domains
-              ~obs:(obs ()) ~level ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ()
+              ~obs:(obs ()) ~tile_width ~level ~eps:0.02 ~eta ~rounds:1
+              ~trials ~seed ()
         in
         emit (Printf.sprintf "L%d@eta=%g" level eta) r;
         r.rate
@@ -501,7 +502,7 @@ let e9 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E10 *)
 
-let e10 ?domains ?(engine = `Scalar) ~trials ~seed () =
+let e10 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
   header "E10  Toric-code memory (Sec. 7): threshold of the Kitaev model";
   let ls = [ 4; 6; 8; 12 ] in
   let ps = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15 ] in
@@ -520,8 +521,8 @@ let e10 ?domains ?(engine = `Scalar) ~trials ~seed () =
               Toric.Memory.run_mc ?domains ~obs:(obs ()) ~l ~p ~trials ~seed
                 ()
             | `Batch ->
-              Toric.Memory.run_batch ?domains ~obs:(obs ()) ~l ~p ~trials
-                ~seed ()
+              Toric.Memory.run_batch ?domains ~obs:(obs ()) ~tile_width ~l ~p
+                ~trials ~seed ()
           in
           emit_count
             (Printf.sprintf "l=%d,p=%g" l p)
@@ -943,7 +944,7 @@ let e18 ?domains ~trials ~seed () =
 
 (* --------------------------------------------------------------- E19 *)
 
-let e19 ?domains ?(engine = `Scalar) ~trials ~seed () =
+let e19 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
   header
     "E19 Toric memory with noisy syndrome measurement (Sec. 7, finite T)";
   Printf.printf
@@ -966,8 +967,8 @@ let e19 ?domains ?(engine = `Scalar) ~trials ~seed () =
               Toric.Noisy_memory.run_mc ?domains ~obs:(obs ()) ~l ~rounds:l
                 ~p ~q:p ~trials ~seed ()
             | `Batch ->
-              Toric.Noisy_memory.run_batch ?domains ~obs:(obs ()) ~l
-                ~rounds:l ~p ~q:p ~trials ~seed ()
+              Toric.Noisy_memory.run_batch ?domains ~obs:(obs ()) ~tile_width
+                ~l ~rounds:l ~p ~q:p ~trials ~seed ()
           in
           emit_count
             (Printf.sprintf "l=%d,p=%g" l p)
@@ -1333,7 +1334,8 @@ let with_trials_par name doc default f =
       const run $ domains_arg $ trials_arg default $ seed_arg $ json_arg
       $ session_arg)
 
-(* batch-capable experiments additionally take --engine *)
+(* batch-capable experiments additionally take --engine and
+   --tile-width *)
 let engine_arg =
   Arg.(
     value
@@ -1343,18 +1345,33 @@ let engine_arg =
           "Monte-Carlo engine: $(b,scalar) (per-shot, legacy sampling) or \
            $(b,batch) (bit-sliced, 64 shots per word)")
 
+let tile_width_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "tile-width" ] ~docv:"SHOTS"
+        ~doc:
+          "batch-engine shots per bit-slice tile: a positive multiple of 64 \
+           (64, 256 and 512 are the tuned widths).  Failure counts are \
+           bit-identical across widths; only throughput changes.  Ignored \
+           by the scalar engine.")
+
 let with_trials_par_engine name doc default f =
-  let run domains trials seed engine json session =
+  let run domains trials seed engine tile_width json session =
     let domains = resolve_domains domains in
     with_session json session (fun () ->
         recording ~experiment:name ~domains_used:(dused domains)
-          ~params:[ p_trials trials; p_seed seed; p_engine engine ]
-          (fun () -> f ?domains ?engine:(Some engine) ~trials ~seed ()))
+          ~params:
+            [ p_trials trials; p_seed seed; p_engine engine;
+              ("tile_width", Obs.Json.Int tile_width) ]
+          (fun () ->
+            f ?domains ?engine:(Some engine) ?tile_width:(Some tile_width)
+              ~trials ~seed ()))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ domains_arg $ trials_arg default $ seed_arg $ engine_arg
-      $ json_arg $ session_arg)
+      $ tile_width_arg $ json_arg $ session_arg)
 
 let with_seed name doc f =
   let run seed json session =

@@ -116,13 +116,22 @@ let engine_arg =
     & opt (enum [ ("scalar", `Scalar); ("batch", `Batch) ]) `Scalar
     & info [ "engine" ] ~doc:"Monte-Carlo engine (scalar or batch)")
 
+let tile_width_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "tile-width" ] ~docv:"SHOTS"
+        ~doc:
+          "batch-engine shots per bit-slice tile (a positive multiple of \
+           64; counts are bit-identical across widths)")
+
 let finish_seed seed path =
   match path with [] -> seed | path -> Ftqc.Mc.Rng.derive seed path
 
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let steane_cmd =
-  let run socket json out level eps rounds trials seed path engine =
+  let run socket json out level eps rounds trials seed path engine tile_width =
     run_estimator socket json out
       (Protocol.Steane_memory
          {
@@ -132,6 +141,7 @@ let steane_cmd =
            trials;
            seed = finish_seed seed path;
            engine;
+           tile_width;
          })
   in
   let level =
@@ -146,13 +156,13 @@ let steane_cmd =
   cmd "steane" ~doc:"concatenated-Steane memory failure (one E6b cell)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ level $ eps $ rounds
-      $ trials_arg 30000 $ seed_arg $ derive_arg $ engine_arg)
+      $ trials_arg 30000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg)
 
 let toric_cmd =
-  let run socket json out l p trials seed path engine =
+  let run socket json out l p trials seed path engine tile_width =
     run_estimator socket json out
       (Protocol.Toric_memory
-         { l; p; trials; seed = finish_seed seed path; engine })
+         { l; p; trials; seed = finish_seed seed path; engine; tile_width })
   in
   let l = Arg.(value & opt int 8 & info [ "l"; "lattice" ] ~doc:"lattice size") in
   let p =
@@ -161,12 +171,12 @@ let toric_cmd =
   cmd "toric" ~doc:"toric-code memory failure (one E10 cell)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ l $ p $ trials_arg 2000
-      $ seed_arg $ derive_arg $ engine_arg)
+      $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg)
 
 let toric_scan_cmd =
-  let run socket json out ls ps trials seed engine =
+  let run socket json out ls ps trials seed engine tile_width =
     run_estimator socket json out
-      (Protocol.Toric_scan { ls; ps; trials; seed; engine })
+      (Protocol.Toric_scan { ls; ps; trials; seed; engine; tile_width })
   in
   let ls =
     Arg.(
@@ -186,15 +196,24 @@ let toric_scan_cmd =
        derivation (diffable against `experiments e10`)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ ls $ ps $ trials_arg 2000
-      $ seed_arg $ engine_arg)
+      $ seed_arg $ engine_arg $ tile_width_arg)
 
 let toric_noisy_cmd =
-  let run socket json out l rounds p q trials seed path engine =
+  let run socket json out l rounds p q trials seed path engine tile_width =
     let rounds = match rounds with Some r -> r | None -> l in
     let q = match q with Some q -> q | None -> p in
     run_estimator socket json out
       (Protocol.Toric_noisy
-         { l; rounds; p; q; trials; seed = finish_seed seed path; engine })
+         {
+           l;
+           rounds;
+           p;
+           q;
+           trials;
+           seed = finish_seed seed path;
+           engine;
+           tile_width;
+         })
   in
   let l = Arg.(value & opt int 6 & info [ "l"; "lattice" ] ~doc:"lattice size") in
   let rounds =
@@ -215,7 +234,7 @@ let toric_noisy_cmd =
   cmd "toric-noisy" ~doc:"toric memory with noisy measurements (E19 cell)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ l $ rounds $ p $ q
-      $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg)
+      $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg)
 
 let toric_circuit_cmd =
   let run socket json out l rounds eps trials seed path =

@@ -10,7 +10,13 @@
    trials, rate and CI bounds) for exact equality — the crash-recovery
    CI job uses this to assert that an interrupted-and-resumed campaign
    reproduced the uninterrupted reference bit-for-bit.  Telemetry
-   (wall times, throughput) is excluded: it legitimately differs. *)
+   (wall times, throughput) is excluded: it legitimately differs.
+
+   With --perf-diff BASE NEW, compare two ftqc-bench-trajectory/1
+   documents instead (Obs.Perf): the last entry of NEW against the
+   last entry of BASE, failing on a >25% throughput regression of any
+   (kernel, tile-width) pair or a >2x daemon latency regression — the
+   perf-gate CI job runs this against the committed trajectory. *)
 
 module Json = Ftqc.Obs.Json
 
@@ -107,10 +113,30 @@ let diff_results ref_file other_file =
       false
     end
 
+(* -------------------------------------------------------- perf diff *)
+
+let perf_diff base_file new_file =
+  match Ftqc.Obs.Perf.compare_files ~base:base_file new_file with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    false
+  | Ok verdicts ->
+    List.iter (fun (v : Ftqc.Obs.Perf.verdict) -> print_endline v.line) verdicts;
+    if Ftqc.Obs.Perf.regressed verdicts then begin
+      Printf.eprintf "%s vs %s: performance regression\n" new_file base_file;
+      false
+    end
+    else begin
+      Printf.printf "%s vs %s: within the regression band\n" new_file
+        base_file;
+      true
+    end
+
 let usage () =
   prerr_endline
     "usage: manifest_check FILE...\n\
-    \       manifest_check --diff-results REF OTHER [FILE...]";
+    \       manifest_check --diff-results REF OTHER [FILE...]\n\
+    \       manifest_check --perf-diff BASE NEW";
   exit 2
 
 let () =
@@ -119,7 +145,11 @@ let () =
     let ok_diff = diff_results ref_file other_file in
     let ok_files = List.for_all check (ref_file :: other_file :: files) in
     exit (if ok_diff && ok_files then 0 else 1)
-  | _ :: (_ :: _ as files) when not (List.mem "--diff-results" files) ->
+  | [ _; "--perf-diff"; base_file; new_file ] ->
+    exit (if perf_diff base_file new_file then 0 else 1)
+  | _ :: (_ :: _ as files)
+    when not (List.mem "--diff-results" files || List.mem "--perf-diff" files)
+    ->
     let ok = List.for_all check files in
     exit (if ok then 0 else 1)
   | _ -> usage ()

@@ -272,64 +272,77 @@ let rec classify_words tbl ~level x z off =
     classify_block tbl bx bz 0
   end
 
-let run_memory_batch ?domains ?obs ?(engine = `Batch) ~level ~px ~py ~pz
-    ~rounds ~trials ~seed () =
+let run_memory_batch ?domains ?obs ?(engine = `Batch) ?(tile_width = 64)
+    ~level ~px ~py ~pz ~rounds ~trials ~seed () =
   if level < 1 then invalid_arg "Pauli_frame: level >= 1";
+  if tile_width < 64 || tile_width mod 64 <> 0 then
+    invalid_arg "Pauli_frame: tile_width must be a positive multiple of 64";
+  let lanes = tile_width / 64 in
   let n = pow7 level in
   let tbl = Lazy.force steane_tables in
   let qubits = Array.init n Fun.id in
   let prog = Program.make ~n [ Program.Depolarize { qubits; px; py; pz } ] in
-  let batch (plane, xs, zs) key ~base:_ ~count =
-    let sampler = Sampler.create key in
-    match engine with
+  let batch (plane, xs, zs, fail) keys ~base:_ ~count =
+    let sampler = Sampler.create_tile keys in
+    (match engine with
     | `Batch ->
-      let fx = ref 0L and fz = ref 0L in
+      Array.fill fail 0 (2 * lanes) 0L;
+      (* fail.(j) accumulates has_x, fail.(lanes + j) has_z *)
       for _ = 1 to rounds do
         Plane.clear plane;
-        ignore (Program.run prog sampler plane);
-        for q = 0 to n - 1 do
-          xs.(q) <- Plane.get_x plane q;
-          zs.(q) <- Plane.get_z plane q
-        done;
-        let hx, hz = classify_words tbl ~level xs zs 0 in
-        fx := Int64.logxor !fx hx;
-        fz := Int64.logxor !fz hz
+        Program.run_into prog sampler plane [||];
+        for j = 0 to lanes - 1 do
+          for q = 0 to n - 1 do
+            xs.(q) <- Plane.get_x ~lane:j plane q;
+            zs.(q) <- Plane.get_z ~lane:j plane q
+          done;
+          let hx, hz = classify_words tbl ~level xs zs 0 in
+          fail.(j) <- Int64.logxor fail.(j) hx;
+          fail.(lanes + j) <- Int64.logxor fail.(lanes + j) hz
+        done
       done;
-      Int64.logor !fx !fz
+      Array.init lanes (fun j -> Int64.logor fail.(j) fail.(lanes + j))
     | `Scalar ->
       (* Cross-check engine: the identical sampler call sequence (so
          the identical noise), but each shot is extracted and run
          through the existing scalar classifier.  Counts are
          bit-identical to [`Batch] by construction. *)
-      let cls = Array.make 64 L_i in
+      let cls = Array.make tile_width L_i in
       for _ = 1 to rounds do
         Plane.clear plane;
-        ignore (Program.run prog sampler plane);
+        Program.run_into prog sampler plane [||];
         for k = 0 to count - 1 do
           let e = Plane.extract_shot plane k in
           cls.(k) <- compose cls.(k) (concatenated_steane_class ~level e)
         done
       done;
-      let w = ref 0L in
-      for k = 0 to count - 1 do
-        if cls.(k) <> L_i then w := Int64.logor !w (Int64.shift_left 1L k)
-      done;
-      !w
+      Array.init lanes (fun j ->
+          let w = ref 0L in
+          for b = 0 to 63 do
+            let k = (64 * j) + b in
+            if k < count && cls.(k) <> L_i then
+              w := Int64.logor !w (Int64.shift_left 1L b)
+          done;
+          !w))
   in
-  Mc.Runner.estimate_batched ?domains ?obs ~trials ~seed
-    ~worker_init:(fun () -> (Plane.create n, Array.make n 0L, Array.make n 0L))
+  Mc.Runner.estimate_batched ?domains ?obs ~tile_width ~trials ~seed
+    ~worker_init:(fun () ->
+      ( Plane.create ~width:tile_width n,
+        Array.make n 0L,
+        Array.make n 0L,
+        Array.make (2 * lanes) 0L ))
     batch
 
-let memory_failure_batch ?domains ?obs ?engine ~level ~eps ~rounds ~trials
-    ~seed () =
-  let p = eps /. 3.0 in
-  run_memory_batch ?domains ?obs ?engine ~level ~px:p ~py:p ~pz:p ~rounds
-    ~trials ~seed ()
-
-let memory_failure_biased_batch ?domains ?obs ?engine ~level ~eps ~eta ~rounds
+let memory_failure_batch ?domains ?obs ?engine ?tile_width ~level ~eps ~rounds
     ~trials ~seed () =
+  let p = eps /. 3.0 in
+  run_memory_batch ?domains ?obs ?engine ?tile_width ~level ~px:p ~py:p ~pz:p
+    ~rounds ~trials ~seed ()
+
+let memory_failure_biased_batch ?domains ?obs ?engine ?tile_width ~level ~eps
+    ~eta ~rounds ~trials ~seed () =
   if eta <= 0.0 then
     invalid_arg "Pauli_frame.memory_failure_biased_batch: eta > 0";
   let unit = eps /. (eta +. 2.0) in
-  run_memory_batch ?domains ?obs ?engine ~level ~px:unit ~py:unit
+  run_memory_batch ?domains ?obs ?engine ?tile_width ~level ~px:unit ~py:unit
     ~pz:(eta *. unit) ~rounds ~trials ~seed ()

@@ -145,29 +145,33 @@ val memory_failure_biased_mc :
 
 (** {2 Bit-sliced batch engine}
 
-    64 Monte-Carlo shots per machine word: noise is sampled wordwise
-    from the binary expansion of each probability ({!Frame.Sampler}),
-    ideal recovery is a word-wise mux of the CSS decoder table, and
-    failure indicators come back as one bit per shot.
+    64 Monte-Carlo shots per machine word, [tile_width / 64] words
+    per tile (default 64 = one word; 256/512 are the tuned widths):
+    noise is sampled wordwise from the binary expansion of each
+    probability ({!Frame.Sampler}), ideal recovery is a word-wise mux
+    of the CSS decoder table applied per lane, and failure indicators
+    come back as one bit per shot.
 
     [`Batch] and [`Scalar] issue the identical {!Frame.Sampler} call
-    sequence per 64-shot chunk, so they see the same noise: [`Scalar]
+    sequence per tile, so they see the same noise: [`Scalar]
     re-decodes every shot through {!concatenated_steane_class} and the
     failure counts are bit-identical by construction (for any
-    [domains]).  [`Scalar] exists as the cross-check and as the
-    like-for-like speedup baseline; the legacy [_mc] entry points use
-    per-shot [Random.State] sampling and keep their historical
-    counts. *)
+    [domains] — and for any [tile_width], since lane [j] of tile [c]
+    replays width-64 chunk [c·lanes + j]'s RNG stream).  [`Scalar]
+    exists as the cross-check and as the like-for-like speedup
+    baseline; the legacy [_mc] entry points use per-shot
+    [Random.State] sampling and keep their historical counts. *)
 
 type engine = [ `Batch | `Scalar ]
 
-(** [memory_failure_batch ?domains ?engine ~level ~eps ~rounds ~trials
-    ~seed ()] — the {!memory_failure_mc} experiment on the batch
-    engine (levels 1–3 are the tested range). *)
+(** [memory_failure_batch ?domains ?engine ?tile_width ~level ~eps
+    ~rounds ~trials ~seed ()] — the {!memory_failure_mc} experiment on
+    the batch engine (levels 1–3 are the tested range). *)
 val memory_failure_batch :
   ?domains:int ->
   ?obs:Obs.t ->
   ?engine:engine ->
+  ?tile_width:int ->
   level:int ->
   eps:float ->
   rounds:int ->
@@ -180,6 +184,7 @@ val memory_failure_biased_batch :
   ?domains:int ->
   ?obs:Obs.t ->
   ?engine:engine ->
+  ?tile_width:int ->
   level:int ->
   eps:float ->
   eta:float ->

@@ -1,43 +1,73 @@
-(** Bit-sliced Pauli-frame state: one X word and one Z word per qubit,
-    where bit [k] of each word is Monte-Carlo shot [k].  Frame
-    propagation through Clifford gates and noise injection are
-    word-wise XOR/AND, advancing all 64 shots per operation. *)
+(** Bit-sliced Pauli-frame state: a tile of X and Z words per qubit.
+    A plane of [width = 64 * lanes] carries [lanes] words per qubit
+    per plane; bit [k] of lane [j] is Monte-Carlo shot [64 * j + k] of
+    the tile.  Frame propagation through Clifford gates and noise
+    injection are word-wise XOR/AND, advancing all [width] shots per
+    operation. *)
 
 type t
 
-(** [create n] — an [n]-qubit all-identity frame batch. *)
-val create : int -> t
+(** [create ?width n] — an [n]-qubit all-identity frame tile.
+    [width] (default 64) must be a positive multiple of 64. *)
+val create : ?width:int -> int -> t
 
 val num_qubits : t -> int
+
+(** Words per qubit per plane ([width / 64]). *)
+val lanes : t -> int
+
+(** Shots per tile ([64 * lanes]). *)
+val width : t -> int
 
 (** [clear t] — reset every shot's frame to the identity. *)
 val clear : t -> unit
 
-(** Symplectic frame propagation. *)
+(** Symplectic frame propagation (all lanes). *)
 val cnot : t -> int -> int -> unit
 
 val h : t -> int -> unit
 val s_gate : t -> int -> unit
 
-(** Raw plane access (bit [k] = shot [k]). *)
-val xor_x : t -> int -> int64 -> unit
+(** Raw plane access (bit [k] of lane [j] = shot [64 * j + k];
+    [lane] defaults to 0). *)
+val xor_x : ?lane:int -> t -> int -> int64 -> unit
 
-val xor_z : t -> int -> int64 -> unit
-val get_x : t -> int -> int64
-val get_z : t -> int -> int64
+val xor_z : ?lane:int -> t -> int -> int64 -> unit
+val get_x : ?lane:int -> t -> int -> int64
+val get_z : ?lane:int -> t -> int -> int64
 
-(** [parity_x t qubits] — word whose bit [k] is the X-plane parity of
-    shot [k] over [qubits] (likewise {!parity_z}). *)
-val parity_x : t -> int array -> int64
+(** [parity_x ?lane t qubits] — word whose bit [k] is the X-plane
+    parity of lane shot [k] over [qubits] (likewise {!parity_z}). *)
+val parity_x : ?lane:int -> t -> int array -> int64
 
-val parity_z : t -> int array -> int64
+val parity_z : ?lane:int -> t -> int array -> int64
 
-(** Word-sampled noise injection (see {!Sampler}). *)
+(** [parity_check_into t ~x_sel ~z_sel dst off] — one whole syndrome
+    tile: for every lane [j], [dst.(off + j)] receives the X parity
+    over [x_sel] XOR the Z parity over [z_sel]. *)
+val parity_check_into :
+  t -> x_sel:int array -> z_sel:int array -> int64 array -> int -> unit
+
+(** Word-sampled noise injection across all lanes (see {!Sampler}). *)
 val depolarize :
   t -> Sampler.t -> qubits:int array -> px:float -> py:float -> pz:float -> unit
 
 val flip_x : t -> Sampler.t -> qubits:int array -> p:float -> unit
 val flip_z : t -> Sampler.t -> qubits:int array -> p:float -> unit
+
+(** Plan-compiled variants (the hot path of compiled programs). *)
+val depolarize_plan :
+  t -> Sampler.t -> qubits:int array -> Sampler.pauli_plan -> unit
+
+val flip_x_plan : t -> Sampler.t -> qubits:int array -> Sampler.plan -> unit
+val flip_z_plan : t -> Sampler.t -> qubits:int array -> Sampler.plan -> unit
+
+(** [blit_x t dst off] — copy the whole row-major X plane
+    ([num_qubits * lanes] words, qubit-major) into [dst] at [off]
+    (likewise {!blit_z}). *)
+val blit_x : t -> int64 array -> int -> unit
+
+val blit_z : t -> int64 array -> int -> unit
 
 (** [bit w k] — bit [k] of a word, as a bool. *)
 val bit : int64 -> int -> bool
@@ -46,14 +76,44 @@ val bit : int64 -> int -> bool
     [i] of the result is bit [k] of [words.(i)]. *)
 val shot_vec : int64 array -> int -> Gf2.Bitvec.t
 
+(** [row_shot_vec rows ~lanes ~lane ~pos ~len k] — as {!shot_vec} for
+    lane [lane] of a row-major array of [lanes]-wide rows: bit [i] of
+    the result is bit [k] of [rows.((pos + i) * lanes + lane)]. *)
+val row_shot_vec :
+  int64 array -> lanes:int -> lane:int -> pos:int -> len:int -> int ->
+  Gf2.Bitvec.t
+
 (** [load_shot words k v] — inverse of {!shot_vec}: write bitvector
     [v] into bit position [k] of each word. *)
 val load_shot : int64 array -> int -> Gf2.Bitvec.t -> unit
 
-(** [extract_shot t k] — shot [k]'s frame as a [Pauli.t]
-    (phase-free). *)
+(** [transpose64 a off] — in-place 64x64 bit-matrix transpose of
+    [a.(off .. off + 63)], LSB-first: afterwards bit [i] of
+    [a.(off + k)] is what bit [k] of [a.(off + i)] was. *)
+val transpose64 : int64 array -> int -> unit
+
+(** [transpose_rows ~src ~lanes ~lane ~pos ~nrows dst] — tile-at-a-time
+    shot extraction: gather rows [pos .. pos + nrows - 1] of lane
+    [lane] from row-major [src] and block-transpose, so that
+    [dst.(64 * d + k)] holds word [d] of shot [k]'s bitstring.  [dst]
+    needs [ceil(nrows / 64) * 64] slots; rows beyond [nrows] read as
+    0. *)
+val transpose_rows :
+  src:int64 array -> lanes:int -> lane:int -> pos:int -> nrows:int ->
+  int64 array -> unit
+
+(** [shot_of_transposed dst ~len k] — shot [k]'s bitstring from a
+    buffer prepared by {!transpose_rows} with [nrows = len]. *)
+val shot_of_transposed : int64 array -> len:int -> int -> Gf2.Bitvec.t
+
+(** [transpose_x t ~lane dst] — {!transpose_rows} over the X plane of
+    one lane ([nrows = num_qubits t]). *)
+val transpose_x : t -> lane:int -> int64 array -> unit
+
+(** [extract_shot t k] — tile shot [k]'s frame as a [Pauli.t]
+    (phase-free); [k] ranges over [0 .. width - 1]. *)
 val extract_shot : t -> int -> Pauli.t
 
-(** [extract_shot_x t k] — shot [k]'s X plane only (for X-error-only
-    models such as the toric memory). *)
+(** [extract_shot_x t k] — tile shot [k]'s X plane only (for
+    X-error-only models such as the toric memory). *)
 val extract_shot_x : t -> int -> Gf2.Bitvec.t

@@ -1,9 +1,12 @@
 (* A frame program is a circuit (or ideal-EC round structure) compiled
    once into a flat array of ops: stochastic fault sites, Clifford
-   frame-propagation gates, and syndrome extractions.  Running it
-   against a Sampler and a Plane executes 64 shots at once; the
-   extracted syndrome words transpose to per-shot bitstrings for the
-   existing (scalar) decoders via Plane.shot_vec. *)
+   frame-propagation gates, and syndrome extractions.  Fault sites are
+   compiled to Sampler digit plans at [make] time, so the run loop
+   executes no float code and no digit scans.  Running a program
+   against a Sampler and a Plane executes one whole tile —
+   [Plane.width] shots — at once; the extracted syndrome tiles
+   transpose to per-shot bitstrings for the existing (scalar) decoders
+   via Plane.shot_vec / Plane.transpose_rows. *)
 
 (* Syndrome bit of generator g on error e = x(e)·z(g) ⊕ z(e)·x(g):
    [x_sel] lists the qubits read from the X plane (the support of
@@ -19,7 +22,17 @@ type op =
   | S of int
   | Extract of check array
 
-type t = { n : int; ops : op array; out_words : int }
+(* Compiled form: probabilities resolved to digit plans. *)
+type cop =
+  | C_depolarize of { qubits : int array; pp : Sampler.pauli_plan }
+  | C_flip_x of { qubits : int array; pl : Sampler.plan }
+  | C_flip_z of { qubits : int array; pl : Sampler.plan }
+  | C_cnot of int * int
+  | C_h of int
+  | C_s of int
+  | C_extract of check array
+
+type t = { n : int; cops : cop array; out_words : int }
 
 let check_of_generator g =
   let sup v = Array.of_list (Gf2.Bitvec.support v) in
@@ -29,6 +42,16 @@ let num_out ops =
   List.fold_left
     (fun acc -> function Extract cs -> acc + Array.length cs | _ -> acc)
     0 ops
+
+let compile = function
+  | Depolarize { qubits; px; py; pz } ->
+    C_depolarize { qubits; pp = Sampler.pauli_plan ~px ~py ~pz }
+  | Flip_x { qubits; p } -> C_flip_x { qubits; pl = Sampler.plan p }
+  | Flip_z { qubits; p } -> C_flip_z { qubits; pl = Sampler.plan p }
+  | Cnot (a, b) -> C_cnot (a, b)
+  | H q -> C_h q
+  | S q -> C_s q
+  | Extract cs -> C_extract cs
 
 let make ~n ops =
   let in_range q = q >= 0 && q < n in
@@ -53,38 +76,41 @@ let make ~n ops =
             then invalid_arg "Frame.Program.make: check out of range")
           cs)
     ops;
-  { n; ops = Array.of_list ops; out_words = num_out ops }
+  { n;
+    cops = Array.of_list (List.map compile ops);
+    out_words = num_out ops }
 
 let num_qubits t = t.n
 let out_words t = t.out_words
 
+(* [out] is row-major like the plane: check [i]'s tile occupies
+   [out.(i * lanes .. i * lanes + lanes - 1)]. *)
 let run_into t sampler plane out =
   if Plane.num_qubits plane <> t.n then
     invalid_arg "Frame.Program.run: plane size mismatch";
-  if Array.length out < t.out_words then
+  let lanes = Plane.lanes plane in
+  if Sampler.lanes sampler <> lanes then
+    invalid_arg "Frame.Program.run: sampler/plane lane mismatch";
+  if Array.length out < t.out_words * lanes then
     invalid_arg "Frame.Program.run: output buffer too small";
   let pos = ref 0 in
   Array.iter
     (function
-      | Depolarize { qubits; px; py; pz } ->
-        Plane.depolarize plane sampler ~qubits ~px ~py ~pz
-      | Flip_x { qubits; p } -> Plane.flip_x plane sampler ~qubits ~p
-      | Flip_z { qubits; p } -> Plane.flip_z plane sampler ~qubits ~p
-      | Cnot (a, b) -> Plane.cnot plane a b
-      | H q -> Plane.h plane q
-      | S q -> Plane.s_gate plane q
-      | Extract cs ->
+      | C_depolarize { qubits; pp } -> Plane.depolarize_plan plane sampler ~qubits pp
+      | C_flip_x { qubits; pl } -> Plane.flip_x_plan plane sampler ~qubits pl
+      | C_flip_z { qubits; pl } -> Plane.flip_z_plan plane sampler ~qubits pl
+      | C_cnot (a, b) -> Plane.cnot plane a b
+      | C_h q -> Plane.h plane q
+      | C_s q -> Plane.s_gate plane q
+      | C_extract cs ->
         Array.iter
           (fun { x_sel; z_sel } ->
-            out.(!pos) <-
-              Int64.logxor
-                (Plane.parity_x plane x_sel)
-                (Plane.parity_z plane z_sel);
+            Plane.parity_check_into plane ~x_sel ~z_sel out (!pos * lanes);
             incr pos)
           cs)
-    t.ops
+    t.cops
 
 let run t sampler plane =
-  let out = Array.make t.out_words 0L in
+  let out = Array.make (t.out_words * Plane.lanes plane) 0L in
   run_into t sampler plane out;
   out

@@ -2,11 +2,14 @@
 
     A circuit — or the ideal-EC round structure of the Monte-Carlo
     drivers — is compiled once into a flat array of ops: stochastic
-    fault sites, CNOT/H/S frame-propagation gates, and syndrome
-    extractions.  {!run} executes 64 shots at once against a
-    {!Sampler} and a {!Plane}; each [Extract] appends one syndrome
-    word per check (bit [k] = shot [k]), which {!Plane.shot_vec}
-    transposes to per-shot bitstrings for the existing decoders. *)
+    fault sites (resolved to {!Sampler} digit plans at {!make} time),
+    CNOT/H/S frame-propagation gates, and syndrome extractions.
+    {!run} executes one whole tile — [Plane.width] shots — at once
+    against a {!Sampler} and a {!Plane}; each [Extract] appends one
+    syndrome tile per check ([lanes] words, bit [k] of lane [j] =
+    tile shot [64·j + k]), which {!Plane.shot_vec} /
+    {!Plane.transpose_rows} transpose to per-shot bitstrings for the
+    existing decoders. *)
 
 (** One syndrome bit: parity of the X plane over [x_sel] XOR parity of
     the Z plane over [z_sel]. *)
@@ -33,14 +36,17 @@ val make : n:int -> op list -> t
 
 val num_qubits : t -> int
 
-(** Number of syndrome words produced per {!run}. *)
+(** Number of syndrome tiles produced per {!run} (each spans
+    [Plane.lanes plane] words in the output buffer). *)
 val out_words : t -> int
 
 (** [run t sampler plane] — execute all ops in order (the plane is
     *not* cleared first, so multi-round drivers can accumulate);
-    returns the extracted syndrome words. *)
+    returns the extracted syndrome tiles, row-major (check [i]'s
+    lane [j] at index [i * lanes + j]). *)
 val run : t -> Sampler.t -> Plane.t -> int64 array
 
 (** [run_into t sampler plane out] — as {!run}, into a caller buffer
-    (first [out_words t] slots). *)
+    (first [out_words t * Plane.lanes plane] slots).  The sampler's
+    lane count must match the plane's. *)
 val run_into : t -> Sampler.t -> Plane.t -> int64 array -> unit

@@ -1,9 +1,15 @@
 (* Word-level noise sampling for the bit-sliced engine.
 
-   A sampler walks the raw outputs of one [Mc.Rng] key by position, so
-   a word of randomness is a pure function of (key, position): the
-   batch engine and its per-shot scalar cross-check replay the same
-   call sequence and therefore see the very same noise, bit for bit.
+   A sampler walks the raw outputs of one or more [Mc.Rng] keys — one
+   key per 64-shot *lane* — by a shared position counter, so a word of
+   randomness is a pure function of (key, position): the batch engine
+   and its per-shot scalar cross-check replay the same call sequence
+   and therefore see the very same noise, bit for bit.  Because every
+   call consumes a number of positions that depends only on its
+   probability argument (never on the lane count), lane [j] of a
+   wide sampler draws exactly the words a single-lane sampler for the
+   same key would draw — the basis of the cross-width bit-identity
+   guarantee.
 
    Bernoulli(p) words come from the binary expansion of p: with
    p = 0.b1 b2 … (b1 most significant) and u1, u2, … independent
@@ -13,20 +19,37 @@
    truncated to [digits] = 40 binary digits (absolute bias < 2^-40,
    orders of magnitude below any Monte-Carlo resolution here). *)
 
-type t = { key : Mc.Rng.key; mutable pos : int }
+type t = { keys : Mc.Rng.key array; mutable pos : int }
 
-let create key = { key; pos = 0 }
+let create key = { keys = [| key |]; pos = 0 }
+
+let create_tile keys =
+  if Array.length keys < 1 then
+    invalid_arg "Frame.Sampler.create_tile: need >= 1 lane key";
+  { keys = Array.copy keys; pos = 0 }
+
+let lanes t = Array.length t.keys
 
 let uniform t =
-  let v = Mc.Rng.draw t.key t.pos in
+  let v = Mc.Rng.draw t.keys.(0) t.pos in
   t.pos <- t.pos + 1;
   v
 
 let digits = 40
 
-let bernoulli t p =
-  if p <= 0.0 then 0L
-  else if p >= 1.0 then -1L
+(* A compiled Bernoulli(p) digit plan: the clamped fixed-point digits
+   of p and the lowest set digit (digits below it leave acc = 0 and
+   are skipped).  The draw count [digits - start] is a function of p
+   alone, so replaying the same call sequence consumes the same
+   positions whatever the lane count. *)
+type plan =
+  | Zero
+  | One
+  | Digits of { scaled : int64; start : int }
+
+let plan p =
+  if p <= 0.0 then Zero
+  else if p >= 1.0 then One
   else begin
     let scaled = Int64.of_float ((p *. 0x1p40) +. 0.5) in
     let scaled =
@@ -34,9 +57,6 @@ let bernoulli t p =
       else if scaled >= 0x10000000000L then 0xFFFFFFFFFFL
       else scaled
     in
-    (* digits below the lowest set bit leave acc = 0 and can be
-       skipped; the draw count is a function of p alone, so replaying
-       the same call sequence consumes the same positions. *)
     let start =
       let rec lowest j =
         if Int64.logand (Int64.shift_right_logical scaled j) 1L = 1L then j
@@ -44,34 +64,135 @@ let bernoulli t p =
       in
       lowest 0
     in
-    let acc = ref 0L in
-    for j = start to digits - 1 do
-      let u = uniform t in
-      if Int64.logand (Int64.shift_right_logical scaled j) 1L = 1L then
-        acc := Int64.logor u !acc
-      else acc := Int64.logand u !acc
-    done;
-    !acc
+    Digits { scaled; start }
   end
+
+let plan_draws = function Zero | One -> 0 | Digits { start; _ } -> digits - start
+
+(* The digit fold for one lane, reading positions [pos, pos + draws)
+   of [key].  Delegated to the fused Rng primitive so the whole fold
+   runs without per-digit calls or boxing. *)
+let run_digits key pos scaled start =
+  Mc.Rng.fold_digits key ~pos ~scaled ~start ~stop:digits
+
+let run_plan key pos = function
+  | Zero -> 0L
+  | One -> -1L
+  | Digits { scaled; start } -> run_digits key pos scaled start
+
+let bernoulli_plan_into t pl dst off =
+  let l = Array.length t.keys in
+  (match pl with
+  | Zero -> Array.fill dst off l 0L
+  | One -> Array.fill dst off l (-1L)
+  | Digits { scaled; start } ->
+    let pos = t.pos in
+    for j = 0 to l - 1 do
+      dst.(off + j) <- run_digits t.keys.(j) pos scaled start
+    done);
+  t.pos <- t.pos + plan_draws pl
+
+(* Whole-op noise injection: as calling [bernoulli_plan_xor] once per
+   row of [sel] (in order) against [dst] offsets [sel.(i) * stride],
+   but with the digit folds of each lane fused into one bulk Rng call
+   — the hot path of compiled [Flip_x]/[Flip_z] ops. *)
+let bernoulli_plan_xor_sel t pl dst ~sel ~stride =
+  let l = Array.length t.keys in
+  let n = Array.length sel in
+  (match pl with
+  | Zero -> ()
+  | One ->
+    for i = 0 to n - 1 do
+      let r0 = sel.(i) * stride in
+      for j = 0 to l - 1 do
+        dst.(r0 + j) <- Int64.lognot dst.(r0 + j)
+      done
+    done
+  | Digits { scaled; start } ->
+    let pos = t.pos in
+    for j = 0 to l - 1 do
+      Mc.Rng.fold_digits_xor_sel t.keys.(j) ~pos ~scaled ~start ~stop:digits
+        ~rows:dst ~sel ~stride ~off:j
+    done);
+  t.pos <- t.pos + (plan_draws pl * n)
+
+let bernoulli_plan_xor t pl dst off =
+  let l = Array.length t.keys in
+  (match pl with
+  | Zero -> ()
+  | One -> for j = 0 to l - 1 do dst.(off + j) <- Int64.lognot dst.(off + j) done
+  | Digits { scaled; start } ->
+    let pos = t.pos in
+    for j = 0 to l - 1 do
+      dst.(off + j) <-
+        Int64.logxor dst.(off + j) (run_digits t.keys.(j) pos scaled start)
+    done);
+  t.pos <- t.pos + plan_draws pl
+
+let bernoulli t p =
+  let pl = plan p in
+  let v = run_plan t.keys.(0) t.pos pl in
+  t.pos <- t.pos + plan_draws pl;
+  v
 
 (* Per-bit three-way Pauli choice as X/Z bit-planes: an error occurs
    with probability px+py+pz; conditioned on an error it has an X
    component with probability (px+py)/(px+py+pz), and given an X
    component it is a Y with probability py/(px+py).  All three draws
-   are bitwise independent, so the construction is exact per shot. *)
-let pauli t ~px ~py ~pz =
+   are bitwise independent, so the construction is exact per shot.
+   When px+py = 0 the conditional-Y probability is taken as 0, which
+   consumes no draws — identical to skipping the draw outright. *)
+type pauli_plan =
+  | P_id
+  | P_mix of { e : plan; hx : plan; y : plan }
+
+let pauli_plan ~px ~py ~pz =
   let pt = px +. py +. pz in
-  if pt <= 0.0 then (0L, 0L)
-  else begin
-    let e = bernoulli t pt in
-    let hx = bernoulli t ((px +. py) /. pt) in
-    let y_given_x =
-      if px +. py <= 0.0 then 0L else bernoulli t (py /. (px +. py))
-    in
-    let x = Int64.logand e hx in
-    let z =
-      Int64.logand e
-        (Int64.logor (Int64.logand hx y_given_x) (Int64.lognot hx))
-    in
-    (x, z)
-  end
+  if pt <= 0.0 then P_id
+  else
+    P_mix
+      {
+        e = plan pt;
+        hx = plan ((px +. py) /. pt);
+        y = (if px +. py <= 0.0 then Zero else plan (py /. (px +. py)));
+      }
+
+let combine_pauli e hx y =
+  let x = Int64.logand e hx in
+  let z =
+    Int64.logand e (Int64.logor (Int64.logand hx y) (Int64.lognot hx))
+  in
+  (x, z)
+
+let pauli_plan_xor t pp ~x ~z off =
+  match pp with
+  | P_id -> ()
+  | P_mix { e = pe; hx = ph; y = py_ } ->
+    let l = Array.length t.keys in
+    let pos = t.pos in
+    let de = plan_draws pe in
+    let dh = plan_draws ph in
+    for j = 0 to l - 1 do
+      let key = t.keys.(j) in
+      let e = run_plan key pos pe in
+      let hx = run_plan key (pos + de) ph in
+      let y = run_plan key (pos + de + dh) py_ in
+      let xw, zw = combine_pauli e hx y in
+      x.(off + j) <- Int64.logxor x.(off + j) xw;
+      z.(off + j) <- Int64.logxor z.(off + j) zw
+    done;
+    t.pos <- pos + de + dh + plan_draws py_
+
+let pauli t ~px ~py ~pz =
+  match pauli_plan ~px ~py ~pz with
+  | P_id -> (0L, 0L)
+  | P_mix { e = pe; hx = ph; y = py_ } ->
+    let key = t.keys.(0) in
+    let pos = t.pos in
+    let de = plan_draws pe in
+    let dh = plan_draws ph in
+    let e = run_plan key pos pe in
+    let hx = run_plan key (pos + de) ph in
+    let y = run_plan key (pos + de + dh) py_ in
+    t.pos <- pos + de + dh + plan_draws py_;
+    combine_pauli e hx y

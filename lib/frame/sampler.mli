@@ -1,30 +1,83 @@
 (** Word-level noise sampling for the bit-sliced engine.
 
-    A sampler is a position-based walk over the raw outputs of one
-    {!Mc.Rng} key: every drawn word is a pure function of
-    (key, position).  The batch engine and its per-shot scalar
-    cross-check issue the same call sequence against samplers built
-    from the same key, so both see the identical noise — the basis of
-    the bit-identical batch-vs-scalar guarantee. *)
+    A sampler is a position-based walk over the raw outputs of one or
+    more {!Mc.Rng} keys — one key per 64-shot {e lane}: every drawn
+    word is a pure function of (key, position).  All lanes share one
+    position counter, and every call consumes a number of positions
+    that depends only on its probability argument — never on the lane
+    count — so lane [j] of a wide sampler draws exactly the words a
+    single-lane sampler for the same key would draw.  The batch
+    engine, its per-shot scalar cross-check, and every tile width
+    therefore see the identical noise: the basis of the bit-identical
+    batch-vs-scalar and cross-width guarantees. *)
 
 type t
 
-(** [create key] — a fresh sampler at position 0 of [key]. *)
+(** [create key] — a fresh single-lane sampler at position 0. *)
 val create : Mc.Rng.key -> t
 
-(** [uniform t] — next uniform 64-bit word. *)
+(** [create_tile keys] — a sampler with one lane per key (the array is
+    copied).  Lane [j] draws from [keys.(j)]. *)
+val create_tile : Mc.Rng.key array -> t
+
+(** Number of 64-shot lanes. *)
+val lanes : t -> int
+
+(** [uniform t] — next uniform 64-bit word of lane 0 (advances the
+    shared position by 1 for every lane). *)
 val uniform : t -> int64
 
 (** Binary digits of p kept by {!bernoulli} (40: absolute bias
     < 2^-40). *)
 val digits : int
 
-(** [bernoulli t p] — a word whose 64 bits are IID Bernoulli(p),
-    sampled by the binary expansion of [p].  The number of uniform
-    words consumed depends only on [p]. *)
+(** [bernoulli t p] — a lane-0 word whose 64 bits are IID
+    Bernoulli(p), sampled by the binary expansion of [p].  The number
+    of positions consumed depends only on [p]. *)
 val bernoulli : t -> float -> int64
 
-(** [pauli t ~px ~py ~pz] — [(x_plane, z_plane)] words of 64 IID
-    single-qubit Pauli errors: per bit, X with probability [px], Y
-    with [py] (both planes set), Z with [pz], identity otherwise. *)
+(** [pauli t ~px ~py ~pz] — [(x_plane, z_plane)] lane-0 words of 64
+    IID single-qubit Pauli errors: per bit, X with probability [px],
+    Y with [py] (both planes set), Z with [pz], identity otherwise. *)
 val pauli : t -> px:float -> py:float -> pz:float -> int64 * int64
+
+(** {1 Compiled digit plans}
+
+    A [plan] precomputes the clamped fixed-point digits of a
+    probability so the hot path runs no float code and no digit scan.
+    Sampling with [plan p] consumes exactly the positions
+    [bernoulli _ p] would. *)
+
+type plan
+
+val plan : float -> plan
+
+(** Positions consumed per sampling call of this plan. *)
+val plan_draws : plan -> int
+
+(** [bernoulli_plan_into t pl dst off] — one Bernoulli word per lane:
+    [dst.(off + j)] receives lane [j]'s word. *)
+val bernoulli_plan_into : t -> plan -> int64 array -> int -> unit
+
+(** [bernoulli_plan_xor_sel t pl dst ~sel ~stride] — whole-op noise
+    injection: bit-identical to calling {!bernoulli_plan_xor} once
+    per row of [sel] in order, at offsets [sel.(i) * stride], but
+    with each lane's digit folds fused into one bulk [Mc.Rng] call —
+    the hot path of compiled [Flip_x]/[Flip_z] ops. *)
+val bernoulli_plan_xor_sel :
+  t -> plan -> int64 array -> sel:int array -> stride:int -> unit
+
+(** [bernoulli_plan_xor t pl dst off] — as {!bernoulli_plan_into} but
+    XORs into the destination row (fault injection). *)
+val bernoulli_plan_xor : t -> plan -> int64 array -> int -> unit
+
+(** A compiled three-draw Pauli channel (see {!pauli}). *)
+type pauli_plan
+
+val pauli_plan : px:float -> py:float -> pz:float -> pauli_plan
+
+(** [pauli_plan_xor t pp ~x ~z off] — per lane [j], draw one word of
+    Pauli errors and XOR its X/Z planes into [x.(off + j)] /
+    [z.(off + j)]. *)
+val pauli_plan_xor :
+  t -> pauli_plan -> x:int64 array -> z:int64 array -> int -> unit

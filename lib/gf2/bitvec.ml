@@ -199,4 +199,16 @@ let randomize ~p rng v =
 let num_words v = Bytes.length v.words / 8
 let get_word v j = Bytes.get_int64_ne v.words (8 * j)
 
+let set_word v j w =
+  if j < 0 || j >= num_words v then
+    invalid_arg "Bitvec.set_word: word index out of range";
+  (* mask the tail word so the padding-bits-stay-zero invariant holds
+     whatever the caller hands us *)
+  let live = v.len - (64 * j) in
+  let w =
+    if live >= 64 then w
+    else Int64.logand w (Int64.sub (Int64.shift_left 1L live) 1L)
+  in
+  Bytes.set_int64_ne v.words (8 * j) w
+
 let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -112,5 +112,10 @@ val num_words : t -> int
     (bit [64·j + k] of the vector is bit [k] of the word). *)
 val get_word : t -> int -> int64
 
+(** [set_word v j w] — overwrite the j-th 64-bit word (inverse of
+    {!get_word}).  Bits of [w] beyond the vector length are masked
+    off, preserving the all-zero-padding invariant. *)
+val set_word : t -> int -> int64 -> unit
+
 (** [pp] formats a vector as its 0/1 string. *)
 val pp : Format.formatter -> t -> unit

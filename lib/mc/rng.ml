@@ -28,6 +28,116 @@ let split k i =
 
 let draw k n = mix (Int64.add k (Int64.mul gamma (Int64.of_int (n + 1))))
 
+(* Fused Bernoulli digit fold over the raw stream — the inner loop of
+   Frame.Sampler, hosted here so the mixing constants stay private
+   while the whole fold compiles to straight-line unboxed int64 code:
+   one cross-module call per (qubit, lane) instead of one [draw] call
+   (boxed result and all) per digit.  Semantics are exactly the
+   per-digit fold over [draw k (pos + j - start)] for j = start to
+   stop - 1,
+     acc <- if bit j of scaled then u lor acc else u land acc,
+   expressed branch-free via the mask identity
+     (u land acc) lor (m land (u lor acc))     (m = 11…1 when the bit
+   is set, 0 otherwise), which equals [u lor acc] under m = -1 and
+   [u land acc] under m = 0.
+
+   The fold may stop early: draws are pure functions of (key,
+   position), so skipping draws whose effect is fixed changes nothing
+   else — once acc = 0 with only land-digits left (no set bit of
+   [scaled] at or above [j]), the result is 0 whatever the remaining
+   uniforms hold.  The position counter always advances by the full
+   [stop - start] (the caller's contract), so call alignment is
+   untouched. *)
+let fold_digits k ~pos ~scaled ~start ~stop =
+  let z = ref (Int64.add k (Int64.mul gamma (Int64.of_int (pos + 1)))) in
+  let acc = ref 0L in
+  let j = ref start in
+  let live = ref (!j < stop) in
+  while !live do
+    let u =
+      let z = !z in
+      let z =
+        Int64.mul
+          (Int64.logxor z (Int64.shift_right_logical z 30))
+          0xBF58476D1CE4E5B9L
+      in
+      let z =
+        Int64.mul
+          (Int64.logxor z (Int64.shift_right_logical z 27))
+          0x94D049BB133111EBL
+      in
+      Int64.logxor z (Int64.shift_right_logical z 31)
+    in
+    let m =
+      Int64.neg (Int64.logand (Int64.shift_right_logical scaled !j) 1L)
+    in
+    acc :=
+      Int64.logor
+        (Int64.logand u !acc)
+        (Int64.logand m (Int64.logor u !acc));
+    z := Int64.add !z gamma;
+    incr j;
+    live :=
+      !j < stop
+      && not
+           (!acc = 0L && Int64.shift_right_logical scaled !j = 0L)
+  done;
+  !acc
+
+(* Bulk variant: one fold per selected row, folding row [i] of [sel]
+   over positions [pos + i*(stop-start) ..] and XOR-ing the result
+   into [rows.(sel.(i) * stride + off)] — the whole noise injection of
+   one lane in a single call, so per-fold call and boxing overhead is
+   paid once per (op, lane) instead of once per (qubit, lane).  The
+   (key, position) pairs consumed are exactly those of [fold_digits]
+   called per row in order, so the outputs are bit-identical to the
+   row-at-a-time path whatever the iteration order of the caller
+   (including its early exit, see above). *)
+let fold_digits_xor_sel k ~pos ~scaled ~start ~stop ~rows ~sel ~stride ~off =
+  let draws = stop - start in
+  let n = Array.length sel in
+  for i = 0 to n - 1 do
+    let z =
+      ref
+        (Int64.add k
+           (Int64.mul gamma (Int64.of_int (pos + (i * draws) + 1))))
+    in
+    let acc = ref 0L in
+    let j = ref start in
+    let live = ref (!j < stop) in
+    while !live do
+      let u =
+        let z = !z in
+        let z =
+          Int64.mul
+            (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L
+        in
+        let z =
+          Int64.mul
+            (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL
+        in
+        Int64.logxor z (Int64.shift_right_logical z 31)
+      in
+      let m =
+        Int64.neg (Int64.logand (Int64.shift_right_logical scaled !j) 1L)
+      in
+      acc :=
+        Int64.logor
+          (Int64.logand u !acc)
+          (Int64.logand m (Int64.logor u !acc));
+      z := Int64.add !z gamma;
+      incr j;
+      live :=
+        !j < stop
+        && not
+             (!acc = 0L && Int64.shift_right_logical scaled !j = 0L)
+    done;
+    let idx = (sel.(i) * stride) + off in
+    rows.(idx) <- Int64.logxor rows.(idx) !acc
+  done
+
 let to_state k =
   let d n = Int64.to_int (draw k n) land max_int in
   Random.State.make [| d 0; d 1; d 2; d 3 |]

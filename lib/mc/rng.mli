@@ -22,6 +22,34 @@ val split : key -> int -> key
     (stateless; exposed for independence testing). *)
 val draw : key -> int -> int64
 
+(** [fold_digits k ~pos ~scaled ~start ~stop] — the Bernoulli digit
+    fold of [Frame.Sampler], fused into the raw stream: with
+    [u_j = draw k (pos + j - start)], fold
+    [acc <- if bit j of scaled then u_j lor acc else u_j land acc]
+    for [j = start] to [stop - 1], starting from 0.  Bit-identical to
+    the per-[draw] fold; hosted here so the hot loop runs without
+    per-digit calls or boxing (the mixing constants are private). *)
+val fold_digits :
+  key -> pos:int -> scaled:int64 -> start:int -> stop:int -> int64
+
+(** [fold_digits_xor_sel k ~pos ~scaled ~start ~stop ~rows ~sel
+    ~stride ~off] — bulk {!fold_digits}: fold row [i] of [sel] over
+    positions [pos + i*(stop-start) ..] and XOR the result into
+    [rows.(sel.(i) * stride + off)], for every [i].  Bit-identical to
+    per-row [fold_digits] calls; one cross-module call injects a whole
+    op's noise for one lane. *)
+val fold_digits_xor_sel :
+  key ->
+  pos:int ->
+  scaled:int64 ->
+  start:int ->
+  stop:int ->
+  rows:int64 array ->
+  sel:int array ->
+  stride:int ->
+  off:int ->
+  unit
+
 (** [to_state k] — a fresh [Random.State.t] seeded from the first
     four draws of [k]. *)
 val to_state : key -> Random.State.t

@@ -510,17 +510,29 @@ let estimate ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
     ~worker_init:(fun () -> ())
     (fun () rng i -> trial rng i)
 
-(* Batched mode: one chunk = one 64-shot word.  The batch function
-   returns an int64 whose bit k is the outcome of shot [base + k]; the
-   engine masks the word to [count] live shots, popcounts, and merges
-   per-chunk counts in chunk order — the same determinism contract as
-   the scalar paths (chunk c always runs on [Rng.split root c]).
-   Supervision mirrors the scalar engine, with two adaptations: the
-   watchdog deadline is checked after the (uninterruptible) batch
-   call, and chaos [on_trial] hooks do not apply (a word has no
-   per-trial boundary). *)
+(* Batched mode: one chunk = one tile of [tile_width / 64] 64-shot
+   lanes (default one lane).  The batch function returns one int64 per
+   lane; bit k of lane j is the outcome of shot [base + 64*j + k].
+   The engine masks each lane to its live shots, popcounts, and merges
+   per-chunk counts in chunk order.
+
+   Cross-width determinism: lane [j] of tile [c] covers the same 64
+   shots as the width-64 chunk [c * lanes + j] and runs on that
+   chunk's RNG stream, [Rng.split root (c * lanes + j)] — so provided
+   the batch function gives each lane its own key's draw sequence
+   (Frame.Sampler tiles do), the aggregate is bit-identical for every
+   tile width as well as for every domain count.  Supervision mirrors
+   the scalar engine, with two adaptations: the watchdog deadline is
+   checked after the (uninterruptible) batch call, and chaos
+   [on_trial] hooks do not apply (a tile has no per-trial boundary). *)
 
 let word_size = 64
+
+let resolve_tile_width = function
+  | None -> word_size
+  | Some w when w >= word_size && w mod word_size = 0 -> w
+  | Some _ ->
+    invalid_arg "Mc.Runner: tile_width must be a positive multiple of 64"
 
 let popcount64 x =
   let open Int64 in
@@ -538,18 +550,37 @@ let live_mask count =
   else Int64.sub (Int64.shift_left 1L count) 1L
 
 let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ~trials ~seed ~worker_init batch =
+    ?chaos ?tile_width ~trials ~seed ~worker_init batch =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let domains = resolve_domains domains in
   let obs = resolve_obs obs in
+  let tile_width = resolve_tile_width tile_width in
+  let lanes = tile_width / word_size in
   let timeout, retries, backoff, chaos =
     resolve_sup_args ?chunk_timeout ?retries ?backoff ?chaos ()
   in
+  (* Campaign chunks are whole tiles, so width-64 runs keep the exact
+     pre-tile job identity and old checkpoints stay replayable; other
+     widths get their own job key via [chunk]. *)
   let sup =
-    counting_sup ?campaign ~engine:"batch" ~seed ~trials ~chunk:word_size
+    counting_sup ?campaign ~engine:"batch" ~seed ~trials ~chunk:tile_width
       ~timeout ~retries ~backoff ~chaos ()
   in
-  let nchunks = (trials + word_size - 1) / word_size in
+  let lane_keys root c =
+    Array.init lanes (fun j -> Rng.split root ((c * lanes) + j))
+  in
+  let count_tile ws ~count =
+    if Array.length ws < lanes then
+      invalid_arg "Mc.Runner: batch returned fewer words than lanes";
+    let acc = ref 0 in
+    for j = 0 to lanes - 1 do
+      let live = count - (j * word_size) in
+      if live > 0 then
+        acc := !acc + popcount64 (Int64.logand ws.(j) (live_mask live))
+    done;
+    !acc
+  in
+  let nchunks = (trials + tile_width - 1) / tile_width in
   let progress = Obs.Progress.create ~label:"mc-batch" ~total:nchunks in
   let root = Rng.root seed in
   let results = Array.make (max nchunks 0) 0 in
@@ -573,19 +604,19 @@ let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
       Atomic.incr resumed;
       Obs.Progress.step progress
     | None ->
-      let base = c * word_size in
-      let count = min word_size (trials - base) in
+      let base = c * tile_width in
+      let count = min tile_width (trials - base) in
       let t0 = if instrument then Obs.now () else 0.0 in
-      let run_word () =
-        let w = batch ctx (Rng.split root c) ~base ~count in
-        popcount64 (Int64.logand w (live_mask count))
+      let run_tile () =
+        let ws = batch ctx (lane_keys root c) ~base ~count in
+        count_tile ws ~count
       in
       let n_failures =
-        if not supervised then run_word ()
+        if not supervised then run_tile ()
         else
           supervised_attempts ~sup ~idx:c ~retried ~timeouts
             (fun _attempt deadline ->
-              let r = run_word () in
+              let r = run_tile () in
               if timeout > 0.0 && Obs.now () > deadline then
                 raise (Chunk_timeout timeout);
               r)
@@ -623,8 +654,8 @@ let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
     let warm_ctx = worker_init () in
     let t_warm = if instrument then Obs.now () else 0.0 in
     ignore
-      (batch warm_ctx (Rng.split root 0) ~base:0
-         ~count:(min word_size trials));
+      (batch warm_ctx (lane_keys root 0) ~base:0
+         ~count:(min tile_width trials));
     if instrument then warmup_s := Obs.now () -. t_warm;
     let cursor = Atomic.make 0 in
     let work w ctx =
@@ -670,9 +701,9 @@ let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
   Array.fold_left ( + ) 0 results
 
 let estimate_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ?z ~trials ~seed ~worker_init batch =
+    ?chaos ?tile_width ?z ~trials ~seed ~worker_init batch =
   let failures =
     failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
-      ?chaos ~trials ~seed ~worker_init batch
+      ?chaos ?tile_width ~trials ~seed ~worker_init batch
   in
   Stats.estimate ?z ~failures ~trials ()

@@ -225,32 +225,47 @@ val estimate_ctx :
 
 (** {1 Batched (bit-sliced) mode}
 
-    One chunk = one 64-shot word: the batch function receives the
-    chunk's {!Rng} key and must return an [int64] whose bit [k] is the
-    failure outcome of Monte-Carlo shot [base + k] (for [k < count];
-    higher bits are masked off by the engine).  Chunk [c] always runs
-    on [Rng.split root c] and per-chunk popcounts are merged in chunk
-    order, so — exactly as in the scalar paths — the total is
-    bit-identical for any [domains].  The same warmup discipline
-    applies: with more than one worker, one discarded batch (chunk 0)
-    runs sequentially first, so batch functions must tolerate an extra
+    One chunk = one {e tile} of [tile_width / 64] 64-shot lanes
+    (default [?tile_width] 64 = one lane; any positive multiple of 64
+    is accepted — 256 and 512 are the tuned widths).  The batch
+    function receives one {!Rng} key per lane and must return an
+    [int64 array] with at least one word per lane; bit [k] of word
+    [j] is the failure outcome of Monte-Carlo shot [base + 64·j + k]
+    (shots at or beyond [count] are masked off by the engine — the
+    ragged tail of a trial count that is not a multiple of the tile
+    width).
+
+    Cross-width determinism: lane [j] of tile [c] covers the same 64
+    shots as the width-64 chunk [c·lanes + j] and receives that
+    chunk's key, [Rng.split root (c·lanes + j)]; per-chunk popcounts
+    merge in chunk order.  Provided the batch function gives each
+    lane its own key's draw sequence ({!Frame.Sampler} tiles do by
+    construction), the total is bit-identical for every tile width
+    {e and} every domain count.  The same warmup discipline applies:
+    with more than one worker, one discarded tile (chunk 0) runs
+    sequentially first, so batch functions must tolerate an extra
     invocation.
 
-    Supervision mirrors the scalar engine (campaign chunks are
-    64-shot words under engine ["batch"]), with two adaptations: the
-    watchdog deadline is checked after the uninterruptible batch
-    call, and chaos [on_trial] hooks do not fire (a word has no
-    per-trial boundary — use [on_chunk_start]). *)
+    Supervision mirrors the scalar engine (campaign chunks are whole
+    tiles under engine ["batch"], so width-64 runs keep the exact
+    pre-tile job identity and old checkpoints stay replayable), with
+    two adaptations: the watchdog deadline is checked after the
+    uninterruptible batch call, and chaos [on_trial] hooks do not
+    fire (a tile has no per-trial boundary — use [on_chunk_start]). *)
 
-(** Shots per batch word (64). *)
+(** Shots per lane word (64). *)
 val word_size : int
 
 (** [popcount64 w] — number of set bits of [w]. *)
 val popcount64 : int64 -> int
 
-(** [failures_batched ?domains ?obs ?campaign ... ~trials ~seed
-    ~worker_init batch] — total failure count over [trials] shots, 64
-    per chunk. *)
+(** [live_mask count] — a word with the low [min count 64] bits set
+    (the engine's ragged-tail mask; [count >= 64] gives all ones). *)
+val live_mask : int -> int64
+
+(** [failures_batched ?domains ?obs ?campaign ... ?tile_width ~trials
+    ~seed ~worker_init batch] — total failure count over [trials]
+    shots, [tile_width] per chunk. *)
 val failures_batched :
   ?domains:int ->
   ?obs:Obs.t ->
@@ -259,10 +274,11 @@ val failures_batched :
   ?retries:int ->
   ?backoff:float ->
   ?chaos:Chaos.t ->
+  ?tile_width:int ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
-  ('ctx -> Rng.key -> base:int -> count:int -> int64) ->
+  ('ctx -> Rng.key array -> base:int -> count:int -> int64 array) ->
   int
 
 (** [estimate_batched] — {!failures_batched} wrapped in a
@@ -275,9 +291,10 @@ val estimate_batched :
   ?retries:int ->
   ?backoff:float ->
   ?chaos:Chaos.t ->
+  ?tile_width:int ->
   ?z:float ->
   trials:int ->
   seed:int ->
   worker_init:(unit -> 'ctx) ->
-  ('ctx -> Rng.key -> base:int -> count:int -> int64) ->
+  ('ctx -> Rng.key array -> base:int -> count:int -> int64 array) ->
   Stats.estimate

@@ -1,6 +1,7 @@
 module Json = Json
 module Metrics = Metrics
 module Manifest = Manifest
+module Perf = Perf
 
 let now () = Unix.gettimeofday ()
 

@@ -16,6 +16,7 @@
 module Json = Json
 module Metrics = Metrics
 module Manifest = Manifest
+module Perf = Perf
 
 (** [now ()] — wall-clock seconds ([Unix.gettimeofday]). *)
 val now : unit -> float

@@ -1,0 +1,213 @@
+type kernel = { name : string; width : int; shots_per_s : float }
+type daemon = { cold_s : float; hit_s : float }
+type entry = { label : string; kernels : kernel list; daemon : daemon option }
+
+let schema = "ftqc-bench-trajectory/1"
+let default_throughput_floor = 0.75
+let default_latency_ceiling = 2.0
+
+(* ------------------------------------------------------- encoding *)
+
+let kernel_to_json k =
+  Json.Obj
+    [ ("name", Json.String k.name); ("width", Json.Int k.width);
+      ("shots_per_s", Json.Float k.shots_per_s) ]
+
+let entry_to_json e =
+  Json.Obj
+    (( "label", Json.String e.label )
+    :: ("kernels", Json.List (List.map kernel_to_json e.kernels))
+    ::
+    (match e.daemon with
+    | None -> []
+    | Some d ->
+      [ ( "daemon",
+          Json.Obj
+            [ ("cold_s", Json.Float d.cold_s); ("hit_s", Json.Float d.hit_s) ]
+        ) ]))
+
+let trajectory_to_json entries =
+  Json.Obj
+    [ ("schema", Json.String schema);
+      ("entries", Json.List (List.map entry_to_json entries)) ]
+
+let ( let* ) = Result.bind
+
+let mfield j k what =
+  match Json.member k j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing %S" what k)
+
+let mfloat j k what =
+  let* v = mfield j k what in
+  match Json.to_float_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: %S must be a number" what k)
+
+let kernel_of_json j =
+  let what = "trajectory kernel" in
+  let* name = mfield j "name" what in
+  let* name =
+    match Json.to_string_opt name with
+    | Some s -> Ok s
+    | None -> Error (what ^ ": \"name\" must be a string")
+  in
+  let* width = mfield j "width" what in
+  let* width =
+    match Json.to_int_opt width with
+    | Some w -> Ok w
+    | None -> Error (what ^ ": \"width\" must be an integer")
+  in
+  let* shots_per_s = mfloat j "shots_per_s" what in
+  Ok { name; width; shots_per_s }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* tl = map_result f tl in
+    Ok (y :: tl)
+
+let entry_of_json j =
+  let what = "trajectory entry" in
+  let* label =
+    match Json.member "label" j with
+    | None -> Ok ""
+    | Some v -> (
+      match Json.to_string_opt v with
+      | Some s -> Ok s
+      | None -> Error (what ^ ": \"label\" must be a string"))
+  in
+  let* kernels = mfield j "kernels" what in
+  let* kernels =
+    match Json.to_list_opt kernels with
+    | Some l -> map_result kernel_of_json l
+    | None -> Error (what ^ ": \"kernels\" must be a list")
+  in
+  let* daemon =
+    match Json.member "daemon" j with
+    | None | Some Json.Null -> Ok None
+    | Some d ->
+      let* cold_s = mfloat d "cold_s" "trajectory daemon" in
+      let* hit_s = mfloat d "hit_s" "trajectory daemon" in
+      Ok (Some { cold_s; hit_s })
+  in
+  Ok { label; kernels; daemon }
+
+let trajectory_of_json j =
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.String s) when s = schema -> Ok ()
+    | Some (Json.String s) ->
+      Error (Printf.sprintf "trajectory schema is %S, want %S" s schema)
+    | _ -> Error "trajectory document has no \"schema\" tag"
+  in
+  let* entries = mfield j "entries" "trajectory" in
+  match Json.to_list_opt entries with
+  | Some l -> map_result entry_of_json l
+  | None -> Error "trajectory \"entries\" must be a list"
+
+let read_trajectory file =
+  let* j = Json.read_file file in
+  trajectory_of_json j
+
+let append ~file entry =
+  let existing =
+    if Sys.file_exists file then
+      match read_trajectory file with Ok l -> l | Error m -> failwith m
+    else []
+  in
+  Json.write ~file (trajectory_to_json (existing @ [ entry ]))
+
+(* ----------------------------------------------------- comparison *)
+
+type verdict = { line : string; regressed : bool }
+
+let regressed = List.exists (fun v -> v.regressed)
+
+let compare_entries ?(throughput_floor = default_throughput_floor)
+    ?(latency_ceiling = default_latency_ceiling) ~base entry =
+  let kernel_verdict (b : kernel) =
+    match
+      List.find_opt
+        (fun k -> k.name = b.name && k.width = b.width)
+        entry.kernels
+    with
+    | None ->
+      {
+        line =
+          Printf.sprintf "FAIL %s@w%d: missing from new measurement" b.name
+            b.width;
+        regressed = true;
+      }
+    | Some k ->
+      let ratio =
+        if b.shots_per_s > 0.0 then k.shots_per_s /. b.shots_per_s else 1.0
+      in
+      let bad = ratio < throughput_floor in
+      {
+        line =
+          Printf.sprintf "%s %s@w%d: %.0f -> %.0f shots/s (%.2fx%s)"
+            (if bad then "FAIL" else "ok  ")
+            b.name b.width b.shots_per_s k.shots_per_s ratio
+            (if bad then
+               Printf.sprintf ", below the %.2fx floor" throughput_floor
+             else "");
+        regressed = bad;
+      }
+  in
+  let fresh_verdict (k : kernel) =
+    if
+      List.exists
+        (fun (b : kernel) -> b.name = k.name && b.width = k.width)
+        base.kernels
+    then None
+    else
+      Some
+        {
+          line =
+            Printf.sprintf "new  %s@w%d: %.0f shots/s (no baseline)" k.name
+              k.width k.shots_per_s;
+          regressed = false;
+        }
+  in
+  let latency_verdict what b n =
+    let ratio = if b > 0.0 then n /. b else 1.0 in
+    let bad = ratio > latency_ceiling in
+    {
+      line =
+        Printf.sprintf "%s daemon %s: %.4f -> %.4f s (%.2fx%s)"
+          (if bad then "FAIL" else "ok  ")
+          what b n ratio
+          (if bad then
+             Printf.sprintf ", above the %.2fx ceiling" latency_ceiling
+           else "");
+      regressed = bad;
+    }
+  in
+  let kernels =
+    match base.kernels with
+    | [] ->
+      [ { line = "ok   base entry has no kernels"; regressed = false } ]
+    | bs -> List.map kernel_verdict bs
+  in
+  let fresh = List.filter_map fresh_verdict entry.kernels in
+  let daemon =
+    match (base.daemon, entry.daemon) with
+    | Some b, Some n ->
+      [ latency_verdict "cold" b.cold_s n.cold_s;
+        latency_verdict "cache-hit" b.hit_s n.hit_s ]
+    | _ -> []
+  in
+  kernels @ fresh @ daemon
+
+let last = function
+  | [] -> Error "trajectory has no entries"
+  | l -> Ok (List.nth l (List.length l - 1))
+
+let compare_files ?throughput_floor ?latency_ceiling ~base file =
+  let* base_entries = read_trajectory base in
+  let* entries = read_trajectory file in
+  let* b = last base_entries in
+  let* n = last entries in
+  Ok (compare_entries ?throughput_floor ?latency_ceiling ~base:b n)

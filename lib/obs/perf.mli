@@ -1,0 +1,85 @@
+(** The committed performance trajectory ([ftqc-bench-trajectory/1])
+    and its regression comparator.
+
+    The trajectory file is an append-only record: one entry per PR,
+    written by [bench --record], holding the smoke probe's measured
+    shots/sec per (kernel, tile width) pair and the daemon's
+    cold/cache-hit request latencies.  {!compare_entries} is the pure
+    comparator behind [manifest_check --perf-diff] and the CI
+    perf-gate job: it diffs the {e last} entry of a base trajectory
+    against the last entry of a freshly measured one and flags
+
+    - throughput regressions: a kernel's new shots/sec below
+      [throughput_floor] (default {!default_throughput_floor} = 0.75,
+      i.e. a >25% slowdown) times its base value, or a (kernel,
+      width) pair that disappeared from the measurement;
+    - latency regressions: a daemon latency above [latency_ceiling]
+      (default {!default_latency_ceiling} = 2.0) times its base value.
+
+    Improvements and new kernels are reported but never fail.  Smoke
+    measurements are noisy; the asymmetric band (25% down vs 2x up)
+    is deliberately loose so the gate only trips on real cliffs. *)
+
+type kernel = { name : string; width : int; shots_per_s : float }
+
+(** Daemon smoke-probe latencies: cold (fresh job) and cache-hit
+    request round-trips, in seconds. *)
+type daemon = { cold_s : float; hit_s : float }
+
+(** One trajectory entry ([label] names the PR / measurement run;
+    [daemon] is missing when the service probe did not run). *)
+type entry = { label : string; kernels : kernel list; daemon : daemon option }
+
+(** The trajectory schema tag, ["ftqc-bench-trajectory/1"]. *)
+val schema : string
+
+val default_throughput_floor : float
+val default_latency_ceiling : float
+
+(** {1 Encoding} *)
+
+val entry_to_json : entry -> Json.t
+val entry_of_json : Json.t -> (entry, string) result
+
+(** [trajectory_to_json entries] — the full document (schema tag +
+    entry list, oldest first). *)
+val trajectory_to_json : entry list -> Json.t
+
+val trajectory_of_json : Json.t -> (entry list, string) result
+
+(** [read_trajectory file] — parse a trajectory document.  Rejects
+    wrong/missing schema tags and malformed entries. *)
+val read_trajectory : string -> (entry list, string) result
+
+(** [append ~file entry] — append [entry] to the trajectory at
+    [file] (created with an empty history if missing), atomically. *)
+val append : file:string -> entry -> unit
+
+(** {1 Comparison} *)
+
+(** One comparator finding: a human-readable [line] plus whether it
+    counts as a regression. *)
+type verdict = { line : string; regressed : bool }
+
+(** [compare_entries ?throughput_floor ?latency_ceiling ~base entry]
+    — pure: one verdict per base kernel (matched by name {e and}
+    width), per new kernel absent from base, and per daemon latency.
+    An empty base kernel list yields a single non-regressed note. *)
+val compare_entries :
+  ?throughput_floor:float ->
+  ?latency_ceiling:float ->
+  base:entry ->
+  entry ->
+  verdict list
+
+(** [regressed verdicts] — true when any verdict is a regression. *)
+val regressed : verdict list -> bool
+
+(** [compare_files ~base ~file] — load both trajectories, diff their
+    last entries.  Errors on unreadable files or empty trajectories. *)
+val compare_files :
+  ?throughput_floor:float ->
+  ?latency_ceiling:float ->
+  base:string ->
+  string ->
+  (verdict list, string) result

@@ -18,6 +18,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }
   | Toric_memory of {
       l : int;
@@ -25,6 +26,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }
   | Toric_scan of {
       ls : int list;
@@ -32,6 +34,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }
   | Toric_noisy of {
       l : int;
@@ -41,6 +44,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }
   | Toric_circuit of {
       l : int;
@@ -87,27 +91,37 @@ let experiment_name = function
 let floats l = Json.List (List.map (fun f -> Json.Float f) l)
 let ints l = Json.List (List.map (fun i -> Json.Int i) l)
 
+(* [tile_width] is emitted only when it differs from the default 64:
+   the canonical bytes of every pre-tile request are unchanged, so
+   cached results keyed on them survive the protocol extension. *)
+let tile_fields tile_width =
+  if tile_width = 64 then [] else [ ("tile_width", Json.Int tile_width) ]
+
 let estimator_to_json e =
   let typ = ("type", Json.String (estimator_name e)) in
   match e with
-  | Steane_memory { level; eps; rounds; trials; seed; engine } ->
+  | Steane_memory { level; eps; rounds; trials; seed; engine; tile_width } ->
     Json.Obj
-      [ typ; ("level", Int level); ("eps", Float eps); ("rounds", Int rounds);
-        ("trials", Int trials); ("seed", Int seed);
-        ("engine", String (engine_to_string engine)) ]
-  | Toric_memory { l; p; trials; seed; engine } ->
+      ([ typ; ("level", Int level); ("eps", Float eps); ("rounds", Int rounds);
+         ("trials", Int trials); ("seed", Int seed);
+         ("engine", String (engine_to_string engine)) ]
+      @ tile_fields tile_width)
+  | Toric_memory { l; p; trials; seed; engine; tile_width } ->
     Json.Obj
-      [ typ; ("l", Int l); ("p", Float p); ("trials", Int trials);
-        ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
-  | Toric_scan { ls; ps; trials; seed; engine } ->
+      ([ typ; ("l", Int l); ("p", Float p); ("trials", Int trials);
+         ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
+      @ tile_fields tile_width)
+  | Toric_scan { ls; ps; trials; seed; engine; tile_width } ->
     Json.Obj
-      [ typ; ("ls", ints ls); ("ps", floats ps); ("trials", Int trials);
-        ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
-  | Toric_noisy { l; rounds; p; q; trials; seed; engine } ->
+      ([ typ; ("ls", ints ls); ("ps", floats ps); ("trials", Int trials);
+         ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
+      @ tile_fields tile_width)
+  | Toric_noisy { l; rounds; p; q; trials; seed; engine; tile_width } ->
     Json.Obj
-      [ typ; ("l", Int l); ("rounds", Int rounds); ("p", Float p);
-        ("q", Float q); ("trials", Int trials); ("seed", Int seed);
-        ("engine", String (engine_to_string engine)) ]
+      ([ typ; ("l", Int l); ("rounds", Int rounds); ("p", Float p);
+         ("q", Float q); ("trials", Int trials); ("seed", Int seed);
+         ("engine", String (engine_to_string engine)) ]
+      @ tile_fields tile_width)
   | Toric_circuit { l; rounds; eps; trials; seed } ->
     Json.Obj
       [ typ; ("l", Int l); ("rounds", Int rounds); ("eps", Float eps);
@@ -128,8 +142,9 @@ let request_to_json = function
 let ( let* ) = Result.bind
 
 (* strict object reader: every present field must be consumed, every
-   consumed field must be well-typed; [engine] is the one defaulted
-   field (canonicalization fills it in) *)
+   consumed field must be well-typed; [engine] and [tile_width] are
+   the defaulted fields (canonicalization fills engine in and omits
+   the default tile_width) *)
 type reader = { fields : (string * Json.t) list; mutable seen : string list }
 
 let reader_of_json = function
@@ -194,6 +209,25 @@ let prob name p =
 let positive name i =
   check (i > 0) (Printf.sprintf "%s must be positive" name)
 
+(* Missing tile_width means the pre-tile default (64).  The scalar
+   engine has no tiles; rejecting the combination keeps one canonical
+   encoding (and one cache key) per distinct computation. *)
+let req_tile_width r engine =
+  let* w =
+    match field r "tile_width" with
+    | None -> Ok 64
+    | Some (Json.Int w) -> Ok w
+    | Some _ -> Error "field \"tile_width\" must be an integer"
+  in
+  let* () =
+    check
+      (w >= 64 && w mod 64 = 0)
+      "tile_width must be a positive multiple of 64"
+  in
+  let* () =
+    check (engine = `Batch || w = 64) "tile_width requires engine \"batch\"" in
+  Ok w
+
 let estimator_of_json j =
   let* r = reader_of_json j in
   let* typ =
@@ -210,34 +244,37 @@ let estimator_of_json j =
       let* trials = req_int r "trials" in
       let* seed = req_int r "seed" in
       let* engine = req_engine r in
+      let* tile_width = req_tile_width r engine in
       let* () = check (level >= 1 && level <= 3) "level must be 1..3" in
       let* () = prob "eps" eps in
       let* () = positive "rounds" rounds in
       let* () = positive "trials" trials in
-      Ok (Steane_memory { level; eps; rounds; trials; seed; engine })
+      Ok (Steane_memory { level; eps; rounds; trials; seed; engine; tile_width })
     | "toric_memory" ->
       let* l = req_int r "l" in
       let* p = req_float r "p" in
       let* trials = req_int r "trials" in
       let* seed = req_int r "seed" in
       let* engine = req_engine r in
+      let* tile_width = req_tile_width r engine in
       let* () = check (l >= 2) "l must be >= 2" in
       let* () = prob "p" p in
       let* () = positive "trials" trials in
-      Ok (Toric_memory { l; p; trials; seed; engine })
+      Ok (Toric_memory { l; p; trials; seed; engine; tile_width })
     | "toric_scan" ->
       let* ls = req_list Json.to_int_opt r "ls" in
       let* ps = req_list Json.to_float_opt r "ps" in
       let* trials = req_int r "trials" in
       let* seed = req_int r "seed" in
       let* engine = req_engine r in
+      let* tile_width = req_tile_width r engine in
       let* () = check (List.for_all (fun l -> l >= 2) ls) "ls must be >= 2" in
       let* () =
         check (List.for_all (fun p -> p >= 0.0 && p <= 1.0) ps)
           "ps must be in [0,1]"
       in
       let* () = positive "trials" trials in
-      Ok (Toric_scan { ls; ps; trials; seed; engine })
+      Ok (Toric_scan { ls; ps; trials; seed; engine; tile_width })
     | "toric_noisy" ->
       let* l = req_int r "l" in
       let* rounds = req_int r "rounds" in
@@ -246,12 +283,13 @@ let estimator_of_json j =
       let* trials = req_int r "trials" in
       let* seed = req_int r "seed" in
       let* engine = req_engine r in
+      let* tile_width = req_tile_width r engine in
       let* () = check (l >= 2) "l must be >= 2" in
       let* () = positive "rounds" rounds in
       let* () = prob "p" p in
       let* () = prob "q" q in
       let* () = positive "trials" trials in
-      Ok (Toric_noisy { l; rounds; p; q; trials; seed; engine })
+      Ok (Toric_noisy { l; rounds; p; q; trials; seed; engine; tile_width })
     | "toric_circuit" ->
       let* l = req_int r "l" in
       let* rounds = req_int r "rounds" in

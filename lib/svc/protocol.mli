@@ -20,7 +20,16 @@ type engine = [ `Scalar | `Batch ]
 
 (** One estimator request.  Seeds are final (already derived):
     clients that want the seed of a specific experiment cell apply
-    [Mc.Rng.derive] themselves. *)
+    [Mc.Rng.derive] themselves.
+
+    [tile_width] (shots per bit-slice tile; a positive multiple of
+    64) only applies to [engine = `Batch] and is encoded in the
+    canonical form only when it differs from the default 64 — the
+    canonical bytes of every pre-tile request are unchanged, so
+    cached results keyed on them survive.  Batch counts are
+    bit-identical across tile widths, but the width is an explicit
+    request parameter (it changes the computation schedule), so it
+    stays part of the key when non-default. *)
 type estimator =
   | Steane_memory of {
       level : int;
@@ -29,6 +38,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }  (** {!Codes.Pauli_frame} concatenated-Steane memory (one E6b cell). *)
   | Toric_memory of {
       l : int;
@@ -36,6 +46,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }  (** {!Toric.Memory} (one E10 cell, seed taken literally). *)
   | Toric_scan of {
       ls : int list;
@@ -43,6 +54,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }
       (** The full E10 grid with the experiment driver's own per-cell
           seed derivation ([derive seed [10; l; pi]]), so the result
@@ -55,6 +67,7 @@ type estimator =
       trials : int;
       seed : int;
       engine : engine;
+      tile_width : int;
     }  (** {!Toric.Noisy_memory} (E19-style cell). *)
   | Toric_circuit of {
       l : int;

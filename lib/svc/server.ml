@@ -32,29 +32,31 @@ let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
     Mc.Stats.estimate ~failures ~trials ()
   in
   match est with
-  | Steane_memory { level; eps; rounds; trials; seed; engine } ->
+  | Steane_memory { level; eps; rounds; trials; seed; engine; tile_width } ->
     let e =
       match engine with
       | `Scalar ->
         Codes.Pauli_frame.memory_failure_mc ?domains ~obs ~level ~eps ~rounds
           ~trials ~seed ()
       | `Batch ->
-        Codes.Pauli_frame.memory_failure_batch ?domains ~obs ~level ~eps
-          ~rounds ~trials ~seed ()
+        Codes.Pauli_frame.memory_failure_batch ?domains ~obs ~tile_width
+          ~level ~eps ~rounds ~trials ~seed ()
     in
     Estimate { name = Printf.sprintf "L%d@eps=%g" level eps; estimate = e }
-  | Toric_memory { l; p; trials; seed; engine } ->
+  | Toric_memory { l; p; trials; seed; engine; tile_width } ->
     let r =
       match engine with
       | `Scalar -> Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
-      | `Batch -> Toric.Memory.run_batch ?domains ~obs ~l ~p ~trials ~seed ()
+      | `Batch ->
+        Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p ~trials ~seed
+          ()
     in
     Estimate
       {
         name = Printf.sprintf "l=%d,p=%g" l p;
         estimate = estimate_of ~failures:r.failures ~trials:r.trials;
       }
-  | Toric_scan { ls; ps; trials; seed; engine } ->
+  | Toric_scan { ls; ps; trials; seed; engine; tile_width } ->
     (* e10's loop shape: p outer (indexed), l inner, seed derived per
        cell — cells coincide with [experiments e10 --seed seed]. *)
     let cells = ref [] in
@@ -68,7 +70,8 @@ let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
               | `Scalar ->
                 Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
               | `Batch ->
-                Toric.Memory.run_batch ?domains ~obs ~l ~p ~trials ~seed ()
+                Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p ~trials
+                  ~seed ()
             in
             cells :=
               {
@@ -79,15 +82,15 @@ let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
           ls)
       ps;
     Cells (List.rev !cells)
-  | Toric_noisy { l; rounds; p; q; trials; seed; engine } ->
+  | Toric_noisy { l; rounds; p; q; trials; seed; engine; tile_width } ->
     let r =
       match engine with
       | `Scalar ->
         Toric.Noisy_memory.run_mc ?domains ~obs ~l ~rounds ~p ~q ~trials
           ~seed ()
       | `Batch ->
-        Toric.Noisy_memory.run_batch ?domains ~obs ~l ~rounds ~p ~q ~trials
-          ~seed ()
+        Toric.Noisy_memory.run_batch ?domains ~obs ~tile_width ~l ~rounds ~p
+          ~q ~trials ~seed ()
     in
     Estimate
       {

@@ -41,11 +41,17 @@ let run_mc ?domains ?obs ?(decoder = `Union_find) ~l ~p ~trials ~seed () =
   in
   result ~l ~p ~trials failures
 
-(* Bit-sliced batch engine: 64 shots per word.  Noise and plaquette
-   syndromes are word-wise; only shots with a nonzero syndrome fall
-   back to the per-shot decoder (at interesting p most shots below
-   threshold are clean, so the word path does the bulk of the work).
-   [`Scalar] re-runs every extracted shot through the existing
+(* Bit-sliced batch engine: 64 shots per word, [tile_width / 64]
+   words per tile.  Noise and plaquette syndromes are word-wise; an
+   early parity-based split sends clean shots (no defects anywhere)
+   through word-parallel winding, and only defect shots fall back to
+   the per-shot decoder (at interesting p most shots below threshold
+   are clean, so the word path does the bulk of the work).  Defect
+   shots of a lane are extracted tile-at-a-time through a 64x64
+   block transpose of the error plane and syndrome rows instead of
+   per-shot bit-probing ([Plane.shot_vec]) — the matcher front-end is
+   batched; only the matching itself stays per shot.  [`Scalar]
+   re-runs every extracted shot through the existing
    Lattice.syndrome / Decoder pipeline on the same sampled noise, so
    its counts are bit-identical to [`Batch] by construction. *)
 let plaquette_checks lat ~l =
@@ -60,11 +66,20 @@ let winding_selectors lat ~l =
   ( Array.init l (fun y -> Lattice.v_edge lat ~x:0 ~y),
     Array.init l (fun x -> Lattice.h_edge lat ~x ~y:0) )
 
-let run_batch ?domains ?obs ?(engine = `Batch) ?(decoder = `Union_find) ~l ~p
-    ~trials ~seed () =
+(* Lanes with at least this many defect shots extract them through
+   the block transpose; sparser lanes bit-probe per shot (a 64x64
+   transpose costs ~6x64 word ops per block, so it amortizes after a
+   few shots). *)
+let transpose_threshold = 3
+
+let run_batch ?domains ?obs ?campaign ?(engine = `Batch)
+    ?(decoder = `Union_find) ?(tile_width = 64) ~l ~p ~trials ~seed () =
   let lat = Lattice.create l in
   let nq = Lattice.num_qubits lat in
   let np = Lattice.num_plaquettes lat in
+  if tile_width < 64 || tile_width mod 64 <> 0 then
+    invalid_arg "Toric.Memory: tile_width must be a positive multiple of 64";
+  let lanes = tile_width / 64 in
   let qubits = Array.init nq Fun.id in
   let prog =
     Frame.Program.make ~n:nq
@@ -72,52 +87,87 @@ let run_batch ?domains ?obs ?(engine = `Batch) ?(decoder = `Union_find) ~l ~p
         Frame.Program.Extract (plaquette_checks lat ~l) ]
   in
   let wx_sel, wy_sel = winding_selectors lat ~l in
+  let eb = (nq + 63) / 64 * 64 and sb = (np + 63) / 64 * 64 in
   let decode syndrome =
     match decoder with
     | `Union_find -> Decoder.decode lat syndrome
     | `Greedy -> Decoder.greedy_decode lat syndrome
   in
-  let decode_shot plane out fail k ~use_word_syndrome =
-    let error = Frame.Plane.extract_shot_x plane k in
-    let syndrome =
-      if use_word_syndrome then Frame.Plane.shot_vec out k
-      else Lattice.syndrome lat error
-    in
+  let judge error syndrome fail b =
     let correction = decode syndrome in
     let residual = Bitvec.xor error correction in
     assert (Bitvec.is_zero (Lattice.syndrome lat residual));
     let wx, wy = Lattice.winding lat residual in
-    if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L k)
+    if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L b)
   in
-  let batch (plane, out) key ~base:_ ~count =
-    let sampler = Frame.Sampler.create key in
+  let batch (plane, out, terr, tsyn) keys ~base:_ ~count =
+    let sampler = Frame.Sampler.create_tile keys in
     Frame.Plane.clear plane;
     Frame.Program.run_into prog sampler plane out;
     match engine with
     | `Batch ->
-      (* word path for clean shots, per-shot decode for the rest *)
-      let any = Array.fold_left Int64.logor 0L out in
-      let clean_winding =
-        Int64.logor
-          (Frame.Plane.parity_x plane wx_sel)
-          (Frame.Plane.parity_x plane wy_sel)
-      in
-      let fail = ref (Int64.logand clean_winding (Int64.lognot any)) in
-      for k = 0 to count - 1 do
-        if Frame.Plane.bit any k then
-          decode_shot plane out fail k ~use_word_syndrome:true
-      done;
-      !fail
+      (* early clean/defect split per lane: word path for clean
+         shots, transposed extraction + per-shot decode for the
+         rest *)
+      Array.init lanes (fun j ->
+          let live = min 64 (count - (64 * j)) in
+          let any = ref 0L in
+          for i = 0 to np - 1 do
+            any := Int64.logor !any out.((i * lanes) + j)
+          done;
+          let clean_winding =
+            Int64.logor
+              (Frame.Plane.parity_x ~lane:j plane wx_sel)
+              (Frame.Plane.parity_x ~lane:j plane wy_sel)
+          in
+          let any = !any in
+          let fail = ref (Int64.logand clean_winding (Int64.lognot any)) in
+          if any <> 0L then begin
+            let nd =
+              Mc.Runner.popcount64
+                (Int64.logand any (Mc.Runner.live_mask (max live 0)))
+            in
+            if nd >= transpose_threshold then begin
+              Frame.Plane.transpose_x plane ~lane:j terr;
+              Frame.Plane.transpose_rows ~src:out ~lanes ~lane:j ~pos:0
+                ~nrows:np tsyn;
+              for b = 0 to live - 1 do
+                if Frame.Plane.bit any b then
+                  judge
+                    (Frame.Plane.shot_of_transposed terr ~len:nq b)
+                    (Frame.Plane.shot_of_transposed tsyn ~len:np b)
+                    fail b
+              done
+            end
+            else
+              for b = 0 to live - 1 do
+                if Frame.Plane.bit any b then
+                  judge
+                    (Frame.Plane.extract_shot_x plane ((64 * j) + b))
+                    (Frame.Plane.row_shot_vec out ~lanes ~lane:j ~pos:0
+                       ~len:np b)
+                    fail b
+              done
+          end;
+          !fail)
     | `Scalar ->
-      let fail = ref 0L in
-      for k = 0 to count - 1 do
-        decode_shot plane out fail k ~use_word_syndrome:false
-      done;
-      !fail
+      Array.init lanes (fun j ->
+          let live = min 64 (count - (64 * j)) in
+          let fail = ref 0L in
+          for b = 0 to live - 1 do
+            let error = Frame.Plane.extract_shot_x plane ((64 * j) + b) in
+            judge error (Lattice.syndrome lat error) fail b
+          done;
+          !fail)
   in
   let failures =
-    Mc.Runner.failures_batched ?domains ?obs ~trials ~seed
-      ~worker_init:(fun () -> (Frame.Plane.create nq, Array.make np 0L))
+    Mc.Runner.failures_batched ?domains ?obs ?campaign ~tile_width ~trials
+      ~seed
+      ~worker_init:(fun () ->
+        ( Frame.Plane.create ~width:tile_width nq,
+          Array.make (np * lanes) 0L,
+          Array.make eb 0L,
+          Array.make sb 0L ))
       batch
   in
   result ~l ~p ~trials failures

@@ -112,19 +112,23 @@ let run_mc ?domains ?obs ~l ~rounds ~p ~q ~trials ~seed () =
   in
   result ~l ~rounds ~p ~q ~trials failures
 
-(* Bit-sliced batch engine.  The sampling and space-time-defect phase
-   is word-wise and shared verbatim by both engines (same sampler call
-   sequence, so identical noise); decoding falls back per shot.
-   Shots with no detection events anywhere skip the matcher and are
-   judged by word-parallel winding. *)
+(* Bit-sliced batch engine, [tile_width / 64] words per tile.  The
+   sampling and space-time-defect phase is word-wise and shared
+   verbatim by both engines (same sampler call sequence, so identical
+   noise); decoding falls back per shot.  Per lane, shots with no
+   detection events anywhere skip the matcher and are judged by
+   word-parallel winding; the defect shots' final error planes are
+   extracted tile-at-a-time through a 64x64 block transpose.  All
+   word buffers are row-major: row [i]'s lane [j] at [i * lanes + j]. *)
 type batch_ctx = {
   plane : Frame.Plane.t;
-  out : int64 array;     (* np: one round's syndrome words *)
-  mw : int64 array;      (* np*rounds: measurement-flip words *)
-  dw : int64 array;      (* np*rounds: defect words *)
-  prev : int64 array;    (* np: previous round's observed syndrome *)
-  acc : int64 array;     (* nq*rounds: accumulated-error snapshots *)
+  out : int64 array;     (* np rows: one round's syndrome tiles *)
+  mw : int64 array;      (* np*rounds rows: measurement-flip tiles *)
+  dw : int64 array;      (* np*rounds rows: defect tiles *)
+  prev : int64 array;    (* np rows: previous round's observed syndrome *)
+  acc : int64 array;     (* nq*rounds rows: accumulated-error snapshots *)
   defects : bool array;  (* np*rounds: one shot's defect pattern *)
+  terr : int64 array;    (* transposed error plane, one lane *)
 }
 
 let correction_of_selected graph ~nq selected =
@@ -138,11 +142,18 @@ let correction_of_selected graph ~nq selected =
     selected;
   correction
 
-let run_batch ?domains ?obs ?(engine = `Batch) ~l ~rounds ~p ~q ~trials ~seed
-    () =
+(* As in Memory: lanes with at least this many defect shots extract
+   their error planes through the block transpose. *)
+let transpose_threshold = 3
+
+let run_batch ?domains ?obs ?(engine = `Batch) ?(tile_width = 64) ~l ~rounds
+    ~p ~q ~trials ~seed () =
   let lat, graph = setup ~l ~rounds in
   let nq = Lattice.num_qubits lat in
   let np = Lattice.num_plaquettes lat in
+  if tile_width < 64 || tile_width mod 64 <> 0 then
+    invalid_arg "Toric.Noisy_memory: tile_width must be a positive multiple of 64";
+  let lanes = tile_width / 64 in
   let qubits = Array.init nq Fun.id in
   let checks =
     Array.init np (fun idx ->
@@ -157,94 +168,128 @@ let run_batch ?domains ?obs ?(engine = `Batch) ~l ~rounds ~p ~q ~trials ~seed
     Frame.Program.make ~n:nq
       [ Frame.Program.Flip_x { qubits; p }; Frame.Program.Extract checks ]
   in
+  let qplan = Frame.Sampler.plan q in
   let wx_sel = Array.init l (fun y -> Lattice.v_edge lat ~x:0 ~y) in
   let wy_sel = Array.init l (fun x -> Lattice.h_edge lat ~x ~y:0) in
-  let batch ctx key ~base:_ ~count =
-    let sampler = Frame.Sampler.create key in
+  let judge error correction fail b =
+    let residual = Bitvec.xor error correction in
+    let wx, wy = Lattice.winding lat residual in
+    if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L b)
+  in
+  let match_shot ctx ~lane b =
+    for r = 0 to (np * rounds) - 1 do
+      ctx.defects.(r) <- Frame.Plane.bit ctx.dw.((r * lanes) + lane) b
+    done;
+    let selected = Match_graph.decode graph.g ~defects:ctx.defects in
+    correction_of_selected graph ~nq selected
+  in
+  let batch ctx keys ~base:_ ~count =
+    let sampler = Frame.Sampler.create_tile keys in
     Frame.Plane.clear ctx.plane;
-    Array.fill ctx.prev 0 np 0L;
+    Array.fill ctx.prev 0 (np * lanes) 0L;
     for t = 0 to rounds - 1 do
       Frame.Program.run_into round_prog sampler ctx.plane ctx.out;
-      for e = 0 to nq - 1 do
-        ctx.acc.((t * nq) + e) <- Frame.Plane.get_x ctx.plane e
-      done;
+      Frame.Plane.blit_x ctx.plane ctx.acc (t * nq * lanes);
       for i = 0 to np - 1 do
-        let m =
-          if t < rounds - 1 && q > 0.0 then Frame.Sampler.bernoulli sampler q
-          else 0L
-        in
-        ctx.mw.((t * np) + i) <- m;
-        let observed = Int64.logxor ctx.out.(i) m in
-        ctx.dw.((t * np) + i) <- Int64.logxor observed ctx.prev.(i);
-        ctx.prev.(i) <- observed
+        let row = i * lanes in
+        if t < rounds - 1 && q > 0.0 then
+          Frame.Sampler.bernoulli_plan_into sampler qplan ctx.mw
+            (((t * np) + i) * lanes)
+        else Array.fill ctx.mw (((t * np) + i) * lanes) lanes 0L;
+        for j = 0 to lanes - 1 do
+          let m = ctx.mw.((((t * np) + i) * lanes) + j) in
+          let observed = Int64.logxor ctx.out.(row + j) m in
+          ctx.dw.((((t * np) + i) * lanes) + j) <-
+            Int64.logxor observed ctx.prev.(row + j);
+          ctx.prev.(row + j) <- observed
+        done
       done
     done;
     match engine with
     | `Batch ->
-      let any = Array.fold_left Int64.logor 0L ctx.dw in
-      let clean_winding =
-        Int64.logor
-          (Frame.Plane.parity_x ctx.plane wx_sel)
-          (Frame.Plane.parity_x ctx.plane wy_sel)
-      in
-      let fail = ref (Int64.logand clean_winding (Int64.lognot any)) in
-      for k = 0 to count - 1 do
-        if Frame.Plane.bit any k then begin
-          for j = 0 to (np * rounds) - 1 do
-            ctx.defects.(j) <- Frame.Plane.bit ctx.dw.(j) k
+      Array.init lanes (fun j ->
+          let live = min 64 (count - (64 * j)) in
+          let any = ref 0L in
+          for r = 0 to (np * rounds) - 1 do
+            any := Int64.logor !any ctx.dw.((r * lanes) + j)
           done;
-          let selected = Match_graph.decode graph.g ~defects:ctx.defects in
-          let correction = correction_of_selected graph ~nq selected in
-          let error = Frame.Plane.extract_shot_x ctx.plane k in
-          let residual = Bitvec.xor error correction in
-          let wx, wy = Lattice.winding lat residual in
-          if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L k)
-        end
-      done;
-      !fail
+          let clean_winding =
+            Int64.logor
+              (Frame.Plane.parity_x ~lane:j ctx.plane wx_sel)
+              (Frame.Plane.parity_x ~lane:j ctx.plane wy_sel)
+          in
+          let any = !any in
+          let fail = ref (Int64.logand clean_winding (Int64.lognot any)) in
+          if any <> 0L then begin
+            let nd =
+              Mc.Runner.popcount64
+                (Int64.logand any (Mc.Runner.live_mask (max live 0)))
+            in
+            let transposed = nd >= transpose_threshold in
+            if transposed then Frame.Plane.transpose_x ctx.plane ~lane:j ctx.terr;
+            for b = 0 to live - 1 do
+              if Frame.Plane.bit any b then begin
+                let correction = match_shot ctx ~lane:j b in
+                let error =
+                  if transposed then
+                    Frame.Plane.shot_of_transposed ctx.terr ~len:nq b
+                  else Frame.Plane.extract_shot_x ctx.plane ((64 * j) + b)
+                in
+                judge error correction fail b
+              end
+            done
+          end;
+          !fail)
     | `Scalar ->
       (* re-run the existing per-shot pipeline on the per-round
          snapshots of the same sampled noise *)
-      let fail = ref 0L in
-      for k = 0 to count - 1 do
-        let prev_b = Bitvec.create np in
-        Array.fill ctx.defects 0 (np * rounds) false;
-        for t = 0 to rounds - 1 do
-          let error_t = Frame.Plane.shot_vec (Array.sub ctx.acc (t * nq) nq) k in
-          let observed = Bitvec.copy (Lattice.syndrome lat error_t) in
-          for i = 0 to np - 1 do
-            if Frame.Plane.bit ctx.mw.((t * np) + i) k then
-              Bitvec.flip observed i
+      Array.init lanes (fun j ->
+          let live = min 64 (count - (64 * j)) in
+          let fail = ref 0L in
+          for b = 0 to live - 1 do
+            let prev_b = Bitvec.create np in
+            Array.fill ctx.defects 0 (np * rounds) false;
+            for t = 0 to rounds - 1 do
+              let error_t =
+                Frame.Plane.row_shot_vec ctx.acc ~lanes ~lane:j ~pos:(t * nq)
+                  ~len:nq b
+              in
+              let observed = Bitvec.copy (Lattice.syndrome lat error_t) in
+              for i = 0 to np - 1 do
+                if Frame.Plane.bit ctx.mw.((((t * np) + i) * lanes) + j) b then
+                  Bitvec.flip observed i
+              done;
+              for i = 0 to np - 1 do
+                if Bitvec.get observed i <> Bitvec.get prev_b i then
+                  ctx.defects.((t * np) + i) <- true
+              done;
+              Bitvec.blit ~src:observed prev_b
+            done;
+            let selected = Match_graph.decode graph.g ~defects:ctx.defects in
+            let correction = correction_of_selected graph ~nq selected in
+            let error =
+              Frame.Plane.row_shot_vec ctx.acc ~lanes ~lane:j
+                ~pos:((rounds - 1) * nq) ~len:nq b
+            in
+            let residual = Bitvec.xor error correction in
+            assert (Bitvec.is_zero (Lattice.syndrome lat residual));
+            let wx, wy = Lattice.winding lat residual in
+            if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L b)
           done;
-          for i = 0 to np - 1 do
-            if Bitvec.get observed i <> Bitvec.get prev_b i then
-              ctx.defects.((t * np) + i) <- true
-          done;
-          Bitvec.blit ~src:observed prev_b
-        done;
-        let selected = Match_graph.decode graph.g ~defects:ctx.defects in
-        let correction = correction_of_selected graph ~nq selected in
-        let error =
-          Frame.Plane.shot_vec (Array.sub ctx.acc ((rounds - 1) * nq) nq) k
-        in
-        let residual = Bitvec.xor error correction in
-        assert (Bitvec.is_zero (Lattice.syndrome lat residual));
-        let wx, wy = Lattice.winding lat residual in
-        if wx || wy then fail := Int64.logor !fail (Int64.shift_left 1L k)
-      done;
-      !fail
+          !fail)
   in
   let failures =
-    Mc.Runner.failures_batched ?domains ?obs ~trials ~seed
+    Mc.Runner.failures_batched ?domains ?obs ~tile_width ~trials ~seed
       ~worker_init:(fun () ->
         {
-          plane = Frame.Plane.create nq;
-          out = Array.make np 0L;
-          mw = Array.make (np * rounds) 0L;
-          dw = Array.make (np * rounds) 0L;
-          prev = Array.make np 0L;
-          acc = Array.make (nq * rounds) 0L;
+          plane = Frame.Plane.create ~width:tile_width nq;
+          out = Array.make (np * lanes) 0L;
+          mw = Array.make (np * rounds * lanes) 0L;
+          dw = Array.make (np * rounds * lanes) 0L;
+          prev = Array.make (np * lanes) 0L;
+          acc = Array.make (nq * rounds * lanes) 0L;
           defects = Array.make (np * rounds) false;
+          terr = Array.make ((nq + 63) / 64 * 64) 0L;
         })
       batch
   in

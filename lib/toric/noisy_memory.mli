@@ -51,17 +51,21 @@ val run_mc :
   unit ->
   result
 
-(** [run_batch ?domains ?engine ~l ~rounds ~p ~q ~trials ~seed ()] —
-    the bit-sliced engine: per round, qubit-flip and measurement-flip
-    words are sampled word-wise and turned into space-time defect
-    words; shots with no detection events skip the matcher entirely
-    (word-parallel winding), the rest are transposed out and matched
-    per shot.  [`Batch] and [`Scalar] share the identical sampled
-    noise, so counts are bit-identical; see {!Memory.run_batch}. *)
+(** [run_batch ?domains ?engine ?tile_width ~l ~rounds ~p ~q ~trials
+    ~seed ()] — the bit-sliced engine: per round, qubit-flip and
+    measurement-flip tiles ([tile_width / 64] words, default 64) are
+    sampled word-wise and turned into space-time defect tiles; per
+    lane, shots with no detection events skip the matcher entirely
+    (word-parallel winding), the rest have their error planes
+    block-transposed out tile-at-a-time and are matched per shot.
+    [`Batch] and [`Scalar] share the identical sampled noise, so
+    counts are bit-identical — across engines, domain counts and tile
+    widths; see {!Memory.run_batch}. *)
 val run_batch :
   ?domains:int ->
   ?obs:Obs.t ->
   ?engine:[ `Batch | `Scalar ] ->
+  ?tile_width:int ->
   l:int ->
   rounds:int ->
   p:float ->

@@ -43,14 +43,17 @@ let seed = 99
 let reference =
   lazy (Mc.Runner.failures ~domains:1 ~chunk:mc_chunk ~trials ~seed trial)
 
-let batch _ctx key ~base ~count:_ =
-  (* deterministic per-word pattern derived from the chunk key *)
-  let w = ref 0L in
-  for k = 0 to 63 do
-    if Int64.rem (Mc.Rng.draw key (base + k)) 5L = 0L then
-      w := Int64.logor !w (Int64.shift_left 1L k)
-  done;
-  !w
+let batch _ctx keys ~base ~count:_ =
+  (* deterministic per-word pattern derived from each lane's key *)
+  Array.mapi
+    (fun j key ->
+      let w = ref 0L in
+      for k = 0 to 63 do
+        if Int64.rem (Mc.Rng.draw key (base + (64 * j) + k)) 5L = 0L then
+          w := Int64.logor !w (Int64.shift_left 1L k)
+      done;
+      !w)
+    keys
 
 let batch_trials = 1000
 
@@ -220,13 +223,13 @@ let interrupt_resume_scalar ~domains () =
         (Printf.sprintf "kill+resume = reference (scalar, domains %d)" domains)
         expected resumed)
 
-let interrupt_resume_batch ~domains () =
+let interrupt_resume_batch ?tile_width ~domains () =
   let expected = Lazy.force batch_reference in
   with_fresh_campaign ~flush_every:1 (fun path c ->
       Mc.Campaign.reset_stop ();
       (match
-         Mc.Runner.failures_batched ~domains ~campaign:c ~trials:batch_trials
-           ~seed
+         Mc.Runner.failures_batched ~domains ?tile_width ~campaign:c
+           ~trials:batch_trials ~seed
            ~chaos:(Mc.Chaos.at_chunk ~chunk:3 Mc.Campaign.request_stop)
            ~worker_init:(fun () -> ())
            batch
@@ -236,14 +239,40 @@ let interrupt_resume_batch ~domains () =
       Mc.Campaign.reset_stop ();
       let c' = Result.get_ok (Mc.Campaign.load path) in
       let resumed =
-        Mc.Runner.failures_batched ~domains ~campaign:c' ~trials:batch_trials
-          ~seed
+        Mc.Runner.failures_batched ~domains ?tile_width ~campaign:c'
+          ~trials:batch_trials ~seed
           ~worker_init:(fun () -> ())
           batch
       in
       check_int
         (Printf.sprintf "kill+resume = reference (batch, domains %d)" domains)
         expected resumed)
+
+(* wider tiles are a pure scheduling change: lane j of tile c runs the
+   stream of width-64 chunk c·lanes+j, so the count cannot move — at
+   any width, any domain count, including ragged tails (1000 trials is
+   not a multiple of 256 or 512) *)
+let test_tile_width_invariant () =
+  let expected = Lazy.force batch_reference in
+  List.iter
+    (fun tile_width ->
+      let n =
+        Mc.Runner.failures_batched ~domains:1 ~tile_width
+          ~trials:batch_trials ~seed
+          ~worker_init:(fun () -> ())
+          batch
+      in
+      check_int
+        (Printf.sprintf "tile width %d = width 64 count" tile_width)
+        expected n)
+    [ 128; 256; 512 ];
+  let n =
+    Mc.Runner.failures_batched ~domains:4 ~tile_width:256
+      ~trials:batch_trials ~seed
+      ~worker_init:(fun () -> ())
+      batch
+  in
+  check_int "tile width 256 across 4 domains" expected n
 
 (* completing a checkpointed run and replaying it entirely from cache
    must also agree (no trial executes the second time) *)
@@ -461,6 +490,10 @@ let suites =
           (interrupt_resume_batch ~domains:1);
         Alcotest.test_case "batch interrupt+resume, domains 4" `Quick
           (interrupt_resume_batch ~domains:4);
+        Alcotest.test_case "batch interrupt+resume, tile width 256" `Quick
+          (interrupt_resume_batch ~tile_width:256 ~domains:2);
+        Alcotest.test_case "tile width invariance" `Quick
+          test_tile_width_invariant;
         Alcotest.test_case "full replay executes nothing" `Quick
           test_full_replay;
         Alcotest.test_case "SIGKILL leaves parseable checkpoint" `Quick

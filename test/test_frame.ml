@@ -90,6 +90,65 @@ let test_transpose_round_trip () =
   check "shot_vec / load_shot round-trips the word array" true
     (words = reloaded)
 
+let test_transpose64_orientation () =
+  (* single bit (r, c) lands at (c, r), and the transpose is an
+     involution on random blocks *)
+  let block = Array.make 64 0L in
+  List.iter
+    (fun (r, c) ->
+      Array.fill block 0 64 0L;
+      block.(r) <- Int64.shift_left 1L c;
+      Frame.Plane.transpose64 block 0;
+      let ok = ref true in
+      for i = 0 to 63 do
+        let expect = if i = c then Int64.shift_left 1L r else 0L in
+        if block.(i) <> expect then ok := false
+      done;
+      check (Printf.sprintf "bit (%d,%d) transposes to (%d,%d)" r c c r)
+        true !ok)
+    [ (0, 0); (0, 63); (63, 0); (17, 42); (63, 63) ];
+  let rng = Random.State.make [| 29 |] in
+  (* offset 64 exercises the [off] parameter *)
+  let a = Array.init 128 (fun _ -> Random.State.bits64 rng) in
+  let saved = Array.copy a in
+  Frame.Plane.transpose64 a 64;
+  Frame.Plane.transpose64 a 64;
+  check "transpose64 is an involution (at offset)" true (a = saved)
+
+let test_transpose_rows_matches_row_shot_vec () =
+  (* the tile-at-a-time block transpose must agree with the per-shot
+     strided extraction for every lane count and ragged nrows *)
+  let rng = Random.State.make [| 41 |] in
+  List.iter
+    (fun lanes ->
+      List.iter
+        (fun nrows ->
+          let src =
+            Array.init (((nrows + 7) * lanes) + 3) (fun _ ->
+                Random.State.bits64 rng)
+          in
+          let pos = 2 in
+          let dst = Array.make ((nrows + 63) / 64 * 64) 0L in
+          let ok = ref true in
+          for lane = 0 to lanes - 1 do
+            Frame.Plane.transpose_rows ~src ~lanes ~lane ~pos ~nrows dst;
+            for k = 0 to 63 do
+              let via_blocks =
+                Frame.Plane.shot_of_transposed dst ~len:nrows k
+              in
+              let via_probe =
+                Frame.Plane.row_shot_vec src ~lanes ~lane ~pos ~len:nrows k
+              in
+              if not (Gf2.Bitvec.equal via_blocks via_probe) then ok := false
+            done
+          done;
+          check
+            (Printf.sprintf "transpose_rows = row_shot_vec (lanes %d, nrows %d)"
+               lanes nrows)
+            true !ok)
+        [ 1; 63; 64; 130 ])
+    [ 1; 4; 8 ]
+
 (* --- Frame.Sampler: word-sampled Bernoulli ----------------------------- *)
 
 let test_bernoulli_distribution () =
@@ -161,15 +220,15 @@ let test_bernoulli_draw_count_depends_only_on_p () =
 
 (* --- batch vs scalar: bit-identical failure counts --------------------- *)
 
-let steane_counts ~level ~domains ~engine =
-  (Codes.Pauli_frame.memory_failure_batch ~domains ~engine ~level ~eps:0.06
-     ~rounds:2 ~trials:500 ~seed:31 ())
+let steane_counts ?(tile_width = 64) ~level ~domains ~engine () =
+  (Codes.Pauli_frame.memory_failure_batch ~domains ~engine ~tile_width ~level
+     ~eps:0.06 ~rounds:2 ~trials:500 ~seed:31 ())
     .failures
 
 let test_steane_batch_equals_scalar () =
   List.iter
     (fun level ->
-      let reference = steane_counts ~level ~domains:1 ~engine:`Scalar in
+      let reference = steane_counts ~level ~domains:1 ~engine:`Scalar () in
       check
         (Printf.sprintf "level %d: some failures observed" level)
         true (reference > 0);
@@ -179,7 +238,7 @@ let test_steane_batch_equals_scalar () =
             (Printf.sprintf "level %d batch = scalar (domains %d)" level
                domains)
             true
-            (steane_counts ~level ~domains ~engine:`Batch = reference))
+            (steane_counts ~level ~domains ~engine:`Batch () = reference))
         [ 1; 4 ])
     [ 1; 2 ]
 
@@ -199,38 +258,117 @@ let test_steane_batch_plausible_vs_legacy () =
   check "batch rate within 5 sigma of legacy rate" true
     (Float.abs (batch.rate -. legacy.rate) < 5.0 *. sigma)
 
-let toric_counts ~l ~domains ~engine =
-  (Toric.Memory.run_batch ~domains ~engine ~l ~p:0.08 ~trials:500 ~seed:77 ())
+let toric_counts ?(tile_width = 64) ~l ~domains ~engine () =
+  (Toric.Memory.run_batch ~domains ~engine ~tile_width ~l ~p:0.08 ~trials:500
+     ~seed:77 ())
     .Toric.Memory.failures
 
 let test_toric_batch_equals_scalar () =
   List.iter
     (fun l ->
-      let reference = toric_counts ~l ~domains:1 ~engine:`Scalar in
+      let reference = toric_counts ~l ~domains:1 ~engine:`Scalar () in
       List.iter
         (fun domains ->
           check
             (Printf.sprintf "toric l=%d batch = scalar (domains %d)" l domains)
             true
-            (toric_counts ~l ~domains ~engine:`Batch = reference))
+            (toric_counts ~l ~domains ~engine:`Batch () = reference))
         [ 1; 4 ])
     [ 3; 5 ]
 
-let noisy_toric_counts ~domains ~engine =
-  (Toric.Noisy_memory.run_batch ~domains ~engine ~l:3 ~rounds:3 ~p:0.03
-     ~q:0.03 ~trials:300 ~seed:13 ())
+let noisy_toric_counts ?(tile_width = 64) ~domains ~engine () =
+  (Toric.Noisy_memory.run_batch ~domains ~engine ~tile_width ~l:3 ~rounds:3
+     ~p:0.03 ~q:0.03 ~trials:300 ~seed:13 ())
     .Toric.Noisy_memory.failures
 
 let test_noisy_toric_batch_equals_scalar () =
-  let reference = noisy_toric_counts ~domains:1 ~engine:`Scalar in
+  let reference = noisy_toric_counts ~domains:1 ~engine:`Scalar () in
   check "noisy toric: some failures observed" true (reference > 0);
   List.iter
     (fun domains ->
       check
         (Printf.sprintf "noisy toric batch = scalar (domains %d)" domains)
         true
-        (noisy_toric_counts ~domains ~engine:`Batch = reference))
+        (noisy_toric_counts ~domains ~engine:`Batch () = reference))
     [ 1; 4 ]
+
+(* --- multi-word tiles: bit-identical counts at any width --------------- *)
+
+let tile_widths = [ 64; 256; 512 ]
+
+let test_tile_width_bit_identity () =
+  (* every kernel, every width, every domain count: exactly the
+     scalar-engine counts.  Lane j of a width-64k tile runs the same
+     64 shots on the same Rng.split key as width-64 chunk
+     [c * k + j], so this holds bit-for-bit, not statistically. *)
+  List.iter
+    (fun level ->
+      let reference = steane_counts ~level ~domains:1 ~engine:`Scalar () in
+      List.iter
+        (fun tile_width ->
+          List.iter
+            (fun domains ->
+              check
+                (Printf.sprintf "steane L%d width %d (domains %d) = scalar"
+                   level tile_width domains)
+                true
+                (steane_counts ~tile_width ~level ~domains ~engine:`Batch ()
+                = reference))
+            [ 1; 4 ])
+        tile_widths)
+    [ 1; 2 ];
+  List.iter
+    (fun l ->
+      let reference = toric_counts ~l ~domains:1 ~engine:`Scalar () in
+      List.iter
+        (fun tile_width ->
+          List.iter
+            (fun domains ->
+              check
+                (Printf.sprintf "toric l=%d width %d (domains %d) = scalar" l
+                   tile_width domains)
+                true
+                (toric_counts ~tile_width ~l ~domains ~engine:`Batch ()
+                = reference))
+            [ 1; 4 ])
+        tile_widths)
+    [ 3; 5 ];
+  let reference = noisy_toric_counts ~domains:1 ~engine:`Scalar () in
+  List.iter
+    (fun tile_width ->
+      List.iter
+        (fun domains ->
+          check
+            (Printf.sprintf "noisy toric width %d (domains %d) = scalar"
+               tile_width domains)
+            true
+            (noisy_toric_counts ~tile_width ~domains ~engine:`Batch ()
+            = reference))
+        [ 1; 4 ])
+    tile_widths
+
+let test_tile_width_ragged_tail () =
+  (* trial counts that are not multiples of the tile width: the live
+     mask must kill dead lanes and dead bits inside the last tile *)
+  let counts ~tile_width ~trials =
+    (Codes.Pauli_frame.memory_failure_batch ~domains:1 ~tile_width ~level:1
+       ~eps:0.06 ~rounds:1 ~trials ~seed:3 ())
+      .failures
+  in
+  List.iter
+    (fun trials ->
+      let reference = counts ~tile_width:64 ~trials in
+      List.iter
+        (fun tile_width ->
+          check
+            (Printf.sprintf "ragged %d trials at width %d = width 64" trials
+               tile_width)
+            true
+            (counts ~tile_width ~trials = reference))
+        [ 256; 512 ])
+    (* 100: inside one lane; 300: kills lanes 5.. of a 512 tile plus a
+       partial word; 500: one full 256 tile + ragged second *)
+    [ 100; 300; 500 ]
 
 let test_batch_trials_not_multiple_of_64 () =
   (* partial last word: the live mask must drop the dead bits *)
@@ -276,6 +414,10 @@ let suites =
           test_plane_matches_pauli_conjugation;
         Alcotest.test_case "transpose round-trip" `Quick
           test_transpose_round_trip;
+        Alcotest.test_case "transpose64 orientation" `Quick
+          test_transpose64_orientation;
+        Alcotest.test_case "transpose_rows = row_shot_vec" `Quick
+          test_transpose_rows_matches_row_shot_vec;
         Alcotest.test_case "bernoulli distribution" `Quick
           test_bernoulli_distribution;
         Alcotest.test_case "bernoulli draw count" `Quick
@@ -290,6 +432,10 @@ let suites =
           test_noisy_toric_batch_equals_scalar;
         Alcotest.test_case "ragged trial count" `Quick
           test_batch_trials_not_multiple_of_64;
+        Alcotest.test_case "tile width bit-identity" `Quick
+          test_tile_width_bit_identity;
+        Alcotest.test_case "tile width ragged tail" `Quick
+          test_tile_width_ragged_tail;
         Alcotest.test_case "rng stream reproducible" `Quick
           test_rng_stream_reproducible;
         Alcotest.test_case "rng legacy wrapper" `Quick

@@ -421,6 +421,130 @@ let test_manifest_validate_rejects () =
     (Obs.Json.of_string {|{"schema": "ftqc-manifest/1", "records": []}|}
      |> Result.get_ok |> Obs.Manifest.validate = Ok 0)
 
+(* --- Obs.Perf: trajectory comparator ----------------------------------- *)
+
+let kernel name width shots_per_s = { Obs.Perf.name; width; shots_per_s }
+
+let base_entry =
+  { Obs.Perf.label = "base";
+    kernels =
+      [ kernel "steane-level2" 64 1.0e6;
+        kernel "toric-L3-deep" 512 4.0e7 ];
+    daemon = Some { Obs.Perf.cold_s = 0.10; hit_s = 0.002 } }
+
+let diff ?throughput_floor ?latency_ceiling kernels daemon =
+  Obs.Perf.compare_entries ?throughput_floor ?latency_ceiling ~base:base_entry
+    { Obs.Perf.label = "new"; kernels; daemon }
+
+let test_perf_regression_fails () =
+  (* a >25% throughput drop on any kernel trips the gate *)
+  let verdicts =
+    diff
+      [ kernel "steane-level2" 64 0.70e6; (* -30%: regression *)
+        kernel "toric-L3-deep" 512 4.0e7 ]
+      base_entry.Obs.Perf.daemon
+  in
+  check "synthetic 30% slowdown flagged" true (Obs.Perf.regressed verdicts);
+  (* ...and the verdict names the offending kernel *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "offender named" true
+    (List.exists
+       (fun (v : Obs.Perf.verdict) ->
+         v.regressed && contains v.line "steane-level2")
+       verdicts)
+
+let test_perf_improvement_and_noise_pass () =
+  (* improvements and in-band noise (10% down) both pass *)
+  let improved =
+    diff
+      [ kernel "steane-level2" 64 2.0e6; kernel "toric-L3-deep" 512 9.0e7 ]
+      (Some { Obs.Perf.cold_s = 0.05; hit_s = 0.001 })
+  in
+  check "improvement passes" false (Obs.Perf.regressed improved);
+  let noisy =
+    diff
+      [ kernel "steane-level2" 64 0.9e6; (* -10%: inside the band *)
+        kernel "toric-L3-deep" 512 3.7e7 ]
+      (Some { Obs.Perf.cold_s = 0.15; hit_s = 0.003 })
+      (* latencies 1.5x: inside the 2x ceiling *)
+  in
+  check "noise-band wobble passes" false (Obs.Perf.regressed noisy)
+
+let test_perf_missing_and_new_kernels () =
+  (* a (kernel, width) pair that vanished is a regression; a new one
+     is informational only *)
+  let vanished = diff [ kernel "steane-level2" 64 1.0e6 ] None in
+  check "missing kernel flagged" true (Obs.Perf.regressed vanished);
+  let extra =
+    diff
+      (base_entry.Obs.Perf.kernels @ [ kernel "brand-new" 256 1.0 ])
+      base_entry.Obs.Perf.daemon
+  in
+  check "new kernel is informational" false (Obs.Perf.regressed extra);
+  (* width is part of the identity: same name at a new width does not
+     satisfy the base (name, width) pair *)
+  let rewidthed =
+    diff
+      [ kernel "steane-level2" 256 1.0e6; kernel "toric-L3-deep" 512 4.0e7 ]
+      base_entry.Obs.Perf.daemon
+  in
+  check "width change = missing pair" true (Obs.Perf.regressed rewidthed)
+
+let test_perf_latency_ceiling () =
+  let slow_cold =
+    diff base_entry.Obs.Perf.kernels
+      (Some { Obs.Perf.cold_s = 0.25; hit_s = 0.002 }) (* 2.5x: regression *)
+  in
+  check ">2x cold latency flagged" true (Obs.Perf.regressed slow_cold);
+  let slow_hit =
+    diff base_entry.Obs.Perf.kernels
+      (Some { Obs.Perf.cold_s = 0.10; hit_s = 0.005 }) (* 2.5x: regression *)
+  in
+  check ">2x cache-hit latency flagged" true (Obs.Perf.regressed slow_hit);
+  (* custom thresholds are honored *)
+  let strict =
+    diff ~throughput_floor:0.99 [ kernel "steane-level2" 64 0.98e6;
+                                  kernel "toric-L3-deep" 512 4.0e7 ]
+      None
+  in
+  check "custom throughput floor honored" true (Obs.Perf.regressed strict)
+
+let test_perf_trajectory_file_round_trip () =
+  let file = Filename.temp_file "ftqc_traj" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove file;
+      (* append creates the file, then extends it *)
+      Obs.Perf.append ~file base_entry;
+      Obs.Perf.append ~file
+        { base_entry with Obs.Perf.label = "next" };
+      (match Obs.Perf.read_trajectory file with
+      | Error e -> Alcotest.failf "trajectory unreadable: %s" e
+      | Ok entries ->
+        check "append-only: both entries, oldest first" true
+          (List.map (fun (e : Obs.Perf.entry) -> e.label) entries
+          = [ "base"; "next" ]));
+      (* a trajectory diffed against itself is never a regression *)
+      match Obs.Perf.compare_files ~base:file file with
+      | Error e -> Alcotest.failf "self-diff failed: %s" e
+      | Ok verdicts ->
+        check "self-diff passes" false (Obs.Perf.regressed verdicts));
+  (* wrong schema tag rejected *)
+  let bad = Filename.temp_file "ftqc_traj_bad" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc {|{"schema": "other/9", "entries": []}|};
+      close_out oc;
+      check "wrong schema rejected" true
+        (Result.is_error (Obs.Perf.read_trajectory bad)))
+
 let suites =
   [ ( "obs.json",
       [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
@@ -460,4 +584,13 @@ let suites =
       [ Alcotest.test_case "validate ok" `Quick test_manifest_validate_ok;
         Alcotest.test_case "write/reparse" `Quick test_manifest_write_reparses;
         Alcotest.test_case "validate rejects" `Quick
-          test_manifest_validate_rejects ] ) ]
+          test_manifest_validate_rejects ] );
+    ( "obs.perf",
+      [ Alcotest.test_case "regression fails" `Quick test_perf_regression_fails;
+        Alcotest.test_case "improvement and noise pass" `Quick
+          test_perf_improvement_and_noise_pass;
+        Alcotest.test_case "missing and new kernels" `Quick
+          test_perf_missing_and_new_kernels;
+        Alcotest.test_case "latency ceiling" `Quick test_perf_latency_ceiling;
+        Alcotest.test_case "trajectory file round-trip" `Quick
+          test_perf_trajectory_file_round_trip ] ) ]

@@ -15,7 +15,7 @@ let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
 
 let toric_est ?(l = 6) ?(p = 0.08) ?(trials = 400) ?(seed = 7) () =
-  Protocol.Toric_memory { l; p; trials; seed; engine = `Scalar }
+  Protocol.Toric_memory { l; p; trials; seed; engine = `Scalar; tile_width = 64 }
 
 (* ---------------------------------------------------- canonicalize *)
 
@@ -23,14 +23,17 @@ let all_estimators =
   [
     Protocol.Steane_memory
       { level = 2; eps = 0.01; rounds = 1; trials = 50; seed = 1;
-        engine = `Batch };
+        engine = `Batch; tile_width = 64 };
+    Protocol.Steane_memory
+      { level = 2; eps = 0.01; rounds = 1; trials = 50; seed = 1;
+        engine = `Batch; tile_width = 256 };
     toric_est ();
     Protocol.Toric_scan
       { ls = [ 4; 6 ]; ps = [ 0.05; 0.1 ]; trials = 20; seed = 3;
-        engine = `Scalar };
+        engine = `Scalar; tile_width = 64 };
     Protocol.Toric_noisy
       { l = 4; rounds = 4; p = 0.02; q = 0.02; trials = 20; seed = 4;
-        engine = `Scalar };
+        engine = `Scalar; tile_width = 64 };
     Protocol.Toric_circuit
       { l = 4; rounds = 4; eps = 0.002; trials = 10; seed = 5 };
     Protocol.Pseudothreshold
@@ -72,7 +75,46 @@ let test_canonical_insensitive () =
       (Protocol.to_canonical req);
     check_str "and the same hash"
       (Protocol.hash (Run (toric_est ())))
-      (Protocol.hash req)
+      (Protocol.hash req);
+    (* tile_width 64 is the default and must stay *out* of the
+       canonical form: pre-tile cache keys survive the extension *)
+    let batch64 =
+      Protocol.Run
+        (Toric_memory
+           { l = 6; p = 0.08; trials = 400; seed = 7; engine = `Batch;
+             tile_width = 64 })
+    in
+    let pre_tile =
+      Json.Obj
+        [ ("type", Json.String "toric_memory"); ("l", Json.Int 6);
+          ("p", Json.Float 0.08); ("trials", Json.Int 400);
+          ("seed", Json.Int 7); ("engine", Json.String "batch") ]
+    in
+    (match Protocol.request_of_json pre_tile with
+    | Error msg -> Alcotest.failf "pre-tile request rejected: %s" msg
+    | Ok req ->
+      check_str "default tile_width canonicalizes to the pre-tile key"
+        (Protocol.to_canonical batch64)
+        (Protocol.to_canonical req);
+      check "pre-tile canonical bytes carry no tile_width field" false
+        (let canon = Protocol.to_canonical batch64 in
+         let needle = "tile_width" in
+         let n = String.length canon and m = String.length needle in
+         let found = ref false in
+         for i = 0 to n - m do
+           if String.sub canon i m = needle then found := true
+         done;
+         !found));
+    (* a non-default width is a different computation schedule and
+       must get its own key *)
+    let batch256 =
+      Protocol.Run
+        (Toric_memory
+           { l = 6; p = 0.08; trials = 400; seed = 7; engine = `Batch;
+             tile_width = 256 })
+    in
+    check "width 256 gets its own canonical key" false
+      (Protocol.to_canonical batch64 = Protocol.to_canonical batch256)
 
 let expect_reject name j =
   match Protocol.request_of_json j with
@@ -93,6 +135,15 @@ let test_validation () =
     (Json.Obj (("trials", Json.Int 0) :: List.remove_assoc "trials" base));
   expect_reject "bad engine"
     (Json.Obj (base @ [ ("engine", Json.String "turbo") ]));
+  expect_reject "tile_width not a multiple of 64"
+    (Json.Obj
+       (base
+       @ [ ("engine", Json.String "batch"); ("tile_width", Json.Int 100) ]));
+  expect_reject "tile_width zero"
+    (Json.Obj
+       (base @ [ ("engine", Json.String "batch"); ("tile_width", Json.Int 0) ]));
+  expect_reject "tile_width on the scalar engine"
+    (Json.Obj (base @ [ ("tile_width", Json.Int 256) ]));
   expect_reject "unknown type"
     (Json.Obj [ ("type", Json.String "alchemy") ]);
   expect_reject "empty scan"
@@ -336,7 +387,7 @@ let test_scan_matches_driver_derivation () =
       let ls = [ 4; 6 ] and ps = [ 0.05; 0.1 ] in
       let est =
         Protocol.Toric_scan { ls; ps; trials = 200; seed = 2026;
-                              engine = `Scalar }
+                              engine = `Scalar; tile_width = 64 }
       in
       let o = request_ok socket est in
       let cells =
