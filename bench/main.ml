@@ -595,6 +595,69 @@ let batch_probe () =
       ~batch:(fun w -> deep_ckpt (`Batch w))
       ~crosscheck:(deep_ckpt `Cross) ]
 
+(* Rare-engine probe: evaluations/sec of the weight-class subset
+   sampler on the two deep-subthreshold kernels the engine exists
+   for.  steane-L2-rare evaluates the level-2 Pauli-frame model (49
+   locations x 3 Pauli kinds; weight-2 and up stratified-sampled);
+   toric-L3-deep-rare enumerates every class up to weight 4 exactly
+   (18 single-kind locations — zero sampling variance) at the same
+   p = 2^-12 the batch deep kernel runs.  The trajectory records
+   evals/sec per kernel with the truncation order standing in for the
+   tile width.  The probe also asserts the estimate's basic sanity —
+   an ordered, nonnegative interval with the truncation bound folded
+   into its upper edge. *)
+type rare_probe_entry = {
+  rp_name : string;
+  rp_max_weight : int;
+  rp_evals : int;
+  rp_evals_per_s : float;
+  rp_rate : float;
+  rp_ci_low : float;
+  rp_ci_high : float;
+  rp_sane : bool;
+}
+
+let rare_probe () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let probe name ~max_weight run =
+    ignore (run ());
+    (* warm *)
+    let (w : Mc.Stats.weighted), t = time run in
+    let evals_per_s = float_of_int w.evals /. t in
+    let sane =
+      Float.is_finite w.rate && w.ci_low >= 0.0 && w.rate >= w.ci_low
+      && w.ci_high >= w.rate
+    in
+    Printf.printf
+      "rare probe %-18s W%d: %d evals in %.3f s (%9.0f evals/s), rate \
+       %.4g in [%.4g, %.4g] %s\n%!"
+      name max_weight w.evals t evals_per_s w.rate w.ci_low w.ci_high
+      (if sane then "sane" else "INSANE");
+    {
+      rp_name = name;
+      rp_max_weight = max_weight;
+      rp_evals = w.evals;
+      rp_evals_per_s = evals_per_s;
+      rp_rate = w.rate;
+      rp_ci_low = w.ci_low;
+      rp_ci_high = w.ci_high;
+      rp_sane = sane;
+    }
+  in
+  let deep_p = 0.000244140625 in
+  let steane_cfg = { Mc.Engine.default_rare with max_weight = 3 } in
+  let toric_cfg = { Mc.Engine.default_rare with max_weight = 4 } in
+  [ probe "steane-L2-rare" ~max_weight:steane_cfg.max_weight (fun () ->
+        Codes.Pauli_frame.memory_failure_rare ~domains:1 ~config:steane_cfg
+          ~level:2 ~eps:1e-3 ~rounds:1 ~seed:913 ());
+    probe "toric-L3-deep-rare" ~max_weight:toric_cfg.max_weight (fun () ->
+        Toric.Memory.run_rare ~domains:1 ~config:toric_cfg ~l:3 ~p:deep_p
+          ~seed:914 ()) ]
+
 (* Crash-recovery probe: run a checkpointed campaign, interrupt it at
    a deterministic chunk (a chaos hook raising the same stop flag a
    SIGINT would), resume from the checkpoint file, and require the
@@ -604,7 +667,9 @@ let resume_probe () =
   (* a cheap Bernoulli body keeps the probe's wall-time small; what is
      under test is the checkpoint/resume machinery, not a gadget *)
   let trial rng _ = Random.State.float rng 1.0 < 0.1 in
-  let reference = Mc.Runner.failures ~domains:1 ~chunk ~trials ~seed trial in
+  let reference =
+    Mc.Runner.failures ~domains:1 ~chunk ~trials ~seed (Mc.Runner.scalar trial)
+  in
   let file = Filename.temp_file "ftqc_bench_resume" ".json" in
   Sys.remove file;
   Fun.protect
@@ -620,7 +685,7 @@ let resume_probe () =
       (match
          Mc.Runner.failures ~domains:2 ~chunk ~campaign:c ~trials ~seed
            ~chaos:(Mc.Chaos.at_chunk ~chunk:20 Mc.Campaign.request_stop)
-           trial
+           (Mc.Runner.scalar trial)
        with
       | _ -> ()
       | exception Mc.Campaign.Interrupted _ -> ());
@@ -631,7 +696,8 @@ let resume_probe () =
         | Error m -> failwith m
       in
       let resumed =
-        Mc.Runner.failures ~domains:2 ~chunk ~campaign:c' ~trials ~seed trial
+        Mc.Runner.failures ~domains:2 ~chunk ~campaign:c' ~trials ~seed
+          (Mc.Runner.scalar trial)
       in
       let dt = Unix.gettimeofday () -. t0 in
       Printf.printf
@@ -748,6 +814,7 @@ let run_smoke ~out ~record ~trajectory ~label =
   in
   let agree = f_seq = f_par in
   let batch_entries = batch_probe () in
+  let rare_entries = rare_probe () in
   let r_trials, r_dt, r_ref, r_resumed = resume_probe () in
   let resume_agree = r_ref = r_resumed in
   let svc_cold, svc_hit, svc_rps, svc_identical = service_probe () in
@@ -822,6 +889,23 @@ let run_smoke ~out ~record ~trajectory ~label =
               ("identical_counts", Obs.Json.Bool wp.wp_identical) ];
         })
     batch_entries;
+  List.iter
+    (fun rp ->
+      Obs.Manifest.add m
+        {
+          Obs.Manifest.experiment = "bench:rare-" ^ rp.rp_name;
+          params = [ ("max_weight", Obs.Json.Int rp.rp_max_weight) ];
+          results = [];
+          telemetry =
+            [ ("wall_s", Obs.Json.Float 0.0);
+              ("evals", Obs.Json.Int rp.rp_evals);
+              ("evals_per_s", Obs.Json.Float rp.rp_evals_per_s);
+              ("rate", Obs.Json.Float rp.rp_rate);
+              ("ci_low", Obs.Json.Float rp.rp_ci_low);
+              ("ci_high", Obs.Json.Float rp.rp_ci_high);
+              ("sane", Obs.Json.Bool rp.rp_sane) ];
+        })
+    rare_entries;
   Obs.Manifest.add m
     {
       Obs.Manifest.experiment = "bench:resume-probe";
@@ -858,7 +942,17 @@ let run_smoke ~out ~record ~trajectory ~label =
                 (fun (w, sps, _) ->
                   { Obs.Perf.name = wp.wp_name; width = w; shots_per_s = sps })
                 wp.wp_widths)
-            batch_entries;
+            batch_entries
+          @ List.map
+              (fun rp ->
+                (* the truncation order plays the width's role in the
+                   trajectory key; shots_per_s is evals/sec *)
+                {
+                  Obs.Perf.name = rp.rp_name;
+                  width = rp.rp_max_weight;
+                  shots_per_s = rp.rp_evals_per_s;
+                })
+              rare_entries;
         daemon = Some { Obs.Perf.cold_s = svc_cold; hit_s = svc_hit };
       }
     in
@@ -871,6 +965,13 @@ let run_smoke ~out ~record ~trajectory ~label =
   if disagree then begin
     Printf.eprintf
       "FATAL: batch/scalar failure counts disagree (see %s)\n" out;
+    exit 1
+  end;
+  if List.exists (fun rp -> not rp.rp_sane) rare_entries then begin
+    Printf.eprintf
+      "FATAL: rare-engine estimate violates its interval invariants (see \
+       %s)\n"
+      out;
     exit 1
   end;
   if not resume_agree then begin

@@ -47,8 +47,17 @@ let emit_value name v =
 let p_trials t = ("trials", Obs.Json.Int t)
 let p_seed s = ("seed", Obs.Json.Int s)
 
-let p_engine e =
-  ("engine", Obs.Json.String (match e with `Scalar -> "scalar" | `Batch -> "batch"))
+(* engine + its parameters as manifest params (only the parameters
+   the selected engine actually has) *)
+let p_engine (e : Mc.Engine.t) =
+  ("engine", Obs.Json.String (Mc.Engine.name e))
+  ::
+  (match e with
+  | `Scalar -> []
+  | `Batch { tile_width } -> [ ("tile_width", Obs.Json.Int tile_width) ]
+  | `Rare { max_weight; samples_per_class; _ } ->
+    [ ("max_weight", Obs.Json.Int max_weight);
+      ("samples_per_class", Obs.Json.Int samples_per_class) ])
 
 let dused = function Some d -> d | None -> Mc.Runner.default_domains ()
 
@@ -244,7 +253,8 @@ let e3 ?domains ~trials ~seed () =
       else Ft.Sim.ideal_measure_logical_z sim code ~offset:0
     in
     let failures =
-      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key trial
+      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key
+        (Mc.Runner.scalar trial)
     in
     emit_count
       (Printf.sprintf "%s@eps=%g"
@@ -367,7 +377,7 @@ let e6 () =
 
 (* --------------------------------------------------------------- E6b *)
 
-let e6b ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
+let e6b ?domains ?(engine = Mc.Engine.scalar) ~trials ~seed () =
   header
     "E6b Concatenated Steane, direct Monte Carlo (Pauli frame, ideal EC)";
   Printf.printf
@@ -382,9 +392,13 @@ let e6b ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
           | `Scalar ->
             Codes.Pauli_frame.memory_failure_mc ?domains ~obs:(obs ()) ~level
               ~eps ~rounds:1 ~trials:t ~seed ()
-          | `Batch ->
+          | `Batch { Mc.Engine.tile_width } ->
             Codes.Pauli_frame.memory_failure_batch ?domains ~obs:(obs ())
               ~tile_width ~level ~eps ~rounds:1 ~trials:t ~seed ()
+          | `Rare config ->
+            Mc.Stats.weighted_to_estimate
+              (Codes.Pauli_frame.memory_failure_rare ?domains ~obs:(obs ())
+                 ~config ~level ~eps ~rounds:1 ~seed ())
         in
         emit (Printf.sprintf "L%d@eps=%g" level eps) r;
         r.rate
@@ -401,7 +415,7 @@ let e6b ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
 
 (* --------------------------------------------------------------- E15 *)
 
-let e15 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
+let e15 ?domains ?(engine = Mc.Engine.scalar) ~trials ~seed () =
   header
     "E15 Biased noise ablation (Sec. 6: tailoring the scheme to the model)";
   Printf.printf
@@ -416,7 +430,11 @@ let e15 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
           | `Scalar ->
             Codes.Pauli_frame.memory_failure_biased_mc ?domains ~obs:(obs ())
               ~level ~eps:0.02 ~eta ~rounds:1 ~trials ~seed ()
-          | `Batch ->
+          | `Rare _ ->
+            (* the CLI whitelists engines per experiment; biased noise
+               has no subset fault model *)
+            invalid_arg "e15: rare engine unsupported"
+          | `Batch { Mc.Engine.tile_width } ->
             Codes.Pauli_frame.memory_failure_biased_batch ?domains
               ~obs:(obs ()) ~tile_width ~level ~eps:0.02 ~eta ~rounds:1
               ~trials ~seed ()
@@ -502,7 +520,7 @@ let e9 ~trials ~seed () =
 
 (* --------------------------------------------------------------- E10 *)
 
-let e10 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
+let e10 ?domains ?(engine = Mc.Engine.scalar) ~trials ~seed () =
   header "E10  Toric-code memory (Sec. 7): threshold of the Kitaev model";
   let ls = [ 4; 6; 8; 12 ] in
   let ps = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15 ] in
@@ -515,19 +533,29 @@ let e10 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
       List.iter
         (fun l ->
           let seed = Mc.Rng.derive seed [ 10; l; pi ] in
-          let r =
+          let e =
             match engine with
             | `Scalar ->
-              Toric.Memory.run_mc ?domains ~obs:(obs ()) ~l ~p ~trials ~seed
-                ()
-            | `Batch ->
-              Toric.Memory.run_batch ?domains ~obs:(obs ()) ~tile_width ~l ~p
-                ~trials ~seed ()
+              let r =
+                Toric.Memory.run_mc ?domains ~obs:(obs ()) ~l ~p ~trials ~seed
+                  ()
+              in
+              Mc.Stats.estimate ~failures:r.failures ~trials:r.trials ()
+            | `Batch { Mc.Engine.tile_width } ->
+              let r =
+                Toric.Memory.run_batch ?domains ~obs:(obs ()) ~tile_width ~l
+                  ~p ~trials ~seed ()
+              in
+              Mc.Stats.estimate ~failures:r.failures ~trials:r.trials ()
+            | `Rare config ->
+              Mc.Stats.weighted_to_estimate
+                (Toric.Memory.run_rare ?domains ~obs:(obs ()) ~config ~l ~p
+                   ~seed ())
           in
           emit_count
             (Printf.sprintf "l=%d,p=%g" l p)
-            ~failures:r.failures ~trials:r.trials;
-          Printf.printf " %9.4f" r.rate)
+            ~failures:e.failures ~trials:e.trials;
+          Printf.printf " %9.4f" e.rate)
         ls;
       print_newline ())
     ps;
@@ -700,7 +728,8 @@ let e12 ?domains ~trials ~seed () =
       Ft.Sim.ideal_measure_logical_z sim code ~offset:0
     in
     let failures =
-      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key trial
+      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key
+        (Mc.Runner.scalar trial)
     in
     emit_count
       (Printf.sprintf "%s@eps=%g" (if scrub then "scrub" else "no_scrub") eps)
@@ -842,7 +871,7 @@ let e16 ?domains ~trials ~seed () =
         let failures =
           Mc.Runner.failures ?domains ~obs:(obs ()) ~trials
             ~seed:(Mc.Rng.derive seed [ 16; ci; ei ])
-            trial
+            (Mc.Runner.scalar trial)
         in
         emit_count
           (Printf.sprintf "%s@eps=%g" label eps)
@@ -944,7 +973,7 @@ let e18 ?domains ~trials ~seed () =
 
 (* --------------------------------------------------------------- E19 *)
 
-let e19 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
+let e19 ?domains ?(engine = Mc.Engine.scalar) ~trials ~seed () =
   header
     "E19 Toric memory with noisy syndrome measurement (Sec. 7, finite T)";
   Printf.printf
@@ -966,9 +995,13 @@ let e19 ?domains ?(engine = `Scalar) ?(tile_width = 64) ~trials ~seed () =
             | `Scalar ->
               Toric.Noisy_memory.run_mc ?domains ~obs:(obs ()) ~l ~rounds:l
                 ~p ~q:p ~trials ~seed ()
-            | `Batch ->
+            | `Batch { Mc.Engine.tile_width } ->
               Toric.Noisy_memory.run_batch ?domains ~obs:(obs ()) ~tile_width
                 ~l ~rounds:l ~p ~q:p ~trials ~seed ()
+            | `Rare _ ->
+              (* the CLI whitelists engines per experiment; the
+                 phenomenological model has no subset fault model *)
+              invalid_arg "e19: rare engine unsupported"
           in
           emit_count
             (Printf.sprintf "l=%d,p=%g" l p)
@@ -1090,7 +1123,8 @@ let e23 ?domains ~trials ~seed () =
       not (a = b && b = c)
     in
     let failures =
-      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key trial
+      Mc.Runner.failures ?domains ~obs:(obs ()) ~trials ~seed:key
+        (Mc.Runner.scalar trial)
     in
     emit_count (Printf.sprintf "%s@eps=%g" label eps) ~failures ~trials;
     float_of_int failures /. float_of_int trials
@@ -1334,44 +1368,80 @@ let with_trials_par name doc default f =
       const run $ domains_arg $ trials_arg default $ seed_arg $ json_arg
       $ session_arg)
 
-(* batch-capable experiments additionally take --engine and
-   --tile-width *)
+(* engine-capable experiments additionally take --engine and its
+   per-engine options; the raw flag values go through the one shared
+   {!Mc.Engine.of_cli} grammar, so every binary rejects a bad
+   combination with the same message. *)
 let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("scalar", `Scalar); ("batch", `Batch) ]) `Scalar
-    & info [ "engine" ]
+    & opt string "scalar"
+    & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Monte-Carlo engine: $(b,scalar) (per-shot, legacy sampling) or \
-           $(b,batch) (bit-sliced, 64 shots per word)")
+          "Monte-Carlo engine: $(b,scalar) (per-shot, legacy sampling), \
+           $(b,batch) (bit-sliced, 64 shots per word) or $(b,rare) \
+           (weight-class subset sampling; ignores $(b,--trials))")
 
 let tile_width_arg =
   Arg.(
     value
-    & opt int 64
+    & opt (some int) None
     & info [ "tile-width" ] ~docv:"SHOTS"
         ~doc:
           "batch-engine shots per bit-slice tile: a positive multiple of 64 \
            (64, 256 and 512 are the tuned widths).  Failure counts are \
-           bit-identical across widths; only throughput changes.  Ignored \
-           by the scalar engine.")
+           bit-identical across widths; only throughput changes.")
 
-let with_trials_par_engine name doc default f =
-  let run domains trials seed engine tile_width json session =
+let max_weight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-weight" ] ~docv:"W"
+        ~doc:
+          "rare-engine truncation order: fault configurations of weight \
+           above W are bounded analytically instead of evaluated")
+
+let samples_per_class_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "samples-per-class" ] ~docv:"K"
+        ~doc:"rare-engine evaluations per sampled weight class")
+
+(* [~rare:false] experiments have no subset fault model; the rejection
+   happens here, at flag-parse time, with the shared usage text. *)
+let parse_engine ~name ~rare engine tile_width max_weight samples_per_class =
+  match
+    Mc.Engine.of_cli ~engine ?tile_width ?max_weight ?samples_per_class ()
+  with
+  | Error msg ->
+    Printf.eprintf "experiments: %s\n" msg;
+    exit 2
+  | Ok (`Rare _) when not rare ->
+    Printf.eprintf
+      "experiments: %s supports engines scalar and batch only (no subset \
+       fault model)\n%s\n"
+      name Mc.Engine.usage;
+    exit 2
+  | Ok e -> e
+
+let with_trials_par_engine ?(rare = true) name doc default f =
+  let run domains trials seed engine tile_width max_weight samples_per_class
+      json session =
+    let engine =
+      parse_engine ~name ~rare engine tile_width max_weight samples_per_class
+    in
     let domains = resolve_domains domains in
     with_session json session (fun () ->
         recording ~experiment:name ~domains_used:(dused domains)
-          ~params:
-            [ p_trials trials; p_seed seed; p_engine engine;
-              ("tile_width", Obs.Json.Int tile_width) ]
-          (fun () ->
-            f ?domains ?engine:(Some engine) ?tile_width:(Some tile_width)
-              ~trials ~seed ()))
+          ~params:([ p_trials trials; p_seed seed ] @ p_engine engine)
+          (fun () -> f ?domains ?engine:(Some engine) ~trials ~seed ()))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ domains_arg $ trials_arg default $ seed_arg $ engine_arg
-      $ tile_width_arg $ json_arg $ session_arg)
+      $ tile_width_arg $ max_weight_arg $ samples_per_class_arg $ json_arg
+      $ session_arg)
 
 let with_seed name doc f =
   let run seed json session =
@@ -1463,11 +1533,13 @@ let () =
       with_trials_par "e12" "leakage detection" 2000 e12;
       simple "e13" "code comparison" e13;
       with_seed "e14" "fault-tolerant Toffoli" e14;
-      with_trials_par_engine "e15" "biased-noise ablation" 30000 e15;
+      with_trials_par_engine ~rare:false "e15" "biased-noise ablation" 30000
+        e15;
       with_trials_par "e16" "generalized CSS EC" 5000 e16;
       with_trials_par "e17" "level-2 vs level-1 EC gadget" 3000 e17;
       with_trials_par "e18" "Golay vs concatenation" 50000 e18;
-      with_trials_par_engine "e19" "toric with noisy measurement" 2000 e19;
+      with_trials_par_engine ~rare:false "e19" "toric with noisy measurement"
+        2000 e19;
       with_trials_par "e20" "parallelism vs storage errors" 50000 e20;
       with_trials_par "e22" "gate vs storage thresholds" 20000 e22;
       with_trials_par "e23" "same program, stronger code" 2000 e23;

@@ -113,17 +113,51 @@ let derive_arg =
 let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("scalar", `Scalar); ("batch", `Batch) ]) `Scalar
-    & info [ "engine" ] ~doc:"Monte-Carlo engine (scalar or batch)")
+    & opt string "scalar"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Monte-Carlo engine (scalar, batch or rare)")
 
 let tile_width_arg =
   Arg.(
     value
-    & opt int 64
+    & opt (some int) None
     & info [ "tile-width" ] ~docv:"SHOTS"
         ~doc:
           "batch-engine shots per bit-slice tile (a positive multiple of \
            64; counts are bit-identical across widths)")
+
+let max_weight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-weight" ] ~docv:"W"
+        ~doc:
+          "rare-engine truncation order: fault configurations of weight \
+           above W are bounded analytically, not evaluated")
+
+let samples_per_class_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "samples-per-class" ] ~docv:"K"
+        ~doc:"rare-engine evaluations per sampled weight class")
+
+(* One grammar for every subcommand: the raw flag values go through
+   the shared {!Mc.Engine.of_cli} combinator (same rejection text as
+   the experiments/bench binaries), and the validated engine is
+   mapped onto the wire selector. *)
+let wire_engine ~engine ~tile_width ~max_weight ~samples_per_class k =
+  match
+    Ftqc.Mc.Engine.of_cli ~engine ?tile_width ?max_weight ?samples_per_class
+      ()
+  with
+  | Error msg ->
+    Printf.eprintf "ftqc_client: %s\n" msg;
+    2
+  | Ok `Scalar -> k (`Scalar : Protocol.engine) 64
+  | Ok (`Batch { Ftqc.Mc.Engine.tile_width }) -> k `Batch tile_width
+  | Ok (`Rare { Ftqc.Mc.Engine.max_weight; samples_per_class; _ }) ->
+    k (`Rare { Protocol.max_weight; samples_per_class }) 64
 
 let finish_seed seed path =
   match path with [] -> seed | path -> Ftqc.Mc.Rng.derive seed path
@@ -131,18 +165,21 @@ let finish_seed seed path =
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let steane_cmd =
-  let run socket json out level eps rounds trials seed path engine tile_width =
-    run_estimator socket json out
-      (Protocol.Steane_memory
-         {
-           level;
-           eps;
-           rounds;
-           trials;
-           seed = finish_seed seed path;
-           engine;
-           tile_width;
-         })
+  let run socket json out level eps rounds trials seed path engine tile_width
+      max_weight samples_per_class =
+    wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
+      (fun engine tile_width ->
+        run_estimator socket json out
+          (Protocol.Steane_memory
+             {
+               level;
+               eps;
+               rounds;
+               trials;
+               seed = finish_seed seed path;
+               engine;
+               tile_width;
+             }))
   in
   let level =
     Arg.(value & opt int 1 & info [ "level" ] ~doc:"concatenation level (1-3)")
@@ -156,13 +193,17 @@ let steane_cmd =
   cmd "steane" ~doc:"concatenated-Steane memory failure (one E6b cell)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ level $ eps $ rounds
-      $ trials_arg 30000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg)
+      $ trials_arg 30000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
+      $ max_weight_arg $ samples_per_class_arg)
 
 let toric_cmd =
-  let run socket json out l p trials seed path engine tile_width =
-    run_estimator socket json out
-      (Protocol.Toric_memory
-         { l; p; trials; seed = finish_seed seed path; engine; tile_width })
+  let run socket json out l p trials seed path engine tile_width max_weight
+      samples_per_class =
+    wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
+      (fun engine tile_width ->
+        run_estimator socket json out
+          (Protocol.Toric_memory
+             { l; p; trials; seed = finish_seed seed path; engine; tile_width }))
   in
   let l = Arg.(value & opt int 8 & info [ "l"; "lattice" ] ~doc:"lattice size") in
   let p =
@@ -171,12 +212,16 @@ let toric_cmd =
   cmd "toric" ~doc:"toric-code memory failure (one E10 cell)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ l $ p $ trials_arg 2000
-      $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg)
+      $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg $ max_weight_arg
+      $ samples_per_class_arg)
 
 let toric_scan_cmd =
-  let run socket json out ls ps trials seed engine tile_width =
-    run_estimator socket json out
-      (Protocol.Toric_scan { ls; ps; trials; seed; engine; tile_width })
+  let run socket json out ls ps trials seed engine tile_width max_weight
+      samples_per_class =
+    wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
+      (fun engine tile_width ->
+        run_estimator socket json out
+          (Protocol.Toric_scan { ls; ps; trials; seed; engine; tile_width }))
   in
   let ls =
     Arg.(
@@ -196,24 +241,34 @@ let toric_scan_cmd =
        derivation (diffable against `experiments e10`)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ ls $ ps $ trials_arg 2000
-      $ seed_arg $ engine_arg $ tile_width_arg)
+      $ seed_arg $ engine_arg $ tile_width_arg $ max_weight_arg
+      $ samples_per_class_arg)
 
 let toric_noisy_cmd =
-  let run socket json out l rounds p q trials seed path engine tile_width =
+  let run socket json out l rounds p q trials seed path engine tile_width
+      max_weight samples_per_class =
     let rounds = match rounds with Some r -> r | None -> l in
     let q = match q with Some q -> q | None -> p in
-    run_estimator socket json out
-      (Protocol.Toric_noisy
-         {
-           l;
-           rounds;
-           p;
-           q;
-           trials;
-           seed = finish_seed seed path;
-           engine;
-           tile_width;
-         })
+    wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
+      (fun engine tile_width ->
+        match engine with
+        | `Rare _ ->
+          Printf.eprintf
+            "ftqc_client: toric-noisy supports engines scalar and batch only\n";
+          2
+        | (`Scalar | `Batch) as engine ->
+          run_estimator socket json out
+            (Protocol.Toric_noisy
+               {
+                 l;
+                 rounds;
+                 p;
+                 q;
+                 trials;
+                 seed = finish_seed seed path;
+                 engine;
+                 tile_width;
+               }))
   in
   let l = Arg.(value & opt int 6 & info [ "l"; "lattice" ] ~doc:"lattice size") in
   let rounds =
@@ -234,14 +289,25 @@ let toric_noisy_cmd =
   cmd "toric-noisy" ~doc:"toric memory with noisy measurements (E19 cell)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ l $ rounds $ p $ q
-      $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg)
+      $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
+      $ max_weight_arg $ samples_per_class_arg)
 
 let toric_circuit_cmd =
-  let run socket json out l rounds eps trials seed path =
+  let run socket json out l rounds eps trials seed path engine tile_width
+      max_weight samples_per_class =
     let rounds = match rounds with Some r -> r | None -> l in
-    run_estimator socket json out
-      (Protocol.Toric_circuit
-         { l; rounds; eps; trials; seed = finish_seed seed path })
+    wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
+      (fun engine _tile_width ->
+        match engine with
+        | `Batch ->
+          Printf.eprintf
+            "ftqc_client: toric-circuit supports engines scalar and rare \
+             only\n";
+          2
+        | (`Scalar | `Rare _) as engine ->
+          run_estimator socket json out
+            (Protocol.Toric_circuit
+               { l; rounds; eps; trials; seed = finish_seed seed path; engine }))
   in
   let l = Arg.(value & opt int 4 & info [ "l"; "lattice" ] ~doc:"lattice size") in
   let rounds =
@@ -256,7 +322,8 @@ let toric_circuit_cmd =
   cmd "toric-circuit" ~doc:"circuit-level toric memory (E24 cell)"
     Term.(
       const run $ socket_arg $ json_arg $ out_arg $ l $ rounds $ eps
-      $ trials_arg 400 $ seed_arg $ derive_arg)
+      $ trials_arg 400 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
+      $ max_weight_arg $ samples_per_class_arg)
 
 let pseudothreshold_cmd =
   let run socket json out eps_list trials seed =

@@ -131,8 +131,9 @@ let run_memory ~noise_sample ~decode ~rounds ~trials rng =
 
 let run_memory_mc ?domains ?obs ~noise_sample ~decode ~rounds ~trials ~seed ()
     =
-  Mc.Runner.estimate ?domains ?obs ~trials ~seed (fun rng _ ->
-      memory_trial ~noise_sample ~decode ~rounds rng)
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed
+    (Mc.Runner.scalar (fun rng _ ->
+         memory_trial ~noise_sample ~decode ~rounds rng))
 
 let memory_failure ~level ~eps ~rounds ~trials rng =
   let n = int_of_float (7.0 ** float_of_int level) in
@@ -325,13 +326,16 @@ let run_memory_batch ?domains ?obs ?(engine = `Batch) ?(tile_width = 64)
           done;
           !w))
   in
-  Mc.Runner.estimate_batched ?domains ?obs ~tile_width ~trials ~seed
-    ~worker_init:(fun () ->
-      ( Plane.create ~width:tile_width n,
-        Array.make n 0L,
-        Array.make n 0L,
-        Array.make (2 * lanes) 0L ))
-    batch
+  Mc.Runner.estimate ?domains ?obs
+    ~engine:(Mc.Engine.batch ~tile_width ())
+    ~trials ~seed
+    (Mc.Runner.model
+       ~worker_init:(fun () ->
+         ( Plane.create ~width:tile_width n,
+           Array.make n 0L,
+           Array.make n 0L,
+           Array.make (2 * lanes) 0L ))
+       ~batch ())
 
 let memory_failure_batch ?domains ?obs ?engine ?tile_width ~level ~eps ~rounds
     ~trials ~seed () =
@@ -346,3 +350,51 @@ let memory_failure_biased_batch ?domains ?obs ?engine ?tile_width ~level ~eps
   let unit = eps /. (eta +. 2.0) in
   run_memory_batch ?domains ?obs ?engine ?tile_width ~level ~px:unit ~py:unit
     ~pz:(eta *. unit) ~rounds ~trials ~seed ()
+
+(* Rare-event fault model over the same depolarizing memory: one fault
+   location per (qubit, round), kinds X/Y/Z with total firing
+   probability eps — exactly the distribution [memory_failure_mc]
+   samples, so rare-vs-plain cross-validation compares identical
+   models. *)
+let memory_rare_model ~level ~eps ~rounds =
+  if rounds < 1 then invalid_arg "Pauli_frame.memory_rare_model: rounds >= 1";
+  let n = pow7 level in
+  let fault_model = { Mc.Subset.locations = n * rounds; kinds = 3; p = eps } in
+  let evaluate () faults =
+    let cls = ref L_i in
+    for r = 0 to rounds - 1 do
+      let lo = r * n in
+      let any = ref false in
+      Array.iter
+        (fun f -> if f.Mc.Subset.loc >= lo && f.loc < lo + n then any := true)
+        faults;
+      if !any then begin
+        let x = Bitvec.create n and z = Bitvec.create n in
+        Array.iter
+          (fun { Mc.Subset.loc; kind } ->
+            if loc >= lo && loc < lo + n then begin
+              let q = loc - lo in
+              match kind with
+              | 0 -> Bitvec.set x q true
+              | 1 ->
+                Bitvec.set x q true;
+                Bitvec.set z q true
+              | _ -> Bitvec.set z q true
+            end)
+          faults;
+        cls :=
+          compose !cls
+            (concatenated_steane_class ~level (Pauli.of_bits ~x ~z ()))
+      end
+    done;
+    !cls <> L_i
+  in
+  Mc.Runner.model
+    ~worker_init:(fun () -> ())
+    ~rare:{ Mc.Runner.fault_model; evaluate }
+    ()
+
+let memory_failure_rare ?domains ?chunk ?obs ?campaign ?z ?config ~level ~eps
+    ~rounds ~seed () =
+  Mc.Runner.estimate_rare ?domains ?chunk ?obs ?campaign ?z ?config ~seed
+    (memory_rare_model ~level ~eps ~rounds)

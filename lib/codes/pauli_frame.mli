@@ -193,3 +193,33 @@ val memory_failure_biased_batch :
   seed:int ->
   unit ->
   Mc.Stats.estimate
+
+(** {1 Rare-event estimation}
+
+    The same depolarizing memory as an explicit fault model: one fault
+    location per (qubit, round), kinds X/Y/Z, total per-location
+    firing probability [eps] — the exact distribution
+    {!memory_failure_mc} samples, so the two engines cross-validate on
+    identical models. *)
+
+(** [memory_rare_model ~level ~eps ~rounds] — the {!Mc.Runner.model}
+    (rare capability only). *)
+val memory_rare_model :
+  level:int -> eps:float -> rounds:int -> unit Mc.Runner.model
+
+(** [memory_failure_rare ?config ~level ~eps ~rounds ~seed ()] —
+    weight-class subset estimate of the memory failure rate
+    ({!Mc.Runner.estimate_rare}). *)
+val memory_failure_rare :
+  ?domains:int ->
+  ?chunk:int ->
+  ?obs:Obs.t ->
+  ?campaign:Mc.Campaign.t ->
+  ?z:float ->
+  ?config:Mc.Engine.rare ->
+  level:int ->
+  eps:float ->
+  rounds:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.weighted

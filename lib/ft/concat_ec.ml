@@ -263,7 +263,7 @@ let logical_failure_rate ~noise ~level ~trials rng =
 
 let logical_failure_rate_par ?domains ?obs ~noise ~level ~trials ~seed () =
   let f =
-    Mc.Runner.failures ?domains ?obs ~trials ~seed (fun rng i ->
-        one_trial ~noise ~level rng i)
+    Mc.Runner.failures ?domains ?obs ~trials ~seed
+      (Mc.Runner.scalar (fun rng i -> one_trial ~noise ~level rng i))
   in
   (f, trials)

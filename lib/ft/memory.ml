@@ -45,7 +45,8 @@ let sequential ~trials rng trial =
 let unencoded ~eps ~trials rng = sequential ~trials rng (unencoded_trial ~eps)
 
 let unencoded_mc ?domains ?obs ~eps ~trials ~seed () =
-  Mc.Runner.estimate ?domains ?obs ~trials ~seed (unencoded_trial ~eps)
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed
+    (Mc.Runner.scalar (unencoded_trial ~eps))
 
 (* Judge a block noiselessly: ideal recovery then logical readout. *)
 let judge tab rng (code : Code.t) ~plus_basis =
@@ -73,7 +74,7 @@ let encoded_ideal_ec (code : Code.t) ~eps ~rounds ~trials rng =
 
 let encoded_ideal_ec_mc ?domains ?obs code ~eps ~rounds ~trials ~seed () =
   Mc.Runner.estimate ?domains ?obs ~trials ~seed
-    (encoded_ideal_ec_trial code ~eps ~rounds)
+    (Mc.Runner.scalar (encoded_ideal_ec_trial code ~eps ~rounds))
 
 (* Copy a prepared 7-qubit logical state into a larger noisy register:
    we instead prepare directly in the register by projecting. *)
@@ -115,7 +116,7 @@ let shor_ec_failure ~noise ~policy ~verified ~trials rng =
 
 let shor_ec_failure_mc ?domains ?obs ~noise ~policy ~verified ~trials ~seed () =
   Mc.Runner.estimate ?domains ?obs ~trials ~seed
-    (shor_ec_trial ~noise ~policy ~verified)
+    (Mc.Runner.scalar (shor_ec_trial ~noise ~policy ~verified))
 
 let steane_ec_trial ~noise ~policy ~verify rng t =
   (* data 0..6, ancilla 7..13, checker 14..20 *)
@@ -130,7 +131,7 @@ let steane_ec_failure ~noise ~policy ~verify ~trials rng =
 
 let steane_ec_failure_mc ?domains ?obs ~noise ~policy ~verify ~trials ~seed () =
   Mc.Runner.estimate ?domains ?obs ~trials ~seed
-    (steane_ec_trial ~noise ~policy ~verify)
+    (Mc.Runner.scalar (steane_ec_trial ~noise ~policy ~verify))
 
 let logical_cnot_exrec_trial ~noise rng t =
   (* blocks at 0 and 7; shared scratch at 14 (ancilla) and 21
@@ -162,7 +163,7 @@ let logical_cnot_exrec_failure ~noise ~trials rng =
 
 let logical_cnot_exrec_failure_mc ?domains ?obs ~noise ~trials ~seed () =
   Mc.Runner.estimate ?domains ?obs ~trials ~seed
-    (logical_cnot_exrec_trial ~noise)
+    (Mc.Runner.scalar (logical_cnot_exrec_trial ~noise))
 
 let fit_quadratic points =
   match points with

@@ -1,0 +1,107 @@
+type batch = { tile_width : int }
+type rare = { max_weight : int; samples_per_class : int; enum_cutoff : int }
+type t = [ `Scalar | `Batch of batch | `Rare of rare ]
+
+let default_tile_width = 64
+let default_max_weight = 4
+let default_samples_per_class = 2000
+let default_enum_cutoff = 8192
+
+let default_rare =
+  {
+    max_weight = default_max_weight;
+    samples_per_class = default_samples_per_class;
+    enum_cutoff = default_enum_cutoff;
+  }
+
+let scalar = `Scalar
+
+let check_tile_width w =
+  if w < 64 || w mod 64 <> 0 then
+    invalid_arg "Mc.Engine: tile_width must be a positive multiple of 64"
+
+let batch ?(tile_width = default_tile_width) () =
+  check_tile_width tile_width;
+  `Batch { tile_width }
+
+let rare ?(max_weight = default_max_weight)
+    ?(samples_per_class = default_samples_per_class)
+    ?(enum_cutoff = default_enum_cutoff) () =
+  if max_weight < 0 then invalid_arg "Mc.Engine: max_weight must be >= 0";
+  if samples_per_class < 1 then
+    invalid_arg "Mc.Engine: samples_per_class must be >= 1";
+  if enum_cutoff < 1 then invalid_arg "Mc.Engine: enum_cutoff must be >= 1";
+  `Rare { max_weight; samples_per_class; enum_cutoff }
+
+let name = function
+  | `Scalar -> "scalar"
+  | `Batch _ -> "batch"
+  | `Rare _ -> "rare"
+
+let to_string = function
+  | `Scalar -> "scalar"
+  | `Batch { tile_width } -> Printf.sprintf "batch:w%d" tile_width
+  | `Rare { max_weight; samples_per_class; _ } ->
+    Printf.sprintf "rare:W%d:k%d" max_weight samples_per_class
+
+let usage =
+  Printf.sprintf
+    "valid engines and options:\n\
+    \  scalar                                     per-shot reference engine; \
+     takes no engine options\n\
+    \  batch  [--tile-width N]                    bit-sliced, N shots per \
+     tile (positive multiple of 64, default %d)\n\
+    \  rare   [--max-weight W] [--samples-per-class K]\n\
+    \                                             weight-class subset \
+     sampling (defaults W=%d, K=%d)"
+    default_tile_width default_max_weight default_samples_per_class
+
+let reject fmt =
+  Printf.ksprintf (fun msg -> Error (msg ^ "\n" ^ usage)) fmt
+
+let of_cli ?engine ?tile_width ?max_weight ?samples_per_class () =
+  let no_rare_opts what =
+    match (max_weight, samples_per_class) with
+    | None, None -> Ok ()
+    | Some _, _ ->
+      reject "--max-weight applies to the rare engine only (got engine %s)"
+        what
+    | _, Some _ ->
+      reject
+        "--samples-per-class applies to the rare engine only (got engine %s)"
+        what
+  in
+  match Option.value engine ~default:"scalar" with
+  | "scalar" -> (
+    match tile_width with
+    | Some w when w <> default_tile_width ->
+      reject "--tile-width %d applies to the batch engine only" w
+    | _ -> (
+      match no_rare_opts "scalar" with Ok () -> Ok `Scalar | Error e -> Error e)
+    )
+  | "batch" -> (
+    match no_rare_opts "batch" with
+    | Error e -> Error e
+    | Ok () -> (
+      let w = Option.value tile_width ~default:default_tile_width in
+      match batch ~tile_width:w () with
+      | e -> Ok e
+      | exception Invalid_argument _ ->
+        reject "--tile-width %d: must be a positive multiple of 64" w))
+  | "rare" -> (
+    match tile_width with
+    | Some w when w <> default_tile_width ->
+      reject "--tile-width %d applies to the batch engine only" w
+    | _ -> (
+      let mw = Option.value max_weight ~default:default_max_weight in
+      let k = Option.value samples_per_class ~default:default_samples_per_class
+      in
+      match rare ~max_weight:mw ~samples_per_class:k () with
+      | e -> Ok e
+      | exception Invalid_argument _ ->
+        reject
+          "invalid rare-engine options (--max-weight %d, \
+           --samples-per-class %d): max-weight must be >= 0, \
+           samples-per-class >= 1"
+          mw k))
+  | other -> reject "unknown engine %S" other

@@ -1,0 +1,84 @@
+(** The Monte-Carlo engine selector, shared by every entry point of
+    {!Runner} and every binary's CLI.
+
+    Three engines drive the same estimators:
+
+    - [`Scalar] — one trial per shot on a [Random.State.t] stream; the
+      reference semantics every other engine is checked against.
+    - [`Batch] — bit-sliced: 64 shots per word, [tile_width / 64]
+      words per tile (64 is one lane; 256/512 are the tuned widths).
+      Counts are bit-identical to [`Scalar] cross-checks by
+      construction of the {!Frame} samplers.
+    - [`Rare] — weight-class subset sampling ({!Subset}): exact
+      enumeration of low-weight fault configurations with analytic
+      binomial prefactors, stratified sampling within classes too
+      large to enumerate, and a rigorous truncation bound folded into
+      the reported interval.  Reaches logical failure rates (1e-9 and
+      below) that plain Monte Carlo cannot touch at any shot budget.
+
+    The per-binary [--engine]/[--tile-width]/[--max-weight]/
+    [--samples-per-class] parsing lives here too ({!of_cli}), so the
+    binaries share one grammar and one rejection message instead of
+    drifting copies. *)
+
+type batch = { tile_width : int  (** shots per tile; positive multiple of 64 *) }
+
+type rare = {
+  max_weight : int;
+      (** truncation order [W]: fault configurations of weight > W are
+          not evaluated; their total probability mass is the
+          truncation bound added to the CI upper edge *)
+  samples_per_class : int;
+      (** evaluations per weight class too large to enumerate *)
+  enum_cutoff : int;
+      (** classes with at most this many configurations are
+          enumerated exactly (zero sampling variance) *)
+}
+
+type t = [ `Scalar | `Batch of batch | `Rare of rare ]
+
+val default_tile_width : int (* 64 *)
+val default_max_weight : int (* 4 *)
+val default_samples_per_class : int (* 2000 *)
+val default_enum_cutoff : int (* 8192 *)
+
+(** The all-defaults rare configuration. *)
+val default_rare : rare
+
+val scalar : t
+
+(** [batch ?tile_width ()] — validates the width (positive multiple
+    of 64). *)
+val batch : ?tile_width:int -> unit -> t
+
+(** [rare ?max_weight ?samples_per_class ?enum_cutoff ()] — validates
+    all fields positive. *)
+val rare :
+  ?max_weight:int -> ?samples_per_class:int -> ?enum_cutoff:int -> unit -> t
+
+(** ["scalar"], ["batch"] or ["rare"] — the campaign/telemetry engine
+    label. *)
+val name : t -> string
+
+(** Engine with its parameters, e.g. ["batch:w256"] or
+    ["rare:W4:k2000"] — for logs and error messages. *)
+val to_string : t -> string
+
+(** The engine grammar: valid names and which options each accepts.
+    Every {!of_cli} error ends with this text. *)
+val usage : string
+
+(** [of_cli ?engine ?tile_width ?max_weight ?samples_per_class ()] —
+    the one shared CLI combinator: [engine] is the raw [--engine]
+    value (default scalar), the remaining arguments are the raw
+    option values {e if the user passed them}.  Rejects unknown
+    engine names and options that do not belong to the selected
+    engine (e.g. [--tile-width] with scalar), always listing the
+    valid engines and accepted combinations. *)
+val of_cli :
+  ?engine:string ->
+  ?tile_width:int ->
+  ?max_weight:int ->
+  ?samples_per_class:int ->
+  unit ->
+  (t, string) result

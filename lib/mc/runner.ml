@@ -237,7 +237,7 @@ let record_run obs ~engine ~trials ~chunks ~workers ~wall_s ~warmup_s
    [Campaign.Interrupted] — reaches the caller, so completed chunks
    survive. *)
 let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
-    ~hi_chunk ~sup ~worker_init ~trial ~init ~accum =
+    ~hi_chunk ~sup ~engine_label ~worker_init ~trial ~init ~accum =
   let n = hi_chunk - lo_chunk in
   let results = Array.make (max n 0) init in
   let done_ = Array.make (max n 0) false in
@@ -362,21 +362,21 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
   end;
   (match Atomic.get abort with Some e -> raise e | None -> ());
   if instrument then
-    record_run obs ~engine:"scalar" ~trials:range_trials ~chunks:(max n 0)
+    record_run obs ~engine:engine_label ~trials:range_trials ~chunks:(max n 0)
       ~workers ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s ~chunk_times
       ~claims ~resumed:(Atomic.get resumed) ~retried:(Atomic.get retried)
       ~timeouts:(Atomic.get timeouts);
   results
 
-let map_reduce_sup ~domains ~chunk ~obs ~trials ~seed ~sup ~worker_init ~init
-    ~accum ~merge trial =
+let map_reduce_sup ?(engine_label = "scalar") ~domains ~chunk ~obs ~trials
+    ~seed ~sup ~worker_init ~init ~accum ~merge trial =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let nchunks = (trials + chunk - 1) / chunk in
   let progress = Obs.Progress.create ~label:"mc" ~total:nchunks in
   let root = Rng.root seed in
   let results =
     run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk:0
-      ~hi_chunk:nchunks ~sup ~worker_init ~trial ~init ~accum
+      ~hi_chunk:nchunks ~sup ~engine_label ~worker_init ~trial ~init ~accum
   in
   Obs.Progress.finish progress;
   Array.fold_left merge init results
@@ -403,7 +403,7 @@ let map_reduce ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff ?chaos
 
 let count_accum acc hit = if hit then acc + 1 else acc
 
-let failures_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+let failures_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
     ?backoff ?chaos ~trials ~seed ~worker_init trial =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let domains = resolve_domains domains in
@@ -419,16 +419,9 @@ let failures_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
   map_reduce_sup ~domains ~chunk ~obs ~trials ~seed ~sup ~worker_init ~init:0
     ~accum:count_accum ~merge:( + ) trial
 
-let failures ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ~trials ~seed trial =
-  failures_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ~trials ~seed
-    ~worker_init:(fun () -> ())
-    (fun () rng i -> trial rng i)
-
 let default_min_trials = 1000
 
-let estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+let estimate_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
     ?backoff ?chaos ?z ?target_half_width ?(min_trials = default_min_trials)
     ~trials ~seed ~worker_init trial =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
@@ -452,7 +445,8 @@ let estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
   let root = Rng.root seed in
   let run lo_chunk hi_chunk =
     run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
-      ~hi_chunk ~sup ~worker_init ~trial ~init:0 ~accum:count_accum
+      ~hi_chunk ~sup ~engine_label:"scalar" ~worker_init ~trial ~init:0
+      ~accum:count_accum
     |> Array.fold_left ( + ) 0
   in
   let result =
@@ -466,7 +460,7 @@ let estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
          floor [min_trials] is never undercut. *)
       let floor_trials = min trials (max 1 min_trials) in
       let chunks_for t = min nchunks ((t + chunk - 1) / chunk) in
-      let trace ~done_chunks ~done_trials e ~stopped =
+      let trace ~done_chunks ~done_trials (e : Stats.estimate) ~stopped =
         Obs.event obs "mc.early_stop_batch"
           [ ("done_chunks", Obs.Json.Int done_chunks);
             ("done_trials", Obs.Json.Int done_trials);
@@ -502,13 +496,6 @@ let estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
   in
   Obs.Progress.finish progress;
   result
-
-let estimate ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ?z ?target_half_width ?min_trials ~trials ~seed trial =
-  estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ?z ?target_half_width ?min_trials ~trials ~seed
-    ~worker_init:(fun () -> ())
-    (fun () rng i -> trial rng i)
 
 (* Batched mode: one chunk = one tile of [tile_width / 64] 64-shot
    lanes (default one lane).  The batch function returns one int64 per
@@ -549,8 +536,8 @@ let live_mask count =
   if count >= word_size then -1L
   else Int64.sub (Int64.shift_left 1L count) 1L
 
-let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ?tile_width ~trials ~seed ~worker_init batch =
+let failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?tile_width ~trials ~seed ~worker_init batch =
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let domains = resolve_domains domains in
   let obs = resolve_obs obs in
@@ -700,10 +687,210 @@ let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
   Obs.Progress.finish progress;
   Array.fold_left ( + ) 0 results
 
+(* ------------------------------------------------------------ models *)
+
+type 'ctx rare_model = {
+  fault_model : Subset.model;
+  evaluate : 'ctx -> Subset.fault array -> bool;
+}
+
+type 'ctx model = {
+  m_worker_init : unit -> 'ctx;
+  m_trial : ('ctx -> Random.State.t -> int -> bool) option;
+  m_batch :
+    ('ctx -> Rng.key array -> base:int -> count:int -> int64 array) option;
+  m_rare : 'ctx rare_model option;
+}
+
+let model ~worker_init ?trial ?batch ?rare () =
+  if trial = None && batch = None && rare = None then
+    invalid_arg "Mc.Runner.model: at least one of ?trial ?batch ?rare";
+  { m_worker_init = worker_init; m_trial = trial; m_batch = batch;
+    m_rare = rare }
+
+let scalar trial =
+  { m_worker_init = (fun () -> ());
+    m_trial = Some (fun () rng i -> trial rng i);
+    m_batch = None;
+    m_rare = None }
+
+(* ------------------------------------------------- rare-event engine
+
+   Weight-class subset sampling (see Subset): each weight class of the
+   model's fault space runs as its own counting ledger through the
+   standard chunk machinery — enumerated classes evaluate unranked
+   configurations by trial index, sampled classes draw uniform
+   configurations from the chunk's RNG stream.  Class w runs on seed
+   [Rng.derive seed [w]] under campaign engine "rare:w<w>", so classes
+   never collide in a checkpoint store and each inherits the scalar
+   engine's determinism, supervision and resume behavior wholesale. *)
+
+let estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?z ~config ~seed ~worker_init ~rare () =
+  let { Engine.max_weight; samples_per_class; enum_cutoff } = config in
+  let fm = rare.fault_model in
+  Subset.validate fm;
+  let plan = Subset.plan fm ~max_weight ~samples_per_class ~enum_cutoff in
+  let classes =
+    List.map
+      (fun (cls : Subset.cls) ->
+        let w = cls.weight in
+        let trial =
+          if cls.exhaustive then fun ctx _rng i ->
+            rare.evaluate ctx (Subset.unrank fm ~weight:w ~index:i)
+          else fun ctx rng _i ->
+            rare.evaluate ctx (Subset.sample fm ~weight:w rng)
+        in
+        let trials = cls.evals in
+        let class_seed = Rng.derive seed [ w ] in
+        let domains = resolve_domains domains in
+        let chunk = resolve_chunk ~trials chunk in
+        let obs = resolve_obs obs in
+        let timeout, retries, backoff, chaos =
+          resolve_sup_args ?chunk_timeout ?retries ?backoff ?chaos ()
+        in
+        let sup =
+          counting_sup ?campaign
+            ~engine:(Printf.sprintf "rare:w%d" w)
+            ~seed:class_seed ~trials ~chunk ~timeout ~retries ~backoff ~chaos
+            ()
+        in
+        let failures =
+          map_reduce_sup ~engine_label:"rare" ~domains ~chunk ~obs ~trials
+            ~seed:class_seed ~sup ~worker_init ~init:0 ~accum:count_accum
+            ~merge:( + ) trial
+        in
+        { Stats.weight = w;
+          prob = cls.prob;
+          evals = trials;
+          failures;
+          exhaustive = cls.exhaustive })
+      plan
+  in
+  Subset.weighted ?z ~model:fm ~max_weight classes
+
+let supported_engines m =
+  List.filter_map
+    (fun x -> x)
+    [ Option.map (fun _ -> "scalar") m.m_trial;
+      Option.map (fun _ -> "batch") m.m_batch;
+      Option.map (fun _ -> "rare") m.m_rare ]
+  |> String.concat ", "
+
+let missing m ~wanted ~capability =
+  invalid_arg
+    (Printf.sprintf
+       "Mc.Runner: the %s engine needs a model with %s; this model supports \
+        engines: %s"
+       wanted capability (supported_engines m))
+
+let require_trial m =
+  match m.m_trial with
+  | Some t -> t
+  | None -> missing m ~wanted:"scalar" ~capability:"a ?trial function"
+
+let require_batch m =
+  match m.m_batch with
+  | Some b -> b
+  | None -> missing m ~wanted:"batch" ~capability:"a ?batch kernel"
+
+let require_rare m =
+  match m.m_rare with
+  | Some r -> r
+  | None -> missing m ~wanted:"rare" ~capability:"a ?rare fault model"
+
+let reject_chunk ~engine = function
+  | None -> ()
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Mc.Runner: ?chunk does not apply to the %s engine" engine)
+
+(* ------------------------------------- unified, engine-polymorphic API *)
+
+let failures ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ?(engine = `Scalar) ~trials ~seed m =
+  match (engine : Engine.t) with
+  | `Scalar ->
+    failures_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+      ?backoff ?chaos ~trials ~seed ~worker_init:m.m_worker_init
+      (require_trial m)
+  | `Batch { Engine.tile_width } ->
+    reject_chunk ~engine:"batch" chunk;
+    failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
+      ?backoff ?chaos ~tile_width ~trials ~seed
+      ~worker_init:m.m_worker_init (require_batch m)
+  | `Rare config ->
+    let w =
+      estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout
+        ?retries ?backoff ?chaos ~config ~seed
+        ~worker_init:m.m_worker_init ~rare:(require_rare m) ()
+    in
+    w.Stats.raw_failures
+
+let estimate ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ?(engine = `Scalar) ?z ?target_half_width ?min_trials ~trials
+    ~seed m =
+  let reject_target name =
+    match target_half_width with
+    | None -> ()
+    | Some _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Mc.Runner: ?target_half_width requires the scalar engine (got \
+            %s)"
+           name)
+  in
+  match (engine : Engine.t) with
+  | `Scalar ->
+    estimate_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+      ?backoff ?chaos ?z ?target_half_width ?min_trials ~trials ~seed
+      ~worker_init:m.m_worker_init (require_trial m)
+  | `Batch { Engine.tile_width } ->
+    reject_target "batch";
+    reject_chunk ~engine:"batch" chunk;
+    let failures =
+      failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
+        ?backoff ?chaos ~tile_width ~trials ~seed
+        ~worker_init:m.m_worker_init (require_batch m)
+    in
+    Stats.estimate ?z ~failures ~trials ()
+  | `Rare config ->
+    reject_target "rare";
+    Stats.weighted_to_estimate
+      (estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout
+         ?retries ?backoff ?chaos ?z ~config ~seed
+         ~worker_init:m.m_worker_init ~rare:(require_rare m) ())
+
+let estimate_rare ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?z ?(config = Engine.default_rare) ~seed m =
+  estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?z ~config ~seed ~worker_init:m.m_worker_init
+    ~rare:(require_rare m) ()
+
+(* --------------------------------------------------- deprecated shims *)
+
+let failures_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ~trials ~seed ~worker_init trial =
+  failures_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ~trials ~seed ~worker_init trial
+
+let estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?z ?target_half_width ?min_trials ~trials ~seed
+    ~worker_init trial =
+  estimate_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?z ?target_half_width ?min_trials ~trials ~seed
+    ~worker_init trial
+
+let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
+    ?chaos ?tile_width ~trials ~seed ~worker_init batch =
+  failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
+    ?backoff ?chaos ?tile_width ~trials ~seed ~worker_init batch
+
 let estimate_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
     ?chaos ?tile_width ?z ~trials ~seed ~worker_init batch =
   let failures =
-    failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
-      ?chaos ?tile_width ~trials ~seed ~worker_init batch
+    failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
+      ?backoff ?chaos ?tile_width ~trials ~seed ~worker_init batch
   in
   Stats.estimate ?z ~failures ~trials ()

@@ -1,4 +1,24 @@
-(** Parallel Monte-Carlo map-reduce over OCaml 5 domains.
+(** Parallel Monte-Carlo map-reduce over OCaml 5 domains, behind one
+    engine-polymorphic API.
+
+    A driver describes {e what} to run once, as a {!model} — a scalar
+    per-trial predicate, optionally a bit-sliced batch kernel and a
+    rare-event fault model over the same experiment — and picks {e how}
+    to run it per call with an {!Engine.t}:
+
+    - [`Scalar] (default): one trial per shot on a [Random.State.t]
+      stream.  The reference semantics.
+    - [`Batch {tile_width}]: 64 shots per word, [tile_width / 64]
+      lanes per tile.  Requires [model.batch].
+    - [`Rare config]: weight-class subset sampling ({!Subset}).
+      Requires [model.rare].  Reports weighted estimates with the
+      truncation bound folded into the interval ({!estimate_rare}).
+
+    Selecting an engine the model does not implement raises
+    [Invalid_argument] naming the missing capability and the engines
+    the model does support.
+
+    {2 Determinism}
 
     The trial range is cut into fixed-size chunks whose size depends
     only on the trial count; each chunk runs on its own {!Rng} stream
@@ -9,22 +29,34 @@
     claim chunks from a shared atomic cursor, so load balancing is
     dynamic even when trial costs vary.
 
+    Batch runs add cross-width determinism: lane [j] of tile [c]
+    covers the same 64 shots as the width-64 chunk [c·lanes + j] and
+    receives that chunk's key, so counts are bit-identical for every
+    tile width too (provided the batch function gives each lane its
+    own key's draw sequence — {!Frame.Sampler} tiles do).
+
+    Rare runs execute each weight class as its own deterministic
+    chunk ledger (class seed [Rng.derive seed [w]], campaign engine
+    ["rare:w<w>"]), so per-class counts — and therefore the weighted
+    estimate — inherit the same any-domain-count bit-identity and
+    checkpoint/resume behavior.
+
     [domains] defaults to the [FTQC_DOMAINS] environment variable if
     set, else [Domain.recommended_domain_count ()].
 
     Warmup: when more than one worker will run, the engine first runs
-    one discarded trial (index 0) sequentially, so that any [lazy]
+    one discarded trial (or tile) sequentially, so that any [lazy]
     the trial forces (code tables, decoders) is already forced before
     domains race on it — concurrent [Lazy.force] is unsafe in OCaml 5.
-    Trial functions therefore must tolerate an extra invocation; pure
-    trials (anything without external side effects) trivially do.
+    Trial, batch and rare-evaluate functions therefore must tolerate
+    an extra invocation; pure trials trivially do.
 
     {2 Supervision and checkpointing}
 
     Every entry point takes watchdog/retry/chaos controls, and the
-    counting entry points ({!failures}, {!estimate} and their [_ctx] /
-    [_batched] variants) additionally take [?campaign:Campaign.t]
-    (default: the ambient {!Campaign.current} store, if set):
+    counting entry points ({!failures}, {!estimate}, {!estimate_rare})
+    additionally take [?campaign:Campaign.t] (default: the ambient
+    {!Campaign.current} store, if set):
 
     - [?chunk_timeout] (seconds, default 0 = off) arms a cooperative
       per-chunk watchdog: the deadline is checked between trials, so a
@@ -60,13 +92,12 @@
     claimed per worker ([mc.chunks_per_worker]), the sequential warmup
     cost ([mc.warmup_s]), supervision counters ([mc.chunks_resumed],
     [mc.chunk_retries], [mc.chunk_timeouts]), aggregate wall time and
-    throughput ([mc.wall_s], [mc.shots_per_s]), an [mc.run] event, and
-    — under early stopping — one [mc.early_stop_batch] event per
-    batch decision.  Instrumentation draws no randomness and gates no
-    control flow, so results are bit-identical with telemetry on or
-    off.  Progress/ETA lines on stderr are opt-in via the
-    [FTQC_PROGRESS] environment variable ({!Obs.Progress}),
-    independent of [?obs]. *)
+    throughput ([mc.wall_s], [mc.shots_per_s]), an [mc.run] event
+    whose [engine] field is ["scalar"], ["batch"] or ["rare"], and —
+    under early stopping — one [mc.early_stop_batch] event per batch
+    decision.  A rare run emits one [mc.run] per weight class.
+    Instrumentation draws no randomness and gates no control flow, so
+    results are bit-identical with telemetry on or off. *)
 
 (** The default domain count ([FTQC_DOMAINS] env override, else
     [Domain.recommended_domain_count ()]). *)
@@ -96,6 +127,45 @@ val default_chunk_timeout : unit -> float
     attempt). *)
 val default_backoff : float
 
+(** {1 Models}
+
+    A model bundles everything a driver knows how to execute; the
+    engine argument of {!failures}/{!estimate} picks the part to
+    run. *)
+
+(** Rare-event capability: an explicit fault model plus a
+    deterministic evaluator.  [evaluate ctx faults] must depend only
+    on [ctx] (per-worker scratch) and the configuration — it is
+    called on enumerated configurations in arbitrary chunk order and
+    must be a pure function of the faults. *)
+type 'ctx rare_model = {
+  fault_model : Subset.model;
+  evaluate : 'ctx -> Subset.fault array -> bool;
+}
+
+type 'ctx model
+
+(** [model ~worker_init ?trial ?batch ?rare ()] — [worker_init] runs
+    once per worker domain (reusable scratch buffers, simulator
+    state).  [trial ctx rng i] is the scalar per-shot predicate;
+    [batch ctx keys ~base ~count] the bit-sliced kernel (one {!Rng}
+    key per lane; bit [k] of word [j] = outcome of shot
+    [base + 64·j + k]); [rare] the fault-path capability.  At least
+    one part must be given. *)
+val model :
+  worker_init:(unit -> 'ctx) ->
+  ?trial:('ctx -> Random.State.t -> int -> bool) ->
+  ?batch:('ctx -> Rng.key array -> base:int -> count:int -> int64 array) ->
+  ?rare:'ctx rare_model ->
+  unit ->
+  'ctx model
+
+(** [scalar trial] — the one-liner for context-free scalar drivers:
+    [model ~worker_init:(fun () -> ()) ~trial:(fun () -> trial) ()]. *)
+val scalar : (Random.State.t -> int -> bool) -> unit model
+
+(** {1 Generic map-reduce} *)
+
 (** [map_reduce ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff
     ?chaos ~trials ~seed ~init ~accum ~merge trial] — run
     [trial rng i] for i = 0..trials−1, folding each chunk with
@@ -123,8 +193,7 @@ val map_reduce :
   'acc
 
 (** [map_reduce_ctx] — like {!map_reduce} with a per-worker context
-    ([worker_init] runs once in each worker domain; use it for
-    reusable scratch buffers or per-domain simulator state). *)
+    ([worker_init] runs once in each worker domain). *)
 val map_reduce_ctx :
   ?domains:int ->
   ?chunk:int ->
@@ -142,9 +211,19 @@ val map_reduce_ctx :
   ('ctx -> Random.State.t -> int -> 'a) ->
   'acc
 
-(** [failures ?domains ?chunk ?obs ?campaign ... ~trials ~seed trial]
-    — count [true] trial outcomes.  Checkpointed through [?campaign]
-    (default: the ambient {!Campaign.current} store). *)
+(** {1 Counting}
+
+    [?engine] defaults to [`Scalar].  [?chunk] applies to the scalar
+    and rare engines (the batch engine's chunk is its tile).
+    Checkpointed through [?campaign] (default: the ambient
+    {!Campaign.current} store). *)
+
+(** [failures ?engine ~trials ~seed model] — count [true] outcomes.
+    Under [`Rare] the count is the {e raw} number of failing
+    evaluated configurations across all weight classes (useful for
+    identity checks; the statistically meaningful quantity is
+    {!estimate_rare}), and [trials] is ignored in favor of the
+    config's per-class budgets. *)
 val failures :
   ?domains:int ->
   ?chunk:int ->
@@ -154,10 +233,88 @@ val failures :
   ?retries:int ->
   ?backoff:float ->
   ?chaos:Chaos.t ->
+  ?engine:Engine.t ->
   trials:int ->
   seed:int ->
-  (Random.State.t -> int -> bool) ->
+  'ctx model ->
   int
+
+(** The default early-stopping trial floor (1000). *)
+val default_min_trials : int
+
+(** [estimate ?engine ?z ?target_half_width ?min_trials ~trials ~seed
+    model] — failure-rate estimate with Wilson score interval.  When
+    [target_half_width] is given (scalar engine only), trials run in
+    geometrically growing batches (at fixed chunk boundaries, so the
+    stopping decision is domain-count-invariant too) and stop early
+    once the interval half-width drops to the target — but never
+    before [min_trials] (default {!default_min_trials}) trials, and
+    never beyond [trials].  Early stopping honors the same
+    checkpoint/supervision hooks as the straight-through path: a
+    resumed run replays cached chunk counts and therefore stops at
+    the identical batch boundary.
+
+    Under [`Rare], the returned record is
+    [Stats.weighted_to_estimate] of {!estimate_rare}: [rate]/CI are
+    the weighted values (truncation bound included in [ci_high]),
+    [failures]/[trials] the raw evaluation totals. *)
+val estimate :
+  ?domains:int ->
+  ?chunk:int ->
+  ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
+  ?engine:Engine.t ->
+  ?z:float ->
+  ?target_half_width:float ->
+  ?min_trials:int ->
+  trials:int ->
+  seed:int ->
+  'ctx model ->
+  Stats.estimate
+
+(** [estimate_rare ?config ~seed model] — the full weighted estimate:
+    per-class sums, stratified variance, and the truncation bound
+    ({!Subset.tail_mass}) folded into the upper CI edge.  Each weight
+    class runs as its own supervised, checkpointable chunk ledger
+    (campaign engine ["rare:w<w>"], seed [Rng.derive seed [w]]), so
+    an interrupted rare campaign resumes bit-identically at any
+    domain count. *)
+val estimate_rare :
+  ?domains:int ->
+  ?chunk:int ->
+  ?obs:Obs.t ->
+  ?campaign:Campaign.t ->
+  ?chunk_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?chaos:Chaos.t ->
+  ?z:float ->
+  ?config:Engine.rare ->
+  seed:int ->
+  'ctx model ->
+  Stats.weighted
+
+(** {1 Batched helpers} *)
+
+(** Shots per lane word (64). *)
+val word_size : int
+
+(** [popcount64 w] — number of set bits of [w]. *)
+val popcount64 : int64 -> int
+
+(** [live_mask count] — a word with the low [min count 64] bits set
+    (the engine's ragged-tail mask; [count >= 64] gives all ones). *)
+val live_mask : int -> int64
+
+(** {1 Deprecated aliases}
+
+    One-PR migration shims over the engine-polymorphic entry points
+    above; every in-repo caller has been migrated (CI greps for
+    stragglers) and these will be removed next PR. *)
 
 val failures_ctx :
   ?domains:int ->
@@ -173,37 +330,7 @@ val failures_ctx :
   worker_init:(unit -> 'ctx) ->
   ('ctx -> Random.State.t -> int -> bool) ->
   int
-
-(** The default early-stopping trial floor (1000). *)
-val default_min_trials : int
-
-(** [estimate ?domains ?chunk ?obs ?campaign ... ?z ?target_half_width
-    ?min_trials ~trials ~seed trial] — failure-rate estimate with
-    Wilson score interval.  When [target_half_width] is given, trials
-    run in geometrically growing batches (at fixed chunk boundaries,
-    so the stopping decision is domain-count-invariant too) and stop
-    early once the interval half-width drops to the target — but
-    never before [min_trials] (default {!default_min_trials}) trials,
-    and never beyond [trials].  Early stopping honors the same
-    checkpoint/supervision hooks as the straight-through path: a
-    resumed run replays cached chunk counts and therefore stops at
-    the identical batch boundary. *)
-val estimate :
-  ?domains:int ->
-  ?chunk:int ->
-  ?obs:Obs.t ->
-  ?campaign:Campaign.t ->
-  ?chunk_timeout:float ->
-  ?retries:int ->
-  ?backoff:float ->
-  ?chaos:Chaos.t ->
-  ?z:float ->
-  ?target_half_width:float ->
-  ?min_trials:int ->
-  trials:int ->
-  seed:int ->
-  (Random.State.t -> int -> bool) ->
-  Stats.estimate
+[@@deprecated "use Mc.Runner.failures with a Mc.Runner.model"]
 
 val estimate_ctx :
   ?domains:int ->
@@ -222,50 +349,8 @@ val estimate_ctx :
   worker_init:(unit -> 'ctx) ->
   ('ctx -> Random.State.t -> int -> bool) ->
   Stats.estimate
+[@@deprecated "use Mc.Runner.estimate with a Mc.Runner.model"]
 
-(** {1 Batched (bit-sliced) mode}
-
-    One chunk = one {e tile} of [tile_width / 64] 64-shot lanes
-    (default [?tile_width] 64 = one lane; any positive multiple of 64
-    is accepted — 256 and 512 are the tuned widths).  The batch
-    function receives one {!Rng} key per lane and must return an
-    [int64 array] with at least one word per lane; bit [k] of word
-    [j] is the failure outcome of Monte-Carlo shot [base + 64·j + k]
-    (shots at or beyond [count] are masked off by the engine — the
-    ragged tail of a trial count that is not a multiple of the tile
-    width).
-
-    Cross-width determinism: lane [j] of tile [c] covers the same 64
-    shots as the width-64 chunk [c·lanes + j] and receives that
-    chunk's key, [Rng.split root (c·lanes + j)]; per-chunk popcounts
-    merge in chunk order.  Provided the batch function gives each
-    lane its own key's draw sequence ({!Frame.Sampler} tiles do by
-    construction), the total is bit-identical for every tile width
-    {e and} every domain count.  The same warmup discipline applies:
-    with more than one worker, one discarded tile (chunk 0) runs
-    sequentially first, so batch functions must tolerate an extra
-    invocation.
-
-    Supervision mirrors the scalar engine (campaign chunks are whole
-    tiles under engine ["batch"], so width-64 runs keep the exact
-    pre-tile job identity and old checkpoints stay replayable), with
-    two adaptations: the watchdog deadline is checked after the
-    uninterruptible batch call, and chaos [on_trial] hooks do not
-    fire (a tile has no per-trial boundary — use [on_chunk_start]). *)
-
-(** Shots per lane word (64). *)
-val word_size : int
-
-(** [popcount64 w] — number of set bits of [w]. *)
-val popcount64 : int64 -> int
-
-(** [live_mask count] — a word with the low [min count 64] bits set
-    (the engine's ragged-tail mask; [count >= 64] gives all ones). *)
-val live_mask : int -> int64
-
-(** [failures_batched ?domains ?obs ?campaign ... ?tile_width ~trials
-    ~seed ~worker_init batch] — total failure count over [trials]
-    shots, [tile_width] per chunk. *)
 val failures_batched :
   ?domains:int ->
   ?obs:Obs.t ->
@@ -280,9 +365,9 @@ val failures_batched :
   worker_init:(unit -> 'ctx) ->
   ('ctx -> Rng.key array -> base:int -> count:int -> int64 array) ->
   int
+[@@deprecated
+  "use Mc.Runner.failures ~engine:(`Batch _) with a Mc.Runner.model"]
 
-(** [estimate_batched] — {!failures_batched} wrapped in a
-    {!Stats.estimate}. *)
 val estimate_batched :
   ?domains:int ->
   ?obs:Obs.t ->
@@ -298,3 +383,5 @@ val estimate_batched :
   worker_init:(unit -> 'ctx) ->
   ('ctx -> Rng.key array -> base:int -> count:int -> int64 array) ->
   Stats.estimate
+[@@deprecated
+  "use Mc.Runner.estimate ~engine:(`Batch _) with a Mc.Runner.model"]

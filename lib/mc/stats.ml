@@ -49,3 +49,89 @@ let half_width e = (e.ci_high -. e.ci_low) /. 2.0
 let pp fmt e =
   Format.fprintf fmt "%d/%d = %.4g [%.4g, %.4g]" e.failures e.trials e.rate
     e.ci_low e.ci_high
+
+(* ------------------------------------------- weighted (stratified) *)
+
+type class_sum = {
+  weight : int;
+  prob : float;
+  evals : int;
+  failures : int;
+  exhaustive : bool;
+}
+
+let merge_class a b =
+  if a.weight <> b.weight || a.prob <> b.prob || a.exhaustive <> b.exhaustive
+  then invalid_arg "Mc.Stats.merge_class: different classes";
+  { a with evals = a.evals + b.evals; failures = a.failures + b.failures }
+
+type weighted = {
+  classes : class_sum list;
+  rate : float;
+  stderr : float;
+  truncation : float;
+  ci_low : float;
+  ci_high : float;
+  evals : int;
+  raw_failures : int;
+}
+
+let weighted ?(z = default_z) ~truncation classes =
+  if truncation < 0.0 || truncation > 1.0 then
+    invalid_arg "Mc.Stats.weighted: truncation must be in [0,1]";
+  let classes = List.sort (fun a b -> compare a.weight b.weight) classes in
+  let rate = ref 0.0 and var = ref 0.0 in
+  let evals = ref 0 and raw = ref 0 in
+  List.iter
+    (fun c ->
+      if c.failures < 0 || c.evals < c.failures then
+        invalid_arg "Mc.Stats.weighted: failures must be in [0, evals]";
+      if c.prob < 0.0 || c.prob > 1.0 then
+        invalid_arg "Mc.Stats.weighted: class prob must be in [0,1]";
+      evals := !evals + c.evals;
+      raw := !raw + c.failures;
+      if c.evals > 0 then begin
+        let n = float_of_int c.evals in
+        let f = float_of_int c.failures /. n in
+        rate := !rate +. (c.prob *. f);
+        if not c.exhaustive then begin
+          (* clamp f into [1/2n, 1-1/2n] for the variance term only:
+             a sampled class that saw 0 (or only) failures is not
+             proof of zero variance *)
+          let fv = Float.min (1.0 -. (0.5 /. n)) (Float.max (0.5 /. n) f) in
+          var := !var +. (c.prob *. c.prob *. fv *. (1.0 -. fv) /. n)
+        end
+      end)
+    classes;
+  let rate = !rate in
+  let stderr = sqrt !var in
+  {
+    classes;
+    rate;
+    stderr;
+    truncation;
+    ci_low = Float.max 0.0 (rate -. (z *. stderr));
+    ci_high = Float.min 1.0 (rate +. (z *. stderr) +. truncation);
+    evals = !evals;
+    raw_failures = !raw;
+  }
+
+let weighted_to_estimate w =
+  {
+    failures = w.raw_failures;
+    trials = w.evals;
+    rate = w.rate;
+    stderr = w.stderr;
+    ci_low = w.ci_low;
+    ci_high = w.ci_high;
+  }
+
+let pp_weighted fmt w =
+  Format.fprintf fmt "%.4g [%.4g, %.4g] (tail <= %.3g; %d evals:" w.rate
+    w.ci_low w.ci_high w.truncation w.evals;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt " w%d %d/%d%s" c.weight c.failures c.evals
+        (if c.exhaustive then "*" else ""))
+    w.classes;
+  Format.fprintf fmt ")"

@@ -25,3 +25,57 @@ val estimate : ?z:float -> failures:int -> trials:int -> unit -> estimate
 val half_width : estimate -> float
 
 val pp : Format.formatter -> estimate -> unit
+
+(** {1 Weighted (stratified) estimates}
+
+    The rare-event engine estimates p_L = Σ_w P(w)·f_w, where P(w) is
+    the analytic probability that exactly w fault locations fire (the
+    binomial prefactor) and f_w is the failure fraction over weight-w
+    configurations — measured exactly (full enumeration) or by
+    stratified sampling.  One {!class_sum} carries a weight class's
+    running counts; {!weighted} folds a list of them plus the
+    truncation bound (the probability mass of unevaluated weights,
+    ≥ the mass they could contribute since f_w ≤ 1) into an interval. *)
+
+(** Per-class running sums.  Counts merge by addition ({!merge_class}),
+    so partial results combine associatively in any grouping. *)
+type class_sum = {
+  weight : int;
+  prob : float;  (** P(w): probability that exactly [weight] locations fire *)
+  evals : int;  (** configurations evaluated *)
+  failures : int;
+  exhaustive : bool;  (** full enumeration: zero sampling variance *)
+}
+
+(** [merge_class a b] — add the counts of two partial sums of the
+    {e same} class (equal [weight]/[prob]/[exhaustive]; checked).
+    Associative and commutative, with the zero-count sum as
+    identity. *)
+val merge_class : class_sum -> class_sum -> class_sum
+
+type weighted = {
+  classes : class_sum list;  (** ascending weight *)
+  rate : float;  (** Σ_w P(w)·f̂_w *)
+  stderr : float;  (** √(Σ_w P(w)²·var f̂_w), sampled classes only *)
+  truncation : float;  (** Σ_(w>W) P(w), an upper bound on the unseen mass *)
+  ci_low : float;  (** max(0, rate − z·stderr) *)
+  ci_high : float;  (** min(1, rate + z·stderr + truncation) *)
+  evals : int;  (** total configurations evaluated *)
+  raw_failures : int;  (** total failing configurations (unweighted) *)
+}
+
+(** [weighted ?z ~truncation classes] — assemble the weighted
+    estimate.  Sampled (non-exhaustive) classes with f̂ of 0 or 1
+    still contribute variance (f̂ is clamped to [1/2n, 1−1/2n] for
+    the variance term only), so an all-clean sampled class cannot
+    collapse the interval.  The truncation bound is added to the
+    upper edge only: it is a one-sided worst case (f_w ≤ 1). *)
+val weighted : ?z:float -> truncation:float -> class_sum list -> weighted
+
+(** [weighted_to_estimate w] — the flat record: [rate]/[stderr]/CI
+    from the weighted computation, [failures]/[trials] the raw
+    evaluation totals (so [rate] ≠ [failures]/[trials] in general —
+    the whole point of importance weighting). *)
+val weighted_to_estimate : weighted -> estimate
+
+val pp_weighted : Format.formatter -> weighted -> unit

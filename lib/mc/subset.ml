@@ -1,0 +1,156 @@
+type model = { locations : int; kinds : int; p : float }
+type fault = { loc : int; kind : int }
+
+let validate m =
+  if m.locations < 0 then invalid_arg "Mc.Subset: locations must be >= 0";
+  if m.kinds < 1 then invalid_arg "Mc.Subset: kinds must be >= 1";
+  if not (m.p >= 0.0 && m.p <= 1.0) then
+    invalid_arg "Mc.Subset: p must be in [0,1]"
+
+(* log C(n, k), exact enough for probability prefactors *)
+let log_choose n k =
+  let k = min k (n - k) in
+  let acc = ref 0.0 in
+  for i = 1 to k do
+    acc := !acc +. log (float_of_int (n - k + i) /. float_of_int i)
+  done;
+  !acc
+
+let class_prob m ~weight =
+  validate m;
+  let n = m.locations and w = weight in
+  if w < 0 || w > n then 0.0
+  else if m.p = 0.0 then if w = 0 then 1.0 else 0.0
+  else if m.p = 1.0 then if w = n then 1.0 else 0.0
+  else
+    exp
+      (log_choose n w
+      +. (float_of_int w *. log m.p)
+      +. (float_of_int (n - w) *. log1p (-.m.p)))
+
+(* Cumulative sum keeps the tail monotone in [max_weight]: each step
+   adds a nonnegative term, so 1 - cum never increases. *)
+let tail_mass m ~max_weight =
+  validate m;
+  let cum = ref 0.0 in
+  for w = 0 to min max_weight m.locations do
+    cum := !cum +. class_prob m ~weight:w
+  done;
+  Float.max 0.0 (1.0 -. !cum)
+
+(* Exact binomial for small values (unranking): every intermediate is
+   an exact integer (c * (n-k+i) is divisible by i at step i). *)
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let c = ref 1 in
+    for i = 1 to k do
+      c := !c * (n - k + i) / i
+    done;
+    !c
+  end
+
+let class_size_capped m ~weight ~cap =
+  validate m;
+  if cap < 0 then invalid_arg "Mc.Subset.class_size_capped: cap must be >= 0";
+  let n = m.locations and w = weight in
+  if w < 0 || w > n then 0
+  else begin
+    let sat = cap + 1 in
+    (* C(n, w), saturating at [sat]: intermediates of the exact
+       iterative product stay <= result * n, so overflow cannot occur
+       before the saturation test fires *)
+    let c = ref 1 in
+    (let k = min w (n - w) in
+     let i = ref 1 in
+     while !i <= k && !c <= sat do
+       c := !c * (n - k + !i) / !i;
+       incr i
+     done);
+    let size = ref (min !c sat) in
+    for _ = 1 to w do
+      if !size < sat then size := min (!size * m.kinds) sat
+    done;
+    !size
+  end
+
+let unrank m ~weight ~index =
+  validate m;
+  let n = m.locations and w = weight in
+  if w < 0 || w > n then invalid_arg "Mc.Subset.unrank: weight out of range";
+  if index < 0 then invalid_arg "Mc.Subset.unrank: index must be >= 0";
+  let kw = ref 1 in
+  for _ = 1 to w do
+    kw := !kw * m.kinds
+  done;
+  let subset_rank = index / !kw and kind_rank = index mod !kw in
+  let faults = Array.make w { loc = 0; kind = 0 } in
+  (* lexicographic subset unranking: the subsets whose smallest
+     element is [a] number C(n-a-1, w-1) *)
+  let rank = ref subset_rank and a = ref 0 in
+  for j = 0 to w - 1 do
+    let remaining = w - 1 - j in
+    let rec advance () =
+      let c = choose (n - !a - 1) remaining in
+      if !rank < c then ()
+      else begin
+        rank := !rank - c;
+        incr a;
+        if !a >= n then invalid_arg "Mc.Subset.unrank: index out of range";
+        advance ()
+      end
+    in
+    advance ();
+    faults.(j) <- { loc = !a; kind = 0 };
+    incr a
+  done;
+  (* kinds in loc order, big-endian mixed radix *)
+  let kr = ref kind_rank in
+  for j = w - 1 downto 0 do
+    faults.(j) <- { (faults.(j)) with kind = !kr mod m.kinds };
+    kr := !kr / m.kinds
+  done;
+  faults
+
+let sample m ~weight rng =
+  validate m;
+  let n = m.locations and w = weight in
+  if w < 0 || w > n then invalid_arg "Mc.Subset.sample: weight out of range";
+  (* Floyd's uniform w-subset of [0, n) *)
+  let sel = ref [] in
+  for j = n - w to n - 1 do
+    let t = Random.State.int rng (j + 1) in
+    if List.mem t !sel then sel := j :: !sel else sel := t :: !sel
+  done;
+  let locs = List.sort compare !sel in
+  Array.of_list
+    (List.map
+       (fun loc ->
+         let kind = if m.kinds = 1 then 0 else Random.State.int rng m.kinds in
+         { loc; kind })
+       locs)
+
+type cls = { weight : int; prob : float; evals : int; exhaustive : bool }
+
+let plan m ~max_weight ~samples_per_class ~enum_cutoff =
+  validate m;
+  if max_weight < 0 then invalid_arg "Mc.Subset.plan: max_weight must be >= 0";
+  if samples_per_class < 1 then
+    invalid_arg "Mc.Subset.plan: samples_per_class must be >= 1";
+  if enum_cutoff < 1 then invalid_arg "Mc.Subset.plan: enum_cutoff must be >= 1";
+  let cutoff = max enum_cutoff samples_per_class in
+  List.init
+    (min max_weight m.locations + 1)
+    (fun weight ->
+      let size = class_size_capped m ~weight ~cap:cutoff in
+      let exhaustive = size <= cutoff in
+      {
+        weight;
+        prob = class_prob m ~weight;
+        evals = (if exhaustive then size else samples_per_class);
+        exhaustive;
+      })
+
+let weighted ?z ~model ~max_weight classes =
+  Stats.weighted ?z ~truncation:(tail_mass model ~max_weight) classes

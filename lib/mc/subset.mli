@@ -1,0 +1,94 @@
+(** Weight-class subset sampling over an IID fault model.
+
+    A fault model has [locations] independent fault sites; each fires
+    with probability [p], and a firing site takes one of [kinds]
+    equiprobable fault kinds.  Conditioned on the {e weight} w (the
+    number of firing sites), every configuration — a w-subset of
+    sites with a kind per site — is equally likely, and the weight
+    itself is binomial:
+
+      P(w) = C(N, w) · p^w · (1−p)^(N−w).
+
+    The rare-event engine ({!Runner} with [`Rare]) evaluates the
+    failure fraction f_w of each class up to a truncation order W —
+    exactly, when the class is small enough to enumerate, or by
+    uniform stratified sampling — and reports
+
+      p_L = Σ_(w≤W) P(w)·f_w  with tail bound Σ_(w>W) P(w) ≥ the
+      contribution of the unevaluated classes (since f_w ≤ 1).
+
+    Deep below threshold p·N ≪ 1, the mass collapses onto the first
+    few weights, so a handful of exactly-enumerated classes pins the
+    failure rate to relative precision no shot-count of plain Monte
+    Carlo can reach.  (Van Rynbach et al., "A Quantum Performance
+    Simulator based on fidelity and fault-path counting".)
+
+    Everything here is pure combinatorics and planning; the parallel
+    execution, checkpointing and supervision live in {!Runner}. *)
+
+type model = {
+  locations : int;  (** N: independent fault sites *)
+  kinds : int;  (** equiprobable fault kinds per firing site (≥ 1) *)
+  p : float;  (** per-site firing probability *)
+}
+
+(** One elementary fault of a configuration. *)
+type fault = { loc : int; kind : int }
+
+(** [validate m] — raises [Invalid_argument] unless
+    [locations ≥ 0], [kinds ≥ 1] and [p ∈ \[0,1\]]. *)
+val validate : model -> unit
+
+(** [class_prob m ~weight] — P(w), computed in log space (stable for
+    thousands of locations). *)
+val class_prob : model -> weight:int -> float
+
+(** [tail_mass m ~max_weight] — Σ_(w>W) P(w), the truncation bound.
+    Computed as 1 − cumulative Σ_(w≤W) P(w) with a monotone running
+    sum, so it is nonincreasing in [max_weight] (exactly, in floating
+    point) and clamped to ≥ 0. *)
+val tail_mass : model -> max_weight:int -> float
+
+(** [class_size_capped m ~weight ~cap] — min(C(N,w)·kinds^w, cap+1):
+    the class size, saturating just above [cap] so enumerability
+    tests never overflow. *)
+val class_size_capped : model -> weight:int -> cap:int -> int
+
+(** [unrank m ~weight ~index] — the [index]-th (0-based) weight-w
+    configuration, in lexicographic order of (site subset, kinds):
+    loc-sorted, deterministic, total.  Only valid when the class was
+    sized within an enumerable cap; [index] must be < the class
+    size. *)
+val unrank : model -> weight:int -> index:int -> fault array
+
+(** [sample m ~weight rng] — a uniform random weight-w configuration
+    (uniform w-subset of sites via Floyd's algorithm, then uniform
+    kinds in loc order); loc-sorted. *)
+val sample : model -> weight:int -> Random.State.t -> fault array
+
+(** One planned weight class. *)
+type cls = {
+  weight : int;
+  prob : float;  (** P(w) *)
+  evals : int;  (** evaluations to run: class size or samples_per_class *)
+  exhaustive : bool;  (** enumerate (exact f_w) vs sample *)
+}
+
+(** [plan m ~max_weight ~samples_per_class ~enum_cutoff] — one {!cls}
+    per weight 0..min(max_weight, N), ascending.  A class is
+    enumerated when its size is at most [max enum_cutoff
+    samples_per_class] (enumerating is never more work than sampling
+    and is exact); larger classes get [samples_per_class] uniform
+    samples.  Zero-probability classes (p = 0 with w > 0, or p = 1
+    with w < N) still appear with [prob = 0] so the ledger shape
+    depends only on the plan inputs. *)
+val plan :
+  model -> max_weight:int -> samples_per_class:int -> enum_cutoff:int ->
+  cls list
+
+(** [weighted ?z ~model ~max_weight classes] — assemble the
+    {!Stats.weighted} estimate from per-class counts, folding in
+    {!tail_mass} as the truncation term. *)
+val weighted :
+  ?z:float -> model:model -> max_weight:int -> Stats.class_sum list ->
+  Stats.weighted

@@ -8,7 +8,8 @@ module Json = Obs.Json
 
 let proto_version = "ftqc-rpc/1"
 
-type engine = [ `Scalar | `Batch ]
+type rare = { max_weight : int; samples_per_class : int }
+type engine = [ `Scalar | `Batch | `Rare of rare ]
 
 type estimator =
   | Steane_memory of {
@@ -52,6 +53,7 @@ type estimator =
       eps : float;
       trials : int;
       seed : int;
+      engine : engine;
     }
   | Pseudothreshold of { eps_list : float list; trials : int; seed : int }
 
@@ -65,11 +67,21 @@ type payload =
 
 (* ------------------------------------------------------- encoding *)
 
-let engine_to_string = function `Scalar -> "scalar" | `Batch -> "batch"
+let engine_to_string = function
+  | `Scalar -> "scalar"
+  | `Batch -> "batch"
+  | `Rare _ -> "rare"
+
+let default_rare =
+  {
+    max_weight = Mc.Engine.default_max_weight;
+    samples_per_class = Mc.Engine.default_samples_per_class;
+  }
 
 let engine_of_string = function
   | "scalar" -> Ok `Scalar
   | "batch" -> Ok `Batch
+  | "rare" -> Ok (`Rare default_rare)
   | s -> Error (Printf.sprintf "unknown engine %S" s)
 
 let estimator_name = function
@@ -97,6 +109,25 @@ let ints l = Json.List (List.map (fun i -> Json.Int i) l)
 let tile_fields tile_width =
   if tile_width = 64 then [] else [ ("tile_width", Json.Int tile_width) ]
 
+(* Likewise the rare-engine parameters: encoded only when they differ
+   from {!Mc.Engine.default_rare}, so an all-defaults rare request has
+   exactly one canonical form. *)
+let rare_fields = function
+  | `Scalar | `Batch -> []
+  | `Rare { max_weight; samples_per_class } ->
+    (if max_weight = default_rare.max_weight then []
+     else [ ("max_weight", Json.Int max_weight) ])
+    @
+    if samples_per_class = default_rare.samples_per_class then []
+    else [ ("samples_per_class", Json.Int samples_per_class) ]
+
+(* [Toric_circuit] predates the engine field; [`Scalar] is omitted so
+   every pre-rare request keeps its canonical bytes — and thus its
+   cache key. *)
+let circuit_engine_fields = function
+  | `Scalar -> []
+  | e -> ("engine", Json.String (engine_to_string e)) :: rare_fields e
+
 let estimator_to_json e =
   let typ = ("type", Json.String (estimator_name e)) in
   match e with
@@ -105,27 +136,28 @@ let estimator_to_json e =
       ([ typ; ("level", Int level); ("eps", Float eps); ("rounds", Int rounds);
          ("trials", Int trials); ("seed", Int seed);
          ("engine", String (engine_to_string engine)) ]
-      @ tile_fields tile_width)
+      @ rare_fields engine @ tile_fields tile_width)
   | Toric_memory { l; p; trials; seed; engine; tile_width } ->
     Json.Obj
       ([ typ; ("l", Int l); ("p", Float p); ("trials", Int trials);
          ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
-      @ tile_fields tile_width)
+      @ rare_fields engine @ tile_fields tile_width)
   | Toric_scan { ls; ps; trials; seed; engine; tile_width } ->
     Json.Obj
       ([ typ; ("ls", ints ls); ("ps", floats ps); ("trials", Int trials);
          ("seed", Int seed); ("engine", String (engine_to_string engine)) ]
-      @ tile_fields tile_width)
+      @ rare_fields engine @ tile_fields tile_width)
   | Toric_noisy { l; rounds; p; q; trials; seed; engine; tile_width } ->
     Json.Obj
       ([ typ; ("l", Int l); ("rounds", Int rounds); ("p", Float p);
          ("q", Float q); ("trials", Int trials); ("seed", Int seed);
          ("engine", String (engine_to_string engine)) ]
       @ tile_fields tile_width)
-  | Toric_circuit { l; rounds; eps; trials; seed } ->
+  | Toric_circuit { l; rounds; eps; trials; seed; engine } ->
     Json.Obj
-      [ typ; ("l", Int l); ("rounds", Int rounds); ("eps", Float eps);
-        ("trials", Int trials); ("seed", Int seed) ]
+      ([ typ; ("l", Int l); ("rounds", Int rounds); ("eps", Float eps);
+         ("trials", Int trials); ("seed", Int seed) ]
+      @ circuit_engine_fields engine)
   | Pseudothreshold { eps_list; trials; seed } ->
     Json.Obj
       [ typ; ("eps_list", floats eps_list); ("trials", Int trials);
@@ -169,11 +201,41 @@ let req_float r name =
     | None -> Error (Printf.sprintf "field %S must be a number" name))
   | None -> Error (Printf.sprintf "missing field %S" name)
 
+let opt_int r name =
+  match field r name with
+  | None -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let check cond msg = if cond then Ok () else Error msg
+
+(* Missing rare parameters mean {!Mc.Engine.default_rare}
+   (canonicalization omits defaults); outside the rare engine they
+   are rejected, keeping one canonical form per computation. *)
 let req_engine r =
-  match field r "engine" with
-  | None -> Ok `Scalar
-  | Some (Json.String s) -> engine_of_string s
-  | Some _ -> Error "field \"engine\" must be a string"
+  let* e =
+    match field r "engine" with
+    | None -> Ok `Scalar
+    | Some (Json.String s) -> engine_of_string s
+    | Some _ -> Error "field \"engine\" must be a string"
+  in
+  let* mw = opt_int r "max_weight" in
+  let* spc = opt_int r "samples_per_class" in
+  match e with
+  | `Rare d ->
+    let max_weight = Option.value mw ~default:d.max_weight in
+    let samples_per_class = Option.value spc ~default:d.samples_per_class in
+    let* () = check (max_weight >= 1) "max_weight must be positive" in
+    let* () =
+      check (samples_per_class >= 1) "samples_per_class must be positive"
+    in
+    Ok (`Rare { max_weight; samples_per_class })
+  | (`Scalar | `Batch) as e ->
+    let* () = check (mw = None) "max_weight requires engine \"rare\"" in
+    let* () =
+      check (spc = None) "samples_per_class requires engine \"rare\""
+    in
+    Ok e
 
 let req_list elem r name =
   match field r name with
@@ -200,8 +262,6 @@ let finish r v =
   match unknown with
   | [] -> v
   | (k, _) :: _ -> Error (Printf.sprintf "unknown field %S" k)
-
-let check cond msg = if cond then Ok () else Error msg
 
 let prob name p =
   check (p >= 0.0 && p <= 1.0) (Printf.sprintf "%s must be in [0,1]" name)
@@ -283,6 +343,11 @@ let estimator_of_json j =
       let* trials = req_int r "trials" in
       let* seed = req_int r "seed" in
       let* engine = req_engine r in
+      let* () =
+        check
+          (match engine with `Rare _ -> false | `Scalar | `Batch -> true)
+          "toric_noisy does not support engine \"rare\""
+      in
       let* tile_width = req_tile_width r engine in
       let* () = check (l >= 2) "l must be >= 2" in
       let* () = positive "rounds" rounds in
@@ -296,11 +361,17 @@ let estimator_of_json j =
       let* eps = req_float r "eps" in
       let* trials = req_int r "trials" in
       let* seed = req_int r "seed" in
+      let* engine = req_engine r in
+      let* () =
+        check
+          (match engine with `Batch -> false | `Scalar | `Rare _ -> true)
+          "toric_circuit does not support engine \"batch\""
+      in
       let* () = check (l >= 2) "l must be >= 2" in
       let* () = positive "rounds" rounds in
       let* () = prob "eps" eps in
       let* () = positive "trials" trials in
-      Ok (Toric_circuit { l; rounds; eps; trials; seed })
+      Ok (Toric_circuit { l; rounds; eps; trials; seed; engine })
     | "pseudothreshold" ->
       let* eps_list = req_list Json.to_float_opt r "eps_list" in
       let* trials = req_int r "trials" in

@@ -15,8 +15,27 @@
     {!result_frame}, so a cached reply re-encodes to the very same
     bytes as the fresh one. *)
 
-(** Monte-Carlo engine selector, as in the [_batch] drivers. *)
-type engine = [ `Scalar | `Batch ]
+(** Rare-engine parameters as carried on the wire.  [enum_cutoff] is
+    not a protocol parameter: the server always uses
+    {!Mc.Engine.default_enum_cutoff}, so a request determines the
+    computation. *)
+type rare = { max_weight : int; samples_per_class : int }
+
+(** Monte-Carlo engine selector, as accepted by the unified
+    {!Mc.Runner} entry points.  On the wire, [`Rare]'s parameters are
+    the [max_weight] / [samples_per_class] fields; canonicalization
+    omits them at their defaults ({!Mc.Engine.default_max_weight},
+    {!Mc.Engine.default_samples_per_class}), mirroring [tile_width].
+    Under [`Rare] the request's [trials] is ignored (the shot budget
+    is [samples_per_class] per sampled weight class) but stays part
+    of the canonical form. *)
+type engine = [ `Scalar | `Batch | `Rare of rare ]
+
+(** The wire-default rare parameters
+    ([{ max_weight = Mc.Engine.default_max_weight;
+        samples_per_class = Mc.Engine.default_samples_per_class }]):
+    what a bare [{"engine": "rare"}] request parses to. *)
+val default_rare : rare
 
 (** One estimator request.  Seeds are final (already derived):
     clients that want the seed of a specific experiment cell apply
@@ -68,14 +87,23 @@ type estimator =
       seed : int;
       engine : engine;
       tile_width : int;
-    }  (** {!Toric.Noisy_memory} (E19-style cell). *)
+    }
+      (** {!Toric.Noisy_memory} (E19-style cell).  Scalar/batch only:
+          the phenomenological model has no rare-event fault model. *)
   | Toric_circuit of {
       l : int;
       rounds : int;
       eps : float;
       trials : int;
       seed : int;
-    }  (** {!Toric.Circuit_memory} (E24-style cell). *)
+      engine : engine;
+    }
+      (** {!Toric.Circuit_memory} (E24-style cell).  [`Scalar] runs
+          the tableau simulation; [`Rare] runs the propagation-free
+          sampler ({!Toric.Circuit_memory.run_rare}).  The engine
+          field is new in the rare extension and is omitted from the
+          canonical form when [`Scalar], so pre-rare requests keep
+          their cache keys.  [`Batch] is rejected. *)
   | Pseudothreshold of { eps_list : float list; trials : int; seed : int }
       (** The E5 scan: CNOT-exRec failure at each eps (seed
           [derive seed [5; i]]), fitted to p = A·eps². *)

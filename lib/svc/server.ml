@@ -26,6 +26,14 @@ let config ?(max_queue = 32) ?(workers = 2) ?(cache_capacity = 128) ?domains
    names — so a service reply can be diffed against a direct
    [experiments] manifest (and so canonical requests really do pin
    down the bits of the answer). *)
+(* Rare-engine requests carry their own shot budget
+   (samples_per_class); the request's [trials] is part of the key but
+   not of the computation.  The weighted estimate is collapsed to the
+   wire's plain estimate shape (rate / stderr / CI, with the
+   truncation bound already folded into ci_high). *)
+let rare_config { Protocol.max_weight; samples_per_class } =
+  { Mc.Engine.default_rare with max_weight; samples_per_class }
+
 let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
     Protocol.payload =
   let estimate_of ~failures ~trials =
@@ -41,21 +49,30 @@ let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
       | `Batch ->
         Codes.Pauli_frame.memory_failure_batch ?domains ~obs ~tile_width
           ~level ~eps ~rounds ~trials ~seed ()
+      | `Rare cfg ->
+        Mc.Stats.weighted_to_estimate
+          (Codes.Pauli_frame.memory_failure_rare ?domains ~obs
+             ~config:(rare_config cfg) ~level ~eps ~rounds ~seed ())
     in
     Estimate { name = Printf.sprintf "L%d@eps=%g" level eps; estimate = e }
   | Toric_memory { l; p; trials; seed; engine; tile_width } ->
-    let r =
+    let e =
       match engine with
-      | `Scalar -> Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
+      | `Scalar ->
+        let r = Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed () in
+        estimate_of ~failures:r.failures ~trials:r.trials
       | `Batch ->
-        Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p ~trials ~seed
-          ()
+        let r =
+          Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p ~trials ~seed
+            ()
+        in
+        estimate_of ~failures:r.failures ~trials:r.trials
+      | `Rare cfg ->
+        Mc.Stats.weighted_to_estimate
+          (Toric.Memory.run_rare ?domains ~obs ~config:(rare_config cfg) ~l ~p
+             ~seed ())
     in
-    Estimate
-      {
-        name = Printf.sprintf "l=%d,p=%g" l p;
-        estimate = estimate_of ~failures:r.failures ~trials:r.trials;
-      }
+    Estimate { name = Printf.sprintf "l=%d,p=%g" l p; estimate = e }
   | Toric_scan { ls; ps; trials; seed; engine; tile_width } ->
     (* e10's loop shape: p outer (indexed), l inner, seed derived per
        cell — cells coincide with [experiments e10 --seed seed]. *)
@@ -65,19 +82,26 @@ let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
         List.iter
           (fun l ->
             let seed = Mc.Rng.derive seed [ 10; l; pi ] in
-            let r =
+            let e =
               match engine with
               | `Scalar ->
-                Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
+                let r =
+                  Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
+                in
+                estimate_of ~failures:r.failures ~trials:r.trials
               | `Batch ->
-                Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p ~trials
-                  ~seed ()
+                let r =
+                  Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p
+                    ~trials ~seed ()
+                in
+                estimate_of ~failures:r.failures ~trials:r.trials
+              | `Rare cfg ->
+                Mc.Stats.weighted_to_estimate
+                  (Toric.Memory.run_rare ?domains ~obs
+                     ~config:(rare_config cfg) ~l ~p ~seed ())
             in
             cells :=
-              {
-                Protocol.name = Printf.sprintf "l=%d,p=%g" l p;
-                estimate = estimate_of ~failures:r.failures ~trials:r.trials;
-              }
+              { Protocol.name = Printf.sprintf "l=%d,p=%g" l p; estimate = e }
               :: !cells)
           ls)
       ps;
@@ -91,22 +115,33 @@ let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
       | `Batch ->
         Toric.Noisy_memory.run_batch ?domains ~obs ~tile_width ~l ~rounds ~p
           ~q ~trials ~seed ()
+      | `Rare _ ->
+        (* unreachable through the protocol: estimator_of_json rejects
+           the combination *)
+        invalid_arg "Server.execute: toric_noisy has no rare engine"
     in
     Estimate
       {
         name = Printf.sprintf "l=%d,p=%g" l p;
         estimate = estimate_of ~failures:r.failures ~trials:r.trials;
       }
-  | Toric_circuit { l; rounds; eps; trials; seed } ->
-    let r =
-      Toric.Circuit_memory.run_mc ?domains ~obs ~l ~rounds
-        ~noise:(Ft.Noise.uniform eps) ~trials ~seed ()
+  | Toric_circuit { l; rounds; eps; trials; seed; engine } ->
+    let e =
+      match engine with
+      | `Scalar ->
+        let r =
+          Toric.Circuit_memory.run_mc ?domains ~obs ~l ~rounds
+            ~noise:(Ft.Noise.uniform eps) ~trials ~seed ()
+        in
+        estimate_of ~failures:r.failures ~trials:r.trials
+      | `Rare cfg ->
+        Mc.Stats.weighted_to_estimate
+          (Toric.Circuit_memory.run_rare ?domains ~obs
+             ~config:(rare_config cfg) ~l ~rounds ~p:eps ~seed ())
+      | `Batch ->
+        invalid_arg "Server.execute: toric_circuit has no batch engine"
     in
-    Estimate
-      {
-        name = Printf.sprintf "l=%d,eps=%g" l eps;
-        estimate = estimate_of ~failures:r.failures ~trials:r.trials;
-      }
+    Estimate { name = Printf.sprintf "l=%d,eps=%g" l eps; estimate = e }
   | Pseudothreshold { eps_list; trials; seed } ->
     (* e5: per-eps exRec failure, then the A·eps² fit. *)
     let cells =

@@ -53,3 +53,67 @@ val run_mc :
   seed:int ->
   unit ->
   result
+
+(** {1 Propagation-free rare-event path}
+
+    A Delfosse–Paetznick-style sampler over an explicit fault model of
+    the same circuit: per round, X storage errors on each data edge,
+    readout flips on each plaquette, and hook faults (an X injected on
+    a leg's data edge right after that plaquette's CZ — the ancilla
+    feedback path of Kitaev's four-XOR remark).  The noiseless circuit
+    is deterministic and outcome bits are GF(2)-linear in the injected
+    X flips, so every single fault's effect (defect toggles + data-X
+    footprint) is extracted exactly from one tableau run, and a
+    multi-fault configuration evaluates by XOR of dictionary entries —
+    no tableau per configuration. *)
+
+type dp_ctx
+
+(** [dp_locations ~l ~rounds] — the fault-model size:
+    [rounds · (nq + 5·np)]. *)
+val dp_locations : l:int -> rounds:int -> int
+
+(** [dp_model ~l ~rounds ~p ()] — builds the single-fault dictionary
+    (one noiseless tableau run per location) and returns a model with
+    both a scalar trial (IID Bernoulli(p) over the same locations —
+    the like-for-like plain-MC comparator) and the rare capability. *)
+val dp_model : l:int -> rounds:int -> p:float -> unit -> dp_ctx Mc.Runner.model
+
+(** [run_dp ~l ~rounds ~p ~trials ~seed ()] — plain Monte Carlo over
+    the dictionary (no tableau per shot). *)
+val run_dp :
+  ?domains:int ->
+  ?chunk:int ->
+  ?obs:Obs.t ->
+  ?campaign:Mc.Campaign.t ->
+  l:int ->
+  rounds:int ->
+  p:float ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
+(** [run_rare ?config ~l ~rounds ~p ~seed ()] — weight-class subset
+    estimate over the circuit-level fault model
+    ({!Mc.Runner.estimate_rare}). *)
+val run_rare :
+  ?domains:int ->
+  ?chunk:int ->
+  ?obs:Obs.t ->
+  ?campaign:Mc.Campaign.t ->
+  ?z:float ->
+  ?config:Mc.Engine.rare ->
+  l:int ->
+  rounds:int ->
+  p:float ->
+  seed:int ->
+  unit ->
+  Mc.Stats.weighted
+
+(** [dp_self_check ~l ~rounds ~weight ~samples ~seed] — draw
+    [samples] random weight-[weight] fault sets and compare the
+    dictionary-XOR verdict against direct noiseless simulation of the
+    same faults; true iff all agree (the linearity cross-check). *)
+val dp_self_check :
+  l:int -> rounds:int -> weight:int -> samples:int -> seed:int -> bool

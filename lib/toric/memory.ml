@@ -35,9 +35,11 @@ let run ?(decoder = `Union_find) ~l ~p ~trials rng =
 let run_mc ?domains ?obs ?(decoder = `Union_find) ~l ~p ~trials ~seed () =
   let lat = Lattice.create l in
   let failures =
-    Mc.Runner.failures_ctx ?domains ?obs ~trials ~seed
-      ~worker_init:(fun () -> Bitvec.create (Lattice.num_qubits lat))
-      (fun error rng _ -> trial_one lat ~decoder ~p error rng)
+    Mc.Runner.failures ?domains ?obs ~trials ~seed
+      (Mc.Runner.model
+         ~worker_init:(fun () -> Bitvec.create (Lattice.num_qubits lat))
+         ~trial:(fun error rng _ -> trial_one lat ~decoder ~p error rng)
+         ())
   in
   result ~l ~p ~trials failures
 
@@ -161,16 +163,49 @@ let run_batch ?domains ?obs ?campaign ?(engine = `Batch)
           !fail)
   in
   let failures =
-    Mc.Runner.failures_batched ?domains ?obs ?campaign ~tile_width ~trials
-      ~seed
-      ~worker_init:(fun () ->
-        ( Frame.Plane.create ~width:tile_width nq,
-          Array.make (np * lanes) 0L,
-          Array.make eb 0L,
-          Array.make sb 0L ))
-      batch
+    Mc.Runner.failures ?domains ?obs ?campaign
+      ~engine:(Mc.Engine.batch ~tile_width ())
+      ~trials ~seed
+      (Mc.Runner.model
+         ~worker_init:(fun () ->
+           ( Frame.Plane.create ~width:tile_width nq,
+             Array.make (np * lanes) 0L,
+             Array.make eb 0L,
+             Array.make sb 0L ))
+         ~batch ())
   in
   result ~l ~p ~trials failures
+
+(* Rare-event fault model: one location per edge qubit, single kind
+   (an X flip), firing probability p — the identical IID noise
+   [trial_one] samples with [Bitvec.randomize], so the rare and plain
+   engines estimate the same quantity. *)
+let rare_model ?(decoder = `Union_find) ~l ~p () =
+  let lat = Lattice.create l in
+  let nq = Lattice.num_qubits lat in
+  let fault_model = { Mc.Subset.locations = nq; kinds = 1; p } in
+  let evaluate error faults =
+    Bitvec.clear error;
+    Array.iter (fun f -> Bitvec.set error f.Mc.Subset.loc true) faults;
+    let syndrome = Lattice.syndrome lat error in
+    let correction =
+      match decoder with
+      | `Union_find -> Decoder.decode lat syndrome
+      | `Greedy -> Decoder.greedy_decode lat syndrome
+    in
+    let residual = Bitvec.xor error correction in
+    let wx, wy = Lattice.winding lat residual in
+    wx || wy
+  in
+  Mc.Runner.model
+    ~worker_init:(fun () -> Bitvec.create nq)
+    ~rare:{ Mc.Runner.fault_model; evaluate }
+    ()
+
+let run_rare ?domains ?chunk ?obs ?campaign ?z ?config ?decoder ~l ~p ~seed ()
+    =
+  Mc.Runner.estimate_rare ?domains ?chunk ?obs ?campaign ?z ?config ~seed
+    (rare_model ?decoder ~l ~p ())
 
 let scan ?(decoder = `Union_find) ~ls ~ps ~trials rng =
   List.concat_map

@@ -48,8 +48,8 @@ val run_mc :
     pipeline as the cross-check / baseline.  The legacy
     [run]/[run_mc] use per-shot [Random.State] sampling and keep
     their historical counts.  [?campaign] threads a checkpoint ledger
-    through to {!Mc.Runner.failures_batched}: completed tiles are
-    journaled (chunk size = [tile_width]) and skipped on resume. *)
+    through to {!Mc.Runner.failures}: completed tiles are journaled
+    (chunk size = [tile_width]) and skipped on resume. *)
 val run_batch :
   ?domains:int ->
   ?obs:Obs.t ->
@@ -63,6 +63,36 @@ val run_batch :
   seed:int ->
   unit ->
   result
+
+(** [rare_model ?decoder ~l ~p ()] — the same experiment as an
+    explicit fault model for the rare-event engine: one location per
+    edge qubit, one kind (an X flip), firing probability [p] — the
+    identical IID distribution [run]/[run_mc] sample, so rare and
+    plain estimates cross-validate on the same model. *)
+val rare_model :
+  ?decoder:[ `Union_find | `Greedy ] ->
+  l:int ->
+  p:float ->
+  unit ->
+  Gf2.Bitvec.t Mc.Runner.model
+
+(** [run_rare ?config ~l ~p ~seed ()] — weight-class subset estimate
+    ({!Mc.Runner.estimate_rare}): exact enumeration of low-weight
+    error patterns with analytic binomial prefactors, reaching
+    deep-subthreshold failure rates no shot budget can. *)
+val run_rare :
+  ?domains:int ->
+  ?chunk:int ->
+  ?obs:Obs.t ->
+  ?campaign:Mc.Campaign.t ->
+  ?z:float ->
+  ?config:Mc.Engine.rare ->
+  ?decoder:[ `Union_find | `Greedy ] ->
+  l:int ->
+  p:float ->
+  seed:int ->
+  unit ->
+  Mc.Stats.weighted
 
 (** [scan ?decoder ~ls ~ps ~trials rng] — full grid of results. *)
 val scan :

@@ -107,8 +107,8 @@ let run ~l ~rounds ~p ~q ~trials rng =
 let run_mc ?domains ?obs ~l ~rounds ~p ~q ~trials ~seed () =
   let lat, graph = setup ~l ~rounds in
   let failures =
-    Mc.Runner.failures ?domains ?obs ~trials ~seed (fun rng _ ->
-        trial_one lat graph ~rounds ~p ~q rng)
+    Mc.Runner.failures ?domains ?obs ~trials ~seed
+      (Mc.Runner.scalar (fun rng _ -> trial_one lat graph ~rounds ~p ~q rng))
   in
   result ~l ~rounds ~p ~q ~trials failures
 
@@ -279,19 +279,22 @@ let run_batch ?domains ?obs ?(engine = `Batch) ?(tile_width = 64) ~l ~rounds
           !fail)
   in
   let failures =
-    Mc.Runner.failures_batched ?domains ?obs ~tile_width ~trials ~seed
-      ~worker_init:(fun () ->
-        {
-          plane = Frame.Plane.create ~width:tile_width nq;
-          out = Array.make (np * lanes) 0L;
-          mw = Array.make (np * rounds * lanes) 0L;
-          dw = Array.make (np * rounds * lanes) 0L;
-          prev = Array.make (np * lanes) 0L;
-          acc = Array.make (nq * rounds * lanes) 0L;
-          defects = Array.make (np * rounds) false;
-          terr = Array.make ((nq + 63) / 64 * 64) 0L;
-        })
-      batch
+    Mc.Runner.failures ?domains ?obs
+      ~engine:(Mc.Engine.batch ~tile_width ())
+      ~trials ~seed
+      (Mc.Runner.model
+         ~worker_init:(fun () ->
+           {
+             plane = Frame.Plane.create ~width:tile_width nq;
+             out = Array.make (np * lanes) 0L;
+             mw = Array.make (np * rounds * lanes) 0L;
+             dw = Array.make (np * rounds * lanes) 0L;
+             prev = Array.make (np * lanes) 0L;
+             acc = Array.make (nq * rounds * lanes) 0L;
+             defects = Array.make (np * rounds) false;
+             terr = Array.make ((nq + 63) / 64 * 64) 0L;
+           })
+         ~batch ())
   in
   result ~l ~rounds ~p ~q ~trials failures
 

@@ -41,7 +41,9 @@ let mc_chunk = 250 (* 16 chunks: chunk size pins the RNG ledger, so every
 let seed = 99
 
 let reference =
-  lazy (Mc.Runner.failures ~domains:1 ~chunk:mc_chunk ~trials ~seed trial)
+  lazy
+    (Mc.Runner.failures ~domains:1 ~chunk:mc_chunk ~trials ~seed
+       (Mc.Runner.scalar trial))
 
 let batch _ctx keys ~base ~count:_ =
   (* deterministic per-word pattern derived from each lane's key *)
@@ -56,11 +58,12 @@ let batch _ctx keys ~base ~count:_ =
     keys
 
 let batch_trials = 1000
+let batch_model = Mc.Runner.model ~worker_init:(fun () -> ()) ~batch ()
 
-let batch_reference = lazy
-  (Mc.Runner.failures_batched ~domains:1 ~trials:batch_trials ~seed
-     ~worker_init:(fun () -> ())
-     batch)
+let batch_reference =
+  lazy
+    (Mc.Runner.failures ~domains:1 ~engine:(Mc.Engine.batch ())
+       ~trials:batch_trials ~seed batch_model)
 
 (* --- checkpoint store basics ----------------------------------------- *)
 
@@ -204,7 +207,7 @@ let interrupt_resume_scalar ~domains () =
       (match
          Mc.Runner.failures ~domains ~chunk:mc_chunk ~campaign:c ~trials ~seed
            ~chaos:(Mc.Chaos.at_chunk ~chunk:2 Mc.Campaign.request_stop)
-           trial
+           (Mc.Runner.scalar trial)
        with
       | _ ->
         (* fast runs can finish before the flag lands; then there is
@@ -217,7 +220,7 @@ let interrupt_resume_scalar ~domains () =
       let c' = Result.get_ok (Mc.Campaign.load path) in
       let resumed =
         Mc.Runner.failures ~domains ~chunk:mc_chunk ~campaign:c' ~trials ~seed
-          trial
+          (Mc.Runner.scalar trial)
       in
       check_int
         (Printf.sprintf "kill+resume = reference (scalar, domains %d)" domains)
@@ -227,22 +230,20 @@ let interrupt_resume_batch ?tile_width ~domains () =
   let expected = Lazy.force batch_reference in
   with_fresh_campaign ~flush_every:1 (fun path c ->
       Mc.Campaign.reset_stop ();
+      let engine = Mc.Engine.batch ?tile_width () in
       (match
-         Mc.Runner.failures_batched ~domains ?tile_width ~campaign:c
-           ~trials:batch_trials ~seed
+         Mc.Runner.failures ~domains ~engine ~campaign:c ~trials:batch_trials
+           ~seed
            ~chaos:(Mc.Chaos.at_chunk ~chunk:3 Mc.Campaign.request_stop)
-           ~worker_init:(fun () -> ())
-           batch
+           batch_model
        with
       | _ -> ()
       | exception Mc.Campaign.Interrupted _ -> ());
       Mc.Campaign.reset_stop ();
       let c' = Result.get_ok (Mc.Campaign.load path) in
       let resumed =
-        Mc.Runner.failures_batched ~domains ?tile_width ~campaign:c'
-          ~trials:batch_trials ~seed
-          ~worker_init:(fun () -> ())
-          batch
+        Mc.Runner.failures ~domains ~engine ~campaign:c' ~trials:batch_trials
+          ~seed batch_model
       in
       check_int
         (Printf.sprintf "kill+resume = reference (batch, domains %d)" domains)
@@ -257,20 +258,16 @@ let test_tile_width_invariant () =
   List.iter
     (fun tile_width ->
       let n =
-        Mc.Runner.failures_batched ~domains:1 ~tile_width
-          ~trials:batch_trials ~seed
-          ~worker_init:(fun () -> ())
-          batch
+        Mc.Runner.failures ~domains:1 ~engine:(Mc.Engine.batch ~tile_width ())
+          ~trials:batch_trials ~seed batch_model
       in
       check_int
         (Printf.sprintf "tile width %d = width 64 count" tile_width)
         expected n)
     [ 128; 256; 512 ];
   let n =
-    Mc.Runner.failures_batched ~domains:4 ~tile_width:256
-      ~trials:batch_trials ~seed
-      ~worker_init:(fun () -> ())
-      batch
+    Mc.Runner.failures ~domains:4 ~engine:(Mc.Engine.batch ~tile_width:256 ())
+      ~trials:batch_trials ~seed batch_model
   in
   check_int "tile width 256 across 4 domains" expected n
 
@@ -281,15 +278,15 @@ let test_full_replay () =
   with_fresh_campaign ~flush_every:1 (fun _ c ->
       let first =
         Mc.Runner.failures ~domains:2 ~chunk:mc_chunk ~campaign:c ~trials ~seed
-          trial
+          (Mc.Runner.scalar trial)
       in
       check_int "checkpointed run = reference" expected first;
       let executed = ref 0 in
       let replay =
         Mc.Runner.failures ~domains:1 ~chunk:mc_chunk ~campaign:c ~trials ~seed
-          (fun rng i ->
-            incr executed;
-            trial rng i)
+          (Mc.Runner.scalar (fun rng i ->
+               incr executed;
+               trial rng i))
       in
       check_int "full replay = reference" expected replay;
       check_int "replay executes no trials" 0 !executed)
@@ -311,7 +308,7 @@ let child_workload path =
   | Ok c ->
     ignore
       (Mc.Runner.failures ~domains:1 ~chunk:child_chunk ~campaign:c
-         ~trials:child_trials ~seed trial);
+         ~trials:child_trials ~seed (Mc.Runner.scalar trial));
     exit 0
 
 let () =
@@ -349,11 +346,11 @@ let test_sigkill_checkpoint_always_parseable () =
       let c = Result.get_ok (Mc.Campaign.load path) in
       let resumed =
         Mc.Runner.failures ~domains:2 ~chunk:child_chunk ~campaign:c
-          ~trials:child_trials ~seed trial
+          ~trials:child_trials ~seed (Mc.Runner.scalar trial)
       in
       let expected =
         Mc.Runner.failures ~domains:1 ~chunk:child_chunk ~trials:child_trials
-          ~seed trial
+          ~seed (Mc.Runner.scalar trial)
       in
       check_int "resume after SIGKILL = reference" expected resumed)
 
@@ -365,7 +362,7 @@ let test_chaos_kill_retried () =
     Mc.Runner.failures ~domains:2 ~chunk:mc_chunk ~obs ~trials ~seed
       ~backoff:0.0
       ~chaos:(Mc.Chaos.kill_chunk ~chunk:1 ())
-      trial
+      (Mc.Runner.scalar trial)
   in
   check_int "count survives a killed worker" (Lazy.force reference) n;
   check "retry counted" true (Obs.counter obs "mc.chunk_retries" >= 1)
@@ -374,7 +371,7 @@ let test_chaos_trial_exception_retried () =
   let n =
     Mc.Runner.failures ~domains:1 ~chunk:mc_chunk ~trials ~seed ~backoff:0.0
       ~chaos:(Mc.Chaos.fail_trial ~chunk:2 ~trial:((2 * mc_chunk) + 1) ())
-      trial
+      (Mc.Runner.scalar trial)
   in
   check_int "count survives a throwing trial" (Lazy.force reference) n
 
@@ -384,7 +381,7 @@ let test_chaos_stall_times_out_and_retries () =
     Mc.Runner.failures ~domains:2 ~chunk:mc_chunk ~obs ~trials ~seed
       ~chunk_timeout:0.05 ~backoff:0.0
       ~chaos:(Mc.Chaos.stall_chunk ~chunk:1 ~seconds:0.2 ())
-      trial
+      (Mc.Runner.scalar trial)
   in
   check_int "count survives a stalled chunk" (Lazy.force reference) n;
   check "timeout counted" true (Obs.counter obs "mc.chunk_timeouts" >= 1)
@@ -395,7 +392,7 @@ let test_chaos_permanent_failure_is_clean () =
          Mc.Runner.failures ~domains:1 ~chunk:mc_chunk ~campaign:c ~trials
            ~seed ~retries:1 ~backoff:0.0
            ~chaos:(Mc.Chaos.kill_chunk ~once:false ~chunk:2 ())
-           trial
+           (Mc.Runner.scalar trial)
        with
       | _ -> Alcotest.fail "permanently failing chunk must raise"
       | exception Mc.Runner.Chunk_failed { chunk; attempts; _ } ->
@@ -415,11 +412,10 @@ let test_chaos_permanent_failure_is_clean () =
 
 let test_chaos_batch_kill_retried () =
   let n =
-    Mc.Runner.failures_batched ~domains:2 ~trials:batch_trials ~seed
-      ~backoff:0.0
+    Mc.Runner.failures ~domains:2 ~engine:(Mc.Engine.batch ())
+      ~trials:batch_trials ~seed ~backoff:0.0
       ~chaos:(Mc.Chaos.kill_chunk ~chunk:1 ())
-      ~worker_init:(fun () -> ())
-      batch
+      batch_model
   in
   check_int "batch count survives a killed worker" (Lazy.force batch_reference)
     n
@@ -431,7 +427,8 @@ let es_trial rng _ = Random.State.float rng 1.0 < 0.2
 let test_early_stop_resume_invariant () =
   let run ?campaign () =
     Mc.Runner.estimate ?campaign ~domains:1 ~chunk:100 ~trials:20000
-      ~target_half_width:0.02 ~min_trials:500 ~seed:7 es_trial
+      ~target_half_width:0.02 ~min_trials:500 ~seed:7
+      (Mc.Runner.scalar es_trial)
   in
   let expected = run () in
   with_fresh_campaign ~flush_every:1 (fun path c ->
@@ -440,7 +437,7 @@ let test_early_stop_resume_invariant () =
          Mc.Runner.estimate ~campaign:c ~domains:1 ~chunk:100 ~trials:20000
            ~target_half_width:0.02 ~min_trials:500 ~seed:7
            ~chaos:(Mc.Chaos.at_chunk ~chunk:3 Mc.Campaign.request_stop)
-           es_trial
+           (Mc.Runner.scalar es_trial)
        with
       | _ -> ()
       | exception Mc.Campaign.Interrupted _ -> ());
@@ -450,12 +447,11 @@ let test_early_stop_resume_invariant () =
       check "early-stopped resume = uninterrupted estimate" true
         (resumed = expected))
 
-(* the same estimate through estimate_batched honors the store too *)
+(* the same estimate through the batch engine honors the store too *)
 let test_estimate_batched_checkpointed () =
   let run ?campaign () =
-    Mc.Runner.estimate_batched ?campaign ~domains:1 ~trials:batch_trials ~seed
-      ~worker_init:(fun () -> ())
-      batch
+    Mc.Runner.estimate ?campaign ~domains:1 ~engine:(Mc.Engine.batch ())
+      ~trials:batch_trials ~seed batch_model
   in
   let expected = run () in
   with_fresh_campaign ~flush_every:1 (fun _ c ->

@@ -65,8 +65,8 @@ let test_rng_derive () =
 let bernoulli p rng _ = Random.State.float rng 1.0 < p
 
 let test_runner_parallel_equals_sequential () =
-  let f1 = Mc.Runner.failures ~domains:1 ~trials:10000 ~seed:3 (bernoulli 0.3) in
-  let f4 = Mc.Runner.failures ~domains:4 ~trials:10000 ~seed:3 (bernoulli 0.3) in
+  let f1 = Mc.Runner.failures ~domains:1 ~trials:10000 ~seed:3 (Mc.Runner.scalar (bernoulli 0.3)) in
+  let f4 = Mc.Runner.failures ~domains:4 ~trials:10000 ~seed:3 (Mc.Runner.scalar (bernoulli 0.3)) in
   Alcotest.(check int) "domains:4 = domains:1" f1 f4;
   check "rate plausible" true (abs (f1 - 3000) < 300)
 
@@ -95,28 +95,32 @@ let test_runner_float_merge_deterministic () =
 let test_runner_worker_ctx () =
   (* per-worker scratch buffers reused across a worker's chunks *)
   let count d =
-    Mc.Runner.failures_ctx ~domains:d ~trials:2000 ~seed:9
-      ~worker_init:(fun () -> Bytes.create 8)
-      (fun buf rng _ ->
-        Bytes.set_int64_le buf 0 (Random.State.int64 rng Int64.max_int);
-        Int64.rem (Bytes.get_int64_le buf 0) 2L = 0L)
+    Mc.Runner.failures ~domains:d ~trials:2000 ~seed:9
+      (Mc.Runner.model
+         ~worker_init:(fun () -> Bytes.create 8)
+         ~trial:(fun buf rng _ ->
+           Bytes.set_int64_le buf 0 (Random.State.int64 rng Int64.max_int);
+           Int64.rem (Bytes.get_int64_le buf 0) 2L = 0L)
+         ())
   in
   Alcotest.(check int) "ctx runs agree" (count 1) (count 4)
 
 let test_runner_zero_and_tiny () =
   Alcotest.(check int) "zero trials"
     0
-    (Mc.Runner.failures ~domains:4 ~trials:0 ~seed:1 (fun _ _ -> true));
+    (Mc.Runner.failures ~domains:4 ~trials:0 ~seed:1
+       (Mc.Runner.scalar (fun _ _ -> true)));
   Alcotest.(check int) "one trial, always true"
     1
-    (Mc.Runner.failures ~domains:4 ~trials:1 ~seed:1 (fun _ _ -> true))
+    (Mc.Runner.failures ~domains:4 ~trials:1 ~seed:1
+       (Mc.Runner.scalar (fun _ _ -> true)))
 
 let prop_domain_invariance =
   QCheck.Test.make ~name:"failures invariant in domain count" ~count:25
     QCheck.(triple small_nat (int_range 1 6) (int_range 0 300))
     (fun (seed, domains, trials) ->
-      Mc.Runner.failures ~domains ~trials ~seed (bernoulli 0.4)
-      = Mc.Runner.failures ~domains:1 ~trials ~seed (bernoulli 0.4))
+      Mc.Runner.failures ~domains ~trials ~seed (Mc.Runner.scalar (bernoulli 0.4))
+      = Mc.Runner.failures ~domains:1 ~trials ~seed (Mc.Runner.scalar (bernoulli 0.4)))
 
 (* --- Mc.Stats: Wilson intervals --------------------------------------- *)
 
@@ -164,7 +168,7 @@ let test_wilson_coverage () =
     let failures =
       Mc.Runner.failures ~domains:1 ~trials:n
         ~seed:(Mc.Rng.derive 77 [ i ])
-        (bernoulli p)
+        (Mc.Runner.scalar (bernoulli p))
     in
     let lo, hi = Mc.Stats.wilson ~failures ~trials:n () in
     if lo <= p && p <= hi then incr covered
@@ -180,28 +184,28 @@ let test_early_stop_floor () =
      min-trial floor *)
   let e =
     Mc.Runner.estimate ~domains:1 ~target_half_width:1.0 ~trials:100_000
-      ~seed:4 (bernoulli 0.2)
+      ~seed:4 (Mc.Runner.scalar (bernoulli 0.2))
   in
   check "stops early" true (e.trials < 100_000);
   check "never below the floor" true
     (e.trials >= Mc.Runner.default_min_trials);
   let e2 =
     Mc.Runner.estimate ~domains:1 ~target_half_width:1.0 ~min_trials:5000
-      ~trials:100_000 ~seed:4 (bernoulli 0.2)
+      ~trials:100_000 ~seed:4 (Mc.Runner.scalar (bernoulli 0.2))
   in
   check "custom floor respected" true (e2.trials >= 5000)
 
 let test_early_stop_exhausts_on_tight_target () =
   let e =
     Mc.Runner.estimate ~domains:1 ~target_half_width:0.0 ~trials:3000 ~seed:4
-      (bernoulli 0.2)
+      (Mc.Runner.scalar (bernoulli 0.2))
   in
   Alcotest.(check int) "unreachable target runs everything" 3000 e.trials
 
 let test_early_stop_domain_invariant () =
   let run d =
     Mc.Runner.estimate ~domains:d ~target_half_width:0.02 ~trials:50_000
-      ~seed:13 (bernoulli 0.1)
+      ~seed:13 (Mc.Runner.scalar (bernoulli 0.1))
   in
   let a = run 1 and b = run 3 in
   Alcotest.(check int) "stopped at same trial count" a.trials b.trials;

@@ -173,27 +173,27 @@ let bernoulli p rng _ = Random.State.float rng 1.0 < p
 let test_obs_does_not_perturb_counts () =
   (* the whole point of the no-op default: identical failure counts
      with telemetry off, on, and on-across-domains *)
-  let plain = Mc.Runner.failures ~domains:1 ~trials:4000 ~seed:8 (bernoulli 0.3) in
+  let plain = Mc.Runner.failures ~domains:1 ~trials:4000 ~seed:8 (Mc.Runner.scalar (bernoulli 0.3)) in
   let o = Obs.create () in
   let observed =
-    Mc.Runner.failures ~domains:1 ~obs:o ~trials:4000 ~seed:8 (bernoulli 0.3)
+    Mc.Runner.failures ~domains:1 ~obs:o ~trials:4000 ~seed:8 (Mc.Runner.scalar (bernoulli 0.3))
   in
   Alcotest.(check int) "obs on = obs off" plain observed;
   let o4 = Obs.create () in
   let par =
-    Mc.Runner.failures ~domains:4 ~obs:o4 ~trials:4000 ~seed:8 (bernoulli 0.3)
+    Mc.Runner.failures ~domains:4 ~obs:o4 ~trials:4000 ~seed:8 (Mc.Runner.scalar (bernoulli 0.3))
   in
   Alcotest.(check int) "obs on, 4 domains = obs off" plain par;
   let e =
     Mc.Runner.estimate ~domains:3 ~obs:(Obs.create ()) ~trials:4000 ~seed:8
-      (bernoulli 0.3)
+      (Mc.Runner.scalar (bernoulli 0.3))
   in
   Alcotest.(check int) "estimate under obs agrees" plain e.Mc.Stats.failures
 
 let test_obs_runner_populates_metrics () =
   let o = Obs.create () in
   let trials = 3000 in
-  ignore (Mc.Runner.failures ~domains:2 ~obs:o ~trials ~seed:5 (bernoulli 0.5));
+  ignore (Mc.Runner.failures ~domains:2 ~obs:o ~trials ~seed:5 (Mc.Runner.scalar (bernoulli 0.5)));
   Alcotest.(check int) "one run recorded" 1 (Obs.counter o "mc.runs");
   Alcotest.(check int) "all trials recorded" trials (Obs.counter o "mc.trials");
   check "chunks recorded" true (Obs.counter o "mc.chunks" > 0);

@@ -1,0 +1,339 @@
+(* The rare-event engine: Mc.Subset combinatorics, Mc.Stats weighted
+   estimates, and the `Rare engine behind the unified Mc.Runner API.
+   The load-bearing properties: the analytic binomial prefactors and
+   enumeration are exact (a fully-enumerated estimate equals the
+   closed-form answer), the truncation bound is monotone and lands in
+   the reported interval, class sums merge associatively (the
+   determinism primitive), rare and plain Monte Carlo agree where
+   their regimes overlap — at any domain count — and an interrupted
+   rare campaign resumes bit-identically. *)
+
+open Ftqc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------------------------------ Subset combinatorics *)
+
+let small = { Mc.Subset.locations = 6; kinds = 1; p = 0.3 }
+
+let test_class_prob_normalizes () =
+  let total = ref 0.0 in
+  for w = 0 to small.locations do
+    let pr = Mc.Subset.class_prob small ~weight:w in
+    check (Printf.sprintf "P(%d) in [0,1]" w) true (pr >= 0.0 && pr <= 1.0);
+    total := !total +. pr
+  done;
+  check_float "class probabilities sum to 1" 1.0 !total
+
+let test_tail_mass_monotone () =
+  let m = { Mc.Subset.locations = 50; kinds = 3; p = 0.02 } in
+  let prev = ref (Mc.Subset.tail_mass m ~max_weight:0) in
+  for w = 1 to 12 do
+    let t = Mc.Subset.tail_mass m ~max_weight:w in
+    check (Printf.sprintf "tail(W=%d) <= tail(W=%d)" w (w - 1)) true
+      (t <= !prev);
+    check "tail nonnegative" true (t >= 0.0);
+    prev := t
+  done;
+  check "tail at W=N vanishes" true
+    (Mc.Subset.tail_mass m ~max_weight:m.locations <= 1e-12)
+
+let test_unrank_enumerates_distinct () =
+  let m = { Mc.Subset.locations = 5; kinds = 2; p = 0.1 } in
+  let size = Mc.Subset.class_size_capped m ~weight:2 ~cap:1000 in
+  check_int "class size C(5,2)*2^2" 40 size;
+  let seen = Hashtbl.create 64 in
+  for i = 0 to size - 1 do
+    let faults = Mc.Subset.unrank m ~weight:2 ~index:i in
+    check_int "weight-2 config has 2 faults" 2 (Array.length faults);
+    Array.iter
+      (fun { Mc.Subset.loc; kind } ->
+        check "loc in range" true (loc >= 0 && loc < m.locations);
+        check "kind in range" true (kind >= 0 && kind < m.kinds))
+      faults;
+    check "locs strictly sorted" true
+      (faults.(0).Mc.Subset.loc < faults.(1).Mc.Subset.loc);
+    let key =
+      Array.to_list faults
+      |> List.map (fun { Mc.Subset.loc; kind } -> Printf.sprintf "%d:%d" loc kind)
+      |> String.concat ","
+    in
+    check ("config " ^ key ^ " unranked once") false (Hashtbl.mem seen key);
+    Hashtbl.add seen key ()
+  done;
+  check_int "all configurations enumerated" size (Hashtbl.length seen)
+
+let test_sample_shape () =
+  let m = { Mc.Subset.locations = 40; kinds = 3; p = 0.05 } in
+  let rng = Random.State.make [| 17 |] in
+  for _ = 1 to 50 do
+    let faults = Mc.Subset.sample m ~weight:4 rng in
+    check_int "sampled weight" 4 (Array.length faults);
+    for i = 0 to 2 do
+      check "sampled locs strictly sorted" true
+        (faults.(i).Mc.Subset.loc < faults.(i + 1).Mc.Subset.loc)
+    done;
+    Array.iter
+      (fun { Mc.Subset.loc; kind } ->
+        check "sampled loc in range" true (loc >= 0 && loc < m.locations);
+        check "sampled kind in range" true (kind >= 0 && kind < m.kinds))
+      faults
+  done
+
+(* ----------------------------------------------- class-sum merge laws *)
+
+let cs evals failures =
+  { Mc.Stats.weight = 3; prob = 0.125; evals; failures; exhaustive = false }
+
+let test_merge_class_laws () =
+  let a = cs 100 7 and b = cs 50 3 and c = cs 25 1 in
+  let ( + ) = Mc.Stats.merge_class in
+  check "associative" true (a + b + c = a + (b + c));
+  check "commutative" true (a + b = b + a);
+  let zero = cs 0 0 in
+  check "zero-count sum is identity" true (a + zero = a);
+  (* merging across classes must be refused *)
+  let other = { (cs 10 1) with Mc.Stats.weight = 4 } in
+  check "cross-class merge raises" true
+    (match Mc.Stats.merge_class a other with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------- exactness of full enumeration *)
+
+(* failure iff at least 3 of 6 sites fire: the fully-enumerated rare
+   estimate must equal the closed-form binomial tail, with zero
+   stderr and zero truncation *)
+let test_enumeration_exact () =
+  let model =
+    Mc.Runner.model
+      ~worker_init:(fun () -> ())
+      ~rare:
+        { Mc.Runner.fault_model = small;
+          evaluate = (fun () faults -> Array.length faults >= 3) }
+      ()
+  in
+  let config =
+    match Mc.Engine.rare ~max_weight:6 ~samples_per_class:10 () with
+    | `Rare c -> c
+    | _ -> assert false
+  in
+  let w = Mc.Runner.estimate_rare ~domains:2 ~config ~seed:41 model in
+  let analytic = ref 0.0 in
+  for k = 3 to 6 do
+    analytic := !analytic +. Mc.Subset.class_prob small ~weight:k
+  done;
+  check_float "rate equals the closed-form tail" !analytic w.rate;
+  check_float "exhaustive classes carry no sampling error" 0.0 w.stderr;
+  check_float "no truncation at W = N" 0.0 w.truncation;
+  check "truncation bound inside the reported interval" true
+    (w.ci_high >= w.rate +. w.truncation);
+  (* failures under the rare engine is the raw failing-config count *)
+  let raw =
+    Mc.Runner.failures ~engine:(`Rare config) ~trials:0 ~seed:41 model
+  in
+  check_int "failures = raw_failures" w.raw_failures raw
+
+(* truncating the same model reports the dropped mass as the bound *)
+let test_truncation_reported () =
+  let model =
+    Mc.Runner.model
+      ~worker_init:(fun () -> ())
+      ~rare:
+        { Mc.Runner.fault_model = small;
+          evaluate = (fun () faults -> Array.length faults >= 3) }
+      ()
+  in
+  let at max_weight =
+    let config =
+      match Mc.Engine.rare ~max_weight ~samples_per_class:10 () with
+      | `Rare c -> c
+      | _ -> assert false
+    in
+    Mc.Runner.estimate_rare ~config ~seed:41 model
+  in
+  let w2 = at 2 and w4 = at 4 in
+  check_float "truncation = analytic tail mass"
+    (Mc.Subset.tail_mass small ~max_weight:2)
+    w2.truncation;
+  check "truncation shrinks with the cutoff" true
+    (w4.truncation < w2.truncation);
+  check "upper edge covers the truncated tail" true
+    (w2.ci_high >= w2.rate +. w2.truncation);
+  (* here every failure has weight >= 3, so the W=2 rate is 0 but the
+     interval still contains the exact answer via the bound *)
+  check_float "W=2 sees no failures" 0.0 w2.rate;
+  check "interval still contains the exact rate" true
+    (w2.ci_high >= Mc.Subset.tail_mass small ~max_weight:2)
+
+(* ---------------------------------------------- engine CLI + mismatch *)
+
+let test_of_cli () =
+  let ok r = match r with Ok e -> e | Error m -> Alcotest.fail m in
+  check "default is scalar" true (ok (Mc.Engine.of_cli ()) = `Scalar);
+  (match ok (Mc.Engine.of_cli ~engine:"rare" ~max_weight:3
+               ~samples_per_class:10 ()) with
+  | `Rare { Mc.Engine.max_weight; samples_per_class; enum_cutoff } ->
+    check_int "max_weight threaded" 3 max_weight;
+    check_int "samples_per_class threaded" 10 samples_per_class;
+    check_int "enum_cutoff defaulted" Mc.Engine.default_enum_cutoff enum_cutoff
+  | _ -> Alcotest.fail "rare flags must select the rare engine");
+  let rejected r = match r with Error _ -> true | Ok _ -> false in
+  check "unknown engine rejected" true
+    (rejected (Mc.Engine.of_cli ~engine:"turbo" ()));
+  check "tile width on scalar rejected" true
+    (rejected (Mc.Engine.of_cli ~tile_width:256 ()));
+  check "tile width on rare rejected" true
+    (rejected (Mc.Engine.of_cli ~engine:"rare" ~tile_width:256 ()));
+  check "max_weight on batch rejected" true
+    (rejected (Mc.Engine.of_cli ~engine:"batch" ~max_weight:3 ()));
+  check "samples_per_class on scalar rejected" true
+    (rejected (Mc.Engine.of_cli ~samples_per_class:10 ()));
+  (* every rejection carries the engine grammar *)
+  (match Mc.Engine.of_cli ~engine:"turbo" () with
+  | Error msg ->
+    let n = String.length msg and m = String.length Mc.Engine.usage in
+    let found = ref false in
+    for i = 0 to n - m do
+      if String.sub msg i m = Mc.Engine.usage then found := true
+    done;
+    check "error message ends with the usage text" true !found
+  | Ok _ -> Alcotest.fail "unknown engine accepted")
+
+let test_capability_mismatch () =
+  let scalar_only = Mc.Runner.scalar (fun _ _ -> false) in
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check "batch engine on a scalar-only model raises" true
+    (raises (fun () ->
+         Mc.Runner.failures ~engine:(Mc.Engine.batch ()) ~trials:64 ~seed:1
+           scalar_only));
+  check "rare engine on a scalar-only model raises" true
+    (raises (fun () ->
+         Mc.Runner.failures ~engine:(Mc.Engine.rare ()) ~trials:64 ~seed:1
+           scalar_only))
+
+(* ------------------------------- cross-validation in the overlap regime *)
+
+(* Toric memory, l = 3, p = 0.08: shallow enough that plain MC pins the
+   rate, deep enough that the rare plan covers nearly all of the mass.
+   The two estimates run the identical IID model, so their intervals
+   must overlap — at every domain count the acceptance criteria name. *)
+let overlap ~what (plain : Mc.Stats.estimate) (rare : Mc.Stats.weighted) =
+  check
+    (what ^ ": rare interval reaches the plain one")
+    true
+    (rare.ci_low <= plain.ci_high);
+  check
+    (what ^ ": plain interval reaches the rare one")
+    true
+    (plain.ci_low <= rare.ci_high)
+
+let toric_rare_config =
+  match Mc.Engine.rare ~max_weight:6 ~samples_per_class:2000 () with
+  | `Rare c -> c
+  | _ -> assert false
+
+let test_rare_vs_plain_toric () =
+  let l = 3 and p = 0.08 and trials = 20000 in
+  let r = Toric.Memory.run_mc ~l ~p ~trials ~seed:2027 () in
+  let plain = Mc.Stats.estimate ~failures:r.failures ~trials () in
+  let rare d =
+    Toric.Memory.run_rare ~domains:d ~config:toric_rare_config ~l ~p ~seed:501
+      ()
+  in
+  let w1 = rare 1 in
+  overlap ~what:"domains 1" plain w1;
+  let w4 = rare 4 in
+  overlap ~what:"domains 4" plain w4;
+  check "rare estimate is bit-identical across domain counts" true (w1 = w4)
+
+(* the Delfosse–Paetznick dictionary sampler against its own plain-MC
+   comparator (the same fault model, sampled IID) *)
+let test_rare_vs_plain_circuit () =
+  let l = 3 and rounds = 2 and p = 0.01 in
+  check "single-fault dictionary reproduces the tableau" true
+    (Toric.Circuit_memory.dp_self_check ~l ~rounds ~weight:2 ~samples:25
+       ~seed:5);
+  let plain =
+    Toric.Circuit_memory.run_dp ~l ~rounds ~p ~trials:20000 ~seed:77 ()
+  in
+  let config =
+    match Mc.Engine.rare ~max_weight:4 ~samples_per_class:1000 () with
+    | `Rare c -> c
+    | _ -> assert false
+  in
+  let rare =
+    Toric.Circuit_memory.run_rare ~domains:2 ~config ~l ~rounds ~p ~seed:78 ()
+  in
+  overlap ~what:"circuit" plain rare
+
+(* --------------------------------------- rare interrupt + resume *)
+
+let fresh_path () =
+  let f = Filename.temp_file "ftqc_rare" ".json" in
+  Sys.remove f;
+  f
+
+let test_rare_interrupt_resume () =
+  let model = Toric.Memory.rare_model ~l:3 ~p:0.01 () in
+  let config =
+    match Mc.Engine.rare ~max_weight:4 ~samples_per_class:500 () with
+    | `Rare c -> c
+    | _ -> assert false
+  in
+  let run ?campaign ?chaos () =
+    Mc.Runner.estimate_rare ?campaign ?chaos ~domains:2 ~chunk:50 ~config
+      ~seed:909 model
+  in
+  let expected = run () in
+  let path = fresh_path () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c =
+        match Mc.Campaign.create ~flush_every:1 path with
+        | Ok c -> c
+        | Error m -> failwith m
+      in
+      Mc.Campaign.reset_stop ();
+      (match
+         run ~campaign:c
+           ~chaos:(Mc.Chaos.at_chunk ~chunk:2 Mc.Campaign.request_stop)
+           ()
+       with
+      | _ -> ()
+      | exception Mc.Campaign.Interrupted _ -> ());
+      Mc.Campaign.reset_stop ();
+      let c' = Result.get_ok (Mc.Campaign.load path) in
+      let resumed = run ~campaign:c' () in
+      check "interrupted rare campaign resumes bit-identically" true
+        (resumed = expected))
+
+let suites =
+  [ ( "subset",
+      [ Alcotest.test_case "class probabilities normalize" `Quick
+          test_class_prob_normalizes;
+        Alcotest.test_case "tail mass monotone in cutoff" `Quick
+          test_tail_mass_monotone;
+        Alcotest.test_case "unrank enumerates each config once" `Quick
+          test_unrank_enumerates_distinct;
+        Alcotest.test_case "sampled configs well-formed" `Quick
+          test_sample_shape;
+        Alcotest.test_case "class-sum merge laws" `Quick
+          test_merge_class_laws ] );
+    ( "rare-engine",
+      [ Alcotest.test_case "full enumeration is exact" `Quick
+          test_enumeration_exact;
+        Alcotest.test_case "truncation bound reported + monotone" `Quick
+          test_truncation_reported;
+        Alcotest.test_case "engine CLI combinator" `Quick test_of_cli;
+        Alcotest.test_case "capability mismatch raises" `Quick
+          test_capability_mismatch;
+        Alcotest.test_case "rare vs plain MC (toric memory)" `Slow
+          test_rare_vs_plain_toric;
+        Alcotest.test_case "rare vs plain MC (toric circuit)" `Slow
+          test_rare_vs_plain_circuit;
+        Alcotest.test_case "rare interrupt + resume bit-identical" `Quick
+          test_rare_interrupt_resume ] ) ]

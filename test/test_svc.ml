@@ -14,8 +14,9 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
 
-let toric_est ?(l = 6) ?(p = 0.08) ?(trials = 400) ?(seed = 7) () =
-  Protocol.Toric_memory { l; p; trials; seed; engine = `Scalar; tile_width = 64 }
+let toric_est ?(l = 6) ?(p = 0.08) ?(trials = 400) ?(seed = 7)
+    ?(engine = (`Scalar : Protocol.engine)) () =
+  Protocol.Toric_memory { l; p; trials; seed; engine; tile_width = 64 }
 
 (* ---------------------------------------------------- canonicalize *)
 
@@ -35,7 +36,17 @@ let all_estimators =
       { l = 4; rounds = 4; p = 0.02; q = 0.02; trials = 20; seed = 4;
         engine = `Scalar; tile_width = 64 };
     Protocol.Toric_circuit
-      { l = 4; rounds = 4; eps = 0.002; trials = 10; seed = 5 };
+      { l = 4; rounds = 4; eps = 0.002; trials = 10; seed = 5;
+        engine = `Scalar };
+    Protocol.Toric_circuit
+      { l = 4; rounds = 4; eps = 0.002; trials = 10; seed = 5;
+        engine = `Rare { max_weight = 3; samples_per_class = 500 } };
+    toric_est ~engine:(`Rare Protocol.default_rare) ();
+    toric_est ~engine:(`Rare { max_weight = 2; samples_per_class = 100 }) ();
+    Protocol.Steane_memory
+      { level = 2; eps = 0.01; rounds = 1; trials = 50; seed = 1;
+        engine = `Rare { max_weight = 3; samples_per_class = 250 };
+        tile_width = 64 };
     Protocol.Pseudothreshold
       { eps_list = [ 1e-3; 2e-3 ]; trials = 30; seed = 6 };
   ]
@@ -116,6 +127,65 @@ let test_canonical_insensitive () =
     check "width 256 gets its own canonical key" false
       (Protocol.to_canonical batch64 = Protocol.to_canonical batch256)
 
+(* the rare extension must not move any pre-rare cache key: default
+   rare parameters stay out of the canonical form, and a scalar
+   toric_circuit request canonicalizes without an engine field at
+   all *)
+let test_canonical_rare () =
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let found = ref false in
+    for i = 0 to n - m do
+      if String.sub hay i m = needle then found := true
+    done;
+    !found
+  in
+  (* defaulted rare params canonicalize to the bare engine key *)
+  let rare_default = Protocol.Run (toric_est ~engine:(`Rare Protocol.default_rare) ()) in
+  let bare =
+    Json.Obj
+      [ ("type", Json.String "toric_memory"); ("l", Json.Int 6);
+        ("p", Json.Float 0.08); ("trials", Json.Int 400);
+        ("seed", Json.Int 7); ("engine", Json.String "rare") ]
+  in
+  (match Protocol.request_of_json bare with
+  | Error msg -> Alcotest.failf "bare rare request rejected: %s" msg
+  | Ok req ->
+    check_str "defaulted rare params canonicalize to the bare key"
+      (Protocol.to_canonical rare_default)
+      (Protocol.to_canonical req));
+  check "default rare canonical bytes carry no max_weight field" false
+    (contains (Protocol.to_canonical rare_default) "max_weight");
+  (* non-default truncation order is a different computation *)
+  let rare3 =
+    Protocol.Run
+      (toric_est ~engine:(`Rare { max_weight = 3; samples_per_class = 2000 }) ())
+  in
+  check "non-default max_weight gets its own key" false
+    (Protocol.to_canonical rare_default = Protocol.to_canonical rare3);
+  (* pre-rare toric_circuit requests: the engine field is new and must
+     stay out of the canonical form when scalar *)
+  let circuit_scalar =
+    Protocol.Run
+      (Toric_circuit
+         { l = 4; rounds = 4; eps = 0.002; trials = 10; seed = 5;
+           engine = `Scalar })
+  in
+  let pre_rare =
+    Json.Obj
+      [ ("type", Json.String "toric_circuit"); ("l", Json.Int 4);
+        ("rounds", Json.Int 4); ("eps", Json.Float 0.002);
+        ("trials", Json.Int 10); ("seed", Json.Int 5) ]
+  in
+  (match Protocol.request_of_json pre_rare with
+  | Error msg -> Alcotest.failf "pre-rare circuit request rejected: %s" msg
+  | Ok req ->
+    check_str "scalar circuit canonicalizes to the pre-rare key"
+      (Protocol.to_canonical circuit_scalar)
+      (Protocol.to_canonical req));
+  check "scalar circuit canonical bytes carry no engine field" false
+    (contains (Protocol.to_canonical circuit_scalar) "engine")
+
 let expect_reject name j =
   match Protocol.request_of_json j with
   | Ok _ -> Alcotest.failf "%s: should have been rejected" name
@@ -144,6 +214,35 @@ let test_validation () =
        (base @ [ ("engine", Json.String "batch"); ("tile_width", Json.Int 0) ]));
   expect_reject "tile_width on the scalar engine"
     (Json.Obj (base @ [ ("tile_width", Json.Int 256) ]));
+  expect_reject "max_weight on the scalar engine"
+    (Json.Obj (base @ [ ("max_weight", Json.Int 3) ]));
+  expect_reject "samples_per_class on the batch engine"
+    (Json.Obj
+       (base
+       @ [ ("engine", Json.String "batch"); ("samples_per_class", Json.Int 5) ]));
+  expect_reject "zero max_weight"
+    (Json.Obj
+       (base @ [ ("engine", Json.String "rare"); ("max_weight", Json.Int 0) ]));
+  expect_reject "zero samples_per_class"
+    (Json.Obj
+       (base
+       @ [ ("engine", Json.String "rare"); ("samples_per_class", Json.Int 0) ]));
+  expect_reject "tile_width on the rare engine"
+    (Json.Obj
+       (base
+       @ [ ("engine", Json.String "rare"); ("tile_width", Json.Int 256) ]));
+  expect_reject "rare engine on toric_noisy"
+    (Json.Obj
+       [ ("type", Json.String "toric_noisy"); ("l", Json.Int 4);
+         ("rounds", Json.Int 4); ("p", Json.Float 0.02);
+         ("q", Json.Float 0.02); ("trials", Json.Int 20);
+         ("seed", Json.Int 4); ("engine", Json.String "rare") ]);
+  expect_reject "batch engine on toric_circuit"
+    (Json.Obj
+       [ ("type", Json.String "toric_circuit"); ("l", Json.Int 4);
+         ("rounds", Json.Int 4); ("eps", Json.Float 0.002);
+         ("trials", Json.Int 10); ("seed", Json.Int 5);
+         ("engine", Json.String "batch") ]);
   expect_reject "unknown type"
     (Json.Obj [ ("type", Json.String "alchemy") ]);
   expect_reject "empty scan"
@@ -482,6 +581,8 @@ let suites =
       [ Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
         Alcotest.test_case "canonical key insensitivity" `Quick
           test_canonical_insensitive;
+        Alcotest.test_case "rare canonical keys are backward stable" `Quick
+          test_canonical_rare;
         Alcotest.test_case "request validation" `Quick test_validation;
         Alcotest.test_case "payload round trip" `Quick test_payload_roundtrip;
         Alcotest.test_case "codec round trip" `Quick test_codec_roundtrip;
