@@ -995,11 +995,12 @@ let () =
   let smoke = ref false and out = ref "BENCH_smoke.json" in
   let record = ref false
   and trajectory = ref "BENCH_trajectory.json"
-  and label = ref "local" in
+  and label = ref "local"
+  and trace = ref None in
   let usage () =
     Printf.eprintf
       "usage: bench [--smoke [--out FILE]] [--record [--trajectory FILE] \
-       [--label NAME]] [--tile-width N]\n";
+       [--label NAME]] [--tile-width N] [--trace FILE]\n";
     exit 2
   in
   let rec parse = function
@@ -1022,6 +1023,11 @@ let () =
     | "--label" :: name :: rest ->
       label := name;
       parse rest
+    | "--trace" :: file :: rest ->
+      (* ftqc-trace/1 span trace (Perfetto-loadable); observational
+         only — measured numbers and outputs are unchanged *)
+      trace := Some file;
+      parse rest
     | "--tile-width" :: w :: rest -> (
       match int_of_string_opt w with
       | Some w when w >= 64 && w mod 64 = 0 ->
@@ -1035,6 +1041,21 @@ let () =
       usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !smoke then
-    run_smoke ~out:!out ~record:!record ~trajectory:!trajectory ~label:!label
-  else run_bechamel ()
+  let sink =
+    match !trace with
+    | None -> None
+    | Some _ ->
+      let sk = Obs.Trace.sink () in
+      Obs.Trace.install (Some sk);
+      Some sk
+  in
+  (if !smoke then
+     run_smoke ~out:!out ~record:!record ~trajectory:!trajectory ~label:!label
+   else run_bechamel ());
+  match (!trace, sink) with
+  | Some file, Some sk ->
+    Obs.Trace.install None;
+    Obs.Trace.write sk ~file;
+    Printf.eprintf "wrote trace (%d spans) to %s\n%!"
+      (Obs.Trace.sink_length sk) file
+  | _ -> ()

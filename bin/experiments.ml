@@ -1254,11 +1254,25 @@ let chunk_timeout_arg =
            abandoned and retried (with backoff) on the same deterministic \
            RNG stream; 0 disables.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "write a span trace of the run (schema ftqc-trace/1, Chrome \
+           trace-event JSON — load it in Perfetto or chrome://tracing): \
+           runner chunks and retries, rare-event weight classes, campaign \
+           checkpoint flushes.  Purely observational: stdout, results and \
+           checkpoints are byte-identical with or without it.")
+
 let session_arg =
-  let combine checkpoint resume chunk_timeout =
-    (checkpoint, resume, chunk_timeout)
+  let combine checkpoint resume chunk_timeout trace =
+    (checkpoint, resume, chunk_timeout, trace)
   in
-  Term.(const combine $ checkpoint_arg $ resume_arg $ chunk_timeout_arg)
+  Term.(
+    const combine $ checkpoint_arg $ resume_arg $ chunk_timeout_arg
+    $ trace_arg)
 
 let die msg =
   Printf.eprintf "[ftqc] error: %s\n%!" msg;
@@ -1270,9 +1284,26 @@ let die msg =
    (SIGINT/SIGTERM routed through Mc.Campaign) still writes both
    artifacts — the manifest gains an "interrupted" marker record
    carrying the resume token — and exits 130. *)
-let with_session json (checkpoint, resume, chunk_timeout) run =
+let with_session json (checkpoint, resume, chunk_timeout, trace) run =
   if chunk_timeout < 0.0 then die "--chunk-timeout must be >= 0";
   Mc.Runner.set_default_chunk_timeout chunk_timeout;
+  let sink =
+    match trace with
+    | None -> None
+    | Some _ ->
+      let sk = Obs.Trace.sink () in
+      Obs.Trace.install (Some sk);
+      Some sk
+  in
+  let write_trace () =
+    match (trace, sink) with
+    | Some file, Some sk ->
+      Obs.Trace.install None;
+      Obs.Trace.write sk ~file;
+      Printf.eprintf "[ftqc] wrote trace (%d spans) to %s\n%!"
+        (Obs.Trace.sink_length sk) file
+    | _ -> ()
+  in
   let campaign =
     match (checkpoint, resume) with
     | Some _, Some _ -> die "--checkpoint and --resume are mutually exclusive"
@@ -1326,6 +1357,9 @@ let with_session json (checkpoint, resume, chunk_timeout) run =
       (Obs.Manifest.length m) file);
   (match campaign with Some c -> Mc.Campaign.flush c | None -> ());
   Mc.Campaign.set_current None;
+  (* after the final campaign flush, so its span is captured; also on
+     the interrupted path (we exit 130 below) *)
+  write_trace ();
   match !interrupted with
   | None -> ()
   | Some (_, _, cp) ->

@@ -51,14 +51,40 @@ let write_raw ~file bytes =
 
 (* ------------------------------------------------------ subcommands *)
 
-let on_progress ~state ~elapsed_s =
-  Printf.eprintf "progress: %s (%.1fs)\n%!" state elapsed_s
+(* --watch renders an in-place progress bar from the server's
+   completion fields; without it each frame is one plain stderr line.
+   Both write stderr only — stdout stays reserved for results. *)
+let render_watch (p : Svc.Client.progress) =
+  let bar =
+    match (p.p_completed, p.p_total) with
+    | Some d, Some t when t > 0 ->
+      let width = 24 in
+      let filled = min width (width * d / t) in
+      Printf.sprintf " [%s%s] %d/%d %s"
+        (String.make filled '#')
+        (String.make (width - filled) '-')
+        d t
+        (match p.p_phase with None -> "" | Some ph -> ph)
+    | _ -> ""
+  in
+  Printf.eprintf "\r\027[K%s %.1fs%s%!" p.p_state p.p_elapsed_s bar
 
-let run_estimator socket json out est =
-  match
+let on_progress ~watch (p : Svc.Client.progress) =
+  if watch then render_watch p
+  else
+    Printf.eprintf "progress: %s (%.1fs)%s\n%!" p.p_state p.p_elapsed_s
+      (match (p.p_completed, p.p_total) with
+      | Some d, Some t -> Printf.sprintf " %d/%d" d t
+      | _ -> "")
+
+let run_estimator socket json out watch est =
+  let r =
     Svc.Client.with_connection ~socket (fun fd ->
-        Svc.Client.request ~on_progress fd est)
-  with
+        Svc.Client.request ~on_progress:(on_progress ~watch) fd est)
+  in
+  (* end the in-place watch line before any other output *)
+  if watch then Printf.eprintf "\r\027[K%!";
+  match r with
   | Error msg ->
     Printf.eprintf "ftqc_client: %s\n" msg;
     1
@@ -95,6 +121,14 @@ let out_arg =
     & opt (some string) None
     & info [ "out" ] ~docv:"FILE"
         ~doc:"write the raw result-frame bytes (byte-identity checks)")
+
+let watch_arg =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:
+          "render live progress (completed/total chunks, current phase) \
+           as an in-place bar on stderr while waiting")
 
 let trials_arg default =
   Arg.(value & opt int default & info [ "trials" ] ~doc:"Monte-Carlo trials")
@@ -165,11 +199,11 @@ let finish_seed seed path =
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let steane_cmd =
-  let run socket json out level eps rounds trials seed path engine tile_width
-      max_weight samples_per_class =
+  let run socket json out watch level eps rounds trials seed path engine
+      tile_width max_weight samples_per_class =
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
       (fun engine tile_width ->
-        run_estimator socket json out
+        run_estimator socket json out watch
           (Protocol.Steane_memory
              {
                level;
@@ -192,16 +226,17 @@ let steane_cmd =
   in
   cmd "steane" ~doc:"concatenated-Steane memory failure (one E6b cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ level $ eps $ rounds
+      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ level $ eps
+      $ rounds
       $ trials_arg 30000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let toric_cmd =
-  let run socket json out l p trials seed path engine tile_width max_weight
-      samples_per_class =
+  let run socket json out watch l p trials seed path engine tile_width
+      max_weight samples_per_class =
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
       (fun engine tile_width ->
-        run_estimator socket json out
+        run_estimator socket json out watch
           (Protocol.Toric_memory
              { l; p; trials; seed = finish_seed seed path; engine; tile_width }))
   in
@@ -211,16 +246,16 @@ let toric_cmd =
   in
   cmd "toric" ~doc:"toric-code memory failure (one E10 cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ l $ p $ trials_arg 2000
-      $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg $ max_weight_arg
-      $ samples_per_class_arg)
+      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ l $ p
+      $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
+      $ max_weight_arg $ samples_per_class_arg)
 
 let toric_scan_cmd =
-  let run socket json out ls ps trials seed engine tile_width max_weight
+  let run socket json out watch ls ps trials seed engine tile_width max_weight
       samples_per_class =
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
       (fun engine tile_width ->
-        run_estimator socket json out
+        run_estimator socket json out watch
           (Protocol.Toric_scan { ls; ps; trials; seed; engine; tile_width }))
   in
   let ls =
@@ -240,12 +275,12 @@ let toric_scan_cmd =
       "the E10 grid with the experiments driver's per-cell seed \
        derivation (diffable against `experiments e10`)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ ls $ ps $ trials_arg 2000
-      $ seed_arg $ engine_arg $ tile_width_arg $ max_weight_arg
-      $ samples_per_class_arg)
+      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ ls $ ps
+      $ trials_arg 2000 $ seed_arg $ engine_arg $ tile_width_arg
+      $ max_weight_arg $ samples_per_class_arg)
 
 let toric_noisy_cmd =
-  let run socket json out l rounds p q trials seed path engine tile_width
+  let run socket json out watch l rounds p q trials seed path engine tile_width
       max_weight samples_per_class =
     let rounds = match rounds with Some r -> r | None -> l in
     let q = match q with Some q -> q | None -> p in
@@ -257,7 +292,7 @@ let toric_noisy_cmd =
             "ftqc_client: toric-noisy supports engines scalar and batch only\n";
           2
         | (`Scalar | `Batch) as engine ->
-          run_estimator socket json out
+          run_estimator socket json out watch
             (Protocol.Toric_noisy
                {
                  l;
@@ -288,12 +323,13 @@ let toric_noisy_cmd =
   in
   cmd "toric-noisy" ~doc:"toric memory with noisy measurements (E19 cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ l $ rounds $ p $ q
+      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ l $ rounds $ p
+      $ q
       $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let toric_circuit_cmd =
-  let run socket json out l rounds eps trials seed path engine tile_width
+  let run socket json out watch l rounds eps trials seed path engine tile_width
       max_weight samples_per_class =
     let rounds = match rounds with Some r -> r | None -> l in
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
@@ -305,7 +341,7 @@ let toric_circuit_cmd =
              only\n";
           2
         | (`Scalar | `Rare _) as engine ->
-          run_estimator socket json out
+          run_estimator socket json out watch
             (Protocol.Toric_circuit
                { l; rounds; eps; trials; seed = finish_seed seed path; engine }))
   in
@@ -321,13 +357,14 @@ let toric_circuit_cmd =
   in
   cmd "toric-circuit" ~doc:"circuit-level toric memory (E24 cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ l $ rounds $ eps
+      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ l $ rounds
+      $ eps
       $ trials_arg 400 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let pseudothreshold_cmd =
-  let run socket json out eps_list trials seed =
-    run_estimator socket json out
+  let run socket json out watch eps_list trials seed =
+    run_estimator socket json out watch
       (Protocol.Pseudothreshold { eps_list; trials; seed })
   in
   let eps_list =
@@ -341,7 +378,7 @@ let pseudothreshold_cmd =
       "the E5 pseudo-threshold scan with the driver's seed derivation \
        (diffable against `experiments e5`)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ eps_list
+      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ eps_list
       $ trials_arg 20000 $ seed_arg)
 
 let status_cmd =
@@ -360,6 +397,134 @@ let status_cmd =
   in
   cmd "status" ~doc:"daemon status (queue, cache, metrics registry)"
     Term.(const run $ socket_arg $ json_arg)
+
+(* `top` — a one-screen fleet view rendered from the status frame:
+   uptime, worker utilization, queue/cache occupancy, cache hit rate,
+   in-flight jobs with live completion, per-estimator request counts
+   and latency.  `--once` prints a single snapshot (CI-friendly);
+   otherwise the screen refreshes until interrupted. *)
+let top_cmd =
+  let member path j =
+    List.fold_left (fun j k -> Option.bind j (Json.member k)) (Some j) path
+  in
+  let num path j =
+    Option.value ~default:0.0 (Option.bind (member path j) Json.to_float_opt)
+  in
+  let int path j = int_of_float (num path j) in
+  let str ~default path j =
+    match member path j with Some (Json.String s) -> s | _ -> default
+  in
+  let counters j =
+    match member [ "metrics"; "counters" ] j with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> []
+  in
+  let render j =
+    let b = Buffer.create 1024 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    let cs = counters j in
+    let counter k =
+      match List.assoc_opt k cs with Some (Json.Int i) -> i | _ -> 0
+    in
+    let hits = counter "svc.cache_hits" and misses = counter "svc.cache_misses" in
+    let hit_rate =
+      if hits + misses = 0 then 0.0
+      else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+    in
+    pf "ftqcd up %.0fs  workers %d/%d busy  queue %d/%d  cache %d/%d (%.0f%% hit)\n"
+      (num [ "uptime_s" ] j)
+      (int [ "workers"; "busy" ] j)
+      (int [ "workers"; "count" ] j)
+      (int [ "queue"; "depth" ] j)
+      (int [ "queue"; "capacity" ] j)
+      (int [ "cache"; "length" ] j)
+      (int [ "cache"; "capacity" ] j)
+      hit_rate;
+    pf "requests %d  done %d  coalesced %d  overloaded %d\n"
+      (counter "svc.requests") (counter "svc.jobs_done")
+      (counter "svc.coalesced") (counter "svc.overloaded");
+    (match member [ "jobs" ] j with
+    | Some (Json.List (_ :: _ as jobs)) ->
+      pf "\n%-10s %-16s %-9s %8s  %s\n" "KEY" "ESTIMATOR" "STATE" "ELAPSED"
+        "PROGRESS";
+      List.iter
+        (fun jj ->
+          let key = str ~default:"?" [ "key" ] jj in
+          let key = if String.length key > 10 then String.sub key 0 10 else key in
+          let progress =
+            match (member [ "completed" ] jj, member [ "total" ] jj) with
+            | Some (Json.Int d), Some (Json.Int t) when t > 0 ->
+              Printf.sprintf "%d/%d (%d%%) %s" d t (100 * d / t)
+                (str ~default:"" [ "phase" ] jj)
+            | _ -> "-"
+          in
+          pf "%-10s %-16s %-9s %7.1fs  %s\n" key
+            (str ~default:"?" [ "estimator" ] jj)
+            (str ~default:"?" [ "state" ] jj)
+            (num [ "elapsed_s" ] jj)
+            progress)
+        jobs
+    | _ -> pf "\nno jobs in flight\n");
+    (* per-estimator request counters, sorted *)
+    let prefix = "svc.requests." in
+    let plen = String.length prefix in
+    let per_est =
+      List.filter_map
+        (fun (k, v) ->
+          if String.length k > plen && String.sub k 0 plen = prefix then
+            match v with
+            | Json.Int n -> Some (String.sub k plen (String.length k - plen), n)
+            | _ -> None
+          else None)
+        cs
+    in
+    if per_est <> [] then begin
+      pf "\n%-16s %8s\n" "ESTIMATOR" "REQUESTS";
+      List.iter (fun (k, n) -> pf "%-16s %8d\n" k n) per_est
+    end;
+    Buffer.contents b
+  in
+  let fetch socket =
+    match Svc.Client.with_connection ~socket Svc.Client.status with
+    | Error msg -> Error msg
+    | Ok (Error e) -> Error (Printf.sprintf "%s: %s" e.code e.message)
+    | Ok (Ok j) -> Ok j
+  in
+  let run socket once interval =
+    if once then (
+      match fetch socket with
+      | Error msg ->
+        Printf.eprintf "ftqc_client: %s\n" msg;
+        1
+      | Ok j ->
+        print_string (render j);
+        0)
+    else
+      let rec loop () =
+        match fetch socket with
+        | Error msg ->
+          Printf.eprintf "ftqc_client: %s\n" msg;
+          1
+        | Ok j ->
+          (* home + clear-to-end keeps the screen stable between frames *)
+          Printf.printf "\027[H\027[2J%s%!" (render j);
+          Unix.sleepf interval;
+          loop ()
+      in
+      loop ()
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"print one snapshot and exit (no screen control)")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"refresh interval")
+  in
+  cmd "top" ~doc:"live fleet view (workers, queue, in-flight jobs, latency)"
+    Term.(const run $ socket_arg $ once_arg $ interval_arg)
 
 let ping_cmd =
   let run socket =
@@ -405,6 +570,7 @@ let () =
             toric_circuit_cmd;
             pseudothreshold_cmd;
             status_cmd;
+            top_cmd;
             ping_cmd;
             shutdown_cmd;
           ]))

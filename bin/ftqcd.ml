@@ -8,12 +8,30 @@
 open Cmdliner
 module Svc = Ftqc.Svc
 
-let run socket max_queue workers cache_size domains progress_interval =
+let run socket max_queue workers cache_size domains progress_interval trace =
   let domains = if domains <= 0 then None else Some domains in
   Ftqc.Mc.Campaign.install_signal_handlers ();
   let cfg =
     Svc.Server.config ~socket ~max_queue ~workers ~cache_capacity:cache_size
       ?domains ~progress_interval ()
+  in
+  let sink =
+    match trace with
+    | None -> None
+    | Some _ ->
+      let sk = Ftqc.Obs.Trace.sink () in
+      Ftqc.Obs.Trace.install (Some sk);
+      Some sk
+  in
+  let write_trace () =
+    match (trace, sink) with
+    | Some file, Some sk ->
+      Ftqc.Obs.Trace.install None;
+      Ftqc.Obs.Trace.write sk ~file;
+      Printf.eprintf "ftqcd: wrote %d spans to %s\n%!"
+        (Ftqc.Obs.Trace.sink_length sk)
+        file
+    | _ -> ()
   in
   match
     Printf.printf "ftqcd: listening on %s (workers=%d, queue<=%d, cache<=%d)\n%!"
@@ -21,9 +39,11 @@ let run socket max_queue workers cache_size domains progress_interval =
     Svc.Server.run cfg
   with
   | () ->
+    write_trace ();
     Printf.printf "ftqcd: stopped, %s removed\n%!" socket;
     0
   | exception Failure msg ->
+    write_trace ();
     Printf.eprintf "ftqcd: %s\n" msg;
     1
 
@@ -60,11 +80,22 @@ let progress_arg =
     & info [ "progress-interval" ]
         ~doc:"seconds between progress frames to waiting clients")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "record request-lifecycle and runner spans and write a \
+           $(i,ftqc-trace/1) Chrome trace-event file (Perfetto-loadable) on \
+           exit; purely observational — results and cache keys are \
+           unaffected")
+
 let () =
   let term =
     Term.(
       const run $ socket_arg $ max_queue_arg $ workers_arg $ cache_arg
-      $ domains_arg $ progress_arg)
+      $ domains_arg $ progress_arg $ trace_arg)
   in
   let info =
     Cmd.info "ftqcd" ~doc:"persistent FTQC estimation service daemon"

@@ -1,4 +1,5 @@
-(* Validate ftqc-manifest/1 and ftqc-checkpoint/1 documents (CI gate:
+(* Validate ftqc-manifest/1, ftqc-checkpoint/1 and ftqc-trace/1
+   documents (CI gate:
    the manifest written by `experiments --json`, the bench-smoke
    artifact and any campaign checkpoint must parse; manifests must
    bracket every rate with its Wilson interval, checkpoints must have
@@ -21,10 +22,12 @@
 module Json = Ftqc.Obs.Json
 
 let schema_of j =
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
   match Option.bind (Json.member "schema" j) Json.to_string_opt with
-  | Some s when String.length s >= 16 && String.sub s 0 16 = "ftqc-checkpoint/"
-    ->
-    `Checkpoint
+  | Some s when has_prefix "ftqc-checkpoint/" s -> `Checkpoint
+  | Some s when has_prefix "ftqc-trace/" s -> `Trace
   | _ -> `Manifest
 
 let check file =
@@ -41,6 +44,14 @@ let check file =
         true
       | Error msg ->
         Printf.eprintf "%s: invalid checkpoint: %s\n" file msg;
+        false)
+    | `Trace -> (
+      match Ftqc.Obs.Trace.validate j with
+      | Ok n ->
+        Printf.printf "%s: ok (trace, %d spans)\n" file n;
+        true
+      | Error msg ->
+        Printf.eprintf "%s: invalid trace: %s\n" file msg;
         false)
     | `Manifest -> (
       match Ftqc.Obs.Manifest.validate j with

@@ -35,6 +35,7 @@ type t = {
   jobs : (job, (int, int) Hashtbl.t) Hashtbl.t;
   mutex : Mutex.t;
   mutable dirty : int; (* records since the last flush *)
+  mutable flushes : int; (* completed flushes, for trace span identity *)
 }
 
 let file t = t.file
@@ -181,8 +182,34 @@ let validate json =
 let default_flush_every = 8
 
 let flush_locked t =
-  Json.write_atomic ~fsync:t.fsync ~file:t.file (to_json_locked t);
-  t.dirty <- 0
+  (* The flush sequence number is deterministic (one flush per
+     [flush_every] records plus the explicit ones), so the span id is
+     stable even though which thread performs the flush is not.  The
+     span is emitted with an explicit root parent: flushes fire from
+     whichever worker crossed the threshold, where no ambient request
+     context applies. *)
+  if not (Obs.Trace.enabled ()) then begin
+    Json.write_atomic ~fsync:t.fsync ~file:t.file (to_json_locked t);
+    t.dirty <- 0
+  end
+  else begin
+    let seq = t.flushes in
+    let t0 = Obs.now () in
+    Json.write_atomic ~fsync:t.fsync ~file:t.file (to_json_locked t);
+    Obs.Trace.emit
+      { Obs.Trace.id = Obs.Trace.span_id [ t.file; "flush"; string_of_int seq ];
+        parent = "";
+        name = Printf.sprintf "checkpoint flush #%d" seq;
+        cat = "campaign";
+        start_s = t0;
+        dur_s = Obs.now () -. t0;
+        args =
+          [ ("file", Json.String t.file);
+            ("seq", Json.Int seq);
+            ("records", Json.Int t.dirty) ] };
+    t.dirty <- 0;
+    t.flushes <- seq + 1
+  end
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -199,7 +226,7 @@ let create ?(flush_every = default_flush_every) ?(fsync = false) file =
   else begin
     let t =
       { file; flush_every; fsync; jobs = Hashtbl.create 8;
-        mutex = Mutex.create (); dirty = 0 }
+        mutex = Mutex.create (); dirty = 0; flushes = 0 }
     in
     (* Write the empty document up front: from the first instant of
        the campaign there is a valid resume token on disk. *)
@@ -213,7 +240,7 @@ let load ?(flush_every = default_flush_every) ?(fsync = false) file =
   let ( let* ) = Result.bind in
   let* json = Json.read_file file in
   let* jobs = Result.map_error (fun m -> Printf.sprintf "%s: %s" file m) (parse json) in
-  Ok { file; flush_every; fsync; jobs; mutex = Mutex.create (); dirty = 0 }
+  Ok { file; flush_every; fsync; jobs; mutex = Mutex.create (); dirty = 0; flushes = 0 }
 
 let flush t = locked t (fun () -> flush_locked t)
 

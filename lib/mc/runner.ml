@@ -186,6 +186,122 @@ let supervised_attempts ~sup ~idx ~retried ~timeouts body =
   in
   attempt 0
 
+(* ----------------------------------------------------------- tracing
+
+   Span identities derive from the work's identity — (ambient label,
+   engine, seed, trials, chunk size) for the run, the chunk index
+   under it for chunks, the attempt number under that for retries —
+   so the span-id set is bit-identical at any domain count.  Workers
+   record chunk and attempt spans into per-worker buffers; after the
+   join they are folded into the installed sink in worker order, the
+   [Obs.Metrics] per-worker-registry discipline.  All of it is gated
+   on [Obs.Trace.enabled] and none of it touches RNG or control
+   flow. *)
+
+type trace_run = {
+  tr_id : string;
+  tr_parent : string;
+  tr_name : string;
+  tr_args : (string * Obs.Json.t) list;
+  tr_t0 : float;
+  tr_bufs : Obs.Trace.buf array; (* one per worker slot *)
+}
+
+let trace_run ~engine_label ~seed ~trials ~chunk ~slots =
+  if not (Obs.Trace.enabled ()) then None
+  else begin
+    let label = Campaign.label () in
+    Some
+      { tr_id =
+          Obs.Trace.span_id
+            [ "run"; label; engine_label; string_of_int seed;
+              string_of_int trials; string_of_int chunk ];
+        tr_parent = Obs.Trace.current_parent ();
+        tr_name =
+          (if label = "" then "mc:" ^ engine_label
+           else label ^ ":" ^ engine_label);
+        tr_args =
+          [ ("engine", Obs.Json.String engine_label);
+            ("label", Obs.Json.String label);
+            ("seed", Obs.Json.Int seed);
+            ("trials", Obs.Json.Int trials);
+            ("chunk", Obs.Json.Int chunk) ];
+        tr_t0 = Obs.now ();
+        tr_bufs = Array.init (max slots 1) (fun _ -> Obs.Trace.buf ()) }
+  end
+
+let trace_run_finish tr ~interrupted =
+  match tr with
+  | None -> ()
+  | Some t ->
+    let stop = Obs.now () in
+    Array.iter Obs.Trace.absorb t.tr_bufs;
+    Obs.Trace.emit
+      { Obs.Trace.id = t.tr_id;
+        parent = t.tr_parent;
+        name = t.tr_name;
+        cat = "runner";
+        start_s = t.tr_t0;
+        dur_s = stop -. t.tr_t0;
+        args =
+          (t.tr_args
+          @ if interrupted then [ ("interrupted", Obs.Json.Bool true) ]
+            else []) }
+
+(* The id every span of chunk [idx] hangs off. *)
+let trace_chunk_id tr idx =
+  match tr with
+  | None -> ""
+  | Some t -> Obs.Trace.span_id [ t.tr_id; "c" ^ string_of_int idx ]
+
+let trace_chunk tr ~w ~idx ~cid ~t0 ~cached ~ok =
+  match tr with
+  | None -> ()
+  | Some t ->
+    Obs.Trace.record t.tr_bufs.(w)
+      { Obs.Trace.id = cid;
+        parent = t.tr_id;
+        name =
+          (if cached then Printf.sprintf "chunk %d (cached)" idx
+           else Printf.sprintf "chunk %d" idx);
+        cat = "runner";
+        start_s = t0;
+        dur_s = Obs.now () -. t0;
+        args =
+          (("chunk", Obs.Json.Int idx) :: ("worker", Obs.Json.Int w)
+          :: (if cached then [ ("cached", Obs.Json.Bool true) ] else [])
+          @ if ok then [] else [ ("failed", Obs.Json.Bool true) ]) }
+
+(* Wrap a supervised-attempt body so each attempt (including the
+   failing ones that trigger a retry) gets its own span under the
+   chunk. *)
+let trace_attempts tr ~w ~idx:_ ~cid body =
+  match tr with
+  | None -> body
+  | Some t ->
+    fun attempt deadline ->
+      let a0 = Obs.now () in
+      let record ok =
+        Obs.Trace.record t.tr_bufs.(w)
+          { Obs.Trace.id =
+              Obs.Trace.span_id [ cid; "a" ^ string_of_int attempt ];
+            parent = cid;
+            name = Printf.sprintf "attempt %d" attempt;
+            cat = "runner";
+            start_s = a0;
+            dur_s = Obs.now () -. a0;
+            args =
+              (("attempt", Obs.Json.Int attempt)
+              :: (if ok then [] else [ ("failed", Obs.Json.Bool true) ])) }
+      in
+      (match body attempt deadline with
+      | r ->
+        record true;
+        r
+      | exception e ->
+        record false;
+        raise e)
+
 (* Record one engine run into the handle: chunk timings in chunk
    order, claims per worker, warmup cost, aggregate wall/throughput.
    Runs single-threaded after all workers have joined.  Skipped
@@ -236,7 +352,7 @@ let record_run obs ~engine ~trials ~chunks ~workers ~wall_s ~warmup_s
    checkpoint is flushed before the exception — [Chunk_failed] or
    [Campaign.Interrupted] — reaches the caller, so completed chunks
    survive. *)
-let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
+let run_chunk_range ~obs ~progress ~tr ~domains ~root ~chunk ~trials ~lo_chunk
     ~hi_chunk ~sup ~engine_label ~worker_init ~trial ~init ~accum =
   let n = hi_chunk - lo_chunk in
   let results = Array.make (max n 0) init in
@@ -246,6 +362,7 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
   let retried = Atomic.make 0 in
   let timeouts = Atomic.make 0 in
   let instrument = Obs.enabled obs in
+  let tracing = tr <> None in
   let t_start = if instrument then Obs.now () else 0.0 in
   let chunk_times = if instrument then Array.make (max n 0) (-1.0) else [||] in
   let range_trials =
@@ -254,18 +371,22 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
   in
   let chaos_on = not (Chaos.is_none sup.chaos) in
   let supervised = sup.timeout > 0.0 || chaos_on in
-  let process ctx c =
+  let process w ctx c =
     let idx = lo_chunk + c in
     match sup.skip idx with
     | Some acc ->
       results.(c) <- acc;
       done_.(c) <- true;
       Atomic.incr resumed;
+      if tracing then
+        trace_chunk tr ~w ~idx ~cid:(trace_chunk_id tr idx) ~t0:(Obs.now ())
+          ~cached:true ~ok:true;
       Obs.Progress.step progress
     | None ->
       let lo = idx * chunk and hi = min trials ((idx + 1) * chunk) in
-      let t0 = if instrument then Obs.now () else 0.0 in
-      let acc =
+      let t0 = if instrument || tracing then Obs.now () else 0.0 in
+      let cid = if tracing then trace_chunk_id tr idx else "" in
+      let compute () =
         if not supervised then begin
           (* hot path: no deadline reads, no hook calls *)
           let rng = Rng.to_state (Rng.split root idx) in
@@ -277,29 +398,37 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
         end
         else
           supervised_attempts ~sup ~idx ~retried ~timeouts
-            (fun attempt deadline ->
-              let rng = Rng.to_state (Rng.split root idx) in
-              let acc = ref init in
-              for i = lo to hi - 1 do
-                if sup.timeout > 0.0 && Obs.now () > deadline then
-                  raise (Chunk_timeout sup.timeout);
-                if chaos_on then
-                  sup.chaos.Chaos.on_trial ~chunk:idx ~attempt ~trial:i;
-                acc := accum !acc (trial ctx rng i)
-              done;
-              !acc)
+            (trace_attempts tr ~w ~idx ~cid (fun attempt deadline ->
+                 let rng = Rng.to_state (Rng.split root idx) in
+                 let acc = ref init in
+                 for i = lo to hi - 1 do
+                   if sup.timeout > 0.0 && Obs.now () > deadline then
+                     raise (Chunk_timeout sup.timeout);
+                   if chaos_on then
+                     sup.chaos.Chaos.on_trial ~chunk:idx ~attempt ~trial:i;
+                   acc := accum !acc (trial ctx rng i)
+                 done;
+                 !acc))
       in
-      results.(c) <- acc;
-      done_.(c) <- true;
-      sup.record idx acc;
-      if instrument then chunk_times.(c) <- Obs.now () -. t0;
-      Obs.Progress.step progress
+      (match compute () with
+      | acc ->
+        results.(c) <- acc;
+        done_.(c) <- true;
+        sup.record idx acc;
+        if instrument then chunk_times.(c) <- Obs.now () -. t0;
+        if tracing then
+          trace_chunk tr ~w ~idx ~cid ~t0 ~cached:false ~ok:true;
+        Obs.Progress.step progress
+      | exception e ->
+        if tracing then
+          trace_chunk tr ~w ~idx ~cid ~t0 ~cached:false ~ok:false;
+        raise e)
   in
   let should_stop () =
     Atomic.get abort <> None || Campaign.stop_requested ()
   in
-  let guarded ctx c =
-    try process ctx c
+  let guarded w ctx c =
+    try process w ctx c
     with e -> ignore (Atomic.compare_and_set abort None (Some e))
   in
   let workers = min domains n in
@@ -310,7 +439,7 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
       let ctx = worker_init () in
       let c = ref 0 in
       while !c < n && not (should_stop ()) do
-        guarded ctx !c;
+        guarded 0 ctx !c;
         incr c
       done;
       claims.(0) <- !c
@@ -332,7 +461,7 @@ let run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
         if not (should_stop ()) then begin
           let c = Atomic.fetch_and_add cursor 1 in
           if c < n then begin
-            guarded ctx c;
+            guarded w ctx c;
             incr mine;
             loop ()
           end
@@ -373,13 +502,21 @@ let map_reduce_sup ?(engine_label = "scalar") ~domains ~chunk ~obs ~trials
   if trials < 0 then invalid_arg "Mc.Runner: trials must be >= 0";
   let nchunks = (trials + chunk - 1) / chunk in
   let progress = Obs.Progress.create ~label:"mc" ~total:nchunks in
+  let tr = trace_run ~engine_label ~seed ~trials ~chunk ~slots:domains in
   let root = Rng.root seed in
-  let results =
-    run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk:0
-      ~hi_chunk:nchunks ~sup ~engine_label ~worker_init ~trial ~init ~accum
-  in
-  Obs.Progress.finish progress;
-  Array.fold_left merge init results
+  match
+    run_chunk_range ~obs ~progress ~tr ~domains ~root ~chunk ~trials
+      ~lo_chunk:0 ~hi_chunk:nchunks ~sup ~engine_label ~worker_init ~trial
+      ~init ~accum
+  with
+  | results ->
+    trace_run_finish tr ~interrupted:false;
+    Obs.Progress.finish progress;
+    Array.fold_left merge init results
+  | exception e ->
+    trace_run_finish tr ~interrupted:true;
+    Obs.Progress.abandon progress;
+    raise e
 
 let map_reduce_ctx ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff
     ?chaos ~trials ~seed ~worker_init ~init ~accum ~merge trial =
@@ -442,14 +579,15 @@ let estimate_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
   in
   let nchunks = (trials + chunk - 1) / chunk in
   let progress = Obs.Progress.create ~label:"mc" ~total:nchunks in
+  let tr = trace_run ~engine_label:"scalar" ~seed ~trials ~chunk ~slots:domains in
   let root = Rng.root seed in
   let run lo_chunk hi_chunk =
-    run_chunk_range ~obs ~progress ~domains ~root ~chunk ~trials ~lo_chunk
+    run_chunk_range ~obs ~progress ~tr ~domains ~root ~chunk ~trials ~lo_chunk
       ~hi_chunk ~sup ~engine_label:"scalar" ~worker_init ~trial ~init:0
       ~accum:count_accum
     |> Array.fold_left ( + ) 0
   in
-  let result =
+  let result () =
     match target_half_width with
     | None ->
       Stats.estimate ?z ~failures:(run 0 nchunks) ~trials ()
@@ -494,8 +632,15 @@ let estimate_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
       in
       go 0 0
   in
-  Obs.Progress.finish progress;
-  result
+  match result () with
+  | result ->
+    trace_run_finish tr ~interrupted:false;
+    Obs.Progress.finish progress;
+    result
+  | exception e ->
+    trace_run_finish tr ~interrupted:true;
+    Obs.Progress.abandon progress;
+    raise e
 
 (* Batched mode: one chunk = one tile of [tile_width / 64] 64-shot
    lanes (default one lane).  The batch function returns one int64 per
@@ -569,6 +714,10 @@ let failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
   in
   let nchunks = (trials + tile_width - 1) / tile_width in
   let progress = Obs.Progress.create ~label:"mc-batch" ~total:nchunks in
+  let tr =
+    trace_run ~engine_label:"batch" ~seed ~trials ~chunk:tile_width
+      ~slots:domains
+  in
   let root = Rng.root seed in
   let results = Array.make (max nchunks 0) 0 in
   let done_ = Array.make (max nchunks 0) false in
@@ -577,48 +726,60 @@ let failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
   let retried = Atomic.make 0 in
   let timeouts = Atomic.make 0 in
   let instrument = Obs.enabled obs in
+  let tracing = tr <> None in
   let t_start = if instrument then Obs.now () else 0.0 in
   let chunk_times =
     if instrument then Array.make (max nchunks 0) (-1.0) else [||]
   in
   let chaos_on = not (Chaos.is_none chaos) in
   let supervised = timeout > 0.0 || chaos_on in
-  let process ctx c =
+  let process w ctx c =
     match sup.skip c with
     | Some count ->
       results.(c) <- count;
       done_.(c) <- true;
       Atomic.incr resumed;
+      if tracing then
+        trace_chunk tr ~w ~idx:c ~cid:(trace_chunk_id tr c) ~t0:(Obs.now ())
+          ~cached:true ~ok:true;
       Obs.Progress.step progress
     | None ->
       let base = c * tile_width in
       let count = min tile_width (trials - base) in
-      let t0 = if instrument then Obs.now () else 0.0 in
+      let t0 = if instrument || tracing then Obs.now () else 0.0 in
+      let cid = if tracing then trace_chunk_id tr c else "" in
       let run_tile () =
         let ws = batch ctx (lane_keys root c) ~base ~count in
         count_tile ws ~count
       in
-      let n_failures =
+      let compute () =
         if not supervised then run_tile ()
         else
           supervised_attempts ~sup ~idx:c ~retried ~timeouts
-            (fun _attempt deadline ->
-              let r = run_tile () in
-              if timeout > 0.0 && Obs.now () > deadline then
-                raise (Chunk_timeout timeout);
-              r)
+            (trace_attempts tr ~w ~idx:c ~cid (fun _attempt deadline ->
+                 let r = run_tile () in
+                 if timeout > 0.0 && Obs.now () > deadline then
+                   raise (Chunk_timeout timeout);
+                 r))
       in
-      results.(c) <- n_failures;
-      done_.(c) <- true;
-      sup.record c n_failures;
-      if instrument then chunk_times.(c) <- Obs.now () -. t0;
-      Obs.Progress.step progress
+      (match compute () with
+      | n_failures ->
+        results.(c) <- n_failures;
+        done_.(c) <- true;
+        sup.record c n_failures;
+        if instrument then chunk_times.(c) <- Obs.now () -. t0;
+        if tracing then trace_chunk tr ~w ~idx:c ~cid ~t0 ~cached:false ~ok:true;
+        Obs.Progress.step progress
+      | exception e ->
+        if tracing then
+          trace_chunk tr ~w ~idx:c ~cid ~t0 ~cached:false ~ok:false;
+        raise e)
   in
   let should_stop () =
     Atomic.get abort <> None || Campaign.stop_requested ()
   in
-  let guarded ctx c =
-    try process ctx c
+  let guarded w ctx c =
+    try process w ctx c
     with e -> ignore (Atomic.compare_and_set abort None (Some e))
   in
   let workers = min domains nchunks in
@@ -629,7 +790,7 @@ let failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
       let ctx = worker_init () in
       let c = ref 0 in
       while !c < nchunks && not (should_stop ()) do
-        guarded ctx !c;
+        guarded 0 ctx !c;
         incr c
       done;
       claims.(0) <- !c
@@ -651,7 +812,7 @@ let failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
         if not (should_stop ()) then begin
           let c = Atomic.fetch_and_add cursor 1 in
           if c < nchunks then begin
-            guarded ctx c;
+            guarded w ctx c;
             incr mine;
             loop ()
           end
@@ -667,23 +828,29 @@ let failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
     work 0 warm_ctx;
     List.iter Domain.join spawned
   end;
+  let fail e =
+    trace_run_finish tr ~interrupted:true;
+    Obs.Progress.abandon progress;
+    raise e
+  in
   let completed = ref 0 in
   Array.iter (fun d -> if d then incr completed) done_;
   if !completed < nchunks then begin
     sup.flush ();
     match Atomic.get abort with
-    | Some e -> raise e
+    | Some e -> fail e
     | None ->
-      raise
+      fail
         (Campaign.Interrupted
            { completed = !completed; total = nchunks; checkpoint = sup.file })
   end;
-  (match Atomic.get abort with Some e -> raise e | None -> ());
+  (match Atomic.get abort with Some e -> fail e | None -> ());
   if instrument then
     record_run obs ~engine:"batch" ~trials ~chunks:(max nchunks 0) ~workers
       ~wall_s:(Obs.now () -. t_start) ~warmup_s:!warmup_s ~chunk_times ~claims
       ~resumed:(Atomic.get resumed) ~retried:(Atomic.get retried)
       ~timeouts:(Atomic.get timeouts);
+  trace_run_finish tr ~interrupted:false;
   Obs.Progress.finish progress;
   Array.fold_left ( + ) 0 results
 
@@ -731,7 +898,18 @@ let estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
   let fm = rare.fault_model in
   Subset.validate fm;
   let plan = Subset.plan fm ~max_weight ~samples_per_class ~enum_cutoff in
-  let classes =
+  (* Class-level progress: a long enumerated class advances its own
+     chunk reporter, but the campaign-level view is "classes done" —
+     without it FTQC_PROGRESS sits silent between classes. *)
+  let progress =
+    Obs.Progress.create ~label:"rare classes" ~total:(List.length plan)
+  in
+  let rare_id =
+    Obs.Trace.span_id
+      [ "rare"; Campaign.label (); string_of_int seed;
+        string_of_int max_weight; string_of_int samples_per_class ]
+  in
+  let run_classes () =
     List.map
       (fun (cls : Subset.cls) ->
         let w = cls.weight in
@@ -756,10 +934,21 @@ let estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
             ()
         in
         let failures =
-          map_reduce_sup ~engine_label:"rare" ~domains ~chunk ~obs ~trials
-            ~seed:class_seed ~sup ~worker_init ~init:0 ~accum:count_accum
-            ~merge:( + ) trial
+          (* the class span parents the class's run span (the
+             map_reduce below picks it up as the ambient parent) *)
+          Obs.Trace.timed ~cat:"runner"
+            ~name:(Printf.sprintf "weight class w=%d" w)
+            ~id:(Obs.Trace.span_id [ rare_id; "w" ^ string_of_int w ])
+            ~args:
+              [ ("weight", Obs.Json.Int w);
+                ("evals", Obs.Json.Int trials);
+                ("exhaustive", Obs.Json.Bool cls.exhaustive) ]
+            (fun () ->
+              map_reduce_sup ~engine_label:"rare" ~domains ~chunk ~obs ~trials
+                ~seed:class_seed ~sup ~worker_init ~init:0 ~accum:count_accum
+                ~merge:( + ) trial)
         in
+        Obs.Progress.step progress;
         { Stats.weight = w;
           prob = cls.prob;
           evals = trials;
@@ -767,7 +956,21 @@ let estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
           exhaustive = cls.exhaustive })
       plan
   in
-  Subset.weighted ?z ~model:fm ~max_weight classes
+  let traced () =
+    Obs.Trace.timed ~cat:"runner" ~name:"rare estimate" ~id:rare_id
+      ~args:
+        [ ("seed", Obs.Json.Int seed);
+          ("max_weight", Obs.Json.Int max_weight);
+          ("classes", Obs.Json.Int (List.length plan)) ]
+      run_classes
+  in
+  match traced () with
+  | classes ->
+    Obs.Progress.finish progress;
+    Subset.weighted ?z ~model:fm ~max_weight classes
+  | exception e ->
+    Obs.Progress.abandon progress;
+    raise e
 
 let supported_engines m =
   List.filter_map

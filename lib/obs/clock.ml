@@ -1,0 +1,9 @@
+(* Two clocks with distinct jobs: [now] is monotonic and is the only
+   clock durations may be computed from; [wall] is the absolute
+   wall-clock time, for timestamps meant to be read by humans or
+   correlated across machines.  Never mix readings of the two. *)
+
+external monotonic_s : unit -> float = "ftqc_obs_monotonic_s"
+
+let now = monotonic_s
+let wall = Unix.gettimeofday

@@ -1,0 +1,30 @@
+/* Monotonic time for Obs.now.
+ *
+ * Durations (span timings, watchdog deadlines, ETA math) must come
+ * from a clock that cannot step backwards; gettimeofday can (NTP
+ * slew, manual set), yielding negative chunk timings.  POSIX
+ * CLOCK_MONOTONIC is the right source; the gettimeofday fallback only
+ * exists for platforms without it and keeps the build portable.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value ftqc_obs_monotonic_s(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  }
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -2,8 +2,14 @@ module Json = Json
 module Metrics = Metrics
 module Manifest = Manifest
 module Perf = Perf
+module Trace = Trace
 
-let now () = Unix.gettimeofday ()
+(* [now] is monotonic: durations (span timings, watchdog deadlines,
+   ETA math) must come from a clock that cannot step backwards.
+   [wall] is absolute wall-clock time, for human-facing timestamps
+   only — never subtract a [wall] reading from a [now] one. *)
+let now = Clock.now
+let wall = Clock.wall
 
 type handle = {
   metrics : Metrics.t;
@@ -129,28 +135,113 @@ module Progress = struct
 
   let enabled () = setting () <> None
 
+  (* Publish mode: reporters exist (and register in the snapshot
+     registry below) even when the env gate is off — but stay silent.
+     The daemon turns this on so it can sample runner completion for
+     in-flight requests without writing anything to its stderr. *)
+  let publish = Atomic.make false
+  let set_publish b = Atomic.set publish b
+  let publishing () = Atomic.get publish
+
   type p = {
     label : string;
+    scope : string;
     total : int;
     start : float;
     interval : float;
+    quiet : bool; (* publish-only reporter: never prints *)
     done_ : int Atomic.t;
     print_lock : Mutex.t;
     mutable last_print : float;
   }
 
+  type view = {
+    v_scope : string;
+    v_label : string;
+    v_done : int;
+    v_total : int;
+    v_elapsed_s : float;
+  }
+
+  (* Ambient scope, tracked per thread: the daemon tags every
+     reporter created while serving a request with that request's
+     key hash, so concurrent jobs' reporters stay distinguishable. *)
+  let scopes : (int, string) Hashtbl.t = Hashtbl.create 8
+  let slock = Mutex.create ()
+
+  let current_scope () =
+    Mutex.lock slock;
+    let r = Hashtbl.find_opt scopes (Thread.id (Thread.self ())) in
+    Mutex.unlock slock;
+    Option.value ~default:"" r
+
+  let with_scope scope f =
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock slock;
+    let prev = Hashtbl.find_opt scopes tid in
+    Hashtbl.replace scopes tid scope;
+    Mutex.unlock slock;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock slock;
+        (match prev with
+        | None -> Hashtbl.remove scopes tid
+        | Some s -> Hashtbl.replace scopes tid s);
+        Mutex.unlock slock)
+      f
+
+  (* Registry of live reporters (physical identity; a reporter leaves
+     on [finish]/[abandon]). *)
+  let live : p list ref = ref []
+  let rlock = Mutex.create ()
+
+  let register p =
+    Mutex.lock rlock;
+    live := p :: !live;
+    Mutex.unlock rlock
+
+  let unregister p =
+    Mutex.lock rlock;
+    live := List.filter (fun q -> q != p) !live;
+    Mutex.unlock rlock
+
+  let view p =
+    { v_scope = p.scope;
+      v_label = p.label;
+      v_done = Atomic.get p.done_;
+      v_total = p.total;
+      v_elapsed_s = now () -. p.start }
+
+  let snapshot () =
+    Mutex.lock rlock;
+    let ps = !live in
+    Mutex.unlock rlock;
+    List.rev_map view ps
+
+  (* Test hook: observe every step/finish deterministically, without
+     stderr capture or timing-dependent sampling. *)
+  let watcher : (view -> unit) option ref = ref None
+  let set_watcher w = watcher := w
+  let notify p = match !watcher with None -> () | Some f -> f (view p)
+
   let create ~label ~total =
-    match setting () with
-    | Some interval when total > 0 ->
-      Some
+    let interval_opt = setting () in
+    if total <= 0 || (interval_opt = None && not (publishing ())) then None
+    else begin
+      let p =
         { label;
+          scope = current_scope ();
           total;
           start = now ();
-          interval;
+          interval = Option.value ~default:1.0 interval_opt;
+          quiet = interval_opt = None;
           done_ = Atomic.make 0;
           print_lock = Mutex.create ();
           last_print = now () }
-    | _ -> None
+      in
+      register p;
+      Some p
+    end
 
   (* Pure formatter, split out so the reporting contract (ETA math,
      zero-progress and degenerate-total edges) is unit-testable
@@ -182,7 +273,9 @@ module Progress = struct
     | None -> ()
     | Some p ->
       let d = Atomic.fetch_and_add p.done_ 1 + 1 in
-      if d < p.total && now () -. p.last_print >= p.interval then
+      notify p;
+      if (not p.quiet) && d < p.total && now () -. p.last_print >= p.interval
+      then
         if Mutex.try_lock p.print_lock then
           Fun.protect
             ~finally:(fun () -> Mutex.unlock p.print_lock)
@@ -195,8 +288,17 @@ module Progress = struct
     match po with
     | None -> ()
     | Some p ->
-      Mutex.lock p.print_lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock p.print_lock)
-        (fun () -> print p (Atomic.get p.done_))
+      unregister p;
+      notify p;
+      if not p.quiet then begin
+        Mutex.lock p.print_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock p.print_lock)
+          (fun () -> print p (Atomic.get p.done_))
+      end
+
+  (* Leave the registry without the final print — the interrupted /
+     exceptional path, where a progress line would suggest normal
+     completion. *)
+  let abandon po = match po with None -> () | Some p -> unregister p
 end

@@ -17,9 +17,18 @@ module Json = Json
 module Metrics = Metrics
 module Manifest = Manifest
 module Perf = Perf
+module Trace = Trace
 
-(** [now ()] — wall-clock seconds ([Unix.gettimeofday]). *)
+(** [now ()] — {e monotonic} seconds (arbitrary origin; POSIX
+    [CLOCK_MONOTONIC]).  The only clock durations may be computed
+    from: wall clocks can step backwards and yield negative span and
+    chunk timings. *)
 val now : unit -> float
+
+(** [wall ()] — absolute wall-clock seconds ([Unix.gettimeofday]),
+    for human-facing timestamps only.  Never subtract a [wall]
+    reading from a [now] one. *)
+val wall : unit -> float
 
 type t
 
@@ -83,8 +92,44 @@ module Progress : sig
 
   val enabled : unit -> bool
 
-  (** [create ~label ~total] — [None] unless enabled and
-      [total > 0].  [total] is the number of steps (chunks). *)
+  (** {2 Publish mode}
+
+      With [set_publish true], reporters are created (and appear in
+      {!snapshot}) even when the env gate is off — but print
+      nothing.  The daemon turns this on so it can sample runner
+      completion for in-flight requests without touching stderr. *)
+
+  val set_publish : bool -> unit
+
+  val publishing : unit -> bool
+
+  (** One live reporter's state, as sampled by {!snapshot} or pushed
+      to the {!set_watcher} hook. *)
+  type view = {
+    v_scope : string;
+    v_label : string;
+    v_done : int;
+    v_total : int;
+    v_elapsed_s : float;
+  }
+
+  (** All currently live reporters (registered by [create], removed
+      by [finish]/[abandon]), oldest first. *)
+  val snapshot : unit -> view list
+
+  (** [with_scope s f] — tag reporters created under [f] (on this
+      thread) with scope [s]; the daemon scopes by request key so
+      concurrent jobs' reporters stay distinguishable. *)
+  val with_scope : string -> (unit -> 'a) -> 'a
+
+  (** Test hook: called with the reporter's {!view} on every step
+      and finish — deterministic observation without stderr capture
+      or timing-dependent sampling. *)
+  val set_watcher : (view -> unit) option -> unit
+
+  (** [create ~label ~total] — [None] unless (enabled or
+      {!publishing}) and [total > 0].  [total] is the number of
+      steps (chunks). *)
   val create : label:string -> total:int -> p option
 
   (** [format_line ~label ~done_ ~total ~elapsed] — the progress line
@@ -100,6 +145,11 @@ module Progress : sig
       domain. *)
   val step : p option -> unit
 
-  (** [finish p] — print the final line unconditionally. *)
+  (** [finish p] — print the final line unconditionally (quiet
+      publish-only reporters excepted) and leave the registry. *)
   val finish : p option -> unit
+
+  (** [abandon p] — leave the registry {e without} the final line:
+      the interrupted / exceptional path. *)
+  val abandon : p option -> unit
 end

@@ -1,0 +1,285 @@
+(* Hierarchical wall-where-did-it-go spans with deterministic
+   identities, exported as Chrome trace-event JSON.
+
+   A span's [id] is a pure function of the work's identity — the same
+   (label, engine, seed, chunk) path hashes to the same id at any
+   domain count — while its timings come from the monotonic clock.
+   Producers record into unsynchronized per-worker buffers and the
+   orchestrating thread folds them in a deterministic order
+   ({!merge_into}), mirroring the [Metrics] per-worker-registry
+   discipline; the process-wide {!install}ed sink is the bounded
+   collection point the exporters read.
+
+   Tracing is purely observational: nothing here draws randomness,
+   gates control flow, or writes to stdout. *)
+
+type span = {
+  id : string;
+  parent : string; (* "" = root *)
+  name : string;
+  cat : string;
+  start_s : float; (* Clock.now (monotonic) *)
+  dur_s : float;
+  args : (string * Json.t) list;
+}
+
+let schema_version = "ftqc-trace/1"
+
+(* ------------------------------------------------- deterministic ids *)
+
+(* FNV-1a 64 over the path components, folding a separator byte
+   between components so ["ab"; "c"] and ["a"; "bc"] stay distinct. *)
+let span_id parts =
+  let fnv_prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int b)) fnv_prime in
+  List.iter
+    (fun s ->
+      String.iter (fun c -> byte (Char.code c)) s;
+      byte 0x1f)
+    parts;
+  Printf.sprintf "%016Lx" !h
+
+(* --------------------------------------------------- per-worker bufs *)
+
+let buf_capacity = 65_536
+
+type buf = {
+  mutable spans : span list; (* newest first *)
+  mutable n : int;
+  mutable b_dropped : int;
+}
+
+let buf () = { spans = []; n = 0; b_dropped = 0 }
+
+let record b s =
+  if b.n >= buf_capacity then b.b_dropped <- b.b_dropped + 1
+  else begin
+    b.spans <- s :: b.spans;
+    b.n <- b.n + 1
+  end
+
+let contents b = List.rev b.spans
+let buf_length b = b.n
+
+let merge_into ~into b =
+  (* order-preserving append: deterministic whenever the sources are
+     folded in a deterministic order (worker index, chunk order) *)
+  List.iter (record into) (contents b);
+  into.b_dropped <- into.b_dropped + b.b_dropped
+
+(* --------------------------------------------------------- the sink *)
+
+type sink = {
+  lock : Mutex.t;
+  capacity : int;
+  mutable s_spans : span list; (* newest first *)
+  mutable s_n : int;
+  mutable s_dropped : int;
+}
+
+let sink ?(capacity = 262_144) () =
+  { lock = Mutex.create ();
+    capacity;
+    s_spans = [];
+    s_n = 0;
+    s_dropped = 0 }
+
+let current_sink : sink option Atomic.t = Atomic.make None
+let install so = Atomic.set current_sink so
+let installed () = Atomic.get current_sink
+let enabled () = installed () <> None
+
+let locked sk f =
+  Mutex.lock sk.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sk.lock) f
+
+let push_locked sk s =
+  if sk.s_n >= sk.capacity then sk.s_dropped <- sk.s_dropped + 1
+  else begin
+    sk.s_spans <- s :: sk.s_spans;
+    sk.s_n <- sk.s_n + 1
+  end
+
+let emit s =
+  match installed () with
+  | None -> ()
+  | Some sk -> locked sk (fun () -> push_locked sk s)
+
+let absorb b =
+  match installed () with
+  | None -> ()
+  | Some sk ->
+    locked sk (fun () ->
+        List.iter (push_locked sk) (contents b);
+        sk.s_dropped <- sk.s_dropped + b.b_dropped)
+
+let sink_spans sk = locked sk (fun () -> List.rev sk.s_spans)
+let sink_length sk = locked sk (fun () -> sk.s_n)
+let sink_dropped sk = locked sk (fun () -> sk.s_dropped)
+
+(* ---------------------------------------- ambient parent (per thread) *)
+
+let parents : (int, string) Hashtbl.t = Hashtbl.create 16
+let plock = Mutex.create ()
+
+let current_parent () =
+  Mutex.lock plock;
+  let r = Hashtbl.find_opt parents (Thread.id (Thread.self ())) in
+  Mutex.unlock plock;
+  Option.value ~default:"" r
+
+let with_parent id f =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock plock;
+  let prev = Hashtbl.find_opt parents tid in
+  Hashtbl.replace parents tid id;
+  Mutex.unlock plock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock plock;
+      (match prev with
+      | None -> Hashtbl.remove parents tid
+      | Some p -> Hashtbl.replace parents tid p);
+      Mutex.unlock plock)
+    f
+
+let timed ?(cat = "ftqc") ?(args = []) ~name ~id f =
+  if not (enabled ()) then f ()
+  else begin
+    let parent = current_parent () in
+    let t0 = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        emit
+          { id; parent; name; cat; start_s = t0;
+            dur_s = Clock.now () -. t0; args })
+      (fun () -> with_parent id f)
+  end
+
+(* ----------------------------------------------------------- export *)
+
+(* Chrome trace-event "complete" events; ts/dur are microseconds.
+   The span identity rides in [args] ([span_id]/[parent]) — the
+   trace-event format has no first-class span-id field for "X"
+   events, but Perfetto surfaces args on click. *)
+let span_to_event ~origin s =
+  let us x = Json.Int (int_of_float ((x *. 1e6) +. 0.5)) in
+  Json.Obj
+    [ ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("ph", Json.String "X");
+      ("ts", us (s.start_s -. origin));
+      ("dur", us s.dur_s);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ( "args",
+        Json.Obj
+          (("span_id", Json.String s.id)
+           :: ("parent", Json.String s.parent)
+           :: s.args) ) ]
+
+let to_json sk =
+  let spans, dropped =
+    locked sk (fun () -> (List.rev sk.s_spans, sk.s_dropped))
+  in
+  let origin =
+    List.fold_left (fun a s -> Float.min a s.start_s) Float.infinity spans
+  in
+  let origin = if Float.is_finite origin then origin else 0.0 in
+  Json.Obj
+    [ ("schema", Json.String schema_version);
+      ("displayTimeUnit", Json.String "ms");
+      ("dropped", Json.Int dropped);
+      ("traceEvents", Json.List (List.map (span_to_event ~origin) spans)) ]
+
+let write sk ~file = Json.write_atomic ~file (to_json sk)
+
+(* --------------------------------------------------------- validate *)
+
+let prefix = "ftqc-trace/"
+
+(* Integer-microsecond rounding can move each endpoint by up to half a
+   microsecond; give containment a 2 µs slack. *)
+let slack_us = 2.0
+
+let validate j =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.String s)
+      when String.length s >= String.length prefix
+           && String.sub s 0 (String.length prefix) = prefix ->
+      Ok ()
+    | Some (Json.String s) -> err "trace: unexpected schema %S" s
+    | _ -> err "trace: missing schema tag"
+  in
+  let* events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) -> Ok evs
+    | _ -> err "trace: traceEvents missing or not a list"
+  in
+  let num field e =
+    match Option.bind (Json.member field e) Json.to_float_opt with
+    | Some v when Float.is_finite v && v >= 0.0 -> Ok v
+    | Some _ -> err "trace: event %s out of range" field
+    | None -> err "trace: event missing numeric %s" field
+  in
+  let str field e =
+    match Json.member field e with
+    | Some (Json.String s) -> Ok s
+    | _ -> err "trace: event missing string %s" field
+  in
+  (* first pass: shape, and an interval table per span id *)
+  let intervals : (string, (float * float) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let* parsed =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* ph = str "ph" e in
+        let* () = if ph = "X" then Ok () else err "trace: ph %S, want X" ph in
+        let* _name = str "name" e in
+        let* ts = num "ts" e in
+        let* dur = num "dur" e in
+        let* args =
+          match Json.member "args" e with
+          | Some (Json.Obj _ as a) -> Ok a
+          | _ -> err "trace: event missing args object"
+        in
+        let* id = str "span_id" args in
+        let* parent = str "parent" args in
+        let* () =
+          if id = "" then err "trace: empty span_id"
+          else if id = parent then err "trace: span %s is its own parent" id
+          else Ok ()
+        in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt intervals id) in
+        Hashtbl.replace intervals id ((ts, ts +. dur) :: prev);
+        Ok ((id, parent, ts, dur) :: acc))
+      (Ok []) events
+  in
+  (* second pass: every non-root parent exists and (some occurrence of
+     it — identical replayed workloads may legally repeat an id)
+     contains the child *)
+  let* () =
+    List.fold_left
+      (fun acc (id, parent, ts, dur) ->
+        let* () = acc in
+        if parent = "" then Ok ()
+        else
+          match Hashtbl.find_opt intervals parent with
+          | None -> err "trace: span %s has unknown parent %s" id parent
+          | Some ivs ->
+            if
+              List.exists
+                (fun (lo, hi) ->
+                  ts >= lo -. slack_us && ts +. dur <= hi +. slack_us)
+                ivs
+            then Ok ()
+            else err "trace: span %s escapes parent %s" id parent)
+      (Ok ()) parsed
+  in
+  Ok (List.length parsed)

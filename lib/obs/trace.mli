@@ -1,0 +1,129 @@
+(** Hierarchical spans with deterministic identities, exported as
+    Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+
+    A span's {!span.id} is a pure function of the work's identity
+    path (label, engine, seed, chunk, …) via {!span_id}, so the span
+    {e tree} is bit-identical at any domain count; only the timings
+    (taken from the monotonic clock) vary run to run.  Workers record
+    into unsynchronized per-worker {!buf}s which the orchestrating
+    thread folds in a deterministic order ({!merge_into}) — the same
+    discipline as [Metrics] per-worker registries — into the bounded
+    process-wide {!install}ed sink.
+
+    Tracing is purely observational: when no sink is installed every
+    producer is a no-op, and with one installed nothing here draws
+    randomness, changes control flow, or writes to stdout. *)
+
+type span = {
+  id : string;
+  parent : string;  (** [""] for a root span *)
+  name : string;
+  cat : string;  (** coarse category: ["runner"], ["campaign"], ["svc"], … *)
+  start_s : float;  (** monotonic seconds ([Obs.now]) *)
+  dur_s : float;
+  args : (string * Json.t) list;
+}
+
+(** The on-disk schema identifier, ["ftqc-trace/1"]. *)
+val schema_version : string
+
+(** [span_id parts] — deterministic 16-hex-digit id of an identity
+    path (FNV-1a 64).  Equal paths give equal ids; components are
+    separator-folded so [["ab"; "c"]] and [["a"; "bc"]] differ. *)
+val span_id : string list -> string
+
+(** {1 Per-worker buffers} (unsynchronized; single writer each) *)
+
+type buf
+
+val buf : unit -> buf
+val buf_capacity : int
+
+(** [record b s] — append; past {!buf_capacity} spans are counted as
+    dropped instead. *)
+val record : buf -> span -> unit
+
+(** [contents b] — recorded spans, oldest first. *)
+val contents : buf -> span list
+
+val buf_length : buf -> int
+
+(** [merge_into ~into b] — order-preserving append of [b]'s spans
+    (and drop count); deterministic whenever callers fold buffers in
+    a deterministic order. *)
+val merge_into : into:buf -> buf -> unit
+
+(** {1 The process-wide sink} *)
+
+type sink
+
+(** [sink ?capacity ()] — a bounded collection point (default
+    capacity 262144 spans; overflow is counted, never blocks). *)
+val sink : ?capacity:int -> unit -> sink
+
+(** [install (Some sk)] — make [sk] the ambient sink every producer
+    emits into; [install None] turns tracing off. *)
+val install : sink option -> unit
+
+val installed : unit -> sink option
+
+(** [enabled ()] — whether a sink is installed (the producers' gate:
+    span bookkeeping is skipped entirely when off). *)
+val enabled : unit -> bool
+
+(** [emit s] — record one finished span into the installed sink
+    (no-op without one).  Thread- and domain-safe. *)
+val emit : span -> unit
+
+(** [absorb b] — fold a whole buffer into the installed sink under
+    one lock acquisition. *)
+val absorb : buf -> unit
+
+val sink_spans : sink -> span list
+val sink_length : sink -> int
+val sink_dropped : sink -> int
+
+(** {1 Ambient parent and timed convenience}
+
+    The current parent span id is tracked per {e thread} (daemon
+    worker threads each carry their own request context).  Worker
+    {e domains} should not rely on it — the runner passes parents
+    explicitly into its workers. *)
+
+val current_parent : unit -> string
+
+(** [with_parent id f] — run [f] with [id] as the ambient parent,
+    restoring the previous parent after (exception-safe). *)
+val with_parent : string -> (unit -> 'a) -> 'a
+
+(** [timed ~name ~id f] — run [f] with [id] ambient as parent, then
+    emit a span for it parented under the previous ambient parent,
+    timed on the monotonic clock.  Emits even when [f] raises.  When
+    tracing is disabled this is exactly [f ()]. *)
+val timed :
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  name:string ->
+  id:string ->
+  (unit -> 'a) ->
+  'a
+
+(** {1 Export} *)
+
+(** [to_json sk] — the Chrome trace-event document: an object with
+    [schema], [displayTimeUnit], [dropped] and [traceEvents] (one
+    ["ph": "X"] complete event per span, [ts]/[dur] in integer
+    microseconds rebased to the earliest span; the span identity
+    rides in [args.span_id]/[args.parent]). *)
+val to_json : sink -> Json.t
+
+(** [write sk ~file] — {!to_json} via [Json.write_atomic]. *)
+val write : sink -> file:string -> unit
+
+(** [validate j] — check a parsed trace document: schema tag, every
+    event a well-formed complete event (non-negative [ts]/[dur],
+    span identity present, no self-parenting), and every non-root
+    span contained within some occurrence of its parent (identical
+    replayed workloads may legally repeat ids).  Returns the event
+    count. *)
+val validate : Json.t -> (int, string) result

@@ -11,6 +11,14 @@ type outcome = {
   progress_frames : int;
 }
 
+type progress = {
+  p_state : string;
+  p_elapsed_s : float;
+  p_completed : int option;
+  p_total : int option;
+  p_phase : string option;
+}
+
 let transport message = { code = "transport"; message }
 
 let connect ~socket =
@@ -76,9 +84,20 @@ let request ?on_progress fd est =
         | "progress" ->
           (match on_progress with
           | Some f ->
+            let field_int j k =
+              match Protocol.frame_field j k with
+              | Some (Json.Int i) -> Some i
+              | _ -> None
+            in
             f
-              ~state:(Option.value ~default:"?" (field_string j "state"))
-              ~elapsed_s:(Option.value ~default:0.0 (field_float j "elapsed_s"))
+              {
+                p_state = Option.value ~default:"?" (field_string j "state");
+                p_elapsed_s =
+                  Option.value ~default:0.0 (field_float j "elapsed_s");
+                p_completed = field_int j "completed";
+                p_total = field_int j "total";
+                p_phase = field_string j "phase";
+              }
           | None -> ());
           loop ~cached ~coalesced ~wall ~progress:(progress + 1)
         | "meta" ->

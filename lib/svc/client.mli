@@ -31,9 +31,21 @@ val connect : socket:string -> (Unix.file_descr, string) result
 
 val close : Unix.file_descr -> unit
 
+(** One progress frame, parsed.  Completion fields are [None] when
+    the server predates (or has not yet sampled) runner completion
+    for the job; [p_phase] is the label of the innermost live
+    reporter (e.g. the current scan cell). *)
+type progress = {
+  p_state : string;
+  p_elapsed_s : float;
+  p_completed : int option;
+  p_total : int option;
+  p_phase : string option;
+}
+
 (** [request ?on_progress fd est] — run one estimator remotely. *)
 val request :
-  ?on_progress:(state:string -> elapsed_s:float -> unit) ->
+  ?on_progress:(progress -> unit) ->
   Unix.file_descr ->
   Protocol.estimator ->
   (outcome, error) result

@@ -526,10 +526,20 @@ let result_frame ~key payload =
 let ack_frame ~key ~state =
   frame "ack" [ ("key", String key); ("state", String state) ]
 
-let progress_frame ~key ~state ~elapsed_s =
+(* Completion fields are optional and omitted when unknown: frame
+   reading is name-based, so older clients skip them and the frame
+   stays wire-compatible with pre-completion peers. *)
+let progress_frame ?completed ?total ?phase ~key ~state ~elapsed_s () =
+  let opt name conv = function
+    | None -> []
+    | Some v -> [ (name, conv v) ]
+  in
   frame "progress"
-    [ ("key", String key); ("state", String state);
-      ("elapsed_s", Float elapsed_s) ]
+    ([ ("key", Json.String key); ("state", Json.String state);
+       ("elapsed_s", Json.Float elapsed_s) ]
+    @ opt "completed" (fun i -> Json.Int i) completed
+    @ opt "total" (fun i -> Json.Int i) total
+    @ opt "phase" (fun s -> Json.String s) phase)
 
 let meta_frame ~cached ~coalesced ~wall_s =
   frame "meta"
@@ -542,16 +552,29 @@ let error_frame ~code ~message =
 let pong_frame = frame "pong" []
 let ok_frame = frame "ok" []
 
-let status_frame ~uptime_s ~queue_depth ~queue_capacity ~cache_length
-    ~cache_capacity ~metrics =
+(* [workers]/[jobs] are new in the introspection extension and
+   default to absent so existing callers (and tests pinning the old
+   shape) keep working; name-based frame reading makes the addition
+   wire-safe. *)
+let status_frame ?workers ?busy ?jobs ~uptime_s ~queue_depth ~queue_capacity
+    ~cache_length ~cache_capacity ~metrics () =
   frame "status"
-    [ ("uptime_s", Float uptime_s);
-      ( "queue",
-        Obj [ ("depth", Int queue_depth); ("capacity", Int queue_capacity) ] );
-      ( "cache",
-        Obj [ ("length", Int cache_length); ("capacity", Int cache_capacity) ]
-      );
-      ("metrics", metrics) ]
+    ([ ("uptime_s", Json.Float uptime_s);
+       ( "queue",
+         Json.Obj
+           [ ("depth", Json.Int queue_depth);
+             ("capacity", Json.Int queue_capacity) ] );
+       ( "cache",
+         Json.Obj
+           [ ("length", Json.Int cache_length);
+             ("capacity", Json.Int cache_capacity) ] ) ]
+    @ (match (workers, busy) with
+      | Some w, Some b ->
+        [ ( "workers",
+            Json.Obj [ ("count", Json.Int w); ("busy", Json.Int b) ] ) ]
+      | _ -> [])
+    @ (match jobs with None -> [] | Some l -> [ ("jobs", Json.List l) ])
+    @ [ ("metrics", metrics) ])
 
 let frame_field j k =
   match Json.member k j with Some Json.Null -> None | v -> v

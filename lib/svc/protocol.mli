@@ -175,8 +175,20 @@ val result_frame : key:string -> payload -> Obs.Json.t
     [state] is ["cached"], ["coalesced"] or ["queued"]. *)
 val ack_frame : key:string -> state:string -> Obs.Json.t
 
+(** [progress_frame] — periodic in-flight update.  [completed]/
+    [total] (runner chunks or rare classes of the job's busiest
+    reporter) and [phase] (its label) are omitted when unknown;
+    frame reading is name-based, so the optional fields are
+    wire-compatible with pre-completion peers. *)
 val progress_frame :
-  key:string -> state:string -> elapsed_s:float -> Obs.Json.t
+  ?completed:int ->
+  ?total:int ->
+  ?phase:string ->
+  key:string ->
+  state:string ->
+  elapsed_s:float ->
+  unit ->
+  Obs.Json.t
 
 (** [meta_frame] — per-request metadata that legitimately differs
     between cached and fresh replies (sent {e before} the result
@@ -188,13 +200,22 @@ val error_frame : code:string -> message:string -> Obs.Json.t
 val pong_frame : Obs.Json.t
 val ok_frame : Obs.Json.t
 
+(** [status_frame] — daemon introspection.  [workers]/[busy] (worker
+    pool size and how many are executing) and [jobs] (one object per
+    in-flight request: key, state, elapsed, completion) are the
+    introspection extension and are omitted when absent, keeping the
+    frame wire-compatible. *)
 val status_frame :
+  ?workers:int ->
+  ?busy:int ->
+  ?jobs:Obs.Json.t list ->
   uptime_s:float ->
   queue_depth:int ->
   queue_capacity:int ->
   cache_length:int ->
   cache_capacity:int ->
   metrics:Obs.Json.t ->
+  unit ->
   Obs.Json.t
 
 (** [check_frame j] — validate the [proto] tag and return the frame

@@ -173,6 +173,7 @@ type job_state =
 
 type job = {
   key : string;  (* canonical request string: cache/coalescing key *)
+  khash : string;  (* display/scope form of [key] *)
   est : Protocol.estimator;
   started : float;  (* admission time *)
   jlock : Mutex.t;
@@ -187,9 +188,32 @@ type t = {
   inflight : (string, job) Hashtbl.t;  (* key -> job, under [ilock] *)
   ilock : Mutex.t;
   started_at : float;
+  busy : int Atomic.t;  (* workers currently executing *)
   mutable conns : (Thread.t * Unix.file_descr) list;  (* under [clock] *)
   clock : Mutex.t;
 }
+
+(* ------------------------------------------------- request tracing *)
+
+(* Every span of a request's lifecycle hangs off one deterministic
+   root id derived from the canonical request bytes, so traces of the
+   same request line up run to run.  Coalesced joiners repeat the
+   request span id — legal in the trace schema (children are valid
+   under any occurrence of their parent). *)
+let req_span_id khash = Obs.Trace.span_id [ "svc"; "request"; khash ]
+
+let short_hash khash =
+  if String.length khash > 8 then String.sub khash 0 8 else khash
+
+(* The progress view of a job: the most recently created live
+   reporter scoped to this request (the innermost phase — e.g. the
+   current cell of a scan). *)
+let job_progress khash =
+  List.fold_left
+    (fun acc (v : Obs.Progress.view) ->
+      if v.v_scope = khash then Some v else acc)
+    None
+    (Obs.Progress.snapshot ())
 
 let job_state j =
   Mutex.lock j.jlock;
@@ -210,11 +234,40 @@ let worker t =
     | None -> ()
     | Some job ->
       Obs.set_gauge t.obs "svc.queue_depth" (float_of_int (Jobq.depth t.queue));
+      let rid = req_span_id job.khash in
+      if Obs.Trace.enabled () then
+        (* the queue-wait interval is only known once the pop happens,
+           so it is emitted retroactively from the admission time *)
+        Obs.Trace.emit
+          { Obs.Trace.id = Obs.Trace.span_id [ rid; "queue" ];
+            parent = rid;
+            name = "queue wait";
+            cat = "svc";
+            start_s = job.started;
+            dur_s = Obs.now () -. job.started;
+            args = [ ("key", Obs.Json.String job.khash) ] };
       set_job_state job Running;
+      Atomic.incr t.busy;
       let result =
-        try Ok (execute ?domains:t.cfg.domains ~obs:t.obs job.est)
+        (* scope: reporters created while executing are tagged with
+           the request hash, so [await_job] and [handle_status] can
+           attribute runner completion to this job.  The ambient trace
+           parent re-roots the runner's spans under this request. *)
+        try
+          Ok
+            (Obs.Progress.with_scope job.khash (fun () ->
+                 Obs.Trace.with_parent rid (fun () ->
+                     Obs.Trace.timed ~cat:"svc" ~name:"execute"
+                       ~id:(Obs.Trace.span_id [ rid; "exec" ])
+                       ~args:
+                         [ ( "estimator",
+                             Obs.Json.String (Protocol.estimator_name job.est)
+                           ) ]
+                       (fun () ->
+                         execute ?domains:t.cfg.domains ~obs:t.obs job.est))))
         with exn -> Error (Printexc.to_string exn)
       in
+      Atomic.decr t.busy;
       (match result with
       | Ok payload -> Cache.add t.cache job.key payload
       | Error _ -> ());
@@ -233,11 +286,20 @@ let worker t =
 
 let send fd j = Codec.write fd j
 
-let finish_request t fd ~key ~t0 ~cached ~coalesced payload =
+let finish_request t fd ~key ~khash ~est_name ~t0 ~cached ~coalesced payload =
   let wall = Obs.now () -. t0 in
-  send fd (Protocol.meta_frame ~cached ~coalesced ~wall_s:wall);
-  send fd (Protocol.result_frame ~key payload);
-  Obs.observe_histogram t.obs "svc.request_latency_s" wall
+  (* record latency before the reply goes out: once the client has the
+     result frame, a status request must already see these series *)
+  Obs.observe_histogram t.obs "svc.request_latency_s" wall;
+  (* per-estimator latency, for `ftqc_client top` and status *)
+  Obs.observe_histogram t.obs
+    (Printf.sprintf "svc.request_latency_s.%s" est_name)
+    wall;
+  Obs.Trace.timed ~cat:"svc" ~name:"encode result"
+    ~id:(Obs.Trace.span_id [ req_span_id khash; "encode" ])
+    (fun () ->
+      send fd (Protocol.meta_frame ~cached ~coalesced ~wall_s:wall);
+      send fd (Protocol.result_frame ~key payload))
 
 (* Wait for [job] to finish, streaming progress frames.  Polling (with
    a short sleep) instead of a condition: OCaml's Condition.wait has
@@ -248,7 +310,9 @@ let await_job t fd ~coalesced ~t0 job =
   let rec loop () =
     match job_state job with
     | Finished (Ok payload) ->
-      finish_request t fd ~key:job.key ~t0 ~cached:false ~coalesced payload
+      finish_request t fd ~key:job.key ~khash:job.khash
+        ~est_name:(Protocol.estimator_name job.est) ~t0 ~cached:false
+        ~coalesced payload
     | Finished (Error msg) ->
       send fd (Protocol.error_frame ~code:"failed" ~message:msg)
     | Queued | Running ->
@@ -258,9 +322,19 @@ let await_job t fd ~coalesced ~t0 job =
         let state =
           match job_state job with Running -> "running" | _ -> "queued"
         in
+        (* sample the runner's own completion for this job (reporters
+           are scoped by request hash); every waiter — primary and
+           coalesced joiners alike — gets the enriched frame *)
+        let completed, total, phase =
+          match job_progress job.khash with
+          | Some v -> (Some v.v_done, Some v.v_total, Some v.v_label)
+          | None -> (None, None, None)
+        in
         send fd
-          (Protocol.progress_frame ~key:job.key ~state
-             ~elapsed_s:(now -. job.started))
+          (Protocol.progress_frame ?completed ?total ?phase ~key:job.key
+             ~state
+             ~elapsed_s:(now -. job.started)
+             ())
       end;
       Thread.delay 0.02;
       loop ()
@@ -271,40 +345,62 @@ let handle_run t fd est =
   let req = Protocol.Run est in
   let key = Protocol.to_canonical req in
   let khash = Protocol.hash req in
+  let est_name = Protocol.estimator_name est in
+  let rid = req_span_id khash in
+  Obs.Trace.timed ~cat:"svc"
+    ~name:(Printf.sprintf "request %s %s" est_name (short_hash khash))
+    ~id:rid
+    ~args:
+      [ ("estimator", Obs.Json.String est_name);
+        ("key", Obs.Json.String khash) ]
+  @@ fun () ->
   let t0 = Obs.now () in
   Obs.incr t.obs "svc.requests";
-  Obs.incr t.obs (Printf.sprintf "svc.requests.%s" (Protocol.estimator_name est));
-  match Cache.find t.cache key with
+  Obs.incr t.obs (Printf.sprintf "svc.requests.%s" est_name);
+  let cached =
+    Obs.Trace.timed ~cat:"svc" ~name:"cache lookup"
+      ~id:(Obs.Trace.span_id [ rid; "cache" ])
+      (fun () -> Cache.find t.cache key)
+  in
+  match cached with
   | Some payload ->
     Obs.incr t.obs "svc.cache_hits";
     send fd (Protocol.ack_frame ~key:khash ~state:"cached");
-    finish_request t fd ~key ~t0 ~cached:true ~coalesced:false payload
+    finish_request t fd ~key ~khash ~est_name ~t0 ~cached:true
+      ~coalesced:false payload
   | None -> (
     Obs.incr t.obs "svc.cache_misses";
     (* Coalesce onto an in-flight job for the same canonical request,
        or admit a new one (bounded; reject, never hang). *)
-    Mutex.lock t.ilock;
     let verdict =
-      match Hashtbl.find_opt t.inflight key with
-      | Some job -> `Join job
-      | None -> (
-        let job =
-          {
-            key;
-            est;
-            started = t0;
-            jlock = Mutex.create ();
-            state = Queued;
-          }
-        in
-        match Jobq.push t.queue job with
-        | Ok () ->
-          Hashtbl.replace t.inflight key job;
-          `Fresh job
-        | Error `Overloaded -> `Overloaded
-        | Error `Closed -> `Closed)
+      Obs.Trace.timed ~cat:"svc" ~name:"admission"
+        ~id:(Obs.Trace.span_id [ rid; "admit" ])
+      @@ fun () ->
+      Mutex.lock t.ilock;
+      let verdict =
+        match Hashtbl.find_opt t.inflight key with
+        | Some job -> `Join job
+        | None -> (
+          let job =
+            {
+              key;
+              khash;
+              est;
+              started = t0;
+              jlock = Mutex.create ();
+              state = Queued;
+            }
+          in
+          match Jobq.push t.queue job with
+          | Ok () ->
+            Hashtbl.replace t.inflight key job;
+            `Fresh job
+          | Error `Overloaded -> `Overloaded
+          | Error `Closed -> `Closed)
+      in
+      Mutex.unlock t.ilock;
+      verdict
     in
-    Mutex.unlock t.ilock;
     match verdict with
     | `Join job ->
       Obs.incr t.obs "svc.coalesced";
@@ -328,12 +424,44 @@ let handle_run t fd est =
 
 let handle_status t fd =
   Obs.incr t.obs "svc.requests";
+  let now = Obs.now () in
+  (* one row per in-flight request, with live runner completion *)
+  let jobs =
+    Mutex.lock t.ilock;
+    let js = Hashtbl.fold (fun _ j acc -> j :: acc) t.inflight [] in
+    Mutex.unlock t.ilock;
+    List.sort (fun a b -> compare a.started b.started) js
+    |> List.map (fun j ->
+           let state =
+             match job_state j with
+             | Running -> "running"
+             | Queued -> "queued"
+             | Finished _ -> "finishing"
+           in
+           let progress =
+             match job_progress j.khash with
+             | None -> []
+             | Some v ->
+               [ ("completed", Obs.Json.Int v.v_done);
+                 ("total", Obs.Json.Int v.v_total);
+                 ("phase", Obs.Json.String v.v_label) ]
+           in
+           Obs.Json.Obj
+             ([ ("key", Obs.Json.String j.khash);
+                ( "estimator",
+                  Obs.Json.String (Protocol.estimator_name j.est) );
+                ("state", Obs.Json.String state);
+                ("elapsed_s", Obs.Json.Float (now -. j.started)) ]
+             @ progress))
+  in
   send fd
-    (Protocol.status_frame
-       ~uptime_s:(Obs.now () -. t.started_at)
+    (Protocol.status_frame ~workers:t.cfg.workers ~busy:(Atomic.get t.busy)
+       ~jobs
+       ~uptime_s:(now -. t.started_at)
        ~queue_depth:(Jobq.depth t.queue) ~queue_capacity:(Jobq.capacity t.queue)
        ~cache_length:(Cache.length t.cache)
-       ~cache_capacity:(Cache.capacity t.cache) ~metrics:(Obs.metrics_json t.obs))
+       ~cache_capacity:(Cache.capacity t.cache) ~metrics:(Obs.metrics_json t.obs)
+       ())
 
 let handle_frame t fd j =
   let req =
@@ -409,12 +537,20 @@ let run ?(obs = Obs.create ()) cfg =
       inflight = Hashtbl.create 16;
       ilock = Mutex.create ();
       started_at = Obs.now ();
+      busy = Atomic.make 0;
       conns = [];
       clock = Mutex.create ();
     }
   in
+  (* Publish mode: runner progress reporters register (silently) so
+     await_job/handle_status can sample in-flight completion.  The
+     previous value is restored on exit — the daemon may be embedded
+     in a test binary that runs other suites after it. *)
+  let prev_publish = Obs.Progress.publishing () in
+  Obs.Progress.set_publish true;
   Fun.protect
     ~finally:(fun () ->
+      Obs.Progress.set_publish prev_publish;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       try Unix.unlink cfg.socket with Unix.Unix_error _ -> ())
     (fun () ->

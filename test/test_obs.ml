@@ -269,7 +269,9 @@ let test_progress_env_gate () =
       Unix.putenv Obs.Progress.env_var "1";
       check "FTQC_PROGRESS=1 enables" true (Obs.Progress.enabled ());
       check "enabled create yields a reporter" true
-        (Obs.Progress.create ~label:"t" ~total:3 <> None);
+        (let p = Obs.Progress.create ~label:"t" ~total:3 in
+         Obs.Progress.abandon p;
+         p <> None);
       Unix.putenv Obs.Progress.env_var "0.5";
       check "numeric value enables too" true (Obs.Progress.enabled ()))
 
@@ -545,6 +547,281 @@ let test_perf_trajectory_file_round_trip () =
       check "wrong schema rejected" true
         (Result.is_error (Obs.Perf.read_trajectory bad)))
 
+(* --- Obs.Trace ---------------------------------------------------------- *)
+
+let with_sink f =
+  let sk = Obs.Trace.sink () in
+  Obs.Trace.install (Some sk);
+  Fun.protect ~finally:(fun () -> Obs.Trace.install None) (fun () -> f sk)
+
+let test_now_monotonic () =
+  let prev = ref (Obs.now ()) in
+  for _ = 1 to 100 do
+    let t = Obs.now () in
+    check "Obs.now never goes backwards" true (t >= !prev);
+    prev := t
+  done
+
+let test_trace_span_id () =
+  let id = Obs.Trace.span_id in
+  Alcotest.(check string) "deterministic" (id [ "a"; "b" ]) (id [ "a"; "b" ]);
+  check "16 lowercase hex digits" true
+    (String.length (id [ "x" ]) = 16
+    && String.for_all
+         (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+         (id [ "x" ]));
+  check "separator-folded: [ab;c] <> [a;bc]" true
+    (id [ "ab"; "c" ] <> id [ "a"; "bc" ]);
+  check "path-sensitive" true (id [ "a" ] <> id [ "b" ])
+
+let mk_span ?(parent = "") ?(cat = "test") ?(args = []) ?(start_s = 0.0)
+    ?(dur_s = 0.0) ~id ~name () =
+  { Obs.Trace.id; parent; name; cat; start_s; dur_s; args }
+
+let test_trace_buf_merge_and_sink_bounds () =
+  let b1 = Obs.Trace.buf () and b2 = Obs.Trace.buf () in
+  let s1 = mk_span ~id:"01" ~name:"one" ()
+  and s2 = mk_span ~id:"02" ~name:"two" () in
+  Obs.Trace.record b1 s1;
+  Obs.Trace.record b2 s2;
+  Obs.Trace.merge_into ~into:b1 b2;
+  check "order-preserving merge" true (Obs.Trace.contents b1 = [ s1; s2 ]);
+  Alcotest.(check int) "merged length" 2 (Obs.Trace.buf_length b1);
+  (* a tiny sink counts overflow instead of growing or blocking *)
+  let sk = Obs.Trace.sink ~capacity:2 () in
+  Obs.Trace.install (Some sk);
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.install None)
+    (fun () ->
+      check "enabled with a sink" true (Obs.Trace.enabled ());
+      for i = 1 to 5 do
+        Obs.Trace.emit (mk_span ~id:(string_of_int i) ~name:"s" ())
+      done;
+      Alcotest.(check int) "bounded" 2 (Obs.Trace.sink_length sk);
+      Alcotest.(check int) "overflow counted" 3 (Obs.Trace.sink_dropped sk));
+  check "disabled after uninstall" false (Obs.Trace.enabled ())
+
+let test_trace_timed_nesting () =
+  (* without a sink, timed is exactly the thunk *)
+  check "disabled by default" false (Obs.Trace.enabled ());
+  Alcotest.(check int) "disabled timed = f ()" 7
+    (Obs.Trace.timed ~name:"n" ~id:"deadbeef00000000" (fun () -> 7));
+  with_sink (fun sk ->
+      let outer = Obs.Trace.span_id [ "outer" ]
+      and inner = Obs.Trace.span_id [ "inner" ] in
+      let r =
+        Obs.Trace.timed ~name:"outer" ~id:outer (fun () ->
+            Obs.Trace.timed ~name:"inner" ~id:inner (fun () -> 41) + 1)
+      in
+      Alcotest.(check int) "result threads through" 42 r;
+      let find id =
+        List.find_opt
+          (fun (s : Obs.Trace.span) -> s.id = id)
+          (Obs.Trace.sink_spans sk)
+      in
+      (match find inner with
+      | Some s -> check "inner parented under outer" true (s.parent = outer)
+      | None -> Alcotest.fail "inner span missing");
+      (match find outer with
+      | Some s -> check "outer is a root" true (s.parent = "")
+      | None -> Alcotest.fail "outer span missing");
+      check "ambient parent restored" true (Obs.Trace.current_parent () = "");
+      (* the exceptional path still emits, and restores the parent *)
+      (match
+         Obs.Trace.timed ~name:"boom"
+           ~id:(Obs.Trace.span_id [ "boom" ])
+           (fun () -> failwith "x")
+       with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception must propagate");
+      check "raised span still emitted" true
+        (List.exists
+           (fun (s : Obs.Trace.span) -> s.name = "boom")
+           (Obs.Trace.sink_spans sk));
+      check "parent restored after raise" true
+        (Obs.Trace.current_parent () = ""))
+
+(* the span *tree* (ids, parents, names) — everything but the timings *)
+let sorted_identities sk =
+  Obs.Trace.sink_spans sk
+  |> List.map (fun (s : Obs.Trace.span) -> (s.id, s.parent, s.name))
+  |> List.sort compare
+
+let test_trace_runner_neutral_and_domain_invariant () =
+  let workload domains =
+    Mc.Runner.failures ~domains ~trials:4000 ~seed:8
+      (Mc.Runner.scalar (bernoulli 0.3))
+  in
+  let plain = workload 1 in
+  let run domains =
+    with_sink (fun sk ->
+        let n = workload domains in
+        (n, sorted_identities sk, Obs.Trace.to_json sk))
+  in
+  let n1, ids1, doc1 = run 1 in
+  let n4, ids4, _ = run 4 in
+  Alcotest.(check int) "tracing does not perturb counts (1 domain)" plain n1;
+  Alcotest.(check int) "tracing does not perturb counts (4 domains)" plain n4;
+  check "span tree bit-identical across domain counts" true (ids1 = ids4);
+  check "run span present" true
+    (List.exists (fun (_, p, _) -> p = "") ids1);
+  check "chunk spans present" true
+    (List.exists (fun (_, _, n) -> n = "chunk 0") ids1);
+  match Obs.Trace.validate doc1 with
+  | Ok n -> check "exported document validates" true (n > 0)
+  | Error e -> Alcotest.failf "trace invalid: %s" e
+
+let test_trace_rare_engine_spans () =
+  let model =
+    Mc.Runner.model
+      ~worker_init:(fun () -> ())
+      ~rare:
+        { Mc.Runner.fault_model = { Mc.Subset.locations = 6; kinds = 1; p = 0.3 };
+          evaluate = (fun () faults -> Array.length faults >= 3) }
+      ()
+  in
+  let config =
+    match Mc.Engine.rare ~max_weight:4 ~samples_per_class:10 () with
+    | `Rare c -> c
+    | _ -> assert false
+  in
+  let plain = Mc.Runner.estimate_rare ~domains:2 ~config ~seed:41 model in
+  with_sink (fun sk ->
+      let traced = Mc.Runner.estimate_rare ~domains:2 ~config ~seed:41 model in
+      check "tracing does not perturb the weighted estimate" true
+        (plain = traced);
+      let names =
+        List.map (fun (s : Obs.Trace.span) -> s.name) (Obs.Trace.sink_spans sk)
+      in
+      check "rare root span present" true (List.mem "rare estimate" names);
+      check "weight-class spans present" true
+        (List.exists
+           (fun n ->
+             String.length n >= 12 && String.sub n 0 12 = "weight class")
+           names);
+      match Obs.Trace.validate (Obs.Trace.to_json sk) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "rare trace invalid: %s" e)
+
+let test_trace_campaign_resume_cached_spans () =
+  let file = Filename.temp_file "ftqc_trace_camp" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove file;
+      let c = Result.get_ok (Mc.Campaign.create file) in
+      let n0 =
+        Mc.Runner.failures ~domains:2 ~campaign:c ~trials:2000 ~seed:3
+          (Mc.Runner.scalar (bernoulli 0.2))
+      in
+      Mc.Campaign.flush c;
+      let c2 = Result.get_ok (Mc.Campaign.load file) in
+      with_sink (fun sk ->
+          let n1 =
+            Mc.Runner.failures ~domains:2 ~campaign:c2 ~trials:2000 ~seed:3
+              (Mc.Runner.scalar (bernoulli 0.2))
+          in
+          Alcotest.(check int) "resumed run reproduces" n0 n1;
+          check "replayed chunks traced as cached" true
+            (List.exists
+               (fun (s : Obs.Trace.span) ->
+                 List.mem_assoc "cached" s.Obs.Trace.args)
+               (Obs.Trace.sink_spans sk));
+          Mc.Campaign.flush c2;
+          check "explicit flush emits a campaign span" true
+            (List.exists
+               (fun (s : Obs.Trace.span) -> s.cat = "campaign")
+               (Obs.Trace.sink_spans sk))))
+
+let test_trace_validate_rejects () =
+  let reject msg doc =
+    check msg true
+      (match Obs.Json.of_string doc with
+      | Ok j -> Result.is_error (Obs.Trace.validate j)
+      | Error _ -> true)
+  in
+  let event ?(ph = "X") ?(id = "aa") ?(parent = "") ?(ts = 0) ?(dur = 10) () =
+    Printf.sprintf
+      {|{"ph": %S, "name": "e", "cat": "t", "ts": %d, "dur": %d,
+         "pid": 1, "tid": 1, "args": {"span_id": %S, "parent": %S}}|}
+      ph ts dur id parent
+  in
+  let doc events =
+    Printf.sprintf
+      {|{"schema": "ftqc-trace/1", "displayTimeUnit": "ms", "dropped": 0,
+         "traceEvents": [%s]}|}
+      (String.concat ", " events)
+  in
+  reject "wrong schema"
+    {|{"schema": "other/9", "traceEvents": []}|};
+  reject "non-complete event" (doc [ event ~ph:"B" () ]);
+  reject "missing span identity"
+    (doc
+       [ {|{"ph": "X", "name": "e", "cat": "t", "ts": 0, "dur": 1,
+            "args": {}}|} ]);
+  reject "self-parenting" (doc [ event ~id:"aa" ~parent:"aa" () ]);
+  reject "unknown parent" (doc [ event ~id:"bb" ~parent:"zz" () ]);
+  reject "child escapes its parent"
+    (doc [ event ~id:"aa" ~ts:0 ~dur:10 ();
+           event ~id:"bb" ~parent:"aa" ~ts:5 ~dur:100 () ]);
+  (match
+     Obs.Json.of_string
+       (doc [ event ~id:"aa" ~ts:0 ~dur:10 ();
+              event ~id:"bb" ~parent:"aa" ~ts:2 ~dur:5 () ])
+   with
+  | Ok j -> check "contained child accepted" true (Obs.Trace.validate j = Ok 2)
+  | Error e -> Alcotest.failf "fixture unparsable: %s" e);
+  check "empty trace validates" true
+    (Obs.Json.of_string (doc []) |> Result.get_ok |> Obs.Trace.validate = Ok 0)
+
+(* --- Obs.Progress publish mode ------------------------------------------ *)
+
+let with_publish f =
+  let prev = Obs.Progress.publishing () in
+  Obs.Progress.set_publish true;
+  Fun.protect ~finally:(fun () -> Obs.Progress.set_publish prev) f
+
+let test_progress_publish_snapshot () =
+  check "publish off by default" false (Obs.Progress.publishing ());
+  with_publish (fun () ->
+      check "snapshot starts empty" true (Obs.Progress.snapshot () = []);
+      Obs.Progress.with_scope "req-1" (fun () ->
+          let p = Obs.Progress.create ~label:"work" ~total:4 in
+          check "publish mode creates a reporter" true (p <> None);
+          Obs.Progress.step p;
+          Obs.Progress.step p;
+          (match Obs.Progress.snapshot () with
+          | [ v ] ->
+            Alcotest.(check string) "scope" "req-1" v.Obs.Progress.v_scope;
+            Alcotest.(check string) "label" "work" v.Obs.Progress.v_label;
+            Alcotest.(check int) "done" 2 v.Obs.Progress.v_done;
+            Alcotest.(check int) "total" 4 v.Obs.Progress.v_total;
+            check "elapsed nonnegative" true (v.Obs.Progress.v_elapsed_s >= 0.0)
+          | l -> Alcotest.failf "expected one live view, got %d" (List.length l));
+          Obs.Progress.finish p;
+          check "finish unregisters" true (Obs.Progress.snapshot () = []));
+      (* abandon also unregisters — the exceptional path *)
+      let p = Obs.Progress.create ~label:"doomed" ~total:2 in
+      Obs.Progress.step p;
+      Obs.Progress.abandon p;
+      check "abandon unregisters" true (Obs.Progress.snapshot () = []))
+
+let test_progress_watcher_hook () =
+  with_publish (fun () ->
+      let seen = ref [] in
+      Obs.Progress.set_watcher
+        (Some (fun v -> seen := (v.Obs.Progress.v_done, v.Obs.Progress.v_total) :: !seen));
+      Fun.protect
+        ~finally:(fun () -> Obs.Progress.set_watcher None)
+        (fun () ->
+          let p = Obs.Progress.create ~label:"w" ~total:3 in
+          Obs.Progress.step p;
+          Obs.Progress.step p;
+          Obs.Progress.step p;
+          Obs.Progress.finish p);
+      check "watcher saw every step" true
+        (List.mem (1, 3) !seen && List.mem (2, 3) !seen && List.mem (3, 3) !seen))
+
 let suites =
   [ ( "obs.json",
       [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
@@ -580,6 +857,24 @@ let suites =
         Alcotest.test_case "progress env gate" `Quick test_progress_env_gate;
         Alcotest.test_case "progress never writes stdout" `Quick
           test_progress_never_writes_stdout ] );
+    ( "obs.trace",
+      [ Alcotest.test_case "monotonic clock" `Quick test_now_monotonic;
+        Alcotest.test_case "span ids deterministic" `Quick test_trace_span_id;
+        Alcotest.test_case "buffers, merge, sink bounds" `Quick
+          test_trace_buf_merge_and_sink_bounds;
+        Alcotest.test_case "timed nesting" `Quick test_trace_timed_nesting;
+        Alcotest.test_case "runner: neutral and domain-invariant" `Quick
+          test_trace_runner_neutral_and_domain_invariant;
+        Alcotest.test_case "rare engine spans" `Quick
+          test_trace_rare_engine_spans;
+        Alcotest.test_case "campaign resume cached spans" `Quick
+          test_trace_campaign_resume_cached_spans;
+        Alcotest.test_case "validate rejects" `Quick
+          test_trace_validate_rejects ] );
+    ( "obs.progress",
+      [ Alcotest.test_case "publish snapshot" `Quick
+          test_progress_publish_snapshot;
+        Alcotest.test_case "watcher hook" `Quick test_progress_watcher_hook ] );
     ( "obs.manifest",
       [ Alcotest.test_case "validate ok" `Quick test_manifest_validate_ok;
         Alcotest.test_case "write/reparse" `Quick test_manifest_write_reparses;

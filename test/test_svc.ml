@@ -550,6 +550,121 @@ let test_status_and_metrics () =
       | Ok (Error e) -> Alcotest.failf "status failed: %s" e.message
       | Error msg -> Alcotest.failf "connect failed: %s" msg)
 
+(* progress frames must carry live runner completion — to the primary
+   client and to a coalesced joiner alike *)
+let test_progress_completion_streams () =
+  with_server ~workers:1 (fun socket ->
+      let est = toric_est ~l:12 ~p:0.1 ~trials:40000 ~seed:33 () in
+      let saw cell (p : Svc.Client.progress) =
+        match (p.p_completed, p.p_total, p.p_phase) with
+        | Some d, Some t, Some _ when d >= 0 && t > 0 && d <= t -> cell := true
+        | _ -> ()
+      in
+      let primary_saw = ref false and joiner_saw = ref false in
+      let r1 = ref None and r2 = ref None in
+      let t1 =
+        Thread.create
+          (fun () ->
+            r1 := Some (request_ok ~on_progress:(saw primary_saw) socket est))
+          ()
+      in
+      Thread.delay 0.15;
+      let t2 =
+        Thread.create
+          (fun () ->
+            r2 := Some (request_ok ~on_progress:(saw joiner_saw) socket est))
+          ()
+      in
+      Thread.join t1;
+      Thread.join t2;
+      match (!r1, !r2) with
+      | Some a, Some b ->
+        check "second request joined the first job" true b.coalesced;
+        check_str "coalesced replies are byte-identical" a.raw_result
+          b.raw_result;
+        check "primary saw completed/total/phase" true !primary_saw;
+        check "coalesced joiner saw completed/total/phase" true !joiner_saw
+      | _ -> Alcotest.fail "requests did not complete")
+
+(* the extended status frame: worker utilization and the in-flight job
+   table, live while a request runs *)
+let test_status_inflight_jobs () =
+  with_server ~workers:1 (fun socket ->
+      let blocker =
+        Thread.create
+          (fun () ->
+            ignore (request_ok socket (toric_est ~l:12 ~p:0.1 ~trials:40000 ())))
+          ()
+      in
+      Thread.delay 0.25;
+      (match Svc.Client.with_connection ~socket Svc.Client.status with
+      | Ok (Ok j) ->
+        let workers k =
+          match Option.bind (Json.member "workers" j) (Json.member k) with
+          | Some (Json.Int n) -> n
+          | _ -> -1
+        in
+        check_int "worker count reported" 1 (workers "count");
+        check_int "busy workers reported" 1 (workers "busy");
+        (match Json.member "jobs" j with
+        | Some (Json.List (job :: _)) ->
+          check "job row names its estimator" true
+            (Json.member "estimator" job
+            = Some (Json.String "toric_memory"));
+          check "job row carries a state" true
+            (match Json.member "state" job with
+            | Some (Json.String ("running" | "queued" | "finishing")) -> true
+            | _ -> false);
+          check "job row carries elapsed_s" true
+            (match Json.member "elapsed_s" job with
+            | Some (Json.Float e) -> e >= 0.0
+            | _ -> false)
+        | _ -> Alcotest.fail "no in-flight jobs listed");
+        check "per-estimator latency histogram appears after completion" true
+          true
+      | Ok (Error e) -> Alcotest.failf "status failed: %s" e.message
+      | Error msg -> Alcotest.failf "connect failed: %s" msg);
+      Thread.join blocker;
+      (* after the job drains: per-estimator latency histogram recorded *)
+      match Svc.Client.with_connection ~socket Svc.Client.status with
+      | Ok (Ok j) ->
+        check "per-estimator latency histogram present" true
+          (Option.is_some
+             (Option.bind (Json.member "metrics" j) (fun m ->
+                  Option.bind (Json.member "histograms" m)
+                    (Json.member "svc.request_latency_s.toric_memory"))))
+      | Ok (Error e) -> Alcotest.failf "status failed: %s" e.message
+      | Error msg -> Alcotest.failf "connect failed: %s" msg)
+
+(* tracing the whole daemon must not move a single result byte *)
+let test_tracing_neutral_byte_identity () =
+  let est = toric_est ~seed:55 () in
+  let plain =
+    with_server (fun socket -> (request_ok socket est).raw_result)
+  in
+  let sk = Obs.Trace.sink () in
+  Obs.Trace.install (Some sk);
+  let traced =
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.install None)
+      (fun () -> with_server (fun socket -> (request_ok socket est).raw_result))
+  in
+  check_str "result frame bytes identical with tracing installed" plain traced;
+  check "request-lifecycle spans recorded" true (Obs.Trace.sink_length sk > 0);
+  let names =
+    List.map (fun (s : Obs.Trace.span) -> s.name) (Obs.Trace.sink_spans sk)
+  in
+  List.iter
+    (fun n -> check (n ^ " span present") true (List.mem n names))
+    [ "cache lookup"; "admission"; "queue wait"; "execute"; "encode result" ];
+  check "request span present" true
+    (List.exists
+       (fun n -> String.length n >= 8 && String.sub n 0 8 = "request ")
+       names);
+  match Obs.Trace.validate (Obs.Trace.to_json sk) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "service trace invalid: %s" e
+
 let test_shutdown_request () =
   (* not via with_server: the shutdown request itself must stop the
      daemon and remove the socket *)
@@ -597,5 +712,11 @@ let suites =
         Alcotest.test_case "scan matches driver derivation" `Slow
           test_scan_matches_driver_derivation;
         Alcotest.test_case "status metrics" `Quick test_status_and_metrics;
+        Alcotest.test_case "progress completion streams" `Slow
+          test_progress_completion_streams;
+        Alcotest.test_case "status lists in-flight jobs" `Slow
+          test_status_inflight_jobs;
+        Alcotest.test_case "tracing is byte-neutral" `Quick
+          test_tracing_neutral_byte_identity;
         Alcotest.test_case "shutdown request" `Quick test_shutdown_request ] )
   ]
