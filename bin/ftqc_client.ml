@@ -77,21 +77,32 @@ let on_progress ~watch (p : Svc.Client.progress) =
       | Some d, Some t -> Printf.sprintf " %d/%d" d t
       | _ -> "")
 
-let run_estimator socket json out watch est =
+(* QoS/retry options shared by every estimator subcommand. *)
+type copts = {
+  retries : int;
+  retry_after : float;
+  tenant : string option;
+  priority : string option;
+}
+
+let run_estimator socket copts json out watch est =
+  (* retries = 0 means a single attempt — the retry wrapper is then
+     just connect + request + close *)
   let r =
-    Svc.Client.with_connection ~socket (fun fd ->
-        Svc.Client.request ~on_progress:(on_progress ~watch) fd est)
+    Svc.Client.request_retrying ~on_progress:(on_progress ~watch)
+      ?tenant:copts.tenant ?priority:copts.priority ~retries:copts.retries
+      ~retry_cap:copts.retry_after ~socket est
   in
   (* end the in-place watch line before any other output *)
   if watch then Printf.eprintf "\r\027[K%!";
   match r with
-  | Error msg ->
-    Printf.eprintf "ftqc_client: %s\n" msg;
-    1
-  | Ok (Error e) ->
-    Printf.eprintf "ftqc_client: %s: %s\n" e.code e.message;
+  | Error e ->
+    Printf.eprintf "ftqc_client: %s: %s%s\n" e.code e.message
+      (if copts.retries > 0 then
+         Printf.sprintf " (after %d retries)" copts.retries
+       else "");
     if e.code = "overloaded" then 3 else 1
-  | Ok (Ok o) ->
+  | Ok o ->
     print_payload o.payload;
     Printf.eprintf "meta: cached=%b coalesced=%b server_wall=%.3fs\n%!"
       o.cached o.coalesced o.server_wall_s;
@@ -129,6 +140,45 @@ let watch_arg =
         ~doc:
           "render live progress (completed/total chunks, current phase) \
            as an in-place bar on stderr while waiting")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ]
+        ~doc:
+          "retry budget for $(i,overloaded) replies and failed connects \
+           (default 0: fail immediately).  Backoff is exponential with \
+           deterministic jitter, floored at the server's retry-after \
+           hint; exit 3 only after the budget is exhausted")
+
+let retry_after_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "retry-after" ] ~docv:"SECONDS"
+        ~doc:"cap on the delay before any single retry")
+
+let tenant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:
+          "tenant identity for the daemon's per-tenant QoS (rate limits, \
+           fair scheduling); never part of the request key, so results \
+           are unaffected")
+
+let priority_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "priority" ] ~docv:"LEVEL"
+        ~doc:"queue priority: $(i,high) or $(i,normal) (the default)")
+
+let copts_term =
+  Term.(
+    const (fun retries retry_after tenant priority ->
+        { retries; retry_after; tenant; priority })
+    $ retries_arg $ retry_after_arg $ tenant_arg $ priority_arg)
 
 let trials_arg default =
   Arg.(value & opt int default & info [ "trials" ] ~doc:"Monte-Carlo trials")
@@ -199,11 +249,11 @@ let finish_seed seed path =
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let steane_cmd =
-  let run socket json out watch level eps rounds trials seed path engine
+  let run socket copts json out watch level eps rounds trials seed path engine
       tile_width max_weight samples_per_class =
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
       (fun engine tile_width ->
-        run_estimator socket json out watch
+        run_estimator socket copts json out watch
           (Protocol.Steane_memory
              {
                level;
@@ -226,17 +276,17 @@ let steane_cmd =
   in
   cmd "steane" ~doc:"concatenated-Steane memory failure (one E6b cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ level $ eps
+      const run $ socket_arg $ copts_term $ json_arg $ out_arg $ watch_arg $ level $ eps
       $ rounds
       $ trials_arg 30000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let toric_cmd =
-  let run socket json out watch l p trials seed path engine tile_width
+  let run socket copts json out watch l p trials seed path engine tile_width
       max_weight samples_per_class =
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
       (fun engine tile_width ->
-        run_estimator socket json out watch
+        run_estimator socket copts json out watch
           (Protocol.Toric_memory
              { l; p; trials; seed = finish_seed seed path; engine; tile_width }))
   in
@@ -246,16 +296,16 @@ let toric_cmd =
   in
   cmd "toric" ~doc:"toric-code memory failure (one E10 cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ l $ p
+      const run $ socket_arg $ copts_term $ json_arg $ out_arg $ watch_arg $ l $ p
       $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let toric_scan_cmd =
-  let run socket json out watch ls ps trials seed engine tile_width max_weight
+  let run socket copts json out watch ls ps trials seed engine tile_width max_weight
       samples_per_class =
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
       (fun engine tile_width ->
-        run_estimator socket json out watch
+        run_estimator socket copts json out watch
           (Protocol.Toric_scan { ls; ps; trials; seed; engine; tile_width }))
   in
   let ls =
@@ -275,12 +325,12 @@ let toric_scan_cmd =
       "the E10 grid with the experiments driver's per-cell seed \
        derivation (diffable against `experiments e10`)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ ls $ ps
+      const run $ socket_arg $ copts_term $ json_arg $ out_arg $ watch_arg $ ls $ ps
       $ trials_arg 2000 $ seed_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let toric_noisy_cmd =
-  let run socket json out watch l rounds p q trials seed path engine tile_width
+  let run socket copts json out watch l rounds p q trials seed path engine tile_width
       max_weight samples_per_class =
     let rounds = match rounds with Some r -> r | None -> l in
     let q = match q with Some q -> q | None -> p in
@@ -292,7 +342,7 @@ let toric_noisy_cmd =
             "ftqc_client: toric-noisy supports engines scalar and batch only\n";
           2
         | (`Scalar | `Batch) as engine ->
-          run_estimator socket json out watch
+          run_estimator socket copts json out watch
             (Protocol.Toric_noisy
                {
                  l;
@@ -323,13 +373,13 @@ let toric_noisy_cmd =
   in
   cmd "toric-noisy" ~doc:"toric memory with noisy measurements (E19 cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ l $ rounds $ p
+      const run $ socket_arg $ copts_term $ json_arg $ out_arg $ watch_arg $ l $ rounds $ p
       $ q
       $ trials_arg 2000 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let toric_circuit_cmd =
-  let run socket json out watch l rounds eps trials seed path engine tile_width
+  let run socket copts json out watch l rounds eps trials seed path engine tile_width
       max_weight samples_per_class =
     let rounds = match rounds with Some r -> r | None -> l in
     wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
@@ -341,7 +391,7 @@ let toric_circuit_cmd =
              only\n";
           2
         | (`Scalar | `Rare _) as engine ->
-          run_estimator socket json out watch
+          run_estimator socket copts json out watch
             (Protocol.Toric_circuit
                { l; rounds; eps; trials; seed = finish_seed seed path; engine }))
   in
@@ -357,14 +407,14 @@ let toric_circuit_cmd =
   in
   cmd "toric-circuit" ~doc:"circuit-level toric memory (E24 cell)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ l $ rounds
+      const run $ socket_arg $ copts_term $ json_arg $ out_arg $ watch_arg $ l $ rounds
       $ eps
       $ trials_arg 400 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
 let pseudothreshold_cmd =
-  let run socket json out watch eps_list trials seed =
-    run_estimator socket json out watch
+  let run socket copts json out watch eps_list trials seed =
+    run_estimator socket copts json out watch
       (Protocol.Pseudothreshold { eps_list; trials; seed })
   in
   let eps_list =
@@ -378,7 +428,7 @@ let pseudothreshold_cmd =
       "the E5 pseudo-threshold scan with the driver's seed derivation \
        (diffable against `experiments e5`)"
     Term.(
-      const run $ socket_arg $ json_arg $ out_arg $ watch_arg $ eps_list
+      const run $ socket_arg $ copts_term $ json_arg $ out_arg $ watch_arg $ eps_list
       $ trials_arg 20000 $ seed_arg)
 
 let status_cmd =
@@ -440,9 +490,84 @@ let top_cmd =
       (int [ "cache"; "length" ] j)
       (int [ "cache"; "capacity" ] j)
       hit_rate;
-    pf "requests %d  done %d  coalesced %d  overloaded %d\n"
+    pf "requests %d  done %d  coalesced %d  overloaded %d  rate-limited %d\n"
       (counter "svc.requests") (counter "svc.jobs_done")
-      (counter "svc.coalesced") (counter "svc.overloaded");
+      (counter "svc.coalesced") (counter "svc.overloaded")
+      (counter "svc.rate_limited");
+    (* worker-process fleet: registry + lifecycle counters *)
+    (match member [ "fleet" ] j with
+    | Some (Json.Obj _ as f) ->
+      pf "fleet %d/%d alive  spawned %d  restarts %d  redispatched %d  hangs %d\n"
+        (int [ "alive" ] f) (int [ "size" ] f) (int [ "spawned" ] f)
+        (int [ "restarts" ] f)
+        (int [ "redispatched" ] f)
+        (int [ "hangs" ] f);
+      (match member [ "workers" ] f with
+      | Some (Json.List (_ :: _ as ws)) ->
+        pf "  workers:";
+        List.iter
+          (fun w ->
+            pf " %d:gen%d/pid%d" (int [ "slot" ] w) (int [ "gen" ] w)
+              (int [ "pid" ] w))
+          ws;
+        pf "\n"
+      | _ -> ())
+    | _ -> ());
+    (* per-tenant QoS: queued work (status section) + counters *)
+    let tenant_counters =
+      let prefix = "svc.tenant." in
+      let plen = String.length prefix in
+      List.filter_map
+        (fun (k, v) ->
+          if String.length k > plen && String.sub k 0 plen = prefix then
+            match (String.rindex_opt k '.', v) with
+            | Some dot, Json.Int n when dot > plen ->
+              Some
+                ( String.sub k plen (dot - plen),
+                  String.sub k (dot + 1) (String.length k - dot - 1),
+                  n )
+            | _ -> None
+          else None)
+        cs
+    in
+    let queued =
+      match member [ "tenants" ] j with
+      | Some (Json.List rows) ->
+        List.filter_map
+          (fun r ->
+            match member [ "tenant" ] r with
+            | Some (Json.String name) ->
+              Some (name, (int [ "queued_high" ] r, int [ "queued_normal" ] r))
+            | _ -> None)
+          rows
+      | _ -> []
+    in
+    if tenant_counters <> [] || queued <> [] then begin
+      let names =
+        List.sort_uniq compare
+          (List.map (fun (n, _, _) -> n) tenant_counters
+          @ List.map fst queued)
+      in
+      let get name series =
+        List.fold_left
+          (fun acc (n, s, v) -> if n = name && s = series then v else acc)
+          0 tenant_counters
+      in
+      pf "\n%-12s %8s %8s %12s %8s %8s\n" "TENANT" "REQUESTS" "OVERLOAD"
+        "RATE-LIMITED" "Q-HIGH" "Q-NORM";
+      List.iter
+        (fun name ->
+          let qh, qn =
+            match List.assoc_opt name queued with
+            | Some q -> q
+            | None -> (0, 0)
+          in
+          pf "%-12s %8d %8d %12d %8d %8d\n" name (get name "requests")
+            (get name "overloaded")
+            (get name "rate_limited")
+            qh qn)
+        names
+    end;
     (match member [ "jobs" ] j with
     | Some (Json.List (_ :: _ as jobs)) ->
       pf "\n%-10s %-16s %-9s %8s  %s\n" "KEY" "ESTIMATOR" "STATE" "ELAPSED"

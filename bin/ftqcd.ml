@@ -3,49 +3,82 @@
    SIGTERM or a client shutdown request; the signal path is the same
    campaign stop flag the Monte-Carlo engine already honours, so a
    signal also stops in-flight runners at the next chunk boundary.
-   The socket file is removed on the way out. *)
+   The socket file is removed on the way out.
+
+   By default requests are sharded over a fleet of worker processes
+   (--workers, crash-tolerant and byte-identical at any count; see
+   Svc.Fleet); --in-process reverts to threads in this process. *)
+
+(* Fleet workers are this same executable, re-exec'd with the worker
+   marker in the environment: divert before cmdliner ever runs. *)
+let () = Ftqc.Svc.Fleet.run_if_worker ()
 
 open Cmdliner
 module Svc = Ftqc.Svc
 
-let run socket max_queue workers cache_size domains progress_interval trace =
+let run socket max_queue workers cache_size domains progress_interval trace
+    in_process hang_timeout max_restarts rate_limit burst chaos_fleet =
   let domains = if domains <= 0 then None else Some domains in
-  Ftqc.Mc.Campaign.install_signal_handlers ();
-  let cfg =
-    Svc.Server.config ~socket ~max_queue ~workers ~cache_capacity:cache_size
-      ?domains ~progress_interval ()
-  in
-  let sink =
-    match trace with
-    | None -> None
-    | Some _ ->
-      let sk = Ftqc.Obs.Trace.sink () in
-      Ftqc.Obs.Trace.install (Some sk);
-      Some sk
-  in
-  let write_trace () =
-    match (trace, sink) with
-    | Some file, Some sk ->
-      Ftqc.Obs.Trace.install None;
-      Ftqc.Obs.Trace.write sk ~file;
-      Printf.eprintf "ftqcd: wrote %d spans to %s\n%!"
-        (Ftqc.Obs.Trace.sink_length sk)
-        file
-    | _ -> ()
-  in
   match
-    Printf.printf "ftqcd: listening on %s (workers=%d, queue<=%d, cache<=%d)\n%!"
-      socket workers max_queue cache_size;
-    Svc.Server.run cfg
+    match chaos_fleet with
+    | None -> Ok []
+    | Some s -> Ftqc.Mc.Chaos.fleet_list_of_string s
   with
-  | () ->
-    write_trace ();
-    Printf.printf "ftqcd: stopped, %s removed\n%!" socket;
-    0
-  | exception Failure msg ->
-    write_trace ();
-    Printf.eprintf "ftqcd: %s\n" msg;
-    1
+  | Error msg ->
+    Printf.eprintf "ftqcd: --chaos-fleet: %s\n" msg;
+    2
+  | Ok chaos -> (
+    Ftqc.Mc.Campaign.install_signal_handlers ();
+    let fleet =
+      if in_process then None
+      else
+        Some
+          (Svc.Fleet.config ?domains ~hang_timeout ~max_restarts ~chaos
+             ~size:workers ())
+    in
+    let limit =
+      if rate_limit <= 0.0 then Svc.Qos.unlimited
+      else Svc.Qos.limit ~rate:rate_limit ~burst
+    in
+    let cfg =
+      Svc.Server.config ~socket ~max_queue ~workers
+        ~cache_capacity:cache_size ?domains ~progress_interval ?fleet ~limit
+        ()
+    in
+    let sink =
+      match trace with
+      | None -> None
+      | Some _ ->
+        let sk = Ftqc.Obs.Trace.sink () in
+        Ftqc.Obs.Trace.install (Some sk);
+        Some sk
+    in
+    let write_trace () =
+      match (trace, sink) with
+      | Some file, Some sk ->
+        Ftqc.Obs.Trace.install None;
+        Ftqc.Obs.Trace.write sk ~file;
+        Printf.eprintf "ftqcd: wrote %d spans to %s\n%!"
+          (Ftqc.Obs.Trace.sink_length sk)
+          file
+      | _ -> ()
+    in
+    match
+      Printf.printf
+        "ftqcd: listening on %s (%s, queue<=%d, cache<=%d)\n%!" socket
+        (if in_process then Printf.sprintf "workers=%d in-process" workers
+         else Printf.sprintf "fleet of %d worker processes" workers)
+        max_queue cache_size;
+      Svc.Server.run cfg
+    with
+    | () ->
+      write_trace ();
+      Printf.printf "ftqcd: stopped, %s removed\n%!" socket;
+      0
+    | exception Failure msg ->
+      write_trace ();
+      Printf.eprintf "ftqcd: %s\n" msg;
+      1)
 
 let socket_arg =
   Arg.(
@@ -61,7 +94,11 @@ let max_queue_arg =
               $(i,overloaded) error")
 
 let workers_arg =
-  Arg.(value & opt int 2 & info [ "workers" ] ~doc:"worker threads")
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ]
+        ~doc:"worker processes (the fleet); with $(b,--in-process), worker \
+              threads instead.  Results are byte-identical at any count")
 
 let cache_arg =
   Arg.(
@@ -91,11 +128,58 @@ let trace_arg =
            exit; purely observational — results and cache keys are \
            unaffected")
 
+let in_process_arg =
+  Arg.(
+    value & flag
+    & info [ "in-process" ]
+        ~doc:"execute jobs on threads in this process instead of the \
+              worker-process fleet")
+
+let hang_timeout_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "hang-timeout" ]
+        ~doc:"SIGKILL and restart a fleet worker whose progress stalls \
+              this many seconds (0 disables the watchdog)")
+
+let max_restarts_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "max-restarts" ]
+        ~doc:"crash-restart budget per fleet worker slot (exponential \
+              backoff between restarts)")
+
+let rate_limit_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "rate-limit" ]
+        ~doc:"per-tenant token-bucket rate, requests per second (0 = \
+              unlimited); an empty bucket sheds load with a structured \
+              $(i,overloaded) error carrying a retry-after hint")
+
+let burst_arg =
+  Arg.(
+    value & opt float 8.0
+    & info [ "burst" ] ~doc:"token-bucket burst size (with --rate-limit)")
+
+let chaos_fleet_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-fleet" ] ~docv:"SPECS"
+        ~doc:
+          "fault injection for the fleet: ';'-separated specs \
+           $(i,kill@W.G.N), $(i,hang:SECS@W.G.N), $(i,drop@W.G.N) (worker \
+           slot W, spawn generation G, Nth dispatch).  Results are \
+           byte-identical regardless")
+
 let () =
   let term =
     Term.(
       const run $ socket_arg $ max_queue_arg $ workers_arg $ cache_arg
-      $ domains_arg $ progress_arg $ trace_arg)
+      $ domains_arg $ progress_arg $ trace_arg $ in_process_arg
+      $ hang_timeout_arg $ max_restarts_arg $ rate_limit_arg $ burst_arg
+      $ chaos_fleet_arg)
   in
   let info =
     Cmd.info "ftqcd" ~doc:"persistent FTQC estimation service daemon"

@@ -188,7 +188,8 @@ let flush_locked t =
      span is emitted with an explicit root parent: flushes fire from
      whichever worker crossed the threshold, where no ambient request
      context applies. *)
-  if not (Obs.Trace.enabled ()) then begin
+  if t.file = "" then t.dirty <- 0
+  else if not (Obs.Trace.enabled ()) then begin
     Json.write_atomic ~fsync:t.fsync ~file:t.file (to_json_locked t);
     t.dirty <- 0
   end
@@ -234,6 +235,16 @@ let create ?(flush_every = default_flush_every) ?(fsync = false) file =
     | () -> Ok t
     | exception Sys_error msg -> Error (Printf.sprintf "%s: %s" file msg)
   end
+
+let in_memory () =
+  (* The "" file sentinel never reaches the filesystem: [flush_locked]
+     short-circuits on it, so an in-memory store is a plain chunk
+     ledger with the same find/record/completed surface.  Used by the
+     fleet coordinator (per-request re-dispatch ledger) and by workers
+     (range-restricted prefill ledger), where durability is owned by
+     the coordinator's own store, not this one. *)
+  { file = ""; flush_every = max_int; fsync = false; jobs = Hashtbl.create 8;
+    mutex = Mutex.create (); dirty = 0; flushes = 0 }
 
 let load ?(flush_every = default_flush_every) ?(fsync = false) file =
   if flush_every < 1 then invalid_arg "Mc.Campaign.load: flush_every must be >= 1";

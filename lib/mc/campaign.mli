@@ -51,7 +51,14 @@ val create : ?flush_every:int -> ?fsync:bool -> string -> (t, string) result
     [Error] with a filename-prefixed diagnostic. *)
 val load : ?flush_every:int -> ?fsync:bool -> string -> (t, string) result
 
-(** The checkpoint file path. *)
+(** [in_memory ()] — a store that never touches the filesystem
+    ({!file} returns [""]; flushes are no-ops).  Same thread-safe
+    find/record surface as a disk store; used as the fleet
+    coordinator's per-request re-dispatch ledger and as a worker's
+    range-restricted replay ledger. *)
+val in_memory : unit -> t
+
+(** The checkpoint file path ([""] for an {!in_memory} store). *)
 val file : t -> string
 
 (** [find t ~job ~chunk] — cached failure count of a completed chunk,

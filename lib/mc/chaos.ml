@@ -66,3 +66,80 @@ let all l =
     ~on_trial:(fun ~chunk ~attempt ~trial ->
       List.iter (fun c -> c.on_trial ~chunk ~attempt ~trial) l)
     ()
+
+(* ------------------------------------------------------- fleet chaos *)
+
+(* Fleet-level faults target worker *processes*, which are separate
+   address spaces reached by re-exec — so unlike the closure hooks
+   above, these must be plain data that survives a trip through an
+   environment variable.  A spec names the victim by (worker slot,
+   spawn generation, dispatch ordinal): generation 0 is the initially
+   spawned process, so a restarted worker (generation >= 1) does not
+   re-trigger the same fault, which is exactly what the byte-identity
+   test needs. *)
+
+type fleet_event =
+  | Kill_worker
+  | Hang_worker of float
+  | Drop_result
+
+type fleet = {
+  f_worker : int;  (* worker slot the fault targets *)
+  f_gen : int;  (* spawn generation of the victim process *)
+  f_nth : int;  (* 0-based ordinal of the dispatch that triggers it *)
+  f_event : fleet_event;
+}
+
+let kill_worker ?(gen = 0) ?(nth = 0) ~worker () =
+  { f_worker = worker; f_gen = gen; f_nth = nth; f_event = Kill_worker }
+
+let hang_worker ?(gen = 0) ?(nth = 0) ~worker ~seconds () =
+  { f_worker = worker; f_gen = gen; f_nth = nth; f_event = Hang_worker seconds }
+
+let drop_result ?(gen = 0) ?(nth = 0) ~worker () =
+  { f_worker = worker; f_gen = gen; f_nth = nth; f_event = Drop_result }
+
+let fleet_to_string s =
+  let at = Printf.sprintf "@%d.%d.%d" s.f_worker s.f_gen s.f_nth in
+  match s.f_event with
+  | Kill_worker -> "kill" ^ at
+  | Hang_worker secs -> Printf.sprintf "hang:%g%s" secs at
+  | Drop_result -> "drop" ^ at
+
+let fleet_of_string str =
+  let fail () = Error (Printf.sprintf "bad fleet chaos spec %S" str) in
+  match String.index_opt str '@' with
+  | None -> fail ()
+  | Some i -> (
+    let ev = String.sub str 0 i in
+    let addr = String.sub str (i + 1) (String.length str - i - 1) in
+    match String.split_on_char '.' addr with
+    | [ w; g; n ] -> (
+      match (int_of_string_opt w, int_of_string_opt g, int_of_string_opt n) with
+      | Some f_worker, Some f_gen, Some f_nth -> (
+        let spec f_event = Ok { f_worker; f_gen; f_nth; f_event } in
+        match String.split_on_char ':' ev with
+        | [ "kill" ] -> spec Kill_worker
+        | [ "drop" ] -> spec Drop_result
+        | [ "hang"; secs ] -> (
+          match float_of_string_opt secs with
+          | Some s when s >= 0.0 -> spec (Hang_worker s)
+          | _ -> fail ())
+        | _ -> fail ())
+      | _ -> fail ())
+    | _ -> fail ())
+
+let fleet_env = "FTQC_FLEET_CHAOS"
+
+let fleet_list_to_string l = String.concat ";" (List.map fleet_to_string l)
+
+let fleet_list_of_string str =
+  if String.trim str = "" then Ok []
+  else
+    List.fold_left
+      (fun acc part ->
+        Result.bind acc (fun l ->
+            Result.map (fun s -> s :: l) (fleet_of_string part)))
+      (Ok [])
+      (String.split_on_char ';' str)
+    |> Result.map List.rev

@@ -59,3 +59,52 @@ val at_chunk : chunk:int -> (unit -> unit) -> t
 
 (** [all l] — fan each hook out to every bundle in [l], in order. *)
 val all : t list -> t
+
+(** {1 Fleet-level chaos}
+
+    Faults that target worker {e processes} of a distributed fleet
+    rather than chunks of an in-process run.  Workers live in separate
+    address spaces (spawned by re-exec), so these are serializable
+    specs, not closures: [Svc.Fleet] ships them to the victim through
+    an environment variable.  The victim is addressed by
+    (worker slot, spawn generation, dispatch ordinal); generation
+    defaults to 0 so a restarted worker does not re-trigger the fault,
+    which is what lets the byte-identity chaos test converge. *)
+
+type fleet_event =
+  | Kill_worker  (** SIGKILL self at dispatch — crash without cleanup *)
+  | Hang_worker of float  (** sleep this long before computing *)
+  | Drop_result  (** compute but never send the reply *)
+
+type fleet = {
+  f_worker : int;
+  f_gen : int;
+  f_nth : int;  (** 0-based ordinal of the triggering dispatch *)
+  f_event : fleet_event;
+}
+
+(** [kill_worker ?gen ?nth ~worker ()] — the worker SIGKILLs itself
+    when its [nth] dispatch arrives (defaults: generation 0, first
+    dispatch). *)
+val kill_worker : ?gen:int -> ?nth:int -> worker:int -> unit -> fleet
+
+(** [hang_worker ?gen ?nth ~worker ~seconds ()] — sleep before
+    computing, long enough to trip the coordinator's hang watchdog. *)
+val hang_worker :
+  ?gen:int -> ?nth:int -> worker:int -> seconds:float -> unit -> fleet
+
+(** [drop_result ?gen ?nth ~worker ()] — compute the shard but
+    swallow the reply, exercising lost-result detection. *)
+val drop_result : ?gen:int -> ?nth:int -> worker:int -> unit -> fleet
+
+(** Round-trippable textual forms: ["kill@W.G.N"], ["hang:SECS@W.G.N"],
+    ["drop@W.G.N"], joined with [';'] in list form. *)
+val fleet_to_string : fleet -> string
+
+val fleet_of_string : string -> (fleet, string) result
+val fleet_list_to_string : fleet list -> string
+val fleet_list_of_string : string -> (fleet list, string) result
+
+(** The environment variable ([FTQC_FLEET_CHAOS]) through which
+    [Svc.Fleet] ships specs to worker processes. *)
+val fleet_env : string

@@ -44,6 +44,11 @@ let resolve_chunk ~trials = function
   | Some c when c >= 1 -> c
   | Some _ -> invalid_arg "Mc.Runner: chunk must be >= 1"
 
+(* The chunk size an entry point picks when the caller passes no
+   [?chunk] — exported so out-of-process shard planners (Svc.Exec) can
+   reproduce the exact job key a driver's run will use. *)
+let default_chunk ~trials = resolve_chunk ~trials None
+
 let resolve_obs = function None -> Obs.none | Some o -> o
 
 (* ------------------------------------------------------- supervision *)
@@ -100,8 +105,23 @@ type 'acc sup = {
   timeout : float;  (* per-chunk watchdog, seconds; 0 = off *)
   retries : int;
   backoff : float;  (* base retry delay, doubled per attempt *)
+  jitter : idx:int -> attempt:int -> float;  (* backoff multiplier *)
   chaos : Chaos.t;
 }
+
+(* Deterministic retry-backoff jitter: a factor in [0.5, 1.5) drawn
+   from a stream split off the chunk's own key under a reserved tag,
+   so fleet workers retrying the same wave of chunks de-synchronize
+   their sleeps without consuming a single draw of any chunk's trial
+   stream.  Purely a timing perturbation: counts cannot depend on
+   it. *)
+let jitter_tag = 0x6a69 (* "ji" *)
+
+let backoff_jitter ~seed ~idx ~attempt =
+  let key =
+    Rng.split (Rng.split (Rng.split (Rng.root seed) idx) jitter_tag) attempt
+  in
+  0.5 +. Rng.float (Rng.of_key key) 1.0
 
 let resolve_sup_args ?chunk_timeout ?(retries = default_retries)
     ?(backoff = default_backoff) ?(chaos = Chaos.none) () =
@@ -116,7 +136,7 @@ let resolve_sup_args ?chunk_timeout ?(retries = default_retries)
   if backoff < 0.0 then invalid_arg "Mc.Runner: backoff must be >= 0";
   (chunk_timeout, retries, backoff, chaos)
 
-let plain_sup ~timeout ~retries ~backoff ~chaos =
+let plain_sup ~seed ~timeout ~retries ~backoff ~chaos =
   { skip = (fun _ -> None);
     record = (fun _ _ -> ());
     flush = ignore;
@@ -124,6 +144,7 @@ let plain_sup ~timeout ~retries ~backoff ~chaos =
     timeout;
     retries;
     backoff;
+    jitter = (fun ~idx ~attempt -> backoff_jitter ~seed ~idx ~attempt);
     chaos }
 
 (* Counting paths persist through the campaign store: explicit
@@ -133,7 +154,7 @@ let counting_sup ?campaign ~engine ~seed ~trials ~chunk ~timeout ~retries
   match
     match campaign with Some c -> Some c | None -> Campaign.current ()
   with
-  | None -> plain_sup ~timeout ~retries ~backoff ~chaos
+  | None -> plain_sup ~seed ~timeout ~retries ~backoff ~chaos
   | Some store ->
     let job =
       { Campaign.label = Campaign.label (); engine; seed; trials; chunk }
@@ -141,10 +162,12 @@ let counting_sup ?campaign ~engine ~seed ~trials ~chunk ~timeout ~retries
     { skip = (fun idx -> Campaign.find store ~job ~chunk:idx);
       record = (fun idx n -> Campaign.record store ~job ~chunk:idx ~failures:n);
       flush = (fun () -> Campaign.flush store);
-      file = Some (Campaign.file store);
+      (* in-memory stores ("" path) have no on-disk resume token *)
+      file = (match Campaign.file store with "" -> None | f -> Some f);
       timeout;
       retries;
       backoff;
+      jitter = (fun ~idx ~attempt -> backoff_jitter ~seed ~idx ~attempt);
       chaos }
 
 (* Run one chunk attempt-by-attempt: chaos hooks fire first, the RNG
@@ -170,7 +193,8 @@ let supervised_attempts ~sup ~idx ~retried ~timeouts body =
       Atomic.incr retried;
       (match e with Chunk_timeout _ -> Atomic.incr timeouts | _ -> ());
       if sup.backoff > 0.0 then
-        Unix.sleepf (sup.backoff *. Float.of_int (1 lsl a));
+        Unix.sleepf
+          (sup.backoff *. Float.of_int (1 lsl a) *. sup.jitter ~idx ~attempt:a);
       attempt (a + 1)
     | exception e when retryable e ->
       (match e with Chunk_timeout _ -> Atomic.incr timeouts | _ -> ());
@@ -526,7 +550,7 @@ let map_reduce_ctx ?domains ?chunk ?obs ?chunk_timeout ?retries ?backoff
   let timeout, retries, backoff, chaos =
     resolve_sup_args ?chunk_timeout ?retries ?backoff ?chaos ()
   in
-  let sup = plain_sup ~timeout ~retries ~backoff ~chaos in
+  let sup = plain_sup ~seed ~timeout ~retries ~backoff ~chaos in
   map_reduce_sup ~domains ~chunk ~obs ~trials ~seed ~sup ~worker_init ~init
     ~accum ~merge trial
 

@@ -124,8 +124,19 @@ val set_default_chunk_timeout : float -> unit
 val default_chunk_timeout : unit -> float
 
 (** Default base backoff delay in seconds (0.1, doubling per
-    attempt). *)
+    attempt).  Each retry sleep is additionally scaled by a
+    deterministic jitter factor in [\[0.5, 1.5)], drawn from a stream
+    split off the chunk's own RNG key under a reserved tag — so a
+    fleet of workers retrying the same wave of chunks de-synchronizes
+    its sleeps, while consuming no draw of any chunk's trial stream
+    (counts are unaffected by construction). *)
 val default_backoff : float
+
+(** [default_chunk ~trials] — the chunk size an entry point picks
+    when the caller passes no [?chunk] (at most 1024 chunks).
+    Exported so out-of-process shard planners ([Svc.Exec]) can
+    reproduce the exact campaign job key a driver's run will use. *)
+val default_chunk : trials:int -> int
 
 (** {1 Models}
 

@@ -1,6 +1,10 @@
 module Json = Obs.Json
 
-type error = { code : string; message : string }
+type error = {
+  code : string;
+  message : string;
+  retry_after_s : float option;
+}
 
 type outcome = {
   payload : Protocol.payload;
@@ -19,7 +23,7 @@ type progress = {
   p_phase : string option;
 }
 
-let transport message = { code = "transport"; message }
+let transport message = { code = "transport"; message; retry_after_s = None }
 
 let connect ~socket =
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
@@ -59,18 +63,19 @@ let error_of_frame j =
   {
     code = Option.value ~default:"error" (field_string j "code");
     message = Option.value ~default:"(no message)" (field_string j "message");
+    retry_after_s = field_float j "retry_after_s";
   }
 
-let send fd req =
+let send ?tenant ?priority fd req =
   try
-    Codec.write fd (Protocol.request_frame req);
+    Codec.write fd (Protocol.request_frame ?tenant ?priority req);
     Ok ()
   with
   | Unix.Unix_error (e, _, _) -> Error (transport (Unix.error_message e))
   | Failure msg -> Error (transport msg)
 
-let request ?on_progress fd est =
-  match send fd (Protocol.Run est) with
+let request ?on_progress ?tenant ?priority fd est =
+  match send ?tenant ?priority fd (Protocol.Run est) with
   | Error _ as e -> e
   | Ok () ->
     (* ack, then any number of progress frames, then meta + result
@@ -148,3 +153,61 @@ let ping fd =
 
 let shutdown fd =
   Result.map (fun _ -> ()) (simple fd Protocol.Shutdown ~expect:"ok")
+
+(* --------------------------------------------------------- retries *)
+
+(* Deterministic jitter: the retry schedule is a pure function of the
+   request (seeded from its canonical hash) and the attempt number, so
+   reruns of a script retry at the same instants — same spirit as the
+   runner's chunk-RNG backoff jitter.  A herd of *distinct* requests
+   still de-synchronizes, because distinct hashes give distinct
+   schedules. *)
+let retry_jitter ~hash ~attempt =
+  let hex = String.sub hash 0 (min 15 (String.length hash)) in
+  let seed =
+    match int_of_string_opt ("0x" ^ hex) with Some s -> s | None -> 0
+  in
+  let key = Mc.Rng.split (Mc.Rng.split (Mc.Rng.root seed) 0x7274) attempt in
+  0.5 +. (0.5 *. Mc.Rng.float (Mc.Rng.of_key key) 1.0)
+
+let retryable_code = function "overloaded" -> true | _ -> false
+
+let request_retrying ?on_progress ?tenant ?priority ?(retries = 0)
+    ?(retry_cap = 30.0) ?(backoff = 0.5) ?(sleep = Unix.sleepf) ~socket est =
+  if retries < 0 then invalid_arg "Client.request_retrying: retries < 0";
+  if retry_cap <= 0.0 then
+    invalid_arg "Client.request_retrying: retry_cap must be > 0";
+  let hash = Protocol.hash (Run est) in
+  let rec go attempt =
+    (* a fresh connection per attempt: an [overloaded] reply or a
+       refused connect leaves no descriptor worth reusing *)
+    let verdict =
+      match connect ~socket with
+      | Error msg -> `Retryable (transport msg)
+      | Ok fd -> (
+        let r =
+          Fun.protect
+            ~finally:(fun () -> close fd)
+            (fun () -> request ?on_progress ?tenant ?priority fd est)
+        in
+        match r with
+        | Error e when retryable_code e.code -> `Retryable e
+        | r -> `Final r)
+    in
+    match verdict with
+    | `Final r -> r
+    | `Retryable e ->
+      if attempt >= retries then Error e
+      else begin
+        let base =
+          backoff
+          *. Float.of_int (1 lsl min attempt 16)
+          *. retry_jitter ~hash ~attempt
+        in
+        (* never retry earlier than the server said to *)
+        let hint = Option.value ~default:0.0 e.retry_after_s in
+        sleep (Float.min retry_cap (Float.max hint base));
+        go (attempt + 1)
+      end
+  in
+  go 0

@@ -14,6 +14,9 @@ type error = {
           [shutting_down], …) or ["transport"] for connection-level
           failures *)
   message : string;
+  retry_after_s : float option;
+      (** server hint accompanying [overloaded]: earliest useful
+          retry, in seconds *)
 }
 
 type outcome = {
@@ -43,10 +46,36 @@ type progress = {
   p_phase : string option;
 }
 
-(** [request ?on_progress fd est] — run one estimator remotely. *)
+(** [request ?on_progress ?tenant ?priority fd est] — run one
+    estimator remotely.  [tenant] and [priority] (["high"] |
+    ["normal"]) ride at frame level for the daemon's QoS scheduler;
+    they never enter the canonical request, so the result bytes do
+    not depend on them. *)
 val request :
   ?on_progress:(progress -> unit) ->
+  ?tenant:string ->
+  ?priority:string ->
   Unix.file_descr ->
+  Protocol.estimator ->
+  (outcome, error) result
+
+(** [request_retrying ~socket est] — {!request} on a fresh connection
+    per attempt, with bounded retry on [overloaded] replies and
+    failed connects (other errors return immediately).  Off by
+    default ([retries = 0]).  The backoff is exponential
+    ([backoff * 2^attempt], default base 0.5s) with {e deterministic}
+    jitter — a pure function of the request's canonical hash and the
+    attempt number — floored at the server's [retry_after_s] hint and
+    capped at [retry_cap] (default 30s).  [sleep] is a test hook. *)
+val request_retrying :
+  ?on_progress:(progress -> unit) ->
+  ?tenant:string ->
+  ?priority:string ->
+  ?retries:int ->
+  ?retry_cap:float ->
+  ?backoff:float ->
+  ?sleep:(float -> unit) ->
+  socket:string ->
   Protocol.estimator ->
   (outcome, error) result
 

@@ -1,0 +1,69 @@
+(** Request execution and shard planning.
+
+    {!execute} is the single-process reference semantics: it
+    reproduces the experiments drivers' calls exactly (entry points,
+    per-cell seed derivations, result names), so a service reply can
+    be diffed against a direct [experiments] manifest.
+
+    The rest of the module decomposes the same work for the
+    distributed fleet.  A scalar- or batch-engine request splits into
+    {!cell}s — one per independent driver call — and each cell pins
+    the campaign chunk ledger its single [Mc.Runner] call will
+    produce: every driver passes its seed unchanged into exactly one
+    runner call and never overrides the chunk size, so the job key is
+    a pure function of the cell.  {!cell_counts} runs an arbitrary
+    chunk sub-range of a cell in the current process by zero-
+    prefilling an in-memory campaign store outside the range and
+    letting the unmodified driver replay the prefills; {!assemble}
+    rebuilds the full payload from per-cell failure totals,
+    bit-identically to {!execute} at any shard decomposition. *)
+
+(** [execute ?domains ?obs est] — run the full request in this
+    process.  May raise (estimator errors surface as [Failure] /
+    [Invalid_argument]); the caller owns the try. *)
+val execute :
+  ?domains:int -> ?obs:Obs.t -> Protocol.estimator -> Protocol.payload
+
+(** One independent driver call of a request's decomposition. *)
+type cell = {
+  c_index : int;  (** position in the request's cell order *)
+  c_name : string;  (** payload cell name, e.g. ["l=4,p=0.01"] *)
+  c_engine : string;  (** campaign engine tag: ["scalar"] or ["batch"] *)
+  c_seed : int;  (** the seed the driver passes to its runner call *)
+  c_trials : int;
+  c_chunk : int;  (** the chunk size that runner call will use *)
+}
+
+(** [Whole] — not chunk-shardable (any rare-engine request): dispatch
+    the entire request to one worker.  [Sharded cells] — the ordered
+    cell decomposition. *)
+type plan = Whole | Sharded of cell list
+
+val plan : Protocol.estimator -> plan
+
+(** Number of campaign chunks of a cell's ledger. *)
+val nchunks : cell -> int
+
+(** The campaign job key of a cell's runner call (label [""]). *)
+val job_of_cell : cell -> Mc.Campaign.job
+
+(** [cell_counts est cell ~lo ~hi] — compute chunks [lo, hi) of
+    [cell]'s ledger and return [(chunk_index, failures)] pairs in
+    chunk order.  Runs the unmodified driver under a range-prefilled
+    in-memory campaign store (saving and restoring the ambient
+    store).  Raises [Invalid_argument] on a bad range and [Failure]
+    if the driver's job key does not match the plan (a planner bug —
+    fail loud, never a wrong count). *)
+val cell_counts :
+  ?domains:int ->
+  ?obs:Obs.t ->
+  Protocol.estimator ->
+  cell ->
+  lo:int ->
+  hi:int ->
+  (int * int) list
+
+(** [assemble est ~totals] — the full payload from per-cell failure
+    totals (indexed by [c_index]).  Bit-identical to {!execute} for
+    sharded plans. *)
+val assemble : Protocol.estimator -> totals:int array -> Protocol.payload

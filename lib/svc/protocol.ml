@@ -518,7 +518,18 @@ let frame typ fields =
     (("proto", Json.String proto_version) :: ("type", Json.String typ)
    :: fields)
 
-let request_frame r = frame "request" [ ("body", request_to_json r) ]
+(* [tenant]/[priority] are frame-level QoS hints, deliberately outside
+   [body]: the canonical request string — and with it the cache key and
+   result-frame bytes — must not depend on who asked or how urgently. *)
+let request_frame ?tenant ?priority r =
+  frame "request"
+    (("body", request_to_json r)
+     :: (match tenant with
+        | None -> []
+        | Some t -> [ ("tenant", Json.String t) ])
+    @ match priority with
+      | None -> []
+      | Some p -> [ ("priority", Json.String p) ])
 
 let result_frame ~key payload =
   frame "result" [ ("key", String key); ("payload", payload_to_json payload) ]
@@ -546,8 +557,13 @@ let meta_frame ~cached ~coalesced ~wall_s =
     [ ("cached", Bool cached); ("coalesced", Bool coalesced);
       ("wall_s", Float wall_s) ]
 
-let error_frame ~code ~message =
-  frame "error" [ ("code", String code); ("message", String message) ]
+let error_frame ?retry_after_s ~code ~message () =
+  frame "error"
+    ([ ("code", Json.String code); ("message", Json.String message) ]
+    @
+    match retry_after_s with
+    | None -> []
+    | Some s -> [ ("retry_after_s", Json.Float s) ])
 
 let pong_frame = frame "pong" []
 let ok_frame = frame "ok" []
@@ -556,8 +572,8 @@ let ok_frame = frame "ok" []
    default to absent so existing callers (and tests pinning the old
    shape) keep working; name-based frame reading makes the addition
    wire-safe. *)
-let status_frame ?workers ?busy ?jobs ~uptime_s ~queue_depth ~queue_capacity
-    ~cache_length ~cache_capacity ~metrics () =
+let status_frame ?workers ?busy ?jobs ?fleet ?tenants ~uptime_s ~queue_depth
+    ~queue_capacity ~cache_length ~cache_capacity ~metrics () =
   frame "status"
     ([ ("uptime_s", Json.Float uptime_s);
        ( "queue",
@@ -574,6 +590,8 @@ let status_frame ?workers ?busy ?jobs ~uptime_s ~queue_depth ~queue_capacity
             Json.Obj [ ("count", Json.Int w); ("busy", Json.Int b) ] ) ]
       | _ -> [])
     @ (match jobs with None -> [] | Some l -> [ ("jobs", Json.List l) ])
+    @ (match fleet with None -> [] | Some f -> [ ("fleet", f) ])
+    @ (match tenants with None -> [] | Some l -> [ ("tenants", Json.List l) ])
     @ [ ("metrics", metrics) ])
 
 let frame_field j k =

@@ -129,6 +129,12 @@ val proto_version : string
 val request_to_json : request -> Obs.Json.t
 val request_of_json : Obs.Json.t -> (request, string) result
 
+(** Estimator body alone (the [Run] payload) — the fleet ships these
+    over worker pipes. *)
+val estimator_to_json : estimator -> Obs.Json.t
+
+val estimator_of_json : Obs.Json.t -> (estimator, string) result
+
 (** [to_canonical r] — the canonical encoding: [request_to_json]
     rendered by the deterministic encoder.  Equal requests (after
     default-filling) yield equal strings. *)
@@ -164,7 +170,13 @@ val payload_of_json : Obs.Json.t -> (payload, string) result
     else.  Server→client frame types: [ack], [progress], [meta],
     [result], [error], [pong], [status], [ok]. *)
 
-val request_frame : request -> Obs.Json.t
+(** [request_frame ?tenant ?priority r] — [tenant] (client identity
+    for QoS accounting, default ["anon"] server-side) and [priority]
+    (["high"] | ["normal"]) are frame-level fields, deliberately
+    outside the request body so the cache key and result bytes do not
+    depend on them. *)
+val request_frame :
+  ?tenant:string -> ?priority:string -> request -> Obs.Json.t
 
 (** [result_frame ~key payload] — the final reply.  Pure function of
     (key, payload): cached, coalesced and fresh replies to the same
@@ -196,7 +208,11 @@ val progress_frame :
 val meta_frame :
   cached:bool -> coalesced:bool -> wall_s:float -> Obs.Json.t
 
-val error_frame : code:string -> message:string -> Obs.Json.t
+(** [error_frame ?retry_after_s ~code ~message ()] — terminal error
+    reply.  [retry_after_s] accompanies [code = "overloaded"]: the
+    earliest time (seconds) a retry can be admitted. *)
+val error_frame :
+  ?retry_after_s:float -> code:string -> message:string -> unit -> Obs.Json.t
 val pong_frame : Obs.Json.t
 val ok_frame : Obs.Json.t
 
@@ -204,11 +220,15 @@ val ok_frame : Obs.Json.t
     pool size and how many are executing) and [jobs] (one object per
     in-flight request: key, state, elapsed, completion) are the
     introspection extension and are omitted when absent, keeping the
-    frame wire-compatible. *)
+    frame wire-compatible.  [fleet] (worker-process registry and
+    restart counters) and [tenants] (per-tenant QoS rows) extend the
+    same way. *)
 val status_frame :
   ?workers:int ->
   ?busy:int ->
   ?jobs:Obs.Json.t list ->
+  ?fleet:Obs.Json.t ->
+  ?tenants:Obs.Json.t list ->
   uptime_s:float ->
   queue_depth:int ->
   queue_capacity:int ->

@@ -1,0 +1,235 @@
+(* Per-tenant quality of service: token-bucket rate limiting at the
+   front door and a two-level deficit-round-robin scheduler between
+   admission and the workers.
+
+   The limiter is deliberately time-explicit ([~now] is an argument,
+   not a clock read) so tests drive it deterministically.  The
+   scheduler replaces the plain FIFO between admission and workers:
+   high priority is served strictly before normal, and within a level
+   tenants share capacity by deficit round robin — each visit tops a
+   tenant's deficit up by [quantum] and the tenant may spend it on its
+   queued jobs' costs (cost = the request's trial volume), so a tenant
+   submitting huge campaigns cannot starve one submitting small
+   probes.  One item is dispensed per [pop]; a tenant that still has
+   work re-enters the ring at the back with its remaining deficit. *)
+
+(* ------------------------------------------------------ rate limits *)
+
+type limit = { rate : float; burst : float }
+
+let unlimited = { rate = 0.0; burst = 0.0 }
+
+let limit ~rate ~burst =
+  if rate < 0.0 then invalid_arg "Qos.limit: rate must be >= 0";
+  if rate > 0.0 && burst < 1.0 then
+    invalid_arg "Qos.limit: burst must be >= 1";
+  { rate; burst }
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type limiter = {
+  lim : limit;
+  buckets : (string, bucket) Hashtbl.t;
+  lmu : Mutex.t;
+}
+
+let limiter lim = { lim; buckets = Hashtbl.create 8; lmu = Mutex.create () }
+
+let admit l ~tenant ~now =
+  if l.lim.rate <= 0.0 then `Ok
+  else begin
+    Mutex.lock l.lmu;
+    let b =
+      match Hashtbl.find_opt l.buckets tenant with
+      | Some b -> b
+      | None ->
+        let b = { tokens = l.lim.burst; last = now } in
+        Hashtbl.replace l.buckets tenant b;
+        b
+    in
+    (* monotone refill; a clock step backwards refills nothing *)
+    let dt = now -. b.last in
+    if dt > 0.0 then b.tokens <- Float.min l.lim.burst (b.tokens +. (dt *. l.lim.rate));
+    b.last <- Float.max b.last now;
+    let verdict =
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        `Ok
+      end
+      else `Retry_after ((1.0 -. b.tokens) /. l.lim.rate)
+    in
+    Mutex.unlock l.lmu;
+    verdict
+  end
+
+(* -------------------------------------------------------- scheduler *)
+
+let default_quantum = 100_000
+
+(* A cost clamp bounds how many quantum top-ups one item can require
+   before it is served, which in turn bounds the ring walk in [pick]. *)
+let max_cost_quanta = 16
+
+type 'a tenant_q = {
+  jobs : (int * 'a) Queue.t;  (* (cost, item) *)
+  mutable deficit : int;
+  mutable in_ring : bool;
+}
+
+type 'a level = {
+  tenants : (string, 'a tenant_q) Hashtbl.t;
+  ring : string Queue.t;  (* tenants with queued work, visit order *)
+}
+
+let make_level () = { tenants = Hashtbl.create 8; ring = Queue.create () }
+
+type 'a t = {
+  capacity : int;
+  quantum : int;
+  high : 'a level;
+  normal : 'a level;
+  mutable depth : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ?(quantum = default_quantum) ~capacity () =
+  if capacity < 1 then invalid_arg "Qos.create: capacity must be >= 1";
+  if quantum < 1 then invalid_arg "Qos.create: quantum must be >= 1";
+  { capacity;
+    quantum;
+    high = make_level ();
+    normal = make_level ();
+    depth = 0;
+    closed = false;
+    lock = Mutex.create ();
+    nonempty = Condition.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = t.capacity
+let depth t = locked t (fun () -> t.depth)
+
+let push t ~tenant ~high ~cost v =
+  locked t (fun () ->
+      if t.closed then Error `Closed
+      else if t.depth >= t.capacity then Error `Overloaded
+      else begin
+        let level = if high then t.high else t.normal in
+        let tq =
+          match Hashtbl.find_opt level.tenants tenant with
+          | Some tq -> tq
+          | None ->
+            let tq =
+              { jobs = Queue.create (); deficit = 0; in_ring = false }
+            in
+            Hashtbl.replace level.tenants tenant tq;
+            tq
+        in
+        let cost = max 1 (min cost (max_cost_quanta * t.quantum)) in
+        Queue.add (cost, v) tq.jobs;
+        if not tq.in_ring then begin
+          tq.in_ring <- true;
+          Queue.add tenant level.ring
+        end;
+        t.depth <- t.depth + 1;
+        Condition.signal t.nonempty;
+        Ok ()
+      end)
+
+(* One DRR dispense from a level.  The clamp guarantees any head item
+   is servable within [max_cost_quanta] top-ups, so the walk is
+   bounded by [max_cost_quanta * |ring|] visits. *)
+let pick t level =
+  if Queue.is_empty level.ring then None
+  else begin
+    let guard = ref (max_cost_quanta * (Queue.length level.ring + 1)) in
+    let result = ref None in
+    while !result = None && !guard > 0 do
+      decr guard;
+      let tenant = Queue.take level.ring in
+      let tq = Hashtbl.find level.tenants tenant in
+      let cost, _ = Queue.peek tq.jobs in
+      if tq.deficit < cost then begin
+        tq.deficit <- tq.deficit + t.quantum;
+        if tq.deficit >= cost then begin
+          let cost, v = Queue.take tq.jobs in
+          tq.deficit <- tq.deficit - cost;
+          if Queue.is_empty tq.jobs then begin
+            tq.deficit <- 0;
+            tq.in_ring <- false
+          end
+          else Queue.add tenant level.ring;
+          result := Some v
+        end
+        else Queue.add tenant level.ring
+      end
+      else begin
+        let cost, v = Queue.take tq.jobs in
+        tq.deficit <- tq.deficit - cost;
+        if Queue.is_empty tq.jobs then begin
+          tq.deficit <- 0;
+          tq.in_ring <- false
+        end
+        else Queue.add tenant level.ring;
+        result := Some v
+      end
+    done;
+    !result
+  end
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        if t.depth = 0 && not t.closed then begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ();
+      if t.depth = 0 then None
+      else begin
+        let v =
+          match pick t t.high with
+          | Some v -> Some v
+          | None -> pick t t.normal
+        in
+        match v with
+        | Some _ as v ->
+          t.depth <- t.depth - 1;
+          v
+        | None ->
+          (* unreachable while depth tracks ring contents; fail loud
+             rather than spin *)
+          failwith "Qos.pop: depth/ring invariant broken"
+      end)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+(* Per-tenant queued counts, for status introspection. *)
+let tenants t =
+  locked t (fun () ->
+      let count level tenant =
+        match Hashtbl.find_opt level.tenants tenant with
+        | Some tq -> Queue.length tq.jobs
+        | None -> 0
+      in
+      let names = Hashtbl.create 8 in
+      List.iter
+        (fun (level : 'a level) ->
+          Hashtbl.iter
+            (fun name tq ->
+              if Queue.length tq.jobs > 0 then Hashtbl.replace names name ())
+            level.tenants)
+        [ t.high; t.normal ];
+      Hashtbl.fold
+        (fun name () acc ->
+          (name, count t.high name, count t.normal name) :: acc)
+        names []
+      |> List.sort compare)

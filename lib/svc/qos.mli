@@ -1,0 +1,71 @@
+(** Per-tenant quality of service: token-bucket rate limits and a
+    two-level fair scheduler.
+
+    {1 Rate limiting}
+
+    A {!limiter} keeps one token bucket per tenant key: [rate] tokens
+    accrue per second up to [burst], one request costs one token, and
+    an empty bucket yields [`Retry_after] with the exact time until
+    the next token — the daemon forwards it as the [overloaded]
+    reply's retry-after hint.  [rate <= 0] (the {!unlimited} default)
+    disables limiting entirely.  Time is an explicit argument so tests
+    are deterministic.
+
+    {1 Scheduling}
+
+    A {!t} replaces the admission FIFO between the front door and the
+    workers.  Two strict priority levels (high before normal, always);
+    within a level, tenants share by {e deficit round robin}: each
+    ring visit tops the tenant's deficit up by [quantum] and queued
+    jobs spend their [cost] (the request's trial volume, clamped to
+    16 quanta) against it — so a tenant submitting huge campaigns
+    cannot starve one submitting small probes.  Same contract as
+    {!Jobq}: {!push} never blocks ([`Overloaded] beyond capacity),
+    {!pop} blocks until work or {!close}, and a closed queue drains
+    before yielding [None]. *)
+
+type limit = { rate : float; burst : float }
+
+(** No limiting ([rate = 0]). *)
+val unlimited : limit
+
+(** [limit ~rate ~burst] — validated constructor: [rate >= 0]; when
+    limiting is on, [burst >= 1]. *)
+val limit : rate:float -> burst:float -> limit
+
+type limiter
+
+val limiter : limit -> limiter
+
+(** [admit l ~tenant ~now] — spend one token from [tenant]'s bucket
+    ([now] in seconds, any monotone clock).  [`Retry_after s] means
+    the bucket is empty and refills in [s] seconds.  Thread-safe. *)
+val admit : limiter -> tenant:string -> now:float -> [ `Ok | `Retry_after of float ]
+
+type 'a t
+
+val default_quantum : int
+
+val create : ?quantum:int -> capacity:int -> unit -> 'a t
+val capacity : 'a t -> int
+
+(** Entries currently queued across both levels. *)
+val depth : 'a t -> int
+
+val push :
+  'a t ->
+  tenant:string ->
+  high:bool ->
+  cost:int ->
+  'a ->
+  (unit, [ `Overloaded | `Closed ]) result
+
+(** [pop t] — block until an entry is dispensed; [None] once closed
+    and drained. *)
+val pop : 'a t -> 'a option
+
+val close : 'a t -> unit
+
+(** [(tenant, queued_high, queued_normal)] rows for tenants with
+    queued work, sorted — for status introspection. *)
+val tenants : 'a t -> (string * int * int) list

@@ -11,158 +11,35 @@ type config = {
   cache_capacity : int;
   domains : int option;
   progress_interval : float;
+  fleet : Fleet.config option;
+  limit : Qos.limit;
 }
 
 let config ?(max_queue = 32) ?(workers = 2) ?(cache_capacity = 128) ?domains
-    ?(progress_interval = 1.0) ~socket () =
+    ?(progress_interval = 1.0) ?fleet ?(limit = Qos.unlimited) ~socket () =
   if max_queue < 1 then invalid_arg "Server.config: max_queue must be >= 1";
   if workers < 1 then invalid_arg "Server.config: workers must be >= 1";
-  { socket; max_queue; workers; cache_capacity; domains; progress_interval }
+  { socket; max_queue; workers; cache_capacity; domains; progress_interval;
+    fleet; limit }
 
 (* ------------------------------------------------------- estimators *)
 
-(* Each arm reproduces the experiments driver's calls exactly — same
-   library entry point, same per-cell seed derivation, same result
-   names — so a service reply can be diffed against a direct
-   [experiments] manifest (and so canonical requests really do pin
-   down the bits of the answer). *)
-(* Rare-engine requests carry their own shot budget
-   (samples_per_class); the request's [trials] is part of the key but
-   not of the computation.  The weighted estimate is collapsed to the
-   wire's plain estimate shape (rate / stderr / CI, with the
-   truncation bound already folded into ci_high). *)
-let rare_config { Protocol.max_weight; samples_per_class } =
-  { Mc.Engine.default_rare with max_weight; samples_per_class }
+(* Single-process request execution lives in [Exec] (the fleet shares
+   it for shard computation); re-exported here for compatibility. *)
+let execute = Exec.execute
 
-let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
-    Protocol.payload =
-  let estimate_of ~failures ~trials =
-    Mc.Stats.estimate ~failures ~trials ()
-  in
+(* Admission cost of a request, for deficit-round-robin fairness:
+   total trial volume across the request's cells. *)
+let est_cost (est : Protocol.estimator) =
   match est with
-  | Steane_memory { level; eps; rounds; trials; seed; engine; tile_width } ->
-    let e =
-      match engine with
-      | `Scalar ->
-        Codes.Pauli_frame.memory_failure_mc ?domains ~obs ~level ~eps ~rounds
-          ~trials ~seed ()
-      | `Batch ->
-        Codes.Pauli_frame.memory_failure_batch ?domains ~obs ~tile_width
-          ~level ~eps ~rounds ~trials ~seed ()
-      | `Rare cfg ->
-        Mc.Stats.weighted_to_estimate
-          (Codes.Pauli_frame.memory_failure_rare ?domains ~obs
-             ~config:(rare_config cfg) ~level ~eps ~rounds ~seed ())
-    in
-    Estimate { name = Printf.sprintf "L%d@eps=%g" level eps; estimate = e }
-  | Toric_memory { l; p; trials; seed; engine; tile_width } ->
-    let e =
-      match engine with
-      | `Scalar ->
-        let r = Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed () in
-        estimate_of ~failures:r.failures ~trials:r.trials
-      | `Batch ->
-        let r =
-          Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p ~trials ~seed
-            ()
-        in
-        estimate_of ~failures:r.failures ~trials:r.trials
-      | `Rare cfg ->
-        Mc.Stats.weighted_to_estimate
-          (Toric.Memory.run_rare ?domains ~obs ~config:(rare_config cfg) ~l ~p
-             ~seed ())
-    in
-    Estimate { name = Printf.sprintf "l=%d,p=%g" l p; estimate = e }
-  | Toric_scan { ls; ps; trials; seed; engine; tile_width } ->
-    (* e10's loop shape: p outer (indexed), l inner, seed derived per
-       cell — cells coincide with [experiments e10 --seed seed]. *)
-    let cells = ref [] in
-    List.iteri
-      (fun pi p ->
-        List.iter
-          (fun l ->
-            let seed = Mc.Rng.derive seed [ 10; l; pi ] in
-            let e =
-              match engine with
-              | `Scalar ->
-                let r =
-                  Toric.Memory.run_mc ?domains ~obs ~l ~p ~trials ~seed ()
-                in
-                estimate_of ~failures:r.failures ~trials:r.trials
-              | `Batch ->
-                let r =
-                  Toric.Memory.run_batch ?domains ~obs ~tile_width ~l ~p
-                    ~trials ~seed ()
-                in
-                estimate_of ~failures:r.failures ~trials:r.trials
-              | `Rare cfg ->
-                Mc.Stats.weighted_to_estimate
-                  (Toric.Memory.run_rare ?domains ~obs
-                     ~config:(rare_config cfg) ~l ~p ~seed ())
-            in
-            cells :=
-              { Protocol.name = Printf.sprintf "l=%d,p=%g" l p; estimate = e }
-              :: !cells)
-          ls)
-      ps;
-    Cells (List.rev !cells)
-  | Toric_noisy { l; rounds; p; q; trials; seed; engine; tile_width } ->
-    let r =
-      match engine with
-      | `Scalar ->
-        Toric.Noisy_memory.run_mc ?domains ~obs ~l ~rounds ~p ~q ~trials
-          ~seed ()
-      | `Batch ->
-        Toric.Noisy_memory.run_batch ?domains ~obs ~tile_width ~l ~rounds ~p
-          ~q ~trials ~seed ()
-      | `Rare _ ->
-        (* unreachable through the protocol: estimator_of_json rejects
-           the combination *)
-        invalid_arg "Server.execute: toric_noisy has no rare engine"
-    in
-    Estimate
-      {
-        name = Printf.sprintf "l=%d,p=%g" l p;
-        estimate = estimate_of ~failures:r.failures ~trials:r.trials;
-      }
-  | Toric_circuit { l; rounds; eps; trials; seed; engine } ->
-    let e =
-      match engine with
-      | `Scalar ->
-        let r =
-          Toric.Circuit_memory.run_mc ?domains ~obs ~l ~rounds
-            ~noise:(Ft.Noise.uniform eps) ~trials ~seed ()
-        in
-        estimate_of ~failures:r.failures ~trials:r.trials
-      | `Rare cfg ->
-        Mc.Stats.weighted_to_estimate
-          (Toric.Circuit_memory.run_rare ?domains ~obs
-             ~config:(rare_config cfg) ~l ~rounds ~p:eps ~seed ())
-      | `Batch ->
-        invalid_arg "Server.execute: toric_circuit has no batch engine"
-    in
-    Estimate { name = Printf.sprintf "l=%d,eps=%g" l eps; estimate = e }
-  | Pseudothreshold { eps_list; trials; seed } ->
-    (* e5: per-eps exRec failure, then the A·eps² fit. *)
-    let cells =
-      List.mapi
-        (fun i eps ->
-          let e =
-            Ft.Memory.logical_cnot_exrec_failure_mc ?domains ~obs
-              ~noise:(Ft.Noise.gates_only eps) ~trials
-              ~seed:(Mc.Rng.derive seed [ 5; i ])
-              ()
-          in
-          { Protocol.name = Printf.sprintf "exrec@eps=%g" eps; estimate = e })
-        eps_list
-    in
-    let pts =
-      List.map2
-        (fun eps (c : Protocol.cell) -> (eps, c.estimate.rate))
-        eps_list cells
-    in
-    let f = Threshold.Pseudothreshold.fit pts in
-    Fit { cells; a = f.a; threshold = f.threshold }
+  | Steane_memory { trials; _ }
+  | Toric_memory { trials; _ }
+  | Toric_noisy { trials; _ }
+  | Toric_circuit { trials; _ } -> trials
+  | Toric_scan { ls; ps; trials; _ } ->
+    trials * List.length ls * List.length ps
+  | Pseudothreshold { eps_list; trials; _ } ->
+    trials * List.length eps_list
 
 (* ------------------------------------------------------------- jobs *)
 
@@ -175,6 +52,7 @@ type job = {
   key : string;  (* canonical request string: cache/coalescing key *)
   khash : string;  (* display/scope form of [key] *)
   est : Protocol.estimator;
+  tenant : string;  (* admitting tenant (coalesced joiners may differ) *)
   started : float;  (* admission time *)
   jlock : Mutex.t;
   mutable state : job_state;
@@ -184,7 +62,9 @@ type t = {
   cfg : config;
   obs : Obs.t;
   cache : Protocol.payload Cache.t;
-  queue : job Jobq.t;
+  queue : job Qos.t;  (* two-level DRR scheduler, not a plain FIFO *)
+  limiter : Qos.limiter;
+  fleet : Fleet.t option;
   inflight : (string, job) Hashtbl.t;  (* key -> job, under [ilock] *)
   ilock : Mutex.t;
   started_at : float;
@@ -230,10 +110,10 @@ let set_job_state j s =
 
 let worker t =
   let rec loop () =
-    match Jobq.pop t.queue with
+    match Qos.pop t.queue with
     | None -> ()
     | Some job ->
-      Obs.set_gauge t.obs "svc.queue_depth" (float_of_int (Jobq.depth t.queue));
+      Obs.set_gauge t.obs "svc.queue_depth" (float_of_int (Qos.depth t.queue));
       let rid = req_span_id job.khash in
       if Obs.Trace.enabled () then
         (* the queue-wait interval is only known once the pop happens,
@@ -264,7 +144,10 @@ let worker t =
                              Obs.Json.String (Protocol.estimator_name job.est)
                            ) ]
                        (fun () ->
-                         execute ?domains:t.cfg.domains ~obs:t.obs job.est))))
+                         match t.fleet with
+                         | Some fleet -> Fleet.execute fleet job.est
+                         | None ->
+                           execute ?domains:t.cfg.domains ~obs:t.obs job.est))))
         with exn -> Error (Printexc.to_string exn)
       in
       Atomic.decr t.busy;
@@ -314,7 +197,7 @@ let await_job t fd ~coalesced ~t0 job =
         ~est_name:(Protocol.estimator_name job.est) ~t0 ~cached:false
         ~coalesced payload
     | Finished (Error msg) ->
-      send fd (Protocol.error_frame ~code:"failed" ~message:msg)
+      send fd (Protocol.error_frame ~code:"failed" ~message:msg ())
     | Queued | Running ->
       let now = Obs.now () in
       if now -. !last_progress >= t.cfg.progress_interval then begin
@@ -341,7 +224,7 @@ let await_job t fd ~coalesced ~t0 job =
   in
   loop ()
 
-let handle_run t fd est =
+let handle_run t fd ~tenant ~high est =
   let req = Protocol.Run est in
   let key = Protocol.to_canonical req in
   let khash = Protocol.hash req in
@@ -357,6 +240,21 @@ let handle_run t fd est =
   let t0 = Obs.now () in
   Obs.incr t.obs "svc.requests";
   Obs.incr t.obs (Printf.sprintf "svc.requests.%s" est_name);
+  Obs.incr t.obs (Printf.sprintf "svc.tenant.%s.requests" tenant);
+  (* front-door rate limit: spend one token per run request before any
+     work happens; an empty bucket sheds load with the exact refill
+     time as the retry-after hint *)
+  match Qos.admit t.limiter ~tenant ~now:(Obs.now ()) with
+  | `Retry_after s ->
+    Obs.incr t.obs "svc.rate_limited";
+    Obs.incr t.obs (Printf.sprintf "svc.tenant.%s.rate_limited" tenant);
+    send fd
+      (Protocol.error_frame ~retry_after_s:s ~code:"overloaded"
+         ~message:
+           (Printf.sprintf "tenant %S over rate limit, retry in %.3fs" tenant
+              s)
+         ())
+  | `Ok -> (
   let cached =
     Obs.Trace.timed ~cat:"svc" ~name:"cache lookup"
       ~id:(Obs.Trace.span_id [ rid; "cache" ])
@@ -386,12 +284,13 @@ let handle_run t fd est =
               key;
               khash;
               est;
+              tenant;
               started = t0;
               jlock = Mutex.create ();
               state = Queued;
             }
           in
-          match Jobq.push t.queue job with
+          match Qos.push t.queue ~tenant ~high ~cost:(est_cost est) job with
           | Ok () ->
             Hashtbl.replace t.inflight key job;
             `Fresh job
@@ -407,20 +306,29 @@ let handle_run t fd est =
       send fd (Protocol.ack_frame ~key:khash ~state:"coalesced");
       await_job t fd ~coalesced:true ~t0 job
     | `Fresh job ->
-      Obs.set_gauge t.obs "svc.queue_depth" (float_of_int (Jobq.depth t.queue));
+      Obs.set_gauge t.obs "svc.queue_depth" (float_of_int (Qos.depth t.queue));
       send fd (Protocol.ack_frame ~key:khash ~state:"queued");
       await_job t fd ~coalesced:false ~t0 job
     | `Overloaded ->
       Obs.incr t.obs "svc.overloaded";
+      Obs.incr t.obs (Printf.sprintf "svc.tenant.%s.overloaded" tenant);
+      (* saturated: shed load with a hint scaled to the backlog — one
+         progress interval per queued job is a deliberately rough but
+         monotone proxy for drain time *)
+      let hint =
+        Float.max 0.1
+          (t.cfg.progress_interval *. float_of_int (Qos.depth t.queue))
+      in
       send fd
-        (Protocol.error_frame ~code:"overloaded"
+        (Protocol.error_frame ~retry_after_s:hint ~code:"overloaded"
            ~message:
              (Printf.sprintf "queue full (%d queued, capacity %d)"
-                (Jobq.depth t.queue) (Jobq.capacity t.queue)))
+                (Qos.depth t.queue) (Qos.capacity t.queue))
+           ())
     | `Closed ->
       send fd
         (Protocol.error_frame ~code:"shutting_down"
-           ~message:"daemon is shutting down"))
+           ~message:"daemon is shutting down" ())))
 
 let handle_status t fd =
   Obs.incr t.obs "svc.requests";
@@ -454,11 +362,49 @@ let handle_status t fd =
                 ("elapsed_s", Obs.Json.Float (now -. j.started)) ]
              @ progress))
   in
+  (* fleet section: worker-process registry + lifecycle counters *)
+  let fleet =
+    match t.fleet with
+    | None -> None
+    | Some f ->
+      let s = Fleet.stats f in
+      Some
+        (Obs.Json.Obj
+           [ ("size", Obs.Json.Int s.s_size);
+             ("alive", Obs.Json.Int s.s_alive);
+             ("spawned", Obs.Json.Int s.s_spawned);
+             ("restarts", Obs.Json.Int s.s_restarts);
+             ("redispatched", Obs.Json.Int s.s_redispatched);
+             ("hangs", Obs.Json.Int s.s_hangs);
+             ( "workers",
+               Obs.Json.List
+                 (List.map
+                    (fun (slot, gen, pid) ->
+                      Obs.Json.Obj
+                        [ ("slot", Obs.Json.Int slot);
+                          ("gen", Obs.Json.Int gen);
+                          ("pid", Obs.Json.Int pid) ])
+                    s.s_workers) ) ])
+  in
+  (* tenants section: queued work per tenant (QoS scheduler rows) *)
+  let tenants =
+    match Qos.tenants t.queue with
+    | [] -> None
+    | rows ->
+      Some
+        (List.map
+           (fun (name, qh, qn) ->
+             Obs.Json.Obj
+               [ ("tenant", Obs.Json.String name);
+                 ("queued_high", Obs.Json.Int qh);
+                 ("queued_normal", Obs.Json.Int qn) ])
+           rows)
+  in
   send fd
     (Protocol.status_frame ~workers:t.cfg.workers ~busy:(Atomic.get t.busy)
-       ~jobs
+       ~jobs ?fleet ?tenants
        ~uptime_s:(now -. t.started_at)
-       ~queue_depth:(Jobq.depth t.queue) ~queue_capacity:(Jobq.capacity t.queue)
+       ~queue_depth:(Qos.depth t.queue) ~queue_capacity:(Qos.capacity t.queue)
        ~cache_length:(Cache.length t.cache)
        ~cache_capacity:(Cache.capacity t.cache) ~metrics:(Obs.metrics_json t.obs)
        ())
@@ -473,9 +419,21 @@ let handle_frame t fd j =
       | Some body -> Protocol.request_of_json body)
     | Ok other -> Error (Printf.sprintf "unexpected %s frame" other)
   in
+  (* QoS hints ride at frame level, outside the canonical body *)
+  let tenant =
+    match Protocol.frame_field j "tenant" with
+    | Some (Obs.Json.String s) when s <> "" -> s
+    | _ -> "anon"
+  in
+  let high =
+    match Protocol.frame_field j "priority" with
+    | Some (Obs.Json.String "high") -> true
+    | _ -> false
+  in
   match req with
-  | Error msg -> send fd (Protocol.error_frame ~code:"bad_request" ~message:msg)
-  | Ok (Run est) -> handle_run t fd est
+  | Error msg ->
+    send fd (Protocol.error_frame ~code:"bad_request" ~message:msg ())
+  | Ok (Run est) -> handle_run t fd ~tenant ~high est
   | Ok Status -> handle_status t fd
   | Ok Ping ->
     Obs.incr t.obs "svc.requests";
@@ -490,7 +448,7 @@ let handle_conn t fd =
     match Codec.read fd with
     | Error `Closed -> ()
     | Error (`Bad msg) ->
-      (try send fd (Protocol.error_frame ~code:"bad_frame" ~message:msg)
+      (try send fd (Protocol.error_frame ~code:"bad_frame" ~message:msg ())
        with _ -> ())
     | Ok (j, _) ->
       (match (try Ok (handle_frame t fd j) with exn -> Error exn) with
@@ -527,13 +485,17 @@ let claim_socket path =
 
 let run ?(obs = Obs.create ()) cfg =
   claim_socket cfg.socket;
-  let listen_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (* fleet first: worker processes must exist before jobs can pop *)
+  let fleet = Option.map (Fleet.create ~obs) cfg.fleet in
   let t =
     {
       cfg;
       obs;
       cache = Cache.create ~capacity:cfg.cache_capacity;
-      queue = Jobq.create ~capacity:cfg.max_queue;
+      queue = Qos.create ~capacity:cfg.max_queue ();
+      limiter = Qos.limiter cfg.limit;
+      fleet;
       inflight = Hashtbl.create 16;
       ilock = Mutex.create ();
       started_at = Obs.now ();
@@ -563,7 +525,9 @@ let run ?(obs = Obs.create ()) cfg =
         match Unix.select [ listen_fd ] [] [] 0.2 with
         | [], _, _ -> ()
         | _ :: _, _, _ ->
-          let fd, _ = Unix.accept listen_fd in
+          (* cloexec: restarted fleet workers must not inherit client
+             connections (an inherited fd would defeat EOF detection) *)
+          let fd, _ = Unix.accept ~cloexec:true listen_fd in
           (* register under the lock so the handler can't deregister
              before its entry exists *)
           Mutex.lock t.clock;
@@ -574,8 +538,9 @@ let run ?(obs = Obs.create ()) cfg =
       done;
       (* drain: workers finish queued jobs (pop empties the queue
          before yielding None), waiters then see Finished and reply *)
-      Jobq.close t.queue;
+      Qos.close t.queue;
       List.iter Thread.join workers;
+      Option.iter Fleet.shutdown t.fleet;
       Mutex.lock t.clock;
       let conns = t.conns in
       t.conns <- [];

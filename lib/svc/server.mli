@@ -35,16 +35,23 @@ type config = {
       (** [?domains] forwarded to {!Mc.Runner} (None = engine default);
           counts do not depend on it *)
   progress_interval : float;  (** seconds between progress frames *)
+  fleet : Fleet.config option;
+      (** [Some cfg] shards jobs over a multi-process {!Fleet};
+          [None] executes in-process *)
+  limit : Qos.limit;  (** per-tenant front-door rate limit *)
 }
 
 (** [config ~socket ()] — defaults: [max_queue 32], [workers 2],
-    [cache_capacity 128], [domains None], [progress_interval 1.0]. *)
+    [cache_capacity 128], [domains None], [progress_interval 1.0],
+    no fleet, no rate limit. *)
 val config :
   ?max_queue:int ->
   ?workers:int ->
   ?cache_capacity:int ->
   ?domains:int ->
   ?progress_interval:float ->
+  ?fleet:Fleet.config ->
+  ?limit:Qos.limit ->
   socket:string ->
   unit ->
   config

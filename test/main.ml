@@ -1,3 +1,8 @@
+(* Fleet workers are this same binary re-exec'd with the worker
+   marker in the environment (the fleet tests spawn them): divert
+   before Alcotest ever runs. *)
+let () = Ftqc.Svc.Fleet.run_if_worker ()
+
 let () =
   Alcotest.run "ftqc"
     (Test_gf2.suites @ Test_qmath.suites @ Test_group.suites
@@ -10,4 +15,4 @@ let () =
    @ Test_toric.suites @ Test_noisy_toric.suites @ Test_anyon.suites
    @ Test_synthesis.suites @ Test_more_properties.suites @ Test_mc.suites
    @ Test_obs.suites @ Test_campaign.suites @ Test_inject.suites
-   @ Test_subset.suites @ Test_svc.suites)
+   @ Test_subset.suites @ Test_svc.suites @ Test_fleet.suites)
