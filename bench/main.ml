@@ -582,9 +582,30 @@ let batch_probe () =
         ~trials:ckpt_trials ~seed:912 ())
       .Toric.Memory.failures
   in
+  (* the generic CSS pipeline's heaviest zoo member: [[23,1,7]] Golay
+     at one memory round, batch-classified through the per-shot memo
+     path (22 checks is far beyond the OR-mux cutoff) *)
+  let css_trials = 20000 in
+  let golay = Csskit.Zoo.get "golay23" in
+  let css engine () =
+    (match engine with
+    | `Mc ->
+      Csskit.Memory.memory_failure_mc ~domains:1 golay ~eps:0.08 ~rounds:1
+        ~trials:css_trials ~seed:913 ()
+    | `Batch w ->
+      Csskit.Memory.memory_failure_batch ~domains:1 ~tile_width:w golay
+        ~eps:0.08 ~rounds:1 ~trials:css_trials ~seed:913 ()
+    | `Cross ->
+      Csskit.Memory.memory_failure_batch ~domains:1 ~engine:`Scalar golay
+        ~eps:0.08 ~rounds:1 ~trials:css_trials ~seed:913 ())
+      .Mc.Stats.failures
+  in
   [ probe "steane-level2" ~trials:steane_trials ~mc:(steane `Mc)
       ~batch:(fun w -> steane (`Batch w))
       ~crosscheck:(steane `Cross);
+    probe "css-golay-L1" ~trials:css_trials ~mc:(css `Mc)
+      ~batch:(fun w -> css (`Batch w))
+      ~crosscheck:(css `Cross);
     probe "toric-L5" ~trials:toric_trials ~mc:(toric `Mc)
       ~batch:(fun w -> toric (`Batch w))
       ~crosscheck:(toric `Cross);

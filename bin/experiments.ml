@@ -1185,6 +1185,67 @@ let e24 ?domains ~trials ~seed () =
      phenomenological model's ~2.5% (E19) because every check now costs\n\
      ~6 noisy operations."
 
+(* -------------------------------------------------------------- CSS *)
+
+(* The generic-pipeline counterpart of E18: any Csskit.Zoo member,
+   same memory model, scalar or bit-sliced engine.  Cell names and
+   per-eps seed derivations ([derive seed [25; i]]) are the contract
+   the css-memory service estimator reproduces. *)
+let css ?domains ?(engine = Mc.Engine.scalar) ~code ~eps_list ~rounds ~trials
+    ~seed () =
+  let t = Csskit.Zoo.get code in
+  header
+    (Format.asprintf "CSS %a memory failure (generic pipeline)" Csskit.pp t);
+  Printf.printf
+    "per-trial logical failure, %d ideal-recovery round%s of depolarizing \
+     noise\n\n"
+    rounds
+    (if rounds = 1 then "" else "s");
+  let pts =
+    List.mapi
+      (fun i eps ->
+        let seed = Mc.Rng.derive seed [ 25; i ] in
+        let r =
+          match engine with
+          | `Scalar ->
+            Csskit.Memory.memory_failure_mc ?domains ~obs:(obs ()) t ~eps
+              ~rounds ~trials ~seed ()
+          | `Batch { Mc.Engine.tile_width } ->
+            Csskit.Memory.memory_failure_batch ?domains ~obs:(obs ())
+              ~tile_width t ~eps ~rounds ~trials ~seed ()
+          | `Rare _ ->
+            (* parse_engine ~rare:false rejects this at flag time *)
+            assert false
+        in
+        emit (Printf.sprintf "%s@eps=%g" code eps) r;
+        Format.printf "  eps=%8.4g  p_L = %a@." eps Mc.Stats.pp r;
+        (eps, r.rate))
+      eps_list
+  in
+  (* Pseudothreshold participation: a t-error-correcting code fails at
+     p_L ~ A·eps^(t+1), so the encoding pays below the crossover
+     p_L = eps, i.e. eps* = A^(-1/t) — the E5 fit generalized from
+     t = 1 (where it reduces to 1/A) to the code's own order. *)
+  let tc = t.Csskit.correctable in
+  let good = List.filter (fun (e, p) -> e > 0.0 && p > 0.0) pts in
+  (* the fit needs a scan; a single-eps run emits just its cell, so it
+     stays --diff-results-comparable with a css-memory service reply *)
+  if tc >= 1 && List.length good >= 2 then begin
+    let a =
+      List.fold_left
+        (fun acc (e, p) -> acc +. (p /. (e ** float_of_int (tc + 1))))
+        0.0 good
+      /. float_of_int (List.length good)
+    in
+    let threshold = a ** (-1.0 /. float_of_int tc) in
+    emit_value "fitted_A" a;
+    emit_value "pseudothreshold" threshold;
+    Printf.printf
+      "\nfitted p_L = A*eps^%d: A = %.3g  =>  pseudo-threshold eps* = \
+       A^(-1/%d) = %.3g\n"
+      (tc + 1) a tc threshold
+  end
+
 (* ------------------------------------------------------------- CLI *)
 
 open Cmdliner
@@ -1477,6 +1538,61 @@ let with_trials_par_engine ?(rare = true) name doc default f =
       $ tile_width_arg $ max_weight_arg $ samples_per_class_arg $ json_arg
       $ session_arg)
 
+let code_arg =
+  Arg.(
+    value & opt string "golay23"
+    & info [ "code" ] ~docv:"CODE"
+        ~doc:
+          "code-zoo member to run: $(b,steane7), $(b,golay23), $(b,bch15) or \
+           $(b,bch31)")
+
+let eps_scan_arg =
+  Arg.(
+    value & opt_all float []
+    & info [ "eps" ] ~docv:"EPS"
+        ~doc:
+          "physical depolarizing rate; repeat the flag for a scan (default \
+           0.01 0.03 0.05)")
+
+let rounds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "rounds" ] ~docv:"R"
+        ~doc:"ideal-recovery rounds per Monte-Carlo trial")
+
+let css_cmd =
+  let run domains trials seed engine tile_width max_weight samples_per_class
+      code eps rounds json session =
+    let engine =
+      parse_engine ~name:"css" ~rare:false engine tile_width max_weight
+        samples_per_class
+    in
+    if not (Csskit.Zoo.mem code) then
+      die
+        (Printf.sprintf "unknown zoo code %S (known: %s)" code
+           (String.concat ", " (Csskit.Zoo.names ())));
+    if rounds < 1 then die "--rounds must be >= 1";
+    let eps_list = if eps = [] then [ 0.01; 0.03; 0.05 ] else eps in
+    let domains = resolve_domains domains in
+    with_session json session (fun () ->
+        recording ~experiment:"css" ~domains_used:(dused domains)
+          ~params:
+            ([ ("code", Obs.Json.String code); p_trials trials; p_seed seed;
+               ("rounds", Obs.Json.Int rounds) ]
+            @ p_engine engine)
+          (fun () ->
+            css ?domains ~engine ~code ~eps_list ~rounds ~trials ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "css"
+       ~doc:
+         "code-zoo memory failure through the generic CSS pipeline (any \
+          Csskit.Zoo member, scalar or bit-sliced engine)")
+    Term.(
+      const run $ domains_arg $ trials_arg 20000 $ seed_arg $ engine_arg
+      $ tile_width_arg $ max_weight_arg $ samples_per_class_arg $ code_arg
+      $ eps_scan_arg $ rounds_arg $ json_arg $ session_arg)
+
 let with_seed name doc f =
   let run seed json session =
     with_session json session (fun () ->
@@ -1543,7 +1659,14 @@ let all_cmd =
         par "e23"
           ~trials:(max 500 (trials / 8))
           (fun () -> e23 ?domains ~trials:(max 500 (trials / 8)) ~seed ());
-        par "e24" ~trials:400 (fun () -> e24 ?domains ~trials:400 ~seed ()))
+        par "e24" ~trials:400 (fun () -> e24 ?domains ~trials:400 ~seed ());
+        par "css"
+          ~trials:(max 2000 (trials / 4))
+          (fun () ->
+            css ?domains ~code:"golay23" ~eps_list:[ 0.01; 0.03; 0.05 ]
+              ~rounds:1
+              ~trials:(max 2000 (trials / 4))
+              ~seed ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"run every experiment")
     Term.(
@@ -1578,7 +1701,7 @@ let () =
       with_trials_par "e22" "gate vs storage thresholds" 20000 e22;
       with_trials_par "e23" "same program, stronger code" 2000 e23;
       with_trials_par "e24" "circuit-level toric memory" 500 e24;
-      all_cmd ]
+      css_cmd; all_cmd ]
   in
   let info = Cmd.info "experiments" ~doc:"Preskill FTQC reproduction experiments" in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -412,6 +412,52 @@ let toric_circuit_cmd =
       $ trials_arg 400 $ seed_arg $ derive_arg $ engine_arg $ tile_width_arg
       $ max_weight_arg $ samples_per_class_arg)
 
+let css_memory_cmd =
+  let run socket copts json out watch code eps rounds trials seed path engine
+      tile_width max_weight samples_per_class =
+    wire_engine ~engine ~tile_width ~max_weight ~samples_per_class
+      (fun engine tile_width ->
+        match engine with
+        | `Rare _ ->
+          Printf.eprintf
+            "ftqc_client: css-memory supports engines scalar and batch only\n";
+          2
+        | (`Scalar | `Batch) as engine ->
+          run_estimator socket copts json out watch
+            (Protocol.Css_memory
+               {
+                 code;
+                 eps;
+                 rounds;
+                 trials;
+                 seed = finish_seed seed path;
+                 engine;
+                 tile_width;
+               }))
+  in
+  let code =
+    Arg.(
+      value & opt string "golay23"
+      & info [ "code" ] ~docv:"CODE"
+          ~doc:
+            "Csskit.Zoo member (steane7, golay23, bch15, bch31); validated \
+             server-side at parse time")
+  in
+  let eps =
+    Arg.(value & opt float 0.05 & info [ "eps" ] ~doc:"physical error rate")
+  in
+  let rounds =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~doc:"memory rounds")
+  in
+  cmd "css-memory"
+    ~doc:
+      "code-zoo memory failure through the generic CSS pipeline (one \
+       `experiments css` cell; its per-eps seeds derive as 25,EPS-INDEX)"
+    Term.(
+      const run $ socket_arg $ copts_term $ json_arg $ out_arg $ watch_arg
+      $ code $ eps $ rounds $ trials_arg 20000 $ seed_arg $ derive_arg
+      $ engine_arg $ tile_width_arg $ max_weight_arg $ samples_per_class_arg)
+
 let pseudothreshold_cmd =
   let run socket copts json out watch eps_list trials seed =
     run_estimator socket copts json out watch
@@ -693,6 +739,7 @@ let () =
             toric_scan_cmd;
             toric_noisy_cmd;
             toric_circuit_cmd;
+            css_memory_cmd;
             pseudothreshold_cmd;
             status_cmd;
             top_cmd;

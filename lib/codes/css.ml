@@ -1,6 +1,34 @@
 module Bitvec = Gf2.Bitvec
 module Mat = Gf2.Mat
 
+type error =
+  | Width_mismatch of { x_cols : int; z_cols : int }
+  | Non_orthogonal of { x_row : int; z_row : int }
+  | Dependent_rows of [ `X | `Z ]
+  | Negative_k of { n : int; rank_x : int; rank_z : int }
+  | Degenerate_pairing
+
+let error_to_string = function
+  | Width_mismatch { x_cols; z_cols } ->
+    Printf.sprintf "H_X has %d columns but H_Z has %d" x_cols z_cols
+  | Non_orthogonal { x_row; z_row } ->
+    Printf.sprintf "H_X row %d and H_Z row %d are not orthogonal" x_row z_row
+  | Dependent_rows side ->
+    Printf.sprintf "dependent parity-check rows in H_%s"
+      (match side with `X -> "X" | `Z -> "Z")
+  | Negative_k { n; rank_x; rank_z } ->
+    Printf.sprintf "negative k: n = %d, rank H_X = %d, rank H_Z = %d" n rank_x
+      rank_z
+  | Degenerate_pairing -> "degenerate logical pairing"
+
+exception Invalid_css of { name : string; error : error }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_css { name; error } ->
+      Some (Printf.sprintf "Css.make %S: %s" name (error_to_string error))
+    | _ -> None)
+
 let x_string support =
   Pauli.of_bits ~x:support ~z:(Bitvec.create (Bitvec.length support)) ()
 
@@ -25,31 +53,43 @@ let coset_representatives ~kernel_of ~modulo =
     kernel_of;
   List.rev !reps
 
-let make ~name ~hx ~hz =
-  if Mat.cols hx <> Mat.cols hz then invalid_arg "Css.make: width mismatch";
+let build ~name ~hx ~hz =
+  let ( let* ) = Result.bind in
+  let* () =
+    if Mat.cols hx <> Mat.cols hz then
+      Error (Width_mismatch { x_cols = Mat.cols hx; z_cols = Mat.cols hz })
+    else Ok ()
+  in
   let n = Mat.cols hx in
   (* orthogonality: every X row commutes with every Z row *)
-  for i = 0 to Mat.rows hx - 1 do
-    for j = 0 to Mat.rows hz - 1 do
-      if Bitvec.dot (Mat.row hx i) (Mat.row hz j) then
-        invalid_arg "Css.make: H_X and H_Z rows not orthogonal"
-    done
-  done;
+  let* () =
+    let bad = ref None in
+    for i = 0 to Mat.rows hx - 1 do
+      for j = 0 to Mat.rows hz - 1 do
+        if !bad = None && Bitvec.dot (Mat.row hx i) (Mat.row hz j) then
+          bad := Some (Non_orthogonal { x_row = i; z_row = j })
+      done
+    done;
+    match !bad with Some e -> Error e | None -> Ok ()
+  in
   let rx = Mat.rank hx and rz = Mat.rank hz in
-  if rx <> Mat.rows hx || rz <> Mat.rows hz then
-    invalid_arg "Css.make: dependent parity-check rows";
+  let* () = if rx <> Mat.rows hx then Error (Dependent_rows `X) else Ok () in
+  let* () = if rz <> Mat.rows hz then Error (Dependent_rows `Z) else Ok () in
   let k = n - rx - rz in
-  if k < 0 then invalid_arg "Css.make: negative k";
+  let* () =
+    if k < 0 then Error (Negative_k { n; rank_x = rx; rank_z = rz }) else Ok ()
+  in
   let z_reps = coset_representatives ~kernel_of:(Mat.kernel hx) ~modulo:hz in
   let x_reps = coset_representatives ~kernel_of:(Mat.kernel hz) ~modulo:hx in
-  if List.length z_reps <> k || List.length x_reps <> k then
-    invalid_arg "Css.make: logical count mismatch";
+  (* dim ker H_X − rank H_Z = n − rank H_X − rank H_Z = k always, so a
+     count mismatch is unreachable once the rank checks above pass *)
+  assert (List.length z_reps = k && List.length x_reps = k);
   (* Pair the representatives: Gram matrix G_ij = x_i · z_j must be
      invertible; replace x_i by the G⁻¹ recombination so that
      x_i · z_j = δ_ij (Eq. 29). *)
   let x_arr = Array.of_list x_reps and z_arr = Array.of_list z_reps in
-  let logical_x, logical_z =
-    if k = 0 then ([], [])
+  let* logical_x, logical_z =
+    if k = 0 then Ok ([], [])
     else begin
       let gram =
         Mat.of_int_lists
@@ -58,7 +98,7 @@ let make ~name ~hx ~hz =
                    if Bitvec.dot x_arr.(i) z_arr.(j) then 1 else 0)))
       in
       match Mat.inverse gram with
-      | None -> invalid_arg "Css.make: degenerate logical pairing"
+      | None -> Error Degenerate_pairing
       | Some ginv ->
         let new_x =
           List.init k (fun i ->
@@ -68,14 +108,19 @@ let make ~name ~hx ~hz =
               done;
               !acc)
         in
-        (List.map x_string new_x, List.map z_string (Array.to_list z_arr))
+        Ok (List.map x_string new_x, List.map z_string (Array.to_list z_arr))
     end
   in
   let generators =
     List.init (Mat.rows hz) (fun i -> z_string (Mat.row hz i))
     @ List.init (Mat.rows hx) (fun i -> x_string (Mat.row hx i))
   in
-  Stabilizer_code.make ~name ~generators ~logical_x ~logical_z
+  Ok (Stabilizer_code.make ~name ~generators ~logical_x ~logical_z)
+
+let make ~name ~hx ~hz =
+  match build ~name ~hx ~hz with
+  | Ok code -> code
+  | Error error -> raise (Invalid_css { name; error })
 
 (* All supports of weight ≤ w on n bits, paired with their syndrome
    under [checks]; first (lowest-weight) entry per syndrome wins. *)
@@ -105,6 +150,13 @@ let classical_side_table checks n w =
 let classical_decoder ~checks ~n ~max_weight =
   let table = classical_side_table checks n max_weight in
   fun syndrome -> Hashtbl.find_opt table (Bitvec.to_string syndrome)
+
+let side_table_entries ~checks ~n ~max_weight =
+  let table = classical_side_table checks n max_weight in
+  Hashtbl.fold
+    (fun key support acc -> (key, Bitvec.to_string support) :: acc)
+    table []
+  |> List.sort compare
 
 let superposition_circuit basis =
   let n = Mat.cols basis in

@@ -6,9 +6,30 @@
     ker H_Z / rowspace H_X (X-type) and ker H_X / rowspace H_Z
     (Z-type), paired to satisfy Eq. (29). *)
 
-(** [make ~name ~hx ~hz] builds the code.  Raises [Invalid_argument]
-    if the matrices have different widths, are not orthogonal, have
-    dependent rows, or the pairing of logicals is degenerate. *)
+(** Structured rejection reasons for ill-formed (H_X, H_Z) pairs —
+    most importantly {!Non_orthogonal}, which pinpoints the first pair
+    of anticommuting generator rows. *)
+type error =
+  | Width_mismatch of { x_cols : int; z_cols : int }
+  | Non_orthogonal of { x_row : int; z_row : int }
+  | Dependent_rows of [ `X | `Z ]
+  | Negative_k of { n : int; rank_x : int; rank_z : int }
+  | Degenerate_pairing
+
+val error_to_string : error -> string
+
+exception Invalid_css of { name : string; error : error }
+
+(** [build ~name ~hx ~hz] builds the code, or returns the structured
+    reason the pair does not define a CSS code. *)
+val build :
+  name:string ->
+  hx:Gf2.Mat.t ->
+  hz:Gf2.Mat.t ->
+  (Stabilizer_code.t, error) result
+
+(** [make ~name ~hx ~hz] is {!build}, raising {!Invalid_css} on an
+    ill-formed input. *)
 val make : name:string -> hx:Gf2.Mat.t -> hz:Gf2.Mat.t -> Stabilizer_code.t
 
 (** [steane_from_hamming ()] is [[7,1,3]] built from H_X = H_Z = the
@@ -32,6 +53,13 @@ val classical_decoder :
   max_weight:int ->
   Gf2.Bitvec.t ->
   Gf2.Bitvec.t option
+
+(** [side_table_entries ~checks ~n ~max_weight] is the full decode
+    table behind {!classical_decoder} as a (syndrome, support) list of
+    0/1 strings, sorted by syndrome — the canonical form used to
+    assert that two pipelines tabulate identical corrections. *)
+val side_table_entries :
+  checks:Gf2.Mat.t -> n:int -> max_weight:int -> (string * string) list
 
 (** [superposition_circuit basis] builds a circuit preparing, from
     |0…0⟩, the uniform superposition over the row space of [basis]

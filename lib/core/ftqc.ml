@@ -21,6 +21,10 @@
       shots per machine word, word-sampled noise, compiled frame
       programs (the fast path behind the [_batch] drivers).
     - {!Codes}: Hamming, Steane, Shor-9, 5-qubit, CSS, concatenation.
+    - {!Csskit}: the generic CSS pipeline — parity-check matrices in;
+      validated construction, distance probe, decoder, word-wise
+      batch classifier and memory estimators out — plus the
+      cyclic/BCH code zoo ([steane7], [golay23], [bch15], [bch31]).
     - {!Ft}: fault-tolerant gadgets — noisy executor, verified cats,
       Shor/Steane EC, transversal gates, FT Toffoli, leakage,
       Monte-Carlo memory experiments.
@@ -43,6 +47,7 @@ module Statevec = Statevec
 module Tableau = Tableau
 module Frame = Frame
 module Codes = Codes
+module Csskit = Csskit
 module Ft = Ft
 module Threshold = Threshold
 module Toric = Toric

@@ -1,0 +1,3 @@
+include Kit
+module Zoo = Zoo
+module Memory = Memory

@@ -1,0 +1,96 @@
+(** The generic CSS pipeline: a pair of GF(2) parity-check matrices
+    in, a validated code, a distance probe and a ready-made decoder
+    out.
+
+    {!build} runs the whole pipeline: CSS construction via
+    {!Codes.Css.build} (commutation check, k = n − rank H_X − rank
+    H_Z, logical extraction), a minimum-weight logical probe when no
+    distance is declared, and decoder selection — the exact
+    syndrome→correction lookup of {!Codes.Css.css_decoder} while the
+    table fits the budget, a greedy syndrome-weight-descent fallback
+    above it.  The resulting {!t} is what the batch classifier
+    ({!Memory}) and the [css-memory] estimator consume. *)
+
+type t = {
+  name : string;
+  code : Codes.Stabilizer_code.t;
+  hx : Gf2.Mat.t;
+  hz : Gf2.Mat.t;
+  n : int;
+  k : int;
+  distance : int;  (** declared or probed CSS distance *)
+  correctable : int;  (** ⌊(distance − 1) / 2⌋, per side *)
+  decoder : Codes.Stabilizer_code.decoder Lazy.t;
+  exact : bool;
+      (** [true]: exact minimum-weight lookup; [false]: greedy
+          fallback (table would exceed the budget) *)
+}
+
+type error =
+  | Css of Codes.Css.error  (** (H_X, H_Z) is not a CSS pair *)
+  | Distance_not_found of { cap : int }
+      (** the probe found no logical operator of weight ≤ [cap] *)
+
+val error_to_string : error -> string
+
+exception Invalid of { name : string; error : error }
+
+(** [probe_distance ~hx ~hz ~n ()] — the distance/weight probe:
+    enumerate supports by increasing weight and return the least
+    weight of a vector in ker H_Z \ rowspace H_X or in
+    ker H_X \ rowspace H_Z (an X- or Z-type logical), or [None] if
+    none exists up to [cap] (default 7). *)
+val probe_distance :
+  ?cap:int -> hx:Gf2.Mat.t -> hz:Gf2.Mat.t -> n:int -> unit -> int option
+
+(** [build ~name ~hx ~hz ()] — run the pipeline.  [?distance]
+    declares a known distance (skipping the probe; verified codes
+    should cross-check with {!probe_distance}); [?distance_cap] bounds
+    the probe (default 7); [?table_budget] caps the per-side exact
+    decode-table size (default 2¹⁷ entries) above which the greedy
+    decoder is compiled instead. *)
+val build :
+  ?distance:int ->
+  ?distance_cap:int ->
+  ?table_budget:int ->
+  name:string ->
+  hx:Gf2.Mat.t ->
+  hz:Gf2.Mat.t ->
+  unit ->
+  (t, error) result
+
+(** [build_exn] — {!build}, raising {!Invalid}. *)
+val build_exn :
+  ?distance:int ->
+  ?distance_cap:int ->
+  ?table_budget:int ->
+  name:string ->
+  hx:Gf2.Mat.t ->
+  hz:Gf2.Mat.t ->
+  unit ->
+  t
+
+(** [decoder t] forces and returns the compiled decoder. *)
+val decoder : t -> Codes.Stabilizer_code.decoder
+
+(** [decode t s] — correction for syndrome [s] (layout: Z-generator
+    bits first, then X — the {!Codes.Css.make} convention). *)
+val decode : t -> Gf2.Bitvec.t -> Pauli.t option
+
+(** [syndrome t e] — the syndrome of error [e] under [t.code]. *)
+val syndrome : t -> Pauli.t -> Gf2.Bitvec.t
+
+(** [side_tables t] — the exact decoder's (bit-side, phase-side)
+    syndrome tables in {!Codes.Css.side_table_entries} canonical form;
+    raises [Invalid_argument] on a greedy-fallback code. *)
+val side_tables : t -> (string * string) list * (string * string) list
+
+(** [greedy_decode_side ~checks ~n syndrome] — the greedy fallback on
+    one classical side, exposed for testing: repeatedly flip the bit
+    that most reduces the residual syndrome weight; [Some support]
+    once the syndrome is explained, [None] on a dead end. *)
+val greedy_decode_side :
+  checks:Gf2.Mat.t -> n:int -> Gf2.Bitvec.t -> Gf2.Bitvec.t option
+
+(** [pp] renders e.g. ["[[23,1,7]] golay23 (exact)"]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,279 @@
+module Bitvec = Gf2.Bitvec
+module Code = Codes.Stabilizer_code
+module Plane = Frame.Plane
+module Sampler = Frame.Sampler
+module Program = Frame.Program
+
+type engine = [ `Batch | `Scalar ]
+
+(* XOR this round's residual anticommutation indicators into bx/bz
+   (one slot per logical).  An undecodable syndrome counts as hitting
+   every logical (the Pauli_frame "undecodable = failed" convention,
+   XOR-composed like everything else). *)
+let residual_into (t : Kit.t) dec e ~off bx bz =
+  let code = t.code in
+  match Code.decode dec (Code.syndrome code e) with
+  | None ->
+    for j = 0 to t.k - 1 do
+      bx.(off + j) <- not bx.(off + j);
+      bz.(off + j) <- not bz.(off + j)
+    done
+  | Some c ->
+    let r = Pauli.mul c e in
+    for j = 0 to t.k - 1 do
+      if not (Pauli.commutes r code.Code.logical_z.(j)) then
+        bx.(off + j) <- not bx.(off + j);
+      if not (Pauli.commutes r code.Code.logical_x.(j)) then
+        bz.(off + j) <- not bz.(off + j)
+    done
+
+let any_set a off len =
+  let rec go i = i < len && (a.(off + i) || go (i + 1)) in
+  go 0
+
+let memory_trial (t : Kit.t) dec ~eps ~rounds rng =
+  let bx = Array.make t.k false and bz = Array.make t.k false in
+  for _ = 1 to rounds do
+    let e = Codes.Pauli_frame.depolarize rng ~eps ~n:t.n in
+    residual_into t dec e ~off:0 bx bz
+  done;
+  any_set bx 0 t.k || any_set bz 0 t.k
+
+let memory_failure_mc ?domains ?obs (t : Kit.t) ~eps ~rounds ~trials ~seed () =
+  if t.k < 1 then invalid_arg "Csskit.Memory: k >= 1 codes only";
+  if rounds < 1 then invalid_arg "Csskit.Memory: rounds >= 1";
+  let dec = Kit.decoder t in
+  Mc.Runner.estimate ?domains ?obs ~trials ~seed
+    (Mc.Runner.scalar (fun rng _ -> memory_trial t dec ~eps ~rounds rng))
+
+(* ------------------------------------------------------------------ *)
+(* Batch classifier compilation.                                      *)
+
+(* For syndrome s with tabulated correction c_s and error e, the
+   residual's logical-X indicator against logical j is
+     ⟨c_s·e, Lz_j⟩ = ⟨c_s, Lz_j⟩ ⊕ ⟨e, Lz_j⟩
+   by bilinearity of the symplectic product (likewise has_z against
+   Lx_j) — an error parity word XOR a pure function of the syndrome
+   bits.  Small codes tabulate that function over all 2^m syndromes
+   and evaluate it as a word-wise disjoint-minterm OR-mux; large
+   codes evaluate it per shot through a memo keyed by the syndrome
+   bitstring. *)
+type mode =
+  | Mux of { active : bool array; ax : bool array array; az : bool array array }
+  | Shot
+
+type compiled = {
+  k : int;
+  m : int;  (* generator count = syndrome bits *)
+  checks : Program.check array;  (* code.generators order: Z rows, X rows *)
+  lzs : Program.check array;
+  lxs : Program.check array;
+  classify_syndrome : Bitvec.t -> bool array * bool array;
+  mode : mode;
+}
+
+let compile ?(mux_max_checks = 8) (t : Kit.t) =
+  let code = t.code in
+  let dec = Kit.decoder t in
+  let k = t.k in
+  let m = Array.length code.Code.generators in
+  let classify_syndrome sv =
+    let jx = Array.make k false and jz = Array.make k false in
+    (match Code.decode dec sv with
+    | None ->
+      Array.fill jx 0 k true;
+      Array.fill jz 0 k true
+    | Some c ->
+      for j = 0 to k - 1 do
+        jx.(j) <- not (Pauli.commutes c code.Code.logical_z.(j));
+        jz.(j) <- not (Pauli.commutes c code.Code.logical_x.(j))
+      done);
+    (jx, jz)
+  in
+  let mode =
+    if m > mux_max_checks then Shot
+    else begin
+      let size = 1 lsl m in
+      let ax = Array.init k (fun _ -> Array.make size false) in
+      let az = Array.init k (fun _ -> Array.make size false) in
+      let active = Array.make size false in
+      for s = 0 to size - 1 do
+        let sv = Bitvec.create m in
+        for i = 0 to m - 1 do
+          if (s lsr i) land 1 = 1 then Bitvec.set sv i true
+        done;
+        let jx, jz = classify_syndrome sv in
+        for j = 0 to k - 1 do
+          ax.(j).(s) <- jx.(j);
+          az.(j).(s) <- jz.(j);
+          if jx.(j) || jz.(j) then active.(s) <- true
+        done
+      done;
+      Mux { active; ax; az }
+    end
+  in
+  {
+    k;
+    m;
+    checks = Array.map Program.check_of_generator code.Code.generators;
+    lzs = Array.map Program.check_of_generator code.Code.logical_z;
+    lxs = Array.map Program.check_of_generator code.Code.logical_x;
+    classify_syndrome;
+    mode;
+  }
+
+let parity_sel (x : int64 array) (z : int64 array) (c : Program.check) =
+  let acc = ref 0L in
+  Array.iter (fun q -> acc := Int64.logxor !acc x.(q)) c.Program.x_sel;
+  Array.iter (fun q -> acc := Int64.logxor !acc z.(q)) c.Program.z_sel;
+  !acc
+
+type worker = {
+  plane : Plane.t;
+  xs : int64 array;  (* one lane's X plane, word per qubit *)
+  zs : int64 array;
+  synd : int64 array;  (* m syndrome words for the current lane *)
+  muxx : int64 array;  (* per-logical decoder-contribution words *)
+  muxz : int64 array;
+  accx : int64 array;  (* k * lanes accumulated has_x words *)
+  accz : int64 array;
+  memo : (string, bool array * bool array) Hashtbl.t;  (* per worker *)
+  sbx : bool array;  (* scalar cross-check: tile_width * k residual bits *)
+  sbz : bool array;
+}
+
+let memory_failure_batch ?domains ?obs ?(engine = `Batch) ?(tile_width = 64)
+    ?mux_max_checks (t : Kit.t) ~eps ~rounds ~trials ~seed () =
+  if t.k < 1 then invalid_arg "Csskit.Memory: k >= 1 codes only";
+  if rounds < 1 then invalid_arg "Csskit.Memory: rounds >= 1";
+  if tile_width < 64 || tile_width mod 64 <> 0 then
+    invalid_arg "Csskit.Memory: tile_width must be a positive multiple of 64";
+  let lanes = tile_width / 64 in
+  let n = t.n and k = t.k in
+  let cmp = compile ?mux_max_checks t in
+  let dec = Kit.decoder t in
+  let p = eps /. 3.0 in
+  let prog =
+    Program.make ~n
+      [ Program.Depolarize { qubits = Array.init n Fun.id; px = p; py = p; pz = p } ]
+  in
+  let classify_lane w lane =
+    (* syndrome words for this lane *)
+    for q = 0 to n - 1 do
+      w.xs.(q) <- Plane.get_x ~lane w.plane q;
+      w.zs.(q) <- Plane.get_z ~lane w.plane q
+    done;
+    for i = 0 to cmp.m - 1 do
+      w.synd.(i) <- parity_sel w.xs w.zs cmp.checks.(i)
+    done;
+    Array.fill w.muxx 0 k 0L;
+    Array.fill w.muxz 0 k 0L;
+    (match cmp.mode with
+    | Mux { active; ax; az } ->
+      for s = 0 to (1 lsl cmp.m) - 1 do
+        if active.(s) then begin
+          let minterm = ref (-1L) in
+          for i = 0 to cmp.m - 1 do
+            minterm :=
+              Int64.logand !minterm
+                (if (s lsr i) land 1 = 1 then w.synd.(i)
+                 else Int64.lognot w.synd.(i))
+          done;
+          for j = 0 to k - 1 do
+            if ax.(j).(s) then w.muxx.(j) <- Int64.logor w.muxx.(j) !minterm;
+            if az.(j).(s) then w.muxz.(j) <- Int64.logor w.muxz.(j) !minterm
+          done
+        end
+      done
+    | Shot ->
+      for b = 0 to 63 do
+        let sv = Plane.shot_vec w.synd b in
+        let key = Bitvec.to_string sv in
+        let jx, jz =
+          match Hashtbl.find_opt w.memo key with
+          | Some hit -> hit
+          | None ->
+            let fresh = cmp.classify_syndrome sv in
+            Hashtbl.add w.memo key fresh;
+            fresh
+        in
+        let bit = Int64.shift_left 1L b in
+        for j = 0 to k - 1 do
+          if jx.(j) then w.muxx.(j) <- Int64.logor w.muxx.(j) bit;
+          if jz.(j) then w.muxz.(j) <- Int64.logor w.muxz.(j) bit
+        done
+      done);
+    for j = 0 to k - 1 do
+      let px = parity_sel w.xs w.zs cmp.lzs.(j)
+      and pz = parity_sel w.xs w.zs cmp.lxs.(j) in
+      let slot = (j * lanes) + lane in
+      w.accx.(slot) <- Int64.logxor w.accx.(slot) (Int64.logxor px w.muxx.(j));
+      w.accz.(slot) <- Int64.logxor w.accz.(slot) (Int64.logxor pz w.muxz.(j))
+    done
+  in
+  let batch w keys ~base:_ ~count =
+    let sampler = Sampler.create_tile keys in
+    match engine with
+    | `Batch ->
+      Array.fill w.accx 0 (k * lanes) 0L;
+      Array.fill w.accz 0 (k * lanes) 0L;
+      for _ = 1 to rounds do
+        Plane.clear w.plane;
+        Program.run_into prog sampler w.plane [||];
+        for lane = 0 to lanes - 1 do
+          classify_lane w lane
+        done
+      done;
+      Array.init lanes (fun lane ->
+          let word = ref 0L in
+          for j = 0 to k - 1 do
+            let slot = (j * lanes) + lane in
+            word :=
+              Int64.logor !word (Int64.logor w.accx.(slot) w.accz.(slot))
+          done;
+          !word)
+    | `Scalar ->
+      (* Cross-check engine: the identical sampler call sequence (so
+         the identical noise), each shot extracted and classified by
+         the scalar decoder.  Bit-identical to [`Batch] by
+         construction. *)
+      Array.fill w.sbx 0 (tile_width * k) false;
+      Array.fill w.sbz 0 (tile_width * k) false;
+      for _ = 1 to rounds do
+        Plane.clear w.plane;
+        Program.run_into prog sampler w.plane [||];
+        for shot = 0 to count - 1 do
+          let e = Plane.extract_shot w.plane shot in
+          residual_into t dec e ~off:(shot * k) w.sbx w.sbz
+        done
+      done;
+      Array.init lanes (fun lane ->
+          let word = ref 0L in
+          for b = 0 to 63 do
+            let shot = (64 * lane) + b in
+            if
+              shot < count
+              && (any_set w.sbx (shot * k) k || any_set w.sbz (shot * k) k)
+            then word := Int64.logor !word (Int64.shift_left 1L b)
+          done;
+          !word)
+  in
+  Mc.Runner.estimate ?domains ?obs
+    ~engine:(Mc.Engine.batch ~tile_width ())
+    ~trials ~seed
+    (Mc.Runner.model
+       ~worker_init:(fun () ->
+         {
+           plane = Plane.create ~width:tile_width n;
+           xs = Array.make n 0L;
+           zs = Array.make n 0L;
+           synd = Array.make (max cmp.m 1) 0L;
+           muxx = Array.make k 0L;
+           muxz = Array.make k 0L;
+           accx = Array.make (k * lanes) 0L;
+           accz = Array.make (k * lanes) 0L;
+           memo = Hashtbl.create 64;
+           sbx = Array.make (tile_width * k) false;
+           sbz = Array.make (tile_width * k) false;
+         })
+       ~batch ())

@@ -1,0 +1,59 @@
+(** Memory-failure model for any pipeline-built CSS code, in the
+    {!Codes.Pauli_frame} style: each round draws a fresh depolarizing
+    error, decodes its syndrome, and XOR-accumulates the residual's
+    anticommutation bits against every logical pair; a trial fails if
+    any logical is hit after [rounds] rounds (k ≥ 1 codes — the
+    k-generic extension of the k = 1 Steane stack).
+
+    The batch driver runs on the bit-sliced {!Frame} engine at any
+    tile width.  The classifier is compiled from the code's own
+    decoder: codes with ≤ [mux_max_checks] generators use a fully
+    word-wise disjoint syndrome-minterm OR-mux (the Steane-table
+    construction, generalized); larger codes (e.g. Golay's 22 checks)
+    assemble per-shot syndromes from the syndrome words and decode
+    through a per-worker memo table.  The [`Scalar] engine is the
+    cross-check: the identical sampler sequence with each shot
+    extracted and classified by the scalar decoder — counts are
+    bit-identical to [`Batch] by construction. *)
+
+type engine = [ `Batch | `Scalar ]
+
+(** [memory_trial t decoder ~eps ~rounds rng] — one scalar trial. *)
+val memory_trial :
+  Kit.t ->
+  Codes.Stabilizer_code.decoder ->
+  eps:float ->
+  rounds:int ->
+  Random.State.t ->
+  bool
+
+(** [memory_failure_mc t ~eps ~rounds ~trials ~seed ()] — the scalar
+    Monte-Carlo estimate (domain-parallel, checkpointable). *)
+val memory_failure_mc :
+  ?domains:int ->
+  ?obs:Obs.t ->
+  Kit.t ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate
+
+(** [memory_failure_batch t ~eps ~rounds ~trials ~seed ()] — the
+    bit-sliced estimate ([tile_width] ∈ 64·ℕ shots per op);
+    [~engine:`Scalar] runs the bit-identical scalar cross-check
+    through the same sampler stream. *)
+val memory_failure_batch :
+  ?domains:int ->
+  ?obs:Obs.t ->
+  ?engine:engine ->
+  ?tile_width:int ->
+  ?mux_max_checks:int ->
+  Kit.t ->
+  eps:float ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Mc.Stats.estimate

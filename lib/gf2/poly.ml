@@ -1,0 +1,97 @@
+(* Little-endian coefficient array, normalized: the zero polynomial is
+   [||], otherwise the top slot is [true].  Every constructor returns a
+   fresh array, so values behave immutably. *)
+type t = bool array
+
+let normalize a =
+  let d = ref (Array.length a - 1) in
+  while !d >= 0 && not a.(!d) do
+    decr d
+  done;
+  Array.sub a 0 (!d + 1)
+
+let zero = [||]
+let one = [| true |]
+let x = [| false; true |]
+let is_zero p = Array.length p = 0
+let degree p = Array.length p - 1
+let coeff p i = i >= 0 && i < Array.length p && p.(i)
+let equal (a : t) (b : t) = a = b
+
+let of_exponents es =
+  match es with
+  | [] -> zero
+  | _ ->
+    let d =
+      List.fold_left
+        (fun acc e ->
+          if e < 0 then invalid_arg "Poly.of_exponents: negative exponent";
+          max acc e)
+        0 es
+    in
+    let a = Array.make (d + 1) false in
+    List.iter (fun e -> a.(e) <- not a.(e)) es;
+    normalize a
+
+let to_exponents p =
+  let es = ref [] in
+  for i = Array.length p - 1 downto 0 do
+    if p.(i) then es := i :: !es
+  done;
+  !es
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  normalize
+    (Array.init (max la lb) (fun i -> (i < la && a.(i)) <> (i < lb && b.(i))))
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let r = Array.make (degree a + degree b + 1) false in
+    Array.iteri
+      (fun i ai ->
+        if ai then
+          Array.iteri (fun j bj -> if bj then r.(i + j) <- not r.(i + j)) b)
+      a;
+    (* the leading coefficient is 1·1: already normalized *)
+    r
+  end
+
+let divmod a b =
+  if is_zero b then invalid_arg "Poly.divmod: division by zero";
+  let db = degree b and da = degree a in
+  if da < db then (zero, Array.copy a)
+  else begin
+    let r = Array.copy a in
+    let q = Array.make (da - db + 1) false in
+    for i = da downto db do
+      if r.(i) then begin
+        q.(i - db) <- true;
+        for j = 0 to db do
+          if b.(j) then r.(i - db + j) <- not r.(i - db + j)
+        done
+      end
+    done;
+    (normalize q, normalize r)
+  end
+
+let rem a b = snd (divmod a b)
+let divides b a = is_zero (rem a b)
+
+let xn_plus_one n =
+  if n < 1 then invalid_arg "Poly.xn_plus_one: n >= 1";
+  let a = Array.make (n + 1) false in
+  a.(0) <- true;
+  a.(n) <- true;
+  a
+
+let to_string p =
+  if is_zero p then "0"
+  else
+    String.concat " + "
+      (List.rev_map
+         (function 0 -> "1" | 1 -> "x" | e -> Printf.sprintf "x^%d" e)
+         (to_exponents p))
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1094,30 +1094,3 @@ let estimate_rare ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
   estimate_rare_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
     ?backoff ?chaos ?z ~config ~seed ~worker_init:m.m_worker_init
     ~rare:(require_rare m) ()
-
-(* --------------------------------------------------- deprecated shims *)
-
-let failures_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
-    ?backoff ?chaos ~trials ~seed ~worker_init trial =
-  failures_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
-    ?backoff ?chaos ~trials ~seed ~worker_init trial
-
-let estimate_ctx ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
-    ?backoff ?chaos ?z ?target_half_width ?min_trials ~trials ~seed
-    ~worker_init trial =
-  estimate_ctx_impl ?domains ?chunk ?obs ?campaign ?chunk_timeout ?retries
-    ?backoff ?chaos ?z ?target_half_width ?min_trials ~trials ~seed
-    ~worker_init trial
-
-let failures_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ?tile_width ~trials ~seed ~worker_init batch =
-  failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
-    ?backoff ?chaos ?tile_width ~trials ~seed ~worker_init batch
-
-let estimate_batched ?domains ?obs ?campaign ?chunk_timeout ?retries ?backoff
-    ?chaos ?tile_width ?z ~trials ~seed ~worker_init batch =
-  let failures =
-    failures_batched_impl ?domains ?obs ?campaign ?chunk_timeout ?retries
-      ?backoff ?chaos ?tile_width ~trials ~seed ~worker_init batch
-  in
-  Stats.estimate ?z ~failures ~trials ()

@@ -320,79 +320,3 @@ val popcount64 : int64 -> int
 (** [live_mask count] — a word with the low [min count 64] bits set
     (the engine's ragged-tail mask; [count >= 64] gives all ones). *)
 val live_mask : int -> int64
-
-(** {1 Deprecated aliases}
-
-    One-PR migration shims over the engine-polymorphic entry points
-    above; every in-repo caller has been migrated (CI greps for
-    stragglers) and these will be removed next PR. *)
-
-val failures_ctx :
-  ?domains:int ->
-  ?chunk:int ->
-  ?obs:Obs.t ->
-  ?campaign:Campaign.t ->
-  ?chunk_timeout:float ->
-  ?retries:int ->
-  ?backoff:float ->
-  ?chaos:Chaos.t ->
-  trials:int ->
-  seed:int ->
-  worker_init:(unit -> 'ctx) ->
-  ('ctx -> Random.State.t -> int -> bool) ->
-  int
-[@@deprecated "use Mc.Runner.failures with a Mc.Runner.model"]
-
-val estimate_ctx :
-  ?domains:int ->
-  ?chunk:int ->
-  ?obs:Obs.t ->
-  ?campaign:Campaign.t ->
-  ?chunk_timeout:float ->
-  ?retries:int ->
-  ?backoff:float ->
-  ?chaos:Chaos.t ->
-  ?z:float ->
-  ?target_half_width:float ->
-  ?min_trials:int ->
-  trials:int ->
-  seed:int ->
-  worker_init:(unit -> 'ctx) ->
-  ('ctx -> Random.State.t -> int -> bool) ->
-  Stats.estimate
-[@@deprecated "use Mc.Runner.estimate with a Mc.Runner.model"]
-
-val failures_batched :
-  ?domains:int ->
-  ?obs:Obs.t ->
-  ?campaign:Campaign.t ->
-  ?chunk_timeout:float ->
-  ?retries:int ->
-  ?backoff:float ->
-  ?chaos:Chaos.t ->
-  ?tile_width:int ->
-  trials:int ->
-  seed:int ->
-  worker_init:(unit -> 'ctx) ->
-  ('ctx -> Rng.key array -> base:int -> count:int -> int64 array) ->
-  int
-[@@deprecated
-  "use Mc.Runner.failures ~engine:(`Batch _) with a Mc.Runner.model"]
-
-val estimate_batched :
-  ?domains:int ->
-  ?obs:Obs.t ->
-  ?campaign:Campaign.t ->
-  ?chunk_timeout:float ->
-  ?retries:int ->
-  ?backoff:float ->
-  ?chaos:Chaos.t ->
-  ?tile_width:int ->
-  ?z:float ->
-  trials:int ->
-  seed:int ->
-  worker_init:(unit -> 'ctx) ->
-  ('ctx -> Rng.key array -> base:int -> count:int -> int64 array) ->
-  Stats.estimate
-[@@deprecated
-  "use Mc.Runner.estimate ~engine:(`Batch _) with a Mc.Runner.model"]

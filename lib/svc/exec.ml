@@ -133,6 +133,22 @@ let execute ?domains ?(obs = Obs.none) (est : Protocol.estimator) :
         invalid_arg "Svc.Exec.execute: toric_circuit has no batch engine"
     in
     Estimate { name = Printf.sprintf "l=%d,eps=%g" l eps; estimate = e }
+  | Css_memory { code; eps; rounds; trials; seed; engine; tile_width } ->
+    let t = Csskit.Zoo.get code in
+    let e =
+      match engine with
+      | `Scalar ->
+        Csskit.Memory.memory_failure_mc ?domains ~obs t ~eps ~rounds ~trials
+          ~seed ()
+      | `Batch ->
+        Csskit.Memory.memory_failure_batch ?domains ~obs ~tile_width t ~eps
+          ~rounds ~trials ~seed ()
+      | `Rare _ ->
+        (* unreachable through the protocol: estimator_of_json rejects
+           the combination *)
+        invalid_arg "Svc.Exec.execute: css_memory has no rare engine"
+    in
+    Estimate { name = Printf.sprintf "%s@eps=%g" code eps; estimate = e }
   | Pseudothreshold { eps_list; trials; seed } ->
     (* e5: per-eps exRec failure, then the A·eps² fit. *)
     let cells =
@@ -227,6 +243,9 @@ let plan (est : Protocol.estimator) =
   | Toric_circuit { l; eps; trials; seed; engine; _ } ->
     single ~name:(Printf.sprintf "l=%d,eps=%g" l eps) ~seed ~trials engine
       ~tile_width:64
+  | Css_memory { code; eps; trials; seed; engine; tile_width; _ } ->
+    single ~name:(Printf.sprintf "%s@eps=%g" code eps) ~seed ~trials engine
+      ~tile_width
   | Pseudothreshold { eps_list; trials; seed } ->
     Sharded
       (List.mapi
@@ -297,6 +316,18 @@ let run_cell ?domains ?(obs = Obs.none) (est : Protocol.estimator) ~index =
            ~noise:(Ft.Noise.uniform eps) ~trials ~seed ())
     | `Rare _ | `Batch ->
       invalid_arg "Svc.Exec.run_cell: unsupported toric_circuit engine")
+  | Css_memory { code; eps; rounds; trials; seed; engine; tile_width } ->
+    let t = Csskit.Zoo.get code in
+    (match engine with
+    | `Scalar ->
+      ignore
+        (Csskit.Memory.memory_failure_mc ?domains ~obs t ~eps ~rounds ~trials
+           ~seed ())
+    | `Batch ->
+      ignore
+        (Csskit.Memory.memory_failure_batch ?domains ~obs ~tile_width t ~eps
+           ~rounds ~trials ~seed ())
+    | `Rare _ -> invalid_arg "Svc.Exec.run_cell: css_memory has no rare engine")
   | Pseudothreshold { eps_list; trials; seed } ->
     let eps = List.nth eps_list index in
     ignore
@@ -372,6 +403,10 @@ let assemble (est : Protocol.estimator) ~totals : Protocol.payload =
   | Toric_circuit { l; eps; trials; _ } ->
     Estimate
       { name = Printf.sprintf "l=%d,eps=%g" l eps;
+        estimate = est_of 0 trials }
+  | Css_memory { code; eps; trials; _ } ->
+    Estimate
+      { name = Printf.sprintf "%s@eps=%g" code eps;
         estimate = est_of 0 trials }
   | Pseudothreshold { eps_list; trials; _ } ->
     let cells =

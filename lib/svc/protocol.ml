@@ -55,6 +55,15 @@ type estimator =
       seed : int;
       engine : engine;
     }
+  | Css_memory of {
+      code : string;
+      eps : float;
+      rounds : int;
+      trials : int;
+      seed : int;
+      engine : engine;
+      tile_width : int;
+    }
   | Pseudothreshold of { eps_list : float list; trials : int; seed : int }
 
 type request = Run of estimator | Status | Ping | Shutdown
@@ -90,6 +99,7 @@ let estimator_name = function
   | Toric_scan _ -> "toric_scan"
   | Toric_noisy _ -> "toric_noisy"
   | Toric_circuit _ -> "toric_circuit"
+  | Css_memory _ -> "css_memory"
   | Pseudothreshold _ -> "pseudothreshold"
 
 (* Scans that replay an experiments-driver record keep its experiment
@@ -98,6 +108,9 @@ let estimator_name = function
 let experiment_name = function
   | Toric_scan _ -> "e10"
   | Pseudothreshold _ -> "e5"
+  (* a css cell with the driver's derived seed reproduces a single-eps
+     `experiments css` record exactly (one cell, no fit rows) *)
+  | Css_memory _ -> "css"
   | e -> estimator_name e
 
 let floats l = Json.List (List.map (fun f -> Json.Float f) l)
@@ -158,6 +171,12 @@ let estimator_to_json e =
       ([ typ; ("l", Int l); ("rounds", Int rounds); ("eps", Float eps);
          ("trials", Int trials); ("seed", Int seed) ]
       @ circuit_engine_fields engine)
+  | Css_memory { code; eps; rounds; trials; seed; engine; tile_width } ->
+    Json.Obj
+      ([ typ; ("code", String code); ("eps", Float eps);
+         ("rounds", Int rounds); ("trials", Int trials); ("seed", Int seed);
+         ("engine", String (engine_to_string engine)) ]
+      @ tile_fields tile_width)
   | Pseudothreshold { eps_list; trials; seed } ->
     Json.Obj
       [ typ; ("eps_list", floats eps_list); ("trials", Int trials);
@@ -372,6 +391,33 @@ let estimator_of_json j =
       let* () = prob "eps" eps in
       let* () = positive "trials" trials in
       Ok (Toric_circuit { l; rounds; eps; trials; seed; engine })
+    | "css_memory" ->
+      let* code =
+        match field r "code" with
+        | Some (Json.String s) -> Ok s
+        | Some _ -> Error "field \"code\" must be a string"
+        | None -> Error "missing field \"code\""
+      in
+      let* eps = req_float r "eps" in
+      let* rounds = req_int r "rounds" in
+      let* trials = req_int r "trials" in
+      let* seed = req_int r "seed" in
+      let* engine = req_engine r in
+      let* () =
+        check
+          (match engine with `Rare _ -> false | `Scalar | `Batch -> true)
+          "css_memory does not support engine \"rare\""
+      in
+      let* tile_width = req_tile_width r engine in
+      let* () =
+        check (Csskit.Zoo.mem code)
+          (Printf.sprintf "unknown zoo code %S (known: %s)" code
+             (String.concat ", " (Csskit.Zoo.names ())))
+      in
+      let* () = prob "eps" eps in
+      let* () = positive "rounds" rounds in
+      let* () = positive "trials" trials in
+      Ok (Css_memory { code; eps; rounds; trials; seed; engine; tile_width })
     | "pseudothreshold" ->
       let* eps_list = req_list Json.to_float_opt r "eps_list" in
       let* trials = req_int r "trials" in

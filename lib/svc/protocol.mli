@@ -104,6 +104,19 @@ type estimator =
           field is new in the rare extension and is omitted from the
           canonical form when [`Scalar], so pre-rare requests keep
           their cache keys.  [`Batch] is rejected. *)
+  | Css_memory of {
+      code : string;
+      eps : float;
+      rounds : int;
+      trials : int;
+      seed : int;
+      engine : engine;
+      tile_width : int;
+    }
+      (** {!Csskit.Memory} code-memory failure for a zoo member
+          ([code] is a {!Csskit.Zoo} name, validated at parse time).
+          Scalar/batch only: the generic pipeline has no rare-event
+          fault model. *)
   | Pseudothreshold of { eps_list : float list; trials : int; seed : int }
       (** The E5 scan: CNOT-exRec failure at each eps (seed
           [derive seed [5; i]]), fitted to p = A·eps². *)

@@ -35,7 +35,8 @@ let est_cost (est : Protocol.estimator) =
   | Steane_memory { trials; _ }
   | Toric_memory { trials; _ }
   | Toric_noisy { trials; _ }
-  | Toric_circuit { trials; _ } -> trials
+  | Toric_circuit { trials; _ }
+  | Css_memory { trials; _ } -> trials
   | Toric_scan { ls; ps; trials; _ } ->
     trials * List.length ls * List.length ps
   | Pseudothreshold { eps_list; trials; _ } ->

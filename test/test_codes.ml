@@ -212,12 +212,31 @@ let test_css_equals_steane () =
        (Code.prepare_logical_zero Codes.Steane.code))
 
 let test_css_orthogonality_enforced () =
-  let hx = Gf2.Mat.of_int_lists [ [ 1; 1; 0 ] ] in
+  let hx = Gf2.Mat.of_int_lists [ [ 0; 1; 1 ]; [ 1; 1; 0 ] ] in
   let hz = Gf2.Mat.of_int_lists [ [ 1; 0; 0 ] ] in
-  try
-    ignore (Codes.Css.make ~name:"bad" ~hx ~hz);
-    Alcotest.fail "non-orthogonal CSS accepted"
-  with Invalid_argument _ -> ()
+  (match Codes.Css.build ~name:"bad" ~hx ~hz with
+  | Ok _ -> Alcotest.fail "non-orthogonal CSS accepted"
+  | Error (Codes.Css.Non_orthogonal { x_row; z_row }) ->
+    (* row 0 of hx is orthogonal to hz; row 1 is the offender *)
+    check_int "offending hx row" 1 x_row;
+    check_int "offending hz row" 0 z_row
+  | Error e ->
+    Alcotest.failf "wrong rejection reason: %s" (Codes.Css.error_to_string e));
+  (* the raising entry point reports the same structured reason *)
+  (try
+     ignore (Codes.Css.make ~name:"bad" ~hx ~hz);
+     Alcotest.fail "non-orthogonal CSS accepted by make"
+   with
+  | Codes.Css.Invalid_css
+      { name = "bad"; error = Codes.Css.Non_orthogonal _ } ->
+    ());
+  (* width mismatch is its own structured reason *)
+  match
+    Codes.Css.build ~name:"bad" ~hx
+      ~hz:(Gf2.Mat.of_int_lists [ [ 1; 0 ] ])
+  with
+  | Error (Codes.Css.Width_mismatch { x_cols = 3; z_cols = 2 }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "width mismatch not reported"
 
 let test_concatenated_steane () =
   let l2 = Codes.Concat.steane_level 2 in

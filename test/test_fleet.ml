@@ -275,6 +275,33 @@ let test_exec_shard_equivalence () =
     check_str "assembled bytes match a direct run" (payload_bytes direct)
       (payload_bytes payload)
 
+let test_exec_shard_css () =
+  (* the css-memory estimator is fleet-shardable on the batch engine:
+     chunked cell counts must reassemble to the direct run's bytes *)
+  let est =
+    Protocol.Css_memory
+      { code = "steane7"; eps = 0.05; rounds = 2; trials = 500; seed = 11;
+        engine = `Batch; tile_width = 128 }
+  in
+  match Svc.Exec.plan est with
+  | Whole -> Alcotest.fail "css-memory must shard"
+  | Sharded cells ->
+    check_int "one cell" 1 (List.length cells);
+    let c = List.hd cells in
+    check_str "batch campaign engine" "batch" c.Svc.Exec.c_engine;
+    let n = Svc.Exec.nchunks c in
+    let mid = max 1 (n / 3) in
+    let parts =
+      Svc.Exec.cell_counts est c ~lo:0 ~hi:mid
+      @ Svc.Exec.cell_counts est c ~lo:mid ~hi:n
+    in
+    check_int "full chunk coverage" n (List.length parts);
+    let total = List.fold_left (fun acc (_, f) -> acc + f) 0 parts in
+    let payload = Svc.Exec.assemble est ~totals:[| total |] in
+    let direct = Svc.Exec.execute ~domains:2 est in
+    check_str "assembled css bytes match a direct run" (payload_bytes direct)
+      (payload_bytes payload)
+
 (* ------------------------------------------- fleet, end to end *)
 
 (* Worker processes are this test binary re-exec'd: test/main.ml
@@ -504,6 +531,8 @@ let suites =
           test_jobq_concurrent;
         Alcotest.test_case "shard counts reassemble bit-identically" `Slow
           test_exec_shard_equivalence;
+        Alcotest.test_case "css-memory shard reassembles bit-identically"
+          `Slow test_exec_shard_css;
         Alcotest.test_case "campaign in-memory ledger" `Quick
           test_campaign_in_memory;
         Alcotest.test_case "fleet byte identity under chaos" `Slow

@@ -49,6 +49,12 @@ let all_estimators =
         tile_width = 64 };
     Protocol.Pseudothreshold
       { eps_list = [ 1e-3; 2e-3 ]; trials = 30; seed = 6 };
+    Protocol.Css_memory
+      { code = "steane7"; eps = 0.02; rounds = 1; trials = 40; seed = 8;
+        engine = `Scalar; tile_width = 64 };
+    Protocol.Css_memory
+      { code = "golay23"; eps = 0.02; rounds = 2; trials = 40; seed = 8;
+        engine = `Batch; tile_width = 256 };
   ]
 
 let test_request_roundtrip () =
@@ -249,7 +255,19 @@ let test_validation () =
     (Json.Obj
        [ ("type", Json.String "toric_scan"); ("ls", Json.List []);
          ("ps", Json.List [ Json.Float 0.1 ]); ("trials", Json.Int 1);
-         ("seed", Json.Int 0) ])
+         ("seed", Json.Int 0) ]);
+  let css_base =
+    [ ("type", Json.String "css_memory"); ("code", Json.String "steane7");
+      ("eps", Json.Float 0.02); ("rounds", Json.Int 1);
+      ("trials", Json.Int 40); ("seed", Json.Int 8) ]
+  in
+  expect_reject "rare engine on css_memory"
+    (Json.Obj (css_base @ [ ("engine", Json.String "rare") ]));
+  expect_reject "unknown zoo code"
+    (Json.Obj
+       (("code", Json.String "nosuch") :: List.remove_assoc "code" css_base));
+  expect_reject "zero rounds on css_memory"
+    (Json.Obj (("rounds", Json.Int 0) :: List.remove_assoc "rounds" css_base))
 
 let test_payload_roundtrip () =
   let e = Mc.Stats.estimate ~failures:3 ~trials:100 () in
